@@ -1,0 +1,214 @@
+//! Host-pair keying (§2.2) — the SKIP-style baseline.
+//!
+//! Each pair of hosts shares an implicit Diffie-Hellman master key that
+//! exists a priori, so datagram semantics are preserved: no setup, no hard
+//! state. The cost is granularity: *the master key itself* keys every
+//! datagram between the pair, for every user and connection. Compromise of
+//! the master key exposes all past and future pair traffic, and because
+//! nothing binds a datagram to a conversation, protected datagrams can be
+//! cut-and-pasted between conversations undetected (see the tests).
+
+use crate::service::{KeyingCost, SecureDatagramService};
+use fbs_core::{FbsError, Principal};
+use fbs_crypto::dh::{DhGroup, PrivateValue, PublicValue};
+use fbs_crypto::{des, keyed_digest, mac_eq, Des, DesMode, Lcg64};
+use std::collections::HashMap;
+
+/// Host-pair keying service for one local principal.
+///
+/// ```
+/// use fbs_baselines::{HostPairService, SecureDatagramService};
+/// use fbs_crypto::dh::DhGroup;
+/// let (mut alice, mut bob, alice_name, bob_name) =
+///     HostPairService::pair(&DhGroup::test_group(), ("alice", "bob"));
+/// let wire = alice.protect(&bob_name, /*conversation:*/ 1, b"hello").unwrap();
+/// assert_eq!(bob.unprotect(&alice_name, 1, &wire).unwrap(), b"hello");
+/// // The §2.2 weakness: the conversation id is invisible to the scheme.
+/// assert!(bob.unprotect(&alice_name, /*different conv:*/ 2, &wire).is_ok());
+/// ```
+pub struct HostPairService {
+    private: PrivateValue,
+    /// Peer public values ("implicit" keys known a priori).
+    peers: HashMap<Principal, PublicValue>,
+    /// Cached pair master keys (computing them is the only keying cost).
+    master_keys: HashMap<Principal, Vec<u8>>,
+    confounder: Lcg64,
+    cost: KeyingCost,
+}
+
+impl HostPairService {
+    /// Create a service with the given private value.
+    pub fn new(private: PrivateValue, confounder_seed: u64) -> Self {
+        HostPairService {
+            private,
+            peers: HashMap::new(),
+            master_keys: HashMap::new(),
+            confounder: Lcg64::new(confounder_seed),
+            cost: KeyingCost::default(),
+        }
+    }
+
+    /// Make `peer`'s public value known (the a-priori distribution).
+    pub fn add_peer(&mut self, peer: Principal, public: PublicValue) {
+        self.peers.insert(peer, public);
+    }
+
+    /// Build a ready-made interoperating pair for tests/benches.
+    pub fn pair(group: &DhGroup, names: (&str, &str)) -> (Self, Self, Principal, Principal) {
+        let a_priv = PrivateValue::from_entropy(group.clone(), format!("{}-entropy-pad", names.0).as_bytes());
+        let b_priv = PrivateValue::from_entropy(group.clone(), format!("{}-entropy-pad", names.1).as_bytes());
+        let a_name = Principal::named(names.0);
+        let b_name = Principal::named(names.1);
+        let mut a = HostPairService::new(a_priv.clone(), 0xA);
+        let mut b = HostPairService::new(b_priv.clone(), 0xB);
+        a.add_peer(b_name.clone(), b_priv.public_value());
+        b.add_peer(a_name.clone(), a_priv.public_value());
+        (a, b, a_name, b_name)
+    }
+
+    fn master_key(&mut self, peer: &Principal) -> Result<Vec<u8>, FbsError> {
+        if let Some(k) = self.master_keys.get(peer) {
+            return Ok(k.clone());
+        }
+        let public = self
+            .peers
+            .get(peer)
+            .ok_or_else(|| FbsError::PrincipalUnknown(peer.to_string()))?;
+        self.cost.master_key_computations += 1;
+        let k = self.private.master_key(public);
+        self.master_keys.insert(peer.clone(), k.clone());
+        Ok(k)
+    }
+}
+
+/// Wire layout: confounder(4) | plaintext_len(4) | mac(16) | ciphertext.
+const HEADER: usize = 4 + 4 + 16;
+
+impl SecureDatagramService for HostPairService {
+    fn name(&self) -> &'static str {
+        "host-pair"
+    }
+
+    fn protect(
+        &mut self,
+        dst: &Principal,
+        _conversation: u64, // the whole point: the scheme cannot see this
+        payload: &[u8],
+    ) -> Result<Vec<u8>, FbsError> {
+        let master = self.master_key(dst)?;
+        let confounder = self.confounder.next_u32();
+        let iv = ((confounder as u64) << 32) | confounder as u64;
+        // The master key directly keys MAC and cipher — the §2.2 hazard.
+        let mac = keyed_digest(&master, &[&confounder.to_be_bytes(), payload]);
+        let des = Des::new(&master[..8].try_into().unwrap());
+        let ct = des::encrypt(&des, iv, DesMode::Cbc, payload);
+        let mut wire = Vec::with_capacity(HEADER + ct.len());
+        wire.extend_from_slice(&confounder.to_be_bytes());
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&mac);
+        wire.extend_from_slice(&ct);
+        Ok(wire)
+    }
+
+    fn unprotect(
+        &mut self,
+        src: &Principal,
+        _conversation: u64,
+        wire: &[u8],
+    ) -> Result<Vec<u8>, FbsError> {
+        if wire.len() < HEADER {
+            return Err(FbsError::MalformedHeader("short host-pair header"));
+        }
+        let master = self.master_key(src)?;
+        let confounder = u32::from_be_bytes(wire[0..4].try_into().unwrap());
+        let len = u32::from_be_bytes(wire[4..8].try_into().unwrap()) as usize;
+        let mac = &wire[8..24];
+        let ct = &wire[24..];
+        if !ct.len().is_multiple_of(des::BLOCK_SIZE) || len > ct.len() {
+            return Err(FbsError::MalformedCiphertext);
+        }
+        let iv = ((confounder as u64) << 32) | confounder as u64;
+        let des = Des::new(&master[..8].try_into().unwrap());
+        let pt = des::decrypt(&des, iv, DesMode::Cbc, ct, len);
+        let expected = keyed_digest(&master, &[&confounder.to_be_bytes(), &pt]);
+        if !mac_eq(&expected, mac) {
+            return Err(FbsError::BadMac);
+        }
+        Ok(pt)
+    }
+
+    fn cost(&self) -> KeyingCost {
+        KeyingCost {
+            hard_state_entries: 0, // master keys are recomputable soft state
+            ..self.cost
+        }
+    }
+
+    fn preserves_datagram_semantics(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> (HostPairService, HostPairService, Principal, Principal) {
+        HostPairService::pair(&DhGroup::test_group(), ("alice", "bob"))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (mut a, mut b, a_name, b_name) = world();
+        let wire = a.protect(&b_name, 1, b"pair-keyed payload").unwrap();
+        let pt = b.unprotect(&a_name, 1, &wire).unwrap();
+        assert_eq!(pt, b"pair-keyed payload");
+    }
+
+    #[test]
+    fn master_key_computed_once_per_peer() {
+        let (mut a, _, _, b_name) = world();
+        for i in 0..10 {
+            a.protect(&b_name, i, b"x").unwrap();
+        }
+        assert_eq!(a.cost().master_key_computations, 1);
+        assert_eq!(a.cost().setup_messages, 0);
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let (mut a, mut b, a_name, b_name) = world();
+        let mut wire = a.protect(&b_name, 1, b"payload!").unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 1;
+        assert_eq!(b.unprotect(&a_name, 1, &wire), Err(FbsError::BadMac));
+    }
+
+    #[test]
+    fn cut_and_paste_across_conversations_succeeds() {
+        // THE weakness (§2.2): nothing binds a protected datagram to its
+        // conversation. A datagram recorded in conversation 1 verifies
+        // perfectly when replayed into conversation 2 — FBS's per-flow
+        // keys exist precisely to stop this (compare
+        // `cut_and_paste_across_flows_rejected` in fbs-core).
+        let (mut a, mut b, a_name, b_name) = world();
+        let wire = a.protect(&b_name, 1, b"conversation-1 secret").unwrap();
+        let spliced = b.unprotect(&a_name, 2, &wire).unwrap();
+        assert_eq!(spliced, b"conversation-1 secret");
+    }
+
+    #[test]
+    fn unknown_peer_rejected() {
+        let (mut a, _, _, _) = world();
+        assert!(matches!(
+            a.protect(&Principal::named("eve"), 1, b"x"),
+            Err(FbsError::PrincipalUnknown(_))
+        ));
+    }
+
+    #[test]
+    fn datagram_semantics_preserved() {
+        let (a, _, _, _) = world();
+        assert!(a.preserves_datagram_semantics());
+    }
+}

@@ -1,0 +1,38 @@
+//! # fbs-baselines — the keying paradigms FBS is compared against
+//!
+//! §2 of the paper classifies existing datagram-security approaches into
+//! **session-based keying** (KDC-mediated like Kerberos/Sun RPC/DCE, or
+//! negotiated like Photuris/Oakley) and **host-pair keying** (implicit
+//! pair master keys, like SKIP), optionally hardened with per-datagram
+//! keys. §7.4 compares FBS with SKIP on keying granularity and cost.
+//!
+//! Every baseline implements the common [`SecureDatagramService`] trait so
+//! experiments can sweep paradigms over identical workloads, and exposes
+//! [`KeyingCost`] counters (master-key computations, key derivations,
+//! setup messages, hard state, cryptographically-strong random bytes) that
+//! quantify the §2/§7.4 trade-offs:
+//!
+//! | scheme | datagram semantics | unit of protection | known weakness |
+//! |---|---|---|---|
+//! | [`host_pair`] | yes | host pair | cut-and-paste across flows; master key exposed by traffic analysis of its direct use |
+//! | [`per_datagram`] | yes | datagram | needs cryptographically random per-datagram keys (BBS bottleneck) |
+//! | [`session_kdc`] | no (KDC round trip) | session | hard state, third party |
+//! | [`session_exchange`] | no (setup RTTs) | session | hard state, setup latency |
+//! | FBS ([`fbs_service`]) | yes | **flow** | replay inside freshness window |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fbs_service;
+pub mod host_pair;
+pub mod per_datagram;
+pub mod service;
+pub mod session_exchange;
+pub mod session_kdc;
+
+pub use fbs_service::FbsService;
+pub use host_pair::HostPairService;
+pub use per_datagram::{KeySource, PerDatagramService};
+pub use service::{KeyingCost, SecureDatagramService};
+pub use session_exchange::SessionExchangeService;
+pub use session_kdc::{Kdc, SessionKdcService};

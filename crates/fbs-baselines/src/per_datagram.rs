@@ -1,0 +1,256 @@
+//! Host-pair keying with per-datagram keys (§2.2's hardened variant).
+//!
+//! "Instead of using the master key to directly encrypt data, the master
+//! key is used to encrypt a per-datagram key, which is used to actually
+//! encrypt the data." The subtlety: per-datagram keys must be
+//! *cryptographically* random, or compromising one reveals its siblings —
+//! and cryptographically secure generators "such as the quadratic residue
+//! generator can be a performance bottleneck." Both generators are
+//! provided so the bottleneck claim is measurable.
+
+use crate::service::{KeyingCost, SecureDatagramService};
+use fbs_core::{FbsError, Principal};
+use fbs_crypto::dh::{DhGroup, PrivateValue, PublicValue};
+use fbs_crypto::{des, keyed_digest, mac_eq, Bbs, Des, DesMode, Lcg64};
+use std::collections::HashMap;
+
+/// Where per-datagram keys come from.
+pub enum KeySource {
+    /// Linear congruential generator: fast but NOT cryptographically
+    /// random — one captured key predicts the entire future stream (see
+    /// the `lcg_keys_are_predictable` test).
+    Lcg(Lcg64),
+    /// Blum-Blum-Shub quadratic-residue generator: secure under factoring,
+    /// and the §2.2 performance bottleneck (8 modular squarings per byte).
+    Bbs(Box<Bbs>),
+}
+
+impl KeySource {
+    fn next_key(&mut self, cost: &mut KeyingCost) -> [u8; 8] {
+        let mut key = [0u8; 8];
+        match self {
+            KeySource::Lcg(g) => g.fill(&mut key),
+            KeySource::Bbs(g) => {
+                g.fill(&mut key);
+                cost.strong_random_bytes += 8;
+            }
+        }
+        key
+    }
+}
+
+/// Host-pair keying with per-datagram keys.
+pub struct PerDatagramService {
+    private: PrivateValue,
+    peers: HashMap<Principal, PublicValue>,
+    master_keys: HashMap<Principal, Vec<u8>>,
+    keys: KeySource,
+    confounder: Lcg64,
+    cost: KeyingCost,
+}
+
+impl PerDatagramService {
+    /// Create a service drawing datagram keys from `keys`.
+    pub fn new(private: PrivateValue, keys: KeySource, confounder_seed: u64) -> Self {
+        PerDatagramService {
+            private,
+            peers: HashMap::new(),
+            master_keys: HashMap::new(),
+            keys,
+            confounder: Lcg64::new(confounder_seed),
+            cost: KeyingCost::default(),
+        }
+    }
+
+    /// Make `peer`'s public value known.
+    pub fn add_peer(&mut self, peer: Principal, public: PublicValue) {
+        self.peers.insert(peer, public);
+    }
+
+    /// An interoperating pair using the given key sources.
+    pub fn pair(
+        group: &DhGroup,
+        keys_a: KeySource,
+        keys_b: KeySource,
+    ) -> (Self, Self, Principal, Principal) {
+        let a_priv = PrivateValue::from_entropy(group.clone(), b"per-dgram-alice-entropy");
+        let b_priv = PrivateValue::from_entropy(group.clone(), b"per-dgram-bob-entropy!!");
+        let a_name = Principal::named("alice");
+        let b_name = Principal::named("bob");
+        let mut a = PerDatagramService::new(a_priv.clone(), keys_a, 0xAA);
+        let mut b = PerDatagramService::new(b_priv.clone(), keys_b, 0xBB);
+        a.add_peer(b_name.clone(), b_priv.public_value());
+        b.add_peer(a_name.clone(), a_priv.public_value());
+        (a, b, a_name, b_name)
+    }
+
+    fn master_key(&mut self, peer: &Principal) -> Result<Vec<u8>, FbsError> {
+        if let Some(k) = self.master_keys.get(peer) {
+            return Ok(k.clone());
+        }
+        let public = self
+            .peers
+            .get(peer)
+            .ok_or_else(|| FbsError::PrincipalUnknown(peer.to_string()))?;
+        self.cost.master_key_computations += 1;
+        let k = self.private.master_key(public);
+        self.master_keys.insert(peer.clone(), k.clone());
+        Ok(k)
+    }
+}
+
+/// Wire: enc_dgram_key(8) | confounder(4) | plaintext_len(4) | mac(16) | ct.
+const HEADER: usize = 8 + 4 + 4 + 16;
+
+impl SecureDatagramService for PerDatagramService {
+    fn name(&self) -> &'static str {
+        match self.keys {
+            KeySource::Lcg(_) => "per-datagram(lcg)",
+            KeySource::Bbs(_) => "per-datagram(bbs)",
+        }
+    }
+
+    fn protect(
+        &mut self,
+        dst: &Principal,
+        _conversation: u64,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, FbsError> {
+        let master = self.master_key(dst)?;
+        // Fresh per-datagram key, encrypted under the master key.
+        let dgram_key = self.keys.next_key(&mut self.cost);
+        self.cost.key_derivations += 1;
+        let master_des = Des::new(&master[..8].try_into().unwrap());
+        let mut enc_key = dgram_key;
+        master_des.encrypt_block(&mut enc_key);
+
+        let confounder = self.confounder.next_u32();
+        let iv = ((confounder as u64) << 32) | confounder as u64;
+        let mac = keyed_digest(&dgram_key, &[&confounder.to_be_bytes(), payload]);
+        let des = Des::new(&dgram_key);
+        let ct = des::encrypt(&des, iv, DesMode::Cbc, payload);
+
+        let mut wire = Vec::with_capacity(HEADER + ct.len());
+        wire.extend_from_slice(&enc_key);
+        wire.extend_from_slice(&confounder.to_be_bytes());
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&mac);
+        wire.extend_from_slice(&ct);
+        Ok(wire)
+    }
+
+    fn unprotect(
+        &mut self,
+        src: &Principal,
+        _conversation: u64,
+        wire: &[u8],
+    ) -> Result<Vec<u8>, FbsError> {
+        if wire.len() < HEADER {
+            return Err(FbsError::MalformedHeader("short per-datagram header"));
+        }
+        let master = self.master_key(src)?;
+        let master_des = Des::new(&master[..8].try_into().unwrap());
+        let mut dgram_key: [u8; 8] = wire[0..8].try_into().unwrap();
+        master_des.decrypt_block(&mut dgram_key);
+
+        let confounder = u32::from_be_bytes(wire[8..12].try_into().unwrap());
+        let len = u32::from_be_bytes(wire[12..16].try_into().unwrap()) as usize;
+        let mac = &wire[16..32];
+        let ct = &wire[32..];
+        if !ct.len().is_multiple_of(des::BLOCK_SIZE) || len > ct.len() {
+            return Err(FbsError::MalformedCiphertext);
+        }
+        let iv = ((confounder as u64) << 32) | confounder as u64;
+        let des = Des::new(&dgram_key);
+        let pt = des::decrypt(&des, iv, DesMode::Cbc, ct, len);
+        let expected = keyed_digest(&dgram_key, &[&confounder.to_be_bytes(), &pt]);
+        if !mac_eq(&expected, mac) {
+            return Err(FbsError::BadMac);
+        }
+        Ok(pt)
+    }
+
+    fn cost(&self) -> KeyingCost {
+        self.cost
+    }
+
+    fn preserves_datagram_semantics(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_world() -> (PerDatagramService, PerDatagramService, Principal, Principal) {
+        PerDatagramService::pair(
+            &DhGroup::test_group(),
+            KeySource::Lcg(Lcg64::new(1)),
+            KeySource::Lcg(Lcg64::new(2)),
+        )
+    }
+
+    #[test]
+    fn roundtrip_lcg() {
+        let (mut a, mut b, a_name, b_name) = lcg_world();
+        let wire = a.protect(&b_name, 1, b"per-datagram keyed").unwrap();
+        assert_eq!(b.unprotect(&a_name, 1, &wire).unwrap(), b"per-datagram keyed");
+    }
+
+    #[test]
+    fn roundtrip_bbs() {
+        let (mut a, mut b, a_name, b_name) = PerDatagramService::pair(
+            &DhGroup::test_group(),
+            KeySource::Bbs(Box::new(Bbs::with_default_modulus(b"seed-a"))),
+            KeySource::Bbs(Box::new(Bbs::with_default_modulus(b"seed-b"))),
+        );
+        let wire = a.protect(&b_name, 1, b"expensive but strong").unwrap();
+        assert_eq!(
+            b.unprotect(&a_name, 1, &wire).unwrap(),
+            b"expensive but strong"
+        );
+        assert_eq!(a.cost().strong_random_bytes, 8);
+    }
+
+    #[test]
+    fn every_datagram_gets_a_fresh_key() {
+        let (mut a, _, _, b_name) = lcg_world();
+        let w1 = a.protect(&b_name, 1, b"same payload").unwrap();
+        let w2 = a.protect(&b_name, 1, b"same payload").unwrap();
+        assert_ne!(w1[0..8], w2[0..8], "encrypted datagram keys differ");
+        assert_eq!(a.cost().key_derivations, 2);
+    }
+
+    #[test]
+    fn lcg_keys_are_predictable() {
+        // The §2.2 subtlety: with an LCG, one compromised datagram key
+        // reveals all future keys — the attacker just runs the recurrence.
+        let mut victim = Lcg64::new(0xFEED);
+        let mut k1 = [0u8; 8];
+        victim.fill(&mut k1); // "compromised" key
+        let mut attacker = Lcg64::new(u64::from_be_bytes(k1)); // state = output
+        let mut k2_victim = [0u8; 8];
+        victim.fill(&mut k2_victim);
+        let mut k2_attacker = [0u8; 8];
+        attacker.fill(&mut k2_attacker);
+        assert_eq!(k2_victim, k2_attacker, "LCG future keys predicted");
+    }
+
+    #[test]
+    fn tampered_key_field_detected() {
+        let (mut a, mut b, a_name, b_name) = lcg_world();
+        let mut wire = a.protect(&b_name, 1, b"payload").unwrap();
+        wire[0] ^= 1; // corrupt the encrypted datagram key
+        assert_eq!(b.unprotect(&a_name, 1, &wire), Err(FbsError::BadMac));
+    }
+
+    #[test]
+    fn cut_and_paste_still_succeeds_across_conversations() {
+        // Per-datagram keys fix key wear-out, NOT conversation binding:
+        // the scheme still ignores `conversation`.
+        let (mut a, mut b, a_name, b_name) = lcg_world();
+        let wire = a.protect(&b_name, 1, b"secret").unwrap();
+        assert!(b.unprotect(&a_name, 99, &wire).is_ok());
+    }
+}

@@ -1,0 +1,57 @@
+//! The common interface all keying paradigms implement.
+
+use fbs_core::{FbsError, Principal};
+
+/// Accounting of what a keying scheme *costs*, in the §2/§7.4 vocabulary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KeyingCost {
+    /// Modular exponentiations (pair master key computations / DH halves).
+    pub master_key_computations: u64,
+    /// Hash-based key derivations (flow keys, ticket session keys...).
+    pub key_derivations: u64,
+    /// Bytes drawn from a *cryptographically strong* generator (the §2.2
+    /// per-datagram-key requirement; statistically-random confounder bytes
+    /// are not counted — they are nearly free).
+    pub strong_random_bytes: u64,
+    /// Extra protocol messages exchanged purely for key setup (zero for
+    /// any scheme that preserves datagram semantics).
+    pub setup_messages: u64,
+    /// Hard state entries currently held (security associations, tickets
+    /// issued and pinned...). Soft cache entries do not count.
+    pub hard_state_entries: u64,
+}
+
+/// A secure datagram service: protect on send, unprotect on receive.
+///
+/// `conversation` identifies the higher-level exchange a datagram belongs
+/// to (what the FAM would infer from the 5-tuple); schemes that key at
+/// coarser granularity ignore it, which is precisely their weakness.
+pub trait SecureDatagramService {
+    /// Human-readable scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Protect `payload` for `dst` within `conversation`; returns wire
+    /// bytes.
+    fn protect(
+        &mut self,
+        dst: &Principal,
+        conversation: u64,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, FbsError>;
+
+    /// Verify and strip protection from `wire` received from `src` within
+    /// `conversation`.
+    fn unprotect(
+        &mut self,
+        src: &Principal,
+        conversation: u64,
+        wire: &[u8],
+    ) -> Result<Vec<u8>, FbsError>;
+
+    /// Accumulated keying-cost counters.
+    fn cost(&self) -> KeyingCost;
+
+    /// Does the scheme preserve datagram semantics (no setup messages, no
+    /// synchronised hard state)?
+    fn preserves_datagram_semantics(&self) -> bool;
+}

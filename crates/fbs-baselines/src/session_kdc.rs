@@ -1,0 +1,331 @@
+//! KDC-mediated session keying (§2.1) — the Kerberos/Sun-RPC/DCE paradigm.
+//!
+//! Before sending, the source contacts the key distribution centre for a
+//! session key and a *ticket* (the session key sealed under the
+//! destination's KDC secret). Each datagram then carries the ticket; the
+//! destination unseals it to recover the session key. The KDC round trip
+//! breaks datagram semantics, and both the KDC relationship and the cached
+//! tickets are hard state.
+
+use crate::service::{KeyingCost, SecureDatagramService};
+use fbs_core::{FbsError, Principal};
+use fbs_crypto::{des, keyed_digest, mac_eq, md5, Des, DesMode, Lcg64};
+use parking_lot_free_cell::SharedKdc;
+use std::collections::HashMap;
+
+/// A trivially small "RefCell over Rc" alias so one KDC can serve many
+/// services in tests without threading machinery.
+mod parking_lot_free_cell {
+    use super::Kdc;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Shared handle to a KDC.
+    pub type SharedKdc = Rc<RefCell<Kdc>>;
+}
+
+/// The key distribution centre: shares a secret with every principal.
+pub struct Kdc {
+    secrets: HashMap<Principal, [u8; 16]>,
+    session_rng: Lcg64,
+    /// Ticket lifetime in abstract time units.
+    pub ticket_lifetime: u64,
+    /// Tickets issued.
+    pub tickets_issued: u64,
+}
+
+/// A ticket: the session key + metadata sealed under the destination's
+/// KDC secret.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ticket {
+    /// Sealed bytes (DES-CBC under the destination's KDC secret).
+    pub sealed: Vec<u8>,
+}
+
+impl Kdc {
+    /// A KDC with the given ticket lifetime.
+    pub fn new(seed: u64, ticket_lifetime: u64) -> SharedKdc {
+        std::rc::Rc::new(std::cell::RefCell::new(Kdc {
+            secrets: HashMap::new(),
+            session_rng: Lcg64::new(seed),
+            ticket_lifetime,
+            tickets_issued: 0,
+        }))
+    }
+
+    /// Register a principal (out-of-band enrolment).
+    pub fn enroll(&mut self, principal: Principal, secret: [u8; 16]) {
+        self.secrets.insert(principal, secret);
+    }
+
+    /// Issue `(session_key, ticket)` for `src` to talk to `dst` at `now`.
+    pub fn request(
+        &mut self,
+        src: &Principal,
+        dst: &Principal,
+        now: u64,
+    ) -> Result<([u8; 16], Ticket), FbsError> {
+        if !self.secrets.contains_key(src) {
+            return Err(FbsError::PrincipalUnknown(src.to_string()));
+        }
+        let dst_secret = self
+            .secrets
+            .get(dst)
+            .ok_or_else(|| FbsError::PrincipalUnknown(dst.to_string()))?;
+        self.tickets_issued += 1;
+        let mut key_material = [0u8; 16];
+        self.session_rng.fill(&mut key_material);
+        // Strengthen the LCG output through a hash (a real KDC would use a
+        // strong RNG; the simulation keeps determinism).
+        let session_key = md5(&key_material);
+
+        // Plaintext ticket body: src_len | src | session_key | expiry.
+        let mut body = Vec::new();
+        body.extend_from_slice(&(src.len() as u32).to_be_bytes());
+        body.extend_from_slice(src.as_bytes());
+        body.extend_from_slice(&session_key);
+        body.extend_from_slice(&(now + self.ticket_lifetime).to_be_bytes());
+        // Integrity tag inside the sealed body.
+        let tag = keyed_digest(dst_secret, &[&body]);
+        body.extend_from_slice(&tag);
+
+        let des = Des::new(&dst_secret[..8].try_into().unwrap());
+        let mut sealed = (body.len() as u32).to_be_bytes().to_vec();
+        sealed.extend_from_slice(&des::encrypt(&des, 0, DesMode::Cbc, &body));
+        Ok((session_key, Ticket { sealed }))
+    }
+
+    /// Destination-side: unseal a ticket with own secret, verifying
+    /// integrity and expiry.
+    pub fn unseal(
+        secret: &[u8; 16],
+        ticket: &Ticket,
+        now: u64,
+    ) -> Result<(Principal, [u8; 16]), FbsError> {
+        if ticket.sealed.len() < 4 {
+            return Err(FbsError::MalformedHeader("short ticket"));
+        }
+        let body_len = u32::from_be_bytes(ticket.sealed[0..4].try_into().unwrap()) as usize;
+        let ct = &ticket.sealed[4..];
+        if !ct.len().is_multiple_of(des::BLOCK_SIZE) || body_len > ct.len() {
+            return Err(FbsError::MalformedCiphertext);
+        }
+        let des = Des::new(&secret[..8].try_into().unwrap());
+        let body = des::decrypt(&des, 0, DesMode::Cbc, ct, body_len);
+        if body.len() < 4 + 16 + 8 + 16 {
+            return Err(FbsError::MalformedHeader("short ticket body"));
+        }
+        let (content, tag) = body.split_at(body.len() - 16);
+        if !mac_eq(&keyed_digest(secret, &[content]), tag) {
+            return Err(FbsError::CertificateInvalid("ticket forged".into()));
+        }
+        let src_len = u32::from_be_bytes(content[0..4].try_into().unwrap()) as usize;
+        if content.len() != 4 + src_len + 16 + 8 {
+            return Err(FbsError::MalformedHeader("ticket body layout"));
+        }
+        let src = Principal::from_bytes(content[4..4 + src_len].to_vec());
+        let session_key: [u8; 16] = content[4 + src_len..4 + src_len + 16]
+            .try_into()
+            .unwrap();
+        let expiry = u64::from_be_bytes(content[4 + src_len + 16..].try_into().unwrap());
+        if now > expiry {
+            return Err(FbsError::StaleTimestamp {
+                datagram_minutes: expiry as u32,
+                now_minutes: now as u32,
+                window_minutes: 0,
+            });
+        }
+        Ok((src, session_key))
+    }
+}
+
+/// The KDC-based service for one principal.
+pub struct SessionKdcService {
+    local: Principal,
+    secret: [u8; 16],
+    kdc: SharedKdc,
+    /// Cached (session key, ticket) per destination: HARD state.
+    sessions: HashMap<Principal, ([u8; 16], Ticket)>,
+    confounder: Lcg64,
+    /// Simple local clock the tests can advance.
+    pub now: u64,
+    cost: KeyingCost,
+}
+
+impl SessionKdcService {
+    /// Enrol `local` with the KDC and create its service.
+    pub fn new(local: Principal, secret: [u8; 16], kdc: SharedKdc, seed: u64) -> Self {
+        kdc.borrow_mut().enroll(local.clone(), secret);
+        SessionKdcService {
+            local,
+            secret,
+            kdc,
+            sessions: HashMap::new(),
+            confounder: Lcg64::new(seed),
+            now: 0,
+            cost: KeyingCost::default(),
+        }
+    }
+}
+
+/// Wire: ticket_len(4) | ticket | confounder(4) | plaintext_len(4) |
+/// mac(16) | ciphertext.
+impl SecureDatagramService for SessionKdcService {
+    fn name(&self) -> &'static str {
+        "session-kdc"
+    }
+
+    fn protect(
+        &mut self,
+        dst: &Principal,
+        _conversation: u64,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, FbsError> {
+        let now = self.now;
+        if !self.sessions.contains_key(dst) {
+            // The KDC round trip: 2 messages that break datagram semantics.
+            self.cost.setup_messages += 2;
+            let (key, ticket) = self.kdc.borrow_mut().request(&self.local, dst, now)?;
+            self.sessions.insert(dst.clone(), (key, ticket));
+            self.cost.hard_state_entries += 1;
+        }
+        let (key, ticket) = self.sessions.get(dst).unwrap().clone();
+        let confounder = self.confounder.next_u32();
+        let iv = ((confounder as u64) << 32) | confounder as u64;
+        let mac = keyed_digest(&key, &[&confounder.to_be_bytes(), payload]);
+        let des = Des::new(&key[..8].try_into().unwrap());
+        let ct = des::encrypt(&des, iv, DesMode::Cbc, payload);
+
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(ticket.sealed.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&ticket.sealed);
+        wire.extend_from_slice(&confounder.to_be_bytes());
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&mac);
+        wire.extend_from_slice(&ct);
+        Ok(wire)
+    }
+
+    fn unprotect(
+        &mut self,
+        src: &Principal,
+        _conversation: u64,
+        wire: &[u8],
+    ) -> Result<Vec<u8>, FbsError> {
+        if wire.len() < 4 {
+            return Err(FbsError::MalformedHeader("short KDC wire"));
+        }
+        let tlen = u32::from_be_bytes(wire[0..4].try_into().unwrap()) as usize;
+        if wire.len() < 4 + tlen + 24 {
+            return Err(FbsError::MalformedHeader("truncated KDC wire"));
+        }
+        let ticket = Ticket {
+            sealed: wire[4..4 + tlen].to_vec(),
+        };
+        let (claimed_src, key) = Kdc::unseal(&self.secret, &ticket, self.now)?;
+        if &claimed_src != src {
+            return Err(FbsError::BadMac); // ticket for a different source
+        }
+        let rest = &wire[4 + tlen..];
+        let confounder = u32::from_be_bytes(rest[0..4].try_into().unwrap());
+        let len = u32::from_be_bytes(rest[4..8].try_into().unwrap()) as usize;
+        let mac = &rest[8..24];
+        let ct = &rest[24..];
+        if !ct.len().is_multiple_of(des::BLOCK_SIZE) || len > ct.len() {
+            return Err(FbsError::MalformedCiphertext);
+        }
+        let iv = ((confounder as u64) << 32) | confounder as u64;
+        let des = Des::new(&key[..8].try_into().unwrap());
+        let pt = des::decrypt(&des, iv, DesMode::Cbc, ct, len);
+        let expected = keyed_digest(&key, &[&confounder.to_be_bytes(), &pt]);
+        if !mac_eq(&expected, mac) {
+            return Err(FbsError::BadMac);
+        }
+        Ok(pt)
+    }
+
+    fn cost(&self) -> KeyingCost {
+        self.cost
+    }
+
+    fn preserves_datagram_semantics(&self) -> bool {
+        false // KDC round trip before first datagram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> (SessionKdcService, SessionKdcService, Principal, Principal) {
+        let kdc = Kdc::new(77, 1_000);
+        let a_name = Principal::named("alice");
+        let b_name = Principal::named("bob");
+        let a = SessionKdcService::new(a_name.clone(), [0xAA; 16], kdc.clone(), 1);
+        let b = SessionKdcService::new(b_name.clone(), [0xBB; 16], kdc, 2);
+        (a, b, a_name, b_name)
+    }
+
+    #[test]
+    fn roundtrip_with_ticket() {
+        let (mut a, mut b, a_name, b_name) = world();
+        let wire = a.protect(&b_name, 1, b"kerberised payload").unwrap();
+        assert_eq!(
+            b.unprotect(&a_name, 1, &wire).unwrap(),
+            b"kerberised payload"
+        );
+    }
+
+    #[test]
+    fn kdc_contacted_once_per_destination() {
+        let (mut a, _, _, b_name) = world();
+        for _ in 0..5 {
+            a.protect(&b_name, 1, b"x").unwrap();
+        }
+        assert_eq!(a.cost().setup_messages, 2, "one KDC round trip");
+        assert_eq!(a.cost().hard_state_entries, 1);
+        assert!(!a.preserves_datagram_semantics());
+    }
+
+    #[test]
+    fn expired_ticket_rejected() {
+        let (mut a, mut b, a_name, b_name) = world();
+        let wire = a.protect(&b_name, 1, b"old").unwrap();
+        b.now = 5_000; // past the 1_000-unit lifetime
+        assert!(matches!(
+            b.unprotect(&a_name, 1, &wire),
+            Err(FbsError::StaleTimestamp { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_ticket_rejected() {
+        let (mut a, mut b, a_name, b_name) = world();
+        let mut wire = a.protect(&b_name, 1, b"payload").unwrap();
+        wire[10] ^= 1; // inside the sealed ticket
+        assert!(b.unprotect(&a_name, 1, &wire).is_err());
+    }
+
+    #[test]
+    fn ticket_bound_to_source() {
+        // Bob cannot replay Alice's ticket claiming it came from Carol.
+        let kdc = Kdc::new(77, 1_000);
+        let a_name = Principal::named("alice");
+        let b_name = Principal::named("bob");
+        let c_name = Principal::named("carol");
+        let mut a = SessionKdcService::new(a_name.clone(), [0xAA; 16], kdc.clone(), 1);
+        let mut b = SessionKdcService::new(b_name.clone(), [0xBB; 16], kdc.clone(), 2);
+        let _c = SessionKdcService::new(c_name.clone(), [0xCC; 16], kdc, 3);
+        let wire = a.protect(&b_name, 1, b"from alice").unwrap();
+        assert_eq!(b.unprotect(&c_name, 1, &wire), Err(FbsError::BadMac));
+    }
+
+    #[test]
+    fn unknown_destination_fails_at_kdc() {
+        let (mut a, _, _, _) = world();
+        assert!(matches!(
+            a.protect(&Principal::named("stranger"), 1, b"x"),
+            Err(FbsError::PrincipalUnknown(_))
+        ));
+    }
+}

@@ -1,0 +1,68 @@
+//! Criterion benches for the certificate machinery (§5.3's cost model:
+//! PVC misses are "extremely expensive", per-use verification must be
+//! cheap enough to run on every key derivation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fbs_cert::{CertificateAuthority, Directory, Pvc};
+use fbs_core::{ManualClock, Principal, PublicValueSource};
+use fbs_crypto::dh::{DhGroup, PrivateValue};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cert-verify");
+    let pv = PrivateValue::from_entropy(DhGroup::oakley1(), b"bench-subject-entropy")
+        .public_value();
+
+    let mac_ca = CertificateAuthority::new("mac-ca", [1u8; 16]);
+    let mac_cert = mac_ca.issue(Principal::named("alice"), pv.clone(), 0, u64::MAX);
+    let mac_verifier = mac_ca.verifier();
+    g.bench_function("mac-keyed-md5", |b| {
+        b.iter(|| mac_verifier.verify(black_box(&mac_cert), 100).unwrap())
+    });
+
+    let rsa_ca = CertificateAuthority::new_rsa("rsa-ca", 512, 7);
+    let rsa_cert = rsa_ca.issue(Principal::named("alice"), pv, 0, u64::MAX);
+    let rsa_verifier = rsa_ca.verifier();
+    g.bench_function("rsa-512", |b| {
+        b.iter(|| rsa_verifier.verify(black_box(&rsa_cert), 100).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_pvc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pvc");
+    let ca = CertificateAuthority::new("ca", [2u8; 16]);
+    let dir = Arc::new(Directory::new(Duration::ZERO));
+    let clock = ManualClock::starting_at(1);
+    let pv = PrivateValue::from_entropy(DhGroup::oakley1(), b"bench-peer-entropy!!")
+        .public_value();
+    dir.publish(ca.issue(Principal::named("peer"), pv, 0, u64::MAX));
+    let pvc = Pvc::new(32, dir, ca.verifier(), Arc::new(clock));
+    let peer = Principal::named("peer");
+    pvc.fetch(&peer).unwrap(); // warm
+    // Steady state: cache hit + per-use verification.
+    g.bench_function("hit-plus-verify", |b| {
+        b.iter(|| pvc.fetch(black_box(&peer)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_issuance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cert-issue");
+    g.sample_size(20);
+    let pv = PrivateValue::from_entropy(DhGroup::oakley1(), b"bench-subject-entropy")
+        .public_value();
+    let mac_ca = CertificateAuthority::new("mac-ca", [1u8; 16]);
+    g.bench_function("mac", |b| {
+        b.iter(|| mac_ca.issue(Principal::named("x"), black_box(pv.clone()), 0, 1))
+    });
+    let rsa_ca = CertificateAuthority::new_rsa("rsa-ca", 512, 7);
+    g.bench_function("rsa-512", |b| {
+        b.iter(|| rsa_ca.issue(Principal::named("x"), black_box(pv.clone()), 0, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_verification, bench_pvc, bench_issuance);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benches comparing FBS against the §2 keying paradigms on a
+//! per-datagram basis — the quantitative backing for §7.4's claim that
+//! FBS "provides better performance because key generation need only be
+//! done on a per-flow basis rather than a per-datagram basis."
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbs_baselines::{
+    FbsService, HostPairService, KeySource, PerDatagramService, SecureDatagramService,
+    SessionExchangeService,
+};
+use fbs_crypto::dh::DhGroup;
+use fbs_crypto::{Bbs, Lcg64};
+
+const PAYLOAD: usize = 1024;
+
+/// Steady-state protect+unprotect inside one conversation.
+fn bench_steady_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steady-state-1k");
+    let group = DhGroup::oakley1();
+    let payload = vec![0x42u8; PAYLOAD];
+
+    {
+        let (mut a, mut b, a_name, b_name, _) = FbsService::pair(&group);
+        g.bench_function("fbs", |bch| {
+            bch.iter(|| {
+                let w = a.protect(&b_name, 1, black_box(&payload)).unwrap();
+                black_box(b.unprotect(&a_name, 1, &w).unwrap())
+            })
+        });
+    }
+    {
+        let (mut a, mut b, a_name, b_name) = HostPairService::pair(&group, ("alice", "bob"));
+        g.bench_function("host-pair", |bch| {
+            bch.iter(|| {
+                let w = a.protect(&b_name, 1, black_box(&payload)).unwrap();
+                black_box(b.unprotect(&a_name, 1, &w).unwrap())
+            })
+        });
+    }
+    {
+        let (mut a, mut b, a_name, b_name) = PerDatagramService::pair(
+            &group,
+            KeySource::Lcg(Lcg64::new(1)),
+            KeySource::Lcg(Lcg64::new(2)),
+        );
+        g.bench_function("per-datagram-lcg", |bch| {
+            bch.iter(|| {
+                let w = a.protect(&b_name, 1, black_box(&payload)).unwrap();
+                black_box(b.unprotect(&a_name, 1, &w).unwrap())
+            })
+        });
+    }
+    {
+        let (mut a, mut b, a_name, b_name) = PerDatagramService::pair(
+            &group,
+            KeySource::Bbs(Box::new(Bbs::with_default_modulus(b"bench-a"))),
+            KeySource::Bbs(Box::new(Bbs::with_default_modulus(b"bench-b"))),
+        );
+        g.sample_size(20);
+        g.bench_function("per-datagram-bbs", |bch| {
+            bch.iter(|| {
+                let w = a.protect(&b_name, 1, black_box(&payload)).unwrap();
+                black_box(b.unprotect(&a_name, 1, &w).unwrap())
+            })
+        });
+    }
+    {
+        let (mut a, mut b, a_name, b_name) = SessionExchangeService::pair(&group);
+        g.sample_size(100);
+        g.bench_function("session-exchange", |bch| {
+            bch.iter(|| {
+                let w = a.protect(&b_name, 1, black_box(&payload)).unwrap();
+                black_box(b.unprotect(&a_name, 1, &w).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Flow-start cost: first datagram of a NEW conversation (where FBS pays a
+/// flow-key derivation and SKIP-style schemes pay nothing extra — but
+/// per-datagram schemes pay on EVERY datagram).
+fn bench_flow_start(c: &mut Criterion) {
+    let mut g = c.benchmark_group("new-conversation-first-datagram");
+    let group = DhGroup::oakley1();
+    let payload = vec![0x42u8; PAYLOAD];
+
+    let (mut fbs_a, _, _, fbs_b_name, _) = FbsService::pair(&group);
+    let mut conv = 1000u64;
+    g.bench_function(BenchmarkId::new("fbs", "new-flow"), |bch| {
+        bch.iter(|| {
+            conv += 1;
+            black_box(fbs_a.protect(&fbs_b_name, conv, &payload).unwrap())
+        })
+    });
+
+    let (mut hp_a, _, _, hp_b_name) = HostPairService::pair(&group, ("alice", "bob"));
+    let mut conv2 = 1000u64;
+    g.bench_function(BenchmarkId::new("host-pair", "new-flow"), |bch| {
+        bch.iter(|| {
+            conv2 += 1;
+            black_box(hp_a.protect(&hp_b_name, conv2, &payload).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_steady_state, bench_flow_start);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Criterion benches of the FBS protocol path itself, including the §5.3
+//! and §7.2 design-choice ablations called out in DESIGN.md:
+//!
+//! * single-pass MAC+encrypt vs two-pass;
+//! * combined FST/TFKC lookup vs separate FAM + TFKC;
+//! * per-datagram cost across payload sizes and variants.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fbs_bench::endpoints::{endpoint_pair, principals};
+use fbs_core::{Datagram, FbsConfig};
+use fbs_crypto::dh::DhGroup;
+use fbs_ip::CombinedTable;
+use fbs_core::policy::IdleTimeoutPolicy;
+use fbs_core::{Fam, FlowKey, SflAllocator};
+
+fn dgram(payload: usize) -> Datagram {
+    let (s, d) = principals();
+    Datagram::new(s, d, vec![0xA5u8; payload])
+}
+
+fn bench_send_receive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("send-receive");
+    for payload in [64usize, 512, 1460, 8192] {
+        g.throughput(Throughput::Bytes(payload as u64));
+        for (name, nop, secret) in [
+            ("nop", true, false),
+            ("md5-only", false, false),
+            ("des+md5", false, true),
+        ] {
+            let cfg = FbsConfig {
+                nop_crypto: nop,
+                ..FbsConfig::default()
+            };
+            let (mut tx, mut rx, _) = endpoint_pair(cfg, DhGroup::oakley1());
+            // Warm caches.
+            let pd = tx.send(1, dgram(payload), secret).unwrap();
+            rx.receive(pd).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(name, payload),
+                &payload,
+                |b, &payload| {
+                    b.iter(|| {
+                        let pd = tx.send(1, dgram(payload), secret).unwrap();
+                        black_box(rx.receive(pd).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_single_vs_two_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("data-touching");
+    let payload = 8192usize;
+    g.throughput(Throughput::Bytes(payload as u64));
+    for (name, single) in [("single-pass", true), ("two-pass", false)] {
+        let cfg = FbsConfig {
+            single_pass: single,
+            ..FbsConfig::default()
+        };
+        let (mut tx, _, _) = endpoint_pair(cfg, DhGroup::oakley1());
+        tx.send(1, dgram(payload), true).unwrap(); // warm
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(tx.send(1, dgram(payload), true).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow-lookup");
+    // §7.2 ablation: merged FST/TFKC (one hash) vs FAM classify + TFKC
+    // get (two hashes). Measured on the lookup machinery alone.
+    let tuple = fbs_ip::FiveTuple {
+        proto: 17,
+        saddr: [10, 0, 0, 1],
+        sport: 4321,
+        daddr: [10, 0, 0, 2],
+        dport: 53,
+    };
+    let mut combined = CombinedTable::new(64, 600, SflAllocator::new(1));
+    combined
+        .lookup(tuple, 0, |sfl| {
+            Ok::<_, ()>(FlowKey(sfl.to_be_bytes().to_vec()))
+        })
+        .unwrap();
+    g.bench_function("combined-fst-tfkc", |b| {
+        b.iter(|| {
+            combined
+                .lookup(black_box(tuple), 1, |sfl| {
+                    Ok::<_, ()>(FlowKey(sfl.to_be_bytes().to_vec()))
+                })
+                .unwrap()
+        })
+    });
+
+    let mut fam: Fam<Vec<u8>, IdleTimeoutPolicy> =
+        Fam::new(64, IdleTimeoutPolicy::new(600), SflAllocator::new(1));
+    let mut tfkc: fbs_core::SoftCache<u64, FlowKey> =
+        fbs_core::SoftCache::new(64, 1, |k: &u64| fbs_crypto::crc32(&k.to_be_bytes()));
+    let attrs: Vec<u8> = b"10.0.0.1:4321->10.0.0.2:53/17".to_vec();
+    let class = fam.classify(attrs.clone(), 0, 100);
+    tfkc.insert(class.sfl, FlowKey(vec![0; 16]));
+    g.bench_function("separate-fam-then-tfkc", |b| {
+        b.iter(|| {
+            let class = fam.classify(black_box(attrs.clone()), 1, 100);
+            black_box(tfkc.get(&class.sfl))
+        })
+    });
+    g.finish();
+}
+
+fn bench_header_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("header");
+    let header = fbs_core::SecurityFlowHeader {
+        sfl: 0x0102030405060708,
+        confounder: 0xDEADBEEF,
+        timestamp: 123456,
+        mac_alg: fbs_crypto::MacAlgorithm::KeyedMd5,
+        enc_alg: fbs_core::EncAlgorithm::DesCbc,
+        plaintext_len: 1460,
+        mac: vec![0xAB; 16],
+    };
+    let encoded = header.encode();
+    g.bench_function("encode", |b| b.iter(|| black_box(header.encode())));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(fbs_core::SecurityFlowHeader::decode(&encoded).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_send_receive,
+    bench_single_vs_two_pass,
+    bench_lookup_paths,
+    bench_header_codec
+);
+criterion_main!(benches);

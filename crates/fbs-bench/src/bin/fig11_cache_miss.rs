@@ -1,0 +1,87 @@
+//! Fig. 11(a)-(b) — key cache miss rates vs cache size, with the §5.3
+//! associativity/hash ablation.
+//!
+//! `cargo run --release -p fbs-bench --bin fig11_cache_miss [-- <minutes>] [--csv]`
+
+use fbs_bench::figs::{cache_sweep, trace_for, Environment};
+use fbs_bench::{arg_num, emit};
+use fbs_trace::flowsim::CacheHash;
+
+fn main() {
+    let minutes = arg_num().unwrap_or(120);
+
+    // (a)/(b): miss rate vs size per environment, CRC-32 direct-mapped.
+    for env in [Environment::Campus, Environment::Www] {
+        let trace = trace_for(env, minutes);
+        let rows: Vec<Vec<String>> = cache_sweep(&trace, CacheHash::Crc32, 1)
+            .into_iter()
+            .map(|p| {
+                vec![
+                    p.slots.to_string(),
+                    format!("{:.2}%", 100.0 * p.miss_rate),
+                    format!("{:.2}%", 100.0 * p.avoidable_miss_rate),
+                    format!("{:.2}%", 100.0 * p.collision_rate),
+                ]
+            })
+            .collect();
+        emit(
+            &format!(
+                "Fig. 11 [{}] — TFKC miss rate vs size (direct-mapped, CRC-32)",
+                env.name()
+            ),
+            &["slots", "miss", "non-cold miss", "collision"],
+            &rows,
+        );
+        println!();
+    }
+
+    // Ablation: hash function and associativity at a fixed small size.
+    let trace = trace_for(Environment::Campus, minutes);
+    let mut rows = Vec::new();
+    for hash in [CacheHash::Crc32, CacheHash::Modulo, CacheHash::Xor] {
+        for assoc in [1usize, 2, 4] {
+            let points = cache_sweep(&trace, hash, assoc);
+            // Report the 16-slot point (small enough for conflicts).
+            if let Some(p) = points.iter().find(|p| p.slots == 16) {
+                rows.push(vec![
+                    format!("{hash:?}"),
+                    assoc.to_string(),
+                    format!("{:.2}%", 100.0 * p.miss_rate),
+                    format!("{:.2}%", 100.0 * p.collision_rate),
+                ]);
+            }
+        }
+    }
+    emit(
+        "Fig. 11 ablation — hash function × associativity at 16 slots\n\
+         (§5.3: collision misses are curbed by associativity OR a\n\
+         randomising hash; CRC-32 lets a direct-mapped cache suffice)",
+        &["hash", "assoc", "miss", "collision"],
+        &rows,
+    );
+    println!();
+
+    // FST mapper-hash ablation: the §5.3 correlated-input claim applied
+    // where it bites — the flow state table indexed by (addresses, ports).
+    let mut rows = Vec::new();
+    for fst_size in [32usize, 64, 128] {
+        for hash in [CacheHash::Crc32, CacheHash::Modulo, CacheHash::Xor] {
+            let a = fbs_trace::flowsim::simulate_fst_hash(&trace, fst_size, hash, 600);
+            rows.push(vec![
+                fst_size.to_string(),
+                format!("{hash:?}"),
+                a.flows_started.to_string(),
+                a.collisions.to_string(),
+                format!("{:.3}%", 100.0 * a.collision_rate),
+            ]);
+        }
+    }
+    emit(
+        "FST mapper-hash ablation — premature flow terminations\n\
+         (§5.3/footnote 11: the FST's keys are correlated addresses and\n\
+         ports; a randomising hash keeps collisions near zero at\n\
+         FSTSIZE ≥ 32, naive folds cluster)",
+        &["FSTSIZE", "hash", "flows", "collisions", "rate"],
+        &rows,
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 12 — number of simultaneously active flows over time.
+//!
+//! `cargo run --release -p fbs-bench --bin fig12_active_flows [-- <minutes>] [--csv]`
+
+use fbs_bench::figs::{flows_at_threshold, trace_for, Environment};
+use fbs_bench::{arg_num, emit, wants_csv};
+
+fn main() {
+    let minutes = arg_num().unwrap_or(120);
+    for env in [Environment::Campus, Environment::Www] {
+        let trace = trace_for(env, minutes);
+        let result = flows_at_threshold(&trace, 600);
+
+        // Downsample the series to ~24 rows for the table.
+        let stride = (result.active_series.len() / 24).max(1);
+        let peak = result
+            .active_series
+            .iter()
+            .map(|(_, c)| *c)
+            .max()
+            .unwrap_or(0);
+        let rows: Vec<Vec<String>> = result
+            .active_series
+            .iter()
+            .step_by(stride)
+            .map(|(t, c)| {
+                let bar = if wants_csv() {
+                    String::new()
+                } else {
+                    "#".repeat(c * 50 / peak.max(1))
+                };
+                vec![format!("{:>5}", t / 60), c.to_string(), bar]
+            })
+            .collect();
+        emit(
+            &format!(
+                "Fig. 12 [{}] — active flows over time (THRESHOLD 600 s)\n\
+                 peak LAN-wide {}, peak single host {} — counts a kernel\n\
+                 holds easily (§7.3)",
+                env.name(),
+                peak,
+                result.per_host_max_active
+            ),
+            &["min", "active", ""],
+            &rows,
+        );
+        println!();
+    }
+}

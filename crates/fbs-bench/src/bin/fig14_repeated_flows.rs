@@ -1,0 +1,39 @@
+//! Fig. 14 — repeated flows (same 5-tuple, distinct flow incarnations)
+//! vs THRESHOLD.
+//!
+//! `cargo run --release -p fbs-bench --bin fig14_repeated_flows [-- <minutes>] [--csv]`
+
+use fbs_bench::figs::{flows_at_threshold, trace_for, Environment, THRESHOLDS};
+use fbs_bench::{arg_num, emit};
+
+fn main() {
+    let minutes = arg_num().unwrap_or(120);
+    let trace = trace_for(Environment::Campus, minutes);
+
+    let mut rows = Vec::new();
+    let mut repeats = Vec::new();
+    for &threshold in &THRESHOLDS {
+        let result = flows_at_threshold(&trace, threshold);
+        repeats.push(result.repeated_flows);
+        rows.push(vec![
+            threshold.to_string(),
+            result.flows_started.to_string(),
+            result.repeated_flows.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * result.repeated_flows as f64 / result.flows_started.max(1) as f64
+            ),
+        ]);
+    }
+    emit(
+        "Fig. 14 — repeated flows vs THRESHOLD (campus trace)\n\
+         paper: repeated flows drop off quickly as THRESHOLD increases;\n\
+         300-600 s differentiates flows while keeping dynamics stable",
+        &["threshold s", "flows", "repeated", "repeated %"],
+        &rows,
+    );
+    assert!(
+        repeats.windows(2).all(|w| w[1] <= w[0]),
+        "repeated flows must be non-increasing in THRESHOLD"
+    );
+}

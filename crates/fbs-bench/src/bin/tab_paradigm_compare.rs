@@ -1,0 +1,57 @@
+//! §2 / §7.4 — the keying-paradigm comparison table: identical workload
+//! through FBS and every baseline, with cost counters.
+//!
+//! `cargo run --release -p fbs-bench --bin tab_paradigm_compare [-- <conversations>] [--csv]`
+
+use fbs_bench::paradigms::{compare_paradigms, Workload};
+use fbs_bench::{arg_num, emit};
+use fbs_crypto::dh::DhGroup;
+
+fn main() {
+    let conversations = arg_num().unwrap_or(20);
+    let w = Workload {
+        conversations,
+        datagrams_each: 50,
+        payload: 1024,
+    };
+    println!(
+        "workload: {} conversations x {} datagrams x {} B, Oakley group 1\n",
+        w.conversations, w.datagrams_each, w.payload
+    );
+    let rows: Vec<Vec<String>> = compare_paradigms(&w, &DhGroup::oakley1())
+        .into_iter()
+        .map(|r| {
+            let total = w.conversations * w.datagrams_each;
+            vec![
+                r.scheme,
+                format!("{:.1}", total as f64 / r.secs / 1000.0),
+                r.modexp.to_string(),
+                r.key_derivations.to_string(),
+                r.strong_random.to_string(),
+                r.setup_messages.to_string(),
+                r.hard_state.to_string(),
+                if r.datagram_semantics { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        "keying paradigms (§2, §7.4)",
+        &[
+            "scheme",
+            "kdgram/s",
+            "modexp",
+            "keyderiv",
+            "strongRNG B",
+            "setup msgs",
+            "hard state",
+            "dgram sem",
+        ],
+        &rows,
+    );
+    println!(
+        "\n§7.4's claims, quantified: FBS derives keys per FLOW (vs per\n\
+         datagram for SKIP-style schemes), needs zero setup messages (vs\n\
+         session schemes), and keeps no hard state; the BBS row shows the\n\
+         §2.2 cryptographically-random-key bottleneck."
+    );
+}

@@ -1,0 +1,124 @@
+//! Shared machinery for the flow-characteristics figures (Figs. 9-14).
+
+use fbs_trace::flowsim::{CacheHash, CacheSimConfig};
+use fbs_trace::{
+    generate_campus_trace, generate_www_trace, simulate_cache, simulate_flows, CampusConfig,
+    FlowSimConfig, PacketRecord, WwwConfig,
+};
+
+/// The two §7.3 environments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Environment {
+    /// Workgroup campus LAN (file/compute servers + desktops).
+    Campus,
+    /// Lightly-hit WWW server (~10,000 hits/day).
+    Www,
+}
+
+impl Environment {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Environment::Campus => "campus-lan",
+            Environment::Www => "www-server",
+        }
+    }
+}
+
+/// Generate the standard trace for an environment. `minutes` scales the
+/// capture length (benchmarks use shorter traces than the figures).
+pub fn trace_for(env: Environment, minutes: u64) -> Vec<PacketRecord> {
+    match env {
+        Environment::Campus => generate_campus_trace(&CampusConfig {
+            duration_secs: minutes * 60,
+            ..CampusConfig::default()
+        }),
+        Environment::Www => generate_www_trace(&WwwConfig {
+            duration_secs: minutes * 60,
+            ..WwwConfig::default()
+        }),
+    }
+}
+
+/// Standard flow simulation at the given THRESHOLD.
+pub fn flows_at_threshold(
+    trace: &[PacketRecord],
+    threshold_secs: u64,
+) -> fbs_trace::FlowSimResult {
+    simulate_flows(
+        trace,
+        &FlowSimConfig {
+            threshold_secs,
+            ..FlowSimConfig::default()
+        },
+    )
+}
+
+/// The THRESHOLD values the paper sweeps in Figs. 13-14.
+pub const THRESHOLDS: [u64; 5] = [300, 600, 900, 1200, 1800];
+
+/// Cache-size sweep used for Fig. 11 (total entries, direct-mapped).
+pub const CACHE_SIZES: [usize; 7] = [2, 4, 8, 16, 32, 64, 128];
+
+/// One cache-sweep measurement point.
+pub struct CachePoint {
+    /// Total cache entries.
+    pub slots: usize,
+    /// Overall miss rate.
+    pub miss_rate: f64,
+    /// Miss rate excluding compulsory (cold) misses.
+    pub avoidable_miss_rate: f64,
+    /// Collision-miss share of lookups.
+    pub collision_rate: f64,
+}
+
+/// Sweep cache sizes for one environment/hash/associativity.
+pub fn cache_sweep(
+    trace: &[PacketRecord],
+    hash: CacheHash,
+    assoc: usize,
+) -> Vec<CachePoint> {
+    CACHE_SIZES
+        .iter()
+        .filter(|&&slots| slots % assoc == 0)
+        .map(|&slots| {
+            let s = simulate_cache(
+                trace,
+                &CacheSimConfig {
+                    threshold_secs: 600,
+                    cache_slots: slots,
+                    assoc,
+                    hash,
+                },
+            );
+            let lookups = s.lookups().max(1) as f64;
+            CachePoint {
+                slots,
+                miss_rate: s.miss_rate(),
+                avoidable_miss_rate: (s.capacity_misses + s.collision_misses) as f64 / lookups,
+                collision_rate: s.collision_misses as f64 / lookups,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_environments_generate() {
+        assert!(!trace_for(Environment::Campus, 10).is_empty());
+        assert!(!trace_for(Environment::Www, 30).is_empty());
+    }
+
+    #[test]
+    fn cache_sweep_has_monotone_avoidable_misses() {
+        let trace = trace_for(Environment::Campus, 15);
+        let points = cache_sweep(&trace, CacheHash::Crc32, 1);
+        assert_eq!(points.len(), CACHE_SIZES.len());
+        for w in points.windows(2) {
+            assert!(w[1].avoidable_miss_rate <= w[0].avoidable_miss_rate + 1e-9);
+        }
+    }
+}

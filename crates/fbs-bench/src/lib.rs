@@ -1,0 +1,38 @@
+//! # fbs-bench — experiment library behind the figure binaries
+//!
+//! Each `fig*` binary in `src/bin/` regenerates one figure of the paper's
+//! §7.3 evaluation; the shared measurement logic lives here so binaries
+//! stay thin and the logic is unit-testable. Every function returns plain
+//! data rows; rendering (table or CSV) happens in the binaries.
+//!
+//! The experiment ↔ module map is in `DESIGN.md`; measured-vs-paper
+//! results are recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endpoints;
+pub mod fig08;
+pub mod figs;
+pub mod paradigms;
+
+/// Standard CLI handling shared by the figure binaries: `--csv` selects
+/// CSV output; a leading integer (where meaningful) scales the workload.
+pub fn wants_csv() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// First positional integer argument, if any.
+pub fn arg_num() -> Option<u64> {
+    std::env::args().skip(1).find_map(|a| a.parse().ok())
+}
+
+/// Render rows either as an aligned table or CSV per the `--csv` flag.
+pub fn emit(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if wants_csv() {
+        print!("{}", fbs_trace::stats::render_csv(headers, rows));
+    } else {
+        println!("{title}");
+        println!("{}", fbs_trace::stats::render_table(headers, rows));
+    }
+}

@@ -1,0 +1,275 @@
+//! Toy certificate authority: binds principals to DH public values.
+//!
+//! Two signature schemes are supported:
+//!
+//! * **MAC-based** ([`CertificateAuthority::new`]): a keyed-MD5 tag under
+//!   a CA key shared with verifiers. Cheap and sufficient for simulations
+//!   where the "CA" and all relying parties are within one trust domain.
+//! * **RSA-based** ([`CertificateAuthority::new_rsa`]): real public-key
+//!   signatures — verifiers hold only the CA's public key, which is the
+//!   X.509 model the paper points at (§5.2).
+
+use fbs_core::{FbsError, Principal, Result};
+use fbs_crypto::dh::PublicValue;
+use fbs_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use fbs_crypto::{keyed_digest, mac_eq};
+
+/// A certificate binding `subject` to `public_value` for a validity
+/// interval, authenticated by the issuing CA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// The principal whose public value this certifies.
+    pub subject: Principal,
+    /// The subject's Diffie-Hellman public value.
+    pub public_value: PublicValue,
+    /// Validity start (seconds since the FBS epoch).
+    pub not_before: u64,
+    /// Validity end (seconds since the FBS epoch).
+    pub not_after: u64,
+    /// Issuer name.
+    pub issuer: String,
+    /// Authentication tag or RSA signature over the canonical encoding.
+    pub signature: Vec<u8>,
+}
+
+impl Certificate {
+    /// Canonical byte encoding covered by the signature.
+    fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.subject.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.subject.as_bytes());
+        out.extend_from_slice(&(self.public_value.bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.public_value.bytes);
+        out.extend_from_slice(&self.not_before.to_be_bytes());
+        out.extend_from_slice(&self.not_after.to_be_bytes());
+        out.extend_from_slice(self.issuer.as_bytes());
+        out
+    }
+
+    /// Is the certificate within its validity interval at `now_secs`?
+    pub fn valid_at(&self, now_secs: u64) -> bool {
+        (self.not_before..=self.not_after).contains(&now_secs)
+    }
+}
+
+enum Signer {
+    Mac([u8; 16]),
+    Rsa(Box<RsaPrivateKey>),
+}
+
+/// A certificate authority holding an issuing key.
+pub struct CertificateAuthority {
+    name: String,
+    signer: Signer,
+}
+
+impl CertificateAuthority {
+    /// MAC-signing CA: `secret` is shared with verifiers.
+    pub fn new(name: &str, secret: [u8; 16]) -> Self {
+        CertificateAuthority {
+            name: name.to_string(),
+            signer: Signer::Mac(secret),
+        }
+    }
+
+    /// RSA-signing CA with a `modulus_bits` key generated from `seed`
+    /// (use ≥512 bits outside tests; key generation is deterministic per
+    /// seed so simulations reproduce).
+    pub fn new_rsa(name: &str, modulus_bits: usize, seed: u64) -> Self {
+        CertificateAuthority {
+            name: name.to_string(),
+            signer: Signer::Rsa(Box::new(RsaPrivateKey::generate(modulus_bits, seed))),
+        }
+    }
+
+    /// Issue a certificate for `subject` valid over `[not_before,
+    /// not_after]` seconds since the FBS epoch.
+    pub fn issue(
+        &self,
+        subject: Principal,
+        public_value: PublicValue,
+        not_before: u64,
+        not_after: u64,
+    ) -> Certificate {
+        let mut cert = Certificate {
+            subject,
+            public_value,
+            not_before,
+            not_after,
+            issuer: self.name.clone(),
+            signature: Vec::new(),
+        };
+        cert.signature = match &self.signer {
+            Signer::Mac(secret) => keyed_digest(secret, &[&cert.signed_bytes()]).to_vec(),
+            Signer::Rsa(key) => key.sign(&cert.signed_bytes()),
+        };
+        cert
+    }
+
+    /// A verifier handle for relying parties. For the RSA scheme this
+    /// carries only the PUBLIC key.
+    pub fn verifier(&self) -> CertVerifier {
+        CertVerifier {
+            issuer: self.name.clone(),
+            key: match &self.signer {
+                Signer::Mac(secret) => VerifyKey::Mac(*secret),
+                Signer::Rsa(key) => VerifyKey::Rsa(key.public_key()),
+            },
+        }
+    }
+}
+
+#[derive(Clone)]
+enum VerifyKey {
+    Mac([u8; 16]),
+    Rsa(RsaPublicKey),
+}
+
+/// Verifies certificates issued by one CA. Relying parties hold this and
+/// re-verify each certificate *every time it is used* (§5.3) — cached
+/// certificates need not be stored securely.
+#[derive(Clone)]
+pub struct CertVerifier {
+    issuer: String,
+    key: VerifyKey,
+}
+
+impl CertVerifier {
+    /// Verify issuer, validity interval, and signature.
+    pub fn verify(&self, cert: &Certificate, now_secs: u64) -> Result<()> {
+        if cert.issuer != self.issuer {
+            return Err(FbsError::CertificateInvalid(format!(
+                "unknown issuer {}",
+                cert.issuer
+            )));
+        }
+        if !cert.valid_at(now_secs) {
+            return Err(FbsError::CertificateInvalid(format!(
+                "{} outside validity [{}, {}] at {}",
+                cert.subject, cert.not_before, cert.not_after, now_secs
+            )));
+        }
+        let ok = match &self.key {
+            VerifyKey::Mac(secret) => {
+                let expected = keyed_digest(secret, &[&cert.signed_bytes()]);
+                mac_eq(&expected, &cert.signature)
+            }
+            VerifyKey::Rsa(public) => public.verify(&cert.signed_bytes(), &cert.signature),
+        };
+        if !ok {
+            return Err(FbsError::CertificateInvalid(format!(
+                "bad signature for {}",
+                cert.subject
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_crypto::dh::{DhGroup, PrivateValue};
+
+    fn setup() -> (CertificateAuthority, Certificate) {
+        let ca = CertificateAuthority::new("test-ca", [7u8; 16]);
+        let pv = PrivateValue::from_entropy(DhGroup::test_group(), b"subject-entropy-bytes")
+            .public_value();
+        let cert = ca.issue(Principal::named("alice"), pv, 100, 10_000);
+        (ca, cert)
+    }
+
+    fn setup_rsa() -> (CertificateAuthority, Certificate) {
+        let ca = CertificateAuthority::new_rsa("rsa-ca", 256, 99);
+        let pv = PrivateValue::from_entropy(DhGroup::test_group(), b"subject-entropy-bytes")
+            .public_value();
+        let cert = ca.issue(Principal::named("alice"), pv, 100, 10_000);
+        (ca, cert)
+    }
+
+    #[test]
+    fn valid_certificate_verifies() {
+        let (ca, cert) = setup();
+        assert!(ca.verifier().verify(&cert, 500).is_ok());
+    }
+
+    #[test]
+    fn rsa_certificate_verifies() {
+        let (ca, cert) = setup_rsa();
+        assert!(ca.verifier().verify(&cert, 500).is_ok());
+    }
+
+    #[test]
+    fn expired_certificate_rejected() {
+        let (ca, cert) = setup();
+        assert!(ca.verifier().verify(&cert, 10_001).is_err());
+        assert!(ca.verifier().verify(&cert, 99).is_err());
+        // Boundary values are inclusive.
+        assert!(ca.verifier().verify(&cert, 100).is_ok());
+        assert!(ca.verifier().verify(&cert, 10_000).is_ok());
+    }
+
+    #[test]
+    fn tampered_public_value_rejected() {
+        for (ca, mut cert) in [setup(), setup_rsa()] {
+            cert.public_value.bytes[0] ^= 1;
+            assert!(matches!(
+                ca.verifier().verify(&cert, 500),
+                Err(FbsError::CertificateInvalid(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn tampered_subject_rejected() {
+        for (ca, mut cert) in [setup(), setup_rsa()] {
+            cert.subject = Principal::named("mallory");
+            assert!(ca.verifier().verify(&cert, 500).is_err());
+        }
+    }
+
+    #[test]
+    fn extended_validity_rejected() {
+        // An attacker cannot stretch the validity window.
+        for (ca, mut cert) in [setup(), setup_rsa()] {
+            cert.not_after = u64::MAX;
+            assert!(ca.verifier().verify(&cert, 500).is_err());
+        }
+    }
+
+    #[test]
+    fn wrong_ca_rejected() {
+        let (_, cert) = setup();
+        let other = CertificateAuthority::new("other-ca", [9u8; 16]);
+        assert!(other.verifier().verify(&cert, 500).is_err());
+        // Same name, different secret: forged issuer.
+        let forger = CertificateAuthority::new("test-ca", [9u8; 16]);
+        assert!(forger.verifier().verify(&cert, 500).is_err());
+    }
+
+    #[test]
+    fn rsa_verifier_does_not_enable_forgery() {
+        // The crucial difference from the MAC scheme: possessing the
+        // verifier (public key) does not allow issuing certificates. A
+        // forger with a DIFFERENT RSA key but the same name fails.
+        let (ca, _) = setup_rsa();
+        let forger = CertificateAuthority::new_rsa("rsa-ca", 256, 12345);
+        let pv = PrivateValue::from_entropy(DhGroup::test_group(), b"attacker-value!!")
+            .public_value();
+        let forged = forger.issue(Principal::named("alice"), pv, 0, u64::MAX);
+        assert!(ca.verifier().verify(&forged, 500).is_err());
+    }
+
+    #[test]
+    fn cross_scheme_certificates_rejected() {
+        // A MAC-signed cert shown to an RSA verifier (same issuer name)
+        // and vice versa must fail.
+        let (mac_ca, mac_cert) = setup();
+        let rsa_ca = CertificateAuthority::new_rsa("test-ca", 256, 5);
+        assert!(rsa_ca.verifier().verify(&mac_cert, 500).is_err());
+        let (_, rsa_cert) = setup_rsa();
+        let mac_ca2 = CertificateAuthority::new("rsa-ca", [7u8; 16]);
+        assert!(mac_ca2.verifier().verify(&rsa_cert, 500).is_err());
+        drop(mac_ca);
+    }
+}

@@ -1,0 +1,40 @@
+//! # fbs-cert — certificate substrate for FBS
+//!
+//! The paper assumes "the public values are made available and
+//! authenticated via a distributed certification hierarchy (e.g., X.509
+//! certificates) or a secure DNS service" (§5.2), and describes a
+//! public value cache (PVC) that caches *certificates* rather than bare
+//! values — "because the former need not be secure; a certificate can be
+//! verified each time it is used" (§5.3). PVC misses are served by
+//! insecure fetches over the network ("secure flow bypass", Fig. 5) and
+//! are "extremely expensive", costing at minimum one round trip.
+//!
+//! This crate models exactly that machinery:
+//!
+//! * [`CertificateAuthority`] issues [`Certificate`]s binding a principal
+//!   to its Diffie-Hellman public value with a validity interval;
+//! * [`Directory`] is the networked certificate store (the X.509 directory
+//!   / secure-DNS stand-in) with *simulated fetch latency* accounted per
+//!   request;
+//! * [`Pvc`] is the public value cache: a soft-state certificate cache
+//!   that re-verifies on every use and implements
+//!   [`fbs_core::PublicValueSource`] so it plugs directly into the master
+//!   key daemon. Certificate "pinning" at initialisation is supported
+//!   (§5.3 offers it as the fetch alternative).
+//!
+//! **Substitution note:** the paper's CA would sign with a public-key
+//! algorithm; we authenticate certificates with a keyed-MD5 tag under a
+//! CA key shared with verifiers. This preserves every property the paper
+//! measures or depends on (fetch latency, per-use verification cost,
+//! expiry, tamper-evidence) without modelling a full PKI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authority;
+pub mod directory;
+pub mod pvc;
+
+pub use authority::{CertVerifier, Certificate, CertificateAuthority};
+pub use directory::{Directory, DirectoryStats};
+pub use pvc::{Pvc, PvcStats};

@@ -1,0 +1,476 @@
+//! Soft-state key caches (§5.3, "Key Caching").
+//!
+//! All FBS caches — public value cache (PVC), master key cache (MKC),
+//! transmission flow key cache (TFKC), receive flow key cache (RFKC) — hold
+//! only *soft state*: every entry can be discarded and recomputed, so cache
+//! policy affects performance, never correctness.
+//!
+//! The paper analyses misses with the classic 3C model: **cold** misses
+//! initialise entries, **capacity** misses mean the working set exceeds the
+//! cache, and **collision** misses are artifacts of limited associativity
+//! or a poor index hash. Because the caches must be software with O(1)
+//! access, associativity is kept low and the *hash function* carries the
+//! burden of decorrelating inputs (local addresses, sequential sfls) —
+//! hence CRC-32 (§5.3). This module implements a set-associative cache with
+//! a pluggable index hash, LRU replacement within each set, and optional
+//! 3C miss classification via a shadow fully-associative LRU, which is what
+//! the Fig. 11 experiments sweep.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Which kind of miss occurred, per the 3C model of §5.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissKind {
+    /// First-ever reference to this key: unavoidable.
+    Cold,
+    /// The key was referenced before but would have been evicted even by a
+    /// fully-associative cache of the same total capacity.
+    Capacity,
+    /// The key would have survived in a fully-associative cache: it was
+    /// evicted only because of set conflicts (limited associativity or a
+    /// hash that clusters keys).
+    Collision,
+}
+
+/// Result of a classified lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// The entry was present.
+    Hit,
+    /// The entry was absent, for the stated reason (reason is `Cold` when
+    /// classification is disabled and the key is new, `Capacity` otherwise).
+    Miss(MissKind),
+}
+
+/// Running hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the entry.
+    pub hits: u64,
+    /// Cold (compulsory) misses.
+    pub cold_misses: u64,
+    /// Capacity misses.
+    pub capacity_misses: u64,
+    /// Collision (conflict) misses.
+    pub collision_misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total misses of all kinds.
+    pub fn misses(&self) -> u64 {
+        self.cold_misses + self.capacity_misses + self.collision_misses
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses()
+    }
+
+    /// Miss fraction in `[0, 1]`; 0 when no lookups have happened.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / total as f64
+        }
+    }
+}
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    last_used: u64,
+}
+
+/// Shadow fully-associative LRU used only for 3C classification.
+struct ShadowLru<K> {
+    capacity: usize,
+    /// Most-recent at the back. Linear scan is fine: capacities here are
+    /// the cache sizes under study (tens to a few thousand entries).
+    order: Vec<K>,
+}
+
+impl<K: Eq + Clone> ShadowLru<K> {
+    fn touch(&mut self, key: &K) -> bool {
+        let present = if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+            true
+        } else {
+            false
+        };
+        self.order.push(key.clone());
+        if self.order.len() > self.capacity {
+            self.order.remove(0);
+        }
+        present
+    }
+}
+
+/// A set-associative soft-state cache with pluggable index hash and LRU
+/// replacement.
+///
+/// ```
+/// use fbs_core::SoftCache;
+/// // 8 sets × 2 ways, indexed by CRC-32 (the §5.3 recommendation).
+/// let mut tfkc: SoftCache<u64, &str> =
+///     SoftCache::new(8, 2, |sfl: &u64| fbs_crypto::crc32(&sfl.to_be_bytes()));
+/// tfkc.insert(42, "flow-key-bytes");
+/// assert_eq!(tfkc.get(&42), Some("flow-key-bytes"));
+/// assert_eq!(tfkc.get(&43), None); // miss: recompute and insert
+/// assert_eq!(tfkc.stats().hits, 1);
+/// ```
+pub struct SoftCache<K, V> {
+    sets: Vec<Vec<Slot<K, V>>>,
+    assoc: usize,
+    hash: Box<dyn Fn(&K) -> u32 + Send + Sync>,
+    tick: u64,
+    stats: CacheStats,
+    /// Key history for cold-miss detection + shadow LRU for capacity vs
+    /// collision discrimination. `None` disables classification (all
+    /// non-cold misses count as capacity) and avoids its overhead.
+    classifier: Option<(HashSet<K>, ShadowLru<K>)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
+    /// Create a cache of `num_sets * assoc` total entries. `hash` maps a
+    /// key to a 32-bit value; the set index is `hash(k) % num_sets`
+    /// (exactly the paper's "randomise, then take the modulo" structure).
+    ///
+    /// # Panics
+    /// Panics if `num_sets` or `assoc` is zero.
+    pub fn new(
+        num_sets: usize,
+        assoc: usize,
+        hash: impl Fn(&K) -> u32 + Send + Sync + 'static,
+    ) -> Self {
+        assert!(num_sets > 0 && assoc > 0, "cache dimensions must be nonzero");
+        SoftCache {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            assoc,
+            hash: Box::new(hash),
+            tick: 0,
+            stats: CacheStats::default(),
+            classifier: None,
+        }
+    }
+
+    /// Enable 3C miss classification (used by the Fig. 11 experiments).
+    /// Costs a shadow LRU of the same total capacity.
+    pub fn with_classification(mut self) -> Self {
+        let cap = self.capacity();
+        self.classifier = Some((
+            HashSet::new(),
+            ShadowLru {
+                capacity: cap,
+                order: Vec::with_capacity(cap),
+            },
+        ));
+        self
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_index(&self, key: &K) -> usize {
+        ((self.hash)(key) as usize) % self.sets.len()
+    }
+
+    /// Classify a miss, update classifier state and statistics.
+    fn classify_miss(&mut self, key: &K) -> MissKind {
+        let kind = match &mut self.classifier {
+            None => MissKind::Capacity,
+            Some((seen, shadow)) => {
+                let was_seen = seen.contains(key);
+                // touch() both queries and refreshes the shadow LRU.
+                let in_shadow = shadow.touch(key);
+                seen.insert(key.clone());
+                if !was_seen {
+                    MissKind::Cold
+                } else if in_shadow {
+                    // Would have hit fully-associative ⇒ conflict artifact.
+                    MissKind::Collision
+                } else {
+                    MissKind::Capacity
+                }
+            }
+        };
+        match kind {
+            MissKind::Cold => self.stats.cold_misses += 1,
+            MissKind::Capacity => self.stats.capacity_misses += 1,
+            MissKind::Collision => self.stats.collision_misses += 1,
+        }
+        kind
+    }
+
+    /// Look up `key`, returning a clone of the value on hit. Updates LRU
+    /// recency, statistics, and (when enabled) the 3C classifier.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(key);
+        if let Some(slot) = self.sets[idx].iter_mut().find(|s| &s.key == key) {
+            slot.last_used = tick;
+            self.stats.hits += 1;
+            if let Some((seen, shadow)) = &mut self.classifier {
+                seen.insert(key.clone());
+                shadow.touch(key);
+            }
+            return Some(slot.value.clone());
+        }
+        // Miss path.
+        self.classify_miss(key);
+        None
+    }
+
+    /// Detailed lookup for tests/experiments: like [`get`](Self::get) but
+    /// reports what happened.
+    pub fn probe(&mut self, key: &K) -> (Option<V>, Lookup) {
+        let before = self.stats;
+        let v = self.get(key);
+        let result = if v.is_some() {
+            Lookup::Hit
+        } else if self.stats.cold_misses > before.cold_misses {
+            Lookup::Miss(MissKind::Cold)
+        } else if self.stats.collision_misses > before.collision_misses {
+            Lookup::Miss(MissKind::Collision)
+        } else {
+            Lookup::Miss(MissKind::Capacity)
+        };
+        (v, result)
+    }
+
+    /// Insert (or overwrite) `key → value`, evicting the set's LRU entry if
+    /// the set is full. Returns the evicted entry, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(&key);
+        let set = &mut self.sets[idx];
+        self.stats.insertions += 1;
+        if let Some(slot) = set.iter_mut().find(|s| s.key == key) {
+            slot.value = value;
+            slot.last_used = tick;
+            return None;
+        }
+        if set.len() < self.assoc {
+            set.push(Slot {
+                key,
+                value,
+                last_used: tick,
+            });
+            return None;
+        }
+        // Evict LRU.
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.last_used)
+            .map(|(i, _)| i)
+            .expect("set is full, must have a victim");
+        let old = set.swap_remove(victim);
+        set.push(Slot {
+            key,
+            value,
+            last_used: tick,
+        });
+        self.stats.evictions += 1;
+        Some((old.key, old.value))
+    }
+
+    /// Remove `key` if present, returning its value. (Used for explicit
+    /// invalidation, e.g. on rekey.)
+    pub fn invalidate(&mut self, key: &K) -> Option<V> {
+        let idx = self.set_index(key);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|s| &s.key == key)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Drop every entry (soft state: always safe).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct(n: usize) -> SoftCache<u64, String> {
+        SoftCache::new(n, 1, |k: &u64| fbs_crypto::crc32(&k.to_be_bytes()))
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = direct(8);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one".into());
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn overwrite_same_key_does_not_evict() {
+        let mut c = direct(8);
+        c.insert(1, "a".into());
+        let evicted = c.insert(1, "b".into());
+        assert!(evicted.is_none());
+        assert_eq!(c.get(&1).as_deref(), Some("b"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        // One slot: any two distinct keys conflict.
+        let mut c = direct(1);
+        c.insert(1, "one".into());
+        let evicted = c.insert(2, "two".into());
+        assert_eq!(evicted, Some((1, "one".into())));
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2).as_deref(), Some("two"));
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 1 set, 2-way: touching key 1 makes key 2 the LRU victim.
+        let mut c: SoftCache<u64, u64> = SoftCache::new(1, 2, |_| 0);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.get(&1);
+        let evicted = c.insert(3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = direct(8);
+        c.insert(5, "five".into());
+        assert_eq!(c.invalidate(&5).as_deref(), Some("five"));
+        assert_eq!(c.get(&5), None);
+        assert_eq!(c.invalidate(&5), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = direct(8);
+        c.insert(1, "x".into());
+        c.insert(2, "y".into());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cold_miss_classification() {
+        let mut c = direct(4).with_classification();
+        let (_, l1) = c.probe(&1);
+        assert_eq!(l1, Lookup::Miss(MissKind::Cold));
+        c.insert(1, "x".into());
+        let (_, l2) = c.probe(&1);
+        assert_eq!(l2, Lookup::Hit);
+    }
+
+    #[test]
+    fn collision_vs_capacity_classification() {
+        // 2 slots direct-mapped with a hash that maps everything to set 0:
+        // keys 1 and 2 fight over one set while set 1 stays empty. A
+        // fully-associative cache of capacity 2 would hold both ⇒ the
+        // re-reference of key 1 is a COLLISION miss.
+        let mut c: SoftCache<u64, u64> = SoftCache::new(2, 1, |_| 0).with_classification();
+        c.probe(&1);
+        c.insert(1, 1);
+        c.probe(&2);
+        c.insert(2, 2); // evicts 1 from set 0 (both hash to set 0)
+        let (_, l) = c.probe(&1);
+        assert_eq!(l, Lookup::Miss(MissKind::Collision));
+
+        // Capacity miss: run 3 distinct keys through a capacity-2 cache
+        // with a perfect-spread hash... use 1 set x 2-way so associativity
+        // is full: any miss on a reseen key must be capacity.
+        let mut c2: SoftCache<u64, u64> = SoftCache::new(1, 2, |_| 0).with_classification();
+        for k in [1u64, 2, 3] {
+            c2.probe(&k);
+            c2.insert(k, k);
+        }
+        let (_, l) = c2.probe(&1); // 1 was evicted by 3 even fully-assoc
+        assert_eq!(l, Lookup::Miss(MissKind::Capacity));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = direct(8).with_classification();
+        for k in 0u64..8 {
+            c.get(&k);
+            c.insert(k, format!("{k}"));
+        }
+        for k in 0u64..8 {
+            c.get(&k);
+        }
+        let s = c.stats();
+        assert_eq!(s.cold_misses, 8);
+        assert!(s.hits >= 6, "good hash should mostly hit: {s:?}");
+        assert!(s.miss_rate() < 0.7);
+    }
+
+    #[test]
+    fn miss_rate_zero_when_untouched() {
+        let c = direct(4);
+        assert_eq!(c.stats().miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_sets_panics() {
+        let _ = SoftCache::<u64, u64>::new(0, 1, |_| 0);
+    }
+
+    #[test]
+    fn capacity_reporting() {
+        let c: SoftCache<u64, u64> = SoftCache::new(16, 4, |_| 0);
+        assert_eq!(c.capacity(), 64);
+        assert_eq!(c.num_sets(), 16);
+        assert_eq!(c.assoc(), 4);
+    }
+}

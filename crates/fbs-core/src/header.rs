@@ -1,0 +1,308 @@
+//! The security flow header (paper §5.2, Fig. 2).
+//!
+//! Fields and sizes follow the paper's IP-mapping choices (§7.2):
+//! 64-bit *sfl*, 32-bit confounder, 32-bit minute timestamp, 128-bit MAC
+//! (for MD5). On top of the four core fields, the paper says "for
+//! generality, the security flow header should also include an algorithm
+//! identification field" — we include one (MAC algorithm, encryption
+//! algorithm, MAC length) plus an explicit plaintext length so block-cipher
+//! zero padding can be trimmed without consulting higher layers.
+//!
+//! ```text
+//!  0               8               16              24            31
+//! +---------------------------------------------------------------+
+//! |                security flow label (sfl), 64 bits             |
+//! +---------------------------------------------------------------+
+//! |                     confounder, 32 bits                       |
+//! +---------------------------------------------------------------+
+//! |            timestamp (minutes since FBS epoch), 32 bits       |
+//! +---------------+---------------+---------------+---------------+
+//! |   mac alg id  |   enc alg id  |    mac len    |   reserved    |
+//! +---------------+---------------+---------------+---------------+
+//! |                  plaintext length, 32 bits                    |
+//! +---------------------------------------------------------------+
+//! |                    MAC (mac len bytes)  ...                   |
+//! +---------------------------------------------------------------+
+//! ```
+
+use crate::error::{FbsError, Result};
+use fbs_crypto::{DesMode, MacAlgorithm};
+
+/// Fixed-size prefix length (everything before the variable-length MAC).
+pub const FIXED_PREFIX_LEN: usize = 24;
+
+/// Header length with the paper's MD5 MAC (24 + 16).
+pub const HEADER_LEN_MD5: usize = FIXED_PREFIX_LEN + 16;
+
+/// Encryption algorithm selector for the algorithm-ID field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum EncAlgorithm {
+    /// No confidentiality: body travels in the clear, MAC only.
+    #[default]
+    None,
+    /// DES in CBC mode — the paper's implementation choice (§7.2).
+    DesCbc,
+    /// DES in ECB mode with confounder whitening (§5.2).
+    DesEcb,
+    /// DES in 64-bit CFB mode.
+    DesCfb,
+    /// DES in 64-bit OFB mode.
+    DesOfb,
+    /// Triple DES (EDE2) in CBC mode — the stronger-cipher option the
+    /// algorithm-ID field exists to enable (CryptoLib shipped 3DES too).
+    TdeaCbc,
+}
+
+impl EncAlgorithm {
+    /// Wire identifier.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            EncAlgorithm::None => 0,
+            EncAlgorithm::DesCbc => 1,
+            EncAlgorithm::DesEcb => 2,
+            EncAlgorithm::DesCfb => 3,
+            EncAlgorithm::DesOfb => 4,
+            EncAlgorithm::TdeaCbc => 5,
+        }
+    }
+
+    /// Inverse of [`wire_id`](Self::wire_id).
+    pub fn from_wire_id(id: u8) -> Option<Self> {
+        Some(match id {
+            0 => EncAlgorithm::None,
+            1 => EncAlgorithm::DesCbc,
+            2 => EncAlgorithm::DesEcb,
+            3 => EncAlgorithm::DesCfb,
+            4 => EncAlgorithm::DesOfb,
+            5 => EncAlgorithm::TdeaCbc,
+            _ => return None,
+        })
+    }
+
+    /// The FIPS 81 mode, if this algorithm encrypts.
+    pub fn des_mode(self) -> Option<DesMode> {
+        match self {
+            EncAlgorithm::None => None,
+            EncAlgorithm::DesCbc | EncAlgorithm::TdeaCbc => Some(DesMode::Cbc),
+            EncAlgorithm::DesEcb => Some(DesMode::Ecb),
+            EncAlgorithm::DesCfb => Some(DesMode::Cfb),
+            EncAlgorithm::DesOfb => Some(DesMode::Ofb),
+        }
+    }
+
+    /// True when the cipher is Triple DES rather than single DES.
+    pub fn is_triple(self) -> bool {
+        self == EncAlgorithm::TdeaCbc
+    }
+
+    /// True when the body is encrypted (the `secret` flag of Fig. 4, read
+    /// back from the header on the receive side).
+    pub fn is_secret(self) -> bool {
+        self != EncAlgorithm::None
+    }
+}
+
+/// The FBS security flow header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecurityFlowHeader {
+    /// Security flow label: the opaque per-flow identifier produced by the
+    /// flow association mechanism.
+    pub sfl: u64,
+    /// Per-datagram statistically-random confounder; duplicated to 64 bits
+    /// to form the DES IV (§7.2).
+    pub confounder: u32,
+    /// Minutes since the FBS epoch; replay freshness check input.
+    pub timestamp: u32,
+    /// MAC algorithm (algorithm-ID field).
+    pub mac_alg: MacAlgorithm,
+    /// Encryption algorithm (algorithm-ID field); `None` ⇒ MAC-only.
+    pub enc_alg: EncAlgorithm,
+    /// Plaintext body length before padding (equal to body length when
+    /// `enc_alg` is `None`).
+    pub plaintext_len: u32,
+    /// The keyed MAC over confounder | timestamp | payload (§5.2). Possibly
+    /// truncated (§5.3 allows truncation to save header bytes).
+    pub mac: Vec<u8>,
+}
+
+impl SecurityFlowHeader {
+    /// Total encoded length of this header.
+    pub fn encoded_len(&self) -> usize {
+        FIXED_PREFIX_LEN + self.mac.len()
+    }
+
+    /// The 64-bit DES IV: the 32-bit confounder duplicated (§7.2).
+    pub fn iv64(&self) -> u64 {
+        ((self.confounder as u64) << 32) | self.confounder as u64
+    }
+
+    /// Serialise to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.sfl.to_be_bytes());
+        out.extend_from_slice(&self.confounder.to_be_bytes());
+        out.extend_from_slice(&self.timestamp.to_be_bytes());
+        out.push(self.mac_alg.wire_id());
+        out.push(self.enc_alg.wire_id());
+        out.push(self.mac.len() as u8);
+        out.push(0); // reserved
+        out.extend_from_slice(&self.plaintext_len.to_be_bytes());
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parse a header from the front of `buf`, returning the header and the
+    /// number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize)> {
+        if buf.len() < FIXED_PREFIX_LEN {
+            return Err(FbsError::MalformedHeader("shorter than fixed prefix"));
+        }
+        let sfl = u64::from_be_bytes(buf[0..8].try_into().unwrap());
+        let confounder = u32::from_be_bytes(buf[8..12].try_into().unwrap());
+        let timestamp = u32::from_be_bytes(buf[12..16].try_into().unwrap());
+        let mac_alg = MacAlgorithm::from_wire_id(buf[16])
+            .ok_or(FbsError::UnknownAlgorithm(buf[16]))?;
+        let enc_alg = EncAlgorithm::from_wire_id(buf[17])
+            .ok_or(FbsError::UnknownAlgorithm(buf[17]))?;
+        let mac_len = buf[18] as usize;
+        if mac_len == 0 || mac_len > mac_alg.output_len() {
+            return Err(FbsError::MalformedHeader("bad MAC length"));
+        }
+        let plaintext_len = u32::from_be_bytes(buf[20..24].try_into().unwrap());
+        if buf.len() < FIXED_PREFIX_LEN + mac_len {
+            return Err(FbsError::MalformedHeader("truncated MAC"));
+        }
+        let mac = buf[FIXED_PREFIX_LEN..FIXED_PREFIX_LEN + mac_len].to_vec();
+        Ok((
+            SecurityFlowHeader {
+                sfl,
+                confounder,
+                timestamp,
+                mac_alg,
+                enc_alg,
+                plaintext_len,
+                mac,
+            },
+            FIXED_PREFIX_LEN + mac_len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SecurityFlowHeader {
+        SecurityFlowHeader {
+            sfl: 0x0102030405060708,
+            confounder: 0xDEADBEEF,
+            timestamp: 123_456,
+            mac_alg: MacAlgorithm::KeyedMd5,
+            enc_alg: EncAlgorithm::DesCbc,
+            plaintext_len: 1000,
+            mac: vec![0xAB; 16],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), HEADER_LEN_MD5);
+        let (parsed, used) = SecurityFlowHeader::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn decode_with_trailing_payload() {
+        let mut bytes = sample().encode();
+        bytes.extend_from_slice(b"payload follows");
+        let (parsed, used) = SecurityFlowHeader::decode(&bytes).unwrap();
+        assert_eq!(used, HEADER_LEN_MD5);
+        assert_eq!(parsed.sfl, 0x0102030405060708);
+    }
+
+    #[test]
+    fn truncated_mac_detected() {
+        let bytes = sample().encode();
+        assert!(matches!(
+            SecurityFlowHeader::decode(&bytes[..30]),
+            Err(FbsError::MalformedHeader("truncated MAC"))
+        ));
+    }
+
+    #[test]
+    fn too_short_prefix_detected() {
+        assert!(SecurityFlowHeader::decode(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn unknown_algorithms_detected() {
+        let mut bytes = sample().encode();
+        bytes[16] = 250;
+        assert!(matches!(
+            SecurityFlowHeader::decode(&bytes),
+            Err(FbsError::UnknownAlgorithm(250))
+        ));
+        let mut bytes = sample().encode();
+        bytes[17] = 99;
+        assert!(matches!(
+            SecurityFlowHeader::decode(&bytes),
+            Err(FbsError::UnknownAlgorithm(99))
+        ));
+    }
+
+    #[test]
+    fn zero_or_oversize_mac_len_rejected() {
+        let mut bytes = sample().encode();
+        bytes[18] = 0;
+        assert!(SecurityFlowHeader::decode(&bytes).is_err());
+        let mut bytes = sample().encode();
+        bytes[18] = 17; // > MD5 output
+        assert!(SecurityFlowHeader::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_mac_supported() {
+        // §5.3: "it is possible though, with reduced security, to use only
+        // part of these hashes as the MAC".
+        let mut h = sample();
+        h.mac = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), FIXED_PREFIX_LEN + 8);
+        let (parsed, _) = SecurityFlowHeader::decode(&bytes).unwrap();
+        assert_eq!(parsed.mac.len(), 8);
+    }
+
+    #[test]
+    fn iv_duplicates_confounder() {
+        assert_eq!(sample().iv64(), 0xDEADBEEF_DEADBEEF);
+    }
+
+    #[test]
+    fn enc_alg_wire_roundtrip() {
+        for alg in [
+            EncAlgorithm::None,
+            EncAlgorithm::DesCbc,
+            EncAlgorithm::DesEcb,
+            EncAlgorithm::DesCfb,
+            EncAlgorithm::DesOfb,
+            EncAlgorithm::TdeaCbc,
+        ] {
+            assert_eq!(EncAlgorithm::from_wire_id(alg.wire_id()), Some(alg));
+        }
+        assert!(EncAlgorithm::TdeaCbc.is_triple());
+        assert!(!EncAlgorithm::DesCbc.is_triple());
+        assert_eq!(EncAlgorithm::from_wire_id(42), None);
+        assert!(!EncAlgorithm::None.is_secret());
+        assert!(EncAlgorithm::DesCbc.is_secret());
+    }
+
+    #[test]
+    fn paper_core_fields_are_32_bytes() {
+        // The paper's core header (sfl 8 + confounder 4 + ts 4 + MD5 MAC 16)
+        // is 32 bytes; our algorithm-ID extension adds 8.
+        assert_eq!(HEADER_LEN_MD5, 32 + 8);
+    }
+}

@@ -1,0 +1,159 @@
+//! Zero-message keying: flow key derivation (§5.1-5.2).
+//!
+//! `K_f = H(sfl | K_{S,D} | S | D)` where `H` is a one-way cryptographic
+//! hash. Knowing `K_{S,D}` and the *sfl* makes derivation cheap; knowing a
+//! flow key reveals neither the master key nor any sibling flow key (the
+//! §6.1 containment property). `S` and `D` are included to explicitly tie
+//! the flow key to the principal pair, which also serves multi-homed
+//! principals.
+
+use crate::principal::Principal;
+use fbs_crypto::{md5::Md5, sha1::Sha1};
+
+/// Hash used for flow-key derivation (the paper names MD5, SHS, even DES as
+/// candidates for `H`; we provide the two real hashes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum KeyDerivation {
+    /// MD5: 16-byte flow keys (the implementation's choice).
+    #[default]
+    Md5,
+    /// SHA-1: 20-byte flow keys.
+    Sha1,
+}
+
+/// A derived per-flow key. Soft state: safe to discard and recompute.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct FlowKey(pub Vec<u8>);
+
+impl FlowKey {
+    /// Key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// First 8 bytes as a DES key (DES uses 56 effective bits of an 8-byte
+    /// key; the flow key is long enough for either hash choice).
+    pub fn des_key(&self) -> [u8; 8] {
+        let mut k = [0u8; 8];
+        k.copy_from_slice(&self.0[..8]);
+        k
+    }
+
+    /// First 16 bytes as a two-key Triple-DES (EDE2) key.
+    pub fn tdea_key(&self) -> [u8; 16] {
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&self.0[..16]);
+        k
+    }
+}
+
+impl std::fmt::Debug for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material in logs.
+        write!(f, "FlowKey(<{} bytes>)", self.0.len())
+    }
+}
+
+/// Derive `K_f = H(sfl | K_{S,D} | S | D)`.
+///
+/// Principal encodings are length-prefixed inside the hash input so that
+/// distinct `(S, D)` pairs can never collide by boundary-shifting (e.g.
+/// S="ab", D="c" vs S="a", D="bc").
+pub fn derive_flow_key(
+    derivation: KeyDerivation,
+    sfl: u64,
+    master_key: &[u8],
+    source: &Principal,
+    destination: &Principal,
+) -> FlowKey {
+    let s_len = (source.len() as u32).to_be_bytes();
+    let d_len = (destination.len() as u32).to_be_bytes();
+    match derivation {
+        KeyDerivation::Md5 => {
+            let mut h = Md5::new();
+            h.update(&sfl.to_be_bytes());
+            h.update(master_key);
+            h.update(&s_len);
+            h.update(source.as_bytes());
+            h.update(&d_len);
+            h.update(destination.as_bytes());
+            FlowKey(h.finalize().to_vec())
+        }
+        KeyDerivation::Sha1 => {
+            let mut h = Sha1::new();
+            h.update(&sfl.to_be_bytes());
+            h.update(master_key);
+            h.update(&s_len);
+            h.update(source.as_bytes());
+            h.update(&d_len);
+            h.update(destination.as_bytes());
+            FlowKey(h.finalize().to_vec())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> Principal {
+        Principal::named(name)
+    }
+
+    #[test]
+    fn deterministic() {
+        let k1 = derive_flow_key(KeyDerivation::Md5, 7, b"master", &p("S"), &p("D"));
+        let k2 = derive_flow_key(KeyDerivation::Md5, 7, b"master", &p("S"), &p("D"));
+        assert_eq!(k1, k2);
+        assert_eq!(k1.as_bytes().len(), 16);
+    }
+
+    #[test]
+    fn sha1_variant_is_20_bytes() {
+        let k = derive_flow_key(KeyDerivation::Sha1, 7, b"master", &p("S"), &p("D"));
+        assert_eq!(k.as_bytes().len(), 20);
+    }
+
+    #[test]
+    fn sfl_separates_flows() {
+        // Breaking one flow key must not compromise sibling flows (§6.1).
+        let k1 = derive_flow_key(KeyDerivation::Md5, 1, b"master", &p("S"), &p("D"));
+        let k2 = derive_flow_key(KeyDerivation::Md5, 2, b"master", &p("S"), &p("D"));
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn direction_matters() {
+        // Flows are unidirectional (§5.2 observations): S→D and D→S with the
+        // same sfl yield different keys.
+        let k_sd = derive_flow_key(KeyDerivation::Md5, 9, b"master", &p("S"), &p("D"));
+        let k_ds = derive_flow_key(KeyDerivation::Md5, 9, b"master", &p("D"), &p("S"));
+        assert_ne!(k_sd, k_ds);
+    }
+
+    #[test]
+    fn master_key_matters() {
+        let k1 = derive_flow_key(KeyDerivation::Md5, 9, b"master-1", &p("S"), &p("D"));
+        let k2 = derive_flow_key(KeyDerivation::Md5, 9, b"master-2", &p("S"), &p("D"));
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn principal_boundary_shifting_cannot_collide() {
+        let k1 = derive_flow_key(KeyDerivation::Md5, 9, b"m", &p("ab"), &p("c"));
+        let k2 = derive_flow_key(KeyDerivation::Md5, 9, b"m", &p("a"), &p("bc"));
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let k = derive_flow_key(KeyDerivation::Md5, 9, b"m", &p("S"), &p("D"));
+        assert_eq!(format!("{k:?}"), "FlowKey(<16 bytes>)");
+    }
+
+    #[test]
+    fn des_key_is_prefix() {
+        let k = derive_flow_key(KeyDerivation::Md5, 9, b"m", &p("S"), &p("D"));
+        assert_eq!(&k.des_key()[..], &k.as_bytes()[..8]);
+    }
+}

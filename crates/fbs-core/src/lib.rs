@@ -1,0 +1,48 @@
+//! # fbs-core — the Flow-Based Security (FBS) protocol
+//!
+//! Layer-independent implementation of the FBS datagram security protocol
+//! from Mittra & Woo, *A Flow-Based Approach to Datagram Security*, SIGCOMM
+//! 1997. The protocol's two core mechanisms (§5.1):
+//!
+//! * the **flow association mechanism** ([`fam`]) separates outgoing
+//!   datagrams into flows under pluggable policy modules, emitting an
+//!   opaque *security flow label* (sfl) per flow;
+//! * **zero-message keying** ([`keying`], [`mkd`]) derives the per-flow key
+//!   `K_f = H(sfl | K_{S,D} | S | D)` from the Diffie-Hellman pair-based
+//!   master key, so the correct destination can compute the flow key from
+//!   the datagram alone — no end-to-end exchange, no hard state.
+//!
+//! Everything cached (master keys, flow keys, public values) is *soft
+//! state* ([`cache`]): discardable and recomputable, preserving datagram
+//! semantics while amortising crypto cost over a flow's datagrams.
+//!
+//! The crate is deliberately unaware of any concrete protocol layer; the
+//! mapping to an IP-like stack lives in `fbs-ip`, per the paper's §7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod clock;
+pub mod error;
+pub mod fam;
+pub mod header;
+pub mod keying;
+pub mod mkd;
+pub mod policy;
+pub mod principal;
+pub mod protocol;
+pub mod replay;
+pub mod sfl;
+
+pub use cache::{CacheStats, MissKind, SoftCache};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use error::{FbsError, Result};
+pub use fam::{Classification, Fam, FlowPolicy, FlowRecord, FstEntry};
+pub use header::{EncAlgorithm, SecurityFlowHeader};
+pub use keying::{derive_flow_key, FlowKey, KeyDerivation};
+pub use mkd::{MasterKeyDaemon, PinnedDirectory, PublicValueSource};
+pub use principal::Principal;
+pub use protocol::{Datagram, FbsConfig, FbsEndpoint, ProtectedDatagram};
+pub use replay::FreshnessWindow;
+pub use sfl::SflAllocator;

@@ -1,0 +1,156 @@
+//! The master key daemon (MKD) — paper §5.3, Fig. 5.
+//!
+//! MKC misses are served by an "upcall" to the MKD, which obtains the
+//! peer's public value (through the PVC / certificate machinery behind the
+//! [`PublicValueSource`] trait) and computes the pair-based master key via
+//! modular exponentiation — the expensive operation FBS amortises across
+//! all of a principal pair's flows.
+//!
+//! In the paper the MKD is a user-space daemon reached from the kernel via
+//! an OS upcall primitive; here the upcall is a method call, and the
+//! user/kernel boundary survives as the trait boundary: everything behind
+//! `PublicValueSource` is "user space" (certificate caches, directory
+//! fetches with simulated RTT, verification), while the MKD's caller (the
+//! protocol endpoint with its MKC) is "kernel".
+
+use crate::error::Result;
+use crate::principal::Principal;
+use fbs_crypto::dh::{PrivateValue, PublicValue};
+
+/// Supplies verified public values for principals.
+///
+/// Implementations encapsulate the PVC (public value cache), fetches to a
+/// certificate authority or secure directory, and per-use certificate
+/// verification (§5.3: certificates rather than bare values are cached so
+/// the cache itself need not be secure). Fetch requests must bypass FBS
+/// (the "secure flow bypass" of Fig. 5) to avoid the circularity of
+/// securing the fetch that enables security.
+pub trait PublicValueSource: Send + Sync {
+    /// Fetch the verified public value for `principal`.
+    fn fetch(&self, principal: &Principal) -> Result<PublicValue>;
+}
+
+/// A trivial in-memory source for tests and self-contained examples: all
+/// public values are "pinned" at initialisation (§5.3 mentions pinning as
+/// the alternative to directory fetches).
+#[derive(Default)]
+pub struct PinnedDirectory {
+    entries: std::collections::HashMap<Principal, PublicValue>,
+}
+
+impl PinnedDirectory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin `principal`'s public value.
+    pub fn pin(&mut self, principal: Principal, value: PublicValue) {
+        self.entries.insert(principal, value);
+    }
+}
+
+impl PublicValueSource for PinnedDirectory {
+    fn fetch(&self, principal: &Principal) -> Result<PublicValue> {
+        self.entries
+            .get(principal)
+            .cloned()
+            .ok_or_else(|| crate::error::FbsError::PrincipalUnknown(principal.to_string()))
+    }
+}
+
+/// MKD statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MkdStats {
+    /// Upcalls received (one per MKC miss).
+    pub upcalls: u64,
+    /// Upcalls that failed (unknown principal, bad certificate, ...).
+    pub failures: u64,
+}
+
+/// The master key daemon.
+pub struct MasterKeyDaemon {
+    private: PrivateValue,
+    source: Box<dyn PublicValueSource>,
+    stats: MkdStats,
+}
+
+impl MasterKeyDaemon {
+    /// Create an MKD for a principal holding `private`, resolving peers
+    /// through `source`.
+    pub fn new(private: PrivateValue, source: Box<dyn PublicValueSource>) -> Self {
+        MasterKeyDaemon {
+            private,
+            source,
+            stats: MkdStats::default(),
+        }
+    }
+
+    /// The `Upcall(MKDaemon, D)` of Fig. 6: produce the pair-based master
+    /// key `K_{S,D}` for the local principal and `peer`.
+    pub fn master_key(&mut self, peer: &Principal) -> Result<Vec<u8>> {
+        self.stats.upcalls += 1;
+        let public = self.source.fetch(peer).inspect_err(|_| {
+            self.stats.failures += 1;
+        })?;
+        Ok(self.private.master_key(&public))
+    }
+
+    /// This principal's own public value (for publishing/certification).
+    pub fn public_value(&self) -> PublicValue {
+        self.private.public_value()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MkdStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_crypto::dh::DhGroup;
+
+    fn daemon_pair() -> (MasterKeyDaemon, MasterKeyDaemon, Principal, Principal) {
+        let group = DhGroup::test_group();
+        let s_priv = PrivateValue::from_entropy(group.clone(), b"source-entropy-bytes");
+        let d_priv = PrivateValue::from_entropy(group, b"dest-entropy-bytes!!");
+        let s = Principal::named("S");
+        let d = Principal::named("D");
+        let mut dir_s = PinnedDirectory::new();
+        dir_s.pin(d.clone(), d_priv.public_value());
+        let mut dir_d = PinnedDirectory::new();
+        dir_d.pin(s.clone(), s_priv.public_value());
+        (
+            MasterKeyDaemon::new(s_priv, Box::new(dir_s)),
+            MasterKeyDaemon::new(d_priv, Box::new(dir_d)),
+            s,
+            d,
+        )
+    }
+
+    #[test]
+    fn both_ends_compute_same_master_key() {
+        let (mut mkd_s, mut mkd_d, s, d) = daemon_pair();
+        let k_sd = mkd_s.master_key(&d).unwrap();
+        let k_ds = mkd_d.master_key(&s).unwrap();
+        assert_eq!(k_sd, k_ds);
+        assert_eq!(mkd_s.stats().upcalls, 1);
+        assert_eq!(mkd_s.stats().failures, 0);
+    }
+
+    #[test]
+    fn unknown_principal_fails() {
+        let (mut mkd_s, _, _, _) = daemon_pair();
+        let err = mkd_s.master_key(&Principal::named("stranger")).unwrap_err();
+        assert!(matches!(err, crate::error::FbsError::PrincipalUnknown(_)));
+        assert_eq!(mkd_s.stats().failures, 1);
+    }
+
+    #[test]
+    fn public_value_is_stable() {
+        let (mkd_s, _, _, _) = daemon_pair();
+        assert_eq!(mkd_s.public_value(), mkd_s.public_value());
+    }
+}

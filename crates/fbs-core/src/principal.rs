@@ -1,0 +1,110 @@
+//! Principals: the uniquely-addressable endpoints of a datagram service.
+//!
+//! The paper deliberately leaves principals abstract — "the principals could
+//! be network interfaces on hosts, the hosts themselves, network protocol
+//! layers, applications, or end users" (§5.2). The only requirement is
+//! unique addressability, so a principal here is an opaque byte string.
+//! Mappings (e.g. the IP mapping in `fbs-ip`) choose the encoding.
+
+use std::fmt;
+
+/// An opaque, uniquely-addressable principal identity.
+///
+/// The bytes participate directly in flow-key derivation
+/// (`K_f = H(sfl | K_{S,D} | S | D)`), so two principals are "the same"
+/// exactly when their byte encodings are equal.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Principal(Vec<u8>);
+
+impl Principal {
+    /// Construct from raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Principal(bytes.into())
+    }
+
+    /// Construct from a human-readable name (UTF-8 bytes).
+    pub fn named(name: &str) -> Self {
+        Principal(name.as_bytes().to_vec())
+    }
+
+    /// Construct from an IPv4 address (network byte order), the encoding
+    /// used by the IP mapping for host-level principals.
+    pub fn from_ipv4(addr: [u8; 4]) -> Self {
+        Principal(addr.to_vec())
+    }
+
+    /// The raw identity bytes, as fed to the flow-key hash.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the identity encoding.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the identity encoding is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Principal(")?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // IPv4-sized identities render as dotted quads, printable UTF-8
+        // renders as text, anything else as hex.
+        if self.0.len() == 4 {
+            return write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3]);
+        }
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| c.is_ascii_graphic() || c == ' ') && !s.is_empty() => {
+                write!(f, "{s}")
+            }
+            _ => {
+                for b in &self.0 {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_roundtrip() {
+        let p = Principal::named("hostA");
+        assert_eq!(p.as_bytes(), b"hostA");
+        assert_eq!(p.to_string(), "hostA");
+    }
+
+    #[test]
+    fn ipv4_display() {
+        let p = Principal::from_ipv4([192, 168, 69, 1]);
+        assert_eq!(p.to_string(), "192.168.69.1");
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn binary_renders_hex() {
+        let p = Principal::from_bytes(vec![0x00, 0x01, 0xff]);
+        assert_eq!(p.to_string(), "0001ff");
+    }
+
+    #[test]
+    fn equality_is_byte_equality() {
+        assert_eq!(Principal::named("x"), Principal::from_bytes(b"x".to_vec()));
+        assert_ne!(Principal::named("x"), Principal::named("y"));
+    }
+}

@@ -1,0 +1,942 @@
+//! FBS protocol processing: `FBSSend` / `FBSReceive` (paper §5.2, Fig. 4)
+//! with the cached fast path of Fig. 6.
+//!
+//! An [`FbsEndpoint`] owns one principal's soft state: the master key cache
+//! (MKC), transmission and receive flow key caches (TFKC/RFKC), the LCG
+//! confounder source, and the upcall path to the master key daemon. Send
+//! and receive follow the paper's pseudo-code line by line; the one
+//! deliberate adjustment is on the receive side, where the body is
+//! decrypted *before* MAC verification because the MAC is computed over the
+//! plaintext on the send side (Fig. 4 line S6 runs before S8-9; the paper's
+//! R7 as literally written would MAC the ciphertext, which could never
+//! match — an acknowledged pseudo-code shorthand).
+//!
+//! Data-touching operations are combined per §5.3: with
+//! [`FbsConfig::single_pass`] the MAC absorption and block encryption
+//! proceed block-by-block in one loop over the payload.
+
+use crate::cache::{CacheStats, SoftCache};
+use crate::clock::Clock;
+use crate::error::{FbsError, Result};
+use crate::fam::{Fam, FlowPolicy};
+use crate::header::{EncAlgorithm, SecurityFlowHeader};
+use crate::keying::{derive_flow_key, FlowKey, KeyDerivation};
+use crate::mkd::{MasterKeyDaemon, MkdStats};
+use crate::principal::Principal;
+use crate::replay::FreshnessWindow;
+use fbs_crypto::des::{zero_pad, BlockCipher, BlockEncryptor, Des, TripleDes, BLOCK_SIZE};
+use fbs_crypto::rng::Lcg64;
+use fbs_crypto::{crc32, mac_eq, MacAlgorithm};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// An unprotected datagram as handed to FBS by the upper layer: header
+/// fields relevant to FBS (source/destination principals) plus the body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    /// Source principal `S`.
+    pub source: Principal,
+    /// Destination principal `D`.
+    pub destination: Principal,
+    /// Higher-layer payload.
+    pub body: Vec<u8>,
+}
+
+impl Datagram {
+    /// Convenience constructor.
+    pub fn new(source: Principal, destination: Principal, body: impl Into<Vec<u8>>) -> Self {
+        Datagram {
+            source,
+            destination,
+            body: body.into(),
+        }
+    }
+}
+
+/// A datagram carrying a security flow header; what travels on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtectedDatagram {
+    /// Source principal (from the underlying transport's header).
+    pub source: Principal,
+    /// Destination principal.
+    pub destination: Principal,
+    /// The FBS security flow header.
+    pub header: SecurityFlowHeader,
+    /// Body — encrypted when `header.enc_alg.is_secret()`.
+    pub body: Vec<u8>,
+}
+
+impl ProtectedDatagram {
+    /// Serialise header + body as the byte payload handed to the underlying
+    /// datagram transport (`Send()` of Fig. 4).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = self.header.encode();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a wire payload back into a protected datagram; source and
+    /// destination come from the underlying transport.
+    pub fn decode_payload(
+        source: Principal,
+        destination: Principal,
+        payload: &[u8],
+    ) -> Result<Self> {
+        let (header, used) = SecurityFlowHeader::decode(payload)?;
+        Ok(ProtectedDatagram {
+            source,
+            destination,
+            header,
+            body: payload[used..].to_vec(),
+        })
+    }
+
+    /// Total wire overhead added by FBS for this datagram.
+    pub fn overhead(&self) -> usize {
+        self.header.encoded_len() + self.body.len() - self.header.plaintext_len as usize
+    }
+}
+
+/// Endpoint configuration.
+#[derive(Clone, Debug)]
+pub struct FbsConfig {
+    /// Hash for flow-key derivation (`H` in §5.2).
+    pub key_derivation: KeyDerivation,
+    /// MAC algorithm (`HMAC` in §5.2 — the paper's keyed MD5 by default).
+    pub mac_alg: MacAlgorithm,
+    /// Optional MAC truncation (§5.3 allows shipping a prefix).
+    pub mac_truncate: Option<usize>,
+    /// Encryption algorithm used when the `secret` flag is set.
+    pub enc_alg: EncAlgorithm,
+    /// Replay freshness window.
+    pub freshness: FreshnessWindow,
+    /// TFKC geometry: sets × associativity.
+    pub tfkc_sets: usize,
+    /// TFKC associativity.
+    pub tfkc_assoc: usize,
+    /// RFKC geometry: sets × associativity.
+    pub rfkc_sets: usize,
+    /// RFKC associativity.
+    pub rfkc_assoc: usize,
+    /// MKC slots (direct-mapped).
+    pub mkc_slots: usize,
+    /// Combine MAC + encryption into a single data-touching pass (§5.3).
+    pub single_pass: bool,
+    /// "FBS NOP" instrumentation mode (§7.3, Fig. 8): the full protocol
+    /// path runs — FAM, caches, header insertion, parsing — but MAC
+    /// computation and encryption "return immediately" (zero MAC, identity
+    /// cipher) so the non-cryptographic overhead can be measured. NEVER
+    /// enable outside measurements.
+    pub nop_crypto: bool,
+}
+
+impl Default for FbsConfig {
+    fn default() -> Self {
+        FbsConfig {
+            key_derivation: KeyDerivation::Md5,
+            mac_alg: MacAlgorithm::KeyedMd5,
+            mac_truncate: None,
+            enc_alg: EncAlgorithm::DesCbc,
+            freshness: FreshnessWindow::default(),
+            // §5.3: TFKC should cover the average number of active flows;
+            // 64 direct-mapped slots matches the implementation's combined
+            // FST/TFKC sizing ("e.g., 32 or above", footnote 11).
+            tfkc_sets: 64,
+            tfkc_assoc: 1,
+            rfkc_sets: 64,
+            rfkc_assoc: 1,
+            // MKC covers concurrent correspondent principals.
+            mkc_slots: 32,
+            single_pass: true,
+            nop_crypto: false,
+        }
+    }
+}
+
+/// Endpoint-level counters (cache hit rates live in the cache stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Datagrams sent.
+    pub sends: u64,
+    /// Datagrams received and accepted.
+    pub receives: u64,
+    /// Datagrams rejected for staleness (R3-4).
+    pub replay_drops: u64,
+    /// Datagrams rejected for MAC mismatch (R7-9).
+    pub mac_drops: u64,
+    /// Datagrams rejected for malformed ciphertext/framing.
+    pub malformed_drops: u64,
+    /// Bodies encrypted.
+    pub encryptions: u64,
+    /// Bodies decrypted.
+    pub decryptions: u64,
+}
+
+/// Cache key for flow keys: (sfl, remote principal, local principal). The
+/// local principal is included for multi-homed principals (§5.3 fn. 7).
+type FlowKeyId = (u64, Principal, Principal);
+
+fn flow_key_hash(id: &FlowKeyId) -> u32 {
+    // The §5.3-recommended randomising hash over the concatenated id.
+    let mut bytes = Vec::with_capacity(8 + id.1.len() + id.2.len());
+    bytes.extend_from_slice(&id.0.to_be_bytes());
+    bytes.extend_from_slice(id.1.as_bytes());
+    bytes.extend_from_slice(id.2.as_bytes());
+    crc32(&bytes)
+}
+
+/// One principal's FBS protocol state.
+pub struct FbsEndpoint {
+    local: Principal,
+    cfg: FbsConfig,
+    clock: Arc<dyn Clock>,
+    confounder: Lcg64,
+    mkd: MasterKeyDaemon,
+    mkc: SoftCache<Principal, Vec<u8>>,
+    tfkc: SoftCache<FlowKeyId, FlowKey>,
+    rfkc: SoftCache<FlowKeyId, FlowKey>,
+    stats: EndpointStats,
+}
+
+impl FbsEndpoint {
+    /// Create an endpoint for `local`. `seed` randomises the confounder
+    /// generator (must differ across initialisations, §5.3); `mkd` carries
+    /// the principal's private value and certificate access.
+    pub fn new(
+        local: Principal,
+        cfg: FbsConfig,
+        clock: Arc<dyn Clock>,
+        seed: u64,
+        mkd: MasterKeyDaemon,
+    ) -> Self {
+        let mkc = SoftCache::new(cfg.mkc_slots, 1, |p: &Principal| crc32(p.as_bytes()));
+        let tfkc = SoftCache::new(cfg.tfkc_sets, cfg.tfkc_assoc, flow_key_hash);
+        let rfkc = SoftCache::new(cfg.rfkc_sets, cfg.rfkc_assoc, flow_key_hash);
+        FbsEndpoint {
+            local,
+            cfg,
+            clock,
+            confounder: Lcg64::new(seed),
+            mkd,
+            mkc,
+            tfkc,
+            rfkc,
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// The local principal.
+    pub fn local(&self) -> &Principal {
+        &self.local
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FbsConfig {
+        &self.cfg
+    }
+
+    /// Pair master key via MKC, upcalling the MKD on a miss (Fig. 6).
+    fn master_key(&mut self, peer: &Principal) -> Result<Vec<u8>> {
+        if let Some(k) = self.mkc.get(peer) {
+            return Ok(k);
+        }
+        let k = self.mkd.master_key(peer)?;
+        self.mkc.insert(peer.clone(), k.clone());
+        Ok(k)
+    }
+
+    /// Transmit-side flow key via TFKC (Fig. 6, replacing Fig. 4 line S3).
+    fn flow_key_tx(&mut self, sfl: u64, destination: &Principal) -> Result<FlowKey> {
+        let id = (sfl, destination.clone(), self.local.clone());
+        if let Some(k) = self.tfkc.get(&id) {
+            return Ok(k);
+        }
+        let master = self.master_key(destination)?;
+        let k = derive_flow_key(
+            self.cfg.key_derivation,
+            sfl,
+            &master,
+            &self.local,
+            destination,
+        );
+        self.tfkc.insert(id, k.clone());
+        Ok(k)
+    }
+
+    /// Receive-side flow key via RFKC (Fig. 4 lines R5-6).
+    fn flow_key_rx(&mut self, sfl: u64, source: &Principal) -> Result<FlowKey> {
+        let id = (sfl, source.clone(), self.local.clone());
+        if let Some(k) = self.rfkc.get(&id) {
+            return Ok(k);
+        }
+        let master = self.master_key(source)?;
+        let k = derive_flow_key(self.cfg.key_derivation, sfl, &master, source, &self.local);
+        self.rfkc.insert(id, k.clone());
+        Ok(k)
+    }
+
+    /// Derive a transmit flow key WITHOUT consulting the TFKC. Used by the
+    /// combined FST/TFKC optimisation of §7.2, where the caller keeps the
+    /// flow key in its own merged table and only needs the derivation
+    /// (MKC → MKD upcall → hash).
+    pub fn derive_flow_key_tx(&mut self, sfl: u64, destination: &Principal) -> Result<FlowKey> {
+        let master = self.master_key(destination)?;
+        Ok(derive_flow_key(
+            self.cfg.key_derivation,
+            sfl,
+            &master,
+            &self.local,
+            destination,
+        ))
+    }
+
+    /// `FBSSend` with a caller-provided flow key (the combined-table fast
+    /// path of §7.2). Performs S4-S10 of Fig. 4; the caller did S1-S3.
+    pub fn send_with_key(
+        &mut self,
+        sfl: u64,
+        key: &FlowKey,
+        datagram: Datagram,
+        secret: bool,
+    ) -> Result<ProtectedDatagram> {
+        self.seal(sfl, key.clone(), datagram, secret)
+    }
+
+    /// `FBSSend` (Fig. 4): protect `datagram` under flow `sfl` (obtained
+    /// from a FAM classification). `secret` requests confidentiality.
+    pub fn send(&mut self, sfl: u64, datagram: Datagram, secret: bool) -> Result<ProtectedDatagram> {
+        // S2-3: flow key (cached per Fig. 6).
+        let key = self.flow_key_tx(sfl, &datagram.destination)?;
+        self.seal(sfl, key, datagram, secret)
+    }
+
+    fn seal(
+        &mut self,
+        sfl: u64,
+        key: FlowKey,
+        datagram: Datagram,
+        secret: bool,
+    ) -> Result<ProtectedDatagram> {
+        debug_assert_eq!(
+            datagram.source, self.local,
+            "sending from a foreign principal"
+        );
+        // S4: per-datagram confounder — statistically random suffices.
+        let confounder = self.confounder.next_u32();
+        // S5: minute-resolution timestamp.
+        let timestamp = self.clock.now_minutes();
+        let enc_alg = if secret && !self.cfg.nop_crypto {
+            self.cfg.enc_alg
+        } else {
+            EncAlgorithm::None
+        };
+        // S6 + S8-9: MAC over (K_f | confounder | timestamp | payload) and
+        // optional encryption, combined in one pass when configured.
+        let plaintext_len = datagram.body.len() as u32;
+        let (mut mac, body) = if self.cfg.nop_crypto {
+            // Fig. 8's "FBS NOP": MAC computation returns immediately.
+            (vec![0u8; self.cfg.mac_alg.output_len()], datagram.body)
+        } else {
+            seal_body(
+                &self.cfg,
+                &key,
+                confounder,
+                timestamp,
+                datagram.body,
+                enc_alg,
+            )
+        };
+        if let Some(n) = self.cfg.mac_truncate {
+            mac.truncate(n);
+        }
+        if enc_alg.is_secret() {
+            self.stats.encryptions += 1;
+        }
+        self.stats.sends += 1;
+        // S7: assemble the security flow header.
+        Ok(ProtectedDatagram {
+            source: datagram.source,
+            destination: datagram.destination,
+            header: SecurityFlowHeader {
+                sfl,
+                confounder,
+                timestamp,
+                mac_alg: self.cfg.mac_alg,
+                enc_alg,
+                plaintext_len,
+                mac,
+            },
+            body,
+        })
+    }
+
+    /// Classify through `fam` and send: the full Fig. 4 send path (S1-S10).
+    pub fn send_classified<A, P>(
+        &mut self,
+        fam: &mut Fam<A, P>,
+        attrs: A,
+        datagram: Datagram,
+        secret: bool,
+    ) -> Result<ProtectedDatagram>
+    where
+        A: Clone + Eq + Hash,
+        P: FlowPolicy<A>,
+    {
+        let now = self.clock.now_secs();
+        let class = fam.classify(attrs, now, datagram.body.len() as u64);
+        self.send(class.sfl, datagram, secret)
+    }
+
+    /// `FBSReceive` (Fig. 4): verify and strip protection, returning the
+    /// original datagram.
+    pub fn receive(&mut self, pd: ProtectedDatagram) -> Result<Datagram> {
+        let h = &pd.header;
+        // R3-4: freshness.
+        if let Err(e) = self.cfg.freshness.check(h.timestamp, self.clock.now_minutes()) {
+            self.stats.replay_drops += 1;
+            return Err(e);
+        }
+        // R5-6: flow key from the sfl (cached).
+        let key = self.flow_key_rx(h.sfl, &pd.source)?;
+        // R10-11 before R7-9 (see module docs): recover plaintext, then
+        // verify the MAC over it.
+        let plaintext = match open_body(h, &key, &pd.body) {
+            Ok(p) => p,
+            Err(e) => {
+                self.stats.malformed_drops += 1;
+                return Err(e);
+            }
+        };
+        if h.enc_alg.is_secret() {
+            self.stats.decryptions += 1;
+        }
+        if self.cfg.nop_crypto {
+            // Fig. 8's "FBS NOP": MAC verification returns immediately.
+            self.stats.receives += 1;
+            return Ok(Datagram {
+                source: pd.source,
+                destination: pd.destination,
+                body: plaintext,
+            });
+        }
+        // R7-9: MAC verification (constant-time compare).
+        let mut expected = h.mac_alg.compute(
+            key.as_bytes(),
+            &[
+                &h.confounder.to_be_bytes(),
+                &h.timestamp.to_be_bytes(),
+                &plaintext,
+            ],
+        );
+        if let Some(n) = self.cfg.mac_truncate {
+            expected.truncate(n);
+        }
+        if !mac_eq(&expected, &h.mac) {
+            self.stats.mac_drops += 1;
+            return Err(FbsError::BadMac);
+        }
+        self.stats.receives += 1;
+        // R12: hand the datagram up.
+        Ok(Datagram {
+            source: pd.source,
+            destination: pd.destination,
+            body: plaintext,
+        })
+    }
+
+    /// Invalidate the cached master key for `peer` (rekey: §5.2 notes the
+    /// pair master key changes when a principal's private value changes).
+    pub fn forget_peer(&mut self, peer: &Principal) {
+        self.mkc.invalidate(peer);
+    }
+
+    /// Drop all flow-key soft state (always safe — it is recomputed on
+    /// demand; this is what "soft state" buys, §5.2 observations).
+    pub fn flush_flow_keys(&mut self) {
+        self.tfkc.clear();
+        self.rfkc.clear();
+    }
+
+    /// Endpoint counters.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// TFKC statistics.
+    pub fn tfkc_stats(&self) -> CacheStats {
+        self.tfkc.stats()
+    }
+
+    /// RFKC statistics.
+    pub fn rfkc_stats(&self) -> CacheStats {
+        self.rfkc.stats()
+    }
+
+    /// MKC statistics.
+    pub fn mkc_stats(&self) -> CacheStats {
+        self.mkc.stats()
+    }
+
+    /// MKD statistics.
+    pub fn mkd_stats(&self) -> MkdStats {
+        self.mkd.stats()
+    }
+
+    /// Shared clock handle.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+}
+
+/// The cipher a flow key materialises into, per the header's algorithm-ID.
+enum FlowCipher {
+    Single(Box<Des>),
+    Triple(Box<TripleDes>),
+}
+
+impl FlowCipher {
+    fn for_alg(alg: EncAlgorithm, key: &FlowKey) -> FlowCipher {
+        if alg.is_triple() {
+            FlowCipher::Triple(Box::new(TripleDes::new_ede2(&key.tdea_key())))
+        } else {
+            FlowCipher::Single(Box::new(Des::new(&key.des_key())))
+        }
+    }
+}
+
+impl BlockCipher for FlowCipher {
+    fn encrypt_block(&self, block: &mut [u8; 8]) {
+        match self {
+            FlowCipher::Single(c) => c.encrypt_block(block),
+            FlowCipher::Triple(c) => c.encrypt_block(block),
+        }
+    }
+    fn decrypt_block(&self, block: &mut [u8; 8]) {
+        match self {
+            FlowCipher::Single(c) => c.decrypt_block(block),
+            FlowCipher::Triple(c) => c.decrypt_block(block),
+        }
+    }
+}
+
+/// Compute the MAC and optionally encrypt, honouring the single-pass
+/// configuration. Returns `(mac, wire_body)`.
+fn seal_body(
+    cfg: &FbsConfig,
+    key: &FlowKey,
+    confounder: u32,
+    timestamp: u32,
+    body: Vec<u8>,
+    enc_alg: EncAlgorithm,
+) -> (Vec<u8>, Vec<u8>) {
+    let Some(mode) = enc_alg.des_mode() else {
+        // MAC-only path: single data touch by construction.
+        let mac = cfg.mac_alg.compute(
+            key.as_bytes(),
+            &[&confounder.to_be_bytes(), &timestamp.to_be_bytes(), &body],
+        );
+        return (mac, body);
+    };
+
+    let des = FlowCipher::for_alg(enc_alg, key);
+    let iv = ((confounder as u64) << 32) | confounder as u64;
+    if !cfg.single_pass {
+        // Two-pass ablation: MAC sweep, then encryption sweep.
+        let mac = cfg.mac_alg.compute(
+            key.as_bytes(),
+            &[&confounder.to_be_bytes(), &timestamp.to_be_bytes(), &body],
+        );
+        let ciphertext = fbs_crypto::des::encrypt(&des, iv, mode, &body);
+        return (mac, ciphertext);
+    }
+
+    // Single pass (§5.3): absorb each plaintext block into the MAC and
+    // encrypt it in the same loop iteration.
+    let plaintext_len = body.len();
+    let mut data = zero_pad(&body);
+    let mut ctx = cfg.mac_alg.begin(key.as_bytes());
+    ctx.update(&confounder.to_be_bytes());
+    ctx.update(&timestamp.to_be_bytes());
+    let mut enc = BlockEncryptor::new(&des, mode, iv);
+    for (i, chunk) in data.chunks_exact_mut(BLOCK_SIZE).enumerate() {
+        let start = i * BLOCK_SIZE;
+        let valid = plaintext_len.saturating_sub(start).min(BLOCK_SIZE);
+        if valid > 0 {
+            // Only true payload bytes enter the MAC; padding does not.
+            ctx.update(&chunk[..valid]);
+        }
+        enc.process(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+    }
+    (ctx.finalize(), data)
+}
+
+/// Recover the plaintext body (decrypting if needed) and validate framing.
+fn open_body(h: &SecurityFlowHeader, key: &FlowKey, body: &[u8]) -> Result<Vec<u8>> {
+    match h.enc_alg.des_mode() {
+        None => {
+            if h.plaintext_len as usize != body.len() {
+                return Err(FbsError::MalformedCiphertext);
+            }
+            Ok(body.to_vec())
+        }
+        Some(mode) => {
+            let len = h.plaintext_len as usize;
+            if !body.len().is_multiple_of(BLOCK_SIZE)
+                || len > body.len()
+                || body.len() - len >= BLOCK_SIZE
+            {
+                return Err(FbsError::MalformedCiphertext);
+            }
+            let des = FlowCipher::for_alg(h.enc_alg, key);
+            Ok(fbs_crypto::des::decrypt(&des, h.iv64(), mode, body, len))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::mkd::PinnedDirectory;
+    use fbs_crypto::dh::{DhGroup, PrivateValue};
+
+    /// Build a connected pair of endpoints sharing a manual clock.
+    pub(crate) fn endpoint_pair(cfg: FbsConfig) -> (FbsEndpoint, FbsEndpoint, ManualClock) {
+        let clock = ManualClock::starting_at(1_000_000);
+        let group = DhGroup::test_group();
+        let s_priv = PrivateValue::from_entropy(group.clone(), b"source-entropy-20-bytes");
+        let d_priv = PrivateValue::from_entropy(group, b"dest-entropy-20-bytes!!");
+        let s = Principal::named("S");
+        let d = Principal::named("D");
+        let mut dir_s = PinnedDirectory::new();
+        dir_s.pin(d.clone(), d_priv.public_value());
+        let mut dir_d = PinnedDirectory::new();
+        dir_d.pin(s.clone(), s_priv.public_value());
+        let ep_s = FbsEndpoint::new(
+            s,
+            cfg.clone(),
+            Arc::new(clock.clone()),
+            0x1111,
+            MasterKeyDaemon::new(s_priv, Box::new(dir_s)),
+        );
+        let ep_d = FbsEndpoint::new(
+            d,
+            cfg,
+            Arc::new(clock.clone()),
+            0x2222,
+            MasterKeyDaemon::new(d_priv, Box::new(dir_d)),
+        );
+        (ep_s, ep_d, clock)
+    }
+
+    fn dgram(body: &[u8]) -> Datagram {
+        Datagram::new(Principal::named("S"), Principal::named("D"), body)
+    }
+
+    #[test]
+    fn roundtrip_cleartext() {
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let pd = s.send(42, dgram(b"hello"), false).unwrap();
+        assert_eq!(pd.header.enc_alg, EncAlgorithm::None);
+        assert_eq!(pd.body, b"hello"); // MAC-only: body visible
+        let got = d.receive(pd).unwrap();
+        assert_eq!(got.body, b"hello");
+        assert_eq!(d.stats().receives, 1);
+    }
+
+    #[test]
+    fn roundtrip_encrypted() {
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let pd = s.send(42, dgram(b"top secret payload"), true).unwrap();
+        assert!(pd.header.enc_alg.is_secret());
+        assert_ne!(&pd.body[..18.min(pd.body.len())], b"top secret payload");
+        assert_eq!(pd.body.len() % 8, 0);
+        let got = d.receive(pd).unwrap();
+        assert_eq!(got.body, b"top secret payload");
+    }
+
+    #[test]
+    fn roundtrip_empty_body() {
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        for secret in [false, true] {
+            let pd = s.send(1, dgram(b""), secret).unwrap();
+            let got = d.receive(pd).unwrap();
+            assert!(got.body.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_pass_and_two_pass_agree_on_the_wire() {
+        let cfg1 = FbsConfig {
+            single_pass: true,
+            ..FbsConfig::default()
+        };
+        let cfg2 = FbsConfig {
+            single_pass: false,
+            ..FbsConfig::default()
+        };
+        let (mut s1, _, _) = endpoint_pair(cfg1);
+        let (mut s2, _, _) = endpoint_pair(cfg2);
+        let p1 = s1.send(9, dgram(b"exactly the same bytes"), true).unwrap();
+        let p2 = s2.send(9, dgram(b"exactly the same bytes"), true).unwrap();
+        // Same seed ⇒ same confounder ⇒ identical wire output.
+        assert_eq!(p1.header.mac, p2.header.mac);
+        assert_eq!(p1.body, p2.body);
+    }
+
+    #[test]
+    fn all_cipher_modes_roundtrip() {
+        for enc in [
+            EncAlgorithm::DesCbc,
+            EncAlgorithm::DesEcb,
+            EncAlgorithm::DesCfb,
+            EncAlgorithm::DesOfb,
+            EncAlgorithm::TdeaCbc,
+        ] {
+            let cfg = FbsConfig {
+                enc_alg: enc,
+                ..FbsConfig::default()
+            };
+            let (mut s, mut d, _) = endpoint_pair(cfg);
+            let pd = s.send(3, dgram(b"mode test payload 123"), true).unwrap();
+            let got = d.receive(pd).unwrap();
+            assert_eq!(got.body, b"mode test payload 123", "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn tampered_body_rejected() {
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let mut pd = s.send(42, dgram(b"do not touch"), true).unwrap();
+        pd.body[0] ^= 0x80;
+        assert_eq!(d.receive(pd), Err(FbsError::BadMac));
+        assert_eq!(d.stats().mac_drops, 1);
+    }
+
+    #[test]
+    fn tampered_timestamp_rejected() {
+        // The MAC covers the timestamp, so shifting it (within the window)
+        // still fails verification.
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let mut pd = s.send(42, dgram(b"payload"), false).unwrap();
+        pd.header.timestamp += 1;
+        assert_eq!(d.receive(pd), Err(FbsError::BadMac));
+    }
+
+    #[test]
+    fn tampered_confounder_rejected() {
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let mut pd = s.send(42, dgram(b"payload"), false).unwrap();
+        pd.header.confounder ^= 1;
+        assert_eq!(d.receive(pd), Err(FbsError::BadMac));
+    }
+
+    #[test]
+    fn cut_and_paste_across_flows_rejected() {
+        // §2.2's cut-and-paste attack: splice flow-1 ciphertext into a
+        // flow-2 datagram. Different flow keys make the MAC fail.
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let pd1 = s.send(1, dgram(b"AAAAAAAA"), true).unwrap();
+        let mut pd2 = s.send(2, dgram(b"BBBBBBBB"), true).unwrap();
+        pd2.body = pd1.body.clone();
+        assert_eq!(d.receive(pd2), Err(FbsError::BadMac));
+    }
+
+    #[test]
+    fn sfl_relabel_rejected() {
+        // Relabelling a datagram to another flow changes the derived key.
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let mut pd = s.send(1, dgram(b"flow one data"), true).unwrap();
+        pd.header.sfl = 2;
+        assert!(d.receive(pd).is_err());
+    }
+
+    #[test]
+    fn stale_datagram_rejected() {
+        let (mut s, mut d, clock) = endpoint_pair(FbsConfig::default());
+        let pd = s.send(1, dgram(b"old news"), false).unwrap();
+        clock.advance(10 * 60); // 10 minutes > default ±2
+        assert!(matches!(
+            d.receive(pd),
+            Err(FbsError::StaleTimestamp { .. })
+        ));
+        assert_eq!(d.stats().replay_drops, 1);
+    }
+
+    #[test]
+    fn replay_within_window_succeeds_as_documented() {
+        // §6.2: replay protection cannot be perfect — a replay inside the
+        // freshness window is accepted; higher layers must sequence.
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let pd = s.send(1, dgram(b"replayable"), false).unwrap();
+        assert!(d.receive(pd.clone()).is_ok());
+        assert!(d.receive(pd).is_ok());
+    }
+
+    #[test]
+    fn flow_key_caches_amortise() {
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        for _ in 0..10 {
+            let pd = s.send(5, dgram(b"data"), true).unwrap();
+            d.receive(pd).unwrap();
+        }
+        // One TFKC miss (first datagram), nine hits; same for RFKC. One MKD
+        // upcall each side.
+        assert_eq!(s.tfkc_stats().misses(), 1);
+        assert_eq!(s.tfkc_stats().hits, 9);
+        assert_eq!(d.rfkc_stats().misses(), 1);
+        assert_eq!(d.rfkc_stats().hits, 9);
+        assert_eq!(s.mkd_stats().upcalls, 1);
+        assert_eq!(d.mkd_stats().upcalls, 1);
+    }
+
+    #[test]
+    fn soft_state_flush_is_transparent() {
+        // Dropping all cached keys mid-flow must not break the protocol —
+        // the defining property of soft state.
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let pd = s.send(5, dgram(b"one"), true).unwrap();
+        d.receive(pd).unwrap();
+        s.flush_flow_keys();
+        d.flush_flow_keys();
+        let pd = s.send(5, dgram(b"two"), true).unwrap();
+        assert_eq!(d.receive(pd).unwrap().body, b"two");
+    }
+
+    #[test]
+    fn distinct_flows_distinct_ciphertexts() {
+        let (mut s, _, _) = endpoint_pair(FbsConfig::default());
+        let p1 = s.send(1, dgram(b"identical!"), true).unwrap();
+        let p2 = s.send(2, dgram(b"identical!"), true).unwrap();
+        assert_ne!(p1.body, p2.body);
+    }
+
+    #[test]
+    fn confounder_hides_identical_datagrams_within_flow() {
+        // §5.2: the confounder hides the presence of identical datagrams in
+        // the SAME flow.
+        let (mut s, _, _) = endpoint_pair(FbsConfig::default());
+        let p1 = s.send(1, dgram(b"identical!"), true).unwrap();
+        let p2 = s.send(1, dgram(b"identical!"), true).unwrap();
+        assert_ne!(p1.header.confounder, p2.header.confounder);
+        assert_ne!(p1.body, p2.body);
+    }
+
+    #[test]
+    fn wire_encode_decode_roundtrip() {
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        let pd = s.send(7, dgram(b"over the wire"), true).unwrap();
+        let wire = pd.encode_payload();
+        let parsed =
+            ProtectedDatagram::decode_payload(pd.source.clone(), pd.destination.clone(), &wire)
+                .unwrap();
+        assert_eq!(parsed, pd);
+        assert_eq!(d.receive(parsed).unwrap().body, b"over the wire");
+    }
+
+    #[test]
+    fn truncated_mac_roundtrip_and_rejection() {
+        let cfg = FbsConfig {
+            mac_truncate: Some(8),
+            ..FbsConfig::default()
+        };
+        let (mut s, mut d, _) = endpoint_pair(cfg);
+        let pd = s.send(7, dgram(b"short mac"), true).unwrap();
+        assert_eq!(pd.header.mac.len(), 8);
+        let mut tampered = pd.clone();
+        tampered.body[0] ^= 1;
+        assert_eq!(d.receive(pd).unwrap().body, b"short mac");
+        assert_eq!(d.receive(tampered), Err(FbsError::BadMac));
+    }
+
+    #[test]
+    fn malformed_ciphertext_lengths_rejected() {
+        let (mut s, mut d, _) = endpoint_pair(FbsConfig::default());
+        // Non-block-multiple body.
+        let mut pd = s.send(7, dgram(b"eight by"), true).unwrap();
+        pd.body.push(0);
+        assert_eq!(d.receive(pd), Err(FbsError::MalformedCiphertext));
+        // plaintext_len larger than body.
+        let mut pd = s.send(7, dgram(b"eight by"), true).unwrap();
+        pd.header.plaintext_len = 1000;
+        assert_eq!(d.receive(pd), Err(FbsError::MalformedCiphertext));
+        // Cleartext with mismatched declared length.
+        let mut pd = s.send(7, dgram(b"clear"), false).unwrap();
+        pd.header.plaintext_len = 2;
+        assert_eq!(d.receive(pd), Err(FbsError::MalformedCiphertext));
+        assert_eq!(d.stats().malformed_drops, 3);
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let (mut s, _, _) = endpoint_pair(FbsConfig::default());
+        let bad = Datagram::new(
+            Principal::named("S"),
+            Principal::named("nobody"),
+            b"x".to_vec(),
+        );
+        assert!(matches!(
+            s.send(1, bad, false),
+            Err(FbsError::PrincipalUnknown(_))
+        ));
+    }
+
+    #[test]
+    fn hmac_and_sha1_configs_roundtrip() {
+        for (mac_alg, kd) in [
+            (MacAlgorithm::HmacMd5, KeyDerivation::Md5),
+            (MacAlgorithm::KeyedSha1, KeyDerivation::Sha1),
+            (MacAlgorithm::HmacSha1, KeyDerivation::Sha1),
+        ] {
+            let cfg = FbsConfig {
+                mac_alg,
+                key_derivation: kd,
+                ..FbsConfig::default()
+            };
+            let (mut s, mut d, _) = endpoint_pair(cfg);
+            let pd = s.send(3, dgram(b"alternate algorithms"), true).unwrap();
+            assert_eq!(d.receive(pd).unwrap().body, b"alternate algorithms");
+        }
+    }
+
+    #[test]
+    fn triple_des_wire_differs_from_single_des() {
+        // Same flow key, same confounder seed: the TdeaCbc ciphertext must
+        // differ from DesCbc's (the algorithm-ID field actually selects a
+        // different cipher, not just a different label).
+        let single = FbsConfig::default();
+        let triple = FbsConfig {
+            enc_alg: EncAlgorithm::TdeaCbc,
+            ..FbsConfig::default()
+        };
+        let (mut s1, _, _) = endpoint_pair(single);
+        let (mut s3, mut d3, _) = endpoint_pair(triple);
+        let p1 = s1.send(9, dgram(b"cipher strength test"), true).unwrap();
+        let p3 = s3.send(9, dgram(b"cipher strength test"), true).unwrap();
+        assert_eq!(p1.header.confounder, p3.header.confounder, "same seed");
+        assert_ne!(p1.body, p3.body, "different ciphers, different wire");
+        assert_eq!(d3.receive(p3).unwrap().body, b"cipher strength test");
+    }
+
+    #[test]
+    fn nop_crypto_mode_roundtrips_with_zero_mac() {
+        let cfg = FbsConfig {
+            nop_crypto: true,
+            ..FbsConfig::default()
+        };
+        let (mut s, mut d, _) = endpoint_pair(cfg);
+        let pd = s.send(1, dgram(b"measured payload"), true).unwrap();
+        assert_eq!(pd.header.mac, vec![0u8; 16]);
+        assert_eq!(pd.header.enc_alg, EncAlgorithm::None); // NOP: no cipher
+        assert_eq!(pd.body, b"measured payload");
+        assert_eq!(d.receive(pd).unwrap().body, b"measured payload");
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let (mut s, _, _) = endpoint_pair(FbsConfig::default());
+        let pd = s.send(1, dgram(b"123456789"), true).unwrap(); // 9 → padded 16
+        // Header 40 bytes + 7 bytes padding.
+        assert_eq!(pd.overhead(), 40 + 7);
+    }
+}

@@ -1,0 +1,116 @@
+//! Replay protection via window-based timestamps (§5.3, §6.2).
+//!
+//! FBS deliberately uses a *stateless* freshness check — a sliding window
+//! centred on the receiver's current time — rather than nonces, which would
+//! require extra communication and hard state, violating datagram
+//! semantics. The protection is coarse by design: minute resolution, and a
+//! window wide enough to absorb transmission delay plus clock skew between
+//! loosely-synchronised machines. Replays *inside* the window succeed; the
+//! paper's position is that complete replay protection belongs to higher
+//! layers (which typically already sequence datagrams).
+
+use crate::error::{FbsError, Result};
+
+/// A sliding freshness window over minute-resolution timestamps.
+///
+/// ```
+/// use fbs_core::FreshnessWindow;
+/// let w = FreshnessWindow::new(2); // ±2 minutes
+/// assert!(w.is_fresh(100, 101));   // 1 minute of skew: fresh
+/// assert!(!w.is_fresh(100, 103));  // 3 minutes: stale
+/// assert!(w.is_fresh(102, 100));   // symmetric — sender clock ahead is fine
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FreshnessWindow {
+    /// Half-width of the acceptance window in minutes. A datagram stamped
+    /// `t` is fresh at receiver time `now` iff `|now - t| <= half_width`.
+    pub half_width_minutes: u32,
+}
+
+impl Default for FreshnessWindow {
+    /// The paper suggests wide-area windows "on the order of minutes"; we
+    /// default to ±2 minutes.
+    fn default() -> Self {
+        FreshnessWindow {
+            half_width_minutes: 2,
+        }
+    }
+}
+
+impl FreshnessWindow {
+    /// Construct with an explicit half-width.
+    pub fn new(half_width_minutes: u32) -> Self {
+        FreshnessWindow { half_width_minutes }
+    }
+
+    /// The `Fresh(t)` predicate of Fig. 4 (R3).
+    pub fn is_fresh(&self, datagram_minutes: u32, now_minutes: u32) -> bool {
+        now_minutes.abs_diff(datagram_minutes) <= self.half_width_minutes
+    }
+
+    /// Check freshness, returning the paper's R4 error when stale.
+    pub fn check(&self, datagram_minutes: u32, now_minutes: u32) -> Result<()> {
+        if self.is_fresh(datagram_minutes, now_minutes) {
+            Ok(())
+        } else {
+            Err(FbsError::StaleTimestamp {
+                datagram_minutes,
+                now_minutes,
+                window_minutes: self.half_width_minutes,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_time_is_fresh() {
+        let w = FreshnessWindow::new(2);
+        assert!(w.is_fresh(100, 100));
+    }
+
+    #[test]
+    fn window_is_symmetric() {
+        // Sliding window centred on current time: both slow datagrams and
+        // fast (ahead-of-clock) senders are tolerated equally.
+        let w = FreshnessWindow::new(2);
+        assert!(w.is_fresh(98, 100));
+        assert!(w.is_fresh(102, 100));
+        assert!(!w.is_fresh(97, 100));
+        assert!(!w.is_fresh(103, 100));
+    }
+
+    #[test]
+    fn check_reports_details() {
+        let w = FreshnessWindow::new(1);
+        match w.check(10, 100) {
+            Err(FbsError::StaleTimestamp {
+                datagram_minutes,
+                now_minutes,
+                window_minutes,
+            }) => {
+                assert_eq!(datagram_minutes, 10);
+                assert_eq!(now_minutes, 100);
+                assert_eq!(window_minutes, 1);
+            }
+            other => panic!("expected StaleTimestamp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_width_accepts_only_exact_minute() {
+        let w = FreshnessWindow::new(0);
+        assert!(w.is_fresh(100, 100));
+        assert!(!w.is_fresh(99, 100));
+    }
+
+    #[test]
+    fn no_underflow_near_epoch() {
+        let w = FreshnessWindow::new(5);
+        assert!(w.is_fresh(0, 3));
+        assert!(w.is_fresh(3, 0)); // receiver clock behind sender
+    }
+}

@@ -1,0 +1,173 @@
+//! Multi-peer endpoint tests: cache behaviour under pressure, since §5.3
+//! sizes the MKC by "the average number of correspondent principals" and
+//! the TFKC by "the average number of active flows" — what happens when
+//! reality exceeds the sizing must be graceful (soft state: slower, never
+//! wrong).
+
+use fbs_core::{
+    Datagram, FbsConfig, FbsEndpoint, ManualClock, MasterKeyDaemon, PinnedDirectory,
+    Principal,
+};
+use fbs_crypto::dh::{DhGroup, PrivateValue};
+use std::sync::Arc;
+
+/// Build a hub world: one sender knowing N peers, all peers knowing the
+/// sender.
+fn world(n: usize, cfg: FbsConfig) -> (FbsEndpoint, Vec<FbsEndpoint>, ManualClock) {
+    let clock = ManualClock::starting_at(9_000);
+    let group = DhGroup::test_group();
+    let hub_priv = PrivateValue::from_entropy(group.clone(), b"hub-entropy-material");
+    let hub_name = Principal::named("hub");
+    let mut hub_dir = PinnedDirectory::new();
+    let mut peers = Vec::new();
+    for i in 0..n {
+        let name = Principal::named(&format!("peer-{i}"));
+        let entropy = format!("peer-{i}-entropy-material-xx");
+        let p_priv = PrivateValue::from_entropy(group.clone(), entropy.as_bytes());
+        hub_dir.pin(name.clone(), p_priv.public_value());
+        let mut p_dir = PinnedDirectory::new();
+        p_dir.pin(hub_name.clone(), hub_priv.public_value());
+        peers.push(FbsEndpoint::new(
+            name,
+            cfg.clone(),
+            Arc::new(clock.clone()),
+            1000 + i as u64,
+            MasterKeyDaemon::new(p_priv, Box::new(p_dir)),
+        ));
+    }
+    let hub = FbsEndpoint::new(
+        hub_name,
+        cfg,
+        Arc::new(clock.clone()),
+        42,
+        MasterKeyDaemon::new(hub_priv, Box::new(hub_dir)),
+    );
+    (hub, peers, clock)
+}
+
+#[test]
+fn mkc_pressure_causes_reupcalls_but_never_errors() {
+    // MKC sized for 4 principals; talk to 12, round-robin, twice. Every
+    // datagram must still verify; the cost shows up as extra MKD upcalls.
+    let cfg = FbsConfig {
+        mkc_slots: 4,
+        ..FbsConfig::default()
+    };
+    let (mut hub, mut peers, _) = world(12, cfg);
+    for round in 0..2 {
+        for (i, peer) in peers.iter_mut().enumerate() {
+            let d = Datagram::new(
+                Principal::named("hub"),
+                peer.local().clone(),
+                format!("round {round} to {i}").into_bytes(),
+            );
+            let pd = hub.send((i + 1) as u64, d, true).unwrap();
+            let got = peer.receive(pd).unwrap();
+            assert_eq!(got.body, format!("round {round} to {i}").into_bytes());
+        }
+    }
+    // 12 peers in 4 slots: many evictions, so upcalls exceed peer count...
+    assert!(hub.mkd_stats().upcalls > 12, "{:?}", hub.mkd_stats());
+    // ...but correctness never suffered.
+    assert_eq!(hub.mkd_stats().failures, 0);
+    assert_eq!(hub.stats().sends, 24);
+}
+
+#[test]
+fn generously_sized_mkc_computes_each_master_key_once() {
+    let (mut hub, mut peers, _) = world(12, FbsConfig::default()); // 32 slots
+    for round in 0..3 {
+        for (i, peer) in peers.iter_mut().enumerate() {
+            let d = Datagram::new(
+                Principal::named("hub"),
+                peer.local().clone(),
+                vec![round as u8],
+            );
+            let pd = hub.send((i + 1) as u64, d, false).unwrap();
+            peer.receive(pd).unwrap();
+        }
+    }
+    assert_eq!(hub.mkd_stats().upcalls, 12, "once per correspondent");
+}
+
+#[test]
+fn tfkc_pressure_recomputes_flow_keys_transparently() {
+    // TFKC with 8 slots, 40 simultaneously interleaved flows to one peer:
+    // constant churn, zero errors — a TFKC miss is "not as expensive as an
+    // MKC miss" (§5.3) because the master key is still cached.
+    let cfg = FbsConfig {
+        tfkc_sets: 8,
+        tfkc_assoc: 1,
+        rfkc_sets: 8,
+        rfkc_assoc: 1,
+        ..FbsConfig::default()
+    };
+    let (mut hub, mut peers, _) = world(1, cfg);
+    let peer = &mut peers[0];
+    for round in 0..5u64 {
+        for flow in 0..40u64 {
+            let d = Datagram::new(
+                Principal::named("hub"),
+                peer.local().clone(),
+                format!("flow {flow} round {round}").into_bytes(),
+            );
+            let pd = hub.send(flow, d, true).unwrap();
+            assert_eq!(
+                peer.receive(pd).unwrap().body,
+                format!("flow {flow} round {round}").into_bytes()
+            );
+        }
+    }
+    let tfkc = hub.tfkc_stats();
+    assert!(tfkc.evictions > 0, "pressure must evict: {tfkc:?}");
+    // Master key computed exactly once despite all the flow-key churn.
+    assert_eq!(hub.mkd_stats().upcalls, 1);
+}
+
+#[test]
+fn forget_peer_forces_fresh_master_key() {
+    // Rekey scenario from §5.2: the pair master key changes when a
+    // principal's private value changes; forget_peer drops the cached one.
+    let (mut hub, mut peers, _) = world(1, FbsConfig::default());
+    let peer = &mut peers[0];
+    let d = |body: &[u8]| {
+        Datagram::new(
+            Principal::named("hub"),
+            peer_name(0),
+            body.to_vec(),
+        )
+    };
+    let pd = hub.send(1, d(b"before"), true).unwrap();
+    peer.receive(pd).unwrap();
+    assert_eq!(hub.mkd_stats().upcalls, 1);
+    hub.forget_peer(&peer_name(0));
+    hub.flush_flow_keys();
+    let pd = hub.send(2, d(b"after"), true).unwrap();
+    assert_eq!(peer.receive(pd).unwrap().body, b"after");
+    assert_eq!(hub.mkd_stats().upcalls, 2, "recomputed after forget");
+}
+
+fn peer_name(i: usize) -> Principal {
+    Principal::named(&format!("peer-{i}"))
+}
+
+#[test]
+fn different_freshness_windows_are_an_operational_hazard() {
+    // Endpoints configured with different windows still interoperate as
+    // long as clocks agree — documents that the window is receiver-local
+    // policy, not a negotiated parameter.
+    let tight = FbsConfig {
+        freshness: fbs_core::FreshnessWindow::new(0),
+        ..FbsConfig::default()
+    };
+    let (mut hub, mut peers, clock) = world(1, tight);
+    let peer = &mut peers[0];
+    let d = Datagram::new(Principal::named("hub"), peer_name(0), b"now".to_vec());
+    let pd = hub.send(1, d, false).unwrap();
+    // Same minute: accepted even by a zero-width window.
+    assert!(peer.receive(pd.clone()).is_ok());
+    // One minute later the zero-width receiver rejects what a default
+    // receiver would still accept.
+    clock.advance(60);
+    assert!(peer.receive(pd).is_err());
+}

@@ -1,0 +1,252 @@
+//! Property-based tests for the protocol core: header codec totality,
+//! cache soundness, FAM conservation laws, and protocol roundtrips.
+
+use fbs_core::cache::SoftCache;
+use fbs_core::fam::{Fam, FlowPolicy, FstEntry};
+use fbs_core::header::{EncAlgorithm, SecurityFlowHeader};
+use fbs_core::{SflAllocator};
+use fbs_crypto::MacAlgorithm;
+use proptest::prelude::*;
+
+fn header_strategy() -> impl Strategy<Value = SecurityFlowHeader> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        0u8..4,
+        0u8..6,
+        any::<u32>(),
+        1usize..=16,
+    )
+        .prop_map(|(sfl, conf, ts, mac_id, enc_id, len, mac_len)| {
+            let mac_alg = MacAlgorithm::from_wire_id(mac_id).unwrap();
+            SecurityFlowHeader {
+                sfl,
+                confounder: conf,
+                timestamp: ts,
+                mac_alg,
+                enc_alg: EncAlgorithm::from_wire_id(enc_id).unwrap(),
+                plaintext_len: len,
+                mac: vec![0xAB; mac_len.min(mac_alg.output_len())],
+            }
+        })
+}
+
+/// Test policy: u64 keys, modulo index, threshold expiry.
+struct P(u64);
+impl FlowPolicy<u64> for P {
+    fn index(&self, attrs: &u64, table_size: usize) -> usize {
+        fbs_crypto::crc32(&attrs.to_be_bytes()) as usize % table_size
+    }
+    fn same_flow(&self, a: &u64, b: &u64) -> bool {
+        a == b
+    }
+    fn expired(&self, entry: &FstEntry<u64>, now: u64) -> bool {
+        now.saturating_sub(entry.last) > self.0
+    }
+}
+
+proptest! {
+    #[test]
+    fn header_roundtrips(h in header_strategy()) {
+        let bytes = h.encode();
+        let (parsed, used) = SecurityFlowHeader::decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn header_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Decoding arbitrary bytes must be total: Ok or Err, no panic.
+        let _ = SecurityFlowHeader::decode(&bytes);
+    }
+
+    #[test]
+    fn cache_returns_only_what_was_inserted(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..200),
+        sets in 1usize..16,
+        assoc in 1usize..4,
+    ) {
+        // Model check against a reference map: the cache may FORGET
+        // entries (soft state!) but must never return a wrong value.
+        let mut cache: SoftCache<u8, u8> =
+            SoftCache::new(sets, assoc, |k: &u8| fbs_crypto::crc32(&[*k]));
+        let mut reference = std::collections::HashMap::new();
+        for (k, v, is_insert) in ops {
+            if is_insert {
+                cache.insert(k, v);
+                reference.insert(k, v);
+            } else if let Some(got) = cache.get(&k) {
+                prop_assert_eq!(Some(&got), reference.get(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_stats_balance(
+        keys in proptest::collection::vec(any::<u8>(), 1..300),
+        sets in 1usize..32,
+    ) {
+        let mut cache: SoftCache<u8, ()> =
+            SoftCache::new(sets, 1, |k: &u8| fbs_crypto::crc32(&[*k]))
+                .with_classification();
+        for k in &keys {
+            if cache.get(k).is_none() {
+                cache.insert(*k, ());
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses(), keys.len() as u64);
+        // Cold misses = number of distinct keys.
+        let distinct = keys.iter().collect::<std::collections::HashSet<_>>().len();
+        prop_assert_eq!(s.cold_misses, distinct as u64);
+        prop_assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn fam_conserves_packets_and_bytes(
+        packets in proptest::collection::vec((any::<u8>(), 1u64..500, 0u64..100), 1..300),
+        threshold in 1u64..1000,
+        table in 1usize..64,
+    ) {
+        // Arbitrary interleaved datagrams with non-decreasing times.
+        let mut fam = Fam::new(table, P(threshold), SflAllocator::new(1))
+            .with_flow_records();
+        let mut now = 0u64;
+        let mut total_bytes = 0u64;
+        for (attr, bytes, dt) in &packets {
+            now += dt;
+            fam.classify(*attr as u64, now, *bytes);
+            total_bytes += bytes;
+        }
+        let records = fam.drain_records();
+        prop_assert_eq!(
+            records.iter().map(|r| r.packets).sum::<u64>(),
+            packets.len() as u64
+        );
+        prop_assert_eq!(records.iter().map(|r| r.bytes).sum::<u64>(), total_bytes);
+        // Every record's duration is within the observed time span.
+        for r in &records {
+            prop_assert!(r.created <= r.last);
+            prop_assert!(r.last <= now);
+        }
+    }
+
+    #[test]
+    fn fam_sfls_unique_per_flow(
+        attrs in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        // All datagrams at the same instant: each distinct attribute must
+        // map to exactly one sfl, and distinct attributes to distinct sfls
+        // (table large enough to avoid collisions).
+        let mut fam = Fam::new(4096, P(1000), SflAllocator::new(10));
+        let mut seen = std::collections::HashMap::new();
+        for a in attrs {
+            let c = fam.classify(a as u64, 0, 1);
+            if let Some(prev) = seen.insert(a, c.sfl) {
+                prop_assert_eq!(prev, c.sfl, "same attrs, same flow");
+            }
+        }
+        let distinct_sfls: std::collections::HashSet<_> = seen.values().collect();
+        prop_assert_eq!(distinct_sfls.len(), seen.len());
+    }
+
+    #[test]
+    fn freshness_window_symmetric(
+        t1 in 0u32..1_000_000,
+        t2 in 0u32..1_000_000,
+        w in 0u32..10_000,
+    ) {
+        let win = fbs_core::FreshnessWindow::new(w);
+        prop_assert_eq!(win.is_fresh(t1, t2), win.is_fresh(t2, t1));
+        // Window containment: larger windows accept everything smaller
+        // windows accept.
+        if win.is_fresh(t1, t2) {
+            prop_assert!(fbs_core::FreshnessWindow::new(w + 1).is_fresh(t1, t2));
+        }
+    }
+}
+
+mod protocol_props {
+    use super::*;
+    use fbs_core::{
+        Datagram, FbsConfig, FbsEndpoint, ManualClock, MasterKeyDaemon, PinnedDirectory,
+        Principal,
+    };
+    use fbs_crypto::dh::{DhGroup, PrivateValue};
+    use std::sync::Arc;
+
+    fn pair() -> (FbsEndpoint, FbsEndpoint) {
+        let clock = ManualClock::starting_at(77_777);
+        let group = DhGroup::test_group();
+        let a_priv = PrivateValue::from_entropy(group.clone(), b"prop-alice-entropy!!");
+        let b_priv = PrivateValue::from_entropy(group, b"prop-bob-entropy!!!!");
+        let alice = Principal::named("A");
+        let bob = Principal::named("B");
+        let mut da = PinnedDirectory::new();
+        da.pin(bob.clone(), b_priv.public_value());
+        let mut db = PinnedDirectory::new();
+        db.pin(alice.clone(), a_priv.public_value());
+        (
+            FbsEndpoint::new(
+                alice,
+                FbsConfig::default(),
+                Arc::new(clock.clone()),
+                1,
+                MasterKeyDaemon::new(a_priv, Box::new(da)),
+            ),
+            FbsEndpoint::new(
+                bob,
+                FbsConfig::default(),
+                Arc::new(clock),
+                2,
+                MasterKeyDaemon::new(b_priv, Box::new(db)),
+            ),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn protocol_roundtrips_arbitrary_bodies(
+            body in proptest::collection::vec(any::<u8>(), 0..2000),
+            sfl in any::<u64>(),
+            secret in any::<bool>(),
+        ) {
+            let (mut tx, mut rx) = pair();
+            let d = Datagram::new(
+                Principal::named("A"),
+                Principal::named("B"),
+                body.clone(),
+            );
+            let pd = tx.send(sfl, d, secret).unwrap();
+            let wire = pd.encode_payload();
+            let parsed = fbs_core::ProtectedDatagram::decode_payload(
+                Principal::named("A"),
+                Principal::named("B"),
+                &wire,
+            ).unwrap();
+            prop_assert_eq!(rx.receive(parsed).unwrap().body, body);
+        }
+
+        #[test]
+        fn wire_never_contains_long_plaintext_when_secret(
+            body in proptest::collection::vec(1u8..255, 24..200),
+        ) {
+            // Encrypted bodies must not contain the plaintext as a
+            // substring (24+ bytes of match would be astronomically
+            // unlikely under a real cipher).
+            let (mut tx, _) = pair();
+            let d = Datagram::new(
+                Principal::named("A"),
+                Principal::named("B"),
+                body.clone(),
+            );
+            let pd = tx.send(3, d, true).unwrap();
+            let window = &body[..24];
+            let found = pd.body.windows(window.len()).any(|w| w == window);
+            prop_assert!(!found, "plaintext leaked into ciphertext");
+        }
+    }
+}

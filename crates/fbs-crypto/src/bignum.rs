@@ -1,0 +1,775 @@
+//! Arbitrary-precision unsigned integers for Diffie-Hellman key exchange.
+//!
+//! FBS's zero-message keying (paper §5.1) rests on the Diffie-Hellman
+//! pair-based master key `K_{S,D} = g^{sd} mod p`. The original
+//! implementation used CryptoLib's bignum routines; this module provides a
+//! from-scratch replacement sufficient for modular exponentiation with the
+//! 768/1024-bit Oakley primes.
+//!
+//! Representation: little-endian `u32` limbs with no trailing zero limbs
+//! (canonical form). All arithmetic is plain schoolbook / Knuth Algorithm D,
+//! which is entirely adequate for per-principal master-key computation (the
+//! paper amortises this cost through the master key cache).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: no trailing zeros (`limbs` empty ⇔ 0).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut n = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Construct from big-endian bytes (leading zeros permitted).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut acc: u32 = 0;
+        let mut shift = 0;
+        for &b in bytes.iter().rev() {
+            acc |= (b as u32) << shift;
+            shift += 8;
+            if shift == 32 {
+                limbs.push(acc);
+                acc = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(acc);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Construct from a hexadecimal string (whitespace ignored).
+    ///
+    /// # Panics
+    /// Panics on non-hex characters; intended for compiled-in constants.
+    pub fn from_hex(s: &str) -> Self {
+        let digits: Vec<u8> = s
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| c.to_digit(16).expect("invalid hex digit") as u8)
+            .collect();
+        let mut bytes = Vec::with_capacity(digits.len() / 2 + 1);
+        let mut iter = digits.iter();
+        if digits.len() % 2 == 1 {
+            bytes.push(*iter.next().unwrap());
+        }
+        while let Some(&hi) = iter.next() {
+            let lo = *iter.next().unwrap();
+            bytes.push((hi << 4) | lo);
+        }
+        BigUint::from_bytes_be(&bytes)
+    }
+
+    /// Big-endian byte representation with no leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for &limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Big-endian bytes left-padded with zeros to exactly `len` bytes.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 32)) & 1 == 1
+    }
+
+    fn normalize(&mut self) {
+        while let Some(&0) = self.limbs.last() {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (a, b) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry: u64 = 0;
+        for (i, &limb) in a.iter().enumerate() {
+            let sum = limb as u64 + *b.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self` (unsigned underflow).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(
+            self.cmp_to(other) != Ordering::Less,
+            "BigUint::sub underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let diff =
+                self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if diff < 0 {
+                out.push((diff + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(diff as u32);
+                borrow = 0;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Three-way comparison.
+    pub fn cmp_to(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self * other` (schoolbook multiplication).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                out.push((src[i] >> bit_shift) | hi);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Quotient and remainder of `self / divisor` (Knuth Algorithm D).
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        match self.cmp_to(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        // Single-limb divisor: simple short division.
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut rem: u64 = 0;
+            let mut q = vec![0u32; self.limbs.len()];
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let mut quo = BigUint { limbs: q };
+            quo.normalize();
+            return (quo, BigUint::from_u64(rem));
+        }
+
+        // Normalise so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un: Vec<u32> = u.limbs.clone();
+        un.push(0); // extra high limb for the algorithm
+        let vn = &v.limbs;
+        let mut q = vec![0u32; m + 1];
+
+        let v_top = vn[n - 1] as u64;
+        let v_next = vn[n - 2] as u64;
+
+        for j in (0..=m).rev() {
+            // Estimate q̂.
+            let num = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut qhat = num / v_top;
+            let mut rhat = num % v_top;
+            while qhat >= 1u64 << 32
+                || qhat * v_next > ((rhat << 32) | un[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >= 1u64 << 32 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract.
+            let mut borrow: i64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[i + j] as i64 - (p as u32) as i64 - borrow;
+                un[i + j] = t as u32;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            un[j + n] = t as u32;
+
+            if t < 0 {
+                // q̂ was one too large: add back.
+                qhat -= 1;
+                let mut carry: u64 = 0;
+                for i in 0..n {
+                    let sum = un[i + j] as u64 + vn[i] as u64 + carry;
+                    un[i + j] = sum as u32;
+                    carry = sum >> 32;
+                }
+                un[j + n] = (un[j + n] as u64 + carry) as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        let mut quo = BigUint { limbs: q };
+        quo.normalize();
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        (quo, rem.shr(shift))
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular multiplication `self * other mod modulus`.
+    pub fn modmul(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular inverse: the `x` with `self * x ≡ 1 (mod modulus)`, when
+    /// `gcd(self, modulus) = 1`. Iterative extended Euclid with the Bezout
+    /// coefficient tracked as a (magnitude, sign) pair.
+    pub fn modinv(&self, modulus: &BigUint) -> Option<BigUint> {
+        if modulus.is_zero() || self.is_zero() {
+            return None;
+        }
+        // (old_r, r) gcd sequence; (old_t, t) Bezout coefficients for the
+        // SELF argument, as signed magnitudes.
+        let mut old_r = self.rem(modulus);
+        let mut r = modulus.clone();
+        let mut old_t = (BigUint::one(), false); // +1
+        let mut t = (BigUint::zero(), false); // 0
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            // new_t = old_t - q * t   (signed)
+            let qt = q.mul(&t.0);
+            let new_t = signed_sub(&old_t, &(qt, t.1));
+            old_r = std::mem::replace(&mut r, rem);
+            old_t = std::mem::replace(&mut t, new_t);
+        }
+        if old_r != BigUint::one() {
+            return None; // not coprime
+        }
+        // Normalise old_t into [0, modulus).
+        let (mag, neg) = old_t;
+        let m = mag.rem(modulus);
+        Some(if neg && !m.is_zero() {
+            modulus.sub(&m)
+        } else {
+            m
+        })
+    }
+
+    /// Miller-Rabin probable-prime test with `rounds` random bases drawn
+    /// from `next_random` (a callback so callers choose the RNG grade).
+    pub fn is_probable_prime(&self, rounds: u32, mut next_random: impl FnMut() -> u64) -> bool {
+        let two = BigUint::from_u64(2);
+        let three = BigUint::from_u64(3);
+        if *self < two {
+            return false;
+        }
+        if *self == two || *self == three {
+            return true;
+        }
+        if !self.bit(0) {
+            return false;
+        }
+        // Quick trial division by small primes.
+        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+            let pb = BigUint::from_u64(p);
+            if *self == pb {
+                return true;
+            }
+            if self.rem(&pb).is_zero() {
+                return false;
+            }
+        }
+        // n - 1 = d * 2^s with d odd.
+        let n_minus_1 = self.sub(&BigUint::one());
+        let mut d = n_minus_1.clone();
+        let mut s = 0u32;
+        while !d.bit(0) {
+            d = d.shr(1);
+            s += 1;
+        }
+        'witness: for _ in 0..rounds {
+            // Base in [2, n-2]: build from two random words mod (n-3).
+            let span = self.sub(&three);
+            let mut raw = BigUint::from_u64(next_random());
+            raw = raw.shl(64).add(&BigUint::from_u64(next_random()));
+            let a = raw.rem(&span).add(&two);
+            let mut x = a.modpow(&d, self);
+            if x == BigUint::one() || x == n_minus_1 {
+                continue 'witness;
+            }
+            for _ in 0..s - 1 {
+                x = x.modmul(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Modular exponentiation `self^exp mod modulus` via left-to-right
+    /// square-and-multiply.
+    ///
+    /// # Panics
+    /// Panics if `modulus` is zero.
+    pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.limbs == [1] {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let base = self.rem(modulus);
+        let bits = exp.bit_len();
+        for i in (0..bits).rev() {
+            result = result.modmul(&result, modulus);
+            if exp.bit(i) {
+                result = result.modmul(&base, modulus);
+            }
+        }
+        result
+    }
+}
+
+/// Signed subtraction over (magnitude, is_negative) pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b)
+        (true, false) => (a.0.add(&b.0), true),
+        // (-a) - (-b) = b - a
+        (true, true) => {
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:08x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_to(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        for v in [0u64, 1, 0xffff_ffff, 0x1_0000_0000, u64::MAX] {
+            let n = big(v);
+            let bytes = n.to_bytes_be_padded(8);
+            assert_eq!(u64::from_be_bytes(bytes.try_into().unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn hex_parsing() {
+        assert_eq!(BigUint::from_hex("ff"), big(255));
+        assert_eq!(BigUint::from_hex("1 00"), big(256));
+        assert_eq!(BigUint::from_hex("deadbeef"), big(0xdeadbeef));
+        assert_eq!(
+            BigUint::from_hex("123456789abcdef0123"),
+            BigUint::from_bytes_be(&[0x1, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x01, 0x23])
+        );
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = BigUint::from_hex("ffffffffffffffff");
+        let b = BigUint::one();
+        assert_eq!(a.add(&b), BigUint::from_hex("10000000000000000"));
+    }
+
+    #[test]
+    fn sub_with_borrow_chain() {
+        let a = BigUint::from_hex("10000000000000000");
+        let b = BigUint::one();
+        assert_eq!(a.sub(&b), BigUint::from_hex("ffffffffffffffff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        big(1).sub(&big(2));
+    }
+
+    #[test]
+    fn mul_basic() {
+        assert_eq!(big(12345).mul(&big(6789)), big(12345 * 6789));
+        assert_eq!(big(0).mul(&big(6789)), BigUint::zero());
+        let a = BigUint::from_hex("ffffffffffffffff");
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(
+            a.mul(&a),
+            BigUint::from_hex("fffffffffffffffe0000000000000001")
+        );
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_hex("deadbeef");
+        assert_eq!(a.shl(4), BigUint::from_hex("deadbeef0"));
+        assert_eq!(a.shl(32).shr(32), a);
+        assert_eq!(a.shr(100), BigUint::zero());
+        assert_eq!(a.shl(0), a);
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = big(100).div_rem(&big(7));
+        assert_eq!(q, big(14));
+        assert_eq!(r, big(2));
+    }
+
+    #[test]
+    fn div_rem_dividend_smaller() {
+        let (q, r) = big(3).div_rem(&big(7));
+        assert_eq!(q, BigUint::zero());
+        assert_eq!(r, big(3));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = BigUint::from_hex("fedcba9876543210fedcba9876543210");
+        let b = BigUint::from_hex("123456789abcdef");
+        let (q, r) = a.div_rem(&b);
+        // verify a == q*b + r and r < b
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.cmp_to(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn div_rem_algorithm_d_addback_path() {
+        // Crafted to stress the "add back" correction: divisor with top limb
+        // 0x80000000 pattern.
+        let a = BigUint::from_hex("7fffffff800000010000000000000000");
+        let b = BigUint::from_hex("800000008000000200000005");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.cmp_to(&b) == Ordering::Less);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        big(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_small_numbers() {
+        // 3^5 mod 7 = 243 mod 7 = 5
+        assert_eq!(big(3).modpow(&big(5), &big(7)), big(5));
+        // Fermat: a^(p-1) ≡ 1 (mod p) for prime p
+        assert_eq!(big(2).modpow(&big(12), &big(13)), big(1));
+        // anything mod 1 is 0
+        assert_eq!(big(5).modpow(&big(5), &big(1)), BigUint::zero());
+        // exponent zero ⇒ 1
+        assert_eq!(big(9).modpow(&BigUint::zero(), &big(13)), big(1));
+    }
+
+    #[test]
+    fn modpow_large() {
+        // 2^128 mod (2^127 - 1) = 2  (since 2^127 ≡ 1 mod M127)
+        let m127 = BigUint::from_hex("7fffffffffffffffffffffffffffffff");
+        assert_eq!(big(2).modpow(&big(128), &m127), big(2));
+    }
+
+    #[test]
+    fn dh_commutativity_small_prime() {
+        // Toy DH over p=1019 (prime), g=2: g^(ab) must match both orders.
+        let p = big(1019);
+        let g = big(2);
+        let a = big(347);
+        let b = big(731);
+        let ga = g.modpow(&a, &p);
+        let gb = g.modpow(&b, &p);
+        assert_eq!(ga.modpow(&b, &p), gb.modpow(&a, &p));
+    }
+
+    #[test]
+    fn modinv_small_cases() {
+        // 3 * 5 = 15 ≡ 1 (mod 7)
+        assert_eq!(big(3).modinv(&big(7)), Some(big(5)));
+        // 10 and 15 share factor 5: no inverse.
+        assert_eq!(big(10).modinv(&big(15)), None);
+        // Inverse of 1 is 1.
+        assert_eq!(big(1).modinv(&big(97)), Some(big(1)));
+        // Self-check across a prime modulus: a * a^-1 ≡ 1.
+        let m = big(101);
+        for a in 1u64..100 {
+            let inv = big(a).modinv(&m).expect("prime modulus");
+            assert_eq!(big(a).modmul(&inv, &m), big(1), "a={a}");
+        }
+    }
+
+    #[test]
+    fn modinv_large() {
+        let m = BigUint::from_hex("fffffffffffffffffffffffffffffffeffffffffffffffff"); // P-192 order-ish
+        let a = BigUint::from_hex("deadbeefcafebabe0123456789abcdef");
+        if let Some(inv) = a.modinv(&m) {
+            assert_eq!(a.modmul(&inv, &m), BigUint::one());
+        } else {
+            panic!("expected invertible");
+        }
+    }
+
+    #[test]
+    fn miller_rabin_agrees_with_small_sieve() {
+        // Check against trial division for n < 2000.
+        let mut seed = 0x12345u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed
+        };
+        for n in 2u64..2000 {
+            let truth = (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0) && n >= 2;
+            let got = big(n).is_probable_prime(16, &mut rng);
+            assert_eq!(got, truth, "n={n}");
+        }
+    }
+
+    #[test]
+    fn miller_rabin_known_large_prime_and_composite() {
+        let mut seed = 99u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed
+        };
+        // 2^89 - 1 is a Mersenne prime.
+        let m89 = BigUint::from_u64(1).shl(89).sub(&BigUint::one());
+        assert!(m89.is_probable_prime(16, &mut rng));
+        // 2^89 + 1 is divisible by 3.
+        let c = BigUint::from_u64(1).shl(89).add(&BigUint::one());
+        assert!(!c.is_probable_prime(16, &mut rng));
+        // A Carmichael number (561 = 3·11·17) must be caught.
+        assert!(!big(561).is_probable_prime(16, &mut rng));
+    }
+
+    #[test]
+    fn bytes_be_roundtrip_strips_leading_zeros() {
+        let n = BigUint::from_bytes_be(&[0, 0, 1, 2]);
+        assert_eq!(n.to_bytes_be(), vec![1, 2]);
+        assert_eq!(n.to_bytes_be_padded(4), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) < big(6));
+        assert!(BigUint::from_hex("100000000") > big(0xffffffff));
+        assert_eq!(big(42).cmp_to(&big(42)), Ordering::Equal);
+    }
+}

@@ -1,0 +1,107 @@
+//! CRC-32 (IEEE 802.3 polynomial).
+//!
+//! §5.3 argues that software key caches need a hash that *randomises
+//! correlated input* (local addresses, sequential sfls) before the modulo
+//! that indexes the cache, and names CRC-32 as the example. The Fig.-7
+//! mapper indexes the flow state table with
+//! `CRC-32(saddr, sport, daddr, dport, proto) mod FSTSIZE`.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB88320;
+
+/// Build the 256-entry lookup table at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *e = crc;
+        }
+        t
+    })
+}
+
+/// A streaming CRC-32 state.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh CRC state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = (self.state >> 8) ^ t[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Final CRC value.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The standard CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn sequential_inputs_decorrelate() {
+        // The whole point of using CRC-32 for cache indexing (§5.3):
+        // sequential sfls must spread across cache indices. Check that 256
+        // consecutive sfls hit many distinct slots of a 64-entry table.
+        let mut slots = std::collections::HashSet::new();
+        for sfl in 0u64..256 {
+            slots.insert(crc32(&sfl.to_be_bytes()) % 64);
+        }
+        assert_eq!(slots.len(), 64, "CRC should cover all 64 slots");
+    }
+}

@@ -1,0 +1,670 @@
+//! DES block cipher (FIPS 46) with the four FIPS 81 modes of operation.
+//!
+//! The paper's IP mapping uses DES-CBC for data confidentiality (§7.2), with
+//! the per-datagram *confounder* duplicated to 64 bits and used as the IV
+//! (§5.2). The ECB-mode confounder-XOR trick from §5.2 is provided as well.
+//!
+//! **Security note:** DES has a 56-bit key and is thoroughly broken by modern
+//! standards. It is implemented here only because the paper specifies it;
+//! see the crate-level disclaimer.
+
+/// DES block size in bytes.
+pub const BLOCK_SIZE: usize = 8;
+
+// --- FIPS 46 permutation tables (1-based bit positions, MSB = bit 1) ------
+
+/// Initial permutation IP.
+const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+/// Final permutation IP⁻¹.
+const FP: [u8; 64] = [
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31, 38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29, 36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+];
+
+/// Expansion function E (32 → 48 bits).
+const E: [u8; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
+    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+/// Permutation P applied to the S-box output.
+const P: [u8; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+/// The eight S-boxes.
+const SBOX: [[u8; 64]; 8] = [
+    [
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6,
+        12, 11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2,
+        4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ],
+    [
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10, 3, 13, 4, 7, 15, 2, 8, 14, 12, 0,
+        1, 10, 6, 9, 11, 5, 0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15, 13, 8, 10, 1,
+        3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ],
+    [
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8, 13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5,
+        14, 12, 11, 15, 1, 13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7, 1, 10, 13, 0, 6,
+        9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ],
+    [
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15, 13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2,
+        12, 1, 10, 14, 9, 10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4, 3, 15, 0, 6, 10,
+        1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ],
+    [
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9, 14, 11, 2, 12, 4, 7, 13, 1, 5, 0,
+        15, 10, 3, 9, 8, 6, 4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14, 11, 8, 12, 7,
+        1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ],
+    [
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11, 10, 15, 4, 2, 7, 12, 9, 5, 6, 1,
+        13, 14, 0, 11, 3, 8, 9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6, 4, 3, 2, 12,
+        9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ],
+    [
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1, 13, 0, 11, 7, 4, 9, 1, 10, 14, 3,
+        5, 12, 2, 15, 8, 6, 1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2, 6, 11, 13, 8,
+        1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ],
+    [
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7, 1, 15, 13, 8, 10, 3, 7, 4, 12, 5,
+        6, 11, 0, 14, 9, 2, 7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8, 2, 1, 14, 7, 4,
+        10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ],
+];
+
+/// Permuted choice 1 (64 → 56 bits, drops parity bits).
+const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
+    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37,
+    29, 21, 13, 5, 28, 20, 12, 4,
+];
+
+/// Permuted choice 2 (56 → 48 bits).
+const PC2: [u8; 48] = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
+    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+];
+
+/// Per-round left-rotation amounts for the key schedule.
+const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+/// Apply a 1-based-source bit permutation of `src` (an `in_bits`-bit value
+/// right-aligned in a u64) producing `table.len()` output bits.
+fn permute(src: u64, in_bits: u32, table: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for &pos in table {
+        out <<= 1;
+        out |= (src >> (in_bits - pos as u32)) & 1;
+    }
+    out
+}
+
+/// A DES key schedule: 16 48-bit subkeys.
+///
+/// ```
+/// use fbs_crypto::des::{Des, Mode, encrypt, decrypt};
+/// let key = Des::new(b"8bytekey");
+/// let confounder_iv = 0xDEADBEEF_DEADBEEF; // duplicated 32-bit confounder
+/// let ct = encrypt(&key, confounder_iv, Mode::Cbc, b"attack at dawn");
+/// let pt = decrypt(&key, confounder_iv, Mode::Cbc, &ct, b"attack at dawn".len());
+/// assert_eq!(pt, b"attack at dawn");
+/// ```
+#[derive(Clone)]
+pub struct Des {
+    subkeys: [u64; 16],
+}
+
+impl Des {
+    /// Build the key schedule from an 8-byte key (parity bits ignored).
+    pub fn new(key: &[u8; 8]) -> Self {
+        let key64 = u64::from_be_bytes(*key);
+        let pc1 = permute(key64, 64, &PC1); // 56 bits
+        let mut c = (pc1 >> 28) & 0x0fff_ffff;
+        let mut d = pc1 & 0x0fff_ffff;
+        let mut subkeys = [0u64; 16];
+        for (round, &s) in SHIFTS.iter().enumerate() {
+            c = ((c << s) | (c >> (28 - s as u32))) & 0x0fff_ffff;
+            d = ((d << s) | (d >> (28 - s as u32))) & 0x0fff_ffff;
+            subkeys[round] = permute((c << 28) | d, 56, &PC2);
+        }
+        Des { subkeys }
+    }
+
+    /// The Feistel function f(R, K).
+    fn feistel(r: u32, subkey: u64) -> u32 {
+        let expanded = permute(r as u64, 32, &E) ^ subkey; // 48 bits
+        let mut sboxed = 0u32;
+        for (i, sbox) in SBOX.iter().enumerate() {
+            let chunk = ((expanded >> (42 - 6 * i)) & 0x3f) as u8;
+            // Row = outer bits, column = inner four bits.
+            let row = ((chunk & 0x20) >> 4) | (chunk & 1);
+            let col = (chunk >> 1) & 0xf;
+            sboxed = (sboxed << 4) | sbox[(row * 16 + col) as usize] as u32;
+        }
+        permute(sboxed as u64, 32, &P) as u32
+    }
+
+    fn crypt_block(&self, block: u64, decrypt: bool) -> u64 {
+        let permuted = permute(block, 64, &IP);
+        let mut l = (permuted >> 32) as u32;
+        let mut r = permuted as u32;
+        for round in 0..16 {
+            let k = if decrypt {
+                self.subkeys[15 - round]
+            } else {
+                self.subkeys[round]
+            };
+            let next_r = l ^ Self::feistel(r, k);
+            l = r;
+            r = next_r;
+        }
+        // Note the final swap: output is R16 || L16.
+        permute(((r as u64) << 32) | l as u64, 64, &FP)
+    }
+
+    /// Encrypt a single 8-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 8]) {
+        let out = self.crypt_block(u64::from_be_bytes(*block), false);
+        *block = out.to_be_bytes();
+    }
+
+    /// Decrypt a single 8-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 8]) {
+        let out = self.crypt_block(u64::from_be_bytes(*block), true);
+        *block = out.to_be_bytes();
+    }
+}
+
+/// A 64-bit block cipher: the interface the FIPS 81 modes operate over.
+/// Implemented by [`Des`] and [`TripleDes`] so every mode and the
+/// single-pass MAC+encrypt loop work with either.
+pub trait BlockCipher {
+    /// Encrypt one 8-byte block in place.
+    fn encrypt_block(&self, block: &mut [u8; 8]);
+    /// Decrypt one 8-byte block in place.
+    fn decrypt_block(&self, block: &mut [u8; 8]);
+}
+
+impl BlockCipher for Des {
+    fn encrypt_block(&self, block: &mut [u8; 8]) {
+        Des::encrypt_block(self, block)
+    }
+    fn decrypt_block(&self, block: &mut [u8; 8]) {
+        Des::decrypt_block(self, block)
+    }
+}
+
+impl BlockCipher for TripleDes {
+    fn encrypt_block(&self, block: &mut [u8; 8]) {
+        TripleDes::encrypt_block(self, block)
+    }
+    fn decrypt_block(&self, block: &mut [u8; 8]) {
+        TripleDes::decrypt_block(self, block)
+    }
+}
+
+/// Triple DES (EDE3): encrypt-decrypt-encrypt under three independent
+/// subkeys. CryptoLib shipped 3DES beside DES; FBS's algorithm-ID field
+/// lets a deployment select it when single DES's 56-bit key is too weak.
+/// Exposes the same block interface as [`Des`], so every FIPS 81 mode and
+/// the single-pass MAC+encrypt loop work unchanged.
+#[derive(Clone)]
+pub struct TripleDes {
+    k1: Des,
+    k2: Des,
+    k3: Des,
+}
+
+impl TripleDes {
+    /// Build from a 24-byte key (three DES keys, EDE3).
+    pub fn new(key: &[u8; 24]) -> Self {
+        TripleDes {
+            k1: Des::new(key[0..8].try_into().unwrap()),
+            k2: Des::new(key[8..16].try_into().unwrap()),
+            k3: Des::new(key[16..24].try_into().unwrap()),
+        }
+    }
+
+    /// Build in two-key (EDE2) form from 16 bytes: K3 = K1.
+    pub fn new_ede2(key: &[u8; 16]) -> Self {
+        TripleDes {
+            k1: Des::new(key[0..8].try_into().unwrap()),
+            k2: Des::new(key[8..16].try_into().unwrap()),
+            k3: Des::new(key[0..8].try_into().unwrap()),
+        }
+    }
+
+    /// Encrypt one block: `E_{k3}(D_{k2}(E_{k1}(x)))`.
+    pub fn encrypt_block(&self, block: &mut [u8; 8]) {
+        self.k1.encrypt_block(block);
+        self.k2.decrypt_block(block);
+        self.k3.encrypt_block(block);
+    }
+
+    /// Decrypt one block: `D_{k1}(E_{k2}(D_{k3}(x)))`.
+    pub fn decrypt_block(&self, block: &mut [u8; 8]) {
+        self.k3.decrypt_block(block);
+        self.k2.encrypt_block(block);
+        self.k1.decrypt_block(block);
+    }
+}
+
+/// The four DES weak keys (self-inverse key schedules) with parity bits
+/// set; [`is_weak_key`] checks parity-insensitively.
+const WEAK_KEYS: [u64; 4] = [
+    0x0101010101010101,
+    0xFEFEFEFEFEFEFEFE,
+    0xE0E0E0E0F1F1F1F1,
+    0x1F1F1F1F0E0E0E0E,
+];
+
+/// The twelve semi-weak keys (six pairs whose schedules are mutual
+/// inverses), with parity bits set.
+const SEMI_WEAK_KEYS: [u64; 12] = [
+    0x01FE01FE01FE01FE,
+    0xFE01FE01FE01FE01,
+    0x1FE01FE00EF10EF1,
+    0xE01FE01FF10EF10E,
+    0x01E001E001F101F1,
+    0xE001E001F101F101,
+    0x1FFE1FFE0EFE0EFE,
+    0xFE1FFE1FFE0EFE0E,
+    0x011F011F010E010E,
+    0x1F011F010E010E01,
+    0xE0FEE0FEF1FEF1FE,
+    0xFEE0FEE0FEF1FEF1,
+];
+
+/// True when `key` is one of DES's four weak keys (for which encryption
+/// equals decryption) or twelve semi-weak key pair members. Derived flow
+/// keys hit these with probability ~2⁻⁵², but a careful implementation
+/// checks anyway and rotates the flow (new sfl ⇒ new key) when it happens.
+pub fn is_weak_key(key: &[u8; 8]) -> bool {
+    // Compare with parity bits masked out (DES ignores the low bit of
+    // each key byte).
+    let strip = |k: u64| k & 0xFEFE_FEFE_FEFE_FEFE;
+    let k = strip(u64::from_be_bytes(*key));
+    WEAK_KEYS
+        .iter()
+        .chain(SEMI_WEAK_KEYS.iter())
+        .any(|&w| strip(w) == k)
+}
+
+/// DES mode of operation (FIPS 81). The paper's confounder supplies the IV
+/// for CBC/CFB/OFB; in ECB mode the confounder is XORed with every plaintext
+/// block before encryption (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Electronic codebook with confounder whitening per §5.2.
+    Ecb,
+    /// Cipher block chaining (the paper's implementation choice, §7.2).
+    Cbc,
+    /// 64-bit cipher feedback.
+    Cfb,
+    /// 64-bit output feedback.
+    Ofb,
+}
+
+/// Pad `data` to a multiple of 8 bytes with zero bytes. FBS carries the
+/// true payload length in the security flow header, so zero padding is
+/// unambiguous at this layer.
+pub fn zero_pad(data: &[u8]) -> Vec<u8> {
+    let mut v = data.to_vec();
+    let rem = v.len() % BLOCK_SIZE;
+    if rem != 0 {
+        v.resize(v.len() + (BLOCK_SIZE - rem), 0);
+    }
+    v
+}
+
+/// Streaming block encryptor carrying the chaining state of a mode.
+///
+/// The single-pass MAC+encrypt loop of §5.3 needs to process one block at a
+/// time; this and [`BlockDecryptor`] expose exactly that, and the
+/// whole-buffer [`encrypt`]/[`decrypt`] functions are built on them.
+pub struct BlockEncryptor<'a, C: BlockCipher = Des> {
+    des: &'a C,
+    mode: Mode,
+    /// CBC: previous ciphertext. CFB: previous ciphertext. OFB: keystream
+    /// feedback. ECB: the constant whitening confounder.
+    state: u64,
+}
+
+impl<'a, C: BlockCipher> BlockEncryptor<'a, C> {
+    /// Begin encrypting with `iv` (the duplicated confounder).
+    pub fn new(des: &'a C, mode: Mode, iv: u64) -> Self {
+        BlockEncryptor {
+            des,
+            mode,
+            state: iv,
+        }
+    }
+
+    /// Encrypt one block in place.
+    pub fn process(&mut self, block: &mut [u8; 8]) {
+        match self.mode {
+            Mode::Ecb => {
+                *block = (u64::from_be_bytes(*block) ^ self.state).to_be_bytes();
+                self.des.encrypt_block(block);
+            }
+            Mode::Cbc => {
+                *block = (u64::from_be_bytes(*block) ^ self.state).to_be_bytes();
+                self.des.encrypt_block(block);
+                self.state = u64::from_be_bytes(*block);
+            }
+            Mode::Cfb => {
+                let mut keystream = self.state.to_be_bytes();
+                self.des.encrypt_block(&mut keystream);
+                let c = u64::from_be_bytes(*block) ^ u64::from_be_bytes(keystream);
+                *block = c.to_be_bytes();
+                self.state = c;
+            }
+            Mode::Ofb => {
+                let mut keystream = self.state.to_be_bytes();
+                self.des.encrypt_block(&mut keystream);
+                self.state = u64::from_be_bytes(keystream);
+                let c = u64::from_be_bytes(*block) ^ self.state;
+                *block = c.to_be_bytes();
+            }
+        }
+    }
+}
+
+/// Streaming block decryptor; see [`BlockEncryptor`].
+pub struct BlockDecryptor<'a, C: BlockCipher = Des> {
+    des: &'a C,
+    mode: Mode,
+    state: u64,
+}
+
+impl<'a, C: BlockCipher> BlockDecryptor<'a, C> {
+    /// Begin decrypting with `iv` (the duplicated confounder).
+    pub fn new(des: &'a C, mode: Mode, iv: u64) -> Self {
+        BlockDecryptor {
+            des,
+            mode,
+            state: iv,
+        }
+    }
+
+    /// Decrypt one block in place.
+    pub fn process(&mut self, block: &mut [u8; 8]) {
+        match self.mode {
+            Mode::Ecb => {
+                self.des.decrypt_block(block);
+                *block = (u64::from_be_bytes(*block) ^ self.state).to_be_bytes();
+            }
+            Mode::Cbc => {
+                let this_cipher = u64::from_be_bytes(*block);
+                self.des.decrypt_block(block);
+                *block = (u64::from_be_bytes(*block) ^ self.state).to_be_bytes();
+                self.state = this_cipher;
+            }
+            Mode::Cfb => {
+                let mut keystream = self.state.to_be_bytes();
+                self.des.encrypt_block(&mut keystream);
+                let this_cipher = u64::from_be_bytes(*block);
+                *block = (this_cipher ^ u64::from_be_bytes(keystream)).to_be_bytes();
+                self.state = this_cipher;
+            }
+            Mode::Ofb => {
+                let mut keystream = self.state.to_be_bytes();
+                self.des.encrypt_block(&mut keystream);
+                self.state = u64::from_be_bytes(keystream);
+                let c = u64::from_be_bytes(*block) ^ self.state;
+                *block = c.to_be_bytes();
+            }
+        }
+    }
+}
+
+/// Encrypt `plaintext` (any length; zero-padded to a block multiple) under
+/// `key` with the 64-bit `iv` (the duplicated confounder) in `mode`.
+pub fn encrypt<C: BlockCipher>(key: &C, iv: u64, mode: Mode, plaintext: &[u8]) -> Vec<u8> {
+    let mut data = zero_pad(plaintext);
+    let mut enc = BlockEncryptor::new(key, mode, iv);
+    for chunk in data.chunks_exact_mut(8) {
+        enc.process(chunk.try_into().unwrap());
+    }
+    data
+}
+
+/// Decrypt `ciphertext` produced by [`encrypt`]; `orig_len` trims padding.
+///
+/// # Panics
+/// Panics if `ciphertext` is not a block multiple or `orig_len` exceeds it.
+pub fn decrypt<C: BlockCipher>(
+    key: &C,
+    iv: u64,
+    mode: Mode,
+    ciphertext: &[u8],
+    orig_len: usize,
+) -> Vec<u8> {
+    assert!(
+        ciphertext.len().is_multiple_of(BLOCK_SIZE),
+        "ciphertext not a block multiple"
+    );
+    assert!(orig_len <= ciphertext.len(), "orig_len exceeds ciphertext");
+    let mut data = ciphertext.to_vec();
+    let mut dec = BlockDecryptor::new(key, mode, iv);
+    for chunk in data.chunks_exact_mut(8) {
+        dec.process(chunk.try_into().unwrap());
+    }
+    data.truncate(orig_len);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic worked example from FIPS 46 teaching material.
+    #[test]
+    fn fips_worked_example_vector() {
+        let key = Des::new(&0x133457799BBCDFF1u64.to_be_bytes());
+        let mut block = 0x0123456789ABCDEFu64.to_be_bytes();
+        key.encrypt_block(&mut block);
+        assert_eq!(u64::from_be_bytes(block), 0x85E813540F0AB405);
+        key.decrypt_block(&mut block);
+        assert_eq!(u64::from_be_bytes(block), 0x0123456789ABCDEF);
+    }
+
+    /// Known-answer vectors from the NBS/NIST DES validation suite.
+    #[test]
+    fn known_answer_vectors() {
+        let cases: [(u64, u64, u64); 4] = [
+            (0x0000000000000000, 0x0000000000000000, 0x8CA64DE9C1B123A7),
+            (0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x7359B2163E4EDC58),
+            (0x3000000000000000, 0x1000000000000001, 0x958E6E627A05557B),
+            (0x1111111111111111, 0x1111111111111111, 0xF40379AB9E0EC533),
+        ];
+        for (k, p, c) in cases {
+            let des = Des::new(&k.to_be_bytes());
+            let mut block = p.to_be_bytes();
+            des.encrypt_block(&mut block);
+            assert_eq!(u64::from_be_bytes(block), c, "key={k:016x}");
+            des.decrypt_block(&mut block);
+            assert_eq!(u64::from_be_bytes(block), p);
+        }
+    }
+
+    #[test]
+    fn all_modes_roundtrip() {
+        let des = Des::new(b"8bytekey");
+        let msg = b"The quick brown fox jumps over the lazy dog";
+        for mode in [Mode::Ecb, Mode::Cbc, Mode::Cfb, Mode::Ofb] {
+            let ct = encrypt(&des, 0xDEADBEEF_CAFEBABE, mode, msg);
+            assert_eq!(ct.len() % 8, 0);
+            let pt = decrypt(&des, 0xDEADBEEF_CAFEBABE, mode, &ct, msg.len());
+            assert_eq!(&pt, msg, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_iv_fails_to_decrypt() {
+        let des = Des::new(b"8bytekey");
+        let msg = b"confounder matters!!";
+        let ct = encrypt(&des, 1, Mode::Cbc, msg);
+        let pt = decrypt(&des, 2, Mode::Cbc, &ct, msg.len());
+        assert_ne!(&pt, msg);
+    }
+
+    #[test]
+    fn cbc_identical_blocks_differ_in_ciphertext() {
+        let des = Des::new(b"8bytekey");
+        let msg = [0xAA; 16]; // two identical plaintext blocks
+        let ct = encrypt(&des, 7, Mode::Cbc, &msg);
+        assert_ne!(ct[..8], ct[8..16], "CBC must hide identical blocks");
+    }
+
+    #[test]
+    fn ecb_confounder_whitening_hides_repeats_across_datagrams() {
+        // Same plaintext, different confounders ⇒ different ciphertexts even
+        // in ECB (the §5.2 confounder-XOR construction).
+        let des = Des::new(b"8bytekey");
+        let msg = [0x42; 8];
+        let c1 = encrypt(&des, 1111, Mode::Ecb, &msg);
+        let c2 = encrypt(&des, 2222, Mode::Ecb, &msg);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn empty_plaintext() {
+        let des = Des::new(b"8bytekey");
+        let ct = encrypt(&des, 0, Mode::Cbc, b"");
+        assert!(ct.is_empty());
+        assert!(decrypt(&des, 0, Mode::Cbc, &ct, 0).is_empty());
+    }
+
+    #[test]
+    fn exact_block_multiple_no_padding_growth() {
+        let des = Des::new(b"8bytekey");
+        let msg = [7u8; 24];
+        let ct = encrypt(&des, 9, Mode::Ofb, &msg);
+        assert_eq!(ct.len(), 24);
+    }
+
+    #[test]
+    fn incremental_matches_whole_buffer() {
+        let des = Des::new(b"8bytekey");
+        let msg = [0x5Au8; 32];
+        for mode in [Mode::Ecb, Mode::Cbc, Mode::Cfb, Mode::Ofb] {
+            let whole = encrypt(&des, 0x1234, mode, &msg);
+            let mut inc = msg;
+            let mut e = BlockEncryptor::new(&des, mode, 0x1234);
+            for chunk in inc.chunks_exact_mut(8) {
+                e.process(chunk.try_into().unwrap());
+            }
+            assert_eq!(&inc[..], &whole[..], "encrypt {mode:?}");
+            let mut d = BlockDecryptor::new(&des, mode, 0x1234);
+            for chunk in inc.chunks_exact_mut(8) {
+                d.process(chunk.try_into().unwrap());
+            }
+            assert_eq!(inc, msg, "decrypt {mode:?}");
+        }
+    }
+
+    #[test]
+    fn triple_des_roundtrip_and_known_vector() {
+        // EDE3 with all-equal subkeys degenerates to single DES — the
+        // classic interop check.
+        let single = Des::new(&0x0123456789ABCDEFu64.to_be_bytes());
+        let mut key24 = [0u8; 24];
+        for chunk in key24.chunks_mut(8) {
+            chunk.copy_from_slice(&0x0123456789ABCDEFu64.to_be_bytes());
+        }
+        let triple = TripleDes::new(&key24);
+        let mut b1 = *b"8bytemsg";
+        let mut b2 = *b"8bytemsg";
+        single.encrypt_block(&mut b1);
+        triple.encrypt_block(&mut b2);
+        assert_eq!(b1, b2, "EDE3 with equal keys == single DES");
+        triple.decrypt_block(&mut b2);
+        assert_eq!(&b2, b"8bytemsg");
+    }
+
+    #[test]
+    fn triple_des_distinct_keys_differ_from_single() {
+        let mut key24 = [0u8; 24];
+        key24[..8].copy_from_slice(b"key-one!");
+        key24[8..16].copy_from_slice(b"key-two!");
+        key24[16..].copy_from_slice(b"key-tre!");
+        let triple = TripleDes::new(&key24);
+        let single = Des::new(b"key-one!");
+        let mut b1 = *b"blockblk";
+        let mut b2 = *b"blockblk";
+        triple.encrypt_block(&mut b1);
+        single.encrypt_block(&mut b2);
+        assert_ne!(b1, b2);
+        triple.decrypt_block(&mut b1);
+        assert_eq!(&b1, b"blockblk");
+    }
+
+    #[test]
+    fn ede2_sets_k3_equal_k1() {
+        let mut key16 = [0u8; 16];
+        key16[..8].copy_from_slice(b"key-one!");
+        key16[8..].copy_from_slice(b"key-two!");
+        let ede2 = TripleDes::new_ede2(&key16);
+        let mut key24 = [0u8; 24];
+        key24[..16].copy_from_slice(&key16);
+        key24[16..].copy_from_slice(b"key-one!");
+        let ede3 = TripleDes::new(&key24);
+        let mut b1 = *b"testblok";
+        let mut b2 = *b"testblok";
+        ede2.encrypt_block(&mut b1);
+        ede3.encrypt_block(&mut b2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn weak_key_detection() {
+        // The four weak keys, with and without parity bits.
+        assert!(is_weak_key(&[0x01; 8]));
+        assert!(is_weak_key(&[0x00; 8])); // parity-stripped 0101...
+        assert!(is_weak_key(&[0xFE; 8]));
+        assert!(is_weak_key(&0xE0E0E0E0F1F1F1F1u64.to_be_bytes()));
+        assert!(is_weak_key(&0x1F1F1F1F0E0E0E0Eu64.to_be_bytes()));
+        // A semi-weak pair member: 01FE01FE01FE01FE.
+        assert!(is_weak_key(&0x01FE01FE01FE01FEu64.to_be_bytes()));
+        assert!(is_weak_key(&0xE01FE01FF10EF10Eu64.to_be_bytes() ));
+        // Ordinary keys are not flagged.
+        assert!(!is_weak_key(b"8bytekey"));
+        assert!(!is_weak_key(&0x133457799BBCDFF1u64.to_be_bytes()));
+    }
+
+    #[test]
+    fn weak_key_property_encryption_is_involution() {
+        // The defining property: under a weak key, E(E(x)) = x.
+        let weak = Des::new(&[0x01; 8]);
+        let mut b = *b"involute";
+        weak.encrypt_block(&mut b);
+        weak.encrypt_block(&mut b);
+        assert_eq!(&b, b"involute");
+    }
+
+    #[test]
+    fn complementation_property() {
+        // DES has the property E_{~k}(~p) = ~E_k(p).
+        let k = 0x133457799BBCDFF1u64;
+        let p = 0x0123456789ABCDEFu64;
+        let des = Des::new(&k.to_be_bytes());
+        let des_comp = Des::new(&(!k).to_be_bytes());
+        let mut b1 = p.to_be_bytes();
+        des.encrypt_block(&mut b1);
+        let mut b2 = (!p).to_be_bytes();
+        des_comp.encrypt_block(&mut b2);
+        assert_eq!(u64::from_be_bytes(b1), !u64::from_be_bytes(b2));
+    }
+}

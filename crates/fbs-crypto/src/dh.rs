@@ -1,0 +1,180 @@
+//! Diffie-Hellman key exchange for zero-message keying.
+//!
+//! FBS assumes each principal holds a private value `s` whose public value
+//! `g^s mod p` is distributed and authenticated out of band (certificates or
+//! secure DNS, §5.2). The pair-based master key `K_{S,D} = g^{sd} mod p` is
+//! then computable by exactly the two endpoints with no message exchange.
+//!
+//! The well-known groups are the Oakley MODP groups 1 (768-bit) and 2
+//! (1024-bit) from RFC 2409 — the contemporaneous standard choices — plus a
+//! small 256-bit test group for fast unit tests.
+
+use crate::bignum::BigUint;
+
+/// RFC 2409 Oakley group 1: 768-bit prime, generator 2.
+pub const OAKLEY_GROUP1_PRIME_HEX: &str = "\
+FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF";
+
+/// RFC 2409 Oakley group 2: 1024-bit prime, generator 2.
+pub const OAKLEY_GROUP2_PRIME_HEX: &str = "\
+FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF";
+
+/// A Diffie-Hellman group (prime modulus + generator).
+#[derive(Clone, Debug)]
+pub struct DhGroup {
+    /// Prime modulus `p`.
+    pub p: BigUint,
+    /// Generator `g`.
+    pub g: BigUint,
+    /// Human-readable name for diagnostics.
+    pub name: &'static str,
+}
+
+impl DhGroup {
+    /// Oakley group 1 (768-bit). The default for FBS principals.
+    pub fn oakley1() -> Self {
+        DhGroup {
+            p: BigUint::from_hex(OAKLEY_GROUP1_PRIME_HEX),
+            g: BigUint::from_u64(2),
+            name: "oakley-group-1-768",
+        }
+    }
+
+    /// Oakley group 2 (1024-bit).
+    pub fn oakley2() -> Self {
+        DhGroup {
+            p: BigUint::from_hex(OAKLEY_GROUP2_PRIME_HEX),
+            g: BigUint::from_u64(2),
+            name: "oakley-group-2-1024",
+        }
+    }
+
+    /// A tiny 61-bit group for fast tests ONLY (p = 2^61 - 1, a Mersenne
+    /// prime; g = 37). Never use outside test code.
+    pub fn test_group() -> Self {
+        DhGroup {
+            p: BigUint::from_u64((1u64 << 61) - 1),
+            g: BigUint::from_u64(37),
+            name: "test-group-61 (INSECURE)",
+        }
+    }
+
+    /// Size of a serialised public value for this group, in bytes.
+    pub fn element_len(&self) -> usize {
+        self.p.bit_len().div_ceil(8)
+    }
+}
+
+/// A principal's private value `s` plus its group.
+#[derive(Clone)]
+pub struct PrivateValue {
+    group: DhGroup,
+    s: BigUint,
+}
+
+/// A principal's public value `g^s mod p`, serialisable for certificates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicValue {
+    /// `g^s mod p`, big-endian, left-padded to the group element length.
+    pub bytes: Vec<u8>,
+}
+
+impl PrivateValue {
+    /// Create a private value from `entropy` (≥ 20 bytes recommended; the
+    /// exponent is reduced into `[2, p-2]`).
+    ///
+    /// # Panics
+    /// Panics if `entropy` is empty.
+    pub fn from_entropy(group: DhGroup, entropy: &[u8]) -> Self {
+        assert!(!entropy.is_empty(), "private value needs entropy");
+        let two = BigUint::from_u64(2);
+        let span = group.p.sub(&BigUint::from_u64(3)); // p-3 ≥ 1 for real groups
+        let s = BigUint::from_bytes_be(entropy).rem(&span).add(&two);
+        PrivateValue { group, s }
+    }
+
+    /// The corresponding public value `g^s mod p`.
+    pub fn public_value(&self) -> PublicValue {
+        let v = self.group.g.modpow(&self.s, &self.group.p);
+        PublicValue {
+            bytes: v.to_bytes_be_padded(self.group.element_len()),
+        }
+    }
+
+    /// Compute the pair-based master key `K_{S,D} = peer^s mod p`, returned
+    /// as the group-element-length big-endian byte string fed to the flow
+    /// key derivation hash.
+    pub fn master_key(&self, peer: &PublicValue) -> Vec<u8> {
+        let peer_v = BigUint::from_bytes_be(&peer.bytes);
+        let shared = peer_v.modpow(&self.s, &self.group.p);
+        shared.to_bytes_be_padded(self.group.element_len())
+    }
+
+    /// The group this private value belongs to.
+    pub fn group(&self) -> &DhGroup {
+        &self.group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_group_agreement() {
+        let g = DhGroup::test_group();
+        let alice = PrivateValue::from_entropy(g.clone(), b"alice-secret-entropy");
+        let bob = PrivateValue::from_entropy(g, b"bob-secret-entropy!!");
+        let k_ab = alice.master_key(&bob.public_value());
+        let k_ba = bob.master_key(&alice.public_value());
+        assert_eq!(k_ab, k_ba, "DH agreement must be symmetric");
+        assert!(!k_ab.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn different_pairs_different_keys() {
+        let g = DhGroup::test_group();
+        let a = PrivateValue::from_entropy(g.clone(), b"aaaaaaaaaaaaaaaaaaaa");
+        let b = PrivateValue::from_entropy(g.clone(), b"bbbbbbbbbbbbbbbbbbbb");
+        let c = PrivateValue::from_entropy(g, b"cccccccccccccccccccc");
+        let k_ab = a.master_key(&b.public_value());
+        let k_ac = a.master_key(&c.public_value());
+        assert_ne!(k_ab, k_ac);
+    }
+
+    #[test]
+    fn oakley1_agreement() {
+        // Full-size group: slowish but exercises the real code path once.
+        let g = DhGroup::oakley1();
+        let alice = PrivateValue::from_entropy(g.clone(), &[7u8; 24]);
+        let bob = PrivateValue::from_entropy(g.clone(), &[9u8; 24]);
+        let k_ab = alice.master_key(&bob.public_value());
+        let k_ba = bob.master_key(&alice.public_value());
+        assert_eq!(k_ab, k_ba);
+        assert_eq!(k_ab.len(), g.element_len());
+        assert_eq!(g.element_len(), 96); // 768 bits
+    }
+
+    #[test]
+    fn oakley2_element_len() {
+        assert_eq!(DhGroup::oakley2().element_len(), 128); // 1024 bits
+    }
+
+    #[test]
+    fn public_value_padded_length() {
+        let g = DhGroup::test_group();
+        let a = PrivateValue::from_entropy(g.clone(), b"xxxxxxxxxxxxxxxxxxxx");
+        assert_eq!(a.public_value().bytes.len(), g.element_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "entropy")]
+    fn empty_entropy_panics() {
+        PrivateValue::from_entropy(DhGroup::test_group(), b"");
+    }
+}

@@ -1,0 +1,401 @@
+//! Keyed message authentication codes.
+//!
+//! The paper defines the FBS MAC as `HMAC(K_f | confounder | timestamp |
+//! payload)` where `HMAC` is "some one-way cryptographic hash function"
+//! (§5.2) — i.e. a *prefix-keyed hash*, the 1997 idiom (keyed MD5, §7.2).
+//! This module provides:
+//!
+//! * [`keyed_digest`] — the paper's exact prefix-key construction;
+//! * [`hmac_md5`] / [`hmac_sha1`] — RFC 2104 HMAC, offered as the
+//!   modern-construction ablation (prefix-keyed MD5 is vulnerable to
+//!   length-extension; FBS's fixed-length header fields mitigate but do not
+//!   eliminate this, and the algorithm-ID field lets deployments upgrade);
+//! * [`MacAlgorithm`] — the algorithm-identification selector (§5.2).
+
+use crate::md5::{self, Md5};
+use crate::sha1::{self, Sha1};
+
+/// Maximum MAC output size across supported algorithms.
+pub const MAX_MAC_SIZE: usize = 20;
+
+/// MAC algorithm selector for the FBS header's algorithm-ID field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MacAlgorithm {
+    /// Prefix-keyed MD5 (the paper's implementation choice): 16 bytes.
+    KeyedMd5,
+    /// Prefix-keyed SHA-1 ("SHS" in the paper): 20 bytes, truncatable.
+    KeyedSha1,
+    /// RFC 2104 HMAC-MD5: 16 bytes.
+    HmacMd5,
+    /// RFC 2104 HMAC-SHA1: 20 bytes.
+    HmacSha1,
+}
+
+impl MacAlgorithm {
+    /// Output length in bytes before truncation.
+    pub fn output_len(self) -> usize {
+        match self {
+            MacAlgorithm::KeyedMd5 | MacAlgorithm::HmacMd5 => 16,
+            MacAlgorithm::KeyedSha1 | MacAlgorithm::HmacSha1 => 20,
+        }
+    }
+
+    /// Wire identifier for the algorithm-ID header field.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            MacAlgorithm::KeyedMd5 => 0,
+            MacAlgorithm::KeyedSha1 => 1,
+            MacAlgorithm::HmacMd5 => 2,
+            MacAlgorithm::HmacSha1 => 3,
+        }
+    }
+
+    /// Inverse of [`wire_id`](Self::wire_id).
+    pub fn from_wire_id(id: u8) -> Option<Self> {
+        Some(match id {
+            0 => MacAlgorithm::KeyedMd5,
+            1 => MacAlgorithm::KeyedSha1,
+            2 => MacAlgorithm::HmacMd5,
+            3 => MacAlgorithm::HmacSha1,
+            _ => return None,
+        })
+    }
+
+    /// Compute the MAC over `parts` (logically concatenated) under `key`.
+    pub fn compute(self, key: &[u8], parts: &[&[u8]]) -> Vec<u8> {
+        match self {
+            MacAlgorithm::KeyedMd5 => {
+                let mut ctx = Md5::new();
+                ctx.update(key);
+                for p in parts {
+                    ctx.update(p);
+                }
+                ctx.finalize().to_vec()
+            }
+            MacAlgorithm::KeyedSha1 => {
+                let mut ctx = Sha1::new();
+                ctx.update(key);
+                for p in parts {
+                    ctx.update(p);
+                }
+                ctx.finalize().to_vec()
+            }
+            MacAlgorithm::HmacMd5 => hmac_md5_parts(key, parts).to_vec(),
+            MacAlgorithm::HmacSha1 => hmac_sha1_parts(key, parts).to_vec(),
+        }
+    }
+}
+
+/// An incremental MAC computation.
+///
+/// §5.3 observes that MAC computation "requires touching all the data in
+/// the datagram" and that an efficient implementation should combine all
+/// data-touching operations — MAC + encryption — into a single pass. The
+/// streaming context makes that single-pass loop possible: the protocol
+/// layer interleaves `update` calls with cipher-block processing.
+pub enum MacContext {
+    /// Prefix-keyed MD5 state.
+    KeyedMd5(Md5),
+    /// Prefix-keyed SHA-1 state.
+    KeyedSha1(Sha1),
+    /// HMAC-MD5: inner hash state + prepared key block for the outer pass.
+    HmacMd5 {
+        /// Inner hash, already primed with `key ⊕ ipad`.
+        inner: Md5,
+        /// Padded key block.
+        key_block: [u8; 64],
+    },
+    /// HMAC-SHA1: inner hash state + prepared key block for the outer pass.
+    HmacSha1 {
+        /// Inner hash, already primed with `key ⊕ ipad`.
+        inner: Sha1,
+        /// Padded key block.
+        key_block: [u8; 64],
+    },
+}
+
+impl MacContext {
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        match self {
+            MacContext::KeyedMd5(ctx) => ctx.update(data),
+            MacContext::KeyedSha1(ctx) => ctx.update(data),
+            MacContext::HmacMd5 { inner, .. } => inner.update(data),
+            MacContext::HmacSha1 { inner, .. } => inner.update(data),
+        }
+    }
+
+    /// Finish and return the MAC bytes.
+    pub fn finalize(self) -> Vec<u8> {
+        match self {
+            MacContext::KeyedMd5(ctx) => ctx.finalize().to_vec(),
+            MacContext::KeyedSha1(ctx) => ctx.finalize().to_vec(),
+            MacContext::HmacMd5 { inner, key_block } => {
+                let inner_digest = inner.finalize();
+                let mut outer = Md5::new();
+                let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+                outer.update(&opad);
+                outer.update(&inner_digest);
+                outer.finalize().to_vec()
+            }
+            MacContext::HmacSha1 { inner, key_block } => {
+                let inner_digest = inner.finalize();
+                let mut outer = Sha1::new();
+                let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+                outer.update(&opad);
+                outer.update(&inner_digest);
+                outer.finalize().to_vec()
+            }
+        }
+    }
+}
+
+impl MacAlgorithm {
+    /// Begin an incremental MAC computation keyed by `key`.
+    pub fn begin(self, key: &[u8]) -> MacContext {
+        match self {
+            MacAlgorithm::KeyedMd5 => {
+                let mut ctx = Md5::new();
+                ctx.update(key);
+                MacContext::KeyedMd5(ctx)
+            }
+            MacAlgorithm::KeyedSha1 => {
+                let mut ctx = Sha1::new();
+                ctx.update(key);
+                MacContext::KeyedSha1(ctx)
+            }
+            MacAlgorithm::HmacMd5 => {
+                let mut k = [0u8; HMAC_BLOCK];
+                if key.len() > HMAC_BLOCK {
+                    k[..16].copy_from_slice(&md5::md5(key));
+                } else {
+                    k[..key.len()].copy_from_slice(key);
+                }
+                let mut inner = Md5::new();
+                let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+                inner.update(&ipad);
+                MacContext::HmacMd5 {
+                    inner,
+                    key_block: k,
+                }
+            }
+            MacAlgorithm::HmacSha1 => {
+                let mut k = [0u8; HMAC_BLOCK];
+                if key.len() > HMAC_BLOCK {
+                    k[..20].copy_from_slice(&sha1::sha1(key));
+                } else {
+                    k[..key.len()].copy_from_slice(key);
+                }
+                let mut inner = Sha1::new();
+                let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+                inner.update(&ipad);
+                MacContext::HmacSha1 {
+                    inner,
+                    key_block: k,
+                }
+            }
+        }
+    }
+}
+
+/// The paper's MAC: prefix-keyed hash of `key | parts...` using MD5.
+pub fn keyed_digest(key: &[u8], parts: &[&[u8]]) -> [u8; 16] {
+    let mut ctx = Md5::new();
+    ctx.update(key);
+    for p in parts {
+        ctx.update(p);
+    }
+    ctx.finalize()
+}
+
+const HMAC_BLOCK: usize = 64;
+
+fn hmac_md5_parts(key: &[u8], parts: &[&[u8]]) -> [u8; 16] {
+    let mut k = [0u8; HMAC_BLOCK];
+    if key.len() > HMAC_BLOCK {
+        k[..16].copy_from_slice(&md5::md5(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Md5::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner_digest = inner.finalize();
+    let mut outer = Md5::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+fn hmac_sha1_parts(key: &[u8], parts: &[&[u8]]) -> [u8; 20] {
+    let mut k = [0u8; HMAC_BLOCK];
+    if key.len() > HMAC_BLOCK {
+        k[..20].copy_from_slice(&sha1::sha1(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha1::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner_digest = inner.finalize();
+    let mut outer = Sha1::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// RFC 2104 HMAC-MD5 of a single message.
+pub fn hmac_md5(key: &[u8], msg: &[u8]) -> [u8; 16] {
+    hmac_md5_parts(key, &[msg])
+}
+
+/// RFC 2104 HMAC-SHA1 of a single message.
+pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; 20] {
+    hmac_sha1_parts(key, &[msg])
+}
+
+/// Constant-time MAC comparison: prevents a receiver-side timing oracle on
+/// MAC verification (R8 of Fig. 4).
+pub fn mac_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 2202 HMAC-MD5 test vectors.
+    #[test]
+    fn rfc2202_hmac_md5() {
+        assert_eq!(
+            hex(&hmac_md5(&[0x0b; 16], b"Hi There")),
+            "9294727a3638bb1c13f48ef8158bfc9d"
+        );
+        assert_eq!(
+            hex(&hmac_md5(b"Jefe", b"what do ya want for nothing?")),
+            "750c783e6ab0b503eaa86e310a5db738"
+        );
+        assert_eq!(
+            hex(&hmac_md5(&[0xaa; 16], &[0xdd; 50])),
+            "56be34521d144c88dbb8c733f0e8b3f6"
+        );
+        // 80-byte key exercises the key-hashing branch.
+        assert_eq!(
+            hex(&hmac_md5(
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd"
+        );
+    }
+
+    /// RFC 2202 HMAC-SHA1 test vectors.
+    #[test]
+    fn rfc2202_hmac_sha1() {
+        assert_eq!(
+            hex(&hmac_sha1(&[0x0b; 20], b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        assert_eq!(
+            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn keyed_digest_matches_manual_concat() {
+        let key = b"flowkey";
+        let got = keyed_digest(key, &[b"conf", b"ts", b"payload"]);
+        let manual = md5::md5(b"flowkeyconftspayload");
+        assert_eq!(got, manual);
+    }
+
+    #[test]
+    fn parts_split_is_irrelevant() {
+        for alg in [
+            MacAlgorithm::KeyedMd5,
+            MacAlgorithm::KeyedSha1,
+            MacAlgorithm::HmacMd5,
+            MacAlgorithm::HmacSha1,
+        ] {
+            let a = alg.compute(b"k", &[b"ab", b"cd"]);
+            let b = alg.compute(b"k", &[b"abcd"]);
+            let c = alg.compute(b"k", &[b"a", b"b", b"c", b"d"]);
+            assert_eq!(a, b, "{alg:?}");
+            assert_eq!(a, c, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn key_separates_macs() {
+        let m1 = keyed_digest(b"key1", &[b"data"]);
+        let m2 = keyed_digest(b"key2", &[b"data"]);
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    fn wire_id_roundtrip() {
+        for alg in [
+            MacAlgorithm::KeyedMd5,
+            MacAlgorithm::KeyedSha1,
+            MacAlgorithm::HmacMd5,
+            MacAlgorithm::HmacSha1,
+        ] {
+            assert_eq!(MacAlgorithm::from_wire_id(alg.wire_id()), Some(alg));
+            assert_eq!(alg.compute(b"k", &[b"x"]).len(), alg.output_len());
+        }
+        assert_eq!(MacAlgorithm::from_wire_id(200), None);
+    }
+
+    #[test]
+    fn streaming_context_matches_oneshot_compute() {
+        for alg in [
+            MacAlgorithm::KeyedMd5,
+            MacAlgorithm::KeyedSha1,
+            MacAlgorithm::HmacMd5,
+            MacAlgorithm::HmacSha1,
+        ] {
+            let oneshot = alg.compute(b"the key", &[b"hello ", b"world"]);
+            let mut ctx = alg.begin(b"the key");
+            ctx.update(b"hel");
+            ctx.update(b"lo world");
+            assert_eq!(ctx.finalize(), oneshot, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_hmac_with_long_key() {
+        let key = [0x77u8; 100]; // > block size: exercises key hashing
+        let oneshot = MacAlgorithm::HmacMd5.compute(&key, &[b"msg"]);
+        let mut ctx = MacAlgorithm::HmacMd5.begin(&key);
+        ctx.update(b"msg");
+        assert_eq!(ctx.finalize(), oneshot);
+    }
+
+    #[test]
+    fn mac_eq_behaviour() {
+        assert!(mac_eq(b"same", b"same"));
+        assert!(!mac_eq(b"same", b"Same"));
+        assert!(!mac_eq(b"short", b"longer"));
+        assert!(mac_eq(b"", b""));
+    }
+}

@@ -1,0 +1,197 @@
+//! RSA signatures for the certificate substrate.
+//!
+//! The paper assumes public values are "authenticated via a distributed
+//! certification hierarchy (e.g., X.509 certificates)" (§5.2), and its
+//! CryptoLib dependency shipped RSA. This module provides the signing
+//! primitive that makes the `fbs-cert` authority a real public-key CA:
+//! key generation (Miller-Rabin primes), PKCS#1-style signature padding
+//! over an MD5 digest, and verification.
+//!
+//! **Security note:** RSA-with-MD5 and the key sizes used here are 1990s
+//! artifacts, reproduced for fidelity. See the crate disclaimer.
+
+use crate::bignum::BigUint;
+use crate::md5::md5;
+use crate::rng::Lcg64;
+
+/// An RSA public key (n, e).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Public exponent (65537 here).
+    pub e: BigUint,
+}
+
+/// An RSA private key.
+#[derive(Clone)]
+pub struct RsaPrivateKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Public exponent.
+    pub e: BigUint,
+    /// Private exponent.
+    d: BigUint,
+}
+
+impl std::fmt::Debug for RsaPrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the private exponent.
+        write!(f, "RsaPrivateKey({} bits)", self.n.bit_len())
+    }
+}
+
+/// The Fermat-4 public exponent.
+const E: u64 = 65_537;
+
+/// Generate a probable prime of exactly `bits` bits (`bits` must be a
+/// multiple of 8). The top two bits are forced so the product of two such
+/// primes has exactly `2*bits` bits.
+fn gen_prime(bits: usize, rng: &mut Lcg64) -> BigUint {
+    assert!(bits >= 16 && bits.is_multiple_of(8), "bits must be a multiple of 8, ≥16");
+    loop {
+        let mut bytes = vec![0u8; bits / 8];
+        rng.fill(&mut bytes);
+        bytes[0] |= 0xC0; // top two bits
+        *bytes.last_mut().unwrap() |= 1; // odd
+        let cand = BigUint::from_bytes_be(&bytes);
+        debug_assert_eq!(cand.bit_len(), bits);
+        if cand.is_probable_prime(12, || rng.next_u64()) {
+            return cand;
+        }
+    }
+}
+
+impl RsaPrivateKey {
+    /// Generate a key with a modulus of roughly `modulus_bits` bits from
+    /// the seeded generator (deterministic for the simulation; a real CA
+    /// would use OS entropy).
+    pub fn generate(modulus_bits: usize, seed: u64) -> Self {
+        let mut rng = Lcg64::new(seed ^ 0x5CA1AB1E);
+        let half = modulus_bits / 2;
+        loop {
+            let p = gen_prime(half, &mut rng);
+            let q = gen_prime(half, &mut rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            let e = BigUint::from_u64(E);
+            let Some(d) = e.modinv(&phi) else {
+                continue; // gcd(e, phi) != 1; rare — pick new primes
+            };
+            return RsaPrivateKey { n, e, d };
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> RsaPublicKey {
+        RsaPublicKey {
+            n: self.n.clone(),
+            e: self.e.clone(),
+        }
+    }
+
+    /// Sign `message`: MD5 digest, PKCS#1-style pad, raise to `d`.
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        let k = self.n.bit_len().div_ceil(8);
+        let em = pad_digest(&md5(message), k);
+        let m = BigUint::from_bytes_be(&em);
+        m.modpow(&self.d, &self.n).to_bytes_be_padded(k)
+    }
+}
+
+impl RsaPublicKey {
+    /// Verify `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        let k = self.n.bit_len().div_ceil(8);
+        if signature.len() != k {
+            return false;
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s >= self.n {
+            return false;
+        }
+        let em = s.modpow(&self.e, &self.n).to_bytes_be_padded(k);
+        em == pad_digest(&md5(message), k)
+    }
+}
+
+/// PKCS#1 v1.5-style encoding (without the ASN.1 DigestInfo, documented
+/// simplification): `00 01 FF..FF 00 || digest`.
+fn pad_digest(digest: &[u8; 16], k: usize) -> Vec<u8> {
+    assert!(k >= digest.len() + 11, "modulus too small for padding");
+    let mut em = vec![0xFFu8; k];
+    em[0] = 0x00;
+    em[1] = 0x01;
+    em[k - digest.len() - 1] = 0x00;
+    em[k - digest.len()..].copy_from_slice(digest);
+    em
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small keys keep debug-mode tests fast; release examples use larger.
+    fn test_key() -> RsaPrivateKey {
+        RsaPrivateKey::generate(256, 7)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = test_key();
+        let public = key.public_key();
+        let sig = key.sign(b"certificate body bytes");
+        assert!(public.verify(b"certificate body bytes", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_message() {
+        let key = test_key();
+        let sig = key.sign(b"original message");
+        assert!(!key.public_key().verify(b"altered message!", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let key = test_key();
+        let mut sig = key.sign(b"message");
+        sig[5] ^= 1;
+        assert!(!key.public_key().verify(b"message", &sig));
+        sig[5] ^= 1;
+        let n = sig.len();
+        sig.truncate(n - 1);
+        assert!(!key.public_key().verify(b"message", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejects() {
+        let k1 = RsaPrivateKey::generate(256, 7);
+        let k2 = RsaPrivateKey::generate(256, 8);
+        let sig = k1.sign(b"message");
+        assert!(!k2.public_key().verify(b"message", &sig));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = RsaPrivateKey::generate(256, 42);
+        let b = RsaPrivateKey::generate(256, 42);
+        assert_eq!(a.public_key(), b.public_key());
+        let c = RsaPrivateKey::generate(256, 43);
+        assert_ne!(a.public_key(), c.public_key());
+    }
+
+    #[test]
+    fn modulus_has_requested_size() {
+        let key = test_key();
+        assert_eq!(key.n.bit_len(), 256);
+    }
+
+    #[test]
+    fn debug_does_not_leak_private_exponent() {
+        let key = test_key();
+        assert_eq!(format!("{key:?}"), "RsaPrivateKey(256 bits)");
+    }
+}

@@ -1,0 +1,223 @@
+//! The combined FST + TFKC of §7.2.
+//!
+//! "For efficiency reasons, we have combined the flow association mechanism
+//! and the flow key generation. FBSSend() hashes on the 5-tuple and uses
+//! the result as an index into the TFKC. If the indexed entry is 'active'
+//! (last use is less than THRESHOLD ago), it uses the stored flow key.
+//! Otherwise, it begins a new flow by assigning a new sfl and calculating
+//! the new flow key. In this way, the mapper module and the key cache
+//! lookup are combined, saving an extra lookup. The job of the sweeper
+//! also becomes implicit, absorbed into the mapping phase."
+
+use crate::tuple::FiveTuple;
+use fbs_core::policy::FlowAttrs;
+use fbs_core::{FlowKey, SflAllocator};
+use fbs_crypto::crc32;
+
+/// One merged FST/TFKC entry: flow identity + its cached key.
+#[derive(Clone)]
+struct Entry {
+    tuple: FiveTuple,
+    sfl: u64,
+    key: FlowKey,
+    last_secs: u64,
+}
+
+/// Result of a combined lookup.
+pub struct CombinedHit {
+    /// The flow's sfl.
+    pub sfl: u64,
+    /// The flow key to use.
+    pub key: FlowKey,
+    /// True when this datagram started a new flow (key was derived).
+    pub new_flow: bool,
+}
+
+/// Statistics for the combined table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CombinedStats {
+    /// Datagrams that reused an active entry (single lookup, no crypto).
+    pub hits: u64,
+    /// New flows started (expired entry, empty slot, or collision).
+    pub new_flows: u64,
+    /// New flows that displaced a still-active different tuple.
+    pub collisions: u64,
+}
+
+/// The merged flow-state/flow-key table.
+pub struct CombinedTable {
+    slots: Vec<Option<Entry>>,
+    threshold_secs: u64,
+    alloc: SflAllocator,
+    stats: CombinedStats,
+}
+
+impl CombinedTable {
+    /// Create a table with `size` direct-mapped slots and the given
+    /// THRESHOLD.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn new(size: usize, threshold_secs: u64, alloc: SflAllocator) -> Self {
+        assert!(size > 0, "combined table needs at least one slot");
+        CombinedTable {
+            slots: (0..size).map(|_| None).collect(),
+            threshold_secs,
+            alloc,
+            stats: CombinedStats::default(),
+        }
+    }
+
+    /// The single-lookup send path: returns the flow's sfl and key,
+    /// deriving a fresh key via `derive` only when a new flow starts.
+    pub fn lookup<E>(
+        &mut self,
+        tuple: FiveTuple,
+        now_secs: u64,
+        derive: impl FnOnce(u64) -> Result<FlowKey, E>,
+    ) -> Result<CombinedHit, E> {
+        let i = crc32(&tuple.canonical_bytes()) as usize % self.slots.len();
+        if let Some(e) = &mut self.slots[i] {
+            let active = now_secs.saturating_sub(e.last_secs) <= self.threshold_secs;
+            if active && e.tuple == tuple {
+                e.last_secs = now_secs;
+                self.stats.hits += 1;
+                return Ok(CombinedHit {
+                    sfl: e.sfl,
+                    key: e.key.clone(),
+                    new_flow: false,
+                });
+            }
+            if active {
+                // A live different flow is displaced: premature termination
+                // by hash collision (harmless for security, footnote 11).
+                self.stats.collisions += 1;
+            }
+        }
+        let sfl = self.alloc.next_sfl();
+        let key = derive(sfl)?;
+        self.slots[i] = Some(Entry {
+            tuple,
+            sfl,
+            key: key.clone(),
+            last_secs: now_secs,
+        });
+        self.stats.new_flows += 1;
+        Ok(CombinedHit {
+            sfl,
+            key,
+            new_flow: true,
+        })
+    }
+
+    /// Invalidate every entry (e.g. after a rekey of the local principal).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
+    /// Number of entries active at `now_secs` (Fig. 12's metric under the
+    /// combined implementation).
+    pub fn active_flows(&self, now_secs: u64) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|e| now_secs.saturating_sub(e.last_secs) <= self.threshold_secs)
+            .count()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CombinedStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(sport: u16) -> FiveTuple {
+        FiveTuple {
+            proto: 17,
+            saddr: [10, 0, 0, 1],
+            sport,
+            daddr: [10, 0, 0, 2],
+            dport: 53,
+        }
+    }
+
+    fn table() -> CombinedTable {
+        CombinedTable::new(64, 600, SflAllocator::new(100))
+    }
+
+    fn fake_key(sfl: u64) -> Result<FlowKey, ()> {
+        Ok(FlowKey(sfl.to_be_bytes().repeat(2)))
+    }
+
+    #[test]
+    fn first_lookup_derives_second_reuses() {
+        let mut t = table();
+        let mut derived = 0;
+        let h1 = t
+            .lookup(tuple(9), 0, |sfl| {
+                derived += 1;
+                fake_key(sfl)
+            })
+            .unwrap();
+        assert!(h1.new_flow);
+        let h2 = t
+            .lookup(tuple(9), 10, |sfl| {
+                derived += 1;
+                fake_key(sfl)
+            })
+            .unwrap();
+        assert!(!h2.new_flow);
+        assert_eq!(h1.sfl, h2.sfl);
+        assert_eq!(h1.key, h2.key);
+        assert_eq!(derived, 1, "key derivation happens once per flow");
+        assert_eq!(t.stats().hits, 1);
+    }
+
+    #[test]
+    fn expiry_is_implicit_in_the_mapping_phase() {
+        // No sweeper call exists; expiry shows up as a new flow on the next
+        // lookup after the gap.
+        let mut t = table();
+        let h1 = t.lookup(tuple(9), 0, fake_key).unwrap();
+        let h2 = t.lookup(tuple(9), 601, fake_key).unwrap();
+        assert!(h2.new_flow);
+        assert_ne!(h1.sfl, h2.sfl);
+        assert_ne!(h1.key.as_bytes(), h2.key.as_bytes());
+    }
+
+    #[test]
+    fn derive_error_propagates_and_does_not_install() {
+        let mut t = CombinedTable::new(4, 600, SflAllocator::new(0));
+        let r: Result<_, &str> = t.lookup(tuple(9), 0, |_| Err("mkd down"));
+        assert_eq!(r.err(), Some("mkd down"));
+        // Next attempt still treats it as a new flow.
+        let h = t.lookup(tuple(9), 0, fake_key).unwrap();
+        assert!(h.new_flow);
+    }
+
+    #[test]
+    fn active_flow_count_tracks_threshold() {
+        let mut t = table();
+        t.lookup(tuple(1), 0, fake_key).unwrap();
+        t.lookup(tuple(2), 100, fake_key).unwrap();
+        assert_eq!(t.active_flows(100), 2);
+        assert_eq!(t.active_flows(650), 1);
+        assert_eq!(t.active_flows(5000), 0);
+    }
+
+    #[test]
+    fn clear_forces_rederivation() {
+        let mut t = table();
+        let h1 = t.lookup(tuple(1), 0, fake_key).unwrap();
+        t.clear();
+        let h2 = t.lookup(tuple(1), 1, fake_key).unwrap();
+        assert!(h2.new_flow);
+        assert_ne!(h1.sfl, h2.sfl);
+    }
+}

@@ -1,0 +1,167 @@
+//! The 5-tuple flow attribute of §7.1.
+//!
+//! A first approximation to a conversation is "the sequence of datagrams
+//! sharing the same 5-tuple of ⟨protocol number, source ip address, source
+//! port number, destination ip address, destination port number⟩".
+//! Extracting the ports requires IP to peek at the transport header — a
+//! layer violation the paper acknowledges and accepts, as packet-level
+//! firewalls and BSD's own TCP/IP implementation already do the same.
+
+use fbs_core::policy::FlowAttrs;
+
+/// The conversation-identifying 5-tuple (Fig. 7's FSTEntry key fields).
+///
+/// ```
+/// use fbs_ip::FiveTuple;
+/// // UDP payload starting with source port 1234, destination port 53.
+/// let payload = [0x04, 0xD2, 0x00, 0x35, 0, 8, 0, 0];
+/// let t = FiveTuple::extract(17, [10, 0, 0, 1], [10, 0, 0, 9], &payload).unwrap();
+/// assert_eq!((t.sport, t.dport), (1234, 53));
+/// assert_eq!(t.reversed().sport, 53); // flows are unidirectional
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Transport protocol number.
+    pub proto: u8,
+    /// Source IP address.
+    pub saddr: [u8; 4],
+    /// Source port.
+    pub sport: u16,
+    /// Destination IP address.
+    pub daddr: [u8; 4],
+    /// Destination port.
+    pub dport: u16,
+}
+
+impl FiveTuple {
+    /// Extract the 5-tuple from an IP header plus transport payload.
+    ///
+    /// Both UDP and MRT place source and destination ports in the first
+    /// four payload bytes (as real TCP/UDP do), so one peek serves all
+    /// covered protocols. Returns `None` when the payload is too short to
+    /// carry ports.
+    pub fn extract(
+        proto: u8,
+        saddr: [u8; 4],
+        daddr: [u8; 4],
+        transport_payload: &[u8],
+    ) -> Option<FiveTuple> {
+        if transport_payload.len() < 4 {
+            return None;
+        }
+        Some(FiveTuple {
+            proto,
+            saddr,
+            sport: u16::from_be_bytes([transport_payload[0], transport_payload[1]]),
+            daddr,
+            dport: u16::from_be_bytes([transport_payload[2], transport_payload[3]]),
+        })
+    }
+
+    /// The reverse-direction tuple (flows are unidirectional; a duplex
+    /// conversation is two flows).
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            proto: self.proto,
+            saddr: self.daddr,
+            sport: self.dport,
+            daddr: self.saddr,
+            dport: self.sport,
+        }
+    }
+}
+
+impl FlowAttrs for FiveTuple {
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(13);
+        out.push(self.proto);
+        out.extend_from_slice(&self.saddr);
+        out.extend_from_slice(&self.sport.to_be_bytes());
+        out.extend_from_slice(&self.daddr);
+        out.extend_from_slice(&self.dport.to_be_bytes());
+        out
+    }
+}
+
+impl std::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}.{}.{}.{}:{}->{}.{}.{}.{}:{}",
+            self.proto,
+            self.saddr[0],
+            self.saddr[1],
+            self.saddr[2],
+            self.saddr[3],
+            self.sport,
+            self.daddr[0],
+            self.daddr[1],
+            self.daddr[2],
+            self.daddr[3],
+            self.dport,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_reads_ports() {
+        // 0x04D2 = 1234, 0x0050 = 80.
+        let payload = [0x04, 0xD2, 0x00, 0x50, 0xFF, 0xFF];
+        let t = FiveTuple::extract(17, [10, 0, 0, 1], [10, 0, 0, 2], &payload).unwrap();
+        assert_eq!(t.sport, 1234);
+        assert_eq!(t.dport, 80);
+        assert_eq!(t.proto, 17);
+    }
+
+    #[test]
+    fn short_payload_yields_none() {
+        assert!(FiveTuple::extract(17, [0; 4], [0; 4], &[1, 2]).is_none());
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = FiveTuple {
+            proto: 6,
+            saddr: [1, 1, 1, 1],
+            sport: 10,
+            daddr: [2, 2, 2, 2],
+            dport: 20,
+        };
+        let r = t.reversed();
+        assert_eq!(r.saddr, [2, 2, 2, 2]);
+        assert_eq!(r.sport, 20);
+        assert_eq!(r.daddr, [1, 1, 1, 1]);
+        assert_eq!(r.dport, 10);
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn canonical_bytes_is_13_bytes_and_injective_over_fields() {
+        let t = FiveTuple {
+            proto: 6,
+            saddr: [1, 2, 3, 4],
+            sport: 0x0102,
+            daddr: [5, 6, 7, 8],
+            dport: 0x0304,
+        };
+        let b = t.canonical_bytes();
+        assert_eq!(b.len(), 13);
+        assert_ne!(b, t.reversed().canonical_bytes());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = FiveTuple {
+            proto: 17,
+            saddr: [10, 0, 0, 1],
+            sport: 53,
+            daddr: [10, 0, 0, 9],
+            dport: 5353,
+        };
+        assert_eq!(t.to_string(), "17:10.0.0.1:53->10.0.0.9:5353");
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the network substrate.
+
+use std::fmt;
+
+/// Errors raised by the simulated stack and transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A packet could not be parsed.
+    Malformed(&'static str),
+    /// Header checksum mismatch.
+    BadChecksum,
+    /// Packet larger than the MTU with DF (don't fragment) set — the
+    /// condition the paper's `tcp_output.c` patch exists to avoid.
+    WouldFragment {
+        /// Total packet length that was attempted.
+        len: usize,
+        /// The link MTU.
+        mtu: usize,
+    },
+    /// No route/host for the destination address.
+    HostUnreachable([u8; 4]),
+    /// No listener on the destination port.
+    PortUnreachable(u16),
+    /// All ephemeral ports are in use (or quarantined).
+    PortsExhausted,
+    /// The security hook rejected the packet.
+    SecurityReject(String),
+    /// Reassembly gave up (timeout or resource limits).
+    ReassemblyTimeout,
+    /// Connection-level failure in the mini reliable transport.
+    Connection(&'static str),
+    /// An OS-level transport failure (real UDP sockets).
+    Io(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Malformed(what) => write!(f, "malformed packet: {what}"),
+            NetError::BadChecksum => write!(f, "header checksum mismatch"),
+            NetError::WouldFragment { len, mtu } => {
+                write!(f, "packet of {len} bytes exceeds MTU {mtu} with DF set")
+            }
+            NetError::HostUnreachable(a) => {
+                write!(f, "host {}.{}.{}.{} unreachable", a[0], a[1], a[2], a[3])
+            }
+            NetError::PortUnreachable(p) => write!(f, "port {p} unreachable"),
+            NetError::PortsExhausted => write!(f, "ephemeral ports exhausted"),
+            NetError::SecurityReject(why) => write!(f, "security hook rejected packet: {why}"),
+            NetError::ReassemblyTimeout => write!(f, "reassembly timed out"),
+            NetError::Connection(why) => write!(f, "connection error: {why}"),
+            NetError::Io(why) => write!(f, "io error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, NetError>;

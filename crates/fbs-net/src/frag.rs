@@ -1,0 +1,277 @@
+//! IP fragmentation and reassembly.
+//!
+//! The FBS output hook runs *before* fragmentation and the input hook runs
+//! *after* reassembly (§7.2), so FBS "receives the benefits of IP
+//! fragmentation and reassembly" — one security flow header protects the
+//! whole datagram no matter how the network slices it. This module supplies
+//! those two halves for the simulated stack.
+
+use crate::error::{NetError, Result};
+use crate::ip::{Ipv4Header, Packet, IPV4_HEADER_LEN};
+use std::collections::HashMap;
+
+/// Split `packet` into MTU-sized fragments.
+///
+/// Returns a single-element vector when the packet already fits. Fails
+/// with [`NetError::WouldFragment`] when the packet is oversized but DF is
+/// set — the situation the paper's `tcp_output.c` patch prevents by
+/// accounting for the FBS header when computing the segment size.
+pub fn fragment(packet: Packet, mtu: usize) -> Result<Vec<Packet>> {
+    assert!(mtu >= IPV4_HEADER_LEN + 8, "MTU too small to carry data");
+    let total = IPV4_HEADER_LEN + packet.payload.len();
+    if total <= mtu {
+        return Ok(vec![packet]);
+    }
+    if packet.header.dont_fragment {
+        return Err(NetError::WouldFragment { len: total, mtu });
+    }
+    // Fragment payload sizes must be multiples of 8 (offsets are in 8-byte
+    // units), except for the final fragment.
+    let chunk = ((mtu - IPV4_HEADER_LEN) / 8) * 8;
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < packet.payload.len() {
+        let end = (offset + chunk).min(packet.payload.len());
+        let last = end == packet.payload.len();
+        let mut h = packet.header.clone();
+        h.frag_offset = packet.header.frag_offset + (offset / 8) as u16;
+        h.more_fragments = !last || packet.header.more_fragments;
+        out.push(Packet::new(h, packet.payload[offset..end].to_vec()));
+        offset = end;
+    }
+    Ok(out)
+}
+
+/// Key identifying one datagram's fragments.
+type FragKey = ([u8; 4], [u8; 4], u16, u8);
+
+struct Partial {
+    /// (byte offset, payload, more_fragments) per received fragment.
+    pieces: Vec<(usize, Vec<u8>, bool)>,
+    header: Ipv4Header,
+    first_seen_us: u64,
+}
+
+impl Partial {
+    /// Try to stitch the pieces into a complete payload.
+    fn assemble(&self) -> Option<Vec<u8>> {
+        // Find the terminal fragment to learn the total size.
+        let (final_off, final_payload) = self
+            .pieces
+            .iter()
+            .find(|(_, _, mf)| !mf)
+            .map(|(off, p, _)| (*off, p.len()))?;
+        let total = final_off + final_payload;
+        let mut buf = vec![0u8; total];
+        let mut covered = vec![false; total];
+        for (off, payload, _) in &self.pieces {
+            if off + payload.len() > total {
+                return None; // inconsistent; wait for timeout
+            }
+            buf[*off..*off + payload.len()].copy_from_slice(payload);
+            covered[*off..*off + payload.len()]
+                .iter_mut()
+                .for_each(|c| *c = true);
+        }
+        covered.iter().all(|&c| c).then_some(buf)
+    }
+}
+
+/// Reassembles fragments into whole datagrams, expiring stale buffers.
+pub struct Reassembler {
+    buffers: HashMap<FragKey, Partial>,
+    /// Buffers older than this are dropped (BSD used 30 s; expressed in
+    /// microseconds of virtual time).
+    timeout_us: u64,
+    /// Datagrams whose reassembly timed out.
+    pub timeouts: u64,
+}
+
+impl Reassembler {
+    /// Create with the given reassembly timeout.
+    pub fn new(timeout_us: u64) -> Self {
+        Reassembler {
+            buffers: HashMap::new(),
+            timeout_us,
+            timeouts: 0,
+        }
+    }
+
+    /// Accept a packet; returns a complete datagram when reassembly (or a
+    /// pass-through of an unfragmented packet) finishes.
+    pub fn push(&mut self, packet: Packet, now_us: u64) -> Option<Packet> {
+        if packet.header.frag_offset == 0 && !packet.header.more_fragments {
+            return Some(packet); // not fragmented
+        }
+        let key = (
+            packet.header.src,
+            packet.header.dst,
+            packet.header.id,
+            packet.header.proto,
+        );
+        let entry = self.buffers.entry(key).or_insert_with(|| Partial {
+            pieces: Vec::new(),
+            header: packet.header.clone(),
+            first_seen_us: now_us,
+        });
+        let off = packet.header.frag_offset as usize * 8;
+        // Duplicate fragments (the network may duplicate) are replaced.
+        entry.pieces.retain(|(o, _, _)| *o != off);
+        entry
+            .pieces
+            .push((off, packet.payload, packet.header.more_fragments));
+        if let Some(payload) = entry.assemble() {
+            let mut header = entry.header.clone();
+            header.frag_offset = 0;
+            header.more_fragments = false;
+            self.buffers.remove(&key);
+            return Some(Packet::new(header, payload));
+        }
+        None
+    }
+
+    /// Drop buffers older than the timeout; returns how many were dropped.
+    pub fn expire(&mut self, now_us: u64) -> usize {
+        let timeout = self.timeout_us;
+        let before = self.buffers.len();
+        self.buffers
+            .retain(|_, p| now_us.saturating_sub(p.first_seen_us) <= timeout);
+        let dropped = before - self.buffers.len();
+        self.timeouts += dropped as u64;
+        dropped
+    }
+
+    /// Number of datagrams currently being reassembled.
+    pub fn pending(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::Proto;
+
+    fn packet(payload_len: usize) -> Packet {
+        let mut h = Ipv4Header::new([1, 1, 1, 1], [2, 2, 2, 2], Proto::Udp, payload_len);
+        h.id = 777;
+        let payload: Vec<u8> = (0..payload_len).map(|i| i as u8).collect();
+        Packet::new(h, payload)
+    }
+
+    #[test]
+    fn small_packet_passes_through() {
+        let p = packet(100);
+        let frags = fragment(p.clone(), 1500).unwrap();
+        assert_eq!(frags, vec![p]);
+    }
+
+    #[test]
+    fn oversize_with_df_errors() {
+        let mut p = packet(3000);
+        p.header.dont_fragment = true;
+        assert!(matches!(
+            fragment(p, 1500),
+            Err(NetError::WouldFragment { len: 3020, mtu: 1500 })
+        ));
+    }
+
+    #[test]
+    fn fragment_sizes_and_flags() {
+        let p = packet(3000);
+        let frags = fragment(p, 1500).unwrap();
+        assert_eq!(frags.len(), 3); // 1480 + 1480 + 40
+        assert!(frags[0].header.more_fragments);
+        assert!(frags[1].header.more_fragments);
+        assert!(!frags[2].header.more_fragments);
+        assert_eq!(frags[0].header.frag_offset, 0);
+        assert_eq!(frags[1].header.frag_offset, 185); // 1480/8
+        assert_eq!(frags[2].header.frag_offset, 370);
+        assert_eq!(frags[0].payload.len() % 8, 0);
+    }
+
+    #[test]
+    fn fragment_reassemble_roundtrip() {
+        let p = packet(5000);
+        let frags = fragment(p.clone(), 1500).unwrap();
+        let mut r = Reassembler::new(30_000_000);
+        let mut out = None;
+        for f in frags {
+            out = r.push(f, 0);
+        }
+        let got = out.expect("complete after last fragment");
+        assert_eq!(got.payload, p.payload);
+        assert_eq!(got.header.total_len, p.header.total_len);
+        assert!(!got.header.more_fragments);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let p = packet(4000);
+        let mut frags = fragment(p.clone(), 1000).unwrap();
+        frags.reverse();
+        let mut r = Reassembler::new(30_000_000);
+        let mut out = None;
+        for f in frags {
+            let res = r.push(f, 0);
+            if res.is_some() {
+                out = res;
+            }
+        }
+        assert_eq!(out.unwrap().payload, p.payload);
+    }
+
+    #[test]
+    fn duplicate_fragments_tolerated() {
+        let p = packet(3000);
+        let frags = fragment(p.clone(), 1500).unwrap();
+        let mut r = Reassembler::new(30_000_000);
+        r.push(frags[0].clone(), 0);
+        r.push(frags[0].clone(), 0); // duplicate
+        r.push(frags[1].clone(), 0);
+        let got = r.push(frags[2].clone(), 0).unwrap();
+        assert_eq!(got.payload, p.payload);
+    }
+
+    #[test]
+    fn missing_fragment_never_completes_then_expires() {
+        let p = packet(3000);
+        let frags = fragment(p, 1500).unwrap();
+        let mut r = Reassembler::new(30_000_000);
+        assert!(r.push(frags[0].clone(), 0).is_none());
+        assert!(r.push(frags[2].clone(), 0).is_none());
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.expire(40_000_000), 1);
+        assert_eq!(r.timeouts, 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_datagrams_kept_apart() {
+        let mut p1 = packet(2000);
+        p1.header.id = 1;
+        let mut p2 = packet(2000);
+        p2.header.id = 2;
+        for p in [&mut p1, &mut p2] {
+            p.payload = Packet::new(p.header.clone(), p.payload.clone()).payload;
+        }
+        let f1 = fragment(p1.clone(), 1000).unwrap();
+        let f2 = fragment(p2.clone(), 1000).unwrap();
+        let mut r = Reassembler::new(30_000_000);
+        r.push(f1[0].clone(), 0);
+        r.push(f2[0].clone(), 0);
+        r.push(f2[1].clone(), 0);
+        let done2 = r.push(f2[2].clone(), 0).unwrap();
+        assert_eq!(done2.header.id, 2);
+        r.push(f1[1].clone(), 0);
+        let done1 = r.push(f1[2].clone(), 0).unwrap();
+        assert_eq!(done1.header.id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU too small")]
+    fn tiny_mtu_panics() {
+        let _ = fragment(packet(100), 20);
+    }
+}

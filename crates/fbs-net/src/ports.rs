@@ -1,0 +1,165 @@
+//! Port allocation with the §7.1 quarantine fix.
+//!
+//! The paper identifies a port-reuse attack: if a process grabs a port
+//! "within a time of THRESHOLD" after another process released it, the FAM
+//! keeps classifying datagrams into the old flow, so an attacker who
+//! reallocates a victim's port can replay the victim's recorded (still
+//! fresh) datagrams to itself and have FBS decrypt them. "One way to
+//! counter this problem is to impose a wait of THRESHOLD on port
+//! reallocation" — a change to `in_pcballoc`, outside FBS proper. This
+//! allocator implements both behaviours so the attack and its fix are
+//! testable.
+
+use crate::error::{NetError, Result};
+use std::collections::HashMap;
+
+/// First ephemeral port (BSD's traditional 1024).
+pub const EPHEMERAL_LO: u16 = 1024;
+/// Last ephemeral port.
+pub const EPHEMERAL_HI: u16 = 5000;
+
+/// Allocates and quarantines ports.
+#[derive(Debug)]
+pub struct PortAllocator {
+    /// Seconds a released port stays unallocatable; 0 reproduces the
+    /// vulnerable historical behaviour.
+    quarantine_secs: u64,
+    next: u16,
+    in_use: HashMap<u16, ()>,
+    /// port → release time.
+    quarantined: HashMap<u16, u64>,
+}
+
+impl PortAllocator {
+    /// Create an allocator. `quarantine_secs` should equal the flow
+    /// policy's THRESHOLD to close the §7.1 hole.
+    pub fn new(quarantine_secs: u64) -> Self {
+        PortAllocator {
+            quarantine_secs,
+            next: EPHEMERAL_LO,
+            in_use: HashMap::new(),
+            quarantined: HashMap::new(),
+        }
+    }
+
+    /// Allocate a specific port (servers). Fails if taken or quarantined.
+    pub fn bind(&mut self, port: u16, now_secs: u64) -> Result<u16> {
+        self.release_expired(now_secs);
+        if self.in_use.contains_key(&port) || self.quarantined.contains_key(&port) {
+            return Err(NetError::PortsExhausted);
+        }
+        self.in_use.insert(port, ());
+        Ok(port)
+    }
+
+    /// Allocate the next free ephemeral port.
+    pub fn ephemeral(&mut self, now_secs: u64) -> Result<u16> {
+        self.release_expired(now_secs);
+        let span = (EPHEMERAL_HI - EPHEMERAL_LO) as u32 + 1;
+        for _ in 0..span {
+            let candidate = self.next;
+            self.next = if self.next >= EPHEMERAL_HI {
+                EPHEMERAL_LO
+            } else {
+                self.next + 1
+            };
+            if !self.in_use.contains_key(&candidate)
+                && !self.quarantined.contains_key(&candidate)
+            {
+                self.in_use.insert(candidate, ());
+                return Ok(candidate);
+            }
+        }
+        Err(NetError::PortsExhausted)
+    }
+
+    /// Release a port; it enters quarantine until `now + quarantine_secs`.
+    pub fn release(&mut self, port: u16, now_secs: u64) {
+        if self.in_use.remove(&port).is_some() && self.quarantine_secs > 0 {
+            self.quarantined.insert(port, now_secs);
+        }
+    }
+
+    fn release_expired(&mut self, now_secs: u64) {
+        let q = self.quarantine_secs;
+        self.quarantined
+            .retain(|_, released| now_secs.saturating_sub(*released) < q);
+    }
+
+    /// Is the port currently allocated?
+    pub fn is_bound(&self, port: u16) -> bool {
+        self.in_use.contains_key(&port)
+    }
+
+    /// Is the port quarantined at `now_secs`?
+    pub fn is_quarantined(&self, port: u16, now_secs: u64) -> bool {
+        self.quarantined
+            .get(&port)
+            .is_some_and(|rel| now_secs.saturating_sub(*rel) < self.quarantine_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_conflict() {
+        let mut a = PortAllocator::new(0);
+        assert_eq!(a.bind(80, 0).unwrap(), 80);
+        assert!(a.bind(80, 0).is_err());
+        a.release(80, 10);
+        assert!(a.bind(80, 10).is_ok(), "no quarantine with 0 secs");
+    }
+
+    #[test]
+    fn ephemeral_allocation_cycles() {
+        let mut a = PortAllocator::new(0);
+        let p1 = a.ephemeral(0).unwrap();
+        let p2 = a.ephemeral(0).unwrap();
+        assert_ne!(p1, p2);
+        assert!((EPHEMERAL_LO..=EPHEMERAL_HI).contains(&p1));
+    }
+
+    #[test]
+    fn quarantine_blocks_reuse_within_threshold() {
+        // The §7.1 fix: a released port cannot be rebound for THRESHOLD.
+        let mut a = PortAllocator::new(600);
+        a.bind(2000, 0).unwrap();
+        a.release(2000, 100);
+        assert!(a.is_quarantined(2000, 100));
+        assert!(a.bind(2000, 100).is_err());
+        assert!(a.bind(2000, 699).is_err()); // 599 s elapsed < 600
+        assert!(a.bind(2000, 700).is_ok()); // quarantine over
+    }
+
+    #[test]
+    fn vulnerable_mode_allows_instant_reuse() {
+        // Historical in_pcballoc behaviour (quarantine 0): instant reuse —
+        // the precondition of the §7.1 attack.
+        let mut a = PortAllocator::new(0);
+        a.bind(2000, 0).unwrap();
+        a.release(2000, 1);
+        assert!(a.bind(2000, 1).is_ok());
+    }
+
+    #[test]
+    fn ephemeral_skips_quarantined() {
+        let mut a = PortAllocator::new(600);
+        let p = a.ephemeral(0).unwrap();
+        a.release(p, 0);
+        let p2 = a.ephemeral(1).unwrap();
+        assert_ne!(p, p2);
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut a = PortAllocator::new(600);
+        let mut got = 0;
+        while a.ephemeral(0).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, (EPHEMERAL_HI - EPHEMERAL_LO + 1) as usize);
+        assert_eq!(a.ephemeral(0), Err(NetError::PortsExhausted));
+    }
+}

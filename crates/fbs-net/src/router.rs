@@ -1,0 +1,251 @@
+//! A forwarding router between two segments.
+//!
+//! §7.2 claims "a forwarding router also will not see anything 'strange'
+//! about FBS processed IP packets" — because the security flow header is
+//! inserted *behind* the IP header, routers do ordinary IP forwarding
+//! (TTL decrement, checksum rewrite, fragmentation when the next hop's
+//! MTU demands it) without knowing FBS exists. This module builds exactly
+//! such a router so the claim is testable end to end: the router code
+//! contains no FBS logic whatsoever.
+
+use crate::error::Result;
+use crate::frag::fragment;
+use crate::ip::Packet;
+use crate::segment::Impairments;
+use crate::stack::{Host, Network};
+
+/// Router counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped because TTL reached zero.
+    pub ttl_expired: u64,
+    /// Packets dropped because they fit no attached segment.
+    pub no_route: u64,
+    /// Packets fragmented by the router (next-hop MTU smaller).
+    pub fragmented: u64,
+    /// Packets dropped: oversized with DF set.
+    pub df_drops: u64,
+}
+
+/// Two LANs joined by an IP router. The router is pure IP: it never looks
+/// past the IP header.
+pub struct TwoLanWorld {
+    /// First LAN.
+    pub lan_a: Network,
+    /// Second LAN.
+    pub lan_b: Network,
+    mtu_a: usize,
+    mtu_b: usize,
+    stats: RouterStats,
+}
+
+impl TwoLanWorld {
+    /// Build two LANs with their own seeds/impairments and per-LAN MTUs.
+    pub fn new(
+        seed: u64,
+        imp_a: Impairments,
+        imp_b: Impairments,
+        mtu_a: usize,
+        mtu_b: usize,
+    ) -> Self {
+        let mut lan_a = Network::new(seed, imp_a);
+        let mut lan_b = Network::new(seed ^ 0xB, imp_b);
+        lan_a.enable_gateway_queue();
+        lan_b.enable_gateway_queue();
+        TwoLanWorld {
+            lan_a,
+            lan_b,
+            mtu_a,
+            mtu_b,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Attach a host to LAN A.
+    pub fn add_host_a(&mut self, host: Host) {
+        self.lan_a.add_host(host);
+    }
+
+    /// Attach a host to LAN B.
+    pub fn add_host_b(&mut self, host: Host) {
+        self.lan_b.add_host(host);
+    }
+
+    /// Mutable access to a host on either LAN.
+    ///
+    /// # Panics
+    /// Panics if no LAN has the host.
+    pub fn host_mut(&mut self, addr: [u8; 4]) -> &mut Host {
+        if self.lan_a.has_host(addr) {
+            self.lan_a.host_mut(addr)
+        } else {
+            self.lan_b.host_mut(addr)
+        }
+    }
+
+    /// Router statistics.
+    pub fn router_stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Current virtual time (the two LANs advance in lockstep).
+    pub fn now_us(&self) -> u64 {
+        self.lan_a.now_us()
+    }
+
+    /// Forward one packet onto `out` (ordinary IP forwarding: TTL,
+    /// checksum via re-encode, fragmentation to the next hop MTU).
+    fn forward(
+        packet: Packet,
+        out: &mut Network,
+        out_mtu: usize,
+        stats: &mut RouterStats,
+    ) -> Result<()> {
+        let mut header = packet.header;
+        if header.ttl <= 1 {
+            stats.ttl_expired += 1;
+            return Ok(());
+        }
+        header.ttl -= 1;
+        match fragment(Packet::new(header, packet.payload), out_mtu) {
+            Ok(frags) => {
+                if frags.len() > 1 {
+                    stats.fragmented += 1;
+                }
+                for f in frags {
+                    out.segment.transmit(f.encode());
+                }
+                stats.forwarded += 1;
+            }
+            Err(_) => {
+                // Oversize + DF: a real router sends ICMP "fragmentation
+                // needed"; ours counts the drop (PMTU discovery is out of
+                // scope for the reproduction).
+                stats.df_drops += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// One lockstep simulation step across both LANs plus the router.
+    pub fn step(&mut self, dt_us: u64) {
+        self.lan_a.step(dt_us);
+        self.lan_b.step(dt_us);
+        // Pump A→B.
+        for (_, frame) in self.lan_a.take_unrouted() {
+            let Ok(packet) = Packet::decode(&frame) else {
+                continue;
+            };
+            if self.lan_b.has_host(packet.header.dst) {
+                let _ = Self::forward(packet, &mut self.lan_b, self.mtu_b, &mut self.stats);
+            } else {
+                self.stats.no_route += 1;
+            }
+        }
+        // Pump B→A.
+        for (_, frame) in self.lan_b.take_unrouted() {
+            let Ok(packet) = Packet::decode(&frame) else {
+                continue;
+            };
+            if self.lan_a.has_host(packet.header.dst) {
+                let _ = Self::forward(packet, &mut self.lan_a, self.mtu_a, &mut self.stats);
+            } else {
+                self.stats.no_route += 1;
+            }
+        }
+    }
+
+    /// Run for `duration_us` in `step_us` increments.
+    pub fn run(&mut self, duration_us: u64, step_us: u64) {
+        let end = self.now_us() + duration_us;
+        while self.now_us() < end {
+            self.step(step_us.min(end - self.now_us()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A1: [u8; 4] = [10, 1, 0, 1];
+    const B1: [u8; 4] = [10, 2, 0, 1];
+
+    fn world(mtu_b: usize) -> TwoLanWorld {
+        let mut w = TwoLanWorld::new(
+            3,
+            Impairments::default(),
+            Impairments::default(),
+            1500,
+            mtu_b,
+        );
+        w.add_host_a(Host::new(A1, 1500));
+        w.add_host_b(Host::new(B1, mtu_b.max(576)));
+        w
+    }
+
+    #[test]
+    fn udp_crosses_the_router() {
+        let mut w = world(1500);
+        w.host_mut(B1).udp.bind(53).unwrap();
+        w.host_mut(A1).udp_send(4000, B1, 53, b"inter-lan", 0).unwrap();
+        w.run(100_000, 1_000);
+        let got = w.host_mut(B1).udp.recv(53).unwrap();
+        assert_eq!(got.data, b"inter-lan");
+        assert_eq!(got.src, A1);
+        assert_eq!(w.router_stats().forwarded, 1);
+    }
+
+    #[test]
+    fn ttl_decrements_across_hop() {
+        let mut w = world(1500);
+        w.host_mut(B1).udp.bind(53).unwrap();
+        w.lan_b.enable_capture();
+        w.host_mut(A1).udp_send(4000, B1, 53, b"ttl probe", 0).unwrap();
+        w.run(100_000, 1_000);
+        let frames = w.lan_b.take_capture();
+        let delivered = frames
+            .iter()
+            .find_map(|(_, f)| Packet::decode(f).ok())
+            .expect("forwarded frame on LAN B");
+        assert_eq!(delivered.header.ttl, 63, "default 64 minus one hop");
+    }
+
+    #[test]
+    fn expired_ttl_dropped() {
+        let mut w = world(1500);
+        w.host_mut(B1).udp.bind(53).unwrap();
+        // Hand-craft a TTL-1 packet.
+        let seg = crate::udp::encode(A1, B1, 1, 53, b"dying");
+        let mut h = crate::ip::Ipv4Header::new(A1, B1, crate::ip::Proto::Udp, seg.len());
+        h.ttl = 1;
+        w.host_mut(A1).ip_output(h, seg, 0).unwrap();
+        w.run(50_000, 1_000);
+        assert_eq!(w.router_stats().ttl_expired, 1);
+        assert_eq!(w.host_mut(B1).udp.pending(53), 0);
+    }
+
+    #[test]
+    fn router_fragments_to_smaller_next_hop_mtu() {
+        let mut w = world(576);
+        w.host_mut(B1).udp.bind(53).unwrap();
+        let big = vec![7u8; 1200]; // fits LAN A's 1500, not LAN B's 576
+        w.host_mut(A1).udp_send(4000, B1, 53, &big, 0).unwrap();
+        w.run(200_000, 1_000);
+        assert_eq!(w.router_stats().fragmented, 1);
+        let got = w.host_mut(B1).udp.recv(53).expect("reassembled at B");
+        assert_eq!(got.data, big);
+    }
+
+    #[test]
+    fn unroutable_destination_counted() {
+        let mut w = world(1500);
+        w.host_mut(A1)
+            .udp_send(4000, [99, 99, 99, 99], 53, b"lost", 0)
+            .unwrap();
+        w.run(50_000, 1_000);
+        assert_eq!(w.router_stats().no_route, 1);
+    }
+}

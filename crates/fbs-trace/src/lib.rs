@@ -1,0 +1,36 @@
+//! # fbs-trace — flow-characteristics experiments (paper §7.3)
+//!
+//! The paper's flow measurements came from tcpdump traces of a Stanford
+//! workgroup LAN ("a number of file and compute servers in addition to
+//! individual users' desktops") and of a lightly-hit (~10,000 hits/day)
+//! WWW server, fed into "a number of flow simulation programs". The
+//! original traces are long gone; this crate rebuilds the pipeline:
+//!
+//! * [`record`] — packet-level trace records with a plain-text codec;
+//! * [`model`] — seeded synthetic workload models of the two environments
+//!   (campus LAN with TELNET/FTP/NFS/X11/DNS traffic, WWW server with a
+//!   Zipf-ish client population), shaped to the qualitative traffic mix
+//!   the paper describes: many short interactive conversations plus a few
+//!   long-lived bulk flows carrying most of the bytes;
+//! * [`flowsim`] — the flow simulation programs: replay a trace through
+//!   per-source-host FAMs with the Fig. 7 policy, producing flow sizes
+//!   (Fig. 9), durations (Fig. 10), key-cache miss rates vs geometry/hash
+//!   (Fig. 11), concurrent active flows (Fig. 12), the THRESHOLD sweep
+//!   (Fig. 13) and repeated-flow counts (Fig. 14);
+//! * [`stats`] — histograms, CDFs and fixed-width table rendering for the
+//!   figure-regeneration binaries in `fbs-bench`;
+//! * [`capture`] — the tcpdump step: converts promiscuous captures from
+//!   the live simulated segment into analysable packet records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod flowsim;
+pub mod model;
+pub mod record;
+pub mod stats;
+
+pub use flowsim::{simulate_cache, simulate_flows, CacheSimConfig, FlowSimConfig, FlowSimResult};
+pub use model::{generate_campus_trace, generate_www_trace, CampusConfig, WwwConfig};
+pub use record::PacketRecord;

@@ -1,0 +1,156 @@
+//! Packet trace records (tcpdump-like) with a plain-text codec.
+
+use fbs_ip::FiveTuple;
+use std::fmt;
+
+/// One captured packet: arrival time, 5-tuple, payload length.
+///
+/// ```
+/// use fbs_trace::PacketRecord;
+/// let line = "1500 17 10.1.0.10 1024 10.1.3.1 53 64";
+/// let r = PacketRecord::from_line(line).unwrap();
+/// assert_eq!(r.t_secs(), 1);
+/// assert_eq!(r.tuple.dport, 53);
+/// assert_eq!(r.to_line(), line);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Arrival time in milliseconds from trace start.
+    pub t_ms: u64,
+    /// The packet's 5-tuple.
+    pub tuple: FiveTuple,
+    /// Transport payload bytes.
+    pub len: u32,
+}
+
+impl PacketRecord {
+    /// Arrival time in whole seconds (the FAM granularity).
+    pub fn t_secs(&self) -> u64 {
+        self.t_ms / 1000
+    }
+
+    /// One-line text form: `t_ms proto s.s.s.s sport d.d.d.d dport len`.
+    pub fn to_line(&self) -> String {
+        let t = &self.tuple;
+        format!(
+            "{} {} {}.{}.{}.{} {} {}.{}.{}.{} {} {}",
+            self.t_ms,
+            t.proto,
+            t.saddr[0],
+            t.saddr[1],
+            t.saddr[2],
+            t.saddr[3],
+            t.sport,
+            t.daddr[0],
+            t.daddr[1],
+            t.daddr[2],
+            t.daddr[3],
+            t.dport,
+            self.len,
+        )
+    }
+
+    /// Parse the [`to_line`](Self::to_line) format.
+    pub fn from_line(line: &str) -> Option<PacketRecord> {
+        let mut parts = line.split_whitespace();
+        let t_ms = parts.next()?.parse().ok()?;
+        let proto = parts.next()?.parse().ok()?;
+        let saddr = parse_addr(parts.next()?)?;
+        let sport = parts.next()?.parse().ok()?;
+        let daddr = parse_addr(parts.next()?)?;
+        let dport = parts.next()?.parse().ok()?;
+        let len = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(PacketRecord {
+            t_ms,
+            tuple: FiveTuple {
+                proto,
+                saddr,
+                sport,
+                daddr,
+                dport,
+            },
+            len,
+        })
+    }
+}
+
+fn parse_addr(s: &str) -> Option<[u8; 4]> {
+    let mut out = [0u8; 4];
+    let mut parts = s.split('.');
+    for slot in &mut out {
+        *slot = parts.next()?.parse().ok()?;
+    }
+    parts.next().is_none().then_some(out)
+}
+
+impl fmt::Display for PacketRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+/// Serialise a trace to the line format.
+pub fn write_trace(records: &[PacketRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a trace in the line format, skipping blank and `#` comment lines.
+pub fn read_trace(text: &str) -> Vec<PacketRecord> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .filter_map(PacketRecord::from_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PacketRecord {
+        PacketRecord {
+            t_ms: 123_456,
+            tuple: FiveTuple {
+                proto: 17,
+                saddr: [10, 0, 0, 7],
+                sport: 2049,
+                daddr: [10, 0, 0, 1],
+                dport: 1023,
+            },
+            len: 8192,
+        }
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let r = sample();
+        assert_eq!(PacketRecord::from_line(&r.to_line()), Some(r));
+    }
+
+    #[test]
+    fn trace_roundtrip_with_comments() {
+        let rs = vec![sample(), sample()];
+        let mut text = String::from("# tcpdump-ish trace\n\n");
+        text.push_str(&write_trace(&rs));
+        assert_eq!(read_trace(&text), rs);
+    }
+
+    #[test]
+    fn malformed_lines_skipped() {
+        assert!(PacketRecord::from_line("garbage").is_none());
+        assert!(PacketRecord::from_line("1 17 10.0.0.1 1 10.0.0.2 2 3 extra").is_none());
+        assert!(PacketRecord::from_line("1 17 10.0.0 1 10.0.0.2 2 3").is_none());
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert_eq!(sample().t_secs(), 123);
+    }
+}

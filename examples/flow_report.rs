@@ -1,0 +1,106 @@
+//! Flow-characteristics report: generate the campus-LAN trace, run the
+//! Fig. 7 policy over it, and print the §7.3 flow statistics.
+//!
+//! Run with: `cargo run --release --example flow_report [-- <minutes> [threshold_secs]]`
+
+use fbs::trace::flowsim::{elephant_share, flow_durations, flow_sizes};
+use fbs::trace::stats::{mean, percentile, render_table};
+use fbs::trace::{generate_campus_trace, simulate_flows, CampusConfig, FlowSimConfig};
+
+fn main() {
+    let minutes: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let threshold: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+
+    println!("generating {minutes} min campus-LAN trace (seed 1997)...");
+    let trace = generate_campus_trace(&CampusConfig {
+        duration_secs: minutes * 60,
+        ..CampusConfig::default()
+    });
+    let bytes: u64 = trace.iter().map(|r| r.len as u64).sum();
+    println!(
+        "  {} packets, {:.1} MB across {} minutes\n",
+        trace.len(),
+        bytes as f64 / 1e6,
+        minutes
+    );
+
+    println!("running the Fig. 7 flow policy (THRESHOLD = {threshold} s)...\n");
+    let result = simulate_flows(
+        &trace,
+        &FlowSimConfig {
+            threshold_secs: threshold,
+            ..FlowSimConfig::default()
+        },
+    );
+
+    let (pkts, flow_bytes) = flow_sizes(&result);
+    let durations = flow_durations(&result);
+
+    let rows = vec![
+        vec!["flows".into(), result.flows_started.to_string()],
+        vec![
+            "datagrams classified".into(),
+            result.classifications.to_string(),
+        ],
+        vec![
+            "repeated flows (same 5-tuple)".into(),
+            result.repeated_flows.to_string(),
+        ],
+        vec![
+            "median flow size (packets)".into(),
+            percentile(&pkts, 50.0).to_string(),
+        ],
+        vec![
+            "90th pct flow size (packets)".into(),
+            percentile(&pkts, 90.0).to_string(),
+        ],
+        vec![
+            "max flow size (packets)".into(),
+            pkts.last().copied().unwrap_or(0).to_string(),
+        ],
+        vec![
+            "median flow bytes".into(),
+            percentile(&flow_bytes, 50.0).to_string(),
+        ],
+        vec![
+            "mean flow duration (s)".into(),
+            format!("{:.1}", mean(&durations)),
+        ],
+        vec![
+            "median flow duration (s)".into(),
+            percentile(&durations, 50.0).to_string(),
+        ],
+        vec![
+            "byte share of top 10% flows".into(),
+            format!("{:.1}%", 100.0 * elephant_share(&result, 0.10)),
+        ],
+        vec![
+            "peak active flows (one host)".into(),
+            result.per_host_max_active.to_string(),
+        ],
+        vec![
+            "peak active flows (whole LAN)".into(),
+            result
+                .active_series
+                .iter()
+                .map(|(_, c)| *c)
+                .max()
+                .unwrap_or(0)
+                .to_string(),
+        ],
+    ];
+    println!("{}", render_table(&["metric", "value"], &rows));
+
+    println!(
+        "interpretation (paper §7.3): the majority of flows are short and\n\
+         small — datagram semantics pay off — while a few long-lived flows\n\
+         (NFS, FTP) carry the bulk of the bytes and are still captured as\n\
+         single flows with one key derivation each."
+    );
+}

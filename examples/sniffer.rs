@@ -1,0 +1,145 @@
+//! A tcpdump-style sniffer on the simulated segment — and a demonstration
+//! of what FBS hides from it.
+//!
+//! Run with: `cargo run --example sniffer`
+//!
+//! The same application traffic is generated twice: once on a plain LAN
+//! and once on an FBS-protected LAN. The sniffer (promiscuous capture on
+//! the shared medium, like the paper's §7.3 measurement hosts) prints what
+//! it can see in each case: on the plain LAN it reads ports and payloads;
+//! on the FBS LAN the transport header and payload are encrypted — only
+//! host-level information and the security flow label remain visible.
+
+use fbs::core::SecurityFlowHeader;
+use fbs::crypto::dh::DhGroup;
+use fbs::ip::hooks::IpMappingConfig;
+use fbs::ip::host::SecureNet;
+use fbs::net::ip::{Packet, Proto};
+use fbs::net::segment::Impairments;
+use fbs::trace::capture::records_from_frames;
+
+const ALICE: [u8; 4] = [192, 168, 69, 1];
+const BOB: [u8; 4] = [192, 168, 69, 2];
+
+fn generate_traffic(net: &mut SecureNet) {
+    net.host_mut(BOB).udp.bind(4242).unwrap();
+    for (i, msg) in ["wire transfer #1", "PIN is 0000", "meet at noon"]
+        .iter()
+        .enumerate()
+    {
+        let now = net.now_us();
+        net.host_mut(ALICE)
+            .udp_send(5000 + i as u16, BOB, 4242, msg.as_bytes(), now)
+            .unwrap();
+        net.run(20_000, 1_000);
+    }
+}
+
+fn dump(frames: &[(u64, Vec<u8>)], fbs_protected: bool) {
+    for (t, frame) in frames {
+        let Ok(packet) = Packet::decode(frame) else {
+            continue;
+        };
+        let h = &packet.header;
+        print!(
+            "{:>9.3}ms  {}.{}.{}.{} > {}.{}.{}.{}  proto {:>3}  len {:>4}  ",
+            *t as f64 / 1000.0,
+            h.src[0],
+            h.src[1],
+            h.src[2],
+            h.src[3],
+            h.dst[0],
+            h.dst[1],
+            h.dst[2],
+            h.dst[3],
+            h.proto,
+            h.total_len,
+        );
+        if fbs_protected && Proto::from_number(h.proto) == Proto::Udp {
+            match SecurityFlowHeader::decode(&packet.payload) {
+                Ok((fbs_h, used)) => {
+                    let body = &packet.payload[used..];
+                    println!(
+                        "FBS sfl=0x{:x} ts={} body={}",
+                        fbs_h.sfl,
+                        fbs_h.timestamp,
+                        printable(body)
+                    );
+                }
+                Err(_) => println!("(unparseable)"),
+            }
+        } else {
+            // Plain capture: ports + payload are right there.
+            if packet.payload.len() >= 8 {
+                let sport = u16::from_be_bytes([packet.payload[0], packet.payload[1]]);
+                let dport = u16::from_be_bytes([packet.payload[2], packet.payload[3]]);
+                println!(
+                    "ports {sport}->{dport} payload={}",
+                    printable(&packet.payload[8..])
+                );
+            } else {
+                println!();
+            }
+        }
+    }
+}
+
+fn printable(data: &[u8]) -> String {
+    let text: String = data
+        .iter()
+        .take(24)
+        .map(|&b| {
+            if b.is_ascii_graphic() || b == b' ' {
+                b as char
+            } else {
+                '.'
+            }
+        })
+        .collect();
+    format!("\"{text}\"")
+}
+
+fn main() {
+    println!("=== capture 1: plain LAN (no FBS) ===");
+    let mut plain = SecureNet::new(
+        7,
+        Impairments::default(),
+        IpMappingConfig::default(),
+        DhGroup::oakley1(),
+    );
+    plain.add_plain_host(ALICE);
+    plain.add_plain_host(BOB);
+    plain.net.enable_capture();
+    generate_traffic(&mut plain);
+    let frames = plain.net.take_capture();
+    dump(&frames, false);
+    let records = records_from_frames(&frames);
+    println!(
+        "  -> the sniffer recovered {} full 5-tuple records; every payload readable\n",
+        records.len()
+    );
+
+    println!("=== capture 2: FBS-protected LAN, same traffic ===");
+    let mut secure = SecureNet::new(
+        7,
+        Impairments::default(),
+        IpMappingConfig::default(),
+        DhGroup::oakley1(),
+    );
+    secure.add_host(ALICE);
+    secure.add_host(BOB);
+    secure.net.enable_capture();
+    generate_traffic(&mut secure);
+    let frames = secure.net.take_capture();
+    dump(&frames, true);
+    let records = records_from_frames(&frames);
+    println!(
+        "  -> {} readable transport records: ports and payloads are gone;\n\
+         \u{20}    only addresses and opaque flow labels remain (host-level flow\n\
+         \u{20}    analysis is all an eavesdropper gets)",
+        records
+            .iter()
+            .filter(|r| r.tuple.dport == 4242)
+            .count()
+    );
+}

@@ -1,0 +1,133 @@
+//! ttcp-style throughput measurement (the tool behind the paper's Fig. 8).
+//!
+//! Transfers a bulk payload over the mini reliable transport across the
+//! simulated 10 Mb/s segment under the three protocol variants the paper
+//! times:
+//!
+//! * `GENERIC`      — plain stack, no FBS;
+//! * `FBS NOP`      — full FBS path with nullified MAC/encryption;
+//! * `FBS DES+MD5`  — data confidentiality and MAC computation.
+//!
+//! Reports both virtual-network throughput (which the 10 Mb/s medium caps,
+//! as in the paper) and host CPU time per variant.
+//!
+//! Run with: `cargo run --release --example ttcp [-- <megabytes>]`
+
+use fbs::crypto::dh::DhGroup;
+use fbs::ip::hooks::IpMappingConfig;
+use fbs::ip::host::SecureNet;
+use fbs::net::segment::Impairments;
+use std::time::Instant;
+
+const SRC: [u8; 4] = [192, 168, 69, 1];
+const DST: [u8; 4] = [192, 168, 69, 2];
+
+struct Outcome {
+    virtual_kbps: f64,
+    cpu_secs: f64,
+    retransmissions: u64,
+}
+
+fn run_variant(cfg: Option<IpMappingConfig>, megabytes: usize) -> Outcome {
+    let mut net = match cfg {
+        Some(cfg) => {
+            let mut n = SecureNet::new(1, Impairments::default(), cfg, DhGroup::oakley1());
+            n.add_host(SRC);
+            n.add_host(DST);
+            n
+        }
+        None => {
+            let mut n = SecureNet::new(
+                1,
+                Impairments::default(),
+                IpMappingConfig::default(),
+                DhGroup::oakley1(),
+            );
+            n.add_plain_host(SRC);
+            n.add_plain_host(DST);
+            n
+        }
+    };
+
+    net.host_mut(DST).mrt.listen(5001);
+    let key = net.host_mut(SRC).mrt.connect(2000, DST, 5001);
+    net.run(300_000, 1_000);
+
+    let data = vec![0xA5u8; megabytes * 1024 * 1024];
+    net.host_mut(SRC).mrt.send(&key, &data).expect("queue data");
+
+    let started = Instant::now();
+    let t0 = net.now_us();
+    let mut received = 0usize;
+    while received < data.len() {
+        net.run(50_000, 1_000);
+        received += net
+            .host_mut(DST)
+            .mrt
+            .recv(&(5001, SRC, 2000), usize::MAX)
+            .len();
+        if net.now_us() - t0 > 600_000_000 {
+            eprintln!("  (transfer stalled at {received}/{} bytes)", data.len());
+            break;
+        }
+    }
+    let virtual_secs = (net.now_us() - t0) as f64 / 1e6;
+    let retransmissions = net
+        .host_mut(SRC)
+        .mrt
+        .conn(&key)
+        .map(|c| c.retransmissions)
+        .unwrap_or(0);
+    Outcome {
+        virtual_kbps: received as f64 * 8.0 / 1000.0 / virtual_secs,
+        cpu_secs: started.elapsed().as_secs_f64(),
+        retransmissions,
+    }
+}
+
+fn main() {
+    let megabytes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    println!("ttcp: {megabytes} MiB bulk transfer over a simulated 10 Mb/s segment\n");
+    println!(
+        "{:<14} {:>16} {:>12} {:>8}",
+        "variant", "virtual kb/s", "host cpu s", "retrans"
+    );
+
+    let variants: [(&str, Option<IpMappingConfig>); 3] = [
+        ("GENERIC", None),
+        (
+            "FBS NOP",
+            Some(IpMappingConfig {
+                fbs: fbs::core::FbsConfig {
+                    nop_crypto: true,
+                    ..fbs::core::FbsConfig::default()
+                },
+                encrypt: false,
+                ..IpMappingConfig::default()
+            }),
+        ),
+        (
+            "FBS DES+MD5",
+            Some(IpMappingConfig {
+                encrypt: true,
+                ..IpMappingConfig::default()
+            }),
+        ),
+    ];
+    for (name, cfg) in variants {
+        let o = run_variant(cfg, megabytes);
+        println!(
+            "{:<14} {:>16.0} {:>12.3} {:>8}",
+            name, o.virtual_kbps, o.cpu_secs, o.retransmissions
+        );
+    }
+    println!(
+        "\nThe virtual medium caps goodput near 10 Mb/s minus header overhead;\n\
+         the host-CPU column shows the crypto cost separating the variants\n\
+         (the paper's Pentium-133 saw 7700 → 3400 kb/s with DES+MD5).\n\
+         See fbs-bench fig08_throughput for the calibrated reproduction."
+    );
+}

@@ -1,0 +1,133 @@
+//! `fbstrace` — command-line front end for the §7.3 trace pipeline.
+//!
+//! ```text
+//! fbstrace gen-campus [minutes] [seed] > campus.trace
+//! fbstrace gen-www    [minutes] [seed] > www.trace
+//! fbstrace analyze    <file> [threshold_secs]
+//! fbstrace cache      <file> [slots]
+//! ```
+//!
+//! Traces are plain text, one packet per line (`t_ms proto saddr sport
+//! daddr dport len`), so they pipe through standard Unix tooling.
+
+use fbs::trace::flowsim::{
+    elephant_share, flow_durations, flow_sizes, simulate_cache, CacheHash, CacheSimConfig,
+};
+use fbs::trace::record::{read_trace, write_trace};
+use fbs::trace::stats::{mean, percentile, render_table};
+use fbs::trace::{
+    generate_campus_trace, generate_www_trace, simulate_flows, CampusConfig, FlowSimConfig,
+    WwwConfig,
+};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  fbstrace gen-campus [minutes] [seed]\n  fbstrace gen-www [minutes] [seed]\n  \
+         fbstrace analyze <file> [threshold_secs]\n  fbstrace cache <file> [slots]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("gen-campus") => {
+            let minutes: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+            let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1997);
+            let trace = generate_campus_trace(&CampusConfig {
+                duration_secs: minutes * 60,
+                seed,
+                ..CampusConfig::default()
+            });
+            println!("# campus LAN trace: {} min, seed {}", minutes, seed);
+            print!("{}", write_trace(&trace));
+        }
+        Some("gen-www") => {
+            let minutes: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+            let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1997);
+            let trace = generate_www_trace(&WwwConfig {
+                duration_secs: minutes * 60,
+                seed,
+                ..WwwConfig::default()
+            });
+            println!("# WWW server trace: {} min, seed {}", minutes, seed);
+            print!("{}", write_trace(&trace));
+        }
+        Some("analyze") => {
+            let Some(path) = args.get(2) else { usage() };
+            let threshold: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(600);
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1)
+            });
+            let trace = read_trace(&text);
+            if trace.is_empty() {
+                eprintln!("no packet records in {path}");
+                exit(1);
+            }
+            let result = simulate_flows(
+                &trace,
+                &FlowSimConfig {
+                    threshold_secs: threshold,
+                    ..FlowSimConfig::default()
+                },
+            );
+            let (pkts, bytes) = flow_sizes(&result);
+            let durations = flow_durations(&result);
+            let rows = vec![
+                vec!["packets".into(), trace.len().to_string()],
+                vec!["flows".into(), result.flows_started.to_string()],
+                vec!["repeated flows".into(), result.repeated_flows.to_string()],
+                vec![
+                    "median flow pkts".into(),
+                    percentile(&pkts, 50.0).to_string(),
+                ],
+                vec![
+                    "median flow bytes".into(),
+                    percentile(&bytes, 50.0).to_string(),
+                ],
+                vec![
+                    "mean duration s".into(),
+                    format!("{:.1}", mean(&durations)),
+                ],
+                vec![
+                    "top-10% byte share".into(),
+                    format!("{:.1}%", 100.0 * elephant_share(&result, 0.10)),
+                ],
+                vec![
+                    "peak active (host)".into(),
+                    result.per_host_max_active.to_string(),
+                ],
+            ];
+            println!("{}", render_table(&["metric", "value"], &rows));
+        }
+        Some("cache") => {
+            let Some(path) = args.get(2) else { usage() };
+            let slots: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(64);
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1)
+            });
+            let trace = read_trace(&text);
+            let stats = simulate_cache(
+                &trace,
+                &CacheSimConfig {
+                    threshold_secs: 600,
+                    cache_slots: slots,
+                    assoc: 1,
+                    hash: CacheHash::Crc32,
+                },
+            );
+            println!(
+                "{} lookups: {:.2}% miss ({} cold, {} capacity, {} collision)",
+                stats.lookups(),
+                100.0 * stats.miss_rate(),
+                stats.cold_misses,
+                stats.capacity_misses,
+                stats.collision_misses,
+            );
+        }
+        _ => usage(),
+    }
+}

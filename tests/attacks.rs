@@ -1,0 +1,268 @@
+//! Adversarial integration tests: the attacks of §2.2, §6 and §7.1 run
+//! against the full system (endpoints + caches + certificates), verifying
+//! both that FBS stops what it claims to stop and that it admits what the
+//! paper admits it admits.
+
+use fbs::baselines::{HostPairService, SecureDatagramService};
+use fbs::cert::{CertificateAuthority, Directory, Pvc};
+use fbs::core::policy::IdleTimeoutPolicy;
+use fbs::core::{
+    Datagram, Fam, FbsConfig, FbsEndpoint, FbsError, ManualClock, MasterKeyDaemon,
+    PinnedDirectory, Principal, ProtectedDatagram, SflAllocator,
+};
+use fbs::crypto::dh::{DhGroup, PrivateValue};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn pair() -> (FbsEndpoint, FbsEndpoint, ManualClock) {
+    let clock = ManualClock::starting_at(500_000);
+    let group = DhGroup::test_group();
+    let a_priv = PrivateValue::from_entropy(group.clone(), b"attack-test-alice-entropy");
+    let b_priv = PrivateValue::from_entropy(group, b"attack-test-bob-entropy!!");
+    let alice = Principal::named("alice");
+    let bob = Principal::named("bob");
+    let mut da = PinnedDirectory::new();
+    da.pin(bob.clone(), b_priv.public_value());
+    let mut db = PinnedDirectory::new();
+    db.pin(alice.clone(), a_priv.public_value());
+    (
+        FbsEndpoint::new(
+            alice,
+            FbsConfig::default(),
+            Arc::new(clock.clone()),
+            0xA77AC4,
+            MasterKeyDaemon::new(a_priv, Box::new(da)),
+        ),
+        FbsEndpoint::new(
+            bob,
+            FbsConfig::default(),
+            Arc::new(clock.clone()),
+            0xDEFE45E,
+            MasterKeyDaemon::new(b_priv, Box::new(db)),
+        ),
+        clock,
+    )
+}
+
+fn dgram(body: &[u8]) -> Datagram {
+    Datagram::new(Principal::named("alice"), Principal::named("bob"), body)
+}
+
+#[test]
+fn bit_flips_anywhere_in_wire_payload_are_caught() {
+    // Exhaustively flip one bit in every byte position of a protected
+    // datagram's wire form; every variant must be rejected (or fail to
+    // parse) — none may decrypt to a *different accepted* datagram.
+    let (mut tx, mut rx, _) = pair();
+    let pd = tx.send(9, dgram(b"sixteen byte msg"), true).unwrap();
+    let wire = pd.encode_payload();
+    let mut accepted_identical = 0;
+    for i in 0..wire.len() {
+        let mut corrupted = wire.clone();
+        corrupted[i] ^= 0x01;
+        let Ok(parsed) = ProtectedDatagram::decode_payload(
+            Principal::named("alice"),
+            Principal::named("bob"),
+            &corrupted,
+        ) else {
+            continue; // framing rejected at parse
+        };
+        match rx.receive(parsed) {
+            Err(_) => {}
+            Ok(d) => {
+                // Only acceptable if the flip hit a bit the protocol
+                // legitimately ignores AND the payload is untouched.
+                assert_eq!(d.body, b"sixteen byte msg", "flip at byte {i} accepted with altered body");
+                accepted_identical += 1;
+            }
+        }
+    }
+    // The only ignorable bits are inside the reserved header byte.
+    assert!(
+        accepted_identical <= 1,
+        "too many corrupted-but-accepted variants: {accepted_identical}"
+    );
+}
+
+#[test]
+fn truncation_and_extension_rejected() {
+    let (mut tx, mut rx, _) = pair();
+    let pd = tx.send(9, dgram(b"length matters here"), true).unwrap();
+    let wire = pd.encode_payload();
+
+    for cut in [1usize, 7, 8, 16] {
+        let truncated = &wire[..wire.len() - cut];
+        match ProtectedDatagram::decode_payload(
+            Principal::named("alice"),
+            Principal::named("bob"),
+            truncated,
+        ) {
+            Err(_) => {}
+            Ok(pd) => assert!(rx.receive(pd).is_err(), "truncated by {cut} accepted"),
+        }
+    }
+    let mut extended = wire.clone();
+    extended.extend_from_slice(&[0u8; 8]);
+    let pd = ProtectedDatagram::decode_payload(
+        Principal::named("alice"),
+        Principal::named("bob"),
+        &extended,
+    )
+    .unwrap();
+    assert!(rx.receive(pd).is_err(), "extension accepted");
+}
+
+#[test]
+fn reflection_attack_fails() {
+    // A datagram sent A→B replayed back to A (claiming source B) must not
+    // verify: flow keys are direction-bound via (S, D) in the derivation.
+    let (mut tx, _, _) = pair();
+    let pd = tx.send(9, dgram(b"reflect me"), true).unwrap();
+    let reflected = ProtectedDatagram {
+        source: Principal::named("bob"),
+        destination: Principal::named("alice"),
+        header: pd.header.clone(),
+        body: pd.body.clone(),
+    };
+    assert_eq!(tx.receive(reflected), Err(FbsError::BadMac));
+}
+
+#[test]
+fn cross_pair_splice_fails() {
+    // Traffic for pair (A,B) replayed into pair (A,C): C cannot verify it
+    // even knowing its own master key with A.
+    let clock = ManualClock::starting_at(500_000);
+    let group = DhGroup::test_group();
+    let a_priv = PrivateValue::from_entropy(group.clone(), b"multi-alice-entropy!");
+    let b_priv = PrivateValue::from_entropy(group.clone(), b"multi-bob-entropy!!!");
+    let c_priv = PrivateValue::from_entropy(group, b"multi-carol-entropy!");
+    let (alice, bob, carol) = (
+        Principal::named("alice"),
+        Principal::named("bob"),
+        Principal::named("carol"),
+    );
+    let mut da = PinnedDirectory::new();
+    da.pin(bob.clone(), b_priv.public_value());
+    da.pin(carol.clone(), c_priv.public_value());
+    let mut dc = PinnedDirectory::new();
+    dc.pin(alice.clone(), a_priv.public_value());
+    let mut a = FbsEndpoint::new(
+        alice.clone(),
+        FbsConfig::default(),
+        Arc::new(clock.clone()),
+        1,
+        MasterKeyDaemon::new(a_priv, Box::new(da)),
+    );
+    let mut c = FbsEndpoint::new(
+        carol.clone(),
+        FbsConfig::default(),
+        Arc::new(clock.clone()),
+        2,
+        MasterKeyDaemon::new(c_priv, Box::new(dc)),
+    );
+    let pd = a
+        .send(5, Datagram::new(alice.clone(), bob, b"for bob only".to_vec()), true)
+        .unwrap();
+    // Redirect to carol.
+    let redirected = ProtectedDatagram {
+        source: alice,
+        destination: carol,
+        header: pd.header,
+        body: pd.body,
+    };
+    assert!(c.receive(redirected).is_err());
+}
+
+#[test]
+fn replay_window_boundaries_are_exact() {
+    let (mut tx, mut rx, clock) = pair();
+    let pd = tx.send(9, dgram(b"boundary test"), false).unwrap();
+    // Default window is ±2 minutes. At +2 min it is still fresh...
+    clock.advance(2 * 60);
+    assert!(rx.receive(pd.clone()).is_ok());
+    // ...at +3 min (minute counter moved 3) it is stale.
+    clock.advance(60);
+    assert!(matches!(
+        rx.receive(pd),
+        Err(FbsError::StaleTimestamp { .. })
+    ));
+}
+
+#[test]
+fn receiver_clock_behind_sender_still_accepts_within_window() {
+    // §6.2: loose synchronisation — the window is symmetric, so a sender
+    // ahead of the receiver is tolerated up to the half-width.
+    let (mut tx, mut rx, clock) = pair();
+    let pd = tx.send(9, dgram(b"from the future"), false).unwrap();
+    clock.set(500_000 - 60); // receiver now 1 minute behind send time
+    assert!(rx.receive(pd).is_ok());
+}
+
+#[test]
+fn certificate_substitution_is_caught_by_pvc_verification() {
+    // An attacker who can tamper with the directory cannot substitute a
+    // forged certificate: the PVC verifies against the CA on every use.
+    let ca = CertificateAuthority::new("real-ca", [1u8; 16]);
+    let rogue = CertificateAuthority::new("real-ca", [2u8; 16]); // forged secret
+    let dir = Arc::new(Directory::new(Duration::ZERO));
+    let clock = ManualClock::starting_at(1000);
+    let group = DhGroup::test_group();
+    let victim = Principal::named("victim");
+    let attacker_pv =
+        PrivateValue::from_entropy(group, b"attacker-owned-value").public_value();
+    // The directory serves a certificate issued by the ROGUE ca binding
+    // the victim's name to the attacker's public value.
+    dir.publish(rogue.issue(victim.clone(), attacker_pv, 0, u64::MAX));
+    let pvc = Pvc::new(8, dir, ca.verifier(), Arc::new(clock.clone()));
+    use fbs::core::PublicValueSource;
+    assert!(matches!(
+        pvc.fetch(&victim),
+        Err(FbsError::CertificateInvalid(_))
+    ));
+}
+
+#[test]
+fn port_reuse_attack_end_to_end_with_fam() {
+    // §7.1 attack narrative, at the FAM level: the attacker inherits the
+    // victim's flow when the port is reused within THRESHOLD, and the
+    // receiving endpoint will happily decrypt replayed flow traffic.
+    let (mut tx, mut rx, _) = pair();
+    let mut fam = Fam::new(64, IdleTimeoutPolicy::new(600), SflAllocator::new(77));
+    let attrs = "udp:alice:2222->bob:9999".to_string();
+
+    let now = rx.clock().now_secs();
+    let victim_class = fam.classify(attrs.clone(), now, 64);
+    let recorded = tx
+        .send(victim_class.sfl, dgram(b"victim's secret"), true)
+        .unwrap();
+
+    // Victim exits; attacker binds the same port seconds later: the FAM
+    // continues the SAME flow.
+    let attacker_class = fam.classify(attrs, now + 10, 64);
+    assert_eq!(victim_class.sfl, attacker_class.sfl);
+
+    // The receiver decrypts the replayed datagram while it is fresh —
+    // the §7.1 vulnerability — which is why the port quarantine exists
+    // (tested in fbs-net::ports and examples/attack_demos).
+    assert_eq!(rx.receive(recorded).unwrap().body, b"victim's secret");
+}
+
+#[test]
+fn host_pair_vs_fbs_attack_matrix() {
+    // Summary matrix: which paradigm stops which attack.
+    let group = DhGroup::test_group();
+    let (mut hp_a, mut hp_b, hp_a_name, hp_b_name) =
+        HostPairService::pair(&group, ("alice", "bob"));
+    let (mut fbs_tx, mut fbs_rx, _) = pair();
+
+    // Cross-conversation replay: host-pair accepts, FBS's flow binding
+    // means the datagram stays in ITS OWN flow (sfl in header) — the
+    // attack that matters is ciphertext splicing, which FBS rejects.
+    let hp_wire = hp_a.protect(&hp_b_name, 1, b"conv 1").unwrap();
+    assert!(hp_b.unprotect(&hp_a_name, 2, &hp_wire).is_ok());
+
+    let pd1 = fbs_tx.send(1, dgram(b"conv one"), true).unwrap();
+    let mut pd2 = fbs_tx.send(2, dgram(b"conv two"), true).unwrap();
+    pd2.body = pd1.body.clone();
+    assert_eq!(fbs_rx.receive(pd2), Err(FbsError::BadMac));
+}

@@ -1,0 +1,93 @@
+//! Integration tests of the full §7.3 measurement pipeline: workload
+//! generation → text serialisation → parsing → flow simulation → figure
+//! statistics, including the round trip through a real file (what the
+//! `fbstrace` CLI does).
+
+use fbs::trace::flowsim::{flow_durations, flow_sizes};
+use fbs::trace::record::{read_trace, write_trace};
+use fbs::trace::stats::{cdf_points, LogHistogram};
+use fbs::trace::{
+    generate_campus_trace, generate_www_trace, simulate_flows, CampusConfig, FlowSimConfig,
+    WwwConfig,
+};
+
+fn small_campus() -> CampusConfig {
+    CampusConfig {
+        duration_secs: 1200,
+        desktops: 8,
+        ..CampusConfig::default()
+    }
+}
+
+#[test]
+fn trace_survives_text_roundtrip_exactly() {
+    let trace = generate_campus_trace(&small_campus());
+    let text = write_trace(&trace);
+    let parsed = read_trace(&text);
+    assert_eq!(parsed, trace);
+}
+
+#[test]
+fn trace_roundtrip_through_a_real_file() {
+    let trace = generate_www_trace(&WwwConfig {
+        duration_secs: 1800,
+        ..WwwConfig::default()
+    });
+    let path = std::env::temp_dir().join("fbs-test-trace.txt");
+    std::fs::write(&path, write_trace(&trace)).unwrap();
+    let parsed = read_trace(&std::fs::read_to_string(&path).unwrap());
+    std::fs::remove_file(&path).ok();
+    assert_eq!(parsed, trace);
+}
+
+#[test]
+fn flow_analysis_identical_before_and_after_serialisation() {
+    // The figure statistics must not depend on in-memory vs re-parsed
+    // traces (the CLI path and the bench path must agree).
+    let trace = generate_campus_trace(&small_campus());
+    let reparsed = read_trace(&write_trace(&trace));
+    let cfg = FlowSimConfig::default();
+    let a = simulate_flows(&trace, &cfg);
+    let b = simulate_flows(&reparsed, &cfg);
+    assert_eq!(a.flows_started, b.flows_started);
+    assert_eq!(a.repeated_flows, b.repeated_flows);
+    assert_eq!(flow_sizes(&a), flow_sizes(&b));
+    assert_eq!(flow_durations(&a), flow_durations(&b));
+}
+
+#[test]
+fn histogram_and_cdf_agree_on_totals() {
+    let trace = generate_campus_trace(&small_campus());
+    let result = simulate_flows(&trace, &FlowSimConfig::default());
+    let (pkts, _) = flow_sizes(&result);
+    let mut hist = LogHistogram::new();
+    for &p in &pkts {
+        hist.add(p);
+    }
+    assert_eq!(hist.total(), pkts.len() as u64);
+    let cdf = cdf_points(&pkts, 10);
+    assert_eq!(cdf.last().unwrap().1, 1.0);
+    // The CDF endpoint equals the max flow size.
+    assert_eq!(cdf.last().unwrap().0, *pkts.last().unwrap());
+}
+
+#[test]
+fn www_and_campus_have_distinct_signatures() {
+    // Sanity on the two environments: WWW flows are uniformly short;
+    // campus includes long-lived sessions.
+    let campus = simulate_flows(
+        &generate_campus_trace(&small_campus()),
+        &FlowSimConfig::default(),
+    );
+    let www = simulate_flows(
+        &generate_www_trace(&WwwConfig {
+            duration_secs: 1200,
+            ..WwwConfig::default()
+        }),
+        &FlowSimConfig::default(),
+    );
+    let campus_max = flow_durations(&campus).last().copied().unwrap_or(0);
+    let www_max = flow_durations(&www).last().copied().unwrap_or(0);
+    assert!(campus_max > 300, "campus has long-lived flows: {campus_max}");
+    assert!(www_max < 300, "www flows are short: {www_max}");
+}
