@@ -55,8 +55,14 @@ impl HostPairService {
 
     /// Build a ready-made interoperating pair for tests/benches.
     pub fn pair(group: &DhGroup, names: (&str, &str)) -> (Self, Self, Principal, Principal) {
-        let a_priv = PrivateValue::from_entropy(group.clone(), format!("{}-entropy-pad", names.0).as_bytes());
-        let b_priv = PrivateValue::from_entropy(group.clone(), format!("{}-entropy-pad", names.1).as_bytes());
+        let a_priv = PrivateValue::from_entropy(
+            group.clone(),
+            format!("{}-entropy-pad", names.0).as_bytes(),
+        );
+        let b_priv = PrivateValue::from_entropy(
+            group.clone(),
+            format!("{}-entropy-pad", names.1).as_bytes(),
+        );
         let a_name = Principal::named(names.0);
         let b_name = Principal::named(names.1);
         let mut a = HostPairService::new(a_priv.clone(), 0xA);

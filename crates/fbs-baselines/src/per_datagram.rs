@@ -195,7 +195,10 @@ mod tests {
     fn roundtrip_lcg() {
         let (mut a, mut b, a_name, b_name) = lcg_world();
         let wire = a.protect(&b_name, 1, b"per-datagram keyed").unwrap();
-        assert_eq!(b.unprotect(&a_name, 1, &wire).unwrap(), b"per-datagram keyed");
+        assert_eq!(
+            b.unprotect(&a_name, 1, &wire).unwrap(),
+            b"per-datagram keyed"
+        );
     }
 
     #[test]

@@ -152,10 +152,7 @@ impl SecureDatagramService for SessionExchangeService {
         let iv = ((confounder as u64) << 32) | confounder as u64;
         let des = Des::new(&key[..8].try_into().unwrap());
         let pt = des::decrypt(&des, iv, DesMode::Cbc, ct, len);
-        let expected = keyed_digest(
-            &key,
-            &[&seq.to_be_bytes(), &confounder.to_be_bytes(), &pt],
-        );
+        let expected = keyed_digest(&key, &[&seq.to_be_bytes(), &confounder.to_be_bytes(), &pt]);
         if !mac_eq(&expected, mac) {
             return Err(FbsError::BadMac);
         }

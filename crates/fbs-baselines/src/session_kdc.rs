@@ -124,9 +124,7 @@ impl Kdc {
             return Err(FbsError::MalformedHeader("ticket body layout"));
         }
         let src = Principal::from_bytes(content[4..4 + src_len].to_vec());
-        let session_key: [u8; 16] = content[4 + src_len..4 + src_len + 16]
-            .try_into()
-            .unwrap();
+        let session_key: [u8; 16] = content[4 + src_len..4 + src_len + 16].try_into().unwrap();
         let expiry = u64::from_be_bytes(content[4 + src_len + 16..].try_into().unwrap());
         if now > expiry {
             return Err(FbsError::StaleTimestamp {

@@ -11,8 +11,8 @@ use std::time::Duration;
 
 fn bench_verification(c: &mut Criterion) {
     let mut g = c.benchmark_group("cert-verify");
-    let pv = PrivateValue::from_entropy(DhGroup::oakley1(), b"bench-subject-entropy")
-        .public_value();
+    let pv =
+        PrivateValue::from_entropy(DhGroup::oakley1(), b"bench-subject-entropy").public_value();
 
     let mac_ca = CertificateAuthority::new("mac-ca", [1u8; 16]);
     let mac_cert = mac_ca.issue(Principal::named("alice"), pv.clone(), 0, u64::MAX);
@@ -35,13 +35,12 @@ fn bench_pvc(c: &mut Criterion) {
     let ca = CertificateAuthority::new("ca", [2u8; 16]);
     let dir = Arc::new(Directory::new(Duration::ZERO));
     let clock = ManualClock::starting_at(1);
-    let pv = PrivateValue::from_entropy(DhGroup::oakley1(), b"bench-peer-entropy!!")
-        .public_value();
+    let pv = PrivateValue::from_entropy(DhGroup::oakley1(), b"bench-peer-entropy!!").public_value();
     dir.publish(ca.issue(Principal::named("peer"), pv, 0, u64::MAX));
     let pvc = Pvc::new(32, dir, ca.verifier(), Arc::new(clock));
     let peer = Principal::named("peer");
     pvc.fetch(&peer).unwrap(); // warm
-    // Steady state: cache hit + per-use verification.
+                               // Steady state: cache hit + per-use verification.
     g.bench_function("hit-plus-verify", |b| {
         b.iter(|| pvc.fetch(black_box(&peer)).unwrap())
     });
@@ -51,8 +50,8 @@ fn bench_pvc(c: &mut Criterion) {
 fn bench_issuance(c: &mut Criterion) {
     let mut g = c.benchmark_group("cert-issue");
     g.sample_size(20);
-    let pv = PrivateValue::from_entropy(DhGroup::oakley1(), b"bench-subject-entropy")
-        .public_value();
+    let pv =
+        PrivateValue::from_entropy(DhGroup::oakley1(), b"bench-subject-entropy").public_value();
     let mac_ca = CertificateAuthority::new("mac-ca", [1u8; 16]);
     g.bench_function("mac", |b| {
         b.iter(|| mac_ca.issue(Principal::named("x"), black_box(pv.clone()), 0, 1))

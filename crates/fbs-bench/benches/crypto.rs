@@ -86,5 +86,11 @@ fn bench_rngs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ciphers, bench_hashes, bench_keying, bench_rngs);
+criterion_group!(
+    benches,
+    bench_ciphers,
+    bench_hashes,
+    bench_keying,
+    bench_rngs
+);
 criterion_main!(benches);

@@ -7,11 +7,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fbs_bench::endpoints::{endpoint_pair, principals};
+use fbs_core::policy::IdleTimeoutPolicy;
 use fbs_core::{Datagram, FbsConfig};
+use fbs_core::{Fam, FlowKey, SflAllocator};
 use fbs_crypto::dh::DhGroup;
 use fbs_ip::CombinedTable;
-use fbs_core::policy::IdleTimeoutPolicy;
-use fbs_core::{Fam, FlowKey, SflAllocator};
 
 fn dgram(payload: usize) -> Datagram {
     let (s, d) = principals();
@@ -35,16 +35,12 @@ fn bench_send_receive(c: &mut Criterion) {
             // Warm caches.
             let pd = tx.send(1, dgram(payload), secret).unwrap();
             rx.receive(pd).unwrap();
-            g.bench_with_input(
-                BenchmarkId::new(name, payload),
-                &payload,
-                |b, &payload| {
-                    b.iter(|| {
-                        let pd = tx.send(1, dgram(payload), secret).unwrap();
-                        black_box(rx.receive(pd).unwrap())
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, payload), &payload, |b, &payload| {
+                b.iter(|| {
+                    let pd = tx.send(1, dgram(payload), secret).unwrap();
+                    black_box(rx.receive(pd).unwrap())
+                })
+            });
         }
     }
     g.finish();

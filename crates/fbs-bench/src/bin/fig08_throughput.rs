@@ -1,12 +1,13 @@
 //! Fig. 8 — timing results: GENERIC vs FBS NOP vs FBS DES+MD5.
 //!
-//! `cargo run --release -p fbs-bench --bin fig08_throughput [-- <count>] [--csv]`
+//! `cargo run --release -p fbs-bench --bin fig08_throughput
+//!  [-- <count>] [--csv] [--metrics <path.json>]`
 
 use fbs_bench::fig08::{
-    fig08_rows, primitive_rate_kbs, PAPER_DESMD5_KBPS, PAPER_DES_KBS, PAPER_GENERIC_KBPS,
-    PAPER_MD5_KBS,
+    fig08_rows, instrumented_snapshot, primitive_rate_kbs, PAPER_DESMD5_KBPS, PAPER_DES_KBS,
+    PAPER_GENERIC_KBPS, PAPER_MD5_KBS,
 };
-use fbs_bench::{arg_num, emit};
+use fbs_bench::{arg_num, emit, metrics_path, write_metrics};
 
 fn main() {
     let count = arg_num().unwrap_or(200) as usize;
@@ -70,4 +71,9 @@ fn main() {
         "\nshape check: GENERIC ≈ FBS NOP at line rate, FBS DES+MD5 crypto-bound\n\
          well below it — the paper saw 7700 → 3400 kb/s."
     );
+
+    // An instrumented (non-timed) exchange for the observability export.
+    if let Some(path) = metrics_path() {
+        write_metrics(&path, &instrumented_snapshot(8192, count.min(64)));
+    }
 }

@@ -1,14 +1,16 @@
 //! Fig. 9(a)-(b) — flow size distributions (packets and bytes).
 //!
-//! `cargo run --release -p fbs-bench --bin fig09_flow_size [-- <minutes>] [--csv]`
+//! `cargo run --release -p fbs-bench --bin fig09_flow_size
+//!  [-- <minutes>] [--csv] [--metrics <path.json>]`
 
 use fbs_bench::figs::{flows_at_threshold, trace_for, Environment};
-use fbs_bench::{arg_num, emit};
+use fbs_bench::{arg_num, emit, maybe_write_metrics};
 use fbs_trace::flowsim::{elephant_share, flow_sizes};
 use fbs_trace::stats::LogHistogram;
 
 fn main() {
     let minutes = arg_num().unwrap_or(120);
+    let mut snap = fbs_obs::MetricsSnapshot::new();
     for env in [Environment::Campus, Environment::Www] {
         let trace = trace_for(env, minutes);
         let result = flows_at_threshold(&trace, 600);
@@ -22,6 +24,11 @@ fn main() {
         for &b in &bytes {
             hist_b.add(b);
         }
+        result.contribute(&mut snap);
+        snap.histograms
+            .insert(format!("{}.flow_packets", env.name()), hist_p.to_snapshot());
+        snap.histograms
+            .insert(format!("{}.flow_bytes", env.name()), hist_b.to_snapshot());
 
         let rows: Vec<Vec<String>> = hist_p
             .rows()
@@ -68,4 +75,5 @@ fn main() {
             100.0 * elephant_share(&result, 0.10)
         );
     }
+    maybe_write_metrics(&snap);
 }

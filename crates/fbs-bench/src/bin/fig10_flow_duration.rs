@@ -1,18 +1,29 @@
 //! Fig. 10 — flow duration distribution.
 //!
-//! `cargo run --release -p fbs-bench --bin fig10_flow_duration [-- <minutes>] [--csv]`
+//! `cargo run --release -p fbs-bench --bin fig10_flow_duration
+//!  [-- <minutes>] [--csv] [--metrics <path.json>]`
 
 use fbs_bench::figs::{flows_at_threshold, trace_for, Environment};
-use fbs_bench::{arg_num, emit};
+use fbs_bench::{arg_num, emit, maybe_write_metrics};
 use fbs_trace::flowsim::flow_durations;
-use fbs_trace::stats::{cdf_points, mean, percentile};
+use fbs_trace::stats::{cdf_points, mean, percentile, LogHistogram};
 
 fn main() {
     let minutes = arg_num().unwrap_or(120);
+    let mut snap = fbs_obs::MetricsSnapshot::new();
     for env in [Environment::Campus, Environment::Www] {
         let trace = trace_for(env, minutes);
         let result = flows_at_threshold(&trace, 600);
         let durations = flow_durations(&result);
+        result.contribute(&mut snap);
+        let mut hist = LogHistogram::new();
+        for &d in &durations {
+            hist.add(d);
+        }
+        snap.histograms.insert(
+            format!("{}.flow_duration_s", env.name()),
+            hist.to_snapshot(),
+        );
 
         let rows: Vec<Vec<String>> = cdf_points(&durations, 10)
             .into_iter()
@@ -36,4 +47,5 @@ fn main() {
             durations.last().copied().unwrap_or(0)
         );
     }
+    maybe_write_metrics(&snap);
 }

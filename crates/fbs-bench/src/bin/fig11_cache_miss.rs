@@ -1,18 +1,34 @@
 //! Fig. 11(a)-(b) — key cache miss rates vs cache size, with the §5.3
 //! associativity/hash ablation.
 //!
-//! `cargo run --release -p fbs-bench --bin fig11_cache_miss [-- <minutes>] [--csv]`
+//! `cargo run --release -p fbs-bench --bin fig11_cache_miss
+//!  [-- <minutes>] [--csv] [--metrics <path.json>]`
 
 use fbs_bench::figs::{cache_sweep, trace_for, Environment};
-use fbs_bench::{arg_num, emit};
-use fbs_trace::flowsim::CacheHash;
+use fbs_bench::{arg_num, emit, maybe_write_metrics};
+use fbs_obs::CacheKind;
+use fbs_trace::flowsim::{simulate_cache, CacheHash, CacheSimConfig};
 
 fn main() {
     let minutes = arg_num().unwrap_or(120);
+    let mut snap = fbs_obs::MetricsSnapshot::new();
 
     // (a)/(b): miss rate vs size per environment, CRC-32 direct-mapped.
     for env in [Environment::Campus, Environment::Www] {
         let trace = trace_for(env, minutes);
+        // Export the paper's recommended 64-slot configuration under the
+        // TFKC's registry namespace (summed across environments).
+        let stats = simulate_cache(
+            &trace,
+            &CacheSimConfig {
+                threshold_secs: 600,
+                cache_slots: 64,
+                assoc: 1,
+                hash: CacheHash::Crc32,
+            },
+        );
+        stats.contribute(CacheKind::Tfkc, &mut snap);
+        eprintln!("[{}] 64-slot TFKC: {stats}", env.name());
         let rows: Vec<Vec<String>> = cache_sweep(&trace, CacheHash::Crc32, 1)
             .into_iter()
             .map(|p| {
@@ -84,4 +100,5 @@ fn main() {
         &["FSTSIZE", "hash", "flows", "collisions", "rate"],
         &rows,
     );
+    maybe_write_metrics(&snap);
 }

@@ -1,15 +1,18 @@
 //! Fig. 12 — number of simultaneously active flows over time.
 //!
-//! `cargo run --release -p fbs-bench --bin fig12_active_flows [-- <minutes>] [--csv]`
+//! `cargo run --release -p fbs-bench --bin fig12_active_flows
+//!  [-- <minutes>] [--csv] [--metrics <path.json>]`
 
 use fbs_bench::figs::{flows_at_threshold, trace_for, Environment};
-use fbs_bench::{arg_num, emit, wants_csv};
+use fbs_bench::{arg_num, emit, maybe_write_metrics, wants_csv};
 
 fn main() {
     let minutes = arg_num().unwrap_or(120);
+    let mut snap = fbs_obs::MetricsSnapshot::new();
     for env in [Environment::Campus, Environment::Www] {
         let trace = trace_for(env, minutes);
         let result = flows_at_threshold(&trace, 600);
+        result.contribute(&mut snap);
 
         // Downsample the series to ~24 rows for the table.
         let stride = (result.active_series.len() / 24).max(1);
@@ -46,4 +49,5 @@ fn main() {
         );
         println!();
     }
+    maybe_write_metrics(&snap);
 }

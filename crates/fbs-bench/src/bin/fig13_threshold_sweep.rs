@@ -1,18 +1,24 @@
 //! Fig. 13 — active flows for different THRESHOLD values.
 //!
-//! `cargo run --release -p fbs-bench --bin fig13_threshold_sweep [-- <minutes>] [--csv]`
+//! `cargo run --release -p fbs-bench --bin fig13_threshold_sweep
+//!  [-- <minutes>] [--csv] [--metrics <path.json>]`
 
 use fbs_bench::figs::{flows_at_threshold, trace_for, Environment, THRESHOLDS};
-use fbs_bench::{arg_num, emit};
+use fbs_bench::{arg_num, emit, maybe_write_metrics};
 
 fn main() {
     let minutes = arg_num().unwrap_or(120);
     let trace = trace_for(Environment::Campus, minutes);
 
+    let mut snap = fbs_obs::MetricsSnapshot::new();
     let mut rows = Vec::new();
     let mut means: Vec<f64> = Vec::new();
     for &threshold in &THRESHOLDS {
         let result = flows_at_threshold(&trace, threshold);
+        // Export the paper's default-THRESHOLD point.
+        if threshold == 600 {
+            result.contribute(&mut snap);
+        }
         let counts: Vec<usize> = result.active_series.iter().map(|(_, c)| *c).collect();
         let peak = counts.iter().copied().max().unwrap_or(0);
         let mean = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
@@ -40,4 +46,5 @@ fn main() {
         100.0 * grow_300_900,
         100.0 * grow_900_1800
     );
+    maybe_write_metrics(&snap);
 }

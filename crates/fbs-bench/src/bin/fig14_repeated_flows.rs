@@ -1,19 +1,24 @@
 //! Fig. 14 — repeated flows (same 5-tuple, distinct flow incarnations)
 //! vs THRESHOLD.
 //!
-//! `cargo run --release -p fbs-bench --bin fig14_repeated_flows [-- <minutes>] [--csv]`
+//! `cargo run --release -p fbs-bench --bin fig14_repeated_flows
+//!  [-- <minutes>] [--csv] [--metrics <path.json>]`
 
 use fbs_bench::figs::{flows_at_threshold, trace_for, Environment, THRESHOLDS};
-use fbs_bench::{arg_num, emit};
+use fbs_bench::{arg_num, emit, maybe_write_metrics};
 
 fn main() {
     let minutes = arg_num().unwrap_or(120);
     let trace = trace_for(Environment::Campus, minutes);
 
+    let mut snap = fbs_obs::MetricsSnapshot::new();
     let mut rows = Vec::new();
     let mut repeats = Vec::new();
     for &threshold in &THRESHOLDS {
         let result = flows_at_threshold(&trace, threshold);
+        if threshold == 600 {
+            result.contribute(&mut snap);
+        }
         repeats.push(result.repeated_flows);
         rows.push(vec![
             threshold.to_string(),
@@ -36,4 +41,5 @@ fn main() {
         repeats.windows(2).all(|w| w[1] <= w[0]),
         "repeated flows must be non-increasing in THRESHOLD"
     );
+    maybe_write_metrics(&snap);
 }

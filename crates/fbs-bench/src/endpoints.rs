@@ -1,17 +1,12 @@
 //! Shared endpoint construction for measurement code.
 
-use fbs_core::{
-    FbsConfig, FbsEndpoint, ManualClock, MasterKeyDaemon, PinnedDirectory, Principal,
-};
+use fbs_core::{FbsConfig, FbsEndpoint, ManualClock, MasterKeyDaemon, PinnedDirectory, Principal};
 use fbs_crypto::dh::{DhGroup, PrivateValue};
 use std::sync::Arc;
 
 /// A connected sender/receiver pair over the given DH group, sharing a
 /// manual clock (returned for freshness control).
-pub fn endpoint_pair(
-    cfg: FbsConfig,
-    group: DhGroup,
-) -> (FbsEndpoint, FbsEndpoint, ManualClock) {
+pub fn endpoint_pair(cfg: FbsConfig, group: DhGroup) -> (FbsEndpoint, FbsEndpoint, ManualClock) {
     let clock = ManualClock::starting_at(100_000);
     let s_priv = PrivateValue::from_entropy(group.clone(), b"bench-sender-entropy!!");
     let d_priv = PrivateValue::from_entropy(group, b"bench-receiver-entropy");

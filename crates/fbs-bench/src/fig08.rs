@@ -87,12 +87,7 @@ impl Variant {
 /// separate machines working concurrently, so the pipeline rate is set by
 /// one side's per-byte cost. With `one_way = false`, the receive path is
 /// timed too (the single-CPU end-to-end cost).
-pub fn processing_rate_kbps(
-    variant: Variant,
-    payload: usize,
-    count: usize,
-    one_way: bool,
-) -> f64 {
+pub fn processing_rate_kbps(variant: Variant, payload: usize, count: usize, one_way: bool) -> f64 {
     let body = vec![0xA5u8; payload];
     let (s, d) = principals();
     let start;
@@ -221,6 +216,28 @@ fn scale_rate(rate_kbps: f64, speedup: f64) -> f64 {
     rate_kbps / speedup.max(1e-9)
 }
 
+/// Re-run a small DES+MD5 exchange with a live [`MetricsRegistry`]
+/// attached to both endpoints and return its snapshot — the `--metrics`
+/// output of the Fig. 8 binary. Run separately from the timed loops so
+/// instrumentation cannot skew the reported rates.
+pub fn instrumented_snapshot(payload: usize, count: usize) -> fbs_obs::MetricsSnapshot {
+    use std::sync::Arc;
+
+    let (s, d) = principals();
+    let (mut tx, mut rx, _) = endpoint_pair(FbsConfig::default(), DhGroup::oakley1());
+    let reg = Arc::new(fbs_obs::MetricsRegistry::new());
+    tx.attach_obs(Arc::clone(&reg));
+    rx.attach_obs(Arc::clone(&reg));
+    let body = vec![0xA5u8; payload];
+    for _ in 0..count {
+        let pd = tx
+            .send(1, Datagram::new(s.clone(), d.clone(), body.clone()), true)
+            .unwrap();
+        rx.receive(pd).unwrap();
+    }
+    reg.snapshot()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,7 +269,9 @@ mod tests {
         let full = by_name("FBS DES+MD5");
         // Paper shape: GENERIC ≈ NOP at line rate; DES+MD5 well below
         // (once crypto is scaled to 1997 speed).
-        assert!((generic.scaled_at_line - nop.scaled_at_line).abs() / generic.scaled_at_line < 0.25);
+        assert!(
+            (generic.scaled_at_line - nop.scaled_at_line).abs() / generic.scaled_at_line < 0.25
+        );
         assert!(full.scaled_at_line < 0.75 * nop.scaled_at_line);
     }
 }

@@ -41,10 +41,7 @@ pub fn trace_for(env: Environment, minutes: u64) -> Vec<PacketRecord> {
 }
 
 /// Standard flow simulation at the given THRESHOLD.
-pub fn flows_at_threshold(
-    trace: &[PacketRecord],
-    threshold_secs: u64,
-) -> fbs_trace::FlowSimResult {
+pub fn flows_at_threshold(trace: &[PacketRecord], threshold_secs: u64) -> fbs_trace::FlowSimResult {
     simulate_flows(
         trace,
         &FlowSimConfig {
@@ -73,11 +70,7 @@ pub struct CachePoint {
 }
 
 /// Sweep cache sizes for one environment/hash/associativity.
-pub fn cache_sweep(
-    trace: &[PacketRecord],
-    hash: CacheHash,
-    assoc: usize,
-) -> Vec<CachePoint> {
+pub fn cache_sweep(trace: &[PacketRecord], hash: CacheHash, assoc: usize) -> Vec<CachePoint> {
     CACHE_SIZES
         .iter()
         .filter(|&&slots| slots % assoc == 0)
@@ -91,10 +84,10 @@ pub fn cache_sweep(
                     hash,
                 },
             );
-            let lookups = s.lookups().max(1) as f64;
+            let lookups = s.total_lookups().max(1) as f64;
             CachePoint {
                 slots,
-                miss_rate: s.miss_rate(),
+                miss_rate: s.miss_ratio(),
                 avoidable_miss_rate: (s.capacity_misses + s.collision_misses) as f64 / lookups,
                 collision_rate: s.collision_misses as f64 / lookups,
             }

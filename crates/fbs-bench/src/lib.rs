@@ -36,3 +36,33 @@ pub fn emit(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", fbs_trace::stats::render_table(headers, rows));
     }
 }
+
+/// The path following a `--metrics` flag, if one was given.
+pub fn metrics_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
+
+/// Write a metrics snapshot as JSON to `path` and note it on stderr
+/// (stdout stays reserved for the figure's table/CSV output).
+pub fn write_metrics(path: &std::path::Path, snap: &fbs_obs::MetricsSnapshot) {
+    match std::fs::write(path, snap.to_json()) {
+        Ok(()) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Honour `--metrics <path>` for a snapshot the binary assembled.
+pub fn maybe_write_metrics(snap: &fbs_obs::MetricsSnapshot) {
+    if let Some(p) = metrics_path() {
+        write_metrics(&p, snap);
+    }
+}

@@ -254,8 +254,8 @@ mod tests {
         // forger with a DIFFERENT RSA key but the same name fails.
         let (ca, _) = setup_rsa();
         let forger = CertificateAuthority::new_rsa("rsa-ca", 256, 12345);
-        let pv = PrivateValue::from_entropy(DhGroup::test_group(), b"attacker-value!!")
-            .public_value();
+        let pv =
+            PrivateValue::from_entropy(DhGroup::test_group(), b"attacker-value!!").public_value();
         let forged = forger.issue(Principal::named("alice"), pv, 0, u64::MAX);
         assert!(ca.verifier().verify(&forged, 500).is_err());
     }

@@ -114,8 +114,7 @@ mod tests {
 
     fn cert_for(name: &str) -> Certificate {
         let ca = CertificateAuthority::new("ca", [1u8; 16]);
-        let pv = PrivateValue::from_entropy(DhGroup::test_group(), name.as_bytes())
-            .public_value();
+        let pv = PrivateValue::from_entropy(DhGroup::test_group(), name.as_bytes()).public_value();
         ca.issue(Principal::named(name), pv, 0, u64::MAX)
     }
 

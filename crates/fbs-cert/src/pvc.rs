@@ -16,6 +16,7 @@ use crate::directory::Directory;
 use fbs_core::{Clock, Principal, PublicValueSource, Result, SoftCache};
 use fbs_crypto::crc32;
 use fbs_crypto::dh::PublicValue;
+use fbs_obs::{CacheKind, Counter, MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -30,9 +31,20 @@ pub struct PvcStats {
     pub verify_failures: u64,
 }
 
+impl PvcStats {
+    /// Fold these counters into a snapshot under the names a live
+    /// [`MetricsRegistry`] uses. The legacy `misses` field has no 3C
+    /// breakdown, so only the exactly-mappable counters are contributed.
+    pub fn contribute(&self, snap: &mut MetricsSnapshot) {
+        snap.add("cache.pvc.hits", self.hits);
+        snap.add("pvc.verify_failures", self.verify_failures);
+    }
+}
+
 struct Inner {
     cache: SoftCache<Principal, Certificate>,
     stats: PvcStats,
+    obs: Option<Arc<MetricsRegistry>>,
 }
 
 /// The public value cache.
@@ -56,6 +68,7 @@ impl Pvc {
             inner: Mutex::new(Inner {
                 cache: SoftCache::new(slots, 1, |p: &Principal| crc32(p.as_bytes())),
                 stats: PvcStats::default(),
+                obs: None,
             }),
             directory,
             verifier,
@@ -73,6 +86,15 @@ impl Pvc {
     /// Accumulated statistics.
     pub fn stats(&self) -> PvcStats {
         self.inner.lock().stats
+    }
+
+    /// Attach a metrics registry: cache lookups emit
+    /// [`fbs_obs::Event::CacheLookup`] under [`CacheKind::Pvc`] and per-use
+    /// verification failures bump [`Counter::PvcVerifyFailures`].
+    pub fn attach_obs(&self, registry: Arc<MetricsRegistry>) {
+        let mut inner = self.inner.lock();
+        inner.cache.set_obs(Arc::clone(&registry), CacheKind::Pvc);
+        inner.obs = Some(registry);
     }
 }
 
@@ -96,6 +118,9 @@ impl PublicValueSource for Pvc {
         // Verified on each use — the cache is untrusted storage (§5.3).
         if let Err(e) = self.verifier.verify(&cert, now) {
             inner.stats.verify_failures += 1;
+            if let Some(reg) = &inner.obs {
+                reg.incr(Counter::PvcVerifyFailures);
+            }
             // Drop the bad entry so a refreshed certificate can be fetched.
             inner.cache.invalidate(principal);
             return Err(e);
@@ -123,12 +148,7 @@ mod tests {
         let ca = CertificateAuthority::new("ca", [3u8; 16]);
         let dir = Arc::new(Directory::new(Duration::from_millis(50)));
         let clock = ManualClock::starting_at(1000);
-        let pvc = Pvc::new(
-            16,
-            dir.clone(),
-            ca.verifier(),
-            Arc::new(clock.clone()),
-        );
+        let pvc = Pvc::new(16, dir.clone(), ca.verifier(), Arc::new(clock.clone()));
         World {
             pvc,
             dir,
@@ -138,11 +158,9 @@ mod tests {
     }
 
     fn publish(w: &World, name: &str, not_after: u64) -> PublicValue {
-        let pv = PrivateValue::from_entropy(DhGroup::test_group(), name.as_bytes())
-            .public_value();
-        w.dir.publish(
-            w.ca.issue(Principal::named(name), pv.clone(), 0, not_after),
-        );
+        let pv = PrivateValue::from_entropy(DhGroup::test_group(), name.as_bytes()).public_value();
+        w.dir
+            .publish(w.ca.issue(Principal::named(name), pv.clone(), 0, not_after));
         pv
     }
 
@@ -178,8 +196,7 @@ mod tests {
     #[test]
     fn pinned_certificate_avoids_network() {
         let w = world();
-        let pv = PrivateValue::from_entropy(DhGroup::test_group(), b"carol-entropy")
-            .public_value();
+        let pv = PrivateValue::from_entropy(DhGroup::test_group(), b"carol-entropy").public_value();
         w.pvc
             .pin(w.ca.issue(Principal::named("carol"), pv.clone(), 0, u64::MAX));
         assert_eq!(w.pvc.fetch(&Principal::named("carol")).unwrap(), pv);
@@ -194,12 +211,39 @@ mod tests {
     }
 
     #[test]
+    fn obs_registry_mirrors_pvc_stats() {
+        let w = world();
+        let reg = Arc::new(MetricsRegistry::new());
+        w.pvc.attach_obs(Arc::clone(&reg));
+        publish(&w, "erin", 2000);
+        let erin = Principal::named("erin");
+        assert!(w.pvc.fetch(&erin).is_ok()); // miss, verify ok
+        assert!(w.pvc.fetch(&erin).is_ok()); // hit
+        w.clock.set(3000);
+        assert!(w.pvc.fetch(&erin).is_err()); // hit, then verify failure
+        let live = reg.snapshot();
+        assert_eq!(live.counter("cache.pvc.hits"), 2);
+        // The PVC runs without 3C classification, so misses are capacity.
+        assert_eq!(live.counter("cache.pvc.capacity_misses"), 1);
+        assert_eq!(live.counter("pvc.verify_failures"), 1);
+        let mut legacy = MetricsSnapshot::new();
+        w.pvc.stats().contribute(&mut legacy);
+        assert_eq!(
+            legacy.counter("cache.pvc.hits"),
+            live.counter("cache.pvc.hits")
+        );
+        assert_eq!(
+            legacy.counter("pvc.verify_failures"),
+            live.counter("pvc.verify_failures")
+        );
+    }
+
+    #[test]
     fn tampered_pinned_cert_rejected_per_use() {
         // The PVC is untrusted storage: a corrupted entry must be caught by
         // the per-use verification.
         let w = world();
-        let pv = PrivateValue::from_entropy(DhGroup::test_group(), b"dave-entropy")
-            .public_value();
+        let pv = PrivateValue::from_entropy(DhGroup::test_group(), b"dave-entropy").public_value();
         let mut cert = w.ca.issue(Principal::named("dave"), pv, 0, u64::MAX);
         cert.public_value.bytes[0] ^= 0xFF; // corrupt after signing
         w.pvc.pin(cert);

@@ -16,8 +16,11 @@
 //! 3C miss classification via a shadow fully-associative LRU, which is what
 //! the Fig. 11 experiments sweep.
 
+use fbs_obs::{CacheKind, CacheOutcome, Event, MetricsRegistry};
 use std::collections::HashSet;
+use std::fmt;
 use std::hash::Hash;
+use std::sync::Arc;
 
 /// Which kind of miss occurred, per the 3C model of §5.3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +83,50 @@ impl CacheStats {
             self.misses() as f64 / total as f64
         }
     }
+
+    /// Synonym for [`CacheStats::lookups`]: hits plus all miss kinds.
+    pub fn total_lookups(&self) -> u64 {
+        self.lookups()
+    }
+
+    /// Synonym for [`CacheStats::miss_rate`], matching the "miss ratio"
+    /// terminology of the Fig. 11 analysis.
+    pub fn miss_ratio(&self) -> f64 {
+        self.miss_rate()
+    }
+
+    /// Fold these counters into a snapshot under `cache.<kind>.*` names —
+    /// the same namespace a live [`MetricsRegistry`] uses, so snapshots
+    /// built either way are comparable.
+    pub fn contribute(&self, kind: CacheKind, snap: &mut fbs_obs::MetricsSnapshot) {
+        let k = kind.name();
+        snap.add(&format!("cache.{k}.hits"), self.hits);
+        snap.add(&format!("cache.{k}.cold_misses"), self.cold_misses);
+        snap.add(&format!("cache.{k}.capacity_misses"), self.capacity_misses);
+        snap.add(
+            &format!("cache.{k}.collision_misses"),
+            self.collision_misses,
+        );
+        snap.add(&format!("cache.{k}.insertions"), self.insertions);
+        snap.add(&format!("cache.{k}.evictions"), self.evictions);
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lookups, {} hits ({:.2}% miss): {} cold / {} capacity / {} collision; {} insertions, {} evictions",
+            self.total_lookups(),
+            self.hits,
+            self.miss_ratio() * 100.0,
+            self.cold_misses,
+            self.capacity_misses,
+            self.collision_misses,
+            self.insertions,
+            self.evictions,
+        )
+    }
 }
 
 struct Slot<K, V> {
@@ -135,6 +182,9 @@ pub struct SoftCache<K, V> {
     /// collision discrimination. `None` disables classification (all
     /// non-cold misses count as capacity) and avoids its overhead.
     classifier: Option<(HashSet<K>, ShadowLru<K>)>,
+    /// Optional metrics registry plus the cache's identity in the event
+    /// stream. `None` (the default) keeps lookups observation-free.
+    obs: Option<(Arc<MetricsRegistry>, CacheKind)>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
@@ -149,7 +199,10 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
         assoc: usize,
         hash: impl Fn(&K) -> u32 + Send + Sync + 'static,
     ) -> Self {
-        assert!(num_sets > 0 && assoc > 0, "cache dimensions must be nonzero");
+        assert!(
+            num_sets > 0 && assoc > 0,
+            "cache dimensions must be nonzero"
+        );
         SoftCache {
             sets: (0..num_sets).map(|_| Vec::with_capacity(assoc)).collect(),
             assoc,
@@ -157,7 +210,15 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
             tick: 0,
             stats: CacheStats::default(),
             classifier: None,
+            obs: None,
         }
+    }
+
+    /// Attach a metrics registry: lookups emit
+    /// [`Event::CacheLookup`] and insertions feed the registry's
+    /// per-cache insertion/eviction counters, all under `kind`'s name.
+    pub fn set_obs(&mut self, registry: Arc<MetricsRegistry>, kind: CacheKind) {
+        self.obs = Some((registry, kind));
     }
 
     /// Enable 3C miss classification (used by the Fig. 11 experiments).
@@ -243,10 +304,28 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
                 seen.insert(key.clone());
                 shadow.touch(key);
             }
-            return Some(slot.value.clone());
+            let value = slot.value.clone();
+            if let Some((reg, kind)) = &self.obs {
+                reg.record(Event::CacheLookup {
+                    kind: *kind,
+                    outcome: CacheOutcome::Hit,
+                });
+            }
+            return Some(value);
         }
         // Miss path.
-        self.classify_miss(key);
+        let miss = self.classify_miss(key);
+        if let Some((reg, kind)) = &self.obs {
+            let outcome = match miss {
+                MissKind::Cold => CacheOutcome::MissCold,
+                MissKind::Capacity => CacheOutcome::MissCapacity,
+                MissKind::Collision => CacheOutcome::MissCollision,
+            };
+            reg.record(Event::CacheLookup {
+                kind: *kind,
+                outcome,
+            });
+        }
         None
     }
 
@@ -275,34 +354,40 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
         let idx = self.set_index(&key);
         let set = &mut self.sets[idx];
         self.stats.insertions += 1;
-        if let Some(slot) = set.iter_mut().find(|s| s.key == key) {
-            slot.value = value;
-            slot.last_used = tick;
-            return None;
-        }
-        if set.len() < self.assoc {
+        let evicted = 'insert: {
+            if let Some(slot) = set.iter_mut().find(|s| s.key == key) {
+                slot.value = value;
+                slot.last_used = tick;
+                break 'insert None;
+            }
+            if set.len() < self.assoc {
+                set.push(Slot {
+                    key,
+                    value,
+                    last_used: tick,
+                });
+                break 'insert None;
+            }
+            // Evict LRU.
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("set is full, must have a victim");
+            let old = set.swap_remove(victim);
             set.push(Slot {
                 key,
                 value,
                 last_used: tick,
             });
-            return None;
+            self.stats.evictions += 1;
+            Some((old.key, old.value))
+        };
+        if let Some((reg, kind)) = &self.obs {
+            reg.cache_insertion(*kind, evicted.is_some());
         }
-        // Evict LRU.
-        let victim = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.last_used)
-            .map(|(i, _)| i)
-            .expect("set is full, must have a victim");
-        let old = set.swap_remove(victim);
-        set.push(Slot {
-            key,
-            value,
-            last_used: tick,
-        });
-        self.stats.evictions += 1;
-        Some((old.key, old.value))
+        evicted
     }
 
     /// Remove `key` if present, returning its value. (Used for explicit
@@ -472,5 +557,84 @@ mod tests {
         assert_eq!(c.capacity(), 64);
         assert_eq!(c.num_sets(), 16);
         assert_eq!(c.assoc(), 4);
+    }
+
+    #[test]
+    fn total_lookups_and_miss_ratio_match_primaries() {
+        let mut c = direct(8);
+        for k in 0u64..4 {
+            c.get(&k);
+            c.insert(k, format!("{k}"));
+            c.get(&k);
+        }
+        let s = c.stats();
+        assert_eq!(s.total_lookups(), s.lookups());
+        assert_eq!(s.total_lookups(), 8);
+        assert_eq!(s.miss_ratio(), s.miss_rate());
+        assert_eq!(s.miss_ratio(), 0.5);
+    }
+
+    #[test]
+    fn stats_display_is_readable() {
+        let mut c = direct(8);
+        c.get(&1);
+        c.insert(1, "x".into());
+        c.get(&1);
+        let line = c.stats().to_string();
+        assert!(line.contains("2 lookups"), "{line}");
+        assert!(line.contains("1 hits"), "{line}");
+        assert!(line.contains("50.00% miss"), "{line}");
+        assert!(line.contains("1 insertions"), "{line}");
+    }
+
+    #[test]
+    fn obs_mirrors_local_stats() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut c = direct(2).with_classification();
+        c.set_obs(Arc::clone(&reg), CacheKind::Tfkc);
+        for k in 0u64..6 {
+            c.get(&k);
+            c.insert(k, format!("{k}"));
+        }
+        for k in 0u64..6 {
+            c.get(&k);
+        }
+        let s = c.stats();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cache.tfkc.hits"), s.hits);
+        assert_eq!(snap.counter("cache.tfkc.cold_misses"), s.cold_misses);
+        assert_eq!(
+            snap.counter("cache.tfkc.capacity_misses"),
+            s.capacity_misses
+        );
+        assert_eq!(
+            snap.counter("cache.tfkc.collision_misses"),
+            s.collision_misses
+        );
+        assert_eq!(snap.counter("cache.tfkc.insertions"), s.insertions);
+        assert_eq!(snap.counter("cache.tfkc.evictions"), s.evictions);
+        // The flight recorder saw every lookup.
+        let lookups = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, Event::CacheLookup { .. }))
+            .count() as u64;
+        assert_eq!(lookups, s.lookups());
+    }
+
+    #[test]
+    fn contribute_matches_registry_namespace() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut c = direct(4).with_classification();
+        c.set_obs(Arc::clone(&reg), CacheKind::Rfkc);
+        for k in 0u64..5 {
+            c.get(&k);
+            c.insert(k, format!("{k}"));
+            c.get(&k);
+        }
+        let mut from_stats = fbs_obs::MetricsSnapshot::new();
+        c.stats().contribute(CacheKind::Rfkc, &mut from_stats);
+        let live = reg.snapshot();
+        assert_eq!(from_stats.counters, live.counters);
     }
 }

@@ -32,6 +32,16 @@ pub trait Clock: Send + Sync {
     fn now_minutes(&self) -> u32 {
         (self.now_secs() / 60) as u32
     }
+
+    /// Current time in microseconds since the FBS epoch, for latency
+    /// instrumentation (`fbs-obs` event timestamps and key-derivation
+    /// timing). The default derives it from [`Clock::now_secs`], so
+    /// simulated clocks stay deterministic: under a [`ManualClock`] two
+    /// micro-timestamps taken without advancing the clock are equal and
+    /// measured latencies are exactly 0.
+    fn now_micros(&self) -> u64 {
+        self.now_secs().saturating_mul(1_000_000)
+    }
 }
 
 /// Wall-clock time via [`SystemTime`].
@@ -45,6 +55,14 @@ impl Clock for SystemClock {
             .expect("system clock before 1970")
             .as_secs()
             .saturating_sub(FBS_EPOCH_UNIX_SECS)
+    }
+
+    fn now_micros(&self) -> u64 {
+        (SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("system clock before 1970")
+            .as_micros() as u64)
+            .saturating_sub(FBS_EPOCH_UNIX_SECS * 1_000_000)
     }
 }
 

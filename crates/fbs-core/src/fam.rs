@@ -9,8 +9,10 @@
 //! *sfl* — so no state synchronisation is needed between the two ends.
 
 use crate::sfl::SflAllocator;
+use fbs_obs::{Counter, Event, FlowStartKind, MetricsRegistry, MetricsSnapshot};
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Arc;
 
 /// One active flow in the flow state table (paper Fig. 7's `FSTEntry`,
 /// generalised over the attribute type).
@@ -129,6 +131,30 @@ pub struct FamStats {
     pub swept: u64,
 }
 
+impl FamStats {
+    /// Fold these counters into a snapshot under the `fam.*` names a live
+    /// [`MetricsRegistry`] uses.
+    pub fn contribute(&self, snap: &mut MetricsSnapshot) {
+        snap.add("fam.classifications", self.classifications);
+        snap.add("fam.joined_existing", self.joined_existing);
+        snap.add("fam.flows_started", self.flows_started);
+        snap.add("fam.collisions", self.collisions);
+        snap.add("fam.repeated_flows", self.repeated_flows);
+        snap.add("fam.swept", self.swept);
+    }
+}
+
+impl From<FlowStart> for FlowStartKind {
+    fn from(s: FlowStart) -> Self {
+        match s {
+            FlowStart::Existing => FlowStartKind::Existing,
+            FlowStart::Fresh => FlowStartKind::Fresh,
+            FlowStart::ReplacedExpired => FlowStartKind::ReplacedExpired,
+            FlowStart::Collision => FlowStartKind::Collision,
+        }
+    }
+}
+
 /// The Flow Association Mechanism: flow state table + pluggable policy.
 ///
 /// ```
@@ -152,6 +178,9 @@ pub struct Fam<A, P> {
     history: Option<HashMap<A, u32>>,
     /// Finished-flow records for the §7.3 experiments; `None` disables.
     records: Option<Vec<FlowRecord>>,
+    /// Optional metrics registry; classifications and sweeps emit events
+    /// into it. `None` (the default) keeps the hot path observation-free.
+    obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl<A: Clone + Eq + Hash, P: FlowPolicy<A>> Fam<A, P> {
@@ -169,7 +198,14 @@ impl<A: Clone + Eq + Hash, P: FlowPolicy<A>> Fam<A, P> {
             stats: FamStats::default(),
             history: None,
             records: None,
+            obs: None,
         }
+    }
+
+    /// Attach a metrics registry: every classification emits an
+    /// [`Event::FamClassify`] and sweeps feed `fam.swept`.
+    pub fn set_obs(&mut self, registry: Arc<MetricsRegistry>) {
+        self.obs = Some(registry);
     }
 
     /// Enable repeated-flow tracking (unbounded memory: one map entry per
@@ -200,8 +236,16 @@ impl<A: Clone + Eq + Hash, P: FlowPolicy<A>> Fam<A, P> {
                 e.packets += 1;
                 e.bytes += bytes;
                 self.stats.joined_existing += 1;
+                let sfl = e.sfl;
+                if let Some(reg) = &self.obs {
+                    reg.record(Event::FamClassify {
+                        sfl,
+                        start: FlowStartKind::Existing,
+                        repeated: false,
+                    });
+                }
                 return Classification {
-                    sfl: e.sfl,
+                    sfl,
                     start: FlowStart::Existing,
                     repeated: false,
                 };
@@ -244,6 +288,13 @@ impl<A: Clone + Eq + Hash, P: FlowPolicy<A>> Fam<A, P> {
             bytes,
         });
         self.stats.flows_started += 1;
+        if let Some(reg) = &self.obs {
+            reg.record(Event::FamClassify {
+                sfl,
+                start: start.into(),
+                repeated,
+            });
+        }
         Classification {
             sfl,
             start,
@@ -265,6 +316,9 @@ impl<A: Clone + Eq + Hash, P: FlowPolicy<A>> Fam<A, P> {
             }
         }
         self.stats.swept += removed as u64;
+        if let Some(reg) = &self.obs {
+            reg.add(Counter::FamSwept, removed as u64);
+        }
         removed
     }
 
@@ -460,5 +514,37 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_size_table_panics() {
         let _ = fam(0, 600);
+    }
+
+    #[test]
+    fn obs_registry_mirrors_fam_stats() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut f = fam(16, 600);
+        f.set_obs(Arc::clone(&reg));
+        f.classify(1, 0, 10); // fresh
+        f.classify(1, 10, 10); // existing
+        f.classify(17, 20, 10); // collision with key 1
+        f.classify(1, 30, 10); // collision back (17 still live), repeated
+        f.classify(1, 1000, 10); // replaced-expired, repeated
+        f.sweep(10_000);
+
+        let s = f.stats();
+        let mut from_stats = MetricsSnapshot::new();
+        s.contribute(&mut from_stats);
+        let live = reg.snapshot();
+        assert_eq!(from_stats.counters, live.counters);
+        assert_eq!(live.counter("fam.classifications"), 5);
+        assert_eq!(live.counter("fam.joined_existing"), 1);
+        assert_eq!(live.counter("fam.flows_started"), 4);
+        assert_eq!(live.counter("fam.collisions"), 2);
+        assert_eq!(live.counter("fam.repeated_flows"), 2);
+        assert_eq!(live.counter("fam.swept"), 1);
+        // One FamClassify event per classification in the recorder.
+        let classify_events = live
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, Event::FamClassify { .. }))
+            .count();
+        assert_eq!(classify_events, 5);
     }
 }

@@ -160,10 +160,10 @@ impl SecurityFlowHeader {
         let sfl = u64::from_be_bytes(buf[0..8].try_into().unwrap());
         let confounder = u32::from_be_bytes(buf[8..12].try_into().unwrap());
         let timestamp = u32::from_be_bytes(buf[12..16].try_into().unwrap());
-        let mac_alg = MacAlgorithm::from_wire_id(buf[16])
-            .ok_or(FbsError::UnknownAlgorithm(buf[16]))?;
-        let enc_alg = EncAlgorithm::from_wire_id(buf[17])
-            .ok_or(FbsError::UnknownAlgorithm(buf[17]))?;
+        let mac_alg =
+            MacAlgorithm::from_wire_id(buf[16]).ok_or(FbsError::UnknownAlgorithm(buf[16]))?;
+        let enc_alg =
+            EncAlgorithm::from_wire_id(buf[17]).ok_or(FbsError::UnknownAlgorithm(buf[17]))?;
         let mac_len = buf[18] as usize;
         if mac_len == 0 || mac_len > mac_alg.output_len() {
             return Err(FbsError::MalformedHeader("bad MAC length"));

@@ -68,6 +68,15 @@ pub struct MkdStats {
     pub failures: u64,
 }
 
+impl MkdStats {
+    /// Fold these counters into a snapshot under the `mkd.*` names a live
+    /// `fbs_obs::MetricsRegistry` uses.
+    pub fn contribute(&self, snap: &mut fbs_obs::MetricsSnapshot) {
+        snap.add("mkd.upcalls", self.upcalls);
+        snap.add("mkd.failures", self.failures);
+    }
+}
+
 /// The master key daemon.
 pub struct MasterKeyDaemon {
     private: PrivateValue,

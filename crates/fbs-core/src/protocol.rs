@@ -27,6 +27,7 @@ use crate::replay::FreshnessWindow;
 use fbs_crypto::des::{zero_pad, BlockCipher, BlockEncryptor, Des, TripleDes, BLOCK_SIZE};
 use fbs_crypto::rng::Lcg64;
 use fbs_crypto::{crc32, mac_eq, MacAlgorithm};
+use fbs_obs::{CacheKind, Counter, Event, MetricsRegistry, MetricsSnapshot};
 use std::hash::Hash;
 use std::sync::Arc;
 
@@ -172,6 +173,21 @@ pub struct EndpointStats {
     pub decryptions: u64,
 }
 
+impl EndpointStats {
+    /// Fold these counters into a snapshot under the `endpoint.*` names a
+    /// live [`MetricsRegistry`] uses, so a sum of per-endpoint legacy
+    /// stats and a registry snapshot land in the same namespace.
+    pub fn contribute(&self, snap: &mut MetricsSnapshot) {
+        snap.add("endpoint.sends", self.sends);
+        snap.add("endpoint.receives", self.receives);
+        snap.add("endpoint.replay_drops", self.replay_drops);
+        snap.add("endpoint.mac_drops", self.mac_drops);
+        snap.add("endpoint.malformed_drops", self.malformed_drops);
+        snap.add("endpoint.encryptions", self.encryptions);
+        snap.add("endpoint.decryptions", self.decryptions);
+    }
+}
+
 /// Cache key for flow keys: (sfl, remote principal, local principal). The
 /// local principal is included for multi-homed principals (§5.3 fn. 7).
 type FlowKeyId = (u64, Principal, Principal);
@@ -196,6 +212,9 @@ pub struct FbsEndpoint {
     tfkc: SoftCache<FlowKeyId, FlowKey>,
     rfkc: SoftCache<FlowKeyId, FlowKey>,
     stats: EndpointStats,
+    /// Optional metrics registry; `None` (the default) keeps the datagram
+    /// path observation-free.
+    obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl FbsEndpoint {
@@ -222,7 +241,19 @@ impl FbsEndpoint {
             tfkc,
             rfkc,
             stats: EndpointStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attach a metrics registry: the endpoint emits datagram-path events
+    /// (send/receive, drops, key-derivation latency) and cascades the
+    /// registry into its MKC/TFKC/RFKC so cache lookups are observed under
+    /// their own [`CacheKind`]s.
+    pub fn attach_obs(&mut self, registry: Arc<MetricsRegistry>) {
+        self.mkc.set_obs(Arc::clone(&registry), CacheKind::Mkc);
+        self.tfkc.set_obs(Arc::clone(&registry), CacheKind::Tfkc);
+        self.rfkc.set_obs(Arc::clone(&registry), CacheKind::Rfkc);
+        self.obs = Some(registry);
     }
 
     /// The local principal.
@@ -240,7 +271,18 @@ impl FbsEndpoint {
         if let Some(k) = self.mkc.get(peer) {
             return Ok(k);
         }
-        let k = self.mkd.master_key(peer)?;
+        if let Some(reg) = &self.obs {
+            reg.incr(Counter::MkdUpcalls);
+        }
+        let k = match self.mkd.master_key(peer) {
+            Ok(k) => k,
+            Err(e) => {
+                if let Some(reg) = &self.obs {
+                    reg.incr(Counter::MkdFailures);
+                }
+                return Err(e);
+            }
+        };
         self.mkc.insert(peer.clone(), k.clone());
         Ok(k)
     }
@@ -251,6 +293,7 @@ impl FbsEndpoint {
         if let Some(k) = self.tfkc.get(&id) {
             return Ok(k);
         }
+        let t0 = self.obs.as_ref().map(|_| self.clock.now_micros());
         let master = self.master_key(destination)?;
         let k = derive_flow_key(
             self.cfg.key_derivation,
@@ -259,6 +302,7 @@ impl FbsEndpoint {
             &self.local,
             destination,
         );
+        self.record_derivation(t0);
         self.tfkc.insert(id, k.clone());
         Ok(k)
     }
@@ -269,10 +313,23 @@ impl FbsEndpoint {
         if let Some(k) = self.rfkc.get(&id) {
             return Ok(k);
         }
+        let t0 = self.obs.as_ref().map(|_| self.clock.now_micros());
         let master = self.master_key(source)?;
         let k = derive_flow_key(self.cfg.key_derivation, sfl, &master, source, &self.local);
+        self.record_derivation(t0);
         self.rfkc.insert(id, k.clone());
         Ok(k)
+    }
+
+    /// Record a zero-message key derivation that started at `t0` (micros,
+    /// `None` when observation is off). Covers the whole miss path: MKC
+    /// probe, possible MKD upcall, and the hash.
+    fn record_derivation(&self, t0: Option<u64>) {
+        if let (Some(reg), Some(t0)) = (&self.obs, t0) {
+            reg.record(Event::KeyDerivation {
+                micros: self.clock.now_micros().saturating_sub(t0),
+            });
+        }
     }
 
     /// Derive a transmit flow key WITHOUT consulting the TFKC. Used by the
@@ -280,14 +337,17 @@ impl FbsEndpoint {
     /// flow key in its own merged table and only needs the derivation
     /// (MKC → MKD upcall → hash).
     pub fn derive_flow_key_tx(&mut self, sfl: u64, destination: &Principal) -> Result<FlowKey> {
+        let t0 = self.obs.as_ref().map(|_| self.clock.now_micros());
         let master = self.master_key(destination)?;
-        Ok(derive_flow_key(
+        let k = derive_flow_key(
             self.cfg.key_derivation,
             sfl,
             &master,
             &self.local,
             destination,
-        ))
+        );
+        self.record_derivation(t0);
+        Ok(k)
     }
 
     /// `FBSSend` with a caller-provided flow key (the combined-table fast
@@ -304,7 +364,12 @@ impl FbsEndpoint {
 
     /// `FBSSend` (Fig. 4): protect `datagram` under flow `sfl` (obtained
     /// from a FAM classification). `secret` requests confidentiality.
-    pub fn send(&mut self, sfl: u64, datagram: Datagram, secret: bool) -> Result<ProtectedDatagram> {
+    pub fn send(
+        &mut self,
+        sfl: u64,
+        datagram: Datagram,
+        secret: bool,
+    ) -> Result<ProtectedDatagram> {
         // S2-3: flow key (cached per Fig. 6).
         let key = self.flow_key_tx(sfl, &datagram.destination)?;
         self.seal(sfl, key, datagram, secret)
@@ -353,6 +418,14 @@ impl FbsEndpoint {
             self.stats.encryptions += 1;
         }
         self.stats.sends += 1;
+        if let Some(reg) = &self.obs {
+            if enc_alg.is_secret() {
+                reg.incr(Counter::Encryptions);
+            }
+            reg.record(Event::Send {
+                bytes: plaintext_len as u64,
+            });
+        }
         // S7: assemble the security flow header.
         Ok(ProtectedDatagram {
             source: datagram.source,
@@ -392,8 +465,15 @@ impl FbsEndpoint {
     pub fn receive(&mut self, pd: ProtectedDatagram) -> Result<Datagram> {
         let h = &pd.header;
         // R3-4: freshness.
-        if let Err(e) = self.cfg.freshness.check(h.timestamp, self.clock.now_minutes()) {
+        let now_minutes = self.clock.now_minutes();
+        if let Err(e) = self.cfg.freshness.check(h.timestamp, now_minutes) {
             self.stats.replay_drops += 1;
+            if let Some(reg) = &self.obs {
+                reg.record(Event::ReplayDrop {
+                    datagram_minutes: h.timestamp,
+                    now_minutes,
+                });
+            }
             return Err(e);
         }
         // R5-6: flow key from the sfl (cached).
@@ -404,15 +484,26 @@ impl FbsEndpoint {
             Ok(p) => p,
             Err(e) => {
                 self.stats.malformed_drops += 1;
+                if let Some(reg) = &self.obs {
+                    reg.record(Event::MalformedDrop);
+                }
                 return Err(e);
             }
         };
         if h.enc_alg.is_secret() {
             self.stats.decryptions += 1;
+            if let Some(reg) = &self.obs {
+                reg.incr(Counter::Decryptions);
+            }
         }
         if self.cfg.nop_crypto {
             // Fig. 8's "FBS NOP": MAC verification returns immediately.
             self.stats.receives += 1;
+            if let Some(reg) = &self.obs {
+                reg.record(Event::Receive {
+                    bytes: plaintext.len() as u64,
+                });
+            }
             return Ok(Datagram {
                 source: pd.source,
                 destination: pd.destination,
@@ -433,9 +524,17 @@ impl FbsEndpoint {
         }
         if !mac_eq(&expected, &h.mac) {
             self.stats.mac_drops += 1;
+            if let Some(reg) = &self.obs {
+                reg.record(Event::MacDrop);
+            }
             return Err(FbsError::BadMac);
         }
         self.stats.receives += 1;
+        if let Some(reg) = &self.obs {
+            reg.record(Event::Receive {
+                bytes: plaintext.len() as u64,
+            });
+        }
         // R12: hand the datagram up.
         Ok(Datagram {
             source: pd.source,
@@ -936,7 +1035,81 @@ mod tests {
     fn overhead_accounting() {
         let (mut s, _, _) = endpoint_pair(FbsConfig::default());
         let pd = s.send(1, dgram(b"123456789"), true).unwrap(); // 9 → padded 16
-        // Header 40 bytes + 7 bytes padding.
+                                                                // Header 40 bytes + 7 bytes padding.
         assert_eq!(pd.overhead(), 40 + 7);
+    }
+
+    #[test]
+    fn registry_mirrors_legacy_stats_mid_run() {
+        // Both endpoints share one registry; mid-run and at the end, the
+        // live snapshot must agree with the sum of the legacy per-endpoint
+        // stats structs on every counter those structs contribute.
+        let reg = Arc::new(MetricsRegistry::new());
+        let (mut s, mut d, clock) = endpoint_pair(FbsConfig::default());
+        s.attach_obs(Arc::clone(&reg));
+        d.attach_obs(Arc::clone(&reg));
+
+        let check = |s: &FbsEndpoint, d: &FbsEndpoint, reg: &MetricsRegistry| {
+            let mut legacy = MetricsSnapshot::new();
+            for ep in [s, d] {
+                ep.stats().contribute(&mut legacy);
+                ep.mkd_stats().contribute(&mut legacy);
+                ep.tfkc_stats().contribute(CacheKind::Tfkc, &mut legacy);
+                ep.rfkc_stats().contribute(CacheKind::Rfkc, &mut legacy);
+                ep.mkc_stats().contribute(CacheKind::Mkc, &mut legacy);
+            }
+            let live = reg.snapshot();
+            for (name, v) in &legacy.counters {
+                assert_eq!(live.counter(name), *v, "counter {name}");
+            }
+        };
+
+        for i in 0..10u64 {
+            let pd = s.send(i % 3, dgram(b"payload"), i % 2 == 0).unwrap();
+            d.receive(pd).unwrap();
+        }
+        check(&s, &d, &reg);
+
+        // Drop paths: tampered MAC, then a stale replay.
+        let mut bad = s.send(1, dgram(b"tamper"), true).unwrap();
+        bad.body[0] ^= 1;
+        assert!(d.receive(bad).is_err());
+        let stale = s.send(1, dgram(b"old"), false).unwrap();
+        clock.advance(10 * 60);
+        assert!(d.receive(stale).is_err());
+        check(&s, &d, &reg);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("endpoint.sends"), 12);
+        assert_eq!(snap.counter("endpoint.receives"), 10);
+        assert_eq!(snap.counter("endpoint.mac_drops"), 1);
+        assert_eq!(snap.counter("endpoint.replay_drops"), 1);
+        assert!(snap.counter("endpoint.key_derivations") >= 3);
+        assert!(snap.histograms.contains_key("key_derivation_us"));
+        // The replay drop is in the flight recorder with both timestamps.
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e.event, Event::ReplayDrop { .. })));
+    }
+
+    #[test]
+    fn disabled_obs_has_no_registry_side_effects() {
+        // The default endpoint carries no registry: behaviour and legacy
+        // stats are identical to an instrumented run's.
+        let reg = Arc::new(MetricsRegistry::new());
+        let (mut s1, mut d1, _) = endpoint_pair(FbsConfig::default());
+        let (mut s2, mut d2, _) = endpoint_pair(FbsConfig::default());
+        s2.attach_obs(Arc::clone(&reg));
+        d2.attach_obs(Arc::clone(&reg));
+        for i in 0..5u64 {
+            let p1 = s1.send(i, dgram(b"same"), true).unwrap();
+            let p2 = s2.send(i, dgram(b"same"), true).unwrap();
+            assert_eq!(p1, p2);
+            assert_eq!(d1.receive(p1).unwrap(), d2.receive(p2).unwrap());
+        }
+        assert_eq!(s1.stats(), s2.stats());
+        assert_eq!(d1.stats(), d2.stats());
+        assert_eq!(s1.tfkc_stats(), s2.tfkc_stats());
     }
 }

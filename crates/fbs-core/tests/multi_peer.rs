@@ -5,8 +5,7 @@
 //! wrong).
 
 use fbs_core::{
-    Datagram, FbsConfig, FbsEndpoint, ManualClock, MasterKeyDaemon, PinnedDirectory,
-    Principal,
+    Datagram, FbsConfig, FbsEndpoint, ManualClock, MasterKeyDaemon, PinnedDirectory, Principal,
 };
 use fbs_crypto::dh::{DhGroup, PrivateValue};
 use std::sync::Arc;
@@ -130,13 +129,7 @@ fn forget_peer_forces_fresh_master_key() {
     // principal's private value changes; forget_peer drops the cached one.
     let (mut hub, mut peers, _) = world(1, FbsConfig::default());
     let peer = &mut peers[0];
-    let d = |body: &[u8]| {
-        Datagram::new(
-            Principal::named("hub"),
-            peer_name(0),
-            body.to_vec(),
-        )
-    };
+    let d = |body: &[u8]| Datagram::new(Principal::named("hub"), peer_name(0), body.to_vec());
     let pd = hub.send(1, d(b"before"), true).unwrap();
     peer.receive(pd).unwrap();
     assert_eq!(hub.mkd_stats().upcalls, 1);

@@ -1,12 +1,16 @@
 //! Property-based tests for the protocol core: header codec totality,
 //! cache soundness, FAM conservation laws, and protocol roundtrips.
 
+// Property tests are opt-in: run with `cargo test --features props`.
+#![cfg(feature = "props")]
 use fbs_core::cache::SoftCache;
 use fbs_core::fam::{Fam, FlowPolicy, FstEntry};
 use fbs_core::header::{EncAlgorithm, SecurityFlowHeader};
-use fbs_core::{SflAllocator};
+use fbs_core::SflAllocator;
 use fbs_crypto::MacAlgorithm;
+use fbs_obs::{CacheKind, MetricsRegistry, MetricsSnapshot};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn header_strategy() -> impl Strategy<Value = SecurityFlowHeader> {
     (
@@ -104,6 +108,37 @@ proptest! {
     }
 
     #[test]
+    fn cache_counters_cohere_under_random_workloads(
+        keys in proptest::collection::vec(any::<u8>(), 1..300),
+        sets in 1usize..32,
+        assoc in 1usize..4,
+    ) {
+        // The 3C miss kinds partition the misses, and a live registry
+        // snapshot agrees counter-for-counter with the legacy stats
+        // struct's `contribute` view of the same run.
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut cache: SoftCache<u8, ()> =
+            SoftCache::new(sets, assoc, |k: &u8| fbs_crypto::crc32(&[*k]))
+                .with_classification();
+        cache.set_obs(Arc::clone(&reg), CacheKind::Tfkc);
+        for k in &keys {
+            if cache.get(k).is_none() {
+                cache.insert(*k, ());
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(
+            s.hits + s.cold_misses + s.capacity_misses + s.collision_misses,
+            s.total_lookups()
+        );
+        prop_assert_eq!(s.total_lookups(), keys.len() as u64);
+        let live = reg.snapshot();
+        let mut legacy = MetricsSnapshot::new();
+        s.contribute(CacheKind::Tfkc, &mut legacy);
+        prop_assert_eq!(&legacy.counters, &live.counters);
+    }
+
+    #[test]
     fn fam_conserves_packets_and_bytes(
         packets in proptest::collection::vec((any::<u8>(), 1u64..500, 0u64..100), 1..300),
         threshold in 1u64..1000,
@@ -170,8 +205,7 @@ proptest! {
 mod protocol_props {
     use super::*;
     use fbs_core::{
-        Datagram, FbsConfig, FbsEndpoint, ManualClock, MasterKeyDaemon, PinnedDirectory,
-        Principal,
+        Datagram, FbsConfig, FbsEndpoint, ManualClock, MasterKeyDaemon, PinnedDirectory, Principal,
     };
     use fbs_crypto::dh::{DhGroup, PrivateValue};
     use std::sync::Arc;

@@ -173,8 +173,7 @@ impl BigUint {
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow: i64 = 0;
         for i in 0..self.limbs.len() {
-            let diff =
-                self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            let diff = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
             if diff < 0 {
                 out.push((diff + (1i64 << 32)) as u32);
                 borrow = 1;
@@ -325,9 +324,7 @@ impl BigUint {
             let num = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
             let mut qhat = num / v_top;
             let mut rhat = num % v_top;
-            while qhat >= 1u64 << 32
-                || qhat * v_next > ((rhat << 32) | un[j + n - 2] as u64)
-            {
+            while qhat >= 1u64 << 32 || qhat * v_next > ((rhat << 32) | un[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >= 1u64 << 32 {

@@ -48,7 +48,10 @@ const E: u64 = 65_537;
 /// multiple of 8). The top two bits are forced so the product of two such
 /// primes has exactly `2*bits` bits.
 fn gen_prime(bits: usize, rng: &mut Lcg64) -> BigUint {
-    assert!(bits >= 16 && bits.is_multiple_of(8), "bits must be a multiple of 8, ≥16");
+    assert!(
+        bits >= 16 && bits.is_multiple_of(8),
+        "bits must be a multiple of 8, ≥16"
+    );
     loop {
         let mut bytes = vec![0u8; bits / 8];
         rng.fill(&mut bytes);

@@ -1,5 +1,7 @@
 //! Property-based tests for the cryptographic substrate.
 
+// Property tests are opt-in: run with `cargo test --features props`.
+#![cfg(feature = "props")]
 use fbs_crypto::bignum::BigUint;
 use fbs_crypto::{des, Des, DesMode, MacAlgorithm};
 use proptest::prelude::*;

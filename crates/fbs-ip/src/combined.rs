@@ -13,6 +13,8 @@ use crate::tuple::FiveTuple;
 use fbs_core::policy::FlowAttrs;
 use fbs_core::{FlowKey, SflAllocator};
 use fbs_crypto::crc32;
+use fbs_obs::{CacheKind, CacheOutcome, Event, MetricsRegistry, MetricsSnapshot};
+use std::sync::Arc;
 
 /// One merged FST/TFKC entry: flow identity + its cached key.
 #[derive(Clone)]
@@ -44,12 +46,27 @@ pub struct CombinedStats {
     pub collisions: u64,
 }
 
+impl CombinedStats {
+    /// Fold these counters into a snapshot under the `cache.combined.*`
+    /// names a live [`MetricsRegistry`] uses: new flows that displaced an
+    /// active entry count as collision misses, the rest as cold misses.
+    pub fn contribute(&self, snap: &mut MetricsSnapshot) {
+        snap.add("cache.combined.hits", self.hits);
+        snap.add(
+            "cache.combined.cold_misses",
+            self.new_flows.saturating_sub(self.collisions),
+        );
+        snap.add("cache.combined.collision_misses", self.collisions);
+    }
+}
+
 /// The merged flow-state/flow-key table.
 pub struct CombinedTable {
     slots: Vec<Option<Entry>>,
     threshold_secs: u64,
     alloc: SflAllocator,
     stats: CombinedStats,
+    obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl CombinedTable {
@@ -65,7 +82,14 @@ impl CombinedTable {
             threshold_secs,
             alloc,
             stats: CombinedStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attach a metrics registry: lookups emit [`Event::CacheLookup`]
+    /// under [`CacheKind::Combined`].
+    pub fn set_obs(&mut self, registry: Arc<MetricsRegistry>) {
+        self.obs = Some(registry);
     }
 
     /// The single-lookup send path: returns the flow's sfl and key,
@@ -77,22 +101,41 @@ impl CombinedTable {
         derive: impl FnOnce(u64) -> Result<FlowKey, E>,
     ) -> Result<CombinedHit, E> {
         let i = crc32(&tuple.canonical_bytes()) as usize % self.slots.len();
+        let mut displaced_live = false;
         if let Some(e) = &mut self.slots[i] {
             let active = now_secs.saturating_sub(e.last_secs) <= self.threshold_secs;
             if active && e.tuple == tuple {
                 e.last_secs = now_secs;
                 self.stats.hits += 1;
-                return Ok(CombinedHit {
+                let hit = CombinedHit {
                     sfl: e.sfl,
                     key: e.key.clone(),
                     new_flow: false,
-                });
+                };
+                if let Some(reg) = &self.obs {
+                    reg.record(Event::CacheLookup {
+                        kind: CacheKind::Combined,
+                        outcome: CacheOutcome::Hit,
+                    });
+                }
+                return Ok(hit);
             }
             if active {
                 // A live different flow is displaced: premature termination
                 // by hash collision (harmless for security, footnote 11).
                 self.stats.collisions += 1;
+                displaced_live = true;
             }
+        }
+        if let Some(reg) = &self.obs {
+            reg.record(Event::CacheLookup {
+                kind: CacheKind::Combined,
+                outcome: if displaced_live {
+                    CacheOutcome::MissCollision
+                } else {
+                    CacheOutcome::MissCold
+                },
+            });
         }
         let sfl = self.alloc.next_sfl();
         let key = derive(sfl)?;

@@ -17,6 +17,7 @@ use fbs_core::header::FIXED_PREFIX_LEN;
 use fbs_core::{Datagram, Fam, FbsConfig, FbsEndpoint, Principal, ProtectedDatagram, SflAllocator};
 use fbs_net::ip::Proto;
 use fbs_net::{Ipv4Header, SecurityHooks};
+use fbs_obs::{Direction, Event, MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -69,6 +70,29 @@ pub struct IpHookStats {
     pub input_errors: u64,
 }
 
+impl IpHookStats {
+    /// Total output-hook invocations.
+    pub fn output_entries(&self) -> u64 {
+        self.protected + self.output_errors
+    }
+
+    /// Total input-hook invocations.
+    pub fn input_entries(&self) -> u64 {
+        self.verified + self.input_errors
+    }
+
+    /// Fold these counters into a snapshot under the `hooks.*` names a
+    /// live [`MetricsRegistry`] uses.
+    pub fn contribute(&self, snap: &mut MetricsSnapshot) {
+        snap.add("hooks.output_entries", self.output_entries());
+        snap.add("hooks.output_ok", self.protected);
+        snap.add("hooks.output_errors", self.output_errors);
+        snap.add("hooks.input_entries", self.input_entries());
+        snap.add("hooks.input_ok", self.verified);
+        snap.add("hooks.input_errors", self.input_errors);
+    }
+}
+
 struct Inner {
     endpoint: FbsEndpoint,
     /// Textbook path: FAM with the Fig. 7 policy (endpoint TFKC handles
@@ -78,6 +102,21 @@ struct Inner {
     combined: Option<CombinedTable>,
     cfg: IpMappingConfig,
     stats: IpHookStats,
+    obs: Option<Arc<MetricsRegistry>>,
+}
+
+impl Inner {
+    fn hook_entry(&self, dir: Direction) {
+        if let Some(reg) = &self.obs {
+            reg.record(Event::HookEntry { dir });
+        }
+    }
+
+    fn hook_exit(&self, dir: Direction, ok: bool) {
+        if let Some(reg) = &self.obs {
+            reg.record(Event::HookExit { dir, ok });
+        }
+    }
 }
 
 /// FBS security hooks for an IP-like stack. Cheaply cloneable: clones share
@@ -113,8 +152,22 @@ impl FbsIpHooks {
                 combined,
                 cfg,
                 stats: IpHookStats::default(),
+                obs: None,
             })),
         }
+    }
+
+    /// Attach a metrics registry: the hooks emit entry/exit events, and
+    /// the registry cascades into the wrapped endpoint (and its caches),
+    /// the FAM, and the combined table when present.
+    pub fn attach_obs(&self, registry: Arc<MetricsRegistry>) {
+        let mut inner = self.inner.lock();
+        inner.endpoint.attach_obs(Arc::clone(&registry));
+        inner.fam.set_obs(Arc::clone(&registry));
+        if let Some(table) = &mut inner.combined {
+            table.set_obs(Arc::clone(&registry));
+        }
+        inner.obs = Some(registry);
     }
 
     /// Hook-level statistics.
@@ -160,10 +213,7 @@ impl FbsIpHooks {
     /// header prefix, the (possibly truncated) MAC, and up to 7 bytes of
     /// DES block padding.
     fn overhead_of(cfg: &IpMappingConfig) -> usize {
-        let mac_len = cfg
-            .fbs
-            .mac_truncate
-            .unwrap_or(cfg.fbs.mac_alg.output_len());
+        let mac_len = cfg.fbs.mac_truncate.unwrap_or(cfg.fbs.mac_alg.output_len());
         let padding = if cfg.encrypt { 7 } else { 0 };
         FIXED_PREFIX_LEN + mac_len + padding
     }
@@ -193,6 +243,7 @@ impl SecurityHooks for FbsIpHooks {
     ) -> Result<Vec<u8>, String> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        inner.hook_entry(Direction::Output);
         let now_secs = now_us / 1_000_000;
         let is_transport = matches!(Proto::from_number(header.proto), Proto::Mrt | Proto::Udp);
         let tuple = if is_transport {
@@ -200,6 +251,7 @@ impl SecurityHooks for FbsIpHooks {
                 Some(t) => t,
                 None => {
                     inner.stats.output_errors += 1;
+                    inner.hook_exit(Direction::Output, false);
                     return Err("payload too short for 5-tuple extraction".into());
                 }
             }
@@ -229,9 +281,7 @@ impl SecurityHooks for FbsIpHooks {
                     .lookup(tuple, now_secs, |sfl| {
                         endpoint.derive_flow_key_tx(sfl, &dst)
                     })
-                    .and_then(|hit| {
-                        endpoint.send_with_key(hit.sfl, &hit.key, datagram, secret)
-                    })
+                    .and_then(|hit| endpoint.send_with_key(hit.sfl, &hit.key, datagram, secret))
             }
             // Textbook: FAM classification, then TFKC inside send().
             None => {
@@ -246,10 +296,12 @@ impl SecurityHooks for FbsIpHooks {
                 let delta = out.len() as isize - pd.header.plaintext_len as isize;
                 header.grow_payload(delta);
                 inner.stats.protected += 1;
+                inner.hook_exit(Direction::Output, true);
                 Ok(out)
             }
             Err(e) => {
                 inner.stats.output_errors += 1;
+                inner.hook_exit(Direction::Output, false);
                 Err(e.to_string())
             }
         }
@@ -262,6 +314,7 @@ impl SecurityHooks for FbsIpHooks {
         _now_us: u64,
     ) -> Result<Vec<u8>, String> {
         let mut inner = self.inner.lock();
+        inner.hook_entry(Direction::Input);
         let wire_len = payload.len();
         let pd = ProtectedDatagram::decode_payload(
             Principal::from_ipv4(header.src),
@@ -270,6 +323,7 @@ impl SecurityHooks for FbsIpHooks {
         )
         .map_err(|e| {
             inner.stats.input_errors += 1;
+            inner.hook_exit(Direction::Input, false);
             e.to_string()
         })?;
         match inner.endpoint.receive(pd) {
@@ -277,10 +331,12 @@ impl SecurityHooks for FbsIpHooks {
                 let delta = wire_len as isize - datagram.body.len() as isize;
                 header.grow_payload(-delta);
                 inner.stats.verified += 1;
+                inner.hook_exit(Direction::Input, true);
                 Ok(datagram.body)
             }
             Err(e) => {
                 inner.stats.input_errors += 1;
+                inner.hook_exit(Direction::Input, false);
                 Err(e.to_string())
             }
         }

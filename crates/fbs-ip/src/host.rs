@@ -41,12 +41,7 @@ pub fn build_secure_host(
     let private = PrivateValue::from_entropy(group.clone(), &entropy);
 
     // Publish this host's certificate.
-    let cert = ca.issue(
-        principal.clone(),
-        private.public_value(),
-        0,
-        u64::MAX / 2,
-    );
+    let cert = ca.issue(principal.clone(), private.public_value(), 0, u64::MAX / 2);
     directory.publish(cert);
 
     // PVC → MKD → endpoint.
@@ -297,7 +292,7 @@ mod tests {
         // Rebuild host A with the broken installation.
         let ca = CertificateAuthority::new("fbs-sim-ca", [0xC4; 16]);
         let _ = ca; // (host A's cert is already in the directory)
-        // Simplest reproduction: disable the allowance after the fact.
+                    // Simplest reproduction: disable the allowance after the fact.
         net.host_mut(A).mrt.set_overhead_allowance(0);
 
         net.host_mut(B).mrt.listen(80);
@@ -323,12 +318,7 @@ mod tests {
             corrupt: 0.5,
             ..Impairments::default()
         };
-        let mut net = SecureNet::new(
-            21,
-            imp,
-            IpMappingConfig::default(),
-            DhGroup::test_group(),
-        );
+        let mut net = SecureNet::new(21, imp, IpMappingConfig::default(), DhGroup::test_group());
         let _ha = net.add_host(A);
         let hb = net.add_host(B);
         net.host_mut(B).udp.bind(53).unwrap();
@@ -377,9 +367,7 @@ mod tests {
         // Idle 20 virtual seconds > THRESHOLD 10.
         net.run(20_000_000, 500_000);
         let now = net.now_us();
-        net.host_mut(A)
-            .udp_send(4000, B, 53, b"two", now)
-            .unwrap();
+        net.host_mut(A).udp_send(4000, B, 53, b"two", now).unwrap();
         net.run(50_000, 1_000);
         assert_eq!(net.host_mut(B).udp.pending(53), 2);
         assert_eq!(ha.combined_stats().unwrap().new_flows, 2);
@@ -445,7 +433,9 @@ mod tests {
     #[test]
     fn raw_ip_uncovered_by_default() {
         let (mut net, ha, _) = secure_pair(IpMappingConfig::default());
-        net.host_mut(A).raw_send(1, B, b"unprotected ping", 0).unwrap();
+        net.host_mut(A)
+            .raw_send(1, B, b"unprotected ping", 0)
+            .unwrap();
         net.run(10_000, 1_000);
         let (_, _, data) = net.host_mut(B).raw_recv().unwrap();
         assert_eq!(data, b"unprotected ping", "travels in the clear");

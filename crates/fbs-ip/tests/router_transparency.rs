@@ -5,8 +5,8 @@
 use fbs_cert::{CertificateAuthority, Directory};
 use fbs_core::ManualClock;
 use fbs_crypto::dh::DhGroup;
-use fbs_ip::host::build_secure_host;
 use fbs_ip::hooks::IpMappingConfig;
+use fbs_ip::host::build_secure_host;
 use fbs_net::router::TwoLanWorld;
 use fbs_net::segment::Impairments;
 use std::sync::Arc;
@@ -49,16 +49,8 @@ fn secure_two_lan_world(mtu_b: usize) -> World {
         &directory,
         0xAB,
     );
-    let (host_b, hb) = build_secure_host(
-        B1,
-        mtu_b,
-        cfg,
-        clock.clone(),
-        &group,
-        &ca,
-        &directory,
-        0xAB,
-    );
+    let (host_b, hb) =
+        build_secure_host(B1, mtu_b, cfg, clock.clone(), &group, &ca, &directory, 0xAB);
 
     let mut w = TwoLanWorld::new(
         9,
@@ -110,7 +102,12 @@ fn router_fragmentation_is_transparent_to_fbs() {
         .unwrap();
     world.step_all(300_000);
     assert!(world.w.router_stats().fragmented >= 1);
-    let got = world.w.host_mut(B1).udp.recv(53).expect("verified delivery");
+    let got = world
+        .w
+        .host_mut(B1)
+        .udp
+        .recv(53)
+        .expect("verified delivery");
     assert_eq!(got.data, big);
     assert_eq!(world.hb.stats().verified, 1);
     assert_eq!(world.hb.stats().input_errors, 0);

@@ -172,7 +172,10 @@ mod tests {
         p.header.dont_fragment = true;
         assert!(matches!(
             fragment(p, 1500),
-            Err(NetError::WouldFragment { len: 3020, mtu: 1500 })
+            Err(NetError::WouldFragment {
+                len: 3020,
+                mtu: 1500
+            })
         ));
     }
 

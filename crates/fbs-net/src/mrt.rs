@@ -18,7 +18,9 @@
 
 use crate::error::{NetError, Result};
 use crate::ip::{Ipv4Addr, IPV4_HEADER_LEN};
+use fbs_obs::{Event, MetricsRegistry};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// MRT header length.
 pub const MRT_HEADER_LEN: usize = 16;
@@ -223,6 +225,7 @@ pub struct MrtLayer {
     next_iss: u32,
     /// Segments dropped because no listener/connection matched.
     pub resets: u64,
+    obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl MrtLayer {
@@ -237,7 +240,14 @@ impl MrtLayer {
             window_segments: 8,
             next_iss: 1000,
             resets: 0,
+            obs: None,
         }
+    }
+
+    /// Attach a metrics registry: every go-back-N or handshake
+    /// retransmission emits [`Event::MrtRetransmit`].
+    pub fn set_obs(&mut self, registry: Arc<MetricsRegistry>) {
+        self.obs = Some(registry);
     }
 
     /// Reserve `bytes` of each packet for security headers (the fix).
@@ -471,6 +481,9 @@ impl MrtLayer {
                     ConnState::SynSent => {
                         if conn.retries > 1 {
                             conn.retransmissions += 1;
+                            if let Some(reg) = &self.obs {
+                                reg.record(Event::MrtRetransmit);
+                            }
                         }
                         let syn = MrtHeader {
                             src_port: key.0,
@@ -491,6 +504,9 @@ impl MrtLayer {
                     }
                     ConnState::SynReceived => {
                         conn.retransmissions += 1;
+                        if let Some(reg) = &self.obs {
+                            reg.record(Event::MrtRetransmit);
+                        }
                         let synack = MrtHeader {
                             src_port: key.0,
                             dst_port: key.2,
@@ -509,6 +525,9 @@ impl MrtLayer {
                     _ => {
                         // Go-back-N: rewind transmission to snd_una.
                         conn.retransmissions += 1;
+                        if let Some(reg) = &self.obs {
+                            reg.record(Event::MrtRetransmit);
+                        }
                         let rewound = conn.snd_nxt.wrapping_sub(conn.snd_una);
                         conn.snd_nxt = conn.snd_una;
                         if conn.fin_sent && rewound > 0 {
@@ -588,10 +607,7 @@ impl MrtLayer {
 
     /// Earliest retransmission deadline across connections.
     pub fn next_timer_us(&self) -> Option<u64> {
-        self.conns
-            .values()
-            .filter_map(|c| c.retransmit_at)
-            .min()
+        self.conns.values().filter_map(|c| c.retransmit_at).min()
     }
 }
 

@@ -63,9 +63,7 @@ impl PortAllocator {
             } else {
                 self.next + 1
             };
-            if !self.in_use.contains_key(&candidate)
-                && !self.quarantined.contains_key(&candidate)
-            {
+            if !self.in_use.contains_key(&candidate) && !self.quarantined.contains_key(&candidate) {
                 self.in_use.insert(candidate, ());
                 return Ok(candidate);
             }

@@ -190,7 +190,9 @@ mod tests {
     fn udp_crosses_the_router() {
         let mut w = world(1500);
         w.host_mut(B1).udp.bind(53).unwrap();
-        w.host_mut(A1).udp_send(4000, B1, 53, b"inter-lan", 0).unwrap();
+        w.host_mut(A1)
+            .udp_send(4000, B1, 53, b"inter-lan", 0)
+            .unwrap();
         w.run(100_000, 1_000);
         let got = w.host_mut(B1).udp.recv(53).unwrap();
         assert_eq!(got.data, b"inter-lan");
@@ -203,7 +205,9 @@ mod tests {
         let mut w = world(1500);
         w.host_mut(B1).udp.bind(53).unwrap();
         w.lan_b.enable_capture();
-        w.host_mut(A1).udp_send(4000, B1, 53, b"ttl probe", 0).unwrap();
+        w.host_mut(A1)
+            .udp_send(4000, B1, 53, b"ttl probe", 0)
+            .unwrap();
         w.run(100_000, 1_000);
         let frames = w.lan_b.take_capture();
         let delivered = frames

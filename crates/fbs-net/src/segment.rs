@@ -155,7 +155,7 @@ impl Segment {
         let mut frame = frame;
         if self.imp.corrupt > 0.0 && self.rng.gen_bool(self.imp.corrupt.clamp(0.0, 1.0)) {
             let i = self.rng.gen_range(0..frame.len());
-            frame[i] ^= 1 << self.rng.gen_range(0..8);
+            frame[i] ^= 1u8 << self.rng.gen_range(0..8);
             self.stats.corrupted += 1;
         }
         let jitter = if self.imp.jitter_us > 0 {
@@ -165,7 +165,8 @@ impl Segment {
         };
         let arrival = self.medium_free_us + self.imp.latency_us + jitter;
         self.seq += 1;
-        self.in_flight.push(Reverse((arrival, self.seq, frame.clone())));
+        self.in_flight
+            .push(Reverse((arrival, self.seq, frame.clone())));
         if self.imp.duplicate > 0.0 && self.rng.gen_bool(self.imp.duplicate.clamp(0.0, 1.0)) {
             let jitter2 = self.rng.gen_range(0..=self.imp.jitter_us.max(100));
             self.seq += 1;
@@ -317,7 +318,11 @@ mod tests {
         for i in 0..20u8 {
             s.transmit(vec![i]);
         }
-        let got: Vec<u8> = s.advance(1_000_000).into_iter().map(|(_, f)| f[0]).collect();
+        let got: Vec<u8> = s
+            .advance(1_000_000)
+            .into_iter()
+            .map(|(_, f)| f[0])
+            .collect();
         assert_eq!(got.len(), 20);
         let mut sorted = got.clone();
         sorted.sort();

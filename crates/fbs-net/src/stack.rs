@@ -16,7 +16,9 @@ use crate::mrt::MrtLayer;
 use crate::ports::PortAllocator;
 use crate::segment::{Impairments, Segment};
 use crate::udp::UdpLayer;
+use fbs_obs::{Event, MetricsRegistry};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Security processing plugged into the stack (implemented by `fbs-ip`).
 ///
@@ -92,6 +94,7 @@ pub struct Host {
     raw_rx: VecDeque<(u8, Ipv4Addr, Vec<u8>)>,
     out: VecDeque<Vec<u8>>,
     stats: HostStats,
+    obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl Host {
@@ -110,7 +113,16 @@ impl Host {
             raw_rx: VecDeque::new(),
             out: VecDeque::new(),
             stats: HostStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attach a metrics registry: the stack emits fragmentation and
+    /// reassembly events, and the registry cascades into the MRT layer
+    /// for retransmit observation.
+    pub fn attach_obs(&mut self, registry: Arc<MetricsRegistry>) {
+        self.mrt.set_obs(Arc::clone(&registry));
+        self.obs = Some(registry);
     }
 
     /// This host's address.
@@ -176,6 +188,13 @@ impl Host {
 
         // Part 2: fragmentation.
         let frags = fragment(Packet::new(header, payload), self.mtu)?;
+        if frags.len() > 1 {
+            if let Some(reg) = &self.obs {
+                reg.record(Event::Fragmented {
+                    fragments: frags.len() as u32,
+                });
+            }
+        }
 
         // Part 3: hand frames to the interface queue.
         for f in frags {
@@ -199,23 +218,29 @@ impl Host {
         self.stats.frames_for_us += 1;
 
         // Part 2: reassembly.
+        let was_fragment = packet.header.more_fragments || packet.header.frag_offset > 0;
         let Some(packet) = self.reasm.push(packet, now_us) else {
             return;
         };
+        if was_fragment {
+            // A true fragment completing reassembly (whole datagrams pass
+            // straight through and are not counted).
+            if let Some(reg) = &self.obs {
+                reg.record(Event::Reassembled);
+            }
+        }
         let mut header = packet.header;
         let payload = packet.payload;
 
         // Security hook between parts 2 and 3.
         let payload = match &mut self.hooks {
-            Some(h) if h.covers(header.proto) => {
-                match h.input(&mut header, payload, now_us) {
-                    Ok(p) => p,
-                    Err(_) => {
-                        self.stats.hook_input_rejects += 1;
-                        return;
-                    }
+            Some(h) if h.covers(header.proto) => match h.input(&mut header, payload, now_us) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.stats.hook_input_rejects += 1;
+                    return;
                 }
-            }
+            },
             _ => payload,
         };
 
@@ -249,7 +274,14 @@ impl Host {
     /// Drive timers (MRT retransmission, reassembly expiry) and flush
     /// transport output. Call regularly with the current virtual time.
     pub fn poll(&mut self, now_us: u64) {
-        self.reasm.expire(now_us);
+        let expired = self.reasm.expire(now_us);
+        if expired > 0 {
+            if let Some(reg) = &self.obs {
+                for _ in 0..expired {
+                    reg.record(Event::ReassemblyTimeout);
+                }
+            }
+        }
         for o in self.mrt.poll(now_us) {
             self.send_mrt_segment(o, now_us);
         }

@@ -1,6 +1,8 @@
 //! Property-based tests for the network substrate: codec totality,
 //! fragmentation/reassembly laws, checksum behaviour.
 
+// Property tests are opt-in: run with `cargo test --features props`.
+#![cfg(feature = "props")]
 use fbs_net::frag::{fragment, Reassembler};
 use fbs_net::ip::{internet_checksum, Ipv4Header, Packet, Proto, IPV4_HEADER_LEN};
 use fbs_net::mrt::{Flags, MrtHeader};

@@ -1,0 +1,339 @@
+//! Typed datagram-path events for the flight recorder.
+//!
+//! Each variant corresponds to one observable step of a datagram's life
+//! through the FBS stack (§5–§7 of the paper): classification, keying,
+//! sealing, the IP-layer hooks, fragmentation, and retransmission. The
+//! taxonomy is deliberately small and flat — events are recorded on hot
+//! paths, so every field is `Copy`.
+
+use std::fmt;
+
+/// Which soft-state cache a lookup hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// Transmit-side flow-key cache.
+    Tfkc,
+    /// Receive-side flow-key cache.
+    Rfkc,
+    /// Master-key cache (pair keys from the MKD).
+    Mkc,
+    /// Public-value cache (certificates).
+    Pvc,
+    /// The §7.2 combined FST/TFKC table.
+    Combined,
+}
+
+impl CacheKind {
+    /// All kinds, in snapshot order.
+    pub const ALL: [CacheKind; 5] = [
+        CacheKind::Tfkc,
+        CacheKind::Rfkc,
+        CacheKind::Mkc,
+        CacheKind::Pvc,
+        CacheKind::Combined,
+    ];
+
+    /// Lower-case name used in counter keys and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheKind::Tfkc => "tfkc",
+            CacheKind::Rfkc => "rfkc",
+            CacheKind::Mkc => "mkc",
+            CacheKind::Pvc => "pvc",
+            CacheKind::Combined => "combined",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            CacheKind::Tfkc => 0,
+            CacheKind::Rfkc => 1,
+            CacheKind::Mkc => 2,
+            CacheKind::Pvc => 3,
+            CacheKind::Combined => 4,
+        }
+    }
+}
+
+/// Outcome of a cache lookup under the 3C miss model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The entry was present.
+    Hit,
+    /// First reference ever to this key.
+    MissCold,
+    /// The key was evicted because the cache is too small overall.
+    MissCapacity,
+    /// The key was evicted by a set/slot conflict.
+    MissCollision,
+}
+
+impl CacheOutcome {
+    /// Lower-case name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::MissCold => "miss_cold",
+            CacheOutcome::MissCapacity => "miss_capacity",
+            CacheOutcome::MissCollision => "miss_collision",
+        }
+    }
+}
+
+/// Which side of the IP security hooks an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The output hook (before fragmentation).
+    Output,
+    /// The input hook (after reassembly).
+    Input,
+}
+
+impl Direction {
+    /// Lower-case name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::Output => "output",
+            Direction::Input => "input",
+        }
+    }
+}
+
+/// How the FAM resolved a classification (mirrors `fbs_core::fam::FlowStart`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStartKind {
+    /// The datagram joined a live flow.
+    Existing,
+    /// A fresh flow started in an empty slot.
+    Fresh,
+    /// A fresh flow replaced an expired entry.
+    ReplacedExpired,
+    /// A fresh flow evicted a live entry (FST collision).
+    Collision,
+}
+
+impl FlowStartKind {
+    /// Lower-case name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowStartKind::Existing => "existing",
+            FlowStartKind::Fresh => "fresh",
+            FlowStartKind::ReplacedExpired => "replaced_expired",
+            FlowStartKind::Collision => "collision",
+        }
+    }
+}
+
+/// One observable step on the datagram path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A security hook was entered.
+    HookEntry {
+        /// Output or input side.
+        dir: Direction,
+    },
+    /// A security hook returned.
+    HookExit {
+        /// Output or input side.
+        dir: Direction,
+        /// Whether the hook succeeded.
+        ok: bool,
+    },
+    /// The FAM classified an outgoing datagram.
+    FamClassify {
+        /// The security flow label assigned.
+        sfl: u64,
+        /// How the flow slot was resolved.
+        start: FlowStartKind,
+        /// Whether this sfl was seen before (a repeated flow, Fig. 14).
+        repeated: bool,
+    },
+    /// A soft-state cache lookup completed.
+    CacheLookup {
+        /// Which cache.
+        kind: CacheKind,
+        /// Hit, or which of the 3C miss kinds.
+        outcome: CacheOutcome,
+    },
+    /// A zero-message flow-key derivation ran (cache-miss path).
+    KeyDerivation {
+        /// Wall/virtual time it took, in microseconds (0 under a
+        /// simulated clock without sub-second resolution).
+        micros: u64,
+    },
+    /// A datagram failed the freshness-window check (§6.3).
+    ReplayDrop {
+        /// Timestamp carried by the datagram, in FBS minutes.
+        datagram_minutes: u32,
+        /// Receiver's current time, in FBS minutes.
+        now_minutes: u32,
+    },
+    /// A datagram failed MAC verification.
+    MacDrop,
+    /// A datagram's security header failed to parse or decrypt.
+    MalformedDrop,
+    /// An outgoing datagram was split by IP fragmentation.
+    Fragmented {
+        /// Number of fragments produced.
+        fragments: u32,
+    },
+    /// A fragmented datagram was fully reassembled.
+    Reassembled,
+    /// A partial reassembly buffer timed out and was dropped.
+    ReassemblyTimeout,
+    /// MRT retransmitted (go-back-N rewind or handshake retry).
+    MrtRetransmit,
+    /// An endpoint sealed and sent a datagram.
+    Send {
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// An endpoint verified and accepted a datagram.
+    Receive {
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+impl Event {
+    /// Snake-case event type name used in JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::HookEntry { .. } => "hook_entry",
+            Event::HookExit { .. } => "hook_exit",
+            Event::FamClassify { .. } => "fam_classify",
+            Event::CacheLookup { .. } => "cache_lookup",
+            Event::KeyDerivation { .. } => "key_derivation",
+            Event::ReplayDrop { .. } => "replay_drop",
+            Event::MacDrop => "mac_drop",
+            Event::MalformedDrop => "malformed_drop",
+            Event::Fragmented { .. } => "fragmented",
+            Event::Reassembled => "reassembled",
+            Event::ReassemblyTimeout => "reassembly_timeout",
+            Event::MrtRetransmit => "mrt_retransmit",
+            Event::Send { .. } => "send",
+            Event::Receive { .. } => "receive",
+        }
+    }
+
+    /// Variant-specific JSON fields, as `,"k":v` pairs (possibly empty).
+    fn json_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Event::HookEntry { dir } => {
+                let _ = write!(out, r#","dir":"{}""#, dir.name());
+            }
+            Event::HookExit { dir, ok } => {
+                let _ = write!(out, r#","dir":"{}","ok":{}"#, dir.name(), ok);
+            }
+            Event::FamClassify {
+                sfl,
+                start,
+                repeated,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","sfl":{},"start":"{}","repeated":{}"#,
+                    sfl,
+                    start.name(),
+                    repeated
+                );
+            }
+            Event::CacheLookup { kind, outcome } => {
+                let _ = write!(
+                    out,
+                    r#","cache":"{}","outcome":"{}""#,
+                    kind.name(),
+                    outcome.name()
+                );
+            }
+            Event::KeyDerivation { micros } => {
+                let _ = write!(out, r#","micros":{micros}"#);
+            }
+            Event::ReplayDrop {
+                datagram_minutes,
+                now_minutes,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","datagram_minutes":{datagram_minutes},"now_minutes":{now_minutes}"#
+                );
+            }
+            Event::Fragmented { fragments } => {
+                let _ = write!(out, r#","fragments":{fragments}"#);
+            }
+            Event::Send { bytes } | Event::Receive { bytes } => {
+                let _ = write!(out, r#","bytes":{bytes}"#);
+            }
+            Event::MacDrop
+            | Event::MalformedDrop
+            | Event::Reassembled
+            | Event::ReassemblyTimeout
+            | Event::MrtRetransmit => {}
+        }
+    }
+}
+
+/// One flight-recorder entry: an event plus sequencing metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotone sequence number (1-based, never reused); gaps after the
+    /// ring wraps tell you how much history was overwritten.
+    pub seq: u64,
+    /// Registry time-source reading when the event was recorded, in
+    /// microseconds.
+    pub t_us: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// Render as one JSON object (one line of the JSON-lines export).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            r#"{{"seq":{},"t_us":{},"type":"{}""#,
+            self.seq,
+            self.t_us,
+            self.event.kind()
+        );
+        self.event.json_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shapes() {
+        let rec = EventRecord {
+            seq: 7,
+            t_us: 12,
+            event: Event::CacheLookup {
+                kind: CacheKind::Tfkc,
+                outcome: CacheOutcome::MissCollision,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"seq":7,"t_us":12,"type":"cache_lookup","cache":"tfkc","outcome":"miss_collision"}"#
+        );
+        let rec = EventRecord {
+            seq: 1,
+            t_us: 0,
+            event: Event::MacDrop,
+        };
+        assert_eq!(rec.to_json(), r#"{"seq":1,"t_us":0,"type":"mac_drop"}"#);
+    }
+}

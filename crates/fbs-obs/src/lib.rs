@@ -1,0 +1,37 @@
+//! # fbs-obs — unified observability for the FBS stack
+//!
+//! The paper's evaluation (Figs. 8–14) is built from hand-polled
+//! counters: cache hit ratios under the 3C miss model, active-flow
+//! counts, per-paradigm key-setup costs. This crate gives the
+//! reproduction one pipeline for all of that:
+//!
+//! * [`MetricsRegistry`] — a set of lock-free atomic counters, per-cache
+//!   3C counters, and log2 latency/size histograms, shared across
+//!   components via `Arc`;
+//! * a **flight recorder** — a fixed-capacity ring buffer of typed
+//!   [`Event`]s (hook entry/exit, FAM classify decisions, cache lookups
+//!   with miss kind, zero-message key-derivation latency, replay/MAC
+//!   drops, fragmentation/reassembly, MRT retransmits), timestamped by a
+//!   pluggable time source so instrumented runs stay deterministic under
+//!   the workspace's simulated clock;
+//! * [`MetricsSnapshot`] — a point-in-time view with text-table and JSON
+//!   exporters, buildable both live from a registry and from the legacy
+//!   per-component stats structs (which makes those structs *views* of
+//!   the same counter namespace).
+//!
+//! Observability is opt-in: components hold `Option<Arc<MetricsRegistry>>`
+//! defaulting to `None`, so the disabled per-datagram cost is a single
+//! branch. The crate has zero dependencies (it sits below `fbs-core` in
+//! the dependency order) and performs no I/O of its own — exporters
+//! return `String`s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod registry;
+pub mod snapshot;
+
+pub use event::{CacheKind, CacheOutcome, Direction, Event, EventRecord, FlowStartKind};
+pub use registry::{Counter, Histogram, MetricsRegistry};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};

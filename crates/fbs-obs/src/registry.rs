@@ -1,0 +1,576 @@
+//! The metrics registry: atomic counters, per-cache 3C counters, log2
+//! histograms, and the flight recorder.
+
+use crate::event::{CacheKind, CacheOutcome, Event, EventRecord};
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of log2 buckets (covers the full `u64` range).
+pub(crate) const BUCKETS: usize = 64;
+
+/// Default flight-recorder capacity (events).
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Every scalar counter the registry tracks. Names are hierarchical
+/// (`component.metric`) and shared with the legacy stats structs'
+/// `contribute` views, so a registry snapshot and a sum of legacy
+/// structs land in the same namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Datagrams sealed and sent by endpoints.
+    Sends,
+    /// Datagrams verified and accepted by endpoints.
+    Receives,
+    /// Datagrams dropped by the freshness window.
+    ReplayDrops,
+    /// Datagrams dropped by MAC verification.
+    MacDrops,
+    /// Datagrams dropped as unparseable/undecryptable.
+    MalformedDrops,
+    /// Bodies encrypted.
+    Encryptions,
+    /// Bodies decrypted.
+    Decryptions,
+    /// Zero-message flow-key derivations (cache-miss path).
+    KeyDerivations,
+    /// Master-key daemon upcalls.
+    MkdUpcalls,
+    /// Master-key daemon failures.
+    MkdFailures,
+    /// FAM classifications.
+    FamClassifications,
+    /// Datagrams that joined a live flow.
+    FamJoinedExisting,
+    /// Flows started (fresh or replacing an expired entry).
+    FamFlowsStarted,
+    /// FST collisions (live entry evicted).
+    FamCollisions,
+    /// Flows whose sfl was seen before (Fig. 14).
+    FamRepeatedFlows,
+    /// FST entries removed by sweeping.
+    FamSwept,
+    /// Output-hook entries.
+    HookOutputEntries,
+    /// Output-hook successes (datagrams protected).
+    HookOutputOk,
+    /// Output-hook failures.
+    HookOutputErrors,
+    /// Input-hook entries.
+    HookInputEntries,
+    /// Input-hook successes (datagrams verified).
+    HookInputOk,
+    /// Input-hook failures.
+    HookInputErrors,
+    /// Outgoing datagrams that required fragmentation.
+    FragmentedDatagrams,
+    /// Total fragments produced.
+    FragmentsProduced,
+    /// Fragmented datagrams fully reassembled.
+    ReassembledDatagrams,
+    /// Reassembly buffers dropped on timeout.
+    ReassemblyTimeouts,
+    /// MRT retransmissions.
+    MrtRetransmits,
+    /// Certificate verification failures in the PVC.
+    PvcVerifyFailures,
+}
+
+/// Number of scalar counters.
+const NUM_COUNTERS: usize = 28;
+
+impl Counter {
+    /// All counters, in snapshot order.
+    pub const ALL: [Counter; NUM_COUNTERS] = [
+        Counter::Sends,
+        Counter::Receives,
+        Counter::ReplayDrops,
+        Counter::MacDrops,
+        Counter::MalformedDrops,
+        Counter::Encryptions,
+        Counter::Decryptions,
+        Counter::KeyDerivations,
+        Counter::MkdUpcalls,
+        Counter::MkdFailures,
+        Counter::FamClassifications,
+        Counter::FamJoinedExisting,
+        Counter::FamFlowsStarted,
+        Counter::FamCollisions,
+        Counter::FamRepeatedFlows,
+        Counter::FamSwept,
+        Counter::HookOutputEntries,
+        Counter::HookOutputOk,
+        Counter::HookOutputErrors,
+        Counter::HookInputEntries,
+        Counter::HookInputOk,
+        Counter::HookInputErrors,
+        Counter::FragmentedDatagrams,
+        Counter::FragmentsProduced,
+        Counter::ReassembledDatagrams,
+        Counter::ReassemblyTimeouts,
+        Counter::MrtRetransmits,
+        Counter::PvcVerifyFailures,
+    ];
+
+    /// The hierarchical counter key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Sends => "endpoint.sends",
+            Counter::Receives => "endpoint.receives",
+            Counter::ReplayDrops => "endpoint.replay_drops",
+            Counter::MacDrops => "endpoint.mac_drops",
+            Counter::MalformedDrops => "endpoint.malformed_drops",
+            Counter::Encryptions => "endpoint.encryptions",
+            Counter::Decryptions => "endpoint.decryptions",
+            Counter::KeyDerivations => "endpoint.key_derivations",
+            Counter::MkdUpcalls => "mkd.upcalls",
+            Counter::MkdFailures => "mkd.failures",
+            Counter::FamClassifications => "fam.classifications",
+            Counter::FamJoinedExisting => "fam.joined_existing",
+            Counter::FamFlowsStarted => "fam.flows_started",
+            Counter::FamCollisions => "fam.collisions",
+            Counter::FamRepeatedFlows => "fam.repeated_flows",
+            Counter::FamSwept => "fam.swept",
+            Counter::HookOutputEntries => "hooks.output_entries",
+            Counter::HookOutputOk => "hooks.output_ok",
+            Counter::HookOutputErrors => "hooks.output_errors",
+            Counter::HookInputEntries => "hooks.input_entries",
+            Counter::HookInputOk => "hooks.input_ok",
+            Counter::HookInputErrors => "hooks.input_errors",
+            Counter::FragmentedDatagrams => "net.fragmented_datagrams",
+            Counter::FragmentsProduced => "net.fragments_produced",
+            Counter::ReassembledDatagrams => "net.reassembled_datagrams",
+            Counter::ReassemblyTimeouts => "net.reassembly_timeouts",
+            Counter::MrtRetransmits => "mrt.retransmits",
+            Counter::PvcVerifyFailures => "pvc.verify_failures",
+        }
+    }
+
+    fn index(self) -> usize {
+        Counter::ALL.iter().position(|c| *c == self).unwrap()
+    }
+}
+
+/// The log2 histograms the registry tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Histogram {
+    /// Microseconds per zero-message key derivation.
+    KeyDerivationMicros,
+    /// Payload bytes per sent datagram.
+    SendBytes,
+    /// Payload bytes per received datagram.
+    ReceiveBytes,
+}
+
+/// Number of histograms.
+const NUM_HISTOGRAMS: usize = 3;
+
+impl Histogram {
+    /// All histograms, in snapshot order.
+    pub const ALL: [Histogram; NUM_HISTOGRAMS] = [
+        Histogram::KeyDerivationMicros,
+        Histogram::SendBytes,
+        Histogram::ReceiveBytes,
+    ];
+
+    /// The histogram's snapshot key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Histogram::KeyDerivationMicros => "key_derivation_us",
+            Histogram::SendBytes => "send_bytes",
+            Histogram::ReceiveBytes => "receive_bytes",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-cache-kind 3C counters (same bookkeeping as
+/// `fbs_core::cache::CacheStats`, but shared and atomic).
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    cold_misses: AtomicU64,
+    capacity_misses: AtomicU64,
+    collision_misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Log2 histogram with atomic buckets; bucket 0 holds values `<= 1`,
+/// bucket `i` holds values in `[2^i, 2^(i+1))` — the same bucketing as
+/// `fbs-trace`'s `LogHistogram`.
+struct AtomicLogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl AtomicLogHistogram {
+    fn new() -> Self {
+        AtomicLogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        let b = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let count = b.load(Ordering::Relaxed);
+            if count > 0 {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                buckets.push((lo, hi, count));
+            }
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+struct RecorderInner {
+    buf: Vec<EventRecord>,
+    /// Next overwrite position once the ring is full.
+    write: usize,
+    seq: u64,
+}
+
+/// The unified metrics registry. Cheap to share (`Arc`), cheap when
+/// absent (callers hold `Option<Arc<MetricsRegistry>>` and skip all of
+/// this on `None`).
+pub struct MetricsRegistry {
+    counters: [AtomicU64; NUM_COUNTERS],
+    caches: [CacheCounters; 5],
+    histograms: [AtomicLogHistogram; NUM_HISTOGRAMS],
+    recorder: Mutex<RecorderInner>,
+    capacity: usize,
+    /// Microsecond time source stamped onto events. Defaults to a
+    /// constant 0 so a bare registry is fully deterministic; wire it to
+    /// a clock (e.g. `fbs_core::clock::Clock::now_micros`) for real
+    /// timelines.
+    time: Box<dyn Fn() -> u64 + Send + Sync>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("event_capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// Registry with the default flight-recorder capacity
+    /// ([`DEFAULT_EVENT_CAPACITY`]).
+    pub fn new() -> Self {
+        MetricsRegistry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Registry whose flight recorder keeps the last `capacity` events.
+    /// A capacity of 0 disables event recording (counters and
+    /// histograms still work).
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        MetricsRegistry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            caches: std::array::from_fn(|_| CacheCounters::default()),
+            histograms: std::array::from_fn(|_| AtomicLogHistogram::new()),
+            recorder: Mutex::new(RecorderInner {
+                buf: Vec::with_capacity(capacity.min(4096)),
+                write: 0,
+                seq: 0,
+            }),
+            capacity,
+            time: Box::new(|| 0),
+        }
+    }
+
+    /// Replace the event time source (builder style; call before
+    /// sharing the registry).
+    pub fn with_time_source(mut self, f: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        self.time = Box::new(f);
+        self
+    }
+
+    /// Increment a scalar counter by 1.
+    pub fn incr(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Increment a scalar counter by `n`.
+    pub fn add(&self, c: Counter, n: u64) {
+        self.counters[c.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Read a scalar counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()].load(Ordering::Relaxed)
+    }
+
+    /// Record an insertion into cache `kind` and whether it evicted.
+    pub fn cache_insertion(&self, kind: CacheKind, evicted: bool) {
+        let c = &self.caches[kind.index()];
+        c.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            c.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Add a sample to a histogram (without going through an event).
+    pub fn observe(&self, h: Histogram, value: u64) {
+        self.histograms[h.index()].observe(value);
+    }
+
+    /// Record an event: updates the counters/histograms the event
+    /// implies, then appends it to the flight recorder.
+    pub fn record(&self, event: Event) {
+        self.apply(&event);
+        if self.capacity == 0 {
+            return;
+        }
+        let t_us = (self.time)();
+        let mut rec = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+        rec.seq += 1;
+        let entry = EventRecord {
+            seq: rec.seq,
+            t_us,
+            event,
+        };
+        if rec.buf.len() < self.capacity {
+            rec.buf.push(entry);
+        } else {
+            let w = rec.write;
+            rec.buf[w] = entry;
+            rec.write = (w + 1) % self.capacity;
+        }
+    }
+
+    /// Counter/histogram side effects of an event.
+    fn apply(&self, event: &Event) {
+        use crate::event::Direction;
+        match *event {
+            Event::HookEntry { dir } => self.incr(match dir {
+                Direction::Output => Counter::HookOutputEntries,
+                Direction::Input => Counter::HookInputEntries,
+            }),
+            Event::HookExit { dir, ok } => self.incr(match (dir, ok) {
+                (Direction::Output, true) => Counter::HookOutputOk,
+                (Direction::Output, false) => Counter::HookOutputErrors,
+                (Direction::Input, true) => Counter::HookInputOk,
+                (Direction::Input, false) => Counter::HookInputErrors,
+            }),
+            Event::FamClassify {
+                start, repeated, ..
+            } => {
+                self.incr(Counter::FamClassifications);
+                match start {
+                    crate::event::FlowStartKind::Existing => self.incr(Counter::FamJoinedExisting),
+                    crate::event::FlowStartKind::Fresh
+                    | crate::event::FlowStartKind::ReplacedExpired => {
+                        self.incr(Counter::FamFlowsStarted)
+                    }
+                    crate::event::FlowStartKind::Collision => {
+                        self.incr(Counter::FamFlowsStarted);
+                        self.incr(Counter::FamCollisions);
+                    }
+                }
+                if repeated {
+                    self.incr(Counter::FamRepeatedFlows);
+                }
+            }
+            Event::CacheLookup { kind, outcome } => {
+                let c = &self.caches[kind.index()];
+                match outcome {
+                    CacheOutcome::Hit => c.hits.fetch_add(1, Ordering::Relaxed),
+                    CacheOutcome::MissCold => c.cold_misses.fetch_add(1, Ordering::Relaxed),
+                    CacheOutcome::MissCapacity => c.capacity_misses.fetch_add(1, Ordering::Relaxed),
+                    CacheOutcome::MissCollision => {
+                        c.collision_misses.fetch_add(1, Ordering::Relaxed)
+                    }
+                };
+            }
+            Event::KeyDerivation { micros } => {
+                self.incr(Counter::KeyDerivations);
+                self.observe(Histogram::KeyDerivationMicros, micros);
+            }
+            Event::ReplayDrop { .. } => self.incr(Counter::ReplayDrops),
+            Event::MacDrop => self.incr(Counter::MacDrops),
+            Event::MalformedDrop => self.incr(Counter::MalformedDrops),
+            Event::Fragmented { fragments } => {
+                self.incr(Counter::FragmentedDatagrams);
+                self.add(Counter::FragmentsProduced, fragments as u64);
+            }
+            Event::Reassembled => self.incr(Counter::ReassembledDatagrams),
+            Event::ReassemblyTimeout => self.incr(Counter::ReassemblyTimeouts),
+            Event::MrtRetransmit => self.incr(Counter::MrtRetransmits),
+            Event::Send { bytes } => {
+                self.incr(Counter::Sends);
+                self.observe(Histogram::SendBytes, bytes);
+            }
+            Event::Receive { bytes } => {
+                self.incr(Counter::Receives);
+                self.observe(Histogram::ReceiveBytes, bytes);
+            }
+        }
+    }
+
+    /// The flight recorder's contents, oldest first.
+    pub fn events(&self) -> Vec<EventRecord> {
+        let rec = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+        if rec.buf.len() < self.capacity || self.capacity == 0 {
+            rec.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&rec.buf[rec.write..]);
+            out.extend_from_slice(&rec.buf[..rec.write]);
+            out
+        }
+    }
+
+    /// Point-in-time snapshot of every non-zero counter, the cache
+    /// counters, the histograms, and the flight recorder.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        for c in Counter::ALL {
+            let v = self.counter(c);
+            if v > 0 {
+                snap.add(c.name(), v);
+            }
+        }
+        for kind in CacheKind::ALL {
+            let c = &self.caches[kind.index()];
+            let pairs = [
+                ("hits", c.hits.load(Ordering::Relaxed)),
+                ("cold_misses", c.cold_misses.load(Ordering::Relaxed)),
+                ("capacity_misses", c.capacity_misses.load(Ordering::Relaxed)),
+                (
+                    "collision_misses",
+                    c.collision_misses.load(Ordering::Relaxed),
+                ),
+                ("insertions", c.insertions.load(Ordering::Relaxed)),
+                ("evictions", c.evictions.load(Ordering::Relaxed)),
+            ];
+            for (field, v) in pairs {
+                if v > 0 {
+                    snap.add(&format!("cache.{}.{}", kind.name(), field), v);
+                }
+            }
+        }
+        for h in Histogram::ALL {
+            let hs = self.histograms[h.index()].snapshot();
+            if !hs.buckets.is_empty() {
+                snap.histograms.insert(h.name().to_string(), hs);
+            }
+        }
+        snap.events = self.events();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Direction, FlowStartKind};
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.incr(Counter::Encryptions);
+        reg.add(Counter::Encryptions, 2);
+        assert_eq!(reg.counter(Counter::Encryptions), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("endpoint.encryptions"), 3);
+        assert_eq!(snap.counter("endpoint.sends"), 0);
+    }
+
+    #[test]
+    fn events_drive_counters_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.record(Event::Send { bytes: 100 });
+        reg.record(Event::Send { bytes: 200 });
+        reg.record(Event::KeyDerivation { micros: 5 });
+        reg.record(Event::CacheLookup {
+            kind: CacheKind::Tfkc,
+            outcome: CacheOutcome::Hit,
+        });
+        reg.record(Event::CacheLookup {
+            kind: CacheKind::Tfkc,
+            outcome: CacheOutcome::MissCold,
+        });
+        reg.record(Event::HookEntry {
+            dir: Direction::Output,
+        });
+        reg.record(Event::HookExit {
+            dir: Direction::Output,
+            ok: true,
+        });
+        reg.record(Event::FamClassify {
+            sfl: 9,
+            start: FlowStartKind::Fresh,
+            repeated: false,
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("endpoint.sends"), 2);
+        assert_eq!(snap.counter("endpoint.key_derivations"), 1);
+        assert_eq!(snap.counter("cache.tfkc.hits"), 1);
+        assert_eq!(snap.counter("cache.tfkc.cold_misses"), 1);
+        assert_eq!(snap.counter("hooks.output_entries"), 1);
+        assert_eq!(snap.counter("hooks.output_ok"), 1);
+        assert_eq!(snap.counter("fam.classifications"), 1);
+        assert_eq!(snap.counter("fam.flows_started"), 1);
+        assert!(snap.histograms.contains_key("send_bytes"));
+        assert_eq!(snap.events.len(), 8);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let reg = MetricsRegistry::with_event_capacity(4);
+        for i in 0..10u64 {
+            reg.record(Event::Send { bytes: i });
+        }
+        let events = reg.events();
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_events_not_counters() {
+        let reg = MetricsRegistry::with_event_capacity(0);
+        reg.record(Event::MacDrop);
+        assert!(reg.events().is_empty());
+        assert_eq!(reg.counter(Counter::MacDrops), 1);
+    }
+
+    #[test]
+    fn time_source_stamps_events() {
+        let reg = MetricsRegistry::new().with_time_source(|| 42);
+        reg.record(Event::Reassembled);
+        assert_eq!(reg.events()[0].t_us, 42);
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+}

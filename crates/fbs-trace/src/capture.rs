@@ -35,8 +35,7 @@ pub fn records_from_frames(frames: &[(u64, Vec<u8>)]) -> Vec<PacketRecord> {
             Some(PacketRecord {
                 t_ms: t_us / 1000,
                 tuple,
-                len: (packet.header.total_len as usize)
-                    .saturating_sub(IPV4_HEADER_LEN) as u32,
+                len: (packet.header.total_len as usize).saturating_sub(IPV4_HEADER_LEN) as u32,
             })
         })
         .collect()
@@ -59,8 +58,7 @@ pub fn records_from_frames_host_level(frames: &[(u64, Vec<u8>)]) -> Vec<PacketRe
                     daddr: packet.header.dst,
                     dport: 0,
                 },
-                len: (packet.header.total_len as usize)
-                    .saturating_sub(IPV4_HEADER_LEN) as u32,
+                len: (packet.header.total_len as usize).saturating_sub(IPV4_HEADER_LEN) as u32,
             })
         })
         .collect()
@@ -116,10 +114,8 @@ mod tests {
         // flow simulation. Five distinct source ports ⇒ five flows.
         let frames = plain_network_with_traffic();
         let records = records_from_frames(&frames);
-        let result = crate::flowsim::simulate_flows(
-            &records,
-            &crate::flowsim::FlowSimConfig::default(),
-        );
+        let result =
+            crate::flowsim::simulate_flows(&records, &crate::flowsim::FlowSimConfig::default());
         assert_eq!(result.flows_started, 5);
         assert_eq!(result.classifications, 5);
     }
@@ -129,6 +125,8 @@ mod tests {
         let frames = plain_network_with_traffic();
         let records = records_from_frames_host_level(&frames);
         assert_eq!(records.len(), 5);
-        assert!(records.iter().all(|r| r.tuple.sport == 0 && r.tuple.dport == 0));
+        assert!(records
+            .iter()
+            .all(|r| r.tuple.sport == 0 && r.tuple.dport == 0));
     }
 }

@@ -51,6 +51,19 @@ pub struct FlowSimResult {
     pub collisions: u64,
 }
 
+impl FlowSimResult {
+    /// Fold the FAM-level counters into a snapshot under the `fam.*`
+    /// names a live [`fbs_obs::MetricsRegistry`] uses, so trace-driven
+    /// simulations export through the same `--metrics` pipeline as
+    /// instrumented endpoints.
+    pub fn contribute(&self, snap: &mut fbs_obs::MetricsSnapshot) {
+        snap.add("fam.classifications", self.classifications);
+        snap.add("fam.flows_started", self.flows_started);
+        snap.add("fam.repeated_flows", self.repeated_flows);
+        snap.add("fam.collisions", self.collisions);
+    }
+}
+
 /// Run the Fig. 7 policy over `trace`, one FAM per source host.
 pub fn simulate_flows(trace: &[PacketRecord], cfg: &FlowSimConfig) -> FlowSimResult {
     let mut fams: HashMap<[u8; 4], Fam<FiveTuple, FiveTuplePolicy>> = HashMap::new();
@@ -198,9 +211,11 @@ pub fn simulate_cache(trace: &[PacketRecord], cfg: &CacheSimConfig) -> CacheStat
         let class = fam.classify(r.tuple, now, r.len as u64);
         let hash = cfg.hash;
         let cache = caches.entry(r.tuple.saddr).or_insert_with(|| {
-            SoftCache::new(cfg.cache_slots / cfg.assoc, cfg.assoc, move |k: &CacheKey| {
-                hash_key(hash, k)
-            })
+            SoftCache::new(
+                cfg.cache_slots / cfg.assoc,
+                cfg.assoc,
+                move |k: &CacheKey| hash_key(hash, k),
+            )
             .with_classification()
         });
         let key = (class.sfl, r.tuple.daddr);
@@ -443,8 +458,7 @@ mod tests {
             // Cold misses are the floor; capacity+collision misses are
             // what cache size can eliminate.
             avoidable.push(
-                (stats.capacity_misses + stats.collision_misses) as f64
-                    / stats.lookups() as f64,
+                (stats.capacity_misses + stats.collision_misses) as f64 / stats.lookups() as f64,
             );
         }
         assert!(

@@ -126,7 +126,7 @@ impl TraceBuilder {
                 sport: sp,
                 daddr: d,
                 dport: dp,
-                },
+            },
             len,
         });
     }
@@ -201,7 +201,15 @@ pub fn generate_campus_trace(cfg: &CampusConfig) -> Vec<PacketRecord> {
             for k in 0..rng.gen_range(4..10) {
                 let ct = t + k as f64 * rng.gen_range(0.5..3.0);
                 tb.push(ct, TCP, me, cport, server, 21, rng.gen_range(10..80));
-                tb.push(ct + 0.02, TCP, server, 21, me, cport, rng.gen_range(20..200));
+                tb.push(
+                    ct + 0.02,
+                    TCP,
+                    server,
+                    21,
+                    me,
+                    cport,
+                    rng.gen_range(20..200),
+                );
             }
             // Bulk transfer: log-uniform 10 KB .. 4 MB, MSS packets
             // back-to-back at roughly 10 Mb/s.
@@ -246,7 +254,15 @@ pub fn generate_campus_trace(cfg: &CampusConfig) -> Vec<PacketRecord> {
             while s < t + session_len {
                 tb.push(s, TCP, server, 6000, me, cport, rng.gen_range(64..2048));
                 if rng.gen_bool(0.5) {
-                    tb.push(s + 0.01, TCP, me, cport, server, 6000, rng.gen_range(8..128));
+                    tb.push(
+                        s + 0.01,
+                        TCP,
+                        me,
+                        cport,
+                        server,
+                        6000,
+                        rng.gen_range(8..128),
+                    );
                 }
                 s += exp(&mut rng, 2.0).max(0.05);
             }
@@ -258,7 +274,15 @@ pub fn generate_campus_trace(cfg: &CampusConfig) -> Vec<PacketRecord> {
         while t < horizon {
             let cport = ports.ephemeral(me);
             tb.push(t, UDP, me, cport, DNS_SERVER, 53, rng.gen_range(40..80));
-            tb.push(t + 0.005, UDP, DNS_SERVER, 53, me, cport, rng.gen_range(80..300));
+            tb.push(
+                t + 0.005,
+                UDP,
+                DNS_SERVER,
+                53,
+                me,
+                cport,
+                rng.gen_range(80..300),
+            );
             t += exp(&mut rng, 3600.0 / cfg.dns_per_hour.max(1e-9));
         }
     }
@@ -303,7 +327,15 @@ pub fn generate_www_trace(cfg: &WwwConfig) -> Vec<PacketRecord> {
         ];
         let cport = ports.ephemeral(client);
         // Request.
-        tb.push(t, TCP, client, cport, WWW_SERVER, 80, rng.gen_range(200..600));
+        tb.push(
+            t,
+            TCP,
+            client,
+            cport,
+            WWW_SERVER,
+            80,
+            rng.gen_range(200..600),
+        );
         // Response: log-uniform 1 KB .. 200 KB.
         let size_kb = 1.0 * (200.0f64).powf(rng.gen_range(0.0..1.0));
         let packets = ((size_kb * 1024.0) / 1460.0).ceil() as u64;
@@ -403,10 +435,7 @@ mod tests {
         let trace = generate_www_trace(&cfg);
         // ~10k/day ⇒ ~417 hits/hour; count distinct request packets
         // (client→server port 80).
-        let hits = trace
-            .iter()
-            .filter(|r| r.tuple.dport == 80)
-            .count();
+        let hits = trace.iter().filter(|r| r.tuple.dport == 80).count();
         assert!((200..700).contains(&hits), "hits {hits}");
     }
 

@@ -1,5 +1,11 @@
 //! Small statistics toolkit for the figure-regeneration binaries:
 //! log-bucketed histograms, CDF sampling, and fixed-width text tables.
+//!
+//! [`LogHistogram`] shares its bucketing with the registry histograms in
+//! `fbs-obs`, and converts to/from [`HistogramSnapshot`] so figure
+//! binaries can export either through the same `--metrics` pipeline.
+
+use fbs_obs::HistogramSnapshot;
 
 /// A histogram over power-of-two buckets: bucket k holds values in
 /// `[2^k, 2^(k+1))` (bucket 0 holds 0 and 1).
@@ -41,6 +47,8 @@ impl LogHistogram {
                 cum += c;
                 let (lo, hi) = if k == 0 {
                     (0, 1)
+                } else if k >= 63 {
+                    (1u64 << 63, u64::MAX)
                 } else {
                     (1u64 << k, (1u64 << (k + 1)) - 1)
                 };
@@ -52,6 +60,46 @@ impl LogHistogram {
     /// Total observations.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// View as an [`fbs_obs::HistogramSnapshot`] (non-empty buckets only).
+    /// The bucketing is identical, so the conversion is lossless.
+    pub fn to_snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| {
+                let lo = if k == 0 { 0 } else { 1u64 << k };
+                let hi = if k >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (k + 1)) - 1
+                };
+                (lo, hi, c)
+            })
+            .collect();
+        HistogramSnapshot { buckets }
+    }
+
+    /// Rebuild from a registry [`HistogramSnapshot`] (e.g. to reuse the
+    /// CDF/percentile helpers on a live registry's latency histogram).
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        let mut h = LogHistogram::new();
+        for &(lo, _, count) in &snap.buckets {
+            let bucket = if lo <= 1 {
+                0
+            } else {
+                63 - lo.leading_zeros() as usize
+            };
+            if h.counts.len() <= bucket {
+                h.counts.resize(bucket + 1, 0);
+            }
+            h.counts[bucket] += count;
+            h.total += count;
+        }
+        h
     }
 }
 
@@ -75,9 +123,7 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((sorted.len() as f64 * p / 100.0).ceil() as usize)
-        .clamp(1, sorted.len())
-        - 1;
+    let idx = ((sorted.len() as f64 * p / 100.0).ceil() as usize).clamp(1, sorted.len()) - 1;
     sorted[idx]
 }
 
@@ -153,6 +199,19 @@ mod tests {
         assert_eq!(rows[3].2, 1);
         assert_eq!((rows[9].0, rows[9].1, rows[9].2), (512, 1023, 1));
         assert!((rows.last().unwrap().3 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_lossless() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 5, 8, 9, 4096, u64::MAX] {
+            h.add(v);
+        }
+        let snap = h.to_snapshot();
+        assert_eq!(snap.count(), h.total());
+        let back = LogHistogram::from_snapshot(&snap);
+        assert_eq!(back.rows(), h.rows());
+        assert_eq!(back.total(), h.total());
     }
 
     #[test]

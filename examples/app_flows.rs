@@ -59,8 +59,8 @@ fn main() {
     let mut fam = Fam::new(32, policy, SflAllocator::new(0x515));
 
     let schedule: [(&str, usize, usize); 3] = [
-        ("video", 40, 1200),    // 40 frames of 1200 B
-        ("audio", 100, 160),    // 100 packets of 160 B
+        ("video", 40, 1200),      // 40 frames of 1200 B
+        ("audio", 100, 160),      // 100 packets of 160 B
         ("whiteboard", 30, 3000), // 30 edits of 3000 B — crosses 64 KB
     ];
 

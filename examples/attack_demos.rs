@@ -12,8 +12,8 @@
 use fbs::baselines::{HostPairService, SecureDatagramService};
 use fbs::core::policy::IdleTimeoutPolicy;
 use fbs::core::{
-    derive_flow_key, Datagram, Fam, FbsConfig, FbsEndpoint, FbsError, KeyDerivation,
-    ManualClock, MasterKeyDaemon, PinnedDirectory, Principal, SflAllocator,
+    derive_flow_key, Datagram, Fam, FbsConfig, FbsEndpoint, FbsError, KeyDerivation, ManualClock,
+    MasterKeyDaemon, PinnedDirectory, Principal, SflAllocator,
 };
 use fbs::crypto::dh::{DhGroup, PrivateValue};
 use fbs::net::ports::PortAllocator;
@@ -64,7 +64,10 @@ fn demo_cut_and_paste() {
         "  host-pair keying: datagram recorded in conversation 1, replayed in\n\
          conversation 2 -> {}",
         match spliced {
-            Ok(p) => format!("ACCEPTED ({:?}) — attack succeeds", String::from_utf8_lossy(&p)),
+            Ok(p) => format!(
+                "ACCEPTED ({:?}) — attack succeeds",
+                String::from_utf8_lossy(&p)
+            ),
             Err(e) => format!("rejected ({e}) — unexpected!"),
         }
     );
@@ -91,7 +94,8 @@ fn demo_replay() {
     println!(
         "  immediate replay (inside ±2 min window): {}",
         match replay_now {
-            Ok(_) => "accepted — as the paper admits, in-window replay succeeds;\n\
+            Ok(_) =>
+                "accepted — as the paper admits, in-window replay succeeds;\n\
                       higher layers must sequence",
             Err(_) => "rejected",
         }
@@ -134,8 +138,7 @@ fn demo_port_reuse() {
     let mut fam = Fam::new(64, IdleTimeoutPolicy::new(600), SflAllocator::new(9));
     let victim_flow = fam.classify("tcp:10.0.0.5:3022->10.0.0.9:79".to_string(), 1_000, 64);
     // Victim exits; attacker rebinds port 3022 ten seconds later.
-    let attacker_flow =
-        fam.classify("tcp:10.0.0.5:3022->10.0.0.9:79".to_string(), 1_010, 64);
+    let attacker_flow = fam.classify("tcp:10.0.0.5:3022->10.0.0.9:79".to_string(), 1_010, 64);
     println!(
         "  vulnerable allocator: victim flow sfl={}, attacker inherits sfl={} -> {}",
         victim_flow.sfl,

@@ -102,9 +102,18 @@ fn demo() {
     let mut fam_b = Fam::new(32, IdleTimeoutPolicy::new(600), SflAllocator::new(2));
 
     let script = [
-        ("alice", "hi bob — this datagram was DES-encrypted under a flow key"),
-        ("bob", "hi alice — and no key-exchange packet ever crossed the wire"),
-        ("alice", "the sfl in the header let you derive the key yourself"),
+        (
+            "alice",
+            "hi bob — this datagram was DES-encrypted under a flow key",
+        ),
+        (
+            "bob",
+            "hi alice — and no key-exchange packet ever crossed the wire",
+        ),
+        (
+            "alice",
+            "the sfl in the header let you derive the key yourself",
+        ),
         ("bob", "zero-message keying. neat trick for 1997."),
     ];
     for (who, line) in script {
@@ -129,7 +138,11 @@ fn demo() {
 }
 
 fn interactive(role: &str, local: &str, peer: Option<&str>) {
-    let peer_role = if role == "listen" { "connect" } else { "listen" };
+    let peer_role = if role == "listen" {
+        "connect"
+    } else {
+        "listen"
+    };
     let transport = UdpTransport::bind(local).expect("bind");
     let mut endpoint = endpoint_for(role, peer_role);
     let mut fam = Fam::new(32, IdleTimeoutPolicy::new(600), SflAllocator::new(7));
@@ -165,9 +178,7 @@ fn interactive(role: &str, local: &str, peer: Option<&str>) {
             continue;
         }
         match &peer_addr {
-            Some(addr) => {
-                send_line(&mut endpoint, &mut fam, &transport, addr, peer_role, line)
-            }
+            Some(addr) => send_line(&mut endpoint, &mut fam, &transport, addr, peer_role, line),
             None => println!("[no peer yet — wait for an incoming message]"),
         }
     }
@@ -177,7 +188,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         None => demo(),
-        Some("listen") => interactive("listen", args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7001"), None),
+        Some("listen") => interactive(
+            "listen",
+            args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7001"),
+            None,
+        ),
         Some("connect") => {
             let local = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7002");
             let peer = args.get(3).map(String::as_str).unwrap_or("127.0.0.1:7001");

@@ -137,9 +137,6 @@ fn main() {
         "  -> {} readable transport records: ports and payloads are gone;\n\
          \u{20}    only addresses and opaque flow labels remain (host-level flow\n\
          \u{20}    analysis is all an eavesdropper gets)",
-        records
-            .iter()
-            .filter(|r| r.tuple.dport == 4242)
-            .count()
+        records.iter().filter(|r| r.tuple.dport == 4242).count()
     );
 }

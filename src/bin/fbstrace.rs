@@ -3,8 +3,8 @@
 //! ```text
 //! fbstrace gen-campus [minutes] [seed] > campus.trace
 //! fbstrace gen-www    [minutes] [seed] > www.trace
-//! fbstrace analyze    <file> [threshold_secs]
-//! fbstrace cache      <file> [slots]
+//! fbstrace analyze    <file> [threshold_secs] [--metrics <path.json>]
+//! fbstrace cache      <file> [slots] [--metrics <path.json>]
 //! ```
 //!
 //! Traces are plain text, one packet per line (`t_ms proto saddr sport
@@ -24,9 +24,26 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  fbstrace gen-campus [minutes] [seed]\n  fbstrace gen-www [minutes] [seed]\n  \
-         fbstrace analyze <file> [threshold_secs]\n  fbstrace cache <file> [slots]"
+         fbstrace analyze <file> [threshold_secs] [--metrics <path.json>]\n  \
+         fbstrace cache <file> [slots] [--metrics <path.json>]"
     );
     exit(2)
+}
+
+/// The path following a `--metrics` flag, if one was given.
+fn metrics_path(args: &[String]) -> Option<&String> {
+    args.iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+}
+
+/// Write a metrics snapshot as JSON to `path`.
+fn write_metrics(path: &str, snap: &fbs_obs::MetricsSnapshot) {
+    if let Err(e) = std::fs::write(path, snap.to_json()) {
+        eprintln!("cannot write metrics to {path}: {e}");
+        exit(1);
+    }
+    eprintln!("metrics written to {path}");
 }
 
 fn main() {
@@ -87,10 +104,7 @@ fn main() {
                     "median flow bytes".into(),
                     percentile(&bytes, 50.0).to_string(),
                 ],
-                vec![
-                    "mean duration s".into(),
-                    format!("{:.1}", mean(&durations)),
-                ],
+                vec!["mean duration s".into(), format!("{:.1}", mean(&durations))],
                 vec![
                     "top-10% byte share".into(),
                     format!("{:.1}%", 100.0 * elephant_share(&result, 0.10)),
@@ -101,6 +115,17 @@ fn main() {
                 ],
             ];
             println!("{}", render_table(&["metric", "value"], &rows));
+            if let Some(path) = metrics_path(&args) {
+                let mut snap = fbs_obs::MetricsSnapshot::new();
+                result.contribute(&mut snap);
+                let mut hist = fbs::trace::stats::LogHistogram::new();
+                for &d in &durations {
+                    hist.add(d);
+                }
+                snap.histograms
+                    .insert("flow_duration_s".into(), hist.to_snapshot());
+                write_metrics(path, &snap);
+            }
         }
         Some("cache") => {
             let Some(path) = args.get(2) else { usage() };
@@ -119,14 +144,12 @@ fn main() {
                     hash: CacheHash::Crc32,
                 },
             );
-            println!(
-                "{} lookups: {:.2}% miss ({} cold, {} capacity, {} collision)",
-                stats.lookups(),
-                100.0 * stats.miss_rate(),
-                stats.cold_misses,
-                stats.capacity_misses,
-                stats.collision_misses,
-            );
+            println!("{stats}");
+            if let Some(path) = metrics_path(&args) {
+                let mut snap = fbs_obs::MetricsSnapshot::new();
+                stats.contribute(fbs_obs::CacheKind::Tfkc, &mut snap);
+                write_metrics(path, &snap);
+            }
         }
         _ => usage(),
     }

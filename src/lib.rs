@@ -64,6 +64,7 @@
 //! | [`ip`] | the §7 IP mapping: 5-tuple policy, combined FST/TFKC, stack hooks |
 //! | [`baselines`] | §2 comparators: host-pair, per-datagram, KDC, negotiated sessions |
 //! | [`trace`] | §7.3 workload models and flow-simulation programs |
+//! | [`obs`] | metrics registry, flight-recorder event tracing, exporters |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure.
@@ -76,4 +77,5 @@ pub use fbs_core as core;
 pub use fbs_crypto as crypto;
 pub use fbs_ip as ip;
 pub use fbs_net as net;
+pub use fbs_obs as obs;
 pub use fbs_trace as trace;

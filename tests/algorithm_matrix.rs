@@ -4,8 +4,8 @@
 //! field in action).
 
 use fbs::core::{
-    Datagram, EncAlgorithm, FbsConfig, FbsEndpoint, KeyDerivation, ManualClock,
-    MasterKeyDaemon, PinnedDirectory, Principal,
+    Datagram, EncAlgorithm, FbsConfig, FbsEndpoint, KeyDerivation, ManualClock, MasterKeyDaemon,
+    PinnedDirectory, Principal,
 };
 use fbs::crypto::dh::{DhGroup, PrivateValue};
 use fbs::crypto::MacAlgorithm;
@@ -103,10 +103,7 @@ fn receiver_uses_header_algorithms_not_its_own_config() {
         b"negotiation-free agility".to_vec(),
     );
     let pd = tx.send(1, d, true).unwrap();
-    assert_eq!(
-        rx.receive(pd).unwrap().body,
-        b"negotiation-free agility"
-    );
+    assert_eq!(rx.receive(pd).unwrap().body, b"negotiation-free agility");
 }
 
 #[test]

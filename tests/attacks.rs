@@ -7,8 +7,8 @@ use fbs::baselines::{HostPairService, SecureDatagramService};
 use fbs::cert::{CertificateAuthority, Directory, Pvc};
 use fbs::core::policy::IdleTimeoutPolicy;
 use fbs::core::{
-    Datagram, Fam, FbsConfig, FbsEndpoint, FbsError, ManualClock, MasterKeyDaemon,
-    PinnedDirectory, Principal, ProtectedDatagram, SflAllocator,
+    Datagram, Fam, FbsConfig, FbsEndpoint, FbsError, ManualClock, MasterKeyDaemon, PinnedDirectory,
+    Principal, ProtectedDatagram, SflAllocator,
 };
 use fbs::crypto::dh::{DhGroup, PrivateValue};
 use std::sync::Arc;
@@ -72,7 +72,10 @@ fn bit_flips_anywhere_in_wire_payload_are_caught() {
             Ok(d) => {
                 // Only acceptable if the flip hit a bit the protocol
                 // legitimately ignores AND the payload is untouched.
-                assert_eq!(d.body, b"sixteen byte msg", "flip at byte {i} accepted with altered body");
+                assert_eq!(
+                    d.body, b"sixteen byte msg",
+                    "flip at byte {i} accepted with altered body"
+                );
                 accepted_identical += 1;
             }
         }
@@ -161,7 +164,11 @@ fn cross_pair_splice_fails() {
         MasterKeyDaemon::new(c_priv, Box::new(dc)),
     );
     let pd = a
-        .send(5, Datagram::new(alice.clone(), bob, b"for bob only".to_vec()), true)
+        .send(
+            5,
+            Datagram::new(alice.clone(), bob, b"for bob only".to_vec()),
+            true,
+        )
         .unwrap();
     // Redirect to carol.
     let redirected = ProtectedDatagram {
@@ -208,8 +215,7 @@ fn certificate_substitution_is_caught_by_pvc_verification() {
     let clock = ManualClock::starting_at(1000);
     let group = DhGroup::test_group();
     let victim = Principal::named("victim");
-    let attacker_pv =
-        PrivateValue::from_entropy(group, b"attacker-owned-value").public_value();
+    let attacker_pv = PrivateValue::from_entropy(group, b"attacker-owned-value").public_value();
     // The directory serves a certificate issued by the ROGUE ca binding
     // the victim's name to the attacker's public value.
     dir.publish(rogue.issue(victim.clone(), attacker_pv, 0, u64::MAX));

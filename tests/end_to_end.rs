@@ -73,7 +73,11 @@ fn concurrent_mrt_and_udp_over_one_pair() {
 
 #[test]
 fn survives_loss_duplication_corruption_and_reordering() {
-    let mut net = lan(3, Impairments::lossy(0.12, 2_000), IpMappingConfig::default());
+    let mut net = lan(
+        3,
+        Impairments::lossy(0.12, 2_000),
+        IpMappingConfig::default(),
+    );
     let ha = net.add_host(A);
     let hb = net.add_host(B);
     net.host_mut(B).mrt.listen(80);
@@ -90,7 +94,10 @@ fn survives_loss_duplication_corruption_and_reordering() {
             break;
         }
     }
-    assert_eq!(got, data, "reliable, authenticated transfer over bad medium");
+    assert_eq!(
+        got, data,
+        "reliable, authenticated transfer over bad medium"
+    );
     // The medium really did injure frames...
     let seg = net.net.segment.stats();
     assert!(seg.lost > 0, "impairments active: {seg:?}");

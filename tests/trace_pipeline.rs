@@ -88,6 +88,9 @@ fn www_and_campus_have_distinct_signatures() {
     );
     let campus_max = flow_durations(&campus).last().copied().unwrap_or(0);
     let www_max = flow_durations(&www).last().copied().unwrap_or(0);
-    assert!(campus_max > 300, "campus has long-lived flows: {campus_max}");
+    assert!(
+        campus_max > 300,
+        "campus has long-lived flows: {campus_max}"
+    );
     assert!(www_max < 300, "www flows are short: {www_max}");
 }

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in hermetic environments with no access to
+//! crates.io, so external dependencies are replaced by minimal local
+//! crates exposing exactly the API surface the workspace uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] with [`BenchmarkId`],
+//! [`Throughput::Bytes`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: per benchmark it calibrates an
+//! iteration count to a fixed wall-clock budget, takes `sample_size`
+//! samples, and reports the median with min/max spread — no HTML
+//! reports, no statistical regression machinery. Good enough to rank
+//! variants and catch large regressions, which is all the workspace's
+//! benches are used for offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time budget used when calibrating iteration counts.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            throughput: None,
+            sample_size,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Abstract elements handled per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id like `"name/parameter"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion of the various accepted id types into a display string.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput and sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id, b.result);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.result);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; kept for API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, result: Option<Sample>) {
+        let Some(s) = result else {
+            println!("{}/{id}: no measurement (iter not called)", self.name);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mib_s = n as f64 / s.median_ns / 1e-9 / (1024.0 * 1024.0);
+                format!("  {mib_s:10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let elem_s = n as f64 / (s.median_ns * 1e-9);
+                format!("  {elem_s:10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: {} [{} .. {}]{rate}",
+            self.name,
+            fmt_ns(s.median_ns),
+            fmt_ns(s.min_ns),
+            fmt_ns(s.max_ns),
+        );
+    }
+}
+
+/// One benchmark's aggregated timing (nanoseconds per iteration).
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times a closure over a calibrated number of iterations.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Sample>,
+}
+
+impl Bencher {
+    /// Measure `f`: calibrate an iteration count against the sample
+    /// budget, then record `sample_size` samples of mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: double iterations until one batch fills the
+        // budget, starting from a single (possibly slow) call.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_BUDGET || iters >= 1 << 30 {
+                break;
+            }
+            // Aim directly at the budget once we have a usable signal.
+            if elapsed > Duration::from_micros(50) {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                iters = ((SAMPLE_BUDGET.as_secs_f64() / per_iter) as u64).clamp(iters + 1, 1 << 30);
+            } else {
+                iters *= 8;
+            }
+        }
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Sample {
+            median_ns: samples_ns[samples_ns.len() / 2],
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().unwrap(),
+        });
+    }
+}
+
+impl fmt::Debug for Bencher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Bencher")
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(64));
+        g.sample_size(3);
+        g.bench_function("xor-fold", |b| {
+            let data = [0xA5u8; 64];
+            b.iter(|| data.iter().fold(0u8, |a, &x| a ^ x))
+        });
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+}
