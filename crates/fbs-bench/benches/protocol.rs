@@ -9,9 +9,10 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use fbs_bench::endpoints::{endpoint_pair, principals};
 use fbs_core::policy::IdleTimeoutPolicy;
 use fbs_core::{Datagram, FbsConfig};
-use fbs_core::{Fam, FlowKey, SflAllocator};
+use fbs_core::{Fam, FlowKey, SealedFlowKey, SflAllocator};
 use fbs_crypto::dh::DhGroup;
 use fbs_ip::CombinedTable;
+use std::sync::Arc;
 
 fn dgram(payload: usize) -> Datagram {
     let (s, d) = principals();
@@ -78,14 +79,18 @@ fn bench_lookup_paths(c: &mut Criterion) {
     let mut combined = CombinedTable::new(64, 600, SflAllocator::new(1));
     combined
         .lookup(tuple, 0, |sfl| {
-            Ok::<_, ()>(FlowKey(sfl.to_be_bytes().to_vec()))
+            Ok::<_, ()>(Arc::new(SealedFlowKey::seal(FlowKey(
+                sfl.to_be_bytes().repeat(2),
+            ))))
         })
         .unwrap();
     g.bench_function("combined-fst-tfkc", |b| {
         b.iter(|| {
             combined
                 .lookup(black_box(tuple), 1, |sfl| {
-                    Ok::<_, ()>(FlowKey(sfl.to_be_bytes().to_vec()))
+                    Ok::<_, ()>(Arc::new(SealedFlowKey::seal(FlowKey(
+                        sfl.to_be_bytes().repeat(2),
+                    ))))
                 })
                 .unwrap()
         })

@@ -1,0 +1,118 @@
+//! Fast-path throughput bench — emits `BENCH_fastpath.json`.
+//!
+//! `cargo run --release -p fbs-bench --bin fastpath_bench
+//!  [-- <count>] [--payload <bytes>] [--des | --mac-only] [--out <path.json>] [--csv]`
+//!
+//! Default mode is NOP crypto — the paper's §7.3 device for isolating
+//! protocol-processing cost, which is what the fast path optimises; pass
+//! `--des` or `--mac-only` for the real-crypto variants.
+//!
+//! Measures the zero-copy `seal_into`/`BufferPool` path against the legacy
+//! allocating `send`/`encode_payload` path, and the `ParallelSealer` at
+//! 1/2/4 workers (pooled vs unpooled). A counting global allocator lives
+//! here, in the binary: the library crates `forbid(unsafe_code)`, and a
+//! `#[global_allocator]` needs `unsafe impl GlobalAlloc`.
+
+use fbs_bench::fastpath;
+use fbs_bench::{arg_num, emit};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting every alloc/realloc across all
+/// threads (sealer workers included).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let count = arg_num().unwrap_or(2000) as usize;
+    let payload: usize = flag_value("--payload")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512);
+    let mode = if std::env::args().any(|a| a == "--des") {
+        fastpath::Mode::DesMd5
+    } else if std::env::args().any(|a| a == "--mac-only") {
+        fastpath::Mode::MacOnly
+    } else {
+        fastpath::Mode::Nop
+    };
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_fastpath.json".into());
+
+    let report = fastpath::run(payload, count, mode, &|| ALLOCS.load(Ordering::Relaxed));
+
+    let fmt = |r: &fastpath::Rate| {
+        vec![
+            format!("{:.0}", r.datagrams_per_sec),
+            format!("{:.0}", r.bytes_per_sec / 1e6),
+            format!("{:.2}", r.allocs_per_datagram),
+        ]
+    };
+    let mut rows: Vec<Vec<String>> = vec![
+        [vec!["legacy send".into()], fmt(&report.legacy)].concat(),
+        [vec!["inline pooled".into()], fmt(&report.inline_pooled)].concat(),
+        [vec!["inline unpooled".into()], fmt(&report.inline_unpooled)].concat(),
+    ];
+    for s in &report.sealer {
+        rows.push(
+            [
+                vec![format!(
+                    "sealer {}w {}",
+                    s.workers,
+                    if s.pooled { "pooled" } else { "unpooled" }
+                )],
+                fmt(&s.rate),
+            ]
+            .concat(),
+        );
+    }
+    emit(
+        &format!(
+            "fast path vs legacy — {} B payloads × {}, mode={}, cpus={}",
+            report.payload_bytes,
+            report.count,
+            report.mode.name(),
+            report.cpus
+        ),
+        &["path", "dgrams/s", "MB/s", "allocs/dgram"],
+        &rows,
+    );
+    println!(
+        "\nspeedup (inline pooled vs legacy): {:.2}x",
+        report.speedup_pooled_1w_vs_legacy
+    );
+
+    match std::fs::write(&out, report.to_json()) {
+        Ok(()) => eprintln!("report written to {out}"),
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

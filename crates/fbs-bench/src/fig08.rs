@@ -216,7 +216,7 @@ fn scale_rate(rate_kbps: f64, speedup: f64) -> f64 {
     rate_kbps / speedup.max(1e-9)
 }
 
-/// Re-run a small DES+MD5 exchange with a live [`MetricsRegistry`]
+/// Re-run a small DES+MD5 exchange with a live [`fbs_obs::MetricsRegistry`]
 /// attached to both endpoints and return its snapshot — the `--metrics`
 /// output of the Fig. 8 binary. Run separately from the timed loops so
 /// instrumentation cannot skew the reported rates.

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod endpoints;
+pub mod fastpath;
 pub mod fig08;
 pub mod figs;
 pub mod paradigms;

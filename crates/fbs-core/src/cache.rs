@@ -294,39 +294,52 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
     /// Look up `key`, returning a clone of the value on hit. Updates LRU
     /// recency, statistics, and (when enabled) the 3C classifier.
     pub fn get(&mut self, key: &K) -> Option<V> {
+        self.get_ref(key).cloned()
+    }
+
+    /// Look up `key`, returning a borrow of the value on hit — the hot-path
+    /// accessor: identical LRU/stats/classifier/observation bookkeeping to
+    /// [`get`](Self::get), without cloning the value.
+    pub fn get_ref(&mut self, key: &K) -> Option<&V> {
         self.tick += 1;
         let tick = self.tick;
         let idx = self.set_index(key);
-        if let Some(slot) = self.sets[idx].iter_mut().find(|s| &s.key == key) {
-            slot.last_used = tick;
-            self.stats.hits += 1;
-            if let Some((seen, shadow)) = &mut self.classifier {
-                seen.insert(key.clone());
-                shadow.touch(key);
-            }
-            let value = slot.value.clone();
+        let pos = self.sets[idx].iter().position(|s| &s.key == key);
+        let Some(pos) = pos else {
+            // Miss path.
+            let miss = self.classify_miss(key);
             if let Some((reg, kind)) = &self.obs {
+                let outcome = match miss {
+                    MissKind::Cold => CacheOutcome::MissCold,
+                    MissKind::Capacity => CacheOutcome::MissCapacity,
+                    MissKind::Collision => CacheOutcome::MissCollision,
+                };
                 reg.record(Event::CacheLookup {
                     kind: *kind,
-                    outcome: CacheOutcome::Hit,
+                    outcome,
                 });
             }
-            return Some(value);
+            return None;
+        };
+        self.sets[idx][pos].last_used = tick;
+        self.stats.hits += 1;
+        if let Some((seen, shadow)) = &mut self.classifier {
+            seen.insert(key.clone());
+            shadow.touch(key);
         }
-        // Miss path.
-        let miss = self.classify_miss(key);
         if let Some((reg, kind)) = &self.obs {
-            let outcome = match miss {
-                MissKind::Cold => CacheOutcome::MissCold,
-                MissKind::Capacity => CacheOutcome::MissCapacity,
-                MissKind::Collision => CacheOutcome::MissCollision,
-            };
             reg.record(Event::CacheLookup {
                 kind: *kind,
-                outcome,
+                outcome: CacheOutcome::Hit,
             });
         }
-        None
+        Some(&self.sets[idx][pos].value)
+    }
+
+    /// Run `f` over the cached value on a hit, without cloning it. Same
+    /// bookkeeping as [`get`](Self::get).
+    pub fn with<R>(&mut self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.get_ref(key).map(f)
     }
 
     /// Detailed lookup for tests/experiments: like [`get`](Self::get) but
@@ -585,6 +598,21 @@ mod tests {
         assert!(line.contains("1 hits"), "{line}");
         assert!(line.contains("50.00% miss"), "{line}");
         assert!(line.contains("1 insertions"), "{line}");
+    }
+
+    #[test]
+    fn get_ref_and_with_match_get_bookkeeping() {
+        let mut a = direct(4).with_classification();
+        let mut b = direct(4).with_classification();
+        for k in 0u64..6 {
+            assert_eq!(a.get(&k), b.get_ref(&k).cloned());
+            a.insert(k, format!("{k}"));
+            b.insert(k, format!("{k}"));
+        }
+        for k in 0u64..6 {
+            assert_eq!(a.get(&k), b.with(&k, |v| v.clone()));
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -154,6 +154,48 @@ impl SecurityFlowHeader {
     /// Parse a header from the front of `buf`, returning the header and the
     /// number of bytes consumed.
     pub fn decode(buf: &[u8]) -> Result<(Self, usize)> {
+        let (view, used) = HeaderView::parse(buf)?;
+        Ok((
+            SecurityFlowHeader {
+                sfl: view.sfl,
+                confounder: view.confounder,
+                timestamp: view.timestamp,
+                mac_alg: view.mac_alg,
+                enc_alg: view.enc_alg,
+                plaintext_len: view.plaintext_len,
+                mac: view.mac.to_vec(),
+            },
+            used,
+        ))
+    }
+}
+
+/// A borrowed, allocation-free view of a decoded security flow header: the
+/// fixed fields plus the MAC as a slice into the original buffer. The open
+/// fast path parses with this; [`SecurityFlowHeader::decode`] is built on
+/// it, so both share one set of validation rules.
+#[derive(Clone, Copy, Debug)]
+pub struct HeaderView<'a> {
+    /// Security flow label.
+    pub sfl: u64,
+    /// Per-datagram confounder.
+    pub confounder: u32,
+    /// Minutes since the FBS epoch.
+    pub timestamp: u32,
+    /// MAC algorithm.
+    pub mac_alg: MacAlgorithm,
+    /// Encryption algorithm.
+    pub enc_alg: EncAlgorithm,
+    /// Plaintext body length before padding.
+    pub plaintext_len: u32,
+    /// The (possibly truncated) MAC bytes, borrowed from the wire buffer.
+    pub mac: &'a [u8],
+}
+
+impl<'a> HeaderView<'a> {
+    /// Parse a header from the front of `buf`, returning the view and the
+    /// number of bytes consumed.
+    pub fn parse(buf: &'a [u8]) -> Result<(Self, usize)> {
         if buf.len() < FIXED_PREFIX_LEN {
             return Err(FbsError::MalformedHeader("shorter than fixed prefix"));
         }
@@ -172,9 +214,9 @@ impl SecurityFlowHeader {
         if buf.len() < FIXED_PREFIX_LEN + mac_len {
             return Err(FbsError::MalformedHeader("truncated MAC"));
         }
-        let mac = buf[FIXED_PREFIX_LEN..FIXED_PREFIX_LEN + mac_len].to_vec();
+        let mac = &buf[FIXED_PREFIX_LEN..FIXED_PREFIX_LEN + mac_len];
         Ok((
-            SecurityFlowHeader {
+            HeaderView {
                 sfl,
                 confounder,
                 timestamp,
@@ -185,6 +227,29 @@ impl SecurityFlowHeader {
             },
             FIXED_PREFIX_LEN + mac_len,
         ))
+    }
+
+    /// The 64-bit DES IV: the 32-bit confounder duplicated (§7.2).
+    pub fn iv64(&self) -> u64 {
+        ((self.confounder as u64) << 32) | self.confounder as u64
+    }
+
+    /// Serialise this header into `out[..FIXED_PREFIX_LEN + mac.len()]` —
+    /// the in-place counterpart of [`SecurityFlowHeader::encode`], used by
+    /// the seal fast path to write straight into a pooled wire buffer.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than the encoded header.
+    pub fn encode_into(&self, out: &mut [u8]) {
+        out[0..8].copy_from_slice(&self.sfl.to_be_bytes());
+        out[8..12].copy_from_slice(&self.confounder.to_be_bytes());
+        out[12..16].copy_from_slice(&self.timestamp.to_be_bytes());
+        out[16] = self.mac_alg.wire_id();
+        out[17] = self.enc_alg.wire_id();
+        out[18] = self.mac.len() as u8;
+        out[19] = 0; // reserved
+        out[20..24].copy_from_slice(&self.plaintext_len.to_be_bytes());
+        out[FIXED_PREFIX_LEN..FIXED_PREFIX_LEN + self.mac.len()].copy_from_slice(self.mac);
     }
 }
 
@@ -278,6 +343,17 @@ mod tests {
     #[test]
     fn iv_duplicates_confounder() {
         assert_eq!(sample().iv64(), 0xDEADBEEF_DEADBEEF);
+    }
+
+    #[test]
+    fn view_encode_into_matches_encode() {
+        let h = sample();
+        let wire = h.encode();
+        let (view, used) = HeaderView::parse(&wire).unwrap();
+        let mut buf = vec![0u8; used];
+        view.encode_into(&mut buf);
+        assert_eq!(buf, h.encode());
+        assert_eq!(view.iv64(), h.iv64());
     }
 
     #[test]

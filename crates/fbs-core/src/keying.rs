@@ -8,7 +8,9 @@
 //! principals.
 
 use crate::principal::Principal;
-use fbs_crypto::{md5::Md5, sha1::Sha1};
+use fbs_crypto::des::TripleDes;
+use fbs_crypto::{md5::Md5, sha1::Sha1, Des};
+use std::sync::OnceLock;
 
 /// Hash used for flow-key derivation (the paper names MD5, SHS, even DES as
 /// candidates for `H`; we provide the two real hashes).
@@ -51,6 +53,57 @@ impl std::fmt::Debug for FlowKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material in logs.
         write!(f, "FlowKey(<{} bytes>)", self.0.len())
+    }
+}
+
+/// A [`FlowKey`] with its DES key schedule pre-expanded, so subkey expansion
+/// runs once per flow rather than once per datagram. The flow-key caches
+/// store these (behind `Arc`, making cache hits a refcount bump); the
+/// Triple-DES schedule is built lazily on first use since most deployments
+/// run single DES.
+pub struct SealedFlowKey {
+    key: FlowKey,
+    des: Des,
+    tdea: OnceLock<TripleDes>,
+}
+
+impl SealedFlowKey {
+    /// Seal `key`: expand its DES schedule now, Triple-DES on demand.
+    pub fn seal(key: FlowKey) -> Self {
+        let des = Des::new(&key.des_key());
+        SealedFlowKey {
+            key,
+            des,
+            tdea: OnceLock::new(),
+        }
+    }
+
+    /// The underlying flow key.
+    pub fn key(&self) -> &FlowKey {
+        &self.key
+    }
+
+    /// Key bytes (MAC keying material).
+    pub fn as_bytes(&self) -> &[u8] {
+        self.key.as_bytes()
+    }
+
+    /// The cached single-DES schedule.
+    pub fn des(&self) -> &Des {
+        &self.des
+    }
+
+    /// The cached two-key Triple-DES (EDE2) schedule, built on first use.
+    pub fn tdea(&self) -> &TripleDes {
+        self.tdea
+            .get_or_init(|| TripleDes::new_ede2(&self.key.tdea_key()))
+    }
+}
+
+impl std::fmt::Debug for SealedFlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Cached subkeys are key material too: redact like FlowKey.
+        write!(f, "SealedFlowKey({:?})", self.key)
     }
 }
 

@@ -30,19 +30,23 @@ pub mod header;
 pub mod keying;
 pub mod mkd;
 pub mod policy;
+pub mod pool;
 pub mod principal;
 pub mod protocol;
 pub mod replay;
+pub mod sealer;
 pub mod sfl;
 
 pub use cache::{CacheStats, MissKind, SoftCache};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use error::{FbsError, Result};
 pub use fam::{Classification, Fam, FlowPolicy, FlowRecord, FstEntry};
-pub use header::{EncAlgorithm, SecurityFlowHeader};
-pub use keying::{derive_flow_key, FlowKey, KeyDerivation};
+pub use header::{EncAlgorithm, HeaderView, SecurityFlowHeader};
+pub use keying::{derive_flow_key, FlowKey, KeyDerivation, SealedFlowKey};
 pub use mkd::{MasterKeyDaemon, PinnedDirectory, PublicValueSource};
+pub use pool::{BufferPool, PoolStats};
 pub use principal::Principal;
 pub use protocol::{Datagram, FbsConfig, FbsEndpoint, ProtectedDatagram};
 pub use replay::FreshnessWindow;
+pub use sealer::{ParallelSealer, SealJob, SealerStats};
 pub use sfl::SflAllocator;

@@ -1,0 +1,201 @@
+//! Reusable output-buffer pool for the zero-copy seal/open fast path.
+//!
+//! `seal_into`/`open_into` write into caller-supplied `Vec<u8>`s; this pool
+//! is where those vectors come from and return to, so steady-state sealing
+//! allocates nothing per datagram. Buffers are plain `Vec<u8>` — taking one
+//! out hands the caller full ownership, so a buffer that escapes (e.g. is
+//! transmitted and never returned) is merely an allocation, never a leak of
+//! pool bookkeeping.
+
+use fbs_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use std::sync::Arc;
+
+/// Default number of buffers kept on the freelist.
+pub const DEFAULT_MAX_POOLED: usize = 32;
+
+/// Default capacity pre-reserved for fresh buffers: a full header plus a
+/// typical MTU-sized body, so the first seal into a new buffer does not
+/// regrow it.
+pub const DEFAULT_BUF_CAPACITY: usize = 2048;
+
+/// Counters for pool behaviour; mirrors the legacy-stats idiom of the other
+/// components so snapshots and the registry share a namespace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Takes served from the freelist.
+    pub hits: u64,
+    /// Takes that allocated a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to the freelist.
+    pub returns: u64,
+    /// Returned buffers dropped because the freelist was full.
+    pub discards: u64,
+}
+
+impl PoolStats {
+    /// Merge into a metrics snapshot under the `pool.*` namespace.
+    pub fn contribute(&self, snap: &mut MetricsSnapshot) {
+        snap.add("pool.hits", self.hits);
+        snap.add("pool.misses", self.misses);
+        snap.add("pool.returns", self.returns);
+        snap.add("pool.discards", self.discards);
+    }
+}
+
+/// A freelist of recycled `Vec<u8>` output buffers.
+///
+/// Not thread-safe by itself — each worker owns its own pool (the
+/// parallel sealer gives every worker one), which keeps `take`/`put` free
+/// of any synchronisation.
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    max_pooled: usize,
+    buf_capacity: usize,
+    stats: PoolStats,
+    obs: Option<Arc<MetricsRegistry>>,
+}
+
+impl BufferPool {
+    /// A pool with the default size limits.
+    pub fn new() -> Self {
+        BufferPool::with_limits(DEFAULT_MAX_POOLED, DEFAULT_BUF_CAPACITY)
+    }
+
+    /// A pool keeping at most `max_pooled` buffers, pre-reserving
+    /// `buf_capacity` bytes in fresh ones.
+    pub fn with_limits(max_pooled: usize, buf_capacity: usize) -> Self {
+        BufferPool {
+            free: Vec::with_capacity(max_pooled),
+            max_pooled,
+            buf_capacity,
+            stats: PoolStats::default(),
+            obs: None,
+        }
+    }
+
+    /// Attach a metrics registry; hits/misses are counted there as well as
+    /// in the legacy stats.
+    pub fn attach_obs(&mut self, registry: Arc<MetricsRegistry>) {
+        self.obs = Some(registry);
+    }
+
+    /// Take a buffer: recycled if available, freshly allocated otherwise.
+    /// The buffer is always empty (`len == 0`).
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                self.stats.hits += 1;
+                if let Some(reg) = &self.obs {
+                    reg.incr(Counter::PoolHits);
+                }
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                if let Some(reg) = &self.obs {
+                    reg.incr(Counter::PoolMisses);
+                }
+                Vec::with_capacity(self.buf_capacity)
+            }
+        }
+    }
+
+    /// Return a buffer to the freelist (dropped if the freelist is full).
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < self.max_pooled {
+            buf.clear();
+            self.free.push(buf);
+            self.stats.returns += 1;
+        } else {
+            self.stats.discards += 1;
+        }
+    }
+
+    /// Buffers currently on the freelist.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pool counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_take_misses_then_hits_after_put() {
+        let mut pool = BufferPool::with_limits(2, 64);
+        let a = pool.take();
+        assert_eq!(a.capacity(), 64);
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                misses: 1,
+                ..Default::default()
+            }
+        );
+
+        pool.put(a);
+        let b = pool.take();
+        assert!(b.capacity() >= 64);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.returns), (1, 1, 1));
+    }
+
+    #[test]
+    fn returned_buffers_come_back_empty() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take();
+        a.extend_from_slice(b"leftover plaintext");
+        pool.put(a);
+        let b = pool.take();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn freelist_is_bounded() {
+        let mut pool = BufferPool::with_limits(1, 16);
+        let a = pool.take();
+        let b = pool.take();
+        pool.put(a);
+        pool.put(b); // freelist full: discarded
+        assert_eq!(pool.idle(), 1);
+        let s = pool.stats();
+        assert_eq!((s.returns, s.discards), (1, 1));
+    }
+
+    #[test]
+    fn registry_sees_hits_and_misses() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut pool = BufferPool::new();
+        pool.attach_obs(Arc::clone(&reg));
+        let a = pool.take();
+        pool.put(a);
+        let _b = pool.take();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pool.misses"), 1);
+        assert_eq!(snap.counter("pool.hits"), 1);
+    }
+
+    #[test]
+    fn stats_contribute_uses_pool_namespace() {
+        let mut pool = BufferPool::new();
+        let a = pool.take();
+        pool.put(a);
+        let mut snap = MetricsSnapshot::new();
+        pool.stats().contribute(&mut snap);
+        assert_eq!(snap.counter("pool.misses"), 1);
+        assert_eq!(snap.counter("pool.returns"), 1);
+    }
+}

@@ -7,30 +7,34 @@
 //! Mappings (e.g. the IP mapping in `fbs-ip`) choose the encoding.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// An opaque, uniquely-addressable principal identity.
 ///
 /// The bytes participate directly in flow-key derivation
 /// (`K_f = H(sfl | K_{S,D} | S | D)`), so two principals are "the same"
-/// exactly when their byte encodings are equal.
+/// exactly when their byte encodings are equal (`Arc`'s comparison and
+/// hash impls delegate to the contents). The identity is refcounted:
+/// cloning a principal — which the seal/open fast path does on every
+/// datagram to build flow-key cache IDs — never touches the heap.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Principal(Vec<u8>);
+pub struct Principal(Arc<[u8]>);
 
 impl Principal {
     /// Construct from raw bytes.
     pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
-        Principal(bytes.into())
+        Principal(bytes.into().into())
     }
 
     /// Construct from a human-readable name (UTF-8 bytes).
     pub fn named(name: &str) -> Self {
-        Principal(name.as_bytes().to_vec())
+        Principal(name.as_bytes().into())
     }
 
     /// Construct from an IPv4 address (network byte order), the encoding
     /// used by the IP mapping for host-level principals.
     pub fn from_ipv4(addr: [u8; 4]) -> Self {
-        Principal(addr.to_vec())
+        Principal(addr.as_slice().into())
     }
 
     /// The raw identity bytes, as fed to the flow-key hash.
@@ -69,7 +73,7 @@ impl fmt::Display for Principal {
                 write!(f, "{s}")
             }
             _ => {
-                for b in &self.0 {
+                for b in self.0.iter() {
                     write!(f, "{b:02x}")?;
                 }
                 Ok(())

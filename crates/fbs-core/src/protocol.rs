@@ -19,12 +19,16 @@ use crate::cache::{CacheStats, SoftCache};
 use crate::clock::Clock;
 use crate::error::{FbsError, Result};
 use crate::fam::{Fam, FlowPolicy};
-use crate::header::{EncAlgorithm, SecurityFlowHeader};
-use crate::keying::{derive_flow_key, FlowKey, KeyDerivation};
+use crate::header::{EncAlgorithm, HeaderView, SecurityFlowHeader, FIXED_PREFIX_LEN};
+use crate::keying::{derive_flow_key, KeyDerivation, SealedFlowKey};
 use crate::mkd::{MasterKeyDaemon, MkdStats};
 use crate::principal::Principal;
 use crate::replay::FreshnessWindow;
-use fbs_crypto::des::{zero_pad, BlockCipher, BlockEncryptor, Des, TripleDes, BLOCK_SIZE};
+use fbs_crypto::crc32::Crc32;
+use fbs_crypto::des::{
+    decrypt_in_place, padded_len, BlockCipher, BlockEncryptor, Des, TripleDes, BLOCK_SIZE,
+};
+use fbs_crypto::mac::MAX_MAC_SIZE;
 use fbs_crypto::rng::Lcg64;
 use fbs_crypto::{crc32, mac_eq, MacAlgorithm};
 use fbs_obs::{CacheKind, Counter, Event, MetricsRegistry, MetricsSnapshot};
@@ -193,12 +197,13 @@ impl EndpointStats {
 type FlowKeyId = (u64, Principal, Principal);
 
 fn flow_key_hash(id: &FlowKeyId) -> u32 {
-    // The §5.3-recommended randomising hash over the concatenated id.
-    let mut bytes = Vec::with_capacity(8 + id.1.len() + id.2.len());
-    bytes.extend_from_slice(&id.0.to_be_bytes());
-    bytes.extend_from_slice(id.1.as_bytes());
-    bytes.extend_from_slice(id.2.as_bytes());
-    crc32(&bytes)
+    // The §5.3-recommended randomising hash over the concatenated id,
+    // streamed so each cache probe allocates nothing.
+    let mut h = Crc32::new();
+    h.update(&id.0.to_be_bytes());
+    h.update(id.1.as_bytes());
+    h.update(id.2.as_bytes());
+    h.finalize()
 }
 
 /// One principal's FBS protocol state.
@@ -209,8 +214,8 @@ pub struct FbsEndpoint {
     confounder: Lcg64,
     mkd: MasterKeyDaemon,
     mkc: SoftCache<Principal, Vec<u8>>,
-    tfkc: SoftCache<FlowKeyId, FlowKey>,
-    rfkc: SoftCache<FlowKeyId, FlowKey>,
+    tfkc: SoftCache<FlowKeyId, Arc<SealedFlowKey>>,
+    rfkc: SoftCache<FlowKeyId, Arc<SealedFlowKey>>,
     stats: EndpointStats,
     /// Optional metrics registry; `None` (the default) keeps the datagram
     /// path observation-free.
@@ -288,36 +293,44 @@ impl FbsEndpoint {
     }
 
     /// Transmit-side flow key via TFKC (Fig. 6, replacing Fig. 4 line S3).
-    fn flow_key_tx(&mut self, sfl: u64, destination: &Principal) -> Result<FlowKey> {
+    /// A hit is an `Arc` refcount bump — no key bytes are copied and the
+    /// cached DES key schedule rides along.
+    fn flow_key_tx(&mut self, sfl: u64, destination: &Principal) -> Result<Arc<SealedFlowKey>> {
         let id = (sfl, destination.clone(), self.local.clone());
-        if let Some(k) = self.tfkc.get(&id) {
-            return Ok(k);
+        if let Some(k) = self.tfkc.get_ref(&id) {
+            return Ok(Arc::clone(k));
         }
         let t0 = self.obs.as_ref().map(|_| self.clock.now_micros());
         let master = self.master_key(destination)?;
-        let k = derive_flow_key(
+        let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
             self.cfg.key_derivation,
             sfl,
             &master,
             &self.local,
             destination,
-        );
+        )));
         self.record_derivation(t0);
-        self.tfkc.insert(id, k.clone());
+        self.tfkc.insert(id, Arc::clone(&k));
         Ok(k)
     }
 
     /// Receive-side flow key via RFKC (Fig. 4 lines R5-6).
-    fn flow_key_rx(&mut self, sfl: u64, source: &Principal) -> Result<FlowKey> {
+    fn flow_key_rx(&mut self, sfl: u64, source: &Principal) -> Result<Arc<SealedFlowKey>> {
         let id = (sfl, source.clone(), self.local.clone());
-        if let Some(k) = self.rfkc.get(&id) {
-            return Ok(k);
+        if let Some(k) = self.rfkc.get_ref(&id) {
+            return Ok(Arc::clone(k));
         }
         let t0 = self.obs.as_ref().map(|_| self.clock.now_micros());
         let master = self.master_key(source)?;
-        let k = derive_flow_key(self.cfg.key_derivation, sfl, &master, source, &self.local);
+        let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
+            self.cfg.key_derivation,
+            sfl,
+            &master,
+            source,
+            &self.local,
+        )));
         self.record_derivation(t0);
-        self.rfkc.insert(id, k.clone());
+        self.rfkc.insert(id, Arc::clone(&k));
         Ok(k)
     }
 
@@ -335,8 +348,13 @@ impl FbsEndpoint {
     /// Derive a transmit flow key WITHOUT consulting the TFKC. Used by the
     /// combined FST/TFKC optimisation of §7.2, where the caller keeps the
     /// flow key in its own merged table and only needs the derivation
-    /// (MKC → MKD upcall → hash).
-    pub fn derive_flow_key_tx(&mut self, sfl: u64, destination: &Principal) -> Result<FlowKey> {
+    /// (MKC → MKD upcall → hash). The returned key carries its expanded
+    /// DES schedule, so the caller's table amortises subkey expansion too.
+    pub fn derive_flow_key_tx(
+        &mut self,
+        sfl: u64,
+        destination: &Principal,
+    ) -> Result<Arc<SealedFlowKey>> {
         let t0 = self.obs.as_ref().map(|_| self.clock.now_micros());
         let master = self.master_key(destination)?;
         let k = derive_flow_key(
@@ -347,7 +365,7 @@ impl FbsEndpoint {
             destination,
         );
         self.record_derivation(t0);
-        Ok(k)
+        Ok(Arc::new(SealedFlowKey::seal(k)))
     }
 
     /// `FBSSend` with a caller-provided flow key (the combined-table fast
@@ -355,11 +373,11 @@ impl FbsEndpoint {
     pub fn send_with_key(
         &mut self,
         sfl: u64,
-        key: &FlowKey,
+        key: &SealedFlowKey,
         datagram: Datagram,
         secret: bool,
     ) -> Result<ProtectedDatagram> {
-        self.seal(sfl, key.clone(), datagram, secret)
+        self.seal(sfl, key, datagram, secret)
     }
 
     /// `FBSSend` (Fig. 4): protect `datagram` under flow `sfl` (obtained
@@ -372,13 +390,13 @@ impl FbsEndpoint {
     ) -> Result<ProtectedDatagram> {
         // S2-3: flow key (cached per Fig. 6).
         let key = self.flow_key_tx(sfl, &datagram.destination)?;
-        self.seal(sfl, key, datagram, secret)
+        self.seal(sfl, &key, datagram, secret)
     }
 
     fn seal(
         &mut self,
         sfl: u64,
-        key: FlowKey,
+        key: &SealedFlowKey,
         datagram: Datagram,
         secret: bool,
     ) -> Result<ProtectedDatagram> {
@@ -396,36 +414,28 @@ impl FbsEndpoint {
             EncAlgorithm::None
         };
         // S6 + S8-9: MAC over (K_f | confounder | timestamp | payload) and
-        // optional encryption, combined in one pass when configured.
-        let plaintext_len = datagram.body.len() as u32;
-        let (mut mac, body) = if self.cfg.nop_crypto {
-            // Fig. 8's "FBS NOP": MAC computation returns immediately.
-            (vec![0u8; self.cfg.mac_alg.output_len()], datagram.body)
-        } else {
-            seal_body(
-                &self.cfg,
-                &key,
-                confounder,
-                timestamp,
-                datagram.body,
-                enc_alg,
-            )
-        };
-        if let Some(n) = self.cfg.mac_truncate {
-            mac.truncate(n);
+        // optional encryption, combined in one pass when configured. The
+        // body vector is reused as the wire body: padding is appended in
+        // place and encryption happens in place, so the legacy path shares
+        // the allocation-free core with `seal_into`.
+        let plaintext_len = datagram.body.len();
+        let mut body = datagram.body;
+        if enc_alg.des_mode().is_some() {
+            body.resize(padded_len(plaintext_len), 0);
         }
-        if enc_alg.is_secret() {
-            self.stats.encryptions += 1;
-        }
-        self.stats.sends += 1;
-        if let Some(reg) = &self.obs {
-            if enc_alg.is_secret() {
-                reg.incr(Counter::Encryptions);
-            }
-            reg.record(Event::Send {
-                bytes: plaintext_len as u64,
-            });
-        }
+        let mut mac_buf = [0u8; MAX_MAC_SIZE];
+        let mac_len = seal_core(
+            &self.cfg,
+            key,
+            confounder,
+            timestamp,
+            plaintext_len,
+            enc_alg,
+            &mut body,
+            &mut mac_buf,
+        );
+        let shipped = self.cfg.mac_truncate.map_or(mac_len, |n| mac_len.min(n));
+        self.note_sealed(enc_alg, plaintext_len as u64);
         // S7: assemble the security flow header.
         Ok(ProtectedDatagram {
             source: datagram.source,
@@ -436,11 +446,106 @@ impl FbsEndpoint {
                 timestamp,
                 mac_alg: self.cfg.mac_alg,
                 enc_alg,
-                plaintext_len,
-                mac,
+                plaintext_len: plaintext_len as u32,
+                mac: mac_buf[..shipped].to_vec(),
             },
             body,
         })
+    }
+
+    /// `FBSSend` straight into a caller-supplied buffer: encode, pad,
+    /// encrypt, and MAC into `out` with no per-datagram heap allocation.
+    /// `out` ends up holding exactly the wire payload that
+    /// [`ProtectedDatagram::encode_payload`] would have produced —
+    /// byte-for-byte, including the confounder sequence (both paths draw
+    /// from the same per-endpoint generator).
+    pub fn seal_into(
+        &mut self,
+        sfl: u64,
+        destination: &Principal,
+        body: &[u8],
+        secret: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let key = self.flow_key_tx(sfl, destination)?;
+        self.seal_with_key_into(sfl, &key, body, secret, out)
+    }
+
+    /// [`Self::seal_into`] with a caller-provided flow key (the §7.2
+    /// combined-table fast path, zero-copy edition).
+    pub fn seal_with_key_into(
+        &mut self,
+        sfl: u64,
+        key: &SealedFlowKey,
+        body: &[u8],
+        secret: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let confounder = self.confounder.next_u32();
+        let timestamp = self.clock.now_minutes();
+        let enc_alg = if secret && !self.cfg.nop_crypto {
+            self.cfg.enc_alg
+        } else {
+            EncAlgorithm::None
+        };
+        let mac_out_len = self.cfg.mac_alg.output_len();
+        let shipped = self
+            .cfg
+            .mac_truncate
+            .map_or(mac_out_len, |n| mac_out_len.min(n));
+        let header_len = FIXED_PREFIX_LEN + shipped;
+        let wire_body_len = if enc_alg.des_mode().is_some() {
+            padded_len(body.len())
+        } else {
+            body.len()
+        };
+        // One resize: zero-fills the header region and any padding; the
+        // plaintext is copied in exactly once.
+        out.clear();
+        out.resize(header_len + wire_body_len, 0);
+        out[header_len..header_len + body.len()].copy_from_slice(body);
+        let (head, wire_body) = out.split_at_mut(header_len);
+        let mut mac_buf = [0u8; MAX_MAC_SIZE];
+        let mac_len = seal_core(
+            &self.cfg,
+            key,
+            confounder,
+            timestamp,
+            body.len(),
+            enc_alg,
+            wire_body,
+            &mut mac_buf,
+        );
+        debug_assert_eq!(mac_len, mac_out_len);
+        HeaderView {
+            sfl,
+            confounder,
+            timestamp,
+            mac_alg: self.cfg.mac_alg,
+            enc_alg,
+            plaintext_len: body.len() as u32,
+            mac: &mac_buf[..shipped],
+        }
+        .encode_into(head);
+        self.note_sealed(enc_alg, body.len() as u64);
+        Ok(())
+    }
+
+    /// Shared send-side accounting (stats + observation), identical for the
+    /// legacy and zero-copy paths.
+    fn note_sealed(&mut self, enc_alg: EncAlgorithm, plaintext_bytes: u64) {
+        if enc_alg.is_secret() {
+            self.stats.encryptions += 1;
+        }
+        self.stats.sends += 1;
+        if let Some(reg) = &self.obs {
+            if enc_alg.is_secret() {
+                reg.incr(Counter::Encryptions);
+            }
+            reg.record(Event::Send {
+                bytes: plaintext_bytes,
+            });
+        }
     }
 
     /// Classify through `fam` and send: the full Fig. 4 send path (S1-S10).
@@ -463,7 +568,47 @@ impl FbsEndpoint {
     /// `FBSReceive` (Fig. 4): verify and strip protection, returning the
     /// original datagram.
     pub fn receive(&mut self, pd: ProtectedDatagram) -> Result<Datagram> {
-        let h = &pd.header;
+        let view = HeaderView {
+            sfl: pd.header.sfl,
+            confounder: pd.header.confounder,
+            timestamp: pd.header.timestamp,
+            mac_alg: pd.header.mac_alg,
+            enc_alg: pd.header.enc_alg,
+            plaintext_len: pd.header.plaintext_len,
+            mac: &pd.header.mac,
+        };
+        let mut body = Vec::with_capacity(pd.body.len());
+        self.open_core(&pd.source, &view, &pd.body, &mut body)?;
+        Ok(Datagram {
+            source: pd.source,
+            destination: pd.destination,
+            body,
+        })
+    }
+
+    /// `FBSReceive` straight from a wire payload into a caller-supplied
+    /// buffer: parse the security flow header, decrypt in place inside
+    /// `out`, and verify the MAC — no plaintext temporary is allocated.
+    /// On success `out` holds the recovered body.
+    pub fn open_into(
+        &mut self,
+        source: &Principal,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let (view, used) = HeaderView::parse(payload)?;
+        self.open_core(source, &view, &payload[used..], out)
+    }
+
+    /// The shared receive core: freshness, flow key, decrypt, MAC verify.
+    /// Statistics and events fire exactly as the legacy `receive` did.
+    fn open_core(
+        &mut self,
+        source: &Principal,
+        h: &HeaderView<'_>,
+        body: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
         // R3-4: freshness.
         let now_minutes = self.clock.now_minutes();
         if let Err(e) = self.cfg.freshness.check(h.timestamp, now_minutes) {
@@ -477,19 +622,16 @@ impl FbsEndpoint {
             return Err(e);
         }
         // R5-6: flow key from the sfl (cached).
-        let key = self.flow_key_rx(h.sfl, &pd.source)?;
+        let key = self.flow_key_rx(h.sfl, source)?;
         // R10-11 before R7-9 (see module docs): recover plaintext, then
         // verify the MAC over it.
-        let plaintext = match open_body(h, &key, &pd.body) {
-            Ok(p) => p,
-            Err(e) => {
-                self.stats.malformed_drops += 1;
-                if let Some(reg) = &self.obs {
-                    reg.record(Event::MalformedDrop);
-                }
-                return Err(e);
+        if let Err(e) = open_body_into(h, &key, body, out) {
+            self.stats.malformed_drops += 1;
+            if let Some(reg) = &self.obs {
+                reg.record(Event::MalformedDrop);
             }
-        };
+            return Err(e);
+        }
         if h.enc_alg.is_secret() {
             self.stats.decryptions += 1;
             if let Some(reg) = &self.obs {
@@ -501,28 +643,21 @@ impl FbsEndpoint {
             self.stats.receives += 1;
             if let Some(reg) = &self.obs {
                 reg.record(Event::Receive {
-                    bytes: plaintext.len() as u64,
+                    bytes: out.len() as u64,
                 });
             }
-            return Ok(Datagram {
-                source: pd.source,
-                destination: pd.destination,
-                body: plaintext,
-            });
+            return Ok(());
         }
-        // R7-9: MAC verification (constant-time compare).
-        let mut expected = h.mac_alg.compute(
-            key.as_bytes(),
-            &[
-                &h.confounder.to_be_bytes(),
-                &h.timestamp.to_be_bytes(),
-                &plaintext,
-            ],
-        );
-        if let Some(n) = self.cfg.mac_truncate {
-            expected.truncate(n);
-        }
-        if !mac_eq(&expected, &h.mac) {
+        // R7-9: MAC verification (constant-time compare), streamed into a
+        // stack buffer.
+        let mut ctx = h.mac_alg.begin(key.as_bytes());
+        ctx.update(&h.confounder.to_be_bytes());
+        ctx.update(&h.timestamp.to_be_bytes());
+        ctx.update(out);
+        let mut expected = [0u8; MAX_MAC_SIZE];
+        let full = ctx.finalize_into(&mut expected);
+        let used = self.cfg.mac_truncate.map_or(full, |n| full.min(n));
+        if !mac_eq(&expected[..used], h.mac) {
             self.stats.mac_drops += 1;
             if let Some(reg) = &self.obs {
                 reg.record(Event::MacDrop);
@@ -532,15 +667,11 @@ impl FbsEndpoint {
         self.stats.receives += 1;
         if let Some(reg) = &self.obs {
             reg.record(Event::Receive {
-                bytes: plaintext.len() as u64,
+                bytes: out.len() as u64,
             });
         }
-        // R12: hand the datagram up.
-        Ok(Datagram {
-            source: pd.source,
-            destination: pd.destination,
-            body: plaintext,
-        })
+        // R12: `out` holds the datagram body.
+        Ok(())
     }
 
     /// Invalidate the cached master key for `peer` (rekey: §5.2 notes the
@@ -588,22 +719,24 @@ impl FbsEndpoint {
 }
 
 /// The cipher a flow key materialises into, per the header's algorithm-ID.
-enum FlowCipher {
-    Single(Box<Des>),
-    Triple(Box<TripleDes>),
+/// Borrows the key schedule cached inside [`SealedFlowKey`], so selecting a
+/// cipher costs nothing per datagram.
+enum FlowCipher<'a> {
+    Single(&'a Des),
+    Triple(&'a TripleDes),
 }
 
-impl FlowCipher {
-    fn for_alg(alg: EncAlgorithm, key: &FlowKey) -> FlowCipher {
+impl<'a> FlowCipher<'a> {
+    fn for_alg(alg: EncAlgorithm, key: &'a SealedFlowKey) -> FlowCipher<'a> {
         if alg.is_triple() {
-            FlowCipher::Triple(Box::new(TripleDes::new_ede2(&key.tdea_key())))
+            FlowCipher::Triple(key.tdea())
         } else {
-            FlowCipher::Single(Box::new(Des::new(&key.des_key())))
+            FlowCipher::Single(key.des())
         }
     }
 }
 
-impl BlockCipher for FlowCipher {
+impl BlockCipher for FlowCipher<'_> {
     fn encrypt_block(&self, block: &mut [u8; 8]) {
         match self {
             FlowCipher::Single(c) => c.encrypt_block(block),
@@ -619,45 +752,59 @@ impl BlockCipher for FlowCipher {
 }
 
 /// Compute the MAC and optionally encrypt, honouring the single-pass
-/// configuration. Returns `(mac, wire_body)`.
-fn seal_body(
+/// configuration — entirely in place. `body` is the wire body region:
+/// `body[..plaintext_len]` holds the plaintext, the remainder (zeroed
+/// padding, present only when a cipher is selected) completes the final
+/// block. The MAC lands in `mac_out`; the untruncated length is returned.
+#[allow(clippy::too_many_arguments)]
+fn seal_core(
     cfg: &FbsConfig,
-    key: &FlowKey,
+    key: &SealedFlowKey,
     confounder: u32,
     timestamp: u32,
-    body: Vec<u8>,
+    plaintext_len: usize,
     enc_alg: EncAlgorithm,
-) -> (Vec<u8>, Vec<u8>) {
+    body: &mut [u8],
+    mac_out: &mut [u8; MAX_MAC_SIZE],
+) -> usize {
+    let out_len = cfg.mac_alg.output_len();
+    if cfg.nop_crypto {
+        // Fig. 8's "FBS NOP": MAC computation returns immediately.
+        mac_out[..out_len].fill(0);
+        return out_len;
+    }
+
     let Some(mode) = enc_alg.des_mode() else {
         // MAC-only path: single data touch by construction.
-        let mac = cfg.mac_alg.compute(
-            key.as_bytes(),
-            &[&confounder.to_be_bytes(), &timestamp.to_be_bytes(), &body],
-        );
-        return (mac, body);
+        debug_assert_eq!(body.len(), plaintext_len);
+        let mut ctx = cfg.mac_alg.begin(key.as_bytes());
+        ctx.update(&confounder.to_be_bytes());
+        ctx.update(&timestamp.to_be_bytes());
+        ctx.update(body);
+        return ctx.finalize_into(mac_out);
     };
 
+    debug_assert_eq!(body.len(), padded_len(plaintext_len));
     let des = FlowCipher::for_alg(enc_alg, key);
     let iv = ((confounder as u64) << 32) | confounder as u64;
     if !cfg.single_pass {
         // Two-pass ablation: MAC sweep, then encryption sweep.
-        let mac = cfg.mac_alg.compute(
-            key.as_bytes(),
-            &[&confounder.to_be_bytes(), &timestamp.to_be_bytes(), &body],
-        );
-        let ciphertext = fbs_crypto::des::encrypt(&des, iv, mode, &body);
-        return (mac, ciphertext);
+        let mut ctx = cfg.mac_alg.begin(key.as_bytes());
+        ctx.update(&confounder.to_be_bytes());
+        ctx.update(&timestamp.to_be_bytes());
+        ctx.update(&body[..plaintext_len]);
+        let n = ctx.finalize_into(mac_out);
+        fbs_crypto::des::encrypt_in_place(&des, iv, mode, body);
+        return n;
     }
 
     // Single pass (§5.3): absorb each plaintext block into the MAC and
     // encrypt it in the same loop iteration.
-    let plaintext_len = body.len();
-    let mut data = zero_pad(&body);
     let mut ctx = cfg.mac_alg.begin(key.as_bytes());
     ctx.update(&confounder.to_be_bytes());
     ctx.update(&timestamp.to_be_bytes());
     let mut enc = BlockEncryptor::new(&des, mode, iv);
-    for (i, chunk) in data.chunks_exact_mut(BLOCK_SIZE).enumerate() {
+    for (i, chunk) in body.chunks_exact_mut(BLOCK_SIZE).enumerate() {
         let start = i * BLOCK_SIZE;
         let valid = plaintext_len.saturating_sub(start).min(BLOCK_SIZE);
         if valid > 0 {
@@ -666,17 +813,25 @@ fn seal_body(
         }
         enc.process(chunk.try_into().expect("chunks_exact yields 8 bytes"));
     }
-    (ctx.finalize(), data)
+    ctx.finalize_into(mac_out)
 }
 
-/// Recover the plaintext body (decrypting if needed) and validate framing.
-fn open_body(h: &SecurityFlowHeader, key: &FlowKey, body: &[u8]) -> Result<Vec<u8>> {
+/// Recover the plaintext body into `out` (decrypting in place inside `out`
+/// if needed) and validate framing.
+fn open_body_into(
+    h: &HeaderView<'_>,
+    key: &SealedFlowKey,
+    body: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<()> {
     match h.enc_alg.des_mode() {
         None => {
             if h.plaintext_len as usize != body.len() {
                 return Err(FbsError::MalformedCiphertext);
             }
-            Ok(body.to_vec())
+            out.clear();
+            out.extend_from_slice(body);
+            Ok(())
         }
         Some(mode) => {
             let len = h.plaintext_len as usize;
@@ -687,13 +842,17 @@ fn open_body(h: &SecurityFlowHeader, key: &FlowKey, body: &[u8]) -> Result<Vec<u
                 return Err(FbsError::MalformedCiphertext);
             }
             let des = FlowCipher::for_alg(h.enc_alg, key);
-            Ok(fbs_crypto::des::decrypt(&des, h.iv64(), mode, body, len))
+            out.clear();
+            out.extend_from_slice(body);
+            decrypt_in_place(&des, h.iv64(), mode, out);
+            out.truncate(len);
+            Ok(())
         }
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::clock::ManualClock;
     use crate::mkd::PinnedDirectory;
@@ -726,6 +885,46 @@ mod tests {
             MasterKeyDaemon::new(d_priv, Box::new(dir_d)),
         );
         (ep_s, ep_d, clock)
+    }
+
+    /// Build `n` sender endpoints sharing principal "S"'s identity (same
+    /// DH private value, same directory) but with DISTINCT confounder
+    /// seeds (§5.3), plus one receiver "D" that verifies them all. Worker
+    /// `i`'s seed depends only on `i`, so a second call yields bit-wise
+    /// reference endpoints.
+    pub(crate) fn sender_fleet(
+        cfg: FbsConfig,
+        n: usize,
+    ) -> (Vec<FbsEndpoint>, FbsEndpoint, ManualClock) {
+        let clock = ManualClock::starting_at(1_000_000);
+        let group = DhGroup::test_group();
+        let s_priv = PrivateValue::from_entropy(group.clone(), b"source-entropy-20-bytes");
+        let d_priv = PrivateValue::from_entropy(group, b"dest-entropy-20-bytes!!");
+        let s = Principal::named("S");
+        let d = Principal::named("D");
+        let senders = (0..n)
+            .map(|i| {
+                let mut dir = PinnedDirectory::new();
+                dir.pin(d.clone(), d_priv.public_value());
+                FbsEndpoint::new(
+                    s.clone(),
+                    cfg.clone(),
+                    Arc::new(clock.clone()),
+                    0x1111 + (i as u64) * 0x10000,
+                    MasterKeyDaemon::new(s_priv.clone(), Box::new(dir)),
+                )
+            })
+            .collect();
+        let mut dir_d = PinnedDirectory::new();
+        dir_d.pin(s.clone(), s_priv.public_value());
+        let receiver = FbsEndpoint::new(
+            d,
+            cfg,
+            Arc::new(clock.clone()),
+            0x2222,
+            MasterKeyDaemon::new(d_priv, Box::new(dir_d)),
+        );
+        (senders, receiver, clock)
     }
 
     fn dgram(body: &[u8]) -> Datagram {

@@ -210,7 +210,7 @@ mod protocol_props {
     use fbs_crypto::dh::{DhGroup, PrivateValue};
     use std::sync::Arc;
 
-    fn pair() -> (FbsEndpoint, FbsEndpoint) {
+    fn pair_with(cfg: FbsConfig) -> (FbsEndpoint, FbsEndpoint) {
         let clock = ManualClock::starting_at(77_777);
         let group = DhGroup::test_group();
         let a_priv = PrivateValue::from_entropy(group.clone(), b"prop-alice-entropy!!");
@@ -224,19 +224,48 @@ mod protocol_props {
         (
             FbsEndpoint::new(
                 alice,
-                FbsConfig::default(),
+                cfg.clone(),
                 Arc::new(clock.clone()),
                 1,
                 MasterKeyDaemon::new(a_priv, Box::new(da)),
             ),
             FbsEndpoint::new(
                 bob,
-                FbsConfig::default(),
+                cfg,
                 Arc::new(clock),
                 2,
                 MasterKeyDaemon::new(b_priv, Box::new(db)),
             ),
         )
+    }
+
+    fn pair() -> (FbsEndpoint, FbsEndpoint) {
+        pair_with(FbsConfig::default())
+    }
+
+    /// `n` sender endpoints sharing principal "A"'s identity with distinct
+    /// confounder seeds — worker `i`'s seed depends only on `i`, so a
+    /// fresh fleet reproduces the same wire bytes.
+    fn fleet(cfg: FbsConfig, n: usize) -> Vec<FbsEndpoint> {
+        let clock = ManualClock::starting_at(77_777);
+        let group = DhGroup::test_group();
+        let a_priv = PrivateValue::from_entropy(group.clone(), b"prop-alice-entropy!!");
+        let b_priv = PrivateValue::from_entropy(group, b"prop-bob-entropy!!!!");
+        let alice = Principal::named("A");
+        let bob = Principal::named("B");
+        (0..n)
+            .map(|i| {
+                let mut da = PinnedDirectory::new();
+                da.pin(bob.clone(), b_priv.public_value());
+                FbsEndpoint::new(
+                    alice.clone(),
+                    cfg.clone(),
+                    Arc::new(clock.clone()),
+                    1 + (i as u64) * 0x1000,
+                    MasterKeyDaemon::new(a_priv.clone(), Box::new(da)),
+                )
+            })
+            .collect()
     }
 
     proptest! {
@@ -262,6 +291,104 @@ mod protocol_props {
                 &wire,
             ).unwrap();
             prop_assert_eq!(rx.receive(parsed).unwrap().body, body);
+        }
+
+        #[test]
+        fn fastpath_wire_is_byte_identical_to_legacy_send(
+            // Padding edge cases get half the probability mass: empty,
+            // sub-block, block-1, exactly one block, and a large 8k+7 body
+            // straddling many blocks; the rest are arbitrary lengths.
+            len in (0usize..10, 0usize..2000).prop_map(|(sel, arb)| match sel {
+                0 => 0,
+                1 => 1,
+                2 => 7,
+                3 => 8,
+                4 => 8 * 1024 + 7,
+                _ => arb,
+            }),
+            fill in any::<u8>(),
+            sfl in any::<u64>(),
+            secret in any::<bool>(),
+            enc_id in 0u8..6,
+        ) {
+            // Two sender endpoints with the SAME seed produce the same
+            // confounder stream, so legacy `send` and the zero-copy
+            // `seal_into` must emit identical wire bytes; `open_into` must
+            // then recover the body.
+            let cfg = FbsConfig {
+                enc_alg: EncAlgorithm::from_wire_id(enc_id).unwrap(),
+                ..FbsConfig::default()
+            };
+            let (mut legacy_tx, mut rx) = pair_with(cfg.clone());
+            let (mut fast_tx, _) = pair_with(cfg);
+            let body: Vec<u8> =
+                (0..len).map(|i| (i as u8).wrapping_add(fill)).collect();
+
+            let pd = legacy_tx
+                .send(
+                    sfl,
+                    Datagram::new(
+                        Principal::named("A"),
+                        Principal::named("B"),
+                        body.clone(),
+                    ),
+                    secret,
+                )
+                .unwrap();
+            let legacy_wire = pd.encode_payload();
+
+            let mut fast_wire = Vec::new();
+            fast_tx
+                .seal_into(sfl, &Principal::named("B"), &body, secret, &mut fast_wire)
+                .unwrap();
+            prop_assert_eq!(&fast_wire, &legacy_wire);
+
+            let mut opened = Vec::new();
+            rx.open_into(&Principal::named("A"), &fast_wire, &mut opened).unwrap();
+            prop_assert_eq!(opened, body);
+        }
+
+        #[test]
+        fn parallel_sealer_preserves_per_flow_order_under_load(
+            flows in proptest::collection::vec(0u64..8, 1..120),
+            secret in any::<bool>(),
+        ) {
+            // Shard-route an arbitrary flow mix through 3 workers, then
+            // replay each worker's subsequence through a fresh same-seed
+            // serial endpoint: byte equality proves per-flow FIFO order
+            // survived the concurrency.
+            use fbs_core::{ParallelSealer, SealJob};
+            const WORKERS: usize = 3;
+            let jobs: Vec<SealJob> = flows
+                .iter()
+                .enumerate()
+                .map(|(i, &sfl)| SealJob {
+                    sfl,
+                    destination: Principal::named("B"),
+                    body: format!("flow {sfl} seq {i}").into_bytes(),
+                    secret,
+                })
+                .collect();
+            let mut sealer =
+                ParallelSealer::new(fleet(FbsConfig::default(), WORKERS));
+            let sealed = sealer.seal_batch(jobs.clone());
+            prop_assert_eq!(sealed.len(), jobs.len());
+
+            let mut reference = fleet(FbsConfig::default(), WORKERS);
+            for w in 0..WORKERS {
+                let serial = &mut reference[w];
+                for (job, wire) in jobs
+                    .iter()
+                    .zip(&sealed)
+                    .filter(|(j, _)| (j.sfl % WORKERS as u64) as usize == w)
+                {
+                    let mut expect = Vec::new();
+                    serial
+                        .seal_into(job.sfl, &job.destination, &job.body, job.secret, &mut expect)
+                        .unwrap();
+                    prop_assert_eq!(wire.as_ref().unwrap(), &expect);
+                }
+            }
         }
 
         #[test]

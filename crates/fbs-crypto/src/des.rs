@@ -8,8 +8,25 @@
 //! standards. It is implemented here only because the paper specifies it;
 //! see the crate-level disclaimer.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
 /// DES block size in bytes.
 pub const BLOCK_SIZE: usize = 8;
+
+/// Process-wide count of DES key schedules built (one per [`Des::new`]).
+///
+/// The flow-key caches exist so that subkey expansion runs once per flow
+/// rather than once per datagram; this counter lets tests assert that the
+/// amortisation actually happens on the hot path.
+static KEY_SCHEDULES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of DES key schedules built since process start. Monotonic and
+/// global: tests that assert on deltas should run in their own process
+/// (a dedicated integration-test binary) to avoid cross-test noise.
+pub fn key_schedule_count() -> u64 {
+    KEY_SCHEDULES.load(Ordering::Relaxed)
+}
 
 // --- FIPS 46 permutation tables (1-based bit positions, MSB = bit 1) ------
 
@@ -27,7 +44,10 @@ const FP: [u8; 64] = [
     34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
 ];
 
-/// Expansion function E (32 → 48 bits).
+/// Expansion function E (32 → 48 bits). The fast round function inlines E
+/// as a shift trick; this table remains the specification it is tested
+/// against.
+#[cfg_attr(not(test), allow(dead_code))]
 const E: [u8; 48] = [
     32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18,
     19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
@@ -110,6 +130,64 @@ fn permute(src: u64, in_bits: u32, table: &[u8]) -> u64 {
     out
 }
 
+// --- Table-driven fast core ------------------------------------------------
+//
+// The bit-at-a-time `permute` above is the specification; the round function
+// and the initial/final permutations below are rebuilt as table lookups
+// *generated from that specification*, so the fast path is bit-identical by
+// construction and pinned by the FIPS/NBS known-answer tests.
+
+/// Merged S-box + P permutation tables: `SP[i][c]` is `P(SBOX[i][c])` with the
+/// S-box output placed in its 4-bit lane before permutation, so one lookup per
+/// S-box replaces the row/column decode and the 32-bit `P` permutation.
+fn sp_tables() -> &'static [[u32; 64]; 8] {
+    static SP: OnceLock<[[u32; 64]; 8]> = OnceLock::new();
+    SP.get_or_init(|| {
+        let mut sp = [[0u32; 64]; 8];
+        for (i, sbox) in SBOX.iter().enumerate() {
+            for c in 0..64u64 {
+                // Row = outer bits, column = inner four bits (FIPS 46).
+                let row = ((c & 0x20) >> 4) | (c & 1);
+                let col = (c >> 1) & 0xf;
+                let val = sbox[(row * 16 + col) as usize] as u64;
+                sp[i][c as usize] = permute(val << (28 - 4 * i), 32, &P) as u32;
+            }
+        }
+        sp
+    })
+}
+
+/// Build a byte-indexed lookup table for a 64→64 bit permutation: entry
+/// `[pos][val]` is the permuted contribution of byte `pos` (MSB first)
+/// holding value `val`. Bit permutations are XOR-linear, so the permutation
+/// of a block is the XOR of its eight byte contributions.
+fn byte_perm_table(table: &[u8; 64]) -> [[u64; 256]; 8] {
+    let mut t = [[0u64; 256]; 8];
+    for (pos, row) in t.iter_mut().enumerate() {
+        for (val, out) in row.iter_mut().enumerate() {
+            *out = permute((val as u64) << (56 - 8 * pos), 64, table);
+        }
+    }
+    t
+}
+
+fn ip_tables() -> &'static [[u64; 256]; 8] {
+    static T: OnceLock<[[u64; 256]; 8]> = OnceLock::new();
+    T.get_or_init(|| byte_perm_table(&IP))
+}
+
+fn fp_tables() -> &'static [[u64; 256]; 8] {
+    static T: OnceLock<[[u64; 256]; 8]> = OnceLock::new();
+    T.get_or_init(|| byte_perm_table(&FP))
+}
+
+fn apply_byte_perm(tab: &[[u64; 256]; 8], src: u64) -> u64 {
+    src.to_be_bytes()
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (pos, &val)| acc ^ tab[pos][val as usize])
+}
+
 /// A DES key schedule: 16 48-bit subkeys.
 ///
 /// ```
@@ -128,6 +206,7 @@ pub struct Des {
 impl Des {
     /// Build the key schedule from an 8-byte key (parity bits ignored).
     pub fn new(key: &[u8; 8]) -> Self {
+        KEY_SCHEDULES.fetch_add(1, Ordering::Relaxed);
         let key64 = u64::from_be_bytes(*key);
         let pc1 = permute(key64, 64, &PC1); // 56 bits
         let mut c = (pc1 >> 28) & 0x0fff_ffff;
@@ -141,8 +220,24 @@ impl Des {
         Des { subkeys }
     }
 
-    /// The Feistel function f(R, K).
-    fn feistel(r: u32, subkey: u64) -> u32 {
+    /// The Feistel function f(R, K) over the merged SP tables.
+    fn feistel(r: u32, subkey: u64, sp: &[[u32; 64]; 8]) -> u32 {
+        // E-expansion without a table: lay out bit 32 | bits 1..=32 | bit 1
+        // as a 34-bit value; each 6-bit input chunk i then sits at bit
+        // offset 28 - 4i, overlapping its neighbours exactly as E specifies.
+        let t = (((r & 1) as u64) << 33) | ((r as u64) << 1) | ((r >> 31) as u64);
+        let mut f = 0u32;
+        for (i, lane) in sp.iter().enumerate() {
+            let six = ((t >> (28 - 4 * i)) ^ (subkey >> (42 - 6 * i))) & 0x3f;
+            f ^= lane[six as usize];
+        }
+        f
+    }
+
+    /// The Feistel function computed straight from the FIPS tables — the
+    /// specification the SP-table path must match bit for bit.
+    #[cfg(test)]
+    fn feistel_reference(r: u32, subkey: u64) -> u32 {
         let expanded = permute(r as u64, 32, &E) ^ subkey; // 48 bits
         let mut sboxed = 0u32;
         for (i, sbox) in SBOX.iter().enumerate() {
@@ -156,7 +251,8 @@ impl Des {
     }
 
     fn crypt_block(&self, block: u64, decrypt: bool) -> u64 {
-        let permuted = permute(block, 64, &IP);
+        let sp = sp_tables();
+        let permuted = apply_byte_perm(ip_tables(), block);
         let mut l = (permuted >> 32) as u32;
         let mut r = permuted as u32;
         for round in 0..16 {
@@ -165,12 +261,12 @@ impl Des {
             } else {
                 self.subkeys[round]
             };
-            let next_r = l ^ Self::feistel(r, k);
+            let next_r = l ^ Self::feistel(r, k, sp);
             l = r;
             r = next_r;
         }
         // Note the final swap: output is R16 || L16.
-        permute(((r as u64) << 32) | l as u64, 64, &FP)
+        apply_byte_perm(fp_tables(), ((r as u64) << 32) | l as u64)
     }
 
     /// Encrypt a single 8-byte block in place.
@@ -328,6 +424,12 @@ pub fn zero_pad(data: &[u8]) -> Vec<u8> {
     v
 }
 
+/// Length of `len` bytes of plaintext after zero padding to a block
+/// multiple — what [`zero_pad`] would produce, without allocating.
+pub fn padded_len(len: usize) -> usize {
+    len.div_ceil(BLOCK_SIZE) * BLOCK_SIZE
+}
+
 /// Streaming block encryptor carrying the chaining state of a mode.
 ///
 /// The single-pass MAC+encrypt loop of §5.3 needs to process one block at a
@@ -429,14 +531,44 @@ impl<'a, C: BlockCipher> BlockDecryptor<'a, C> {
     }
 }
 
-/// Encrypt `plaintext` (any length; zero-padded to a block multiple) under
-/// `key` with the 64-bit `iv` (the duplicated confounder) in `mode`.
-pub fn encrypt<C: BlockCipher>(key: &C, iv: u64, mode: Mode, plaintext: &[u8]) -> Vec<u8> {
-    let mut data = zero_pad(plaintext);
+/// Encrypt a block-multiple buffer in place — the zero-copy fast path.
+/// Callers pad with [`zero_pad`]/[`padded_len`] (or write into an already
+/// block-sized region) so no ciphertext temporary is allocated.
+///
+/// # Panics
+/// Panics if `data` is not a block multiple.
+pub fn encrypt_in_place<C: BlockCipher>(key: &C, iv: u64, mode: Mode, data: &mut [u8]) {
+    assert!(
+        data.len().is_multiple_of(BLOCK_SIZE),
+        "plaintext not a block multiple"
+    );
     let mut enc = BlockEncryptor::new(key, mode, iv);
     for chunk in data.chunks_exact_mut(8) {
         enc.process(chunk.try_into().unwrap());
     }
+}
+
+/// Decrypt a block-multiple buffer in place; the caller trims padding using
+/// the plaintext length carried in the security flow header.
+///
+/// # Panics
+/// Panics if `data` is not a block multiple.
+pub fn decrypt_in_place<C: BlockCipher>(key: &C, iv: u64, mode: Mode, data: &mut [u8]) {
+    assert!(
+        data.len().is_multiple_of(BLOCK_SIZE),
+        "ciphertext not a block multiple"
+    );
+    let mut dec = BlockDecryptor::new(key, mode, iv);
+    for chunk in data.chunks_exact_mut(8) {
+        dec.process(chunk.try_into().unwrap());
+    }
+}
+
+/// Encrypt `plaintext` (any length; zero-padded to a block multiple) under
+/// `key` with the 64-bit `iv` (the duplicated confounder) in `mode`.
+pub fn encrypt<C: BlockCipher>(key: &C, iv: u64, mode: Mode, plaintext: &[u8]) -> Vec<u8> {
+    let mut data = zero_pad(plaintext);
+    encrypt_in_place(key, iv, mode, &mut data);
     data
 }
 
@@ -451,16 +583,9 @@ pub fn decrypt<C: BlockCipher>(
     ciphertext: &[u8],
     orig_len: usize,
 ) -> Vec<u8> {
-    assert!(
-        ciphertext.len().is_multiple_of(BLOCK_SIZE),
-        "ciphertext not a block multiple"
-    );
     assert!(orig_len <= ciphertext.len(), "orig_len exceeds ciphertext");
     let mut data = ciphertext.to_vec();
-    let mut dec = BlockDecryptor::new(key, mode, iv);
-    for chunk in data.chunks_exact_mut(8) {
-        dec.process(chunk.try_into().unwrap());
-    }
+    decrypt_in_place(key, iv, mode, &mut data);
     data.truncate(orig_len);
     data
 }
@@ -652,6 +777,63 @@ mod tests {
         weak.encrypt_block(&mut b);
         weak.encrypt_block(&mut b);
         assert_eq!(&b, b"involute");
+    }
+
+    #[test]
+    fn fast_feistel_matches_reference() {
+        // The SP-table round function must equal the FIPS-table one for a
+        // spread of (R, subkey) inputs, including edge bits.
+        let sp = sp_tables();
+        let mut x = 0x9E3779B97F4A7C15u64; // weyl-ish generator, deterministic
+        for _ in 0..4096 {
+            x = x.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+            let r = (x >> 16) as u32;
+            let k = x & 0xFFFF_FFFF_FFFF; // 48-bit subkey
+            assert_eq!(Des::feistel(r, k, sp), Des::feistel_reference(r, k));
+        }
+        for r in [0u32, 1, 0x8000_0000, u32::MAX] {
+            for k in [0u64, 0xFFFF_FFFF_FFFF, 0xAAAA_AAAA_AAAA] {
+                assert_eq!(Des::feistel(r, k, sp), Des::feistel_reference(r, k));
+            }
+        }
+    }
+
+    #[test]
+    fn byte_perm_tables_match_permute() {
+        let mut x = 0x0123456789ABCDEFu64;
+        for _ in 0..1024 {
+            x = x.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(0xB5);
+            assert_eq!(apply_byte_perm(ip_tables(), x), permute(x, 64, &IP));
+            assert_eq!(apply_byte_perm(fp_tables(), x), permute(x, 64, &FP));
+        }
+    }
+
+    #[test]
+    fn in_place_matches_allocating_path() {
+        let des = Des::new(b"8bytekey");
+        let msg = [0x3Cu8; 40];
+        for mode in [Mode::Ecb, Mode::Cbc, Mode::Cfb, Mode::Ofb] {
+            let whole = encrypt(&des, 0xFEED, mode, &msg);
+            let mut buf = msg;
+            encrypt_in_place(&des, 0xFEED, mode, &mut buf);
+            assert_eq!(&buf[..], &whole[..], "encrypt {mode:?}");
+            decrypt_in_place(&des, 0xFEED, mode, &mut buf);
+            assert_eq!(buf, msg, "decrypt {mode:?}");
+        }
+    }
+
+    #[test]
+    fn padded_len_matches_zero_pad() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 8191, 8192] {
+            assert_eq!(padded_len(len), zero_pad(&vec![0u8; len]).len());
+        }
+    }
+
+    #[test]
+    fn key_schedule_counter_increments() {
+        let before = key_schedule_count();
+        let _ = Des::new(b"8bytekey");
+        assert!(key_schedule_count() > before);
     }
 
     #[test]

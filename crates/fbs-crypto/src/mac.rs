@@ -127,27 +127,50 @@ impl MacContext {
 
     /// Finish and return the MAC bytes.
     pub fn finalize(self) -> Vec<u8> {
+        let mut out = [0u8; MAX_MAC_SIZE];
+        let len = self.finalize_into(&mut out);
+        out[..len].to_vec()
+    }
+
+    /// Finish, writing the MAC into `out` and returning its length — the
+    /// zero-copy fast path: no digest temporary is heap-allocated.
+    pub fn finalize_into(self, out: &mut [u8; MAX_MAC_SIZE]) -> usize {
         match self {
-            MacContext::KeyedMd5(ctx) => ctx.finalize().to_vec(),
-            MacContext::KeyedSha1(ctx) => ctx.finalize().to_vec(),
+            MacContext::KeyedMd5(ctx) => {
+                out[..16].copy_from_slice(&ctx.finalize());
+                16
+            }
+            MacContext::KeyedSha1(ctx) => {
+                out[..20].copy_from_slice(&ctx.finalize());
+                20
+            }
             MacContext::HmacMd5 { inner, key_block } => {
                 let inner_digest = inner.finalize();
                 let mut outer = Md5::new();
-                let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
-                outer.update(&opad);
+                outer.update(&xor_block(&key_block, 0x5c));
                 outer.update(&inner_digest);
-                outer.finalize().to_vec()
+                out[..16].copy_from_slice(&outer.finalize());
+                16
             }
             MacContext::HmacSha1 { inner, key_block } => {
                 let inner_digest = inner.finalize();
                 let mut outer = Sha1::new();
-                let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
-                outer.update(&opad);
+                outer.update(&xor_block(&key_block, 0x5c));
                 outer.update(&inner_digest);
-                outer.finalize().to_vec()
+                out[..20].copy_from_slice(&outer.finalize());
+                20
             }
         }
     }
+}
+
+/// XOR an HMAC key block with the ipad/opad byte on the stack.
+fn xor_block(block: &[u8; HMAC_BLOCK], pad: u8) -> [u8; HMAC_BLOCK] {
+    let mut out = *block;
+    for b in &mut out {
+        *b ^= pad;
+    }
+    out
 }
 
 impl MacAlgorithm {
@@ -172,8 +195,7 @@ impl MacAlgorithm {
                     k[..key.len()].copy_from_slice(key);
                 }
                 let mut inner = Md5::new();
-                let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
-                inner.update(&ipad);
+                inner.update(&xor_block(&k, 0x36));
                 MacContext::HmacMd5 {
                     inner,
                     key_block: k,
@@ -187,8 +209,7 @@ impl MacAlgorithm {
                     k[..key.len()].copy_from_slice(key);
                 }
                 let mut inner = Sha1::new();
-                let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
-                inner.update(&ipad);
+                inner.update(&xor_block(&k, 0x36));
                 MacContext::HmacSha1 {
                     inner,
                     key_block: k,
@@ -218,15 +239,13 @@ fn hmac_md5_parts(key: &[u8], parts: &[&[u8]]) -> [u8; 16] {
         k[..key.len()].copy_from_slice(key);
     }
     let mut inner = Md5::new();
-    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
-    inner.update(&ipad);
+    inner.update(&xor_block(&k, 0x36));
     for p in parts {
         inner.update(p);
     }
     let inner_digest = inner.finalize();
     let mut outer = Md5::new();
-    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
-    outer.update(&opad);
+    outer.update(&xor_block(&k, 0x5c));
     outer.update(&inner_digest);
     outer.finalize()
 }
@@ -239,15 +258,13 @@ fn hmac_sha1_parts(key: &[u8], parts: &[&[u8]]) -> [u8; 20] {
         k[..key.len()].copy_from_slice(key);
     }
     let mut inner = Sha1::new();
-    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
-    inner.update(&ipad);
+    inner.update(&xor_block(&k, 0x36));
     for p in parts {
         inner.update(p);
     }
     let inner_digest = inner.finalize();
     let mut outer = Sha1::new();
-    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
-    outer.update(&opad);
+    outer.update(&xor_block(&k, 0x5c));
     outer.update(&inner_digest);
     outer.finalize()
 }

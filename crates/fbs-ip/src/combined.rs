@@ -11,7 +11,7 @@
 
 use crate::tuple::FiveTuple;
 use fbs_core::policy::FlowAttrs;
-use fbs_core::{FlowKey, SflAllocator};
+use fbs_core::{SealedFlowKey, SflAllocator};
 use fbs_crypto::crc32;
 use fbs_obs::{CacheKind, CacheOutcome, Event, MetricsRegistry, MetricsSnapshot};
 use std::sync::Arc;
@@ -21,7 +21,7 @@ use std::sync::Arc;
 struct Entry {
     tuple: FiveTuple,
     sfl: u64,
-    key: FlowKey,
+    key: Arc<SealedFlowKey>,
     last_secs: u64,
 }
 
@@ -29,8 +29,9 @@ struct Entry {
 pub struct CombinedHit {
     /// The flow's sfl.
     pub sfl: u64,
-    /// The flow key to use.
-    pub key: FlowKey,
+    /// The flow key to use, with its DES schedule pre-expanded; cloning is
+    /// a refcount bump.
+    pub key: Arc<SealedFlowKey>,
     /// True when this datagram started a new flow (key was derived).
     pub new_flow: bool,
 }
@@ -98,7 +99,7 @@ impl CombinedTable {
         &mut self,
         tuple: FiveTuple,
         now_secs: u64,
-        derive: impl FnOnce(u64) -> Result<FlowKey, E>,
+        derive: impl FnOnce(u64) -> Result<Arc<SealedFlowKey>, E>,
     ) -> Result<CombinedHit, E> {
         let i = crc32(&tuple.canonical_bytes()) as usize % self.slots.len();
         let mut displaced_live = false;
@@ -109,7 +110,7 @@ impl CombinedTable {
                 self.stats.hits += 1;
                 let hit = CombinedHit {
                     sfl: e.sfl,
-                    key: e.key.clone(),
+                    key: Arc::clone(&e.key),
                     new_flow: false,
                 };
                 if let Some(reg) = &self.obs {
@@ -142,7 +143,7 @@ impl CombinedTable {
         self.slots[i] = Some(Entry {
             tuple,
             sfl,
-            key: key.clone(),
+            key: Arc::clone(&key),
             last_secs: now_secs,
         });
         self.stats.new_flows += 1;
@@ -179,6 +180,7 @@ impl CombinedTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fbs_core::FlowKey;
 
     fn tuple(sport: u16) -> FiveTuple {
         FiveTuple {
@@ -194,8 +196,10 @@ mod tests {
         CombinedTable::new(64, 600, SflAllocator::new(100))
     }
 
-    fn fake_key(sfl: u64) -> Result<FlowKey, ()> {
-        Ok(FlowKey(sfl.to_be_bytes().repeat(2)))
+    fn fake_key(sfl: u64) -> Result<Arc<SealedFlowKey>, ()> {
+        Ok(Arc::new(SealedFlowKey::seal(FlowKey(
+            sfl.to_be_bytes().repeat(2),
+        ))))
     }
 
     #[test]
@@ -217,7 +221,7 @@ mod tests {
             .unwrap();
         assert!(!h2.new_flow);
         assert_eq!(h1.sfl, h2.sfl);
-        assert_eq!(h1.key, h2.key);
+        assert_eq!(h1.key.as_bytes(), h2.key.as_bytes());
         assert_eq!(derived, 1, "key derivation happens once per flow");
         assert_eq!(t.stats().hits, 1);
     }

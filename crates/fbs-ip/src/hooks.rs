@@ -242,71 +242,26 @@ impl SecurityHooks for FbsIpHooks {
         now_us: u64,
     ) -> Result<Vec<u8>, String> {
         let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        inner.hook_entry(Direction::Output);
-        let now_secs = now_us / 1_000_000;
-        let is_transport = matches!(Proto::from_number(header.proto), Proto::Mrt | Proto::Udp);
-        let tuple = if is_transport {
-            match FiveTuple::extract(header.proto, header.src, header.dst, &payload) {
-                Some(t) => t,
-                None => {
-                    inner.stats.output_errors += 1;
-                    inner.hook_exit(Direction::Output, false);
-                    return Err("payload too short for 5-tuple extraction".into());
-                }
-            }
-        } else {
-            // Footnote-10 extension: raw IP forms host-level flows — the
-            // "5-tuple" degenerates to (proto, saddr, daddr).
-            FiveTuple {
-                proto: header.proto,
-                saddr: header.src,
-                sport: 0,
-                daddr: header.dst,
-                dport: 0,
-            }
-        };
-        let datagram = Datagram {
-            source: Principal::from_ipv4(header.src),
-            destination: Principal::from_ipv4(header.dst),
-            body: payload,
-        };
-        let secret = inner.cfg.encrypt;
-        let result = match &mut inner.combined {
-            // §7.2: one lookup resolves flow identity AND key.
-            Some(table) => {
-                let endpoint = &mut inner.endpoint;
-                let dst = datagram.destination.clone();
-                table
-                    .lookup(tuple, now_secs, |sfl| {
-                        endpoint.derive_flow_key_tx(sfl, &dst)
-                    })
-                    .and_then(|hit| endpoint.send_with_key(hit.sfl, &hit.key, datagram, secret))
-            }
-            // Textbook: FAM classification, then TFKC inside send().
-            None => {
-                let bytes = datagram.body.len() as u64;
-                let class = inner.fam.classify(tuple, now_secs, bytes);
-                inner.endpoint.send(class.sfl, datagram, secret)
-            }
-        };
-        match result {
-            Ok(pd) => {
-                let out = pd.encode_payload();
-                let delta = out.len() as isize - pd.header.plaintext_len as isize;
-                header.grow_payload(delta);
-                inner.stats.protected += 1;
-                inner.hook_exit(Direction::Output, true);
-                Ok(out)
-            }
-            Err(e) => {
-                inner.stats.output_errors += 1;
-                inner.hook_exit(Direction::Output, false);
-                Err(e.to_string())
-            }
-        }
+        output_locked(&mut inner, header, payload, now_us)
     }
 
+    /// Batch output: the shared state is locked ONCE for the whole batch
+    /// rather than once per datagram, so concurrent input processing (or a
+    /// stats reader) contends per batch, not per packet.
+    fn output_batch(
+        &mut self,
+        items: Vec<(Ipv4Header, Vec<u8>)>,
+        now_us: u64,
+    ) -> Vec<(Ipv4Header, Result<Vec<u8>, String>)> {
+        let mut inner = self.inner.lock();
+        items
+            .into_iter()
+            .map(|(mut header, payload)| {
+                let res = output_locked(&mut inner, &mut header, payload, now_us);
+                (header, res)
+            })
+            .collect()
+    }
     fn input(
         &mut self,
         header: &mut Ipv4Header,
@@ -339,6 +294,79 @@ impl SecurityHooks for FbsIpHooks {
                 inner.hook_exit(Direction::Input, false);
                 Err(e.to_string())
             }
+        }
+    }
+}
+
+/// The §7.2 output path, run with the shared state already locked —
+/// `SecurityHooks::output` locks per datagram, `output_batch` once per
+/// batch.
+fn output_locked(
+    inner: &mut Inner,
+    header: &mut Ipv4Header,
+    payload: Vec<u8>,
+    now_us: u64,
+) -> Result<Vec<u8>, String> {
+    inner.hook_entry(Direction::Output);
+    let now_secs = now_us / 1_000_000;
+    let is_transport = matches!(Proto::from_number(header.proto), Proto::Mrt | Proto::Udp);
+    let tuple = if is_transport {
+        match FiveTuple::extract(header.proto, header.src, header.dst, &payload) {
+            Some(t) => t,
+            None => {
+                inner.stats.output_errors += 1;
+                inner.hook_exit(Direction::Output, false);
+                return Err("payload too short for 5-tuple extraction".into());
+            }
+        }
+    } else {
+        // Footnote-10 extension: raw IP forms host-level flows — the
+        // "5-tuple" degenerates to (proto, saddr, daddr).
+        FiveTuple {
+            proto: header.proto,
+            saddr: header.src,
+            sport: 0,
+            daddr: header.dst,
+            dport: 0,
+        }
+    };
+    let datagram = Datagram {
+        source: Principal::from_ipv4(header.src),
+        destination: Principal::from_ipv4(header.dst),
+        body: payload,
+    };
+    let secret = inner.cfg.encrypt;
+    let result = match &mut inner.combined {
+        // §7.2: one lookup resolves flow identity AND key.
+        Some(table) => {
+            let endpoint = &mut inner.endpoint;
+            let dst = datagram.destination.clone();
+            table
+                .lookup(tuple, now_secs, |sfl| {
+                    endpoint.derive_flow_key_tx(sfl, &dst)
+                })
+                .and_then(|hit| endpoint.send_with_key(hit.sfl, &hit.key, datagram, secret))
+        }
+        // Textbook: FAM classification, then TFKC inside send().
+        None => {
+            let bytes = datagram.body.len() as u64;
+            let class = inner.fam.classify(tuple, now_secs, bytes);
+            inner.endpoint.send(class.sfl, datagram, secret)
+        }
+    };
+    match result {
+        Ok(pd) => {
+            let out = pd.encode_payload();
+            let delta = out.len() as isize - pd.header.plaintext_len as isize;
+            header.grow_payload(delta);
+            inner.stats.protected += 1;
+            inner.hook_exit(Direction::Output, true);
+            Ok(out)
+        }
+        Err(e) => {
+            inner.stats.output_errors += 1;
+            inner.hook_exit(Direction::Output, false);
+            Err(e.to_string())
         }
     }
 }

@@ -50,6 +50,24 @@ pub trait SecurityHooks: Send {
         payload: Vec<u8>,
         now_us: u64,
     ) -> std::result::Result<Vec<u8>, String>;
+
+    /// Batch form of [`Self::output`]: protect several datagrams in one
+    /// call, returning one `(header, result)` per item in submission order.
+    /// The default loops [`Self::output`]; implementations override to
+    /// amortise per-datagram dispatch cost (locking, worker hand-off).
+    fn output_batch(
+        &mut self,
+        items: Vec<(Ipv4Header, Vec<u8>)>,
+        now_us: u64,
+    ) -> Vec<(Ipv4Header, std::result::Result<Vec<u8>, String>)> {
+        items
+            .into_iter()
+            .map(|(mut header, payload)| {
+                let res = self.output(&mut header, payload, now_us);
+                (header, res)
+            })
+            .collect()
+    }
 }
 
 /// Host-level counters.
@@ -186,7 +204,71 @@ impl Host {
             _ => payload,
         };
 
-        // Part 2: fragmentation.
+        self.fragment_and_send(header, payload)
+    }
+
+    /// Batch IP output: part 1 (identification) for every datagram, then
+    /// ONE [`SecurityHooks::output_batch`] call covering all protected
+    /// datagrams, then per-datagram fragmentation and transmission. Frames
+    /// hit the wire in submission order; the returned results line up with
+    /// `items`.
+    pub fn ip_output_batch(
+        &mut self,
+        items: Vec<(Ipv4Header, Vec<u8>)>,
+        now_us: u64,
+    ) -> Vec<Result<()>> {
+        // Part 1: assign datagram identifications in submission order.
+        let mut items = items;
+        for (header, _) in &mut items {
+            header.id = self.ip_id;
+            self.ip_id = self.ip_id.wrapping_add(1);
+        }
+
+        // Security hook between parts 1 and 2 — one call for the whole
+        // covered subset, so hooks amortise locking and dispatch.
+        type Staged = (Ipv4Header, std::result::Result<Vec<u8>, String>);
+        let mut slots: Vec<Option<Staged>> = items.iter().map(|_| None).collect();
+        match &mut self.hooks {
+            Some(h) => {
+                let mut batch = Vec::new();
+                let mut batch_idx = Vec::new();
+                for (i, (header, payload)) in items.into_iter().enumerate() {
+                    if h.covers(header.proto) {
+                        batch_idx.push(i);
+                        batch.push((header, payload));
+                    } else {
+                        slots[i] = Some((header, Ok(payload)));
+                    }
+                }
+                for (i, staged) in batch_idx.into_iter().zip(h.output_batch(batch, now_us)) {
+                    slots[i] = Some(staged);
+                }
+            }
+            None => {
+                for (i, (header, payload)) in items.into_iter().enumerate() {
+                    slots[i] = Some((header, Ok(payload)));
+                }
+            }
+        }
+
+        // Parts 2-3 per datagram, preserving submission order.
+        slots
+            .into_iter()
+            .map(|slot| {
+                let (header, res) = slot.expect("every datagram staged exactly once");
+                match res {
+                    Ok(payload) => self.fragment_and_send(header, payload),
+                    Err(why) => {
+                        self.stats.hook_output_rejects += 1;
+                        Err(NetError::SecurityReject(why))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Parts 2 (fragmentation) and 3 (transmission) of IP output.
+    fn fragment_and_send(&mut self, header: Ipv4Header, payload: Vec<u8>) -> Result<()> {
         let frags = fragment(Packet::new(header, payload), self.mtu)?;
         if frags.len() > 1 {
             if let Some(reg) = &self.obs {
@@ -195,8 +277,6 @@ impl Host {
                 });
             }
         }
-
-        // Part 3: hand frames to the interface queue.
         for f in frags {
             self.out.push_back(f.encode());
             self.stats.frames_sent += 1;

@@ -74,10 +74,18 @@ pub enum Counter {
     MrtRetransmits,
     /// Certificate verification failures in the PVC.
     PvcVerifyFailures,
+    /// Buffer-pool takes served from the freelist.
+    PoolHits,
+    /// Buffer-pool takes that had to allocate a fresh buffer.
+    PoolMisses,
+    /// Datagrams dispatched to parallel-sealer workers.
+    SealerJobs,
+    /// Batches submitted to the parallel sealer.
+    SealerBatches,
 }
 
 /// Number of scalar counters.
-const NUM_COUNTERS: usize = 28;
+const NUM_COUNTERS: usize = 32;
 
 impl Counter {
     /// All counters, in snapshot order.
@@ -110,6 +118,10 @@ impl Counter {
         Counter::ReassemblyTimeouts,
         Counter::MrtRetransmits,
         Counter::PvcVerifyFailures,
+        Counter::PoolHits,
+        Counter::PoolMisses,
+        Counter::SealerJobs,
+        Counter::SealerBatches,
     ];
 
     /// The hierarchical counter key.
@@ -143,6 +155,10 @@ impl Counter {
             Counter::ReassemblyTimeouts => "net.reassembly_timeouts",
             Counter::MrtRetransmits => "mrt.retransmits",
             Counter::PvcVerifyFailures => "pvc.verify_failures",
+            Counter::PoolHits => "pool.hits",
+            Counter::PoolMisses => "pool.misses",
+            Counter::SealerJobs => "sealer.jobs",
+            Counter::SealerBatches => "sealer.batches",
         }
     }
 
