@@ -1,0 +1,87 @@
+//! Chaos soak harness — emits `BENCH_chaos.json`.
+//!
+//! `cargo run --release -p fbs-bench --bin chaos_soak
+//!  [-- --seed <n>] [--short] [--out <path.json>] [--csv]`
+//!
+//! Runs a scripted directory/MKD outage with cache-flush storms against a
+//! two-host FBS LAN (see `fbs_bench::chaos` for the phase script) and
+//! reports degradation and recovery. Exits non-zero when the run fails to
+//! converge — goodput under 90% of baseline, a breaker stuck open, or
+//! datagrams still parked — so CI can gate on it directly.
+
+use fbs_bench::chaos::{self, SoakConfig};
+use fbs_bench::emit;
+
+fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let seed: u64 = flag_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let mut cfg = SoakConfig {
+        seed,
+        ..SoakConfig::default()
+    };
+    if std::env::args().any(|a| a == "--short") {
+        // CI smoke shape: ~4.5 s of virtual time instead of 13 s.
+        cfg.baseline_us = 1_000_000;
+        cfg.fault_us = 1_000_000;
+        cfg.settle_us = 1_000_000;
+        cfg.recovery_us = 1_500_000;
+        cfg.send_interval_us = 4_000;
+        cfg.step_us = 1_000;
+    }
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_chaos.json".into());
+
+    let report = chaos::run(cfg);
+
+    let row = |name: &str, t: &chaos::PhaseTally| {
+        vec![
+            name.to_string(),
+            t.sent.to_string(),
+            t.send_rejected.to_string(),
+            t.delivered.to_string(),
+            format!("{:.1}", t.goodput_per_sec),
+        ]
+    };
+    emit(
+        &format!(
+            "chaos soak — seed={}, fault {} ms, parks out/in peak {}/{}",
+            report.cfg.seed,
+            report.cfg.fault_us / 1_000,
+            report.out_park.peak_depth,
+            report.in_park.peak_depth
+        ),
+        &["phase", "sent", "rejected", "delivered", "goodput/s"],
+        &[
+            row("baseline", &report.baseline),
+            row("fault", &report.fault),
+            row("settle", &report.settle),
+            row("recovery", &report.recovery),
+        ],
+    );
+    println!(
+        "\nrecovery ratio: {:.3} (threshold 0.9), breaker closed: {}, parked left: {:?}",
+        report.recovery_ratio, report.breaker_closed, report.final_depths
+    );
+
+    match std::fs::write(&out, report.to_json()) {
+        Ok(()) => eprintln!("report written to {out}"),
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !report.converged {
+        eprintln!("chaos soak FAILED to converge");
+        std::process::exit(1);
+    }
+}

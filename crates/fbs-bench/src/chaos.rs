@@ -1,0 +1,502 @@
+//! Chaos soak: scripted directory/MKD outages and cache flushes against a
+//! two-host FBS LAN, measuring degradation and — the point — recovery.
+//!
+//! The soak runs four virtual-time phases over one UDP flow A → B:
+//!
+//! 1. **baseline** — fault-free; establishes the goodput yardstick.
+//! 2. **fault** — a [`FaultPlan`] takes the certificate directory and the
+//!    MKD upcall path down. The first half flushes only the *receiver's*
+//!    soft state (B parks inbound datagrams it can no longer verify); the
+//!    second half flushes the *sender's* too (A parks outbound datagrams
+//!    it can no longer key). Parking queues are bounded, so sustained
+//!    pressure surfaces as counted overflow drops, never memory growth.
+//! 3. **settle** — faults lift; breakers half-open and close, parked
+//!    datagrams drain, caches re-warm.
+//! 4. **recovery** — measured again; convergence means goodput is back to
+//!    ≥ 90% of baseline with breakers closed and park queues empty.
+//!
+//! Everything is a pure function of the seed and virtual time: the same
+//! seed yields byte-identical `BENCH_chaos.json` reports.
+
+use fbs_cert::{CertSource, CertificateAuthority, Directory, Pvc};
+use fbs_chaos::{
+    ChaosDirectory, ChaosDirectoryStats, ChaosPvs, ChaosPvsStats, FaultKind, FaultPlan, FlushScope,
+    VirtualClock,
+};
+use fbs_core::mkd::PublicValueSource;
+use fbs_core::{
+    BreakerConfig, BreakerState, Clock, KeyUnavailableVerdict, MasterKeyDaemon, ParkStats,
+    Principal, Resilience, RetryPolicy,
+};
+use fbs_crypto::dh::{DhGroup, PrivateValue};
+use fbs_ip::hooks::{FbsIpHooks, IpMappingConfig};
+use fbs_net::ip::Ipv4Addr;
+use fbs_net::segment::Impairments;
+use fbs_net::stack::{Host, Network};
+use fbs_obs::MetricsRegistry;
+use std::sync::Arc;
+use std::time::Duration;
+
+const A: Ipv4Addr = [10, 77, 0, 1];
+const B: Ipv4Addr = [10, 77, 0, 2];
+const PORT: u16 = 9000;
+
+/// Soak shape: phase durations and traffic parameters, all virtual time.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Deterministic seed for the network, keys, and fault plan.
+    pub seed: u64,
+    /// Fault-free warm-up/measurement phase, µs.
+    pub baseline_us: u64,
+    /// Fault window, µs (directory + MKD outage).
+    pub fault_us: u64,
+    /// Post-fault grace before the recovery measurement, µs.
+    pub settle_us: u64,
+    /// Recovery measurement phase, µs.
+    pub recovery_us: u64,
+    /// One datagram sent every this many µs, all phases.
+    pub send_interval_us: u64,
+    /// UDP payload size, bytes.
+    pub payload_bytes: usize,
+    /// Simulation step, µs.
+    pub step_us: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            seed: 7,
+            baseline_us: 3_000_000,
+            fault_us: 2_000_000,
+            settle_us: 2_000_000,
+            recovery_us: 6_000_000,
+            send_interval_us: 2_000,
+            payload_bytes: 512,
+            step_us: 500,
+        }
+    }
+}
+
+/// Sent/delivered tallies for one phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTally {
+    /// Datagrams handed to the sender's stack (accepted OR parked).
+    pub sent: u64,
+    /// Datagrams the sender's hook rejected outright.
+    pub send_rejected: u64,
+    /// Datagrams delivered to B's socket by the end of the phase.
+    pub delivered: u64,
+    /// Delivered per second of phase time.
+    pub goodput_per_sec: f64,
+}
+
+/// The full `BENCH_chaos.json` payload.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Configuration the soak ran under.
+    pub cfg: SoakConfig,
+    /// Per-phase traffic tallies, in phase order.
+    pub baseline: PhaseTally,
+    /// Tally during the fault window.
+    pub fault: PhaseTally,
+    /// Tally during the settle grace.
+    pub settle: PhaseTally,
+    /// Tally during the recovery measurement.
+    pub recovery: PhaseTally,
+    /// recovery goodput / baseline goodput.
+    pub recovery_ratio: f64,
+    /// Both hosts' peer breakers closed (or never opened) at the end.
+    pub breaker_closed: bool,
+    /// Output-park counters (sender side).
+    pub out_park: ParkStats,
+    /// Input-park counters (receiver side).
+    pub in_park: ParkStats,
+    /// Park queue depths at the end — must be (0, 0) for convergence.
+    pub final_depths: (usize, usize),
+    /// Sender-side directory impairment counters.
+    pub dir_chaos: ChaosDirectoryStats,
+    /// Receiver-side MKD impairment counters.
+    pub mkd_chaos: ChaosPvsStats,
+    /// Cache-flush pulses applied, by scope name.
+    pub flush_pulses: u64,
+    /// `park.* / degrade.* / retry.* / breaker.*` counters from the
+    /// shared fbs-obs registry both hosts report into.
+    pub resilience_counters: Vec<(String, u64)>,
+    /// The headline verdict: ratio ≥ 0.9, breakers closed, parks empty.
+    pub converged: bool,
+}
+
+impl ChaosReport {
+    /// Render as the `BENCH_chaos.json` document.
+    pub fn to_json(&self) -> String {
+        let tally = |t: &PhaseTally| {
+            format!(
+                "{{\"sent\": {}, \"send_rejected\": {}, \"delivered\": {}, \
+                 \"goodput_per_sec\": {:.1}}}",
+                t.sent, t.send_rejected, t.delivered, t.goodput_per_sec
+            )
+        };
+        let park = |p: &ParkStats| {
+            format!(
+                "{{\"parked\": {}, \"released\": {}, \"expired\": {}, \"overflow\": {}, \
+                 \"peak_depth\": {}}}",
+                p.parked, p.released, p.expired, p.overflow, p.peak_depth
+            )
+        };
+        let counters: Vec<String> = self
+            .resilience_counters
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": {v}"))
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"chaos\",\n  \"seed\": {},\n  \
+             \"phases_us\": {{\"baseline\": {}, \"fault\": {}, \"settle\": {}, \"recovery\": {}}},\n  \
+             \"send_interval_us\": {},\n  \"payload_bytes\": {},\n  \
+             \"baseline\": {},\n  \"fault\": {},\n  \"settle\": {},\n  \"recovery\": {},\n  \
+             \"recovery_ratio\": {:.3},\n  \"breaker_closed\": {},\n  \
+             \"out_park\": {},\n  \"in_park\": {},\n  \
+             \"final_depths\": [{}, {}],\n  \
+             \"dir_chaos\": {{\"fetches\": {}, \"outages\": {}, \"stale_served\": {}, \
+             \"garbage_served\": {}}},\n  \
+             \"mkd_chaos\": {{\"fetches\": {}, \"outages\": {}}},\n  \
+             \"flush_pulses\": {},\n  \"resilience_counters\": {{\n{}\n  }},\n  \
+             \"converged\": {}\n}}\n",
+            self.cfg.seed,
+            self.cfg.baseline_us,
+            self.cfg.fault_us,
+            self.cfg.settle_us,
+            self.cfg.recovery_us,
+            self.cfg.send_interval_us,
+            self.cfg.payload_bytes,
+            tally(&self.baseline),
+            tally(&self.fault),
+            tally(&self.settle),
+            tally(&self.recovery),
+            self.recovery_ratio,
+            self.breaker_closed,
+            park(&self.out_park),
+            park(&self.in_park),
+            self.final_depths.0,
+            self.final_depths.1,
+            self.dir_chaos.fetches,
+            self.dir_chaos.outages,
+            self.dir_chaos.stale_served,
+            self.dir_chaos.garbage_served,
+            self.mkd_chaos.fetches,
+            self.mkd_chaos.outages,
+            self.flush_pulses,
+            counters.join(",\n"),
+            self.converged
+        )
+    }
+}
+
+/// One chaos-wired host: keying runs MKD → [`ChaosPvs`] → PVC →
+/// [`ChaosDirectory`] → directory, with retry + breaker resilience.
+struct ChaosHost {
+    hooks: FbsIpHooks,
+    dir: Arc<ChaosDirectory>,
+    pvs: Arc<ChaosPvs>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn chaos_host(
+    addr: Ipv4Addr,
+    cfg: &IpMappingConfig,
+    clock: &VirtualClock,
+    group: &DhGroup,
+    ca: &CertificateAuthority,
+    directory: &Arc<Directory>,
+    plan: &FaultPlan,
+    seed: u64,
+) -> (Host, ChaosHost) {
+    let principal = Principal::from_ipv4(addr);
+    let mut entropy = seed.to_be_bytes().to_vec();
+    entropy.extend_from_slice(&addr);
+    entropy.extend_from_slice(b"fbs-chaos-soak-entropy");
+    let private = PrivateValue::from_entropy(group.clone(), &entropy);
+    directory.publish(ca.issue(principal.clone(), private.public_value(), 0, u64::MAX / 2));
+
+    let clock_arc: Arc<dyn Clock> = Arc::new(clock.clone());
+    let dir = Arc::new(ChaosDirectory::new(
+        Arc::clone(directory) as Arc<dyn CertSource>,
+        plan.clone(),
+        Arc::clone(&clock_arc),
+    ));
+    let pvc = Pvc::new(
+        32,
+        Arc::clone(&dir) as Arc<dyn CertSource>,
+        ca.verifier(),
+        Arc::clone(&clock_arc),
+    );
+    let pvs = Arc::new(ChaosPvs::new(
+        Arc::new(pvc) as Arc<dyn PublicValueSource>,
+        plan.clone(),
+        Arc::clone(&clock_arc),
+    ));
+    let mkd =
+        MasterKeyDaemon::new(private, Box::new(Arc::clone(&pvs))).with_resilience(Resilience::new(
+            RetryPolicy {
+                max_attempts: 3,
+                base_backoff_us: 20_000,
+                max_backoff_us: 200_000,
+                deadline_us: 400_000,
+                jitter_seed: seed,
+            },
+            BreakerConfig {
+                failure_threshold: 3,
+                open_duration_us: 500_000,
+            },
+            Arc::clone(&clock_arc),
+        ));
+    let addr_hash = u32::from_be_bytes(addr) as u64;
+    let endpoint = fbs_core::FbsEndpoint::new(
+        principal,
+        cfg.fbs.clone(),
+        clock_arc,
+        seed ^ (addr_hash << 16) ^ 0x5DEECE66D,
+        mkd,
+    );
+    let hooks = FbsIpHooks::new(endpoint, cfg.clone(), seed.rotate_left(17) ^ addr_hash);
+    let mut host = Host::new(addr, 1500);
+    host.install_hooks(Box::new(hooks.clone()));
+    (host, ChaosHost { hooks, dir, pvs })
+}
+
+/// The scripted fault plan, phase-relative to `baseline_us`.
+fn fault_plan(cfg: &SoakConfig) -> FaultPlan {
+    let f0 = cfg.baseline_us;
+    let half = cfg.fault_us / 2;
+    FaultPlan::new(cfg.seed)
+        // Keying infrastructure down for the whole fault window.
+        .with_window(f0, f0 + cfg.fault_us, FaultKind::DirectoryOutage)
+        .with_window(f0, f0 + cfg.fault_us, FaultKind::MkdOutage)
+        // First half: hammer the receiver's soft state so inbound
+        // datagrams park at B.
+        .with_window(
+            f0 + 100_000,
+            f0 + half,
+            FaultKind::EvictionStorm {
+                period_us: 300_000,
+                scope: FlushScope::Receiver,
+            },
+        )
+        // Second half: flush the sender too so outbound datagrams park
+        // (and overflow) at A.
+        .with_window(
+            f0 + half,
+            f0 + half + 50_000,
+            FaultKind::FlushCaches {
+                scope: FlushScope::Sender,
+            },
+        )
+        .with_window(
+            f0 + half,
+            f0 + cfg.fault_us,
+            FaultKind::EvictionStorm {
+                period_us: 300_000,
+                scope: FlushScope::Sender,
+            },
+        )
+}
+
+/// Apply one flush pulse to the matching host(s).
+fn apply_pulse(scope: FlushScope, a: &ChaosHost, b: &ChaosHost) -> u64 {
+    let flush = |h: &ChaosHost, peer: Ipv4Addr| {
+        h.hooks.flush_flow_keys();
+        h.hooks.forget_peer(&Principal::from_ipv4(peer));
+    };
+    match scope {
+        FlushScope::Sender => {
+            flush(a, B);
+            1
+        }
+        FlushScope::Receiver => {
+            flush(b, A);
+            1
+        }
+        FlushScope::All => {
+            flush(a, B);
+            flush(b, A);
+            2
+        }
+    }
+}
+
+/// Run the soak and assemble the report.
+pub fn run(cfg: SoakConfig) -> ChaosReport {
+    let clock = VirtualClock::starting_at_us(0);
+    let plan = fault_plan(&cfg);
+    let group = DhGroup::test_group();
+    let ca = CertificateAuthority::new("chaos-soak-ca", [0xC7; 16]);
+    let directory = Arc::new(Directory::new(Duration::ZERO));
+    let ip_cfg = IpMappingConfig {
+        key_unavailable: KeyUnavailableVerdict::Park,
+        park_capacity: 64,
+        park_deadline_us: 1_000_000,
+        ..IpMappingConfig::default()
+    };
+
+    let mut net = Network::new(cfg.seed, Impairments::ideal());
+    let (host_a, a) = chaos_host(A, &ip_cfg, &clock, &group, &ca, &directory, &plan, cfg.seed);
+    let (host_b, b) = chaos_host(
+        B,
+        &ip_cfg,
+        &clock,
+        &group,
+        &ca,
+        &directory,
+        &plan,
+        cfg.seed ^ 0xB0B,
+    );
+    let registry = Arc::new(MetricsRegistry::new());
+    a.hooks.attach_obs(Arc::clone(&registry));
+    b.hooks.attach_obs(Arc::clone(&registry));
+    net.add_host(host_a);
+    net.add_host(host_b);
+    net.host_mut(B).udp.bind(PORT).unwrap();
+
+    let phase_ends = [
+        cfg.baseline_us,
+        cfg.baseline_us + cfg.fault_us,
+        cfg.baseline_us + cfg.fault_us + cfg.settle_us,
+        cfg.baseline_us + cfg.fault_us + cfg.settle_us + cfg.recovery_us,
+    ];
+    let phase_lens = [
+        cfg.baseline_us,
+        cfg.fault_us,
+        cfg.settle_us,
+        cfg.recovery_us,
+    ];
+    let mut tallies = [PhaseTally::default(); 4];
+    let mut flush_pulses = 0u64;
+    let mut next_send = 0u64;
+    let mut delivered_before = 0u64;
+    let payload = vec![0x5Au8; cfg.payload_bytes];
+
+    for (phase, (&end, &len)) in phase_ends.iter().zip(phase_lens.iter()).enumerate() {
+        while net.now_us() < end {
+            let prev = net.now_us();
+            // Keep the protocol clock in lockstep with the medium, then
+            // fire any cache-chaos pulses that edge within this step.
+            clock.set_us(prev);
+            for scope in plan.cache_pulses(prev.saturating_sub(cfg.step_us), prev) {
+                flush_pulses += apply_pulse(scope, &a, &b);
+            }
+            while next_send <= prev {
+                let res = net.host_mut(A).udp_send(4000, B, PORT, &payload, prev);
+                tallies[phase].sent += 1;
+                if res.is_err() {
+                    tallies[phase].send_rejected += 1;
+                }
+                next_send += cfg.send_interval_us;
+            }
+            net.step(cfg.step_us.min(end - prev));
+        }
+        clock.set_us(net.now_us());
+        let delivered_total = net.host_mut(B).udp.pending(PORT) as u64;
+        tallies[phase].delivered = delivered_total - delivered_before;
+        tallies[phase].goodput_per_sec =
+            tallies[phase].delivered as f64 / (len as f64 / 1_000_000.0);
+        delivered_before = delivered_total;
+    }
+
+    let (out_park, _) = a.hooks.park_stats();
+    let (_, in_park) = b.hooks.park_stats();
+    let a_depths = a.hooks.parked_depths();
+    let b_depths = b.hooks.parked_depths();
+    let breaker_closed = [
+        a.hooks.breaker_state(&Principal::from_ipv4(B)),
+        b.hooks.breaker_state(&Principal::from_ipv4(A)),
+    ]
+    .iter()
+    .all(|s| matches!(s, None | Some(BreakerState::Closed)));
+
+    let recovery_ratio = tallies[3].goodput_per_sec / tallies[0].goodput_per_sec.max(1e-9);
+    let final_depths = (a_depths.0 + b_depths.0, a_depths.1 + b_depths.1);
+    let resilience_counters: Vec<(String, u64)> = registry
+        .snapshot()
+        .counters
+        .into_iter()
+        .filter(|(k, _)| {
+            ["park.", "degrade.", "retry.", "breaker."]
+                .iter()
+                .any(|p| k.starts_with(p))
+        })
+        .collect();
+    let converged = recovery_ratio >= 0.9 && breaker_closed && final_depths == (0, 0);
+
+    ChaosReport {
+        cfg,
+        baseline: tallies[0],
+        fault: tallies[1],
+        settle: tallies[2],
+        recovery: tallies[3],
+        recovery_ratio,
+        breaker_closed,
+        out_park,
+        in_park,
+        final_depths,
+        dir_chaos: a.dir.stats(),
+        mkd_chaos: b.pvs.stats(),
+        flush_pulses,
+        resilience_counters,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_cfg(seed: u64) -> SoakConfig {
+        SoakConfig {
+            seed,
+            baseline_us: 1_500_000,
+            fault_us: 1_500_000,
+            settle_us: 1_500_000,
+            recovery_us: 3_000_000,
+            send_interval_us: 4_000,
+            payload_bytes: 256,
+            step_us: 1_000,
+        }
+    }
+
+    #[test]
+    fn soak_converges_after_fault_window() {
+        let r = run(short_cfg(11));
+        // The fault really bit: goodput collapsed during the window and
+        // parks/drops were recorded somewhere in the stack.
+        assert!(
+            r.fault.goodput_per_sec < 0.8 * r.baseline.goodput_per_sec,
+            "fault had no effect: {r:?}"
+        );
+        assert!(r.dir_chaos.outages + r.mkd_chaos.outages > 0);
+        assert!(r.out_park.parked + r.in_park.parked > 0, "{r:?}");
+        // Bounded: the queue never exceeded its capacity.
+        assert!(r.out_park.peak_depth <= 64 && r.in_park.peak_depth <= 64);
+        // And the system came back.
+        assert!(r.converged, "no convergence: {r:?}");
+        assert_eq!(r.final_depths, (0, 0));
+        assert!(r.breaker_closed);
+        assert!(r.recovery_ratio >= 0.9, "ratio {}", r.recovery_ratio);
+    }
+
+    #[test]
+    fn soak_is_deterministic_for_a_seed() {
+        let one = run(short_cfg(23)).to_json();
+        let two = run(short_cfg(23)).to_json();
+        assert_eq!(one, two, "same seed must reproduce byte-identically");
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let json = run(short_cfg(5)).to_json();
+        assert!(json.contains("\"bench\": \"chaos\""));
+        assert!(json.contains("\"recovery_ratio\""));
+        assert!(json.contains("\"converged\""));
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -13,6 +13,23 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::time::Duration;
 
+/// Anything that can serve certificate fetches: the concrete
+/// [`Directory`], or a fault-injecting wrapper around one (`fbs-chaos`
+/// impairs fetches through this seam). The PVC holds its backing store
+/// as `Arc<dyn CertSource>` so chaos wrappers slot in without touching
+/// the cache.
+pub trait CertSource: Send + Sync {
+    /// Fetch the certificate for `principal` (may charge simulated RTT,
+    /// fail transiently, or serve stale data — the PVC re-verifies).
+    fn fetch_cert(&self, principal: &Principal) -> Result<Certificate>;
+}
+
+impl CertSource for Directory {
+    fn fetch_cert(&self, principal: &Principal) -> Result<Certificate> {
+        self.fetch(principal)
+    }
+}
+
 /// Directory statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DirectoryStats {

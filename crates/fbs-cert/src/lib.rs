@@ -36,5 +36,5 @@ pub mod directory;
 pub mod pvc;
 
 pub use authority::{CertVerifier, Certificate, CertificateAuthority};
-pub use directory::{Directory, DirectoryStats};
+pub use directory::{CertSource, Directory, DirectoryStats};
 pub use pvc::{Pvc, PvcStats};

@@ -12,11 +12,11 @@
 //! (on PVC miss) directory fetch.
 
 use crate::authority::{CertVerifier, Certificate};
-use crate::directory::Directory;
-use fbs_core::{Clock, Principal, PublicValueSource, Result, SoftCache};
+use crate::directory::CertSource;
+use fbs_core::{Clock, Principal, PublicValueSource, Result, RetryPolicy, SoftCache};
 use fbs_crypto::crc32;
 use fbs_crypto::dh::PublicValue;
-use fbs_obs::{CacheKind, Counter, MetricsRegistry, MetricsSnapshot};
+use fbs_obs::{CacheKind, Counter, Event, MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -29,6 +29,10 @@ pub struct PvcStats {
     pub misses: u64,
     /// Certificates that failed their per-use verification.
     pub verify_failures: u64,
+    /// Directory-fetch retries after a failed attempt.
+    pub retries: u64,
+    /// Fetches whose retry schedule was exhausted.
+    pub retry_exhausted: u64,
 }
 
 impl PvcStats {
@@ -38,6 +42,8 @@ impl PvcStats {
     pub fn contribute(&self, snap: &mut MetricsSnapshot) {
         snap.add("cache.pvc.hits", self.hits);
         snap.add("pvc.verify_failures", self.verify_failures);
+        snap.add("retry.attempts", self.retries);
+        snap.add("retry.exhausted", self.retry_exhausted);
     }
 }
 
@@ -50,17 +56,19 @@ struct Inner {
 /// The public value cache.
 pub struct Pvc {
     inner: Mutex<Inner>,
-    directory: Arc<Directory>,
+    directory: Arc<dyn CertSource>,
     verifier: CertVerifier,
     clock: Arc<dyn Clock>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Pvc {
     /// Create a PVC with `slots` direct-mapped certificate slots, backed by
-    /// `directory` and verifying against `verifier`.
+    /// `directory` (a concrete [`crate::Directory`] or any
+    /// [`CertSource`]) and verifying against `verifier`.
     pub fn new(
         slots: usize,
-        directory: Arc<Directory>,
+        directory: Arc<dyn CertSource>,
         verifier: CertVerifier,
         clock: Arc<dyn Clock>,
     ) -> Self {
@@ -73,7 +81,15 @@ impl Pvc {
             directory,
             verifier,
             clock,
+            retry: None,
         }
+    }
+
+    /// Retry failed directory fetches under `policy` (builder style).
+    /// Without this, misses are single-shot as in the seed behaviour.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// Pin a certificate at initialisation (§5.3's alternative to fetches).
@@ -110,7 +126,35 @@ impl PublicValueSource for Pvc {
             None => {
                 inner.stats.misses += 1;
                 // Secure flow bypass: this request travels unprotected.
-                let c = self.directory.fetch(principal)?;
+                let c = match self.retry {
+                    None => self.directory.fetch_cert(principal)?,
+                    Some(policy) => {
+                        let outcome = policy.run(|| self.directory.fetch_cert(principal));
+                        for (i, backoff_us) in outcome.backoffs_us.iter().enumerate() {
+                            inner.stats.retries += 1;
+                            if let Some(reg) = &inner.obs {
+                                reg.record(Event::RetryAttempt {
+                                    attempt: i as u32 + 1,
+                                    backoff_us: *backoff_us,
+                                });
+                            }
+                        }
+                        match outcome.result {
+                            Ok(c) => c,
+                            Err(e) => {
+                                if outcome.exhausted && outcome.attempts > 1 {
+                                    inner.stats.retry_exhausted += 1;
+                                    if let Some(reg) = &inner.obs {
+                                        reg.record(Event::RetryExhausted {
+                                            attempts: outcome.attempts,
+                                        });
+                                    }
+                                }
+                                return Err(e);
+                            }
+                        }
+                    }
+                };
                 inner.cache.insert(principal.clone(), c.clone());
                 c
             }
@@ -133,6 +177,7 @@ impl PublicValueSource for Pvc {
 mod tests {
     use super::*;
     use crate::authority::CertificateAuthority;
+    use crate::directory::Directory;
     use fbs_core::ManualClock;
     use fbs_crypto::dh::{DhGroup, PrivateValue};
     use std::time::Duration;
@@ -236,6 +281,79 @@ mod tests {
             legacy.counter("pvc.verify_failures"),
             live.counter("pvc.verify_failures")
         );
+    }
+
+    /// A [`CertSource`] that fails the first `fail_first` fetches.
+    struct FlakyDirectory {
+        inner: Arc<Directory>,
+        calls: std::sync::atomic::AtomicU64,
+        fail_first: u64,
+    }
+
+    impl CertSource for FlakyDirectory {
+        fn fetch_cert(&self, principal: &Principal) -> Result<Certificate> {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n < self.fail_first {
+                Err(fbs_core::FbsError::Transport("directory outage".into()))
+            } else {
+                self.inner.fetch(principal)
+            }
+        }
+    }
+
+    #[test]
+    fn retry_rides_out_transient_directory_failures() {
+        let ca = CertificateAuthority::new("ca", [3u8; 16]);
+        let dir = Arc::new(Directory::new(Duration::from_millis(50)));
+        let clock = ManualClock::starting_at(1000);
+        let flaky = Arc::new(FlakyDirectory {
+            inner: dir.clone(),
+            calls: std::sync::atomic::AtomicU64::new(0),
+            fail_first: 2,
+        });
+        let pvc = Pvc::new(16, flaky, ca.verifier(), Arc::new(clock)).with_retry(RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: 100,
+            max_backoff_us: 1_000,
+            deadline_us: 100_000,
+            jitter_seed: 5,
+        });
+        let pv = PrivateValue::from_entropy(DhGroup::test_group(), b"frank-e").public_value();
+        dir.publish(ca.issue(Principal::named("frank"), pv.clone(), 0, u64::MAX));
+        // Two transient failures, then success — one logical miss.
+        assert_eq!(pvc.fetch(&Principal::named("frank")).unwrap(), pv);
+        let s = pvc.stats();
+        assert_eq!((s.misses, s.retries, s.retry_exhausted), (1, 2, 0));
+        // Warm now: no further fetches or retries.
+        assert!(pvc.fetch(&Principal::named("frank")).is_ok());
+        assert_eq!(pvc.stats().retries, 2);
+    }
+
+    #[test]
+    fn retry_exhaustion_counts_and_propagates() {
+        let ca = CertificateAuthority::new("ca", [3u8; 16]);
+        let dir = Arc::new(Directory::new(Duration::ZERO));
+        let clock = ManualClock::starting_at(1000);
+        let flaky = Arc::new(FlakyDirectory {
+            inner: dir,
+            calls: std::sync::atomic::AtomicU64::new(0),
+            fail_first: u64::MAX,
+        });
+        let pvc = Pvc::new(16, flaky, ca.verifier(), Arc::new(clock)).with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 100,
+            max_backoff_us: 1_000,
+            deadline_us: 100_000,
+            jitter_seed: 5,
+        });
+        let reg = Arc::new(MetricsRegistry::new());
+        pvc.attach_obs(Arc::clone(&reg));
+        assert!(pvc.fetch(&Principal::named("gone")).is_err());
+        let s = pvc.stats();
+        assert_eq!((s.retries, s.retry_exhausted), (2, 1));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("retry.attempts"), 2);
+        assert_eq!(snap.counter("retry.exhausted"), 1);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! A microsecond-resolution virtual clock shared between the soak
+//! driver, the fault injectors, and the endpoints under test.
+//!
+//! [`ManualClock`](fbs_core::ManualClock) advances in whole seconds —
+//! too coarse for fault windows and backoff budgets measured in
+//! microseconds. [`VirtualClock`] stores microseconds and overrides
+//! [`Clock::now_micros`], so retry deadlines, breaker open intervals,
+//! and [`FaultPlan`](crate::FaultPlan) windows all tick on the same
+//! deterministic axis.
+
+use fbs_core::Clock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A manually-advanced clock with microsecond resolution. Clones share
+/// the underlying time cell.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Start at `micros` microseconds past the FBS epoch.
+    pub fn starting_at_us(micros: u64) -> Self {
+        VirtualClock {
+            micros: Arc::new(AtomicU64::new(micros)),
+        }
+    }
+
+    /// Advance by `micros` microseconds.
+    pub fn advance_us(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute time in microseconds.
+    pub fn set_us(&self, micros: u64) {
+        self.micros.store(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_secs(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst) / 1_000_000
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_drive_secs_and_minutes() {
+        let c = VirtualClock::starting_at_us(61_500_000);
+        assert_eq!(c.now_micros(), 61_500_000);
+        assert_eq!(c.now_secs(), 61);
+        assert_eq!(c.now_minutes(), 1);
+        c.advance_us(500_000);
+        assert_eq!(c.now_secs(), 62);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = VirtualClock::default();
+        let b = a.clone();
+        a.advance_us(1_000);
+        assert_eq!(b.now_micros(), 1_000);
+        b.set_us(5);
+        assert_eq!(a.now_micros(), 5);
+    }
+}

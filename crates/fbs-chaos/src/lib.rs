@@ -1,0 +1,27 @@
+//! # fbs-chaos — seeded, deterministic fault injection for the FBS stack
+//!
+//! FBS is built on *soft state*: every cache entry (MKC, TFKC, RFKC,
+//! PVC) can vanish at any moment and the protocol must reconverge
+//! (§5.3). This crate turns that claim into an executable experiment:
+//! a [`FaultPlan`] scripts time windows of impairment against the
+//! certificate directory ([`ChaosDirectory`]), the master key daemon's
+//! upcall path ([`ChaosPvs`]), and the flow-key caches (flush pulses /
+//! eviction storms driven by [`FaultPlan::cache_pulses`]), all on a
+//! shared microsecond [`VirtualClock`].
+//!
+//! Everything is a pure function of `(seed, schedule, virtual time)` —
+//! no wall-clock, no OS entropy — so a chaos soak that fails once fails
+//! every time, under the same datagram.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod clock;
+pub mod mkd;
+pub mod plan;
+
+pub use cert::{ChaosDirectory, ChaosDirectoryStats};
+pub use clock::VirtualClock;
+pub use mkd::{ChaosPvs, ChaosPvsStats};
+pub use plan::{FaultKind, FaultPlan, FaultWindow, FlushScope};

@@ -1,0 +1,264 @@
+//! Scripted fault schedules: time windows × fault kinds.
+//!
+//! A [`FaultPlan`] is the deterministic core of every chaos run: given
+//! the same seed and windows, the same datagrams experience the same
+//! faults. Injectors ([`ChaosDirectory`](crate::ChaosDirectory),
+//! [`ChaosPvs`](crate::ChaosPvs)) query *state faults* ("is the
+//! directory down at `now_us`?"); the soak driver polls *pulse faults*
+//! (cache flushes, eviction storms) via
+//! [`cache_pulses`](FaultPlan::cache_pulses), which edge-triggers on
+//! window entry and ticks periodically for storms.
+
+/// Which side's caches a flush/storm hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushScope {
+    /// Both endpoints.
+    All,
+    /// The sending endpoint's TFKC (and combined table).
+    Sender,
+    /// The receiving endpoint's RFKC.
+    Receiver,
+}
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Certificate-directory fetches fail with a transport error.
+    DirectoryOutage,
+    /// Directory fetches are charged extra round-trip latency.
+    DirectoryLatency {
+        /// Extra RTT per fetch, in microseconds.
+        extra_rtt_us: u64,
+    },
+    /// The directory serves the first certificate it ever served for
+    /// each principal — rekeys and renewals are invisible.
+    DirectoryStale,
+    /// The directory flips one deterministic bit in each served public
+    /// value, so per-use verification rejects it.
+    DirectoryGarbage,
+    /// The MKD's public-value source fails (upcall outage).
+    MkdOutage,
+    /// Flush TFKC/RFKC (and the combined table) once, on window entry —
+    /// mid-flow soft-state loss.
+    FlushCaches {
+        /// Which endpoint(s) to flush.
+        scope: FlushScope,
+    },
+    /// Repeated flushes every `period_us` for the whole window — a
+    /// sustained eviction storm.
+    EvictionStorm {
+        /// Interval between flushes, in microseconds.
+        period_us: u64,
+        /// Which endpoint(s) each flush hits.
+        scope: FlushScope,
+    },
+}
+
+/// A fault active over `[start_us, end_us)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// Window start (inclusive), in plan microseconds.
+    pub start_us: u64,
+    /// Window end (exclusive), in plan microseconds.
+    pub end_us: u64,
+    /// The fault injected while the window is open.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Is the window open at `now_us`?
+    pub fn contains(&self, now_us: u64) -> bool {
+        self.start_us <= now_us && now_us < self.end_us
+    }
+}
+
+/// A seeded, scripted schedule of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed feeding deterministic corruption (garbage bytes) and any
+    /// randomised injector decisions.
+    pub seed: u64,
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) under `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Add a fault window (builder style).
+    pub fn with_window(mut self, start_us: u64, end_us: u64, kind: FaultKind) -> Self {
+        assert!(start_us < end_us, "fault window must be non-empty");
+        self.windows.push(FaultWindow {
+            start_us,
+            end_us,
+            kind,
+        });
+        self
+    }
+
+    /// All scheduled windows.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Latest window end — the instant after which no fault can fire.
+    pub fn horizon_us(&self) -> u64 {
+        self.windows.iter().map(|w| w.end_us).max().unwrap_or(0)
+    }
+
+    /// Is a directory outage active at `now_us`?
+    pub fn directory_outage(&self, now_us: u64) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.contains(now_us) && w.kind == FaultKind::DirectoryOutage)
+    }
+
+    /// Total extra directory RTT injected at `now_us` (overlapping
+    /// latency windows add).
+    pub fn directory_extra_rtt_us(&self, now_us: u64) -> u64 {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(now_us))
+            .map(|w| match w.kind {
+                FaultKind::DirectoryLatency { extra_rtt_us } => extra_rtt_us,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Is stale serving active at `now_us`?
+    pub fn directory_stale(&self, now_us: u64) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.contains(now_us) && w.kind == FaultKind::DirectoryStale)
+    }
+
+    /// Is garbage corruption active at `now_us`?
+    pub fn directory_garbage(&self, now_us: u64) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.contains(now_us) && w.kind == FaultKind::DirectoryGarbage)
+    }
+
+    /// Is an MKD outage active at `now_us`?
+    pub fn mkd_outage(&self, now_us: u64) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.contains(now_us) && w.kind == FaultKind::MkdOutage)
+    }
+
+    /// Cache flushes due in `(prev_us, now_us]`: one pulse per
+    /// `FlushCaches` window entered, plus one per elapsed
+    /// `EvictionStorm` tick (ticks at `start + k * period` inside the
+    /// window). The driver calls this once per simulation step with the
+    /// previous step's time; determinism follows from the times alone.
+    pub fn cache_pulses(&self, prev_us: u64, now_us: u64) -> Vec<FlushScope> {
+        let mut pulses = Vec::new();
+        for w in &self.windows {
+            match w.kind {
+                FaultKind::FlushCaches { scope }
+                    if prev_us < w.start_us && w.start_us <= now_us =>
+                {
+                    pulses.push(scope);
+                }
+                FaultKind::EvictionStorm { period_us, scope } => {
+                    if period_us == 0 {
+                        continue;
+                    }
+                    // Ticks k = 0, 1, ... at start + k*period, within
+                    // the window and within (prev, now].
+                    let mut t = w.start_us;
+                    while t < w.end_us && t <= now_us {
+                        if t > prev_us {
+                            pulses.push(scope);
+                        }
+                        t = t.saturating_add(period_us);
+                    }
+                }
+                _ => {}
+            }
+        }
+        pulses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open() {
+        let plan = FaultPlan::new(1).with_window(100, 200, FaultKind::DirectoryOutage);
+        assert!(!plan.directory_outage(99));
+        assert!(plan.directory_outage(100));
+        assert!(plan.directory_outage(199));
+        assert!(!plan.directory_outage(200));
+        assert_eq!(plan.horizon_us(), 200);
+    }
+
+    #[test]
+    fn latency_windows_add() {
+        let plan = FaultPlan::new(1)
+            .with_window(0, 100, FaultKind::DirectoryLatency { extra_rtt_us: 30 })
+            .with_window(50, 150, FaultKind::DirectoryLatency { extra_rtt_us: 20 });
+        assert_eq!(plan.directory_extra_rtt_us(10), 30);
+        assert_eq!(plan.directory_extra_rtt_us(60), 50);
+        assert_eq!(plan.directory_extra_rtt_us(120), 20);
+        assert_eq!(plan.directory_extra_rtt_us(200), 0);
+    }
+
+    #[test]
+    fn flush_pulse_fires_once_on_entry() {
+        let plan = FaultPlan::new(1).with_window(
+            1_000,
+            2_000,
+            FaultKind::FlushCaches {
+                scope: FlushScope::All,
+            },
+        );
+        assert!(plan.cache_pulses(0, 999).is_empty());
+        assert_eq!(plan.cache_pulses(999, 1_001), vec![FlushScope::All]);
+        // Already inside: no re-trigger.
+        assert!(plan.cache_pulses(1_001, 1_500).is_empty());
+    }
+
+    #[test]
+    fn eviction_storm_ticks_periodically() {
+        let plan = FaultPlan::new(1).with_window(
+            1_000,
+            1_900,
+            FaultKind::EvictionStorm {
+                period_us: 300,
+                scope: FlushScope::Sender,
+            },
+        );
+        // Ticks at 1000, 1300, 1600 (1900 is outside the half-open window).
+        assert_eq!(plan.cache_pulses(0, 1_100).len(), 1);
+        assert_eq!(plan.cache_pulses(1_100, 1_700).len(), 2);
+        assert_eq!(plan.cache_pulses(1_700, 5_000).len(), 0);
+        // One sweep over everything sees all three.
+        assert_eq!(plan.cache_pulses(0, 5_000).len(), 3);
+    }
+
+    #[test]
+    fn mkd_and_directory_faults_are_independent() {
+        let plan = FaultPlan::new(1)
+            .with_window(0, 10, FaultKind::MkdOutage)
+            .with_window(20, 30, FaultKind::DirectoryOutage);
+        assert!(plan.mkd_outage(5));
+        assert!(!plan.directory_outage(5));
+        assert!(!plan.mkd_outage(25));
+        assert!(plan.directory_outage(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ = FaultPlan::new(1).with_window(5, 5, FaultKind::DirectoryOutage);
+    }
+}

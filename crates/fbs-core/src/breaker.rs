@@ -1,0 +1,234 @@
+//! Per-peer circuit breaker for the keying control plane.
+//!
+//! Zero-message keying makes the MKD upcall (and behind it the PVC /
+//! certificate directory) the one remote dependency on the datagram
+//! path. When a peer's key material fails repeatedly, retrying on every
+//! datagram turns one fault into a retry storm; the breaker converts
+//! that into a fast local failure. Classic three-state machine:
+//!
+//! * **Closed** — requests flow; consecutive failures are counted.
+//! * **Open** — entered after `failure_threshold` consecutive failures;
+//!   requests fail fast (no upcall) until `open_duration_us` elapses.
+//! * **HalfOpen** — entered on the first `allow` after the open timer
+//!   expires; exactly one probe is let through. Success closes the
+//!   breaker, failure re-opens it for another full interval.
+//!
+//! The breaker is time-driven but never sleeps: callers pass `now_us`
+//! from whatever [`Clock`](crate::clock::Clock) they use, so behaviour
+//! is deterministic under simulated time. State transitions are
+//! *returned* rather than recorded, letting the owner (the MKD) emit
+//! observability events and bump its legacy stats without this module
+//! depending on `fbs-obs`.
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before half-opening, in
+    /// microseconds.
+    pub open_duration_us: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_duration_us: 1_000_000,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Failing fast until the stated time.
+    Open {
+        /// When the breaker will half-open, in clock microseconds.
+        until_us: u64,
+    },
+    /// A recovery probe is in flight.
+    HalfOpen,
+}
+
+/// A state transition the caller should record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The breaker tripped open.
+    Opened,
+    /// The open timer expired; one probe is allowed.
+    HalfOpened,
+    /// A probe (or normal request) succeeded; the breaker closed.
+    Closed,
+}
+
+/// Verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allow {
+    /// Proceed normally (breaker closed).
+    Yes,
+    /// Proceed, but this is the half-open recovery probe.
+    Probe,
+    /// Fail fast without touching the protected resource.
+    FastFail,
+}
+
+/// One peer's circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// Current state (an `Open` breaker stays `Open` here even past its
+    /// timer — the half-open transition happens on the next `allow`).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Would a request at `now_us` fail fast? Pure: no transition, no
+    /// probe consumed — for callers that only want to skip doomed work.
+    pub fn would_fast_fail(&self, now_us: u64) -> bool {
+        matches!(self.state, BreakerState::Open { until_us } if now_us < until_us)
+    }
+
+    /// Gate one request. May half-open an expired `Open` breaker, in
+    /// which case the transition is returned alongside the verdict.
+    pub fn allow(&mut self, now_us: u64) -> (Allow, Option<Transition>) {
+        match self.state {
+            BreakerState::Closed => (Allow::Yes, None),
+            BreakerState::HalfOpen => {
+                // A probe is already outstanding; fail fast until it
+                // resolves via on_success/on_failure.
+                (Allow::FastFail, None)
+            }
+            BreakerState::Open { until_us } => {
+                if now_us < until_us {
+                    (Allow::FastFail, None)
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    (Allow::Probe, Some(Transition::HalfOpened))
+                }
+            }
+        }
+    }
+
+    /// Record a success. Closes a half-open breaker and resets the
+    /// failure count.
+    pub fn on_success(&mut self) -> Option<Transition> {
+        self.consecutive_failures = 0;
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                Some(Transition::Closed)
+            }
+            _ => None,
+        }
+    }
+
+    /// Record a failure at `now_us`. Trips the breaker when the
+    /// threshold is reached; a failed half-open probe re-opens it for a
+    /// full interval.
+    pub fn on_failure(&mut self, now_us: u64) -> Option<Transition> {
+        self.consecutive_failures += 1;
+        let trip = match self.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.cfg.failure_threshold,
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            self.state = BreakerState::Open {
+                until_us: now_us.saturating_add(self.cfg.open_duration_us),
+            };
+            Some(Transition::Opened)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_duration_us: 1_000,
+        }
+    }
+
+    #[test]
+    fn closed_allows_and_counts_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert_eq!(b.allow(0).0, Allow::Yes);
+        assert_eq!(b.on_failure(0), None);
+        assert_eq!(b.on_failure(1), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.on_failure(2), Some(Transition::Opened));
+        assert_eq!(b.state(), BreakerState::Open { until_us: 1_002 });
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(0);
+        assert_eq!(b.on_success(), None);
+        b.on_failure(0);
+        b.on_failure(0);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn open_fast_fails_then_half_opens() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(100);
+        }
+        assert!(b.would_fast_fail(500));
+        assert_eq!(b.allow(500), (Allow::FastFail, None));
+        assert!(!b.would_fast_fail(1_100));
+        assert_eq!(b.allow(1_100), (Allow::Probe, Some(Transition::HalfOpened)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Second caller while the probe is out: still fast-fails.
+        assert_eq!(b.allow(1_100), (Allow::FastFail, None));
+    }
+
+    #[test]
+    fn probe_success_closes() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(0);
+        }
+        b.allow(2_000);
+        assert_eq!(b.on_success(), Some(Transition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.allow(2_000).0, Allow::Yes);
+    }
+
+    #[test]
+    fn probe_failure_reopens_full_interval() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure(0);
+        }
+        b.allow(2_000);
+        assert_eq!(b.on_failure(2_000), Some(Transition::Opened));
+        assert_eq!(b.state(), BreakerState::Open { until_us: 3_000 });
+        assert!(b.would_fast_fail(2_500));
+    }
+}

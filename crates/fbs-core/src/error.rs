@@ -39,6 +39,27 @@ pub enum FbsError {
     MalformedCiphertext,
     /// A transport-level failure (used by mappings, not the core protocol).
     Transport(String),
+    /// The per-peer circuit breaker is open: key material for this peer
+    /// failed repeatedly and requests fail fast until the breaker
+    /// half-opens (carries the peer's name).
+    CircuitOpen(String),
+}
+
+impl FbsError {
+    /// True for errors that mean "key material is unavailable right now
+    /// but may become available" — the class a degradation policy
+    /// (fail-open / fail-closed / park) applies to. Cryptographic
+    /// verdicts (bad MAC, stale timestamp, malformed input) are final
+    /// and never degrade.
+    pub fn is_key_unavailable(&self) -> bool {
+        matches!(
+            self,
+            FbsError::PrincipalUnknown(_)
+                | FbsError::CertificateInvalid(_)
+                | FbsError::Transport(_)
+                | FbsError::CircuitOpen(_)
+        )
+    }
 }
 
 impl fmt::Display for FbsError {
@@ -60,6 +81,7 @@ impl fmt::Display for FbsError {
             FbsError::CertificateInvalid(p) => write!(f, "certificate invalid for {p}"),
             FbsError::MalformedCiphertext => write!(f, "malformed ciphertext"),
             FbsError::Transport(why) => write!(f, "transport error: {why}"),
+            FbsError::CircuitOpen(p) => write!(f, "circuit breaker open for peer {p}"),
         }
     }
 }

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod clock;
 pub mod error;
@@ -29,24 +30,29 @@ pub mod fam;
 pub mod header;
 pub mod keying;
 pub mod mkd;
+pub mod park;
 pub mod policy;
 pub mod pool;
 pub mod principal;
 pub mod protocol;
 pub mod replay;
+pub mod retry;
 pub mod sealer;
 pub mod sfl;
 
+pub use breaker::{Allow, BreakerConfig, BreakerState, CircuitBreaker, Transition};
 pub use cache::{CacheStats, MissKind, SoftCache};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use error::{FbsError, Result};
-pub use fam::{Classification, Fam, FlowPolicy, FlowRecord, FstEntry};
+pub use fam::{Classification, Fam, FlowPolicy, FlowRecord, FstEntry, KeyUnavailableVerdict};
 pub use header::{EncAlgorithm, HeaderView, SecurityFlowHeader};
 pub use keying::{derive_flow_key, FlowKey, KeyDerivation, SealedFlowKey};
-pub use mkd::{MasterKeyDaemon, PinnedDirectory, PublicValueSource};
+pub use mkd::{MasterKeyDaemon, PinnedDirectory, PublicValueSource, Resilience};
+pub use park::{ParkStats, Parked, ParkingQueue};
 pub use pool::{BufferPool, PoolStats};
 pub use principal::Principal;
 pub use protocol::{Datagram, FbsConfig, FbsEndpoint, ProtectedDatagram};
 pub use replay::FreshnessWindow;
+pub use retry::{RetryOutcome, RetryPolicy};
 pub use sealer::{ParallelSealer, SealJob, SealerStats};
 pub use sfl::SflAllocator;

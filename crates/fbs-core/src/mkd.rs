@@ -13,9 +13,15 @@
 //! fetches with simulated RTT, verification), while the MKD's caller (the
 //! protocol endpoint with its MKC) is "kernel".
 
-use crate::error::Result;
+use crate::breaker::{Allow, BreakerConfig, BreakerState, CircuitBreaker, Transition};
+use crate::clock::Clock;
+use crate::error::{FbsError, Result};
 use crate::principal::Principal;
+use crate::retry::RetryPolicy;
 use fbs_crypto::dh::{PrivateValue, PublicValue};
+use fbs_obs::{BreakerStateKind, Event, MetricsRegistry};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Supplies verified public values for principals.
 ///
@@ -28,6 +34,14 @@ use fbs_crypto::dh::{PrivateValue, PublicValue};
 pub trait PublicValueSource: Send + Sync {
     /// Fetch the verified public value for `principal`.
     fn fetch(&self, principal: &Principal) -> Result<PublicValue>;
+}
+
+/// Shared sources work anywhere an owned one does — callers can keep a
+/// handle (e.g. for statistics) while the MKD holds another.
+impl<T: PublicValueSource + ?Sized> PublicValueSource for Arc<T> {
+    fn fetch(&self, principal: &Principal) -> Result<PublicValue> {
+        (**self).fetch(principal)
+    }
 }
 
 /// A trivial in-memory source for tests and self-contained examples: all
@@ -64,16 +78,61 @@ impl PublicValueSource for PinnedDirectory {
 pub struct MkdStats {
     /// Upcalls received (one per MKC miss).
     pub upcalls: u64,
-    /// Upcalls that failed (unknown principal, bad certificate, ...).
+    /// Upcalls that failed (unknown principal, bad certificate, open
+    /// breaker, retries exhausted, ...).
     pub failures: u64,
+    /// Public-value fetch retries after a failed attempt.
+    pub retries: u64,
+    /// Upcalls whose retry schedule was exhausted.
+    pub retry_exhausted: u64,
+    /// Per-peer circuit-breaker trips to open.
+    pub breaker_opens: u64,
+    /// Breaker half-open transitions (recovery probes let through).
+    pub breaker_half_opens: u64,
+    /// Breaker transitions back to closed.
+    pub breaker_closes: u64,
+    /// Upcalls rejected fast because the peer's breaker was open.
+    pub breaker_fast_fails: u64,
 }
 
 impl MkdStats {
-    /// Fold these counters into a snapshot under the `mkd.*` names a live
-    /// `fbs_obs::MetricsRegistry` uses.
+    /// Fold these counters into a snapshot under the `mkd.*` /
+    /// `retry.*` / `breaker.*` names a live `fbs_obs::MetricsRegistry`
+    /// uses.
     pub fn contribute(&self, snap: &mut fbs_obs::MetricsSnapshot) {
         snap.add("mkd.upcalls", self.upcalls);
         snap.add("mkd.failures", self.failures);
+        snap.add("retry.attempts", self.retries);
+        snap.add("retry.exhausted", self.retry_exhausted);
+        snap.add("breaker.opened", self.breaker_opens);
+        snap.add("breaker.half_open", self.breaker_half_opens);
+        snap.add("breaker.closed", self.breaker_closes);
+        snap.add("breaker.fast_fails", self.breaker_fast_fails);
+    }
+}
+
+/// Fault-tolerance wrapping for the upcall path: a retry schedule
+/// around the public-value fetch plus a per-peer circuit breaker, both
+/// driven by a deterministic clock.
+pub struct Resilience {
+    /// Retry schedule for the public-value fetch.
+    pub retry: RetryPolicy,
+    /// Breaker tuning, applied per peer.
+    pub breaker: BreakerConfig,
+    /// Time source for breaker open/half-open timing.
+    pub clock: Arc<dyn Clock>,
+    breakers: HashMap<Principal, CircuitBreaker>,
+}
+
+impl Resilience {
+    /// Resilience under `retry` and `breaker`, timed by `clock`.
+    pub fn new(retry: RetryPolicy, breaker: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        Resilience {
+            retry,
+            breaker,
+            clock,
+            breakers: HashMap::new(),
+        }
     }
 }
 
@@ -82,27 +141,150 @@ pub struct MasterKeyDaemon {
     private: PrivateValue,
     source: Box<dyn PublicValueSource>,
     stats: MkdStats,
+    resilience: Option<Resilience>,
+    obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl MasterKeyDaemon {
     /// Create an MKD for a principal holding `private`, resolving peers
-    /// through `source`.
+    /// through `source`. Upcalls are single-shot; add
+    /// [`with_resilience`](Self::with_resilience) for retry + breaker.
     pub fn new(private: PrivateValue, source: Box<dyn PublicValueSource>) -> Self {
         MasterKeyDaemon {
             private,
             source,
             stats: MkdStats::default(),
+            resilience: None,
+            obs: None,
         }
     }
 
+    /// Harden the upcall path (builder style): retry the public-value
+    /// fetch under `retry` and gate each peer behind a circuit breaker.
+    pub fn with_resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
+    /// Attach a metrics registry: retry attempts, breaker transitions,
+    /// and fast-fails are recorded as flight-recorder events.
+    pub fn set_obs(&mut self, registry: Arc<MetricsRegistry>) {
+        self.obs = Some(registry);
+    }
+
+    fn record(&self, event: Event) {
+        if let Some(reg) = &self.obs {
+            reg.record(event);
+        }
+    }
+
+    fn note_transition(&mut self, t: Transition) {
+        let to = match t {
+            Transition::Opened => {
+                self.stats.breaker_opens += 1;
+                BreakerStateKind::Open
+            }
+            Transition::HalfOpened => {
+                self.stats.breaker_half_opens += 1;
+                BreakerStateKind::HalfOpen
+            }
+            Transition::Closed => {
+                self.stats.breaker_closes += 1;
+                BreakerStateKind::Closed
+            }
+        };
+        self.record(Event::BreakerTransition { to });
+    }
+
     /// The `Upcall(MKDaemon, D)` of Fig. 6: produce the pair-based master
-    /// key `K_{S,D}` for the local principal and `peer`.
+    /// key `K_{S,D}` for the local principal and `peer`. With resilience
+    /// configured, the fetch is retried per the policy and the peer's
+    /// circuit breaker may fail the upcall fast while open.
     pub fn master_key(&mut self, peer: &Principal) -> Result<Vec<u8>> {
         self.stats.upcalls += 1;
-        let public = self.source.fetch(peer).inspect_err(|_| {
+        let Some(res) = &mut self.resilience else {
+            let public = self.source.fetch(peer).inspect_err(|_| {
+                self.stats.failures += 1;
+            })?;
+            return Ok(self.private.master_key(&public));
+        };
+
+        let now_us = res.clock.now_micros();
+        let breaker = res
+            .breakers
+            .entry(peer.clone())
+            .or_insert_with(|| CircuitBreaker::new(res.breaker));
+        let (allow, transition) = breaker.allow(now_us);
+        if let Some(t) = transition {
+            self.note_transition(t);
+        }
+        if allow == Allow::FastFail {
             self.stats.failures += 1;
-        })?;
-        Ok(self.private.master_key(&public))
+            self.stats.breaker_fast_fails += 1;
+            self.record(Event::BreakerFastFail);
+            return Err(FbsError::CircuitOpen(peer.to_string()));
+        }
+
+        let res = self.resilience.as_mut().expect("checked above");
+        let source = &self.source;
+        let outcome = res.retry.run(|| source.fetch(peer));
+        for (i, backoff_us) in outcome.backoffs_us.iter().enumerate() {
+            self.stats.retries += 1;
+            self.record(Event::RetryAttempt {
+                attempt: i as u32 + 1,
+                backoff_us: *backoff_us,
+            });
+        }
+        let res = self.resilience.as_mut().expect("checked above");
+        let breaker = res.breakers.get_mut(peer).expect("inserted above");
+        match outcome.result {
+            Ok(public) => {
+                let transition = breaker.on_success();
+                if let Some(t) = transition {
+                    self.note_transition(t);
+                }
+                Ok(self.private.master_key(&public))
+            }
+            Err(e) => {
+                // Failure time includes the virtual backoff spent
+                // retrying, so the open interval starts when the last
+                // attempt would have finished.
+                let failed_at = now_us.saturating_add(outcome.total_backoff_us);
+                let transition = breaker.on_failure(failed_at);
+                self.stats.failures += 1;
+                if outcome.exhausted && outcome.attempts > 1 {
+                    self.stats.retry_exhausted += 1;
+                    self.record(Event::RetryExhausted {
+                        attempts: outcome.attempts,
+                    });
+                }
+                if let Some(t) = transition {
+                    self.note_transition(t);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Would an upcall for `peer` fail fast right now because its
+    /// breaker is open? Pure — consumes no probe, trips nothing. Lets
+    /// release loops skip work that is guaranteed to fail.
+    pub fn would_fast_fail(&self, peer: &Principal) -> bool {
+        let Some(res) = &self.resilience else {
+            return false;
+        };
+        res.breakers
+            .get(peer)
+            .is_some_and(|b| b.would_fast_fail(res.clock.now_micros()))
+    }
+
+    /// The peer's breaker state, if resilience is configured and the
+    /// peer has been seen.
+    pub fn breaker_state(&self, peer: &Principal) -> Option<BreakerState> {
+        self.resilience
+            .as_ref()
+            .and_then(|r| r.breakers.get(peer))
+            .map(|b| b.state())
     }
 
     /// This principal's own public value (for publishing/certification).
@@ -161,5 +343,128 @@ mod tests {
     fn public_value_is_stable() {
         let (mkd_s, _, _, _) = daemon_pair();
         assert_eq!(mkd_s.public_value(), mkd_s.public_value());
+    }
+
+    /// A source that fails with `Transport` until `healthy_after` calls
+    /// have been made, then serves a pinned value.
+    struct FlakySource {
+        inner: PinnedDirectory,
+        calls: std::sync::atomic::AtomicU64,
+        healthy_after: u64,
+    }
+
+    impl PublicValueSource for FlakySource {
+        fn fetch(&self, principal: &Principal) -> Result<PublicValue> {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n < self.healthy_after {
+                Err(FbsError::Transport("simulated outage".into()))
+            } else {
+                self.inner.fetch(principal)
+            }
+        }
+    }
+
+    fn resilient_daemon(
+        healthy_after: u64,
+        clock: Arc<crate::clock::ManualClock>,
+    ) -> (MasterKeyDaemon, Principal) {
+        let group = DhGroup::test_group();
+        let s_priv = PrivateValue::from_entropy(group.clone(), b"source-entropy-bytes");
+        let d_priv = PrivateValue::from_entropy(group, b"dest-entropy-bytes!!");
+        let d = Principal::named("D");
+        let mut dir = PinnedDirectory::new();
+        dir.pin(d.clone(), d_priv.public_value());
+        let source = FlakySource {
+            inner: dir,
+            calls: std::sync::atomic::AtomicU64::new(0),
+            healthy_after,
+        };
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 1_000,
+            max_backoff_us: 10_000,
+            deadline_us: 1_000_000,
+            jitter_seed: 42,
+        };
+        let breaker = BreakerConfig {
+            failure_threshold: 2,
+            open_duration_us: 5_000_000,
+        };
+        let mkd = MasterKeyDaemon::new(s_priv, Box::new(source))
+            .with_resilience(Resilience::new(retry, breaker, clock));
+        (mkd, d)
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let clock = Arc::new(crate::clock::ManualClock::starting_at(100));
+        let (mut mkd, d) = resilient_daemon(2, clock);
+        // First two fetches fail, third succeeds — all within one upcall.
+        assert!(mkd.master_key(&d).is_ok());
+        let s = mkd.stats();
+        assert_eq!(s.upcalls, 1);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.retry_exhausted, 0);
+        assert_eq!(mkd.breaker_state(&d), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn breaker_opens_after_exhausted_retries_and_recovers() {
+        let clock = Arc::new(crate::clock::ManualClock::starting_at(100));
+        // 7 failing fetches: upcall 1 burns 3 (exhausted), upcall 2
+        // burns 3 more and trips the breaker (threshold 2); the 7th
+        // failure would be the half-open probe's first fetch.
+        let (mut mkd, d) = resilient_daemon(7, Arc::clone(&clock));
+        assert!(mkd.master_key(&d).is_err());
+        assert!(mkd.master_key(&d).is_err());
+        let s = mkd.stats();
+        assert_eq!(s.failures, 2);
+        assert_eq!(s.retry_exhausted, 2);
+        assert_eq!(s.breaker_opens, 1);
+        assert!(matches!(
+            mkd.breaker_state(&d),
+            Some(BreakerState::Open { .. })
+        ));
+        assert!(mkd.would_fast_fail(&d));
+
+        // While open: fast fail without touching the source.
+        let err = mkd.master_key(&d).unwrap_err();
+        assert!(matches!(err, FbsError::CircuitOpen(_)));
+        assert_eq!(mkd.stats().breaker_fast_fails, 1);
+
+        // After the open interval the next upcall is the probe; the
+        // source has healed (6 fetches made < 7? no: 3+3=6, so probe's
+        // first fetch is call 7 → fails, but its retry succeeds).
+        clock.advance(10); // 10 s >> 5 s open duration
+        assert!(!mkd.would_fast_fail(&d));
+        assert!(mkd.master_key(&d).is_ok());
+        let s = mkd.stats();
+        assert_eq!(s.breaker_half_opens, 1);
+        assert_eq!(s.breaker_closes, 1);
+        assert_eq!(mkd.breaker_state(&d), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn resilience_events_mirror_legacy_stats() {
+        let clock = Arc::new(crate::clock::ManualClock::starting_at(100));
+        let (mut mkd, d) = resilient_daemon(u64::MAX, Arc::clone(&clock));
+        let reg = Arc::new(fbs_obs::MetricsRegistry::new());
+        mkd.set_obs(Arc::clone(&reg));
+        for _ in 0..3 {
+            let _ = mkd.master_key(&d);
+        }
+        clock.advance(10);
+        let _ = mkd.master_key(&d); // half-open probe, fails, re-opens
+        let s = mkd.stats();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("retry.attempts"), s.retries);
+        assert_eq!(snap.counter("retry.exhausted"), s.retry_exhausted);
+        assert_eq!(snap.counter("breaker.opened"), s.breaker_opens);
+        assert_eq!(snap.counter("breaker.half_open"), s.breaker_half_opens);
+        assert_eq!(snap.counter("breaker.closed"), s.breaker_closes);
+        assert_eq!(snap.counter("breaker.fast_fails"), s.breaker_fast_fails);
+        assert!(s.breaker_opens >= 2, "probe failure should re-open");
+        assert!(s.breaker_fast_fails >= 1);
     }
 }

@@ -1,0 +1,236 @@
+//! Bounded parking queue for datagrams awaiting key material.
+//!
+//! When a datagram cannot be protected or verified because its flow key
+//! is unavailable (MKD outage, directory outage, open circuit breaker),
+//! a *park* verdict holds it briefly instead of dropping it outright.
+//! Two bounds preserve datagram semantics (§3: security state must
+//! never turn datagram service into a blocking one):
+//!
+//! * **capacity** — a full queue rejects new datagrams (overflow), so
+//!   memory use is bounded no matter how long the fault lasts;
+//! * **per-datagram deadline** — an entry that waits past its deadline
+//!   is dropped on the next [`expire`](ParkingQueue::expire) sweep,
+//!   becoming ordinary datagram loss.
+//!
+//! The queue is FIFO and time-driven via caller-passed microsecond
+//! timestamps (no internal clock), so it is deterministic under
+//! simulated time. Counters live in [`ParkStats`]; flight-recorder
+//! events are emitted by the owner, which knows the registry.
+
+use fbs_obs::MetricsSnapshot;
+use std::collections::VecDeque;
+
+/// Park/release/expiry counters, in the shared `park.*` namespace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParkStats {
+    /// Datagrams parked.
+    pub parked: u64,
+    /// Datagrams released for re-processing.
+    pub released: u64,
+    /// Datagrams dropped on deadline expiry.
+    pub expired: u64,
+    /// Datagrams rejected because the queue was full.
+    pub overflow: u64,
+    /// High-water mark of queue depth.
+    pub peak_depth: u64,
+}
+
+impl ParkStats {
+    /// Fold these counters into a snapshot under the `park.*` names a
+    /// live `MetricsRegistry` uses.
+    pub fn contribute(&self, snap: &mut MetricsSnapshot) {
+        snap.add("park.parked", self.parked);
+        snap.add("park.released", self.released);
+        snap.add("park.expired", self.expired);
+        snap.add("park.overflow", self.overflow);
+    }
+}
+
+/// One parked item plus its timing envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parked<T> {
+    /// The held item.
+    pub item: T,
+    /// When it was first parked, in clock microseconds (preserved
+    /// across re-parks so total waiting time is bounded).
+    pub parked_at_us: u64,
+    /// Absolute drop deadline, in clock microseconds.
+    pub deadline_us: u64,
+}
+
+/// A bounded FIFO of items waiting for key material.
+#[derive(Debug)]
+pub struct ParkingQueue<T> {
+    items: VecDeque<Parked<T>>,
+    capacity: usize,
+    default_ttl_us: u64,
+    stats: ParkStats,
+}
+
+impl<T> ParkingQueue<T> {
+    /// A queue holding at most `capacity` items, each defaulting to a
+    /// `default_ttl_us` lifetime from its first park.
+    pub fn new(capacity: usize, default_ttl_us: u64) -> Self {
+        ParkingQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            default_ttl_us,
+            stats: ParkStats::default(),
+        }
+    }
+
+    /// Park `item` at `now_us` with the default TTL. On overflow the
+    /// item is handed back via `Err` so the caller can count the drop.
+    pub fn park(&mut self, item: T, now_us: u64) -> Result<(), T> {
+        self.park_entry(
+            Parked {
+                item,
+                parked_at_us: now_us,
+                deadline_us: now_us.saturating_add(self.default_ttl_us),
+            },
+            true,
+        )
+    }
+
+    /// Re-park an entry that was released but still cannot proceed,
+    /// keeping its original park time and deadline — so an item's total
+    /// residency is bounded by its first deadline, not reset each
+    /// round. Does NOT count towards `stats.parked`: that counter
+    /// tracks first admissions, coherent with the `park.parked` event
+    /// the owner emits once per datagram.
+    pub fn repark(&mut self, entry: Parked<T>) -> Result<(), T> {
+        self.park_entry(entry, false)
+    }
+
+    fn park_entry(&mut self, entry: Parked<T>, fresh: bool) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.stats.overflow += 1;
+            return Err(entry.item);
+        }
+        self.items.push_back(entry);
+        if fresh {
+            self.stats.parked += 1;
+        }
+        self.stats.peak_depth = self.stats.peak_depth.max(self.items.len() as u64);
+        Ok(())
+    }
+
+    /// Drop every entry whose deadline has passed, returning how many
+    /// expired.
+    pub fn expire(&mut self, now_us: u64) -> u64 {
+        let before = self.items.len();
+        self.items.retain(|e| e.deadline_us > now_us);
+        let expired = (before - self.items.len()) as u64;
+        self.stats.expired += expired;
+        expired
+    }
+
+    /// Drain the whole queue (oldest first) for a release attempt. The
+    /// caller re-parks entries that still cannot proceed and calls
+    /// [`note_released`](Self::note_released) for those that could.
+    pub fn take_all(&mut self) -> Vec<Parked<T>> {
+        self.items.drain(..).collect()
+    }
+
+    /// Record a successful release of an entry first parked at
+    /// `parked_at_us`; returns how long it waited.
+    pub fn note_released(&mut self, parked_at_us: u64, now_us: u64) -> u64 {
+        self.stats.released += 1;
+        now_us.saturating_sub(parked_at_us)
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> ParkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_park_and_take() {
+        let mut q: ParkingQueue<u32> = ParkingQueue::new(4, 1_000);
+        q.park(1, 0).unwrap();
+        q.park(2, 10).unwrap();
+        let all = q.take_all();
+        assert_eq!(all.iter().map(|e| e.item).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().parked, 2);
+    }
+
+    #[test]
+    fn overflow_returns_item_and_counts() {
+        let mut q: ParkingQueue<u32> = ParkingQueue::new(2, 1_000);
+        q.park(1, 0).unwrap();
+        q.park(2, 0).unwrap();
+        assert_eq!(q.park(3, 0), Err(3));
+        assert_eq!(q.stats().overflow, 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.stats().peak_depth, 2);
+    }
+
+    #[test]
+    fn expiry_drops_past_deadline_only() {
+        let mut q: ParkingQueue<u32> = ParkingQueue::new(8, 1_000);
+        q.park(1, 0).unwrap(); // deadline 1_000
+        q.park(2, 600).unwrap(); // deadline 1_600
+        assert_eq!(q.expire(500), 0);
+        assert_eq!(q.expire(1_200), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.take_all()[0].item, 2);
+        assert_eq!(q.stats().expired, 1);
+    }
+
+    #[test]
+    fn repark_preserves_original_deadline() {
+        let mut q: ParkingQueue<u32> = ParkingQueue::new(8, 1_000);
+        q.park(7, 100).unwrap(); // deadline 1_100
+        let mut all = q.take_all();
+        let entry = all.pop().unwrap();
+        q.repark(entry).unwrap();
+        // Re-parking at a later time must not extend the lifetime.
+        assert_eq!(q.expire(1_200), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn released_wait_is_measured_from_first_park() {
+        let mut q: ParkingQueue<u32> = ParkingQueue::new(8, 10_000);
+        q.park(1, 500).unwrap();
+        let entry = q.take_all().pop().unwrap();
+        let waited = q.note_released(entry.parked_at_us, 2_500);
+        assert_eq!(waited, 2_000);
+        assert_eq!(q.stats().released, 1);
+    }
+
+    #[test]
+    fn contribute_uses_shared_namespace() {
+        let mut q: ParkingQueue<u32> = ParkingQueue::new(1, 100);
+        q.park(1, 0).unwrap();
+        let _ = q.park(2, 0);
+        q.expire(200);
+        let mut snap = MetricsSnapshot::new();
+        q.stats().contribute(&mut snap);
+        assert_eq!(snap.counter("park.parked"), 1);
+        assert_eq!(snap.counter("park.overflow"), 1);
+        assert_eq!(snap.counter("park.expired"), 1);
+        assert_eq!(snap.counter("park.released"), 0);
+    }
+}

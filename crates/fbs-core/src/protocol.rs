@@ -258,6 +258,7 @@ impl FbsEndpoint {
         self.mkc.set_obs(Arc::clone(&registry), CacheKind::Mkc);
         self.tfkc.set_obs(Arc::clone(&registry), CacheKind::Tfkc);
         self.rfkc.set_obs(Arc::clone(&registry), CacheKind::Rfkc);
+        self.mkd.set_obs(Arc::clone(&registry));
         self.obs = Some(registry);
     }
 
@@ -710,6 +711,12 @@ impl FbsEndpoint {
     /// MKD statistics.
     pub fn mkd_stats(&self) -> MkdStats {
         self.mkd.stats()
+    }
+
+    /// The endpoint's master key daemon (read access: breaker state,
+    /// fast-fail checks for release loops).
+    pub fn mkd(&self) -> &MasterKeyDaemon {
+        &self.mkd
     }
 
     /// Shared clock handle.

@@ -1,0 +1,251 @@
+//! Retry with exponential backoff and deterministic jitter.
+//!
+//! The paper's keying operations — the PVC's directory fetch and the MKD
+//! upcall — are "extremely expensive" (§5.3) but also the only places the
+//! stack depends on a remote party, so a transient failure there must
+//! cost a bounded retry, never a wedge. [`RetryPolicy`] wraps such an
+//! operation with capped exponential backoff, seeded jitter, and a
+//! deadline.
+//!
+//! Backoff is accounted in **virtual time**: the policy charges each
+//! wait against its deadline budget and reports the total, but never
+//! sleeps. This matches how the rest of the workspace treats expensive
+//! waits (the certificate [`Directory`](../../fbs_cert) *accounts* its
+//! RTT rather than sleeping it) and keeps retried paths fully
+//! deterministic under a [`ManualClock`](crate::clock::ManualClock),
+//! which does not advance on its own.
+
+use fbs_crypto::rng::Lcg64;
+
+/// Exponential-backoff retry schedule. `Copy` and stateless between
+/// `run`s: every invocation derives its jitter stream from the seed and
+/// the attempt index, so identical inputs retry identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (including the first). 1 disables
+    /// retrying.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in microseconds.
+    pub base_backoff_us: u64,
+    /// Cap on any single backoff, in microseconds.
+    pub max_backoff_us: u64,
+    /// Total backoff budget, in microseconds: once accumulated backoff
+    /// would exceed this, the policy gives up even if attempts remain.
+    pub deadline_us: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: 10_000,
+            max_backoff_us: 500_000,
+            deadline_us: 2_000_000,
+            jitter_seed: 0x5bd1_e995,
+        }
+    }
+}
+
+/// What a retried operation produced, plus how hard it had to work.
+#[derive(Debug, Clone)]
+pub struct RetryOutcome<T, E> {
+    /// The final attempt's result.
+    pub result: Result<T, E>,
+    /// Attempts actually made (>= 1).
+    pub attempts: u32,
+    /// Total virtual backoff charged, in microseconds.
+    pub total_backoff_us: u64,
+    /// Backoff charged before each failed attempt's successor, in order
+    /// (one entry per retry that was scheduled). Lets the caller emit
+    /// one observability event per retry after the fact.
+    pub backoffs_us: Vec<u64>,
+    /// True when the policy gave up (attempts or deadline exhausted)
+    /// while the operation was still failing.
+    pub exhausted: bool,
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt `attempt + 1` (0-based failed attempt):
+    /// `min(base << attempt, max)` plus up to 50% deterministic jitter.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .base_backoff_us
+            .checked_shl(attempt)
+            .unwrap_or(self.max_backoff_us);
+        let capped = shifted.min(self.max_backoff_us);
+        // Mix the attempt index into the seed so each retry draws a
+        // distinct — but reproducible — jitter value.
+        let mut rng = Lcg64::new(self.jitter_seed ^ ((attempt as u64 + 1) * 0x9e37_79b9));
+        let jitter_span = capped / 2;
+        if jitter_span == 0 {
+            capped
+        } else {
+            capped + rng.next_u64() % jitter_span
+        }
+    }
+
+    /// Run `op` under this policy. The operation is attempted up to
+    /// `max_attempts` times; after each failure the next backoff is
+    /// charged against `deadline_us` and recorded. No real time passes.
+    pub fn run<T, E>(&self, mut op: impl FnMut() -> Result<T, E>) -> RetryOutcome<T, E> {
+        let mut attempts = 0u32;
+        let mut total_backoff_us = 0u64;
+        let mut backoffs_us = Vec::new();
+        loop {
+            attempts += 1;
+            match op() {
+                Ok(v) => {
+                    return RetryOutcome {
+                        result: Ok(v),
+                        attempts,
+                        total_backoff_us,
+                        backoffs_us,
+                        exhausted: false,
+                    }
+                }
+                Err(e) => {
+                    if attempts >= self.max_attempts.max(1) {
+                        return RetryOutcome {
+                            result: Err(e),
+                            attempts,
+                            total_backoff_us,
+                            backoffs_us,
+                            exhausted: true,
+                        };
+                    }
+                    let backoff = self.backoff_us(attempts - 1);
+                    if total_backoff_us.saturating_add(backoff) > self.deadline_us {
+                        return RetryOutcome {
+                            result: Err(e),
+                            attempts,
+                            total_backoff_us,
+                            backoffs_us,
+                            exhausted: true,
+                        };
+                    }
+                    total_backoff_us += backoff;
+                    backoffs_us.push(backoff);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_makes_one_attempt() {
+        let p = RetryPolicy::default();
+        let out = p.run(|| Ok::<_, ()>(42));
+        assert_eq!(out.result, Ok(42));
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.total_backoff_us, 0);
+        assert!(!out.exhausted);
+        assert!(out.backoffs_us.is_empty());
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let p = RetryPolicy::default();
+        let mut calls = 0;
+        let out = p.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err("transient")
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.result, Ok(3));
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.backoffs_us.len(), 2);
+        assert!(out.total_backoff_us > 0);
+        assert!(!out.exhausted);
+    }
+
+    #[test]
+    fn exhausts_after_max_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let out = p.run(|| {
+            calls += 1;
+            Err::<(), _>("down")
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(out.attempts, 3);
+        assert!(out.exhausted);
+        assert!(out.result.is_err());
+    }
+
+    #[test]
+    fn deadline_stops_before_max_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 100,
+            base_backoff_us: 10_000,
+            max_backoff_us: 500_000,
+            deadline_us: 25_000,
+            jitter_seed: 7,
+        };
+        let out = p.run(|| Err::<(), _>("down"));
+        assert!(out.exhausted);
+        // The first backoff (>= 10 ms + jitter) fits under 25 ms at most
+        // once; the schedule cannot have run anywhere near 100 attempts.
+        assert!(out.attempts < 5, "attempts = {}", out.attempts);
+        assert!(out.total_backoff_us <= 25_000);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_us: 1_000,
+            max_backoff_us: 8_000,
+            deadline_us: u64::MAX,
+            jitter_seed: 1,
+        };
+        // Jitter adds at most 50%: attempt k's backoff is within
+        // [min(base<<k, max), 1.5 * min(base<<k, max)).
+        for k in 0..8 {
+            let expect = (1_000u64 << k).min(8_000);
+            let b = p.backoff_us(k);
+            assert!(b >= expect && b < expect + expect / 2 + 1, "k={k} b={b}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let p = RetryPolicy::default();
+        let a: Vec<u64> = (0..6).map(|k| p.backoff_us(k)).collect();
+        let b: Vec<u64> = (0..6).map(|k| p.backoff_us(k)).collect();
+        assert_eq!(a, b);
+        let q = RetryPolicy {
+            jitter_seed: 999,
+            ..p
+        };
+        let c: Vec<u64> = (0..6).map(|k| q.backoff_us(k)).collect();
+        assert_ne!(a, c, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn zero_max_attempts_still_tries_once() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let out = p.run(|| {
+            calls += 1;
+            Err::<(), _>(())
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.attempts, 1);
+        assert!(out.exhausted);
+    }
+}

@@ -9,14 +9,38 @@
 //!
 //! Input: between reassembly and dispatch, the FBS header is removed and
 //! verified; failures drop the datagram before it reaches the transport.
+//!
+//! # Graceful degradation
+//!
+//! Keying can fail *transiently* — a certificate-directory outage, an
+//! MKD upcall failure, an open circuit breaker. The flow policy's
+//! [`KeyUnavailableVerdict`] decides what happens to the datagram:
+//!
+//! * **fail-closed** (default, the paper's behaviour): drop it;
+//! * **fail-open**: pass it unprotected — only honoured when the
+//!   configuration does not request confidentiality, and never for a
+//!   framed-but-unverifiable input datagram;
+//! * **park**: hold it in a bounded [`ParkingQueue`] and retry when
+//!   [`Host::poll`](fbs_net::Host::poll) drives
+//!   [`SecurityHooks::release_output`]/[`release_input`](SecurityHooks::release_input).
+//!   Entries carry an absolute deadline from their first park, so a
+//!   sustained outage degrades into ordinary datagram loss instead of
+//!   unbounded memory growth.
+//!
+//! Cryptographic verdicts (bad MAC, stale timestamp, malformed input)
+//! never degrade: they are final rejections regardless of policy.
 
 use crate::combined::CombinedTable;
 use crate::policy::FiveTuplePolicy;
 use crate::tuple::FiveTuple;
+use fbs_core::breaker::BreakerState;
 use fbs_core::header::FIXED_PREFIX_LEN;
-use fbs_core::{Datagram, Fam, FbsConfig, FbsEndpoint, Principal, ProtectedDatagram, SflAllocator};
+use fbs_core::{
+    Datagram, Fam, FbsConfig, FbsEndpoint, FbsError, KeyUnavailableVerdict, ParkStats, Parked,
+    ParkingQueue, Principal, ProtectedDatagram, SflAllocator,
+};
 use fbs_net::ip::Proto;
-use fbs_net::{Ipv4Header, SecurityHooks};
+use fbs_net::{HookOutcome, Ipv4Header, SecurityHooks};
 use fbs_obs::{Direction, Event, MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -40,6 +64,15 @@ pub struct IpMappingConfig {
     /// flows". The paper's implementation left this out; it is provided as
     /// the documented extension. Default off for fidelity.
     pub cover_raw_ip: bool,
+    /// Degradation verdict when keying material is transiently
+    /// unavailable (wired into the flow policy). Default fail-closed,
+    /// which reproduces the seed behaviour exactly.
+    pub key_unavailable: KeyUnavailableVerdict,
+    /// Parking-queue capacity per direction (park verdict only).
+    pub park_capacity: usize,
+    /// Per-datagram parking deadline in microseconds, measured from the
+    /// first park.
+    pub park_deadline_us: u64,
     /// The underlying FBS endpoint configuration.
     pub fbs: FbsConfig,
 }
@@ -52,6 +85,9 @@ impl Default for IpMappingConfig {
             encrypt: true,
             combined: true,
             cover_raw_ip: false,
+            key_unavailable: KeyUnavailableVerdict::FailClosed,
+            park_capacity: 64,
+            park_deadline_us: 2_000_000,
             fbs: FbsConfig::default(),
         }
     }
@@ -68,21 +104,25 @@ pub struct IpHookStats {
     pub output_errors: u64,
     /// Input datagrams rejected (MAC, freshness, framing...).
     pub input_errors: u64,
+    /// Datagrams passed unprotected/unverified under a fail-open verdict.
+    pub fail_open: u64,
+    /// Key-unavailable datagrams dropped under the fail-closed verdict.
+    pub fail_closed: u64,
 }
 
 impl IpHookStats {
-    /// Total output-hook invocations.
+    /// Total output-hook invocations that reached a final verdict.
     pub fn output_entries(&self) -> u64 {
         self.protected + self.output_errors
     }
 
-    /// Total input-hook invocations.
+    /// Total input-hook invocations that reached a final verdict.
     pub fn input_entries(&self) -> u64 {
         self.verified + self.input_errors
     }
 
-    /// Fold these counters into a snapshot under the `hooks.*` names a
-    /// live [`MetricsRegistry`] uses.
+    /// Fold these counters into a snapshot under the `hooks.*` /
+    /// `degrade.*` names a live [`MetricsRegistry`] uses.
     pub fn contribute(&self, snap: &mut MetricsSnapshot) {
         snap.add("hooks.output_entries", self.output_entries());
         snap.add("hooks.output_ok", self.protected);
@@ -90,6 +130,8 @@ impl IpHookStats {
         snap.add("hooks.input_entries", self.input_entries());
         snap.add("hooks.input_ok", self.verified);
         snap.add("hooks.input_errors", self.input_errors);
+        snap.add("degrade.fail_open", self.fail_open);
+        snap.add("degrade.fail_closed", self.fail_closed);
     }
 }
 
@@ -102,6 +144,10 @@ struct Inner {
     combined: Option<CombinedTable>,
     cfg: IpMappingConfig,
     stats: IpHookStats,
+    /// Output datagrams awaiting key derivation: (header, plaintext).
+    out_park: ParkingQueue<(Ipv4Header, Vec<u8>)>,
+    /// Input datagrams awaiting key derivation: (header, wire payload).
+    in_park: ParkingQueue<(Ipv4Header, Vec<u8>)>,
     obs: Option<Arc<MetricsRegistry>>,
 }
 
@@ -115,6 +161,23 @@ impl Inner {
     fn hook_exit(&self, dir: Direction, ok: bool) {
         if let Some(reg) = &self.obs {
             reg.record(Event::HookExit { dir, ok });
+        }
+    }
+
+    fn record(&self, event: Event) {
+        if let Some(reg) = &self.obs {
+            reg.record(event);
+        }
+    }
+
+    /// The policy's key-unavailable verdict, downgraded to fail-closed
+    /// when fail-open would leak traffic configured for confidentiality.
+    fn degrade_verdict(&self) -> KeyUnavailableVerdict {
+        let v = self.fam.policy().key_unavailable;
+        if self.cfg.encrypt && v == KeyUnavailableVerdict::FailOpen {
+            KeyUnavailableVerdict::FailClosed
+        } else {
+            v
         }
     }
 }
@@ -133,7 +196,7 @@ impl FbsIpHooks {
     pub fn new(endpoint: FbsEndpoint, cfg: IpMappingConfig, sfl_seed: u64) -> Self {
         let fam = Fam::new(
             cfg.fst_size,
-            FiveTuplePolicy::new(cfg.threshold_secs),
+            FiveTuplePolicy::new(cfg.threshold_secs).with_key_unavailable(cfg.key_unavailable),
             SflAllocator::new(sfl_seed),
         );
         let combined = cfg.combined.then(|| {
@@ -145,6 +208,8 @@ impl FbsIpHooks {
                 SflAllocator::new(sfl_seed),
             )
         });
+        let out_park = ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us);
+        let in_park = ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us);
         FbsIpHooks {
             inner: Arc::new(Mutex::new(Inner {
                 endpoint,
@@ -152,6 +217,8 @@ impl FbsIpHooks {
                 combined,
                 cfg,
                 stats: IpHookStats::default(),
+                out_park,
+                in_park,
                 obs: None,
             })),
         }
@@ -209,6 +276,42 @@ impl FbsIpHooks {
         }
     }
 
+    /// Drop all flow-key soft state (TFKC, RFKC, and the combined
+    /// FST/TFKC when present) — a mid-flow cache flush. Always safe:
+    /// soft state is recomputed on demand (§5.3); the next datagram per
+    /// flow pays a re-derivation.
+    pub fn flush_flow_keys(&self) {
+        let mut inner = self.inner.lock();
+        inner.endpoint.flush_flow_keys();
+        if let Some(table) = &mut inner.combined {
+            table.clear();
+        }
+    }
+
+    /// Invalidate the cached master key for one peer (forces the next
+    /// datagram to/from them through the MKD upcall).
+    pub fn forget_peer(&self, peer: &Principal) {
+        self.inner.lock().endpoint.forget_peer(peer);
+    }
+
+    /// Current (output, input) parking-queue depths.
+    pub fn parked_depths(&self) -> (usize, usize) {
+        let inner = self.inner.lock();
+        (inner.out_park.len(), inner.in_park.len())
+    }
+
+    /// Accumulated (output, input) parking counters.
+    pub fn park_stats(&self) -> (ParkStats, ParkStats) {
+        let inner = self.inner.lock();
+        (inner.out_park.stats(), inner.in_park.stats())
+    }
+
+    /// The MKD circuit breaker's state for `peer`, if resilience is
+    /// configured and the peer has been keyed at least once.
+    pub fn breaker_state(&self, peer: &Principal) -> Option<BreakerState> {
+        self.inner.lock().endpoint.mkd().breaker_state(peer)
+    }
+
     /// Worst-case payload growth for the configured algorithms: the fixed
     /// header prefix, the (possibly truncated) MAC, and up to 7 bytes of
     /// DES block padding.
@@ -235,12 +338,7 @@ impl SecurityHooks for FbsIpHooks {
         Self::overhead_of(&self.inner.lock().cfg)
     }
 
-    fn output(
-        &mut self,
-        header: &mut Ipv4Header,
-        payload: Vec<u8>,
-        now_us: u64,
-    ) -> Result<Vec<u8>, String> {
+    fn output(&mut self, header: &mut Ipv4Header, payload: Vec<u8>, now_us: u64) -> HookOutcome {
         let mut inner = self.inner.lock();
         output_locked(&mut inner, header, payload, now_us)
     }
@@ -252,7 +350,7 @@ impl SecurityHooks for FbsIpHooks {
         &mut self,
         items: Vec<(Ipv4Header, Vec<u8>)>,
         now_us: u64,
-    ) -> Vec<(Ipv4Header, Result<Vec<u8>, String>)> {
+    ) -> Vec<(Ipv4Header, HookOutcome)> {
         let mut inner = self.inner.lock();
         items
             .into_iter()
@@ -262,63 +360,37 @@ impl SecurityHooks for FbsIpHooks {
             })
             .collect()
     }
-    fn input(
-        &mut self,
-        header: &mut Ipv4Header,
-        payload: Vec<u8>,
-        _now_us: u64,
-    ) -> Result<Vec<u8>, String> {
+
+    fn input(&mut self, header: &mut Ipv4Header, payload: Vec<u8>, now_us: u64) -> HookOutcome {
         let mut inner = self.inner.lock();
-        inner.hook_entry(Direction::Input);
-        let wire_len = payload.len();
-        let pd = ProtectedDatagram::decode_payload(
-            Principal::from_ipv4(header.src),
-            Principal::from_ipv4(header.dst),
-            &payload,
-        )
-        .map_err(|e| {
-            inner.stats.input_errors += 1;
-            inner.hook_exit(Direction::Input, false);
-            e.to_string()
-        })?;
-        match inner.endpoint.receive(pd) {
-            Ok(datagram) => {
-                let delta = wire_len as isize - datagram.body.len() as isize;
-                header.grow_payload(-delta);
-                inner.stats.verified += 1;
-                inner.hook_exit(Direction::Input, true);
-                Ok(datagram.body)
-            }
-            Err(e) => {
-                inner.stats.input_errors += 1;
-                inner.hook_exit(Direction::Input, false);
-                Err(e.to_string())
-            }
-        }
+        input_locked(&mut inner, header, payload, now_us)
+    }
+
+    fn release_output(&mut self, now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
+        let mut inner = self.inner.lock();
+        release_output_locked(&mut inner, now_us)
+    }
+
+    fn release_input(&mut self, now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
+        let mut inner = self.inner.lock();
+        release_input_locked(&mut inner, now_us)
     }
 }
 
-/// The §7.2 output path, run with the shared state already locked —
-/// `SecurityHooks::output` locks per datagram, `output_batch` once per
-/// batch.
-fn output_locked(
+/// The §7.2 protect path, with no verdict handling: classify the datagram
+/// into a flow, derive/look up its key, and return the protected wire
+/// payload (fixing up `header`'s length on success).
+fn protect_locked(
     inner: &mut Inner,
     header: &mut Ipv4Header,
     payload: Vec<u8>,
     now_us: u64,
-) -> Result<Vec<u8>, String> {
-    inner.hook_entry(Direction::Output);
+) -> Result<Vec<u8>, FbsError> {
     let now_secs = now_us / 1_000_000;
     let is_transport = matches!(Proto::from_number(header.proto), Proto::Mrt | Proto::Udp);
     let tuple = if is_transport {
-        match FiveTuple::extract(header.proto, header.src, header.dst, &payload) {
-            Some(t) => t,
-            None => {
-                inner.stats.output_errors += 1;
-                inner.hook_exit(Direction::Output, false);
-                return Err("payload too short for 5-tuple extraction".into());
-            }
-        }
+        FiveTuple::extract(header.proto, header.src, header.dst, &payload)
+            .ok_or(FbsError::MalformedHeader("payload too short for 5-tuple"))?
     } else {
         // Footnote-10 extension: raw IP forms host-level flows — the
         // "5-tuple" degenerates to (proto, saddr, daddr).
@@ -336,7 +408,7 @@ fn output_locked(
         body: payload,
     };
     let secret = inner.cfg.encrypt;
-    let result = match &mut inner.combined {
+    let pd = match &mut inner.combined {
         // §7.2: one lookup resolves flow identity AND key.
         Some(table) => {
             let endpoint = &mut inner.endpoint;
@@ -345,28 +417,596 @@ fn output_locked(
                 .lookup(tuple, now_secs, |sfl| {
                     endpoint.derive_flow_key_tx(sfl, &dst)
                 })
-                .and_then(|hit| endpoint.send_with_key(hit.sfl, &hit.key, datagram, secret))
+                .and_then(|hit| endpoint.send_with_key(hit.sfl, &hit.key, datagram, secret))?
         }
         // Textbook: FAM classification, then TFKC inside send().
         None => {
             let bytes = datagram.body.len() as u64;
             let class = inner.fam.classify(tuple, now_secs, bytes);
-            inner.endpoint.send(class.sfl, datagram, secret)
+            inner.endpoint.send(class.sfl, datagram, secret)?
         }
     };
-    match result {
-        Ok(pd) => {
-            let out = pd.encode_payload();
-            let delta = out.len() as isize - pd.header.plaintext_len as isize;
-            header.grow_payload(delta);
+    let out = pd.encode_payload();
+    let delta = out.len() as isize - pd.header.plaintext_len as isize;
+    header.grow_payload(delta);
+    Ok(out)
+}
+
+/// Output verdict wrapper: protect, and on a *key-unavailable* failure
+/// apply the policy's degradation verdict. Runs with the state locked.
+fn output_locked(
+    inner: &mut Inner,
+    header: &mut Ipv4Header,
+    payload: Vec<u8>,
+    now_us: u64,
+) -> HookOutcome {
+    inner.hook_entry(Direction::Output);
+    let verdict = inner.degrade_verdict();
+    // Only fall-back verdicts need the original bytes kept around; the
+    // default fail-closed path stays copy-free.
+    let fallback = matches!(
+        verdict,
+        KeyUnavailableVerdict::FailOpen | KeyUnavailableVerdict::Park
+    )
+    .then(|| payload.clone());
+    match protect_locked(inner, header, payload, now_us) {
+        Ok(out) => {
             inner.stats.protected += 1;
             inner.hook_exit(Direction::Output, true);
-            Ok(out)
+            HookOutcome::Pass(out)
+        }
+        Err(e) if e.is_key_unavailable() && fallback.is_some() => {
+            let original = fallback.expect("checked is_some");
+            match verdict {
+                KeyUnavailableVerdict::FailOpen => {
+                    inner.stats.fail_open += 1;
+                    inner.record(Event::Degraded {
+                        dir: Direction::Output,
+                        open: true,
+                    });
+                    inner.hook_exit(Direction::Output, true);
+                    inner.stats.protected += 1; // it did exit the hook ok
+                    HookOutcome::Pass(original)
+                }
+                KeyUnavailableVerdict::Park => {
+                    match inner.out_park.park((header.clone(), original), now_us) {
+                        Ok(()) => {
+                            let queued = inner.out_park.len() as u32;
+                            inner.record(Event::Parked { queued });
+                            HookOutcome::Park
+                        }
+                        Err(_) => {
+                            inner.record(Event::ParkOverflow);
+                            inner.stats.output_errors += 1;
+                            inner.hook_exit(Direction::Output, false);
+                            HookOutcome::Reject(format!("park queue full: {e}"))
+                        }
+                    }
+                }
+                KeyUnavailableVerdict::FailClosed => unreachable!("no fallback kept"),
+            }
         }
         Err(e) => {
+            if e.is_key_unavailable() {
+                inner.stats.fail_closed += 1;
+                inner.record(Event::Degraded {
+                    dir: Direction::Output,
+                    open: false,
+                });
+            }
             inner.stats.output_errors += 1;
             inner.hook_exit(Direction::Output, false);
-            Err(e.to_string())
+            HookOutcome::Reject(e.to_string())
         }
+    }
+}
+
+/// The verify path, with no verdict handling: parse the FBS framing,
+/// verify/decrypt, and return the plaintext body (fixing up `header`'s
+/// length on success).
+fn verify_locked(
+    inner: &mut Inner,
+    header: &mut Ipv4Header,
+    payload: &[u8],
+) -> Result<Vec<u8>, FbsError> {
+    let wire_len = payload.len();
+    let pd = ProtectedDatagram::decode_payload(
+        Principal::from_ipv4(header.src),
+        Principal::from_ipv4(header.dst),
+        payload,
+    )?;
+    let datagram = inner.endpoint.receive(pd)?;
+    let delta = wire_len as isize - datagram.body.len() as isize;
+    header.grow_payload(-delta);
+    Ok(datagram.body)
+}
+
+/// Input verdict wrapper. Degradation applies narrowly here:
+///
+/// * an **unframed** datagram (no FBS header parses) is admitted as-is
+///   under fail-open — the counterpart of a fail-open sender;
+/// * a **framed** datagram that fails with key-unavailable may be
+///   parked; fail-open never admits it (it cannot be verified, and under
+///   encryption it is unreadable anyway);
+/// * cryptographic failures (MAC, freshness) always reject.
+fn input_locked(
+    inner: &mut Inner,
+    header: &mut Ipv4Header,
+    payload: Vec<u8>,
+    now_us: u64,
+) -> HookOutcome {
+    inner.hook_entry(Direction::Input);
+    let verdict = inner.degrade_verdict();
+    match verify_locked(inner, header, &payload) {
+        Ok(body) => {
+            inner.stats.verified += 1;
+            inner.hook_exit(Direction::Input, true);
+            HookOutcome::Pass(body)
+        }
+        Err(FbsError::MalformedHeader(_) | FbsError::UnknownAlgorithm(_))
+            if verdict == KeyUnavailableVerdict::FailOpen =>
+        {
+            inner.stats.fail_open += 1;
+            inner.stats.verified += 1;
+            inner.record(Event::Degraded {
+                dir: Direction::Input,
+                open: true,
+            });
+            inner.hook_exit(Direction::Input, true);
+            HookOutcome::Pass(payload)
+        }
+        Err(e) if e.is_key_unavailable() && verdict == KeyUnavailableVerdict::Park => {
+            match inner.in_park.park((header.clone(), payload), now_us) {
+                Ok(()) => {
+                    let queued = inner.in_park.len() as u32;
+                    inner.record(Event::Parked { queued });
+                    HookOutcome::Park
+                }
+                Err(_) => {
+                    inner.record(Event::ParkOverflow);
+                    inner.stats.input_errors += 1;
+                    inner.hook_exit(Direction::Input, false);
+                    HookOutcome::Reject(format!("park queue full: {e}"))
+                }
+            }
+        }
+        Err(e) => {
+            if e.is_key_unavailable() {
+                inner.stats.fail_closed += 1;
+                inner.record(Event::Degraded {
+                    dir: Direction::Input,
+                    open: false,
+                });
+            }
+            inner.stats.input_errors += 1;
+            inner.hook_exit(Direction::Input, false);
+            HookOutcome::Reject(e.to_string())
+        }
+    }
+}
+
+/// Release loop for parked output datagrams: expire the overdue, then
+/// retry protection for the rest — skipping (and re-parking) everything
+/// headed for a peer whose circuit breaker would fast-fail, so a wall of
+/// parked traffic cannot hammer a known-broken keying path.
+fn release_output_locked(inner: &mut Inner, now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
+    let expired = inner.out_park.expire(now_us);
+    for _ in 0..expired {
+        inner.record(Event::ParkExpired);
+    }
+    if inner.out_park.is_empty() {
+        return Vec::new();
+    }
+    let mut ready = Vec::new();
+    for entry in inner.out_park.take_all() {
+        let Parked {
+            item: (mut header, payload),
+            parked_at_us,
+            deadline_us,
+        } = entry;
+        let peer = Principal::from_ipv4(header.dst);
+        if inner.endpoint.mkd().would_fast_fail(&peer) {
+            let _ = inner.out_park.repark(Parked {
+                item: (header, payload),
+                parked_at_us,
+                deadline_us,
+            });
+            continue;
+        }
+        let backup = payload.clone();
+        match protect_locked(inner, &mut header, payload, now_us) {
+            Ok(protected) => {
+                let waited_us = inner.out_park.note_released(parked_at_us, now_us);
+                inner.stats.protected += 1;
+                inner.record(Event::ParkReleased { waited_us });
+                inner.hook_exit(Direction::Output, true);
+                ready.push((header, protected));
+            }
+            Err(e) if e.is_key_unavailable() => {
+                // Still no key: back to the queue with the original
+                // deadline (drops at expiry, never grows unbounded).
+                let _ = inner.out_park.repark(Parked {
+                    item: (header, backup),
+                    parked_at_us,
+                    deadline_us,
+                });
+            }
+            Err(e) => {
+                inner.stats.output_errors += 1;
+                inner.hook_exit(Direction::Output, false);
+                let _ = e;
+            }
+        }
+    }
+    ready
+}
+
+/// Release loop for parked input datagrams, mirroring
+/// [`release_output_locked`] with the peer taken from the source address.
+fn release_input_locked(inner: &mut Inner, now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
+    let expired = inner.in_park.expire(now_us);
+    for _ in 0..expired {
+        inner.record(Event::ParkExpired);
+    }
+    if inner.in_park.is_empty() {
+        return Vec::new();
+    }
+    let mut ready = Vec::new();
+    for entry in inner.in_park.take_all() {
+        let Parked {
+            item: (mut header, payload),
+            parked_at_us,
+            deadline_us,
+        } = entry;
+        let peer = Principal::from_ipv4(header.src);
+        if inner.endpoint.mkd().would_fast_fail(&peer) {
+            let _ = inner.in_park.repark(Parked {
+                item: (header, payload),
+                parked_at_us,
+                deadline_us,
+            });
+            continue;
+        }
+        match verify_locked(inner, &mut header, &payload) {
+            Ok(body) => {
+                let waited_us = inner.in_park.note_released(parked_at_us, now_us);
+                inner.stats.verified += 1;
+                inner.record(Event::ParkReleased { waited_us });
+                inner.hook_exit(Direction::Input, true);
+                ready.push((header, body));
+            }
+            Err(e) if e.is_key_unavailable() => {
+                let _ = inner.in_park.repark(Parked {
+                    item: (header, payload),
+                    parked_at_us,
+                    deadline_us,
+                });
+            }
+            Err(e) => {
+                inner.stats.input_errors += 1;
+                inner.hook_exit(Direction::Input, false);
+                let _ = e;
+            }
+        }
+    }
+    ready
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::build_secure_host;
+    use fbs_cert::{CertificateAuthority, Directory};
+    use fbs_core::ManualClock;
+    use fbs_crypto::dh::DhGroup;
+    use fbs_net::ip::Ipv4Addr;
+    use std::time::Duration;
+
+    const A: Ipv4Addr = [10, 9, 0, 1];
+    const B: Ipv4Addr = [10, 9, 0, 2];
+
+    struct World {
+        clock: ManualClock,
+        ca: CertificateAuthority,
+        directory: Arc<Directory>,
+        group: DhGroup,
+    }
+
+    impl World {
+        fn new() -> Self {
+            World {
+                clock: ManualClock::starting_at(0),
+                ca: CertificateAuthority::new("degrade-test-ca", [0xD6; 16]),
+                directory: Arc::new(Directory::new(Duration::ZERO)),
+                group: DhGroup::test_group(),
+            }
+        }
+
+        /// Build hooks for `addr` (publishing its certificate).
+        fn host(&self, addr: Ipv4Addr) -> FbsIpHooks {
+            let (_host, hooks) = build_secure_host(
+                addr,
+                1500,
+                self.cfg(),
+                self.clock.clone(),
+                &self.group,
+                &self.ca,
+                &self.directory,
+                42,
+            );
+            hooks
+        }
+
+        fn cfg(&self) -> IpMappingConfig {
+            IpMappingConfig::default()
+        }
+    }
+
+    fn udp_datagram(src: Ipv4Addr, dst: Ipv4Addr) -> (Ipv4Header, Vec<u8>) {
+        // 4-byte port prefix so the 5-tuple extracts, then a body.
+        let mut payload = vec![0x0F, 0xA0, 0x00, 0x35];
+        payload.extend_from_slice(b"degradation test body");
+        let header = Ipv4Header::new(src, dst, Proto::Udp, payload.len());
+        (header, payload)
+    }
+
+    fn hooks_with(world: &World, cfg: IpMappingConfig) -> FbsIpHooks {
+        let (_host, hooks) = build_secure_host(
+            A,
+            1500,
+            cfg,
+            world.clock.clone(),
+            &world.group,
+            &world.ca,
+            &world.directory,
+            42,
+        );
+        hooks
+    }
+
+    #[test]
+    fn key_unavailable_fails_closed_by_default() {
+        let world = World::new();
+        let mut hooks = world.host(A); // B's certificate never published
+        let (mut header, payload) = udp_datagram(A, B);
+        let out = hooks.output(&mut header, payload, 1_000);
+        assert!(matches!(out, HookOutcome::Reject(_)), "{out:?}");
+        let s = hooks.stats();
+        assert_eq!(s.fail_closed, 1);
+        assert_eq!(s.output_errors, 1);
+        assert_eq!(s.fail_open, 0);
+    }
+
+    #[test]
+    fn fail_open_passes_plaintext_when_not_confidential() {
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            encrypt: false,
+            key_unavailable: KeyUnavailableVerdict::FailOpen,
+            ..IpMappingConfig::default()
+        };
+        let mut hooks = hooks_with(&world, cfg);
+        let (mut header, payload) = udp_datagram(A, B);
+        let before = header.total_len;
+        let out = hooks.output(&mut header, payload.clone(), 1_000);
+        match out {
+            HookOutcome::Pass(bytes) => assert_eq!(bytes, payload, "original plaintext"),
+            other => panic!("expected fail-open pass, got {other:?}"),
+        }
+        assert_eq!(header.total_len, before, "no FBS overhead added");
+        assert_eq!(hooks.stats().fail_open, 1);
+    }
+
+    #[test]
+    fn fail_open_downgrades_to_fail_closed_under_encryption() {
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            encrypt: true,
+            key_unavailable: KeyUnavailableVerdict::FailOpen,
+            ..IpMappingConfig::default()
+        };
+        let mut hooks = hooks_with(&world, cfg);
+        let (mut header, payload) = udp_datagram(A, B);
+        let out = hooks.output(&mut header, payload, 1_000);
+        assert!(matches!(out, HookOutcome::Reject(_)), "{out:?}");
+        assert_eq!(hooks.stats().fail_closed, 1);
+        assert_eq!(hooks.stats().fail_open, 0);
+    }
+
+    #[test]
+    fn fail_open_input_admits_only_unframed_datagrams() {
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            encrypt: false,
+            key_unavailable: KeyUnavailableVerdict::FailOpen,
+            ..IpMappingConfig::default()
+        };
+        let mut hooks = hooks_with(&world, cfg);
+        // A bare datagram with no FBS framing: decode fails, fail-open
+        // admits it untouched.
+        let (mut header, payload) = udp_datagram(B, A);
+        let out = hooks.input(&mut header, payload.clone(), 1_000);
+        match out {
+            HookOutcome::Pass(bytes) => assert_eq!(bytes, payload),
+            other => panic!("expected fail-open admit, got {other:?}"),
+        }
+        assert_eq!(hooks.stats().fail_open, 1);
+    }
+
+    #[test]
+    fn crypto_failures_never_degrade() {
+        // Even under fail-open, a framed datagram with a bad MAC is
+        // rejected: crypto verdicts are final.
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            encrypt: false,
+            key_unavailable: KeyUnavailableVerdict::FailOpen,
+            ..IpMappingConfig::default()
+        };
+        let mut sender = hooks_with(&world, cfg.clone());
+        let mut receiver = world.host(B);
+        let (mut header, payload) = udp_datagram(A, B);
+        let out = sender.output(&mut header, payload, 1_000);
+        let mut wire = match out {
+            HookOutcome::Pass(bytes) => bytes,
+            other => panic!("sender should protect, got {other:?}"),
+        };
+        // Flip a bit in the MAC region (the tail).
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        let mut rx_header = header.clone();
+        rx_header.src = A;
+        rx_header.dst = B;
+        let got = receiver.input(&mut rx_header, wire, 1_000);
+        assert!(matches!(got, HookOutcome::Reject(_)), "{got:?}");
+        assert_eq!(receiver.stats().input_errors, 1);
+        assert_eq!(
+            receiver.stats().fail_open,
+            0,
+            "MAC failure must not degrade"
+        );
+    }
+
+    #[test]
+    fn park_holds_then_releases_when_key_arrives() {
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            key_unavailable: KeyUnavailableVerdict::Park,
+            park_deadline_us: 10_000_000,
+            ..IpMappingConfig::default()
+        };
+        let mut hooks = hooks_with(&world, cfg);
+        let (mut header, payload) = udp_datagram(A, B);
+        let out = hooks.output(&mut header, payload, 1_000);
+        assert!(matches!(out, HookOutcome::Park), "{out:?}");
+        assert_eq!(hooks.parked_depths(), (1, 0));
+
+        // Still keyless: the release pass re-parks, does not drop.
+        assert!(hooks.release_output(2_000).is_empty());
+        assert_eq!(hooks.parked_depths(), (1, 0));
+
+        // B comes online (certificate published); the parked datagram
+        // is protected and released on the next poll.
+        let _hb = world.host(B);
+        let released = hooks.release_output(3_000);
+        assert_eq!(released.len(), 1);
+        let (rel_header, rel_payload) = &released[0];
+        assert!(rel_payload.len() > 25, "released payload is protected");
+        assert_eq!(rel_header.dst, B);
+        assert_eq!(hooks.parked_depths(), (0, 0));
+        let (out_stats, _) = hooks.park_stats();
+        assert_eq!(out_stats.released, 1);
+        assert_eq!(out_stats.expired, 0);
+        assert_eq!(hooks.stats().protected, 1);
+    }
+
+    #[test]
+    fn park_queue_overflow_rejects() {
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            key_unavailable: KeyUnavailableVerdict::Park,
+            park_capacity: 2,
+            ..IpMappingConfig::default()
+        };
+        let mut hooks = hooks_with(&world, cfg);
+        for i in 0..2 {
+            let (mut header, payload) = udp_datagram(A, B);
+            let out = hooks.output(&mut header, payload, 1_000 + i);
+            assert!(matches!(out, HookOutcome::Park));
+        }
+        let (mut header, payload) = udp_datagram(A, B);
+        let out = hooks.output(&mut header, payload, 2_000);
+        assert!(matches!(out, HookOutcome::Reject(_)), "{out:?}");
+        let (out_stats, _) = hooks.park_stats();
+        assert_eq!(out_stats.overflow, 1);
+        assert_eq!(hooks.parked_depths(), (2, 0));
+    }
+
+    #[test]
+    fn parked_datagrams_expire_at_their_deadline() {
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            key_unavailable: KeyUnavailableVerdict::Park,
+            park_deadline_us: 5_000,
+            ..IpMappingConfig::default()
+        };
+        let mut hooks = hooks_with(&world, cfg);
+        let (mut header, payload) = udp_datagram(A, B);
+        assert!(matches!(
+            hooks.output(&mut header, payload, 1_000),
+            HookOutcome::Park
+        ));
+        // Repeated keyless release passes must not reset the deadline.
+        assert!(hooks.release_output(3_000).is_empty());
+        assert!(hooks.release_output(5_000).is_empty());
+        assert!(hooks.release_output(6_001).is_empty());
+        assert_eq!(hooks.parked_depths(), (0, 0), "expired, not retained");
+        let (out_stats, _) = hooks.park_stats();
+        assert_eq!(out_stats.expired, 1);
+        assert_eq!(out_stats.released, 0);
+    }
+
+    #[test]
+    fn input_park_releases_after_sender_cert_appears() {
+        // Receiver-side parking: the wire datagram arrives before the
+        // receiver can fetch the sender's public value.
+        let world = World::new();
+        let park_cfg = IpMappingConfig {
+            key_unavailable: KeyUnavailableVerdict::Park,
+            park_deadline_us: 10_000_000,
+            ..IpMappingConfig::default()
+        };
+        // Receiver A parks; its directory view is a SEPARATE directory
+        // that never saw the sender's certificate.
+        let receiver_world = World::new();
+        let mut receiver = hooks_with(&receiver_world, park_cfg);
+
+        // Sender B lives in `world` with both certificates present —
+        // publish A's certificate there by building A's endpoint too.
+        let _a_in_world = world.host(A);
+        let (_host_b, _) = build_secure_host(
+            B,
+            1500,
+            IpMappingConfig::default(),
+            world.clock.clone(),
+            &world.group,
+            &world.ca,
+            &world.directory,
+            42,
+        );
+        let mut sender = {
+            let (_h, hooks) = build_secure_host(
+                B,
+                1500,
+                IpMappingConfig::default(),
+                world.clock.clone(),
+                &world.group,
+                &world.ca,
+                &world.directory,
+                43,
+            );
+            hooks
+        };
+        let (mut header, payload) = udp_datagram(B, A);
+        let wire = match sender.output(&mut header, payload.clone(), 1_000) {
+            HookOutcome::Pass(bytes) => bytes,
+            other => panic!("sender should protect, got {other:?}"),
+        };
+
+        let mut rx_header = header.clone();
+        let out = receiver.input(&mut rx_header, wire, 1_000);
+        assert!(matches!(out, HookOutcome::Park), "{out:?}");
+        assert_eq!(receiver.parked_depths(), (0, 1));
+
+        // Sender's certificate reaches the receiver's directory; note
+        // the sender in `world` signs with the same CA key, so the
+        // receiver's verifier accepts it.
+        let b_cert = world.directory.fetch(&Principal::from_ipv4(B)).unwrap();
+        receiver_world.directory.publish(b_cert);
+        let released = receiver.release_input(2_000);
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].1, payload, "verified plaintext");
+        assert_eq!(receiver.parked_depths(), (0, 0));
+        assert_eq!(receiver.stats().verified, 1);
     }
 }

@@ -47,7 +47,7 @@ pub fn build_secure_host(
     // PVC → MKD → endpoint.
     let pvc = Pvc::new(
         32,
-        Arc::clone(directory),
+        Arc::clone(directory) as Arc<dyn fbs_cert::CertSource>,
         ca.verifier(),
         Arc::new(clock.clone()),
     );

@@ -8,7 +8,7 @@
 //! sweeper invalidates entries idle longer than THRESHOLD.
 
 use crate::tuple::FiveTuple;
-use fbs_core::fam::{FlowPolicy, FstEntry};
+use fbs_core::fam::{FlowPolicy, FstEntry, KeyUnavailableVerdict};
 use fbs_core::policy::FlowAttrs;
 use fbs_crypto::crc32;
 
@@ -25,12 +25,17 @@ pub const DEFAULT_FST_SIZE: usize = 64;
 pub struct FiveTuplePolicy {
     /// Flow idle expiry in seconds.
     pub threshold_secs: u64,
+    /// What happens to a datagram whose flow key cannot be derived
+    /// right now (directory/MKD outage, open circuit breaker). The
+    /// paper's behaviour — and the safe default — is fail-closed.
+    pub key_unavailable: KeyUnavailableVerdict,
 }
 
 impl Default for FiveTuplePolicy {
     fn default() -> Self {
         FiveTuplePolicy {
             threshold_secs: DEFAULT_THRESHOLD_SECS,
+            key_unavailable: KeyUnavailableVerdict::FailClosed,
         }
     }
 }
@@ -38,7 +43,16 @@ impl Default for FiveTuplePolicy {
 impl FiveTuplePolicy {
     /// Policy with an explicit THRESHOLD (the Fig. 13/14 sweep parameter).
     pub fn new(threshold_secs: u64) -> Self {
-        FiveTuplePolicy { threshold_secs }
+        FiveTuplePolicy {
+            threshold_secs,
+            ..FiveTuplePolicy::default()
+        }
+    }
+
+    /// Override the key-unavailable degradation verdict.
+    pub fn with_key_unavailable(mut self, verdict: KeyUnavailableVerdict) -> Self {
+        self.key_unavailable = verdict;
+        self
     }
 }
 
@@ -46,6 +60,10 @@ impl FlowPolicy<FiveTuple> for FiveTuplePolicy {
     fn index(&self, attrs: &FiveTuple, table_size: usize) -> usize {
         // Fig. 7: i = CRC-32(saddr, sport, daddr, dport, proto) mod FSTSIZE
         crc32(&attrs.canonical_bytes()) as usize % table_size
+    }
+
+    fn key_unavailable(&self) -> KeyUnavailableVerdict {
+        self.key_unavailable
     }
 
     fn same_flow(&self, entry_attrs: &FiveTuple, attrs: &FiveTuple) -> bool {

@@ -124,8 +124,13 @@ pub enum ConnState {
     Established,
     /// FIN sent, awaiting its ACK.
     FinWait,
-    /// Fully closed (or aborted; see [`Conn::error`]).
+    /// Fully closed by the normal handshake.
     Closed,
+    /// Terminal failure: retransmission gave up after `MAX_RETRIES`
+    /// (see [`Conn::error`] for the cause). Distinguishable from an
+    /// orderly [`ConnState::Closed`] so callers can tell "peer finished"
+    /// from "peer unreachable" and react (re-dial, report, degrade).
+    Failed,
 }
 
 /// One connection's state block.
@@ -286,7 +291,7 @@ impl MrtLayer {
             .conns
             .get_mut(key)
             .ok_or(NetError::Connection("no such connection"))?;
-        if conn.closing || conn.state == ConnState::Closed {
+        if conn.closing || matches!(conn.state, ConnState::Closed | ConnState::Failed) {
             return Err(NetError::Connection("connection closing"));
         }
         conn.send_buf.extend(data);
@@ -470,7 +475,7 @@ impl MrtLayer {
             if timed_out {
                 conn.retries += 1;
                 if conn.retries > MAX_RETRIES {
-                    conn.state = ConnState::Closed;
+                    conn.state = ConnState::Failed;
                     conn.error = Some(NetError::Connection("max retries exceeded"));
                     conn.retransmit_at = None;
                     continue;
@@ -785,8 +790,14 @@ mod tests {
             now += 20_000_000;
             a.poll(now);
         }
-        assert_eq!(a.state(&key), Some(ConnState::Closed));
+        assert_eq!(
+            a.state(&key),
+            Some(ConnState::Failed),
+            "give-up is a terminal failure, not an orderly close"
+        );
         assert!(a.conn(&key).unwrap().error.is_some());
+        // A failed connection refuses further sends.
+        assert!(a.send(&key, b"more").is_err());
     }
 
     #[test]

@@ -58,16 +58,44 @@ impl Impairments {
         }
     }
 
-    /// A lossy WAN-ish medium for robustness tests.
-    pub fn lossy(loss: f64, seed_jitter_us: u64) -> Self {
+    /// A lossy WAN-ish medium for robustness tests, with every fault rate
+    /// explicit (duplication and corruption used to be derived from the
+    /// loss rate, which hid two knobs chaos schedules need).
+    pub fn lossy(loss: f64, duplicate: f64, corrupt: f64, jitter_us: u64) -> Self {
         Impairments {
             latency_us: 2_000,
-            jitter_us: seed_jitter_us,
+            jitter_us,
             loss,
-            duplicate: loss / 4.0,
-            corrupt: loss / 4.0,
+            duplicate,
+            corrupt,
             bandwidth_bps: Some(10_000_000),
         }
+        .validated()
+    }
+
+    /// Normalise the fault probabilities once, at construction time:
+    /// NaN or negative rates are configuration bugs and panic; rates
+    /// above 1.0 clamp to certainty. [`Segment::new`] runs every
+    /// configuration through this, so the per-frame hot path can trust
+    /// the values as-is.
+    ///
+    /// # Panics
+    /// Panics if `loss`, `duplicate`, or `corrupt` is NaN or negative.
+    pub fn validated(mut self) -> Self {
+        for (name, p) in [
+            ("loss", &mut self.loss),
+            ("duplicate", &mut self.duplicate),
+            ("corrupt", &mut self.corrupt),
+        ] {
+            assert!(
+                !p.is_nan() && *p >= 0.0,
+                "impairment probability `{name}` must be a non-negative number, got {p}"
+            );
+            if *p > 1.0 {
+                *p = 1.0;
+            }
+        }
+        self
     }
 }
 
@@ -113,7 +141,12 @@ pub struct Segment {
 
 impl Segment {
     /// Create a segment with the given impairments and RNG seed.
+    ///
+    /// # Panics
+    /// Panics if any impairment probability is NaN or negative (see
+    /// [`Impairments::validated`]).
     pub fn new(seed: u64, imp: Impairments) -> Self {
+        let imp = imp.validated();
         Segment {
             now_us: 0,
             medium_free_us: 0,
@@ -148,12 +181,14 @@ impl Segment {
         };
         self.medium_free_us = start + ser_us;
 
-        if self.rng.gen_bool(self.imp.loss.clamp(0.0, 1.0)) {
+        // Probabilities were validated at Segment::new; no per-frame
+        // clamping needed here.
+        if self.rng.gen_bool(self.imp.loss) {
             self.stats.lost += 1;
             return;
         }
         let mut frame = frame;
-        if self.imp.corrupt > 0.0 && self.rng.gen_bool(self.imp.corrupt.clamp(0.0, 1.0)) {
+        if self.imp.corrupt > 0.0 && self.rng.gen_bool(self.imp.corrupt) {
             let i = self.rng.gen_range(0..frame.len());
             frame[i] ^= 1u8 << self.rng.gen_range(0..8);
             self.stats.corrupted += 1;
@@ -167,7 +202,7 @@ impl Segment {
         self.seq += 1;
         self.in_flight
             .push(Reverse((arrival, self.seq, frame.clone())));
-        if self.imp.duplicate > 0.0 && self.rng.gen_bool(self.imp.duplicate.clamp(0.0, 1.0)) {
+        if self.imp.duplicate > 0.0 && self.rng.gen_bool(self.imp.duplicate) {
             let jitter2 = self.rng.gen_range(0..=self.imp.jitter_us.max(100));
             self.seq += 1;
             self.in_flight
@@ -330,8 +365,56 @@ mod tests {
     }
 
     #[test]
+    fn validation_clamps_overrange_and_rejects_nan() {
+        let imp = Impairments {
+            loss: 1.5,
+            duplicate: 2.0,
+            corrupt: 7.0,
+            ..Impairments::ideal()
+        }
+        .validated();
+        assert_eq!(imp.loss, 1.0);
+        assert_eq!(imp.duplicate, 1.0);
+        assert_eq!(imp.corrupt, 1.0);
+
+        let nan = std::panic::catch_unwind(|| {
+            Impairments {
+                loss: f64::NAN,
+                ..Impairments::ideal()
+            }
+            .validated()
+        });
+        assert!(nan.is_err(), "NaN loss must be rejected");
+        let negative = std::panic::catch_unwind(|| {
+            Impairments {
+                corrupt: -0.1,
+                ..Impairments::ideal()
+            }
+            .validated()
+        });
+        assert!(negative.is_err(), "negative corrupt must be rejected");
+    }
+
+    #[test]
+    fn segment_new_validates_configuration() {
+        // Over-range rates survive as certainty: every frame is lost.
+        let mut s = Segment::new(
+            1,
+            Impairments {
+                loss: 3.0,
+                ..Impairments::ideal()
+            },
+        );
+        for _ in 0..5 {
+            s.transmit(vec![0]);
+        }
+        assert!(s.advance(1_000_000).is_empty());
+        assert_eq!(s.stats().lost, 5);
+    }
+
+    #[test]
     fn same_seed_same_behaviour() {
-        let imp = Impairments::lossy(0.2, 1_000);
+        let imp = Impairments::lossy(0.2, 0.05, 0.05, 1_000);
         let run = |seed| {
             let mut s = Segment::new(seed, imp);
             for i in 0..50u8 {

@@ -20,6 +20,24 @@ use fbs_obs::{Event, MetricsRegistry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+/// What a security hook decided about one datagram.
+///
+/// The third verdict, [`HookOutcome::Park`], is how graceful degradation
+/// reaches the stack: when keying material is transiently unavailable the
+/// hook may hold the datagram instead of dropping it, releasing it later
+/// from [`SecurityHooks::release_output`] / [`SecurityHooks::release_input`]
+/// once keys derive (or its deadline expires inside the hook).
+#[derive(Debug)]
+pub enum HookOutcome {
+    /// Processed; continue down (or up) the stack with this payload.
+    Pass(Vec<u8>),
+    /// Rejected; drop the datagram and surface the reason.
+    Reject(String),
+    /// Held by the hook for later release; the datagram leaves the
+    /// synchronous path.
+    Park,
+}
+
 /// Security processing plugged into the stack (implemented by `fbs-ip`).
 ///
 /// Errors are strings so this substrate stays ignorant of the security
@@ -36,30 +54,20 @@ pub trait SecurityHooks: Send {
     fn max_overhead(&self) -> usize;
 
     /// Output processing between parts 1 and 2 of `ip_output`.
-    fn output(
-        &mut self,
-        header: &mut Ipv4Header,
-        payload: Vec<u8>,
-        now_us: u64,
-    ) -> std::result::Result<Vec<u8>, String>;
+    fn output(&mut self, header: &mut Ipv4Header, payload: Vec<u8>, now_us: u64) -> HookOutcome;
 
     /// Input processing between parts 2 and 3 of `ip_input`.
-    fn input(
-        &mut self,
-        header: &mut Ipv4Header,
-        payload: Vec<u8>,
-        now_us: u64,
-    ) -> std::result::Result<Vec<u8>, String>;
+    fn input(&mut self, header: &mut Ipv4Header, payload: Vec<u8>, now_us: u64) -> HookOutcome;
 
     /// Batch form of [`Self::output`]: protect several datagrams in one
-    /// call, returning one `(header, result)` per item in submission order.
+    /// call, returning one `(header, outcome)` per item in submission order.
     /// The default loops [`Self::output`]; implementations override to
     /// amortise per-datagram dispatch cost (locking, worker hand-off).
     fn output_batch(
         &mut self,
         items: Vec<(Ipv4Header, Vec<u8>)>,
         now_us: u64,
-    ) -> Vec<(Ipv4Header, std::result::Result<Vec<u8>, String>)> {
+    ) -> Vec<(Ipv4Header, HookOutcome)> {
         items
             .into_iter()
             .map(|(mut header, payload)| {
@@ -67,6 +75,21 @@ pub trait SecurityHooks: Send {
                 (header, res)
             })
             .collect()
+    }
+
+    /// Parked *output* datagrams whose keys became available: each returned
+    /// `(header, protected_payload)` is ready for fragmentation and
+    /// transmission — the hook has already applied its processing. Called
+    /// from [`Host::poll`]. Default: nothing parked, nothing released.
+    fn release_output(&mut self, _now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
+        Vec::new()
+    }
+
+    /// Parked *input* datagrams that now verify: each returned
+    /// `(header, plaintext_payload)` is ready for part-3 dispatch. Called
+    /// from [`Host::poll`]. Default: nothing parked, nothing released.
+    fn release_input(&mut self, _now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
+        Vec::new()
     }
 }
 
@@ -86,6 +109,14 @@ pub struct HostStats {
     pub hook_output_rejects: u64,
     /// Datagrams the input security hook rejected.
     pub hook_input_rejects: u64,
+    /// Output datagrams the hook parked for later release (key pending).
+    pub hook_output_parked: u64,
+    /// Input datagrams the hook parked for later release (key pending).
+    pub hook_input_parked: u64,
+    /// Parked output datagrams released and transmitted.
+    pub hook_output_released: u64,
+    /// Parked input datagrams released and dispatched.
+    pub hook_input_released: u64,
     /// Datagrams that could not be sent because DF + oversize (the
     /// unpatched-tcp_output symptom).
     pub would_fragment_drops: u64,
@@ -195,10 +226,16 @@ impl Host {
         // Security hook between parts 1 and 2.
         let payload = match &mut self.hooks {
             Some(h) if h.covers(header.proto) => match h.output(&mut header, payload, now_us) {
-                Ok(p) => p,
-                Err(why) => {
+                HookOutcome::Pass(p) => p,
+                HookOutcome::Reject(why) => {
                     self.stats.hook_output_rejects += 1;
                     return Err(NetError::SecurityReject(why));
+                }
+                HookOutcome::Park => {
+                    // Accepted but held; [`Self::poll`] transmits it once
+                    // the hook releases it.
+                    self.stats.hook_output_parked += 1;
+                    return Ok(());
                 }
             },
             _ => payload,
@@ -226,7 +263,7 @@ impl Host {
 
         // Security hook between parts 1 and 2 — one call for the whole
         // covered subset, so hooks amortise locking and dispatch.
-        type Staged = (Ipv4Header, std::result::Result<Vec<u8>, String>);
+        type Staged = (Ipv4Header, HookOutcome);
         let mut slots: Vec<Option<Staged>> = items.iter().map(|_| None).collect();
         match &mut self.hooks {
             Some(h) => {
@@ -237,7 +274,7 @@ impl Host {
                         batch_idx.push(i);
                         batch.push((header, payload));
                     } else {
-                        slots[i] = Some((header, Ok(payload)));
+                        slots[i] = Some((header, HookOutcome::Pass(payload)));
                     }
                 }
                 for (i, staged) in batch_idx.into_iter().zip(h.output_batch(batch, now_us)) {
@@ -246,7 +283,7 @@ impl Host {
             }
             None => {
                 for (i, (header, payload)) in items.into_iter().enumerate() {
-                    slots[i] = Some((header, Ok(payload)));
+                    slots[i] = Some((header, HookOutcome::Pass(payload)));
                 }
             }
         }
@@ -257,10 +294,14 @@ impl Host {
             .map(|slot| {
                 let (header, res) = slot.expect("every datagram staged exactly once");
                 match res {
-                    Ok(payload) => self.fragment_and_send(header, payload),
-                    Err(why) => {
+                    HookOutcome::Pass(payload) => self.fragment_and_send(header, payload),
+                    HookOutcome::Reject(why) => {
                         self.stats.hook_output_rejects += 1;
                         Err(NetError::SecurityReject(why))
+                    }
+                    HookOutcome::Park => {
+                        self.stats.hook_output_parked += 1;
+                        Ok(())
                     }
                 }
             })
@@ -315,16 +356,28 @@ impl Host {
         // Security hook between parts 2 and 3.
         let payload = match &mut self.hooks {
             Some(h) if h.covers(header.proto) => match h.input(&mut header, payload, now_us) {
-                Ok(p) => p,
-                Err(_) => {
+                HookOutcome::Pass(p) => p,
+                HookOutcome::Reject(_) => {
                     self.stats.hook_input_rejects += 1;
+                    return;
+                }
+                HookOutcome::Park => {
+                    // Held until a key derives; [`Self::poll`] dispatches it
+                    // once the hook releases it.
+                    self.stats.hook_input_parked += 1;
                     return;
                 }
             },
             _ => payload,
         };
 
-        // Part 3: dispatch.
+        self.dispatch(header, payload, now_us);
+    }
+
+    /// Part 3 of IP input: hand a fully-processed datagram to its upper
+    /// layer. Also the landing point for parked input datagrams released
+    /// from the security hook.
+    fn dispatch(&mut self, header: Ipv4Header, payload: Vec<u8>, now_us: u64) {
         self.stats.dispatched += 1;
         match Proto::from_number(header.proto) {
             Proto::Udp => self.udp.deliver(header.src, header.dst, &payload),
@@ -364,6 +417,23 @@ impl Host {
         }
         for o in self.mrt.poll(now_us) {
             self.send_mrt_segment(o, now_us);
+        }
+        // Drain parked datagrams whose keys arrived. The hooks box is
+        // taken for the release calls so the released items can re-enter
+        // the (self-borrowing) send/dispatch paths.
+        if let Some(mut h) = self.hooks.take() {
+            let released_out = h.release_output(now_us);
+            let released_in = h.release_input(now_us);
+            self.hooks = Some(h);
+            for (header, payload) in released_out {
+                self.stats.hook_output_released += 1;
+                // Already protected: go straight to fragmentation.
+                let _ = self.fragment_and_send(header, payload);
+            }
+            for (header, payload) in released_in {
+                self.stats.hook_input_released += 1;
+                self.dispatch(header, payload, now_us);
+            }
         }
     }
 
@@ -630,7 +700,7 @@ mod tests {
 
     #[test]
     fn mrt_survives_lossy_network() {
-        let mut net = two_hosts(Impairments::lossy(0.15, 500));
+        let mut net = two_hosts(Impairments::lossy(0.15, 0.0375, 0.0375, 500));
         net.host_mut(B).mrt.listen(80);
         let key = net.host_mut(A).mrt.connect(2000, B, 80);
         net.run(3_000_000, 1_000);

@@ -8,6 +8,7 @@ use fbs_net::ip::{internet_checksum, Ipv4Header, Packet, Proto, IPV4_HEADER_LEN}
 use fbs_net::mrt::{Flags, MrtHeader};
 use fbs_net::udp;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 proptest! {
     #[test]
@@ -182,5 +183,97 @@ proptest! {
         );
         h.deliver_frame(&packet.encode(), 999_999);
         prop_assert_eq!(h.udp.pending(53), 1);
+    }
+}
+
+/// Body of `stale_partials_expire_under_sustained_loss`, kept as a plain
+/// function so the `proptest!` macro expansion stays shallow.
+fn check_stale_partials(
+    seed: u64,
+    n: usize,
+    timeout_us: u64,
+    step_us: u64,
+) -> Result<(), TestCaseError> {
+    // Small deterministic LCG so loss is reproducible from the seed.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut r = Reassembler::new(timeout_us);
+    let reg = fbs_obs::MetricsRegistry::new();
+    let mut incomplete = 0usize;
+    for i in 0..n {
+        let payload_len = 1600 + (next() as usize % 4000);
+        let mut h = Ipv4Header::new([10, 0, 0, 1], [10, 0, 0, 2], Proto::Udp, payload_len);
+        h.id = i as u16;
+        let payload: Vec<u8> = (0..payload_len).map(|b| b as u8).collect();
+        let frags = fragment(Packet::new(h, payload), 576).unwrap();
+        let total = frags.len();
+        // ~1/3 of fragments lost, independently.
+        let kept: Vec<_> = frags.into_iter().filter(|_| next() % 3 != 0).collect();
+        let now = i as u64 * step_us;
+        let survivors = kept.len();
+        let mut done = false;
+        for f in kept {
+            if r.push(f, now).is_some() {
+                done = true;
+            }
+        }
+        if done {
+            prop_assert_eq!(survivors, total, "early completion impossible");
+        } else if survivors > 0 {
+            prop_assert!(survivors < total, "intact datagram must assemble");
+            incomplete += 1;
+        }
+    }
+    // Exactly the loss-struck datagrams are pending; completed ones
+    // released their buffers.
+    prop_assert_eq!(r.pending(), incomplete);
+    let last_push = (n as u64 - 1) * step_us;
+
+    // Nothing is older than the timeout at `timeout_us` after the FIRST
+    // push: no premature purge.
+    prop_assert_eq!(r.expire(timeout_us), 0);
+    prop_assert_eq!(r.pending(), incomplete);
+
+    // One tick past everyone's deadline: all stale partials purged.
+    let dropped = r.expire(last_push + timeout_us + 1);
+    prop_assert_eq!(dropped, incomplete);
+    prop_assert_eq!(r.pending(), 0);
+    prop_assert_eq!(r.timeouts, incomplete as u64);
+
+    // A second purge pass finds nothing (no double counting)...
+    prop_assert_eq!(r.expire(last_push + 2 * timeout_us + 2), 0);
+    prop_assert_eq!(r.timeouts, incomplete as u64);
+
+    // ...and the fbs-obs counter fed one event per expiry agrees with
+    // the reassembler's own ledger, as `Host::poll` wires it.
+    for _ in 0..dropped {
+        reg.record(fbs_obs::Event::ReassemblyTimeout);
+    }
+    prop_assert_eq!(
+        reg.counter(fbs_obs::Counter::ReassemblyTimeouts),
+        r.timeouts
+    );
+    Ok(())
+}
+
+// Sustained fragment loss: every datagram that loses at least one
+// fragment leaves exactly one stale partial; the purge timer drops them
+// all once (and only once) they exceed the timeout, and the
+// reassembler's own counter stays coherent with the fbs-obs registry
+// counter fed from the same expiries.
+proptest! {
+    #[test]
+    fn stale_partials_expire_under_sustained_loss(
+        seed in any::<u64>(),
+        n in 1usize..16,
+        timeout_us in 1_000u64..30_000_000,
+        step_us in 1u64..100_000,
+    ) {
+        check_stale_partials(seed, n, timeout_us, step_us)?;
     }
 }

@@ -124,6 +124,28 @@ impl FlowStartKind {
     }
 }
 
+/// Circuit-breaker state, as carried by [`Event::BreakerTransition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerStateKind {
+    /// Requests flow normally; failures are counted.
+    Closed,
+    /// Requests fail fast without touching the protected resource.
+    Open,
+    /// One probe request is allowed through to test recovery.
+    HalfOpen,
+}
+
+impl BreakerStateKind {
+    /// Lower-case name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerStateKind::Closed => "closed",
+            BreakerStateKind::Open => "open",
+            BreakerStateKind::HalfOpen => "half_open",
+        }
+    }
+}
+
 /// One observable step on the datagram path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
@@ -193,6 +215,50 @@ pub enum Event {
         /// Payload bytes.
         bytes: u64,
     },
+    /// A retried operation (directory fetch, MKD upcall) ran one more
+    /// attempt after a failure.
+    RetryAttempt {
+        /// 1-based attempt index of the attempt that just failed.
+        attempt: u32,
+        /// Backoff charged before the next attempt, in microseconds.
+        backoff_us: u64,
+    },
+    /// A retried operation gave up: attempts or deadline exhausted.
+    RetryExhausted {
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+    /// A per-peer circuit breaker changed state.
+    BreakerTransition {
+        /// The state entered.
+        to: BreakerStateKind,
+    },
+    /// A request was rejected without trying because the breaker is open.
+    BreakerFastFail,
+    /// A datagram was parked awaiting key material.
+    Parked {
+        /// Queue depth after parking (bounds memory growth evidence).
+        queued: u32,
+    },
+    /// A parked datagram was released and processed.
+    ParkReleased {
+        /// How long it waited, in microseconds.
+        waited_us: u64,
+    },
+    /// A parked datagram hit its deadline and was dropped (datagram
+    /// semantics: loss, not blocking).
+    ParkExpired,
+    /// A datagram could not be parked because the queue was full.
+    ParkOverflow,
+    /// A degradation policy verdict was applied to a datagram that could
+    /// not be protected/verified.
+    Degraded {
+        /// Output or input side.
+        dir: Direction,
+        /// True for fail-open (sent/accepted unprotected), false for
+        /// fail-closed (dropped).
+        open: bool,
+    },
 }
 
 impl Event {
@@ -213,6 +279,15 @@ impl Event {
             Event::MrtRetransmit => "mrt_retransmit",
             Event::Send { .. } => "send",
             Event::Receive { .. } => "receive",
+            Event::RetryAttempt { .. } => "retry_attempt",
+            Event::RetryExhausted { .. } => "retry_exhausted",
+            Event::BreakerTransition { .. } => "breaker_transition",
+            Event::BreakerFastFail => "breaker_fast_fail",
+            Event::Parked { .. } => "parked",
+            Event::ParkReleased { .. } => "park_released",
+            Event::ParkExpired => "park_expired",
+            Event::ParkOverflow => "park_overflow",
+            Event::Degraded { .. } => "degraded",
         }
     }
 
@@ -265,11 +340,35 @@ impl Event {
             Event::Send { bytes } | Event::Receive { bytes } => {
                 let _ = write!(out, r#","bytes":{bytes}"#);
             }
+            Event::RetryAttempt {
+                attempt,
+                backoff_us,
+            } => {
+                let _ = write!(out, r#","attempt":{attempt},"backoff_us":{backoff_us}"#);
+            }
+            Event::RetryExhausted { attempts } => {
+                let _ = write!(out, r#","attempts":{attempts}"#);
+            }
+            Event::BreakerTransition { to } => {
+                let _ = write!(out, r#","to":"{}""#, to.name());
+            }
+            Event::Parked { queued } => {
+                let _ = write!(out, r#","queued":{queued}"#);
+            }
+            Event::ParkReleased { waited_us } => {
+                let _ = write!(out, r#","waited_us":{waited_us}"#);
+            }
+            Event::Degraded { dir, open } => {
+                let _ = write!(out, r#","dir":"{}","open":{}"#, dir.name(), open);
+            }
             Event::MacDrop
             | Event::MalformedDrop
             | Event::Reassembled
             | Event::ReassemblyTimeout
-            | Event::MrtRetransmit => {}
+            | Event::MrtRetransmit
+            | Event::BreakerFastFail
+            | Event::ParkExpired
+            | Event::ParkOverflow => {}
         }
     }
 }
@@ -335,5 +434,53 @@ mod tests {
             event: Event::MacDrop,
         };
         assert_eq!(rec.to_json(), r#"{"seq":1,"t_us":0,"type":"mac_drop"}"#);
+    }
+
+    #[test]
+    fn robustness_event_json_shapes() {
+        let rec = EventRecord {
+            seq: 2,
+            t_us: 5,
+            event: Event::RetryAttempt {
+                attempt: 3,
+                backoff_us: 400,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"seq":2,"t_us":5,"type":"retry_attempt","attempt":3,"backoff_us":400}"#
+        );
+        let rec = EventRecord {
+            seq: 3,
+            t_us: 6,
+            event: Event::BreakerTransition {
+                to: BreakerStateKind::HalfOpen,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"seq":3,"t_us":6,"type":"breaker_transition","to":"half_open"}"#
+        );
+        let rec = EventRecord {
+            seq: 4,
+            t_us: 7,
+            event: Event::Degraded {
+                dir: Direction::Output,
+                open: false,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"seq":4,"t_us":7,"type":"degraded","dir":"output","open":false}"#
+        );
+        let rec = EventRecord {
+            seq: 5,
+            t_us: 8,
+            event: Event::Parked { queued: 12 },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"seq":5,"t_us":8,"type":"parked","queued":12}"#
+        );
     }
 }

@@ -32,6 +32,8 @@ pub mod event;
 pub mod registry;
 pub mod snapshot;
 
-pub use event::{CacheKind, CacheOutcome, Direction, Event, EventRecord, FlowStartKind};
+pub use event::{
+    BreakerStateKind, CacheKind, CacheOutcome, Direction, Event, EventRecord, FlowStartKind,
+};
 pub use registry::{Counter, Histogram, MetricsRegistry};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};

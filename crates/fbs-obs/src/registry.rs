@@ -82,10 +82,34 @@ pub enum Counter {
     SealerJobs,
     /// Batches submitted to the parallel sealer.
     SealerBatches,
+    /// Retry attempts made after a failure (directory fetch, MKD upcall).
+    RetryAttempts,
+    /// Retried operations that gave up (attempts/deadline exhausted).
+    RetryExhausted,
+    /// Circuit-breaker transitions to open.
+    BreakerOpens,
+    /// Circuit-breaker transitions to half-open (recovery probes).
+    BreakerHalfOpens,
+    /// Circuit-breaker transitions back to closed.
+    BreakerCloses,
+    /// Requests rejected without trying because a breaker was open.
+    BreakerFastFails,
+    /// Datagrams parked awaiting key material.
+    ParkParked,
+    /// Parked datagrams released and processed.
+    ParkReleased,
+    /// Parked datagrams dropped on deadline expiry.
+    ParkExpired,
+    /// Datagrams rejected because the parking queue was full.
+    ParkOverflow,
+    /// Datagrams passed through unprotected under a fail-open verdict.
+    DegradeFailOpen,
+    /// Datagrams dropped under a fail-closed verdict.
+    DegradeFailClosed,
 }
 
 /// Number of scalar counters.
-const NUM_COUNTERS: usize = 32;
+const NUM_COUNTERS: usize = 44;
 
 impl Counter {
     /// All counters, in snapshot order.
@@ -122,6 +146,18 @@ impl Counter {
         Counter::PoolMisses,
         Counter::SealerJobs,
         Counter::SealerBatches,
+        Counter::RetryAttempts,
+        Counter::RetryExhausted,
+        Counter::BreakerOpens,
+        Counter::BreakerHalfOpens,
+        Counter::BreakerCloses,
+        Counter::BreakerFastFails,
+        Counter::ParkParked,
+        Counter::ParkReleased,
+        Counter::ParkExpired,
+        Counter::ParkOverflow,
+        Counter::DegradeFailOpen,
+        Counter::DegradeFailClosed,
     ];
 
     /// The hierarchical counter key.
@@ -159,6 +195,18 @@ impl Counter {
             Counter::PoolMisses => "pool.misses",
             Counter::SealerJobs => "sealer.jobs",
             Counter::SealerBatches => "sealer.batches",
+            Counter::RetryAttempts => "retry.attempts",
+            Counter::RetryExhausted => "retry.exhausted",
+            Counter::BreakerOpens => "breaker.opened",
+            Counter::BreakerHalfOpens => "breaker.half_open",
+            Counter::BreakerCloses => "breaker.closed",
+            Counter::BreakerFastFails => "breaker.fast_fails",
+            Counter::ParkParked => "park.parked",
+            Counter::ParkReleased => "park.released",
+            Counter::ParkExpired => "park.expired",
+            Counter::ParkOverflow => "park.overflow",
+            Counter::DegradeFailOpen => "degrade.fail_open",
+            Counter::DegradeFailClosed => "degrade.fail_closed",
         }
     }
 
@@ -444,6 +492,23 @@ impl MetricsRegistry {
                 self.incr(Counter::Receives);
                 self.observe(Histogram::ReceiveBytes, bytes);
             }
+            Event::RetryAttempt { .. } => self.incr(Counter::RetryAttempts),
+            Event::RetryExhausted { .. } => self.incr(Counter::RetryExhausted),
+            Event::BreakerTransition { to } => self.incr(match to {
+                crate::event::BreakerStateKind::Open => Counter::BreakerOpens,
+                crate::event::BreakerStateKind::HalfOpen => Counter::BreakerHalfOpens,
+                crate::event::BreakerStateKind::Closed => Counter::BreakerCloses,
+            }),
+            Event::BreakerFastFail => self.incr(Counter::BreakerFastFails),
+            Event::Parked { .. } => self.incr(Counter::ParkParked),
+            Event::ParkReleased { .. } => self.incr(Counter::ParkReleased),
+            Event::ParkExpired => self.incr(Counter::ParkExpired),
+            Event::ParkOverflow => self.incr(Counter::ParkOverflow),
+            Event::Degraded { open, .. } => self.incr(if open {
+                Counter::DegradeFailOpen
+            } else {
+                Counter::DegradeFailClosed
+            }),
         }
     }
 
@@ -580,6 +645,72 @@ mod tests {
         let reg = MetricsRegistry::new().with_time_source(|| 42);
         reg.record(Event::Reassembled);
         assert_eq!(reg.events()[0].t_us, 42);
+    }
+
+    #[test]
+    fn robustness_events_drive_counters() {
+        use crate::event::BreakerStateKind;
+        let reg = MetricsRegistry::new();
+        reg.record(Event::RetryAttempt {
+            attempt: 1,
+            backoff_us: 100,
+        });
+        reg.record(Event::RetryAttempt {
+            attempt: 2,
+            backoff_us: 200,
+        });
+        reg.record(Event::RetryExhausted { attempts: 3 });
+        reg.record(Event::BreakerTransition {
+            to: BreakerStateKind::Open,
+        });
+        reg.record(Event::BreakerFastFail);
+        reg.record(Event::BreakerTransition {
+            to: BreakerStateKind::HalfOpen,
+        });
+        reg.record(Event::BreakerTransition {
+            to: BreakerStateKind::Closed,
+        });
+        reg.record(Event::Parked { queued: 1 });
+        reg.record(Event::ParkReleased { waited_us: 50 });
+        reg.record(Event::ParkExpired);
+        reg.record(Event::ParkOverflow);
+        reg.record(Event::Degraded {
+            dir: Direction::Output,
+            open: true,
+        });
+        reg.record(Event::Degraded {
+            dir: Direction::Input,
+            open: false,
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("retry.attempts"), 2);
+        assert_eq!(snap.counter("retry.exhausted"), 1);
+        assert_eq!(snap.counter("breaker.opened"), 1);
+        assert_eq!(snap.counter("breaker.half_open"), 1);
+        assert_eq!(snap.counter("breaker.closed"), 1);
+        assert_eq!(snap.counter("breaker.fast_fails"), 1);
+        assert_eq!(snap.counter("park.parked"), 1);
+        assert_eq!(snap.counter("park.released"), 1);
+        assert_eq!(snap.counter("park.expired"), 1);
+        assert_eq!(snap.counter("park.overflow"), 1);
+        assert_eq!(snap.counter("degrade.fail_open"), 1);
+        assert_eq!(snap.counter("degrade.fail_closed"), 1);
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_empty() {
+        // A registry that never saw an event must snapshot to nothing:
+        // no zero-valued counters, no cache entries, no histograms, no
+        // events — and reading any counter back yields 0, not a panic.
+        let reg = MetricsRegistry::new();
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty(), "{:?}", snap.counters);
+        assert!(snap.histograms.is_empty());
+        assert!(snap.events.is_empty());
+        for c in Counter::ALL {
+            assert_eq!(reg.counter(c), 0);
+            assert_eq!(snap.counter(c.name()), 0);
+        }
     }
 
     #[test]

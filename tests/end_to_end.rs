@@ -75,7 +75,7 @@ fn concurrent_mrt_and_udp_over_one_pair() {
 fn survives_loss_duplication_corruption_and_reordering() {
     let mut net = lan(
         3,
-        Impairments::lossy(0.12, 2_000),
+        Impairments::lossy(0.12, 0.03, 0.03, 2_000),
         IpMappingConfig::default(),
     );
     let ha = net.add_host(A);
