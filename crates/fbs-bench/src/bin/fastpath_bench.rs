@@ -92,6 +92,17 @@ fn main() {
             .concat(),
         );
     }
+    rows.push([vec!["open legacy".into()], fmt(&report.open_legacy)].concat());
+    rows.push(
+        [
+            vec!["open inline pooled".into()],
+            fmt(&report.open_inline_pooled),
+        ]
+        .concat(),
+    );
+    for o in &report.opener {
+        rows.push([vec![format!("opener {}w pooled", o.workers)], fmt(&o.rate)].concat());
+    }
     emit(
         &format!(
             "fast path vs legacy — {} B payloads × {}, mode={}, cpus={}",
@@ -106,6 +117,14 @@ fn main() {
     println!(
         "\nspeedup (inline pooled vs legacy): {:.2}x",
         report.speedup_pooled_1w_vs_legacy
+    );
+    println!(
+        "speedup (open inline pooled vs legacy input): {:.2}x",
+        report.speedup_open_inline_vs_legacy
+    );
+    println!(
+        "speedup (open batch 4w vs legacy input): {:.2}x",
+        report.speedup_open_batch_4w_vs_legacy
     );
 
     match std::fs::write(&out, report.to_json()) {

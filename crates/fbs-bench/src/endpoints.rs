@@ -70,6 +70,42 @@ pub fn sender_fleet(cfg: FbsConfig, n: usize) -> (Vec<FbsEndpoint>, FbsEndpoint,
     (senders, rx, clock)
 }
 
+/// One sender plus `n` receiver endpoints sharing the `bench-dst`
+/// identity — the open-side mirror of [`sender_fleet`], shaped for
+/// [`fbs_core::ParallelSealer::open_batch`]. Receivers derive the same
+/// flow keys (key material is symmetric in the DH shared secret), so any
+/// worker can open any of the sender's wires.
+pub fn receiver_fleet(cfg: FbsConfig, n: usize) -> (FbsEndpoint, Vec<FbsEndpoint>, ManualClock) {
+    let clock = ManualClock::starting_at(100_000);
+    let group = DhGroup::test_group();
+    let s_priv = PrivateValue::from_entropy(group.clone(), b"bench-sender-entropy!!");
+    let d_priv = PrivateValue::from_entropy(group, b"bench-receiver-entropy");
+    let (s, d) = principals();
+    let mut dir_s = PinnedDirectory::new();
+    dir_s.pin(d.clone(), d_priv.public_value());
+    let tx = FbsEndpoint::new(
+        s.clone(),
+        cfg.clone(),
+        Arc::new(clock.clone()),
+        0xBE9C4,
+        MasterKeyDaemon::new(s_priv.clone(), Box::new(dir_s)),
+    );
+    let receivers = (0..n)
+        .map(|i| {
+            let mut dir_d = PinnedDirectory::new();
+            dir_d.pin(s.clone(), s_priv.public_value());
+            FbsEndpoint::new(
+                d.clone(),
+                cfg.clone(),
+                Arc::new(clock.clone()),
+                0xFACE + (i as u64) * 0x10000,
+                MasterKeyDaemon::new(d_priv.clone(), Box::new(dir_d)),
+            )
+        })
+        .collect();
+    (tx, receivers, clock)
+}
+
 /// Source and destination principals used by [`endpoint_pair`].
 pub fn principals() -> (Principal, Principal) {
     (Principal::named("bench-src"), Principal::named("bench-dst"))

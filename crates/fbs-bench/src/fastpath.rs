@@ -12,8 +12,10 @@
 //! parallel speedup — the headline comparison is the in-thread pooled
 //! seal path vs the legacy path.
 
-use crate::endpoints::{endpoint_pair, principals, sender_fleet};
-use fbs_core::{BufferPool, Datagram, FbsConfig, ParallelSealer, SealJob};
+use crate::endpoints::{endpoint_pair, principals, receiver_fleet, sender_fleet};
+use fbs_core::{
+    BufferPool, Datagram, FbsConfig, OpenJob, ParallelSealer, ProtectedDatagram, SealJob,
+};
 use fbs_crypto::dh::DhGroup;
 use std::time::Instant;
 
@@ -78,6 +80,15 @@ pub struct SealerRate {
     pub rate: Rate,
 }
 
+/// An [`ParallelSealer::open_batch`] measurement at a worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenerRate {
+    /// Worker threads.
+    pub workers: usize,
+    /// The measured rate (plaintext buffers recycled back to the pools).
+    pub rate: Rate,
+}
+
 /// The full `BENCH_fastpath.json` payload.
 #[derive(Clone, Debug)]
 pub struct FastpathReport {
@@ -97,8 +108,22 @@ pub struct FastpathReport {
     pub inline_unpooled: Rate,
     /// Sealer grid: 1/2/4 workers × pooled/unpooled.
     pub sealer: Vec<SealerRate>,
+    /// Legacy scalar input: `decode_payload` + `receive` per datagram.
+    pub open_legacy: Rate,
+    /// In-thread `open_into` with a recycled [`BufferPool`] buffer.
+    pub open_inline_pooled: Rate,
+    /// Opener grid: `open_batch` at 1/2/4 workers, buffers recycled.
+    pub opener: Vec<OpenerRate>,
     /// Headline: in-thread pooled seal path over legacy, datagrams/sec.
     pub speedup_pooled_1w_vs_legacy: f64,
+    /// Headline: in-thread pooled open path over the legacy scalar input
+    /// path — the allocation/copy-elimination win, meaningful on any
+    /// core count.
+    pub speedup_open_inline_vs_legacy: f64,
+    /// 4-worker batched open over the legacy scalar input path. On a
+    /// single-CPU host this measures sharding/channel overhead, not
+    /// parallel speedup (see `cpus`).
+    pub speedup_open_batch_4w_vs_legacy: f64,
 }
 
 fn json_rate(r: &Rate) -> String {
@@ -126,11 +151,28 @@ impl FastpathReport {
                 )
             })
             .collect();
+        let opener_rows: Vec<String> = self
+            .opener
+            .iter()
+            .map(|o| {
+                format!(
+                    "    {{\"workers\": {}, \"datagrams_per_sec\": {:.1}, \
+                     \"bytes_per_sec\": {:.1}, \"allocs_per_datagram\": {:.2}}}",
+                    o.workers,
+                    o.rate.datagrams_per_sec,
+                    o.rate.bytes_per_sec,
+                    o.rate.allocs_per_datagram
+                )
+            })
+            .collect();
         format!(
             "{{\n  \"bench\": \"fastpath\",\n  \"payload_bytes\": {},\n  \"count\": {},\n  \
              \"cpus\": {},\n  \"mode\": \"{}\",\n  \"legacy\": {},\n  \"inline_pooled\": {},\n  \
              \"inline_unpooled\": {},\n  \"sealer\": [\n{}\n  ],\n  \
-             \"speedup_pooled_1w_vs_legacy\": {:.3}\n}}\n",
+             \"open_legacy\": {},\n  \"open_inline_pooled\": {},\n  \"opener\": [\n{}\n  ],\n  \
+             \"speedup_pooled_1w_vs_legacy\": {:.3},\n  \
+             \"speedup_open_inline_vs_legacy\": {:.3},\n  \
+             \"speedup_open_batch_4w_vs_legacy\": {:.3}\n}}\n",
             self.payload_bytes,
             self.count,
             self.cpus,
@@ -139,7 +181,12 @@ impl FastpathReport {
             json_rate(&self.inline_pooled),
             json_rate(&self.inline_unpooled),
             sealer_rows.join(",\n"),
-            self.speedup_pooled_1w_vs_legacy
+            json_rate(&self.open_legacy),
+            json_rate(&self.open_inline_pooled),
+            opener_rows.join(",\n"),
+            self.speedup_pooled_1w_vs_legacy,
+            self.speedup_open_inline_vs_legacy,
+            self.speedup_open_batch_4w_vs_legacy
         )
     }
 }
@@ -255,31 +302,217 @@ pub fn measure_sealer(
     rate(count, payload, start.elapsed().as_secs_f64(), alloc() - a0)
 }
 
+/// Pre-seal `count` distinct wires (sfl cycling `0..8`): open-side runs
+/// measure a realistic stream of distinct datagrams, not one cache-hot
+/// wire replayed.
+fn sealed_stream(
+    tx: &mut fbs_core::FbsEndpoint,
+    d: &fbs_core::Principal,
+    body: &[u8],
+    secret: bool,
+    count: usize,
+) -> Vec<Vec<u8>> {
+    (0..count as u64)
+        .map(|i| {
+            let mut wire = Vec::new();
+            tx.seal_into(i % 8, d, body, secret, &mut wire).unwrap();
+            wire
+        })
+        .collect()
+}
+
+/// The legacy scalar input path, per datagram exactly what the
+/// pre-pipeline hook input did: clone the wire as the park/fail-open
+/// backup, `decode_payload` (header parse + body copy into a fresh
+/// `Vec`), then `receive` (another fresh `Vec` for the plaintext).
+pub fn measure_open_legacy(
+    payload: usize,
+    count: usize,
+    mode: Mode,
+    alloc: &dyn Fn() -> u64,
+) -> Rate {
+    let (mut tx, mut rx, _) = endpoint_pair(mode.config(), DhGroup::test_group());
+    let secret = mode.secret();
+    let (s, d) = principals();
+    let body = vec![0xA5u8; payload];
+    let wires = sealed_stream(&mut tx, &d, &body, secret, count);
+    // Warm the receive-side flow-key cache before timing.
+    for wire in wires.iter().take(8) {
+        let pd = ProtectedDatagram::decode_payload(s.clone(), d.clone(), wire).unwrap();
+        std::hint::black_box(rx.receive(pd).unwrap());
+    }
+    let a0 = alloc();
+    let start = Instant::now();
+    for wire in &wires {
+        let backup = wire.clone();
+        let pd = ProtectedDatagram::decode_payload(s.clone(), d.clone(), wire).unwrap();
+        std::hint::black_box(rx.receive(pd).unwrap());
+        std::hint::black_box(&backup);
+    }
+    rate(count, payload, start.elapsed().as_secs_f64(), alloc() - a0)
+}
+
+/// The in-thread input fast path over the same distinct-wire stream:
+/// `open_into` a caller-owned buffer that cycles through a
+/// [`BufferPool`], no backup clone — steady state opens with no heap
+/// allocation at all.
+pub fn measure_open_inline(
+    payload: usize,
+    count: usize,
+    mode: Mode,
+    alloc: &dyn Fn() -> u64,
+) -> Rate {
+    let (mut tx, mut rx, _) = endpoint_pair(mode.config(), DhGroup::test_group());
+    let secret = mode.secret();
+    let (s, d) = principals();
+    let body = vec![0xA5u8; payload];
+    let wires = sealed_stream(&mut tx, &d, &body, secret, count);
+    let mut pool = BufferPool::new();
+    let mut warm = pool.take();
+    rx.open_into(&s, &wires[0], &mut warm).unwrap();
+    pool.put(warm);
+    let a0 = alloc();
+    let start = Instant::now();
+    for wire in &wires {
+        let mut out = pool.take();
+        rx.open_into(&s, wire, &mut out).unwrap();
+        std::hint::black_box(&out);
+        pool.put(out);
+    }
+    rate(count, payload, start.elapsed().as_secs_f64(), alloc() - a0)
+}
+
+/// Batch size for [`measure_open_batch`]: large enough that the
+/// per-batch dispatch vectors amortise to ~0 allocations per datagram.
+const OPEN_BATCH: usize = 8192;
+
+/// The batched input path: wires pre-sealed (arrival is not the input
+/// path's cost), then opened through [`ParallelSealer::open_batch`] in
+/// [`OPEN_BATCH`]-sized batches with every plaintext buffer recycled.
+/// Spent wires are absorbed into the worker pools by `open_batch` itself,
+/// so the steady-state loop allocates nothing per datagram.
+pub fn measure_open_batch(
+    payload: usize,
+    count: usize,
+    mode: Mode,
+    workers: usize,
+    alloc: &dyn Fn() -> u64,
+) -> Rate {
+    let (mut tx, receivers, _) = receiver_fleet(mode.config(), workers);
+    let secret = mode.secret();
+    let (s, d) = principals();
+    let body = vec![0xA5u8; payload];
+    let batch = OPEN_BATCH.min(count.max(1));
+    // Per-worker pools sized so a full batch's wires + plaintexts all fit
+    // on the freelists instead of being discarded and re-allocated.
+    let mut opener = ParallelSealer::with_pool_limit(receivers, 2 * batch / workers + 2, None);
+    // Warm every worker's flow-key cache and pool before timing.
+    let warm: Vec<OpenJob> = sealed_stream(&mut tx, &d, &body, secret, 8 * workers)
+        .into_iter()
+        .map(|wire| OpenJob {
+            source: s.clone(),
+            wire,
+        })
+        .collect();
+    let warmed: Vec<Vec<u8>> = opener
+        .open_batch(warm)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    opener.recycle_batch(warmed);
+    // Pre-seal all wires and pre-assemble the job batches: sealing is the
+    // output path's cost, already measured above.
+    let mut wires = sealed_stream(&mut tx, &d, &body, secret, count).into_iter();
+    let mut batches: Vec<Vec<OpenJob>> = Vec::new();
+    let mut remaining = count;
+    while remaining > 0 {
+        let n = batch.min(remaining);
+        batches.push(
+            wires
+                .by_ref()
+                .take(n)
+                .map(|wire| OpenJob {
+                    source: s.clone(),
+                    wire,
+                })
+                .collect(),
+        );
+        remaining -= n;
+    }
+    let a0 = alloc();
+    let start = Instant::now();
+    for jobs in batches {
+        let opened: Vec<Vec<u8>> = opener
+            .open_batch(jobs)
+            .into_iter()
+            .map(|r| r.expect("pre-sealed wire opens"))
+            .collect();
+        std::hint::black_box(&opened);
+        opener.recycle_batch(opened);
+    }
+    rate(count, payload, start.elapsed().as_secs_f64(), alloc() - a0)
+}
+
+/// Repetitions per measured row: a lone pass on a shared (often
+/// single-CPU) host is noisy, so each row reports its best of three.
+const REPS: usize = 3;
+
+fn best_of(reps: usize, f: impl Fn() -> Rate) -> Rate {
+    (0..reps)
+        .map(|_| f())
+        .max_by(|a, b| a.datagrams_per_sec.total_cmp(&b.datagrams_per_sec))
+        .expect("reps > 0")
+}
+
 /// Run the full grid and assemble the report.
 pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) -> FastpathReport {
-    let legacy = measure_legacy(payload, count, mode, alloc);
-    let inline_pooled = measure_inline(payload, count, mode, true, alloc);
-    let inline_unpooled = measure_inline(payload, count, mode, false, alloc);
+    let legacy = best_of(REPS, || measure_legacy(payload, count, mode, alloc));
+    let inline_pooled = best_of(REPS, || measure_inline(payload, count, mode, true, alloc));
+    let inline_unpooled = best_of(REPS, || measure_inline(payload, count, mode, false, alloc));
     let mut sealer = Vec::new();
     for workers in [1usize, 2, 4] {
         for pooled in [true, false] {
             sealer.push(SealerRate {
                 workers,
                 pooled,
-                rate: measure_sealer(payload, count, mode, workers, pooled, alloc),
+                rate: best_of(REPS, || {
+                    measure_sealer(payload, count, mode, workers, pooled, alloc)
+                }),
             });
         }
     }
+    let open_legacy = best_of(REPS, || measure_open_legacy(payload, count, mode, alloc));
+    let open_inline_pooled = best_of(REPS, || measure_open_inline(payload, count, mode, alloc));
+    let opener: Vec<OpenerRate> = [1usize, 2, 4]
+        .into_iter()
+        .map(|workers| OpenerRate {
+            workers,
+            rate: best_of(REPS, || {
+                measure_open_batch(payload, count, mode, workers, alloc)
+            }),
+        })
+        .collect();
+    let open_4w = opener
+        .iter()
+        .find(|o| o.workers == 4)
+        .expect("grid includes 4 workers")
+        .rate;
     FastpathReport {
         payload_bytes: payload,
         count,
         cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         mode,
         speedup_pooled_1w_vs_legacy: inline_pooled.datagrams_per_sec / legacy.datagrams_per_sec,
+        speedup_open_inline_vs_legacy: open_inline_pooled.datagrams_per_sec
+            / open_legacy.datagrams_per_sec,
+        speedup_open_batch_4w_vs_legacy: open_4w.datagrams_per_sec / open_legacy.datagrams_per_sec,
         legacy,
         inline_pooled,
         inline_unpooled,
         sealer,
+        open_legacy,
+        open_inline_pooled,
+        opener,
     }
 }
 
@@ -293,7 +526,16 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"bench\": \"fastpath\""));
         assert!(json.contains("\"speedup_pooled_1w_vs_legacy\""));
+        assert!(json.contains("\"speedup_open_batch_4w_vs_legacy\""));
+        assert!(json.contains("\"open_legacy\""));
+        assert!(json.contains("\"open_inline_pooled\""));
         assert_eq!(r.sealer.len(), 6);
+        assert_eq!(r.opener.len(), 3);
+        assert!(r.open_legacy.datagrams_per_sec > 0.0);
+        assert!(r.open_inline_pooled.datagrams_per_sec > 0.0);
+        for o in &r.opener {
+            assert!(o.rate.datagrams_per_sec > 0.0);
+        }
         // Balanced braces/brackets — cheap well-formedness check without
         // a JSON parser in the dependency set.
         let opens = json.matches('{').count() + json.matches('[').count();

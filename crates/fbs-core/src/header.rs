@@ -151,6 +151,20 @@ impl SecurityFlowHeader {
         out
     }
 
+    /// Borrow this header as the allocation-free [`HeaderView`] the open
+    /// core consumes, so owned headers and wire parses feed the same path.
+    pub fn view(&self) -> HeaderView<'_> {
+        HeaderView {
+            sfl: self.sfl,
+            confounder: self.confounder,
+            timestamp: self.timestamp,
+            mac_alg: self.mac_alg,
+            enc_alg: self.enc_alg,
+            plaintext_len: self.plaintext_len,
+            mac: &self.mac,
+        }
+    }
+
     /// Parse a header from the front of `buf`, returning the header and the
     /// number of bytes consumed.
     pub fn decode(buf: &[u8]) -> Result<(Self, usize)> {

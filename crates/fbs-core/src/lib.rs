@@ -54,5 +54,5 @@ pub use principal::Principal;
 pub use protocol::{Datagram, FbsConfig, FbsEndpoint, ProtectedDatagram};
 pub use replay::FreshnessWindow;
 pub use retry::{RetryOutcome, RetryPolicy};
-pub use sealer::{ParallelSealer, SealJob, SealerStats};
+pub use sealer::{OpenJob, ParallelSealer, SealJob, SealerStats};
 pub use sfl::SflAllocator;

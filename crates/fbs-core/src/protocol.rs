@@ -371,6 +371,12 @@ impl FbsEndpoint {
 
     /// `FBSSend` with a caller-provided flow key (the combined-table fast
     /// path of §7.2). Performs S4-S10 of Fig. 4; the caller did S1-S3.
+    ///
+    /// This is a structured-view wrapper over the one seal implementation
+    /// ([`Self::seal_with_key_into`] → `seal_core`): the wire payload is
+    /// sealed exactly as the zero-copy path would, then re-parsed into a
+    /// [`ProtectedDatagram`]. Callers on the hot path should use
+    /// [`Self::seal_into`]/[`Self::seal_with_key_into`] directly.
     pub fn send_with_key(
         &mut self,
         sfl: u64,
@@ -378,7 +384,13 @@ impl FbsEndpoint {
         datagram: Datagram,
         secret: bool,
     ) -> Result<ProtectedDatagram> {
-        self.seal(sfl, key, datagram, secret)
+        debug_assert_eq!(
+            datagram.source, self.local,
+            "sending from a foreign principal"
+        );
+        let mut wire = Vec::new();
+        self.seal_with_key_into(sfl, key, &datagram.body, secret, &mut wire)?;
+        ProtectedDatagram::decode_payload(datagram.source, datagram.destination, &wire)
     }
 
     /// `FBSSend` (Fig. 4): protect `datagram` under flow `sfl` (obtained
@@ -391,67 +403,7 @@ impl FbsEndpoint {
     ) -> Result<ProtectedDatagram> {
         // S2-3: flow key (cached per Fig. 6).
         let key = self.flow_key_tx(sfl, &datagram.destination)?;
-        self.seal(sfl, &key, datagram, secret)
-    }
-
-    fn seal(
-        &mut self,
-        sfl: u64,
-        key: &SealedFlowKey,
-        datagram: Datagram,
-        secret: bool,
-    ) -> Result<ProtectedDatagram> {
-        debug_assert_eq!(
-            datagram.source, self.local,
-            "sending from a foreign principal"
-        );
-        // S4: per-datagram confounder — statistically random suffices.
-        let confounder = self.confounder.next_u32();
-        // S5: minute-resolution timestamp.
-        let timestamp = self.clock.now_minutes();
-        let enc_alg = if secret && !self.cfg.nop_crypto {
-            self.cfg.enc_alg
-        } else {
-            EncAlgorithm::None
-        };
-        // S6 + S8-9: MAC over (K_f | confounder | timestamp | payload) and
-        // optional encryption, combined in one pass when configured. The
-        // body vector is reused as the wire body: padding is appended in
-        // place and encryption happens in place, so the legacy path shares
-        // the allocation-free core with `seal_into`.
-        let plaintext_len = datagram.body.len();
-        let mut body = datagram.body;
-        if enc_alg.des_mode().is_some() {
-            body.resize(padded_len(plaintext_len), 0);
-        }
-        let mut mac_buf = [0u8; MAX_MAC_SIZE];
-        let mac_len = seal_core(
-            &self.cfg,
-            key,
-            confounder,
-            timestamp,
-            plaintext_len,
-            enc_alg,
-            &mut body,
-            &mut mac_buf,
-        );
-        let shipped = self.cfg.mac_truncate.map_or(mac_len, |n| mac_len.min(n));
-        self.note_sealed(enc_alg, plaintext_len as u64);
-        // S7: assemble the security flow header.
-        Ok(ProtectedDatagram {
-            source: datagram.source,
-            destination: datagram.destination,
-            header: SecurityFlowHeader {
-                sfl,
-                confounder,
-                timestamp,
-                mac_alg: self.cfg.mac_alg,
-                enc_alg,
-                plaintext_len: plaintext_len as u32,
-                mac: mac_buf[..shipped].to_vec(),
-            },
-            body,
-        })
+        self.send_with_key(sfl, &key, datagram, secret)
     }
 
     /// `FBSSend` straight into a caller-supplied buffer: encode, pad,
@@ -569,17 +521,8 @@ impl FbsEndpoint {
     /// `FBSReceive` (Fig. 4): verify and strip protection, returning the
     /// original datagram.
     pub fn receive(&mut self, pd: ProtectedDatagram) -> Result<Datagram> {
-        let view = HeaderView {
-            sfl: pd.header.sfl,
-            confounder: pd.header.confounder,
-            timestamp: pd.header.timestamp,
-            mac_alg: pd.header.mac_alg,
-            enc_alg: pd.header.enc_alg,
-            plaintext_len: pd.header.plaintext_len,
-            mac: &pd.header.mac,
-        };
         let mut body = Vec::with_capacity(pd.body.len());
-        self.open_core(&pd.source, &view, &pd.body, &mut body)?;
+        self.open_core(&pd.source, &pd.header.view(), &pd.body, &mut body)?;
         Ok(Datagram {
             source: pd.source,
             destination: pd.destination,
@@ -932,6 +875,45 @@ pub(crate) mod tests {
             MasterKeyDaemon::new(d_priv, Box::new(dir_d)),
         );
         (senders, receiver, clock)
+    }
+
+    /// Mirror image of [`sender_fleet`]: one sender "S" plus `n` receiver
+    /// endpoints sharing principal "D"'s identity, for the parallel open
+    /// path (any worker can derive any flow's receive key from the shared
+    /// master key, §5.2's zero-message property).
+    pub(crate) fn receiver_fleet(
+        cfg: FbsConfig,
+        n: usize,
+    ) -> (FbsEndpoint, Vec<FbsEndpoint>, ManualClock) {
+        let clock = ManualClock::starting_at(1_000_000);
+        let group = DhGroup::test_group();
+        let s_priv = PrivateValue::from_entropy(group.clone(), b"source-entropy-20-bytes");
+        let d_priv = PrivateValue::from_entropy(group, b"dest-entropy-20-bytes!!");
+        let s = Principal::named("S");
+        let d = Principal::named("D");
+        let receivers = (0..n)
+            .map(|i| {
+                let mut dir = PinnedDirectory::new();
+                dir.pin(s.clone(), s_priv.public_value());
+                FbsEndpoint::new(
+                    d.clone(),
+                    cfg.clone(),
+                    Arc::new(clock.clone()),
+                    0x2222 + (i as u64) * 0x10000,
+                    MasterKeyDaemon::new(d_priv.clone(), Box::new(dir)),
+                )
+            })
+            .collect();
+        let mut dir_s = PinnedDirectory::new();
+        dir_s.pin(d.clone(), d_priv.public_value());
+        let sender = FbsEndpoint::new(
+            s,
+            cfg,
+            Arc::new(clock.clone()),
+            0x1111,
+            MasterKeyDaemon::new(s_priv, Box::new(dir_s)),
+        );
+        (sender, receivers, clock)
     }
 
     fn dgram(body: &[u8]) -> Datagram {

@@ -1,20 +1,30 @@
-//! A parallel seal worker pool: datagrams are shard-routed by flow label so
-//! per-flow ordering is preserved while distinct flows seal concurrently.
+//! A parallel seal/open worker pool: datagrams are shard-routed by flow
+//! label so per-flow ordering is preserved while distinct flows are
+//! processed concurrently — in both directions.
 //!
 //! Each worker thread owns one [`FbsEndpoint`] and one [`BufferPool`] and
 //! drains its own FIFO channel, so two datagrams of the same flow can never
-//! reorder (same `sfl` → same worker → same queue). Workers share the
+//! reorder (same `sfl` → same worker → same queue). Seal workers share the
 //! sending principal's identity but MUST be built with distinct confounder
 //! seeds (§5.3 requires the confounder stream to differ across
-//! initialisations); [`ParallelSealer::new`] asserts nothing about this —
-//! construction helpers in `fbs-bench` show the intended setup.
+//! initialisations); open workers share the receiving principal's identity
+//! (zero-message keying lets any of them derive any flow's receive key).
+//! [`ParallelSealer::new`] asserts nothing about this — construction
+//! helpers in `fbs-bench` show the intended setup.
 //!
-//! Output buffers travel back via [`ParallelSealer::recycle`], closing the
-//! zero-allocation loop: steady state, a sealed wire payload reuses the
-//! heap of a previously transmitted one.
+//! Dispatch is chunked: one channel message per worker per batch carries
+//! that worker's whole share of the batch, and each worker answers with one
+//! message carrying its whole share of the results. Channel overhead is
+//! therefore amortised over the batch (O(workers) messages per batch, not
+//! O(datagrams)), which is what keeps the per-datagram allocation count at
+//! zero in steady state. Spent input buffers are absorbed into the worker
+//! pools ([`ParallelSealer::open_batch`] recycles each wire payload after
+//! opening it), and output buffers travel back via
+//! [`ParallelSealer::recycle_batch`], closing the loop: steady state, a
+//! sealed or opened payload reuses the heap of a previously processed one.
 
 use crate::error::Result;
-use crate::pool::BufferPool;
+use crate::pool::{BufferPool, DEFAULT_BUF_CAPACITY, DEFAULT_MAX_POOLED};
 use crate::principal::Principal;
 use crate::protocol::FbsEndpoint;
 use fbs_obs::{Counter, MetricsRegistry, MetricsSnapshot};
@@ -35,9 +45,24 @@ pub struct SealJob {
     pub secret: bool,
 }
 
+/// One datagram's worth of open work: a wire payload (security flow header
+/// + body) plus the source principal the transport reported.
+#[derive(Clone, Debug)]
+pub struct OpenJob {
+    /// Source principal (from the underlying transport's header).
+    pub source: Principal,
+    /// The wire payload to parse, verify, and decrypt. Consumed: after the
+    /// open it is absorbed into the worker's buffer pool.
+    pub wire: Vec<u8>,
+}
+
 enum WorkerMsg {
-    Job { seq: usize, job: SealJob },
-    Recycle(Vec<u8>),
+    /// A worker's share of a seal batch, in submission order.
+    Seal(Vec<(usize, SealJob)>),
+    /// A worker's share of an open batch, in submission order.
+    Open(Vec<(usize, OpenJob)>),
+    /// Spent buffers returning to the worker's pool.
+    RecycleMany(Vec<Vec<u8>>),
 }
 
 struct Worker {
@@ -48,11 +73,15 @@ struct Worker {
 /// Sealer counters, mirroring the legacy-stats idiom.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SealerStats {
-    /// Datagrams dispatched to workers.
+    /// Datagrams dispatched to workers for sealing.
     pub jobs: u64,
-    /// Batches submitted.
+    /// Seal batches submitted.
     pub batches: u64,
-    /// Jobs dispatched to each worker, by worker index.
+    /// Wire payloads dispatched to workers for opening.
+    pub open_jobs: u64,
+    /// Open batches submitted.
+    pub open_batches: u64,
+    /// Jobs (seal + open) dispatched to each worker, by worker index.
     pub worker_jobs: Vec<u64>,
 }
 
@@ -61,36 +90,52 @@ impl SealerStats {
     pub fn contribute(&self, snap: &mut MetricsSnapshot) {
         snap.add("sealer.jobs", self.jobs);
         snap.add("sealer.batches", self.batches);
+        snap.add("sealer.open_jobs", self.open_jobs);
+        snap.add("sealer.open_batches", self.open_batches);
         for (i, n) in self.worker_jobs.iter().enumerate() {
             snap.add(&format!("sealer.worker{i}.jobs"), *n);
         }
     }
 }
 
-/// A pool of seal workers, one endpoint each, sharded by `sfl`.
+/// A pool of seal/open workers, one endpoint each, sharded by `sfl`.
 pub struct ParallelSealer {
     workers: Vec<Worker>,
-    results_rx: mpsc::Receiver<(usize, Result<Vec<u8>>)>,
+    results_rx: mpsc::Receiver<Vec<(usize, Result<Vec<u8>>)>>,
     stats: SealerStats,
-    next_recycle: usize,
     obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl ParallelSealer {
-    /// Spawn one worker thread per endpoint. Endpoints should share the
-    /// local principal and key material but carry distinct confounder
+    /// Spawn one worker thread per endpoint. Endpoints should share one
+    /// principal's identity and key material but carry distinct confounder
     /// seeds; panics if `endpoints` is empty.
     pub fn new(endpoints: Vec<FbsEndpoint>) -> Self {
-        ParallelSealer::build(endpoints, None)
+        ParallelSealer::build(endpoints, None, DEFAULT_MAX_POOLED)
     }
 
     /// [`Self::new`] with a metrics registry: job/batch dispatch is counted
     /// under `sealer.*` and each worker's pool under `pool.*`.
     pub fn with_obs(endpoints: Vec<FbsEndpoint>, registry: Arc<MetricsRegistry>) -> Self {
-        ParallelSealer::build(endpoints, Some(registry))
+        ParallelSealer::build(endpoints, Some(registry), DEFAULT_MAX_POOLED)
     }
 
-    fn build(endpoints: Vec<FbsEndpoint>, obs: Option<Arc<MetricsRegistry>>) -> Self {
+    /// [`Self::new`] with an explicit per-worker pool limit. Size it to at
+    /// least `batch_size / workers` so a large batch's buffers all fit on
+    /// the freelists instead of being discarded and re-allocated.
+    pub fn with_pool_limit(
+        endpoints: Vec<FbsEndpoint>,
+        max_pooled: usize,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        ParallelSealer::build(endpoints, registry, max_pooled)
+    }
+
+    fn build(
+        endpoints: Vec<FbsEndpoint>,
+        obs: Option<Arc<MetricsRegistry>>,
+        max_pooled: usize,
+    ) -> Self {
         assert!(!endpoints.is_empty(), "sealer needs at least one worker");
         let n = endpoints.len();
         let (results_tx, results_rx) = mpsc::channel();
@@ -101,33 +146,61 @@ impl ParallelSealer {
                 let results = results_tx.clone();
                 let reg = obs.clone();
                 let handle = thread::spawn(move || {
-                    let mut pool = BufferPool::new();
+                    let mut pool = BufferPool::with_limits(max_pooled, DEFAULT_BUF_CAPACITY);
                     if let Some(reg) = reg {
                         pool.attach_obs(reg);
                     }
                     while let Ok(msg) = rx.recv() {
                         match msg {
-                            WorkerMsg::Job { seq, job } => {
-                                let mut out = pool.take();
-                                let sealed = ep.seal_into(
-                                    job.sfl,
-                                    &job.destination,
-                                    &job.body,
-                                    job.secret,
-                                    &mut out,
-                                );
-                                let res = match sealed {
-                                    Ok(()) => Ok(out),
-                                    Err(e) => {
-                                        pool.put(out);
-                                        Err(e)
-                                    }
-                                };
-                                if results.send((seq, res)).is_err() {
+                            WorkerMsg::Seal(chunk) => {
+                                let mut out = Vec::with_capacity(chunk.len());
+                                for (seq, job) in chunk {
+                                    let mut buf = pool.take();
+                                    let sealed = ep.seal_into(
+                                        job.sfl,
+                                        &job.destination,
+                                        &job.body,
+                                        job.secret,
+                                        &mut buf,
+                                    );
+                                    let res = match sealed {
+                                        Ok(()) => Ok(buf),
+                                        Err(e) => {
+                                            pool.put(buf);
+                                            Err(e)
+                                        }
+                                    };
+                                    out.push((seq, res));
+                                }
+                                if results.send(out).is_err() {
                                     return; // sealer dropped mid-batch
                                 }
                             }
-                            WorkerMsg::Recycle(buf) => pool.put(buf),
+                            WorkerMsg::Open(chunk) => {
+                                let mut out = Vec::with_capacity(chunk.len());
+                                for (seq, job) in chunk {
+                                    let mut buf = pool.take();
+                                    let opened = ep.open_into(&job.source, &job.wire, &mut buf);
+                                    // The spent wire feeds future takes.
+                                    pool.put(job.wire);
+                                    let res = match opened {
+                                        Ok(()) => Ok(buf),
+                                        Err(e) => {
+                                            pool.put(buf);
+                                            Err(e)
+                                        }
+                                    };
+                                    out.push((seq, res));
+                                }
+                                if results.send(out).is_err() {
+                                    return;
+                                }
+                            }
+                            WorkerMsg::RecycleMany(bufs) => {
+                                for buf in bufs {
+                                    pool.put(buf);
+                                }
+                            }
                         }
                     }
                 });
@@ -144,7 +217,6 @@ impl ParallelSealer {
                 worker_jobs: vec![0; n],
                 ..SealerStats::default()
             },
-            next_recycle: 0,
             obs,
         }
     }
@@ -154,48 +226,122 @@ impl ParallelSealer {
         self.workers.len()
     }
 
-    /// Seal a batch. Jobs are sharded by `sfl % workers`, so all datagrams
-    /// of one flow seal on one worker in submission order; results come
-    /// back in submission order (`out[i]` is `jobs[i]` sealed). Each `Ok`
-    /// is a full wire payload — hand it back via [`Self::recycle`] after
-    /// transmission to keep the buffer loop closed.
-    pub fn seal_batch(&mut self, jobs: Vec<SealJob>) -> Vec<Result<Vec<u8>>> {
+    /// Shard a batch into per-worker chunks, send each non-empty chunk as
+    /// one message, and gather the per-worker result vectors back into
+    /// submission order.
+    fn run_batch<J>(
+        &mut self,
+        jobs: Vec<J>,
+        shard: impl Fn(&J) -> usize,
+        wrap: impl Fn(Vec<(usize, J)>) -> WorkerMsg,
+    ) -> Vec<Result<Vec<u8>>> {
         let n = jobs.len();
-        let shards = self.workers.len() as u64;
+        let shards = self.workers.len();
+        // Pre-size each chunk for an even shard split: keeps dispatch at
+        // O(workers) allocations per batch rather than O(jobs) grows, so
+        // large batches amortise to ~0 driver allocations per datagram.
+        let mut chunks: Vec<Vec<(usize, J)>> = (0..shards)
+            .map(|_| Vec::with_capacity(n / shards + 1))
+            .collect();
         for (seq, job) in jobs.into_iter().enumerate() {
-            let w = (job.sfl % shards) as usize;
-            self.stats.jobs += 1;
+            let w = shard(&job) % shards;
             self.stats.worker_jobs[w] += 1;
+            chunks[w].push((seq, job));
+        }
+        let mut outstanding = 0;
+        for (w, chunk) in chunks.into_iter().enumerate() {
+            if chunk.is_empty() {
+                continue;
+            }
+            outstanding += 1;
             self.workers[w]
                 .tx
-                .send(WorkerMsg::Job { seq, job })
+                .send(wrap(chunk))
                 .expect("worker thread alive while sealer is");
         }
-        self.stats.batches += 1;
-        if let Some(reg) = &self.obs {
-            reg.add(Counter::SealerJobs, n as u64);
-            reg.incr(Counter::SealerBatches);
-        }
         let mut out: Vec<Option<Result<Vec<u8>>>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (seq, res) = self
+        for _ in 0..outstanding {
+            let answers = self
                 .results_rx
                 .recv()
                 .expect("worker thread alive while sealer is");
-            out[seq] = Some(res);
+            for (seq, res) in answers {
+                out[seq] = Some(res);
+            }
         }
         out.into_iter()
             .map(|r| r.expect("every seq answered exactly once"))
             .collect()
     }
 
-    /// Return a transmitted wire buffer to a worker's pool (round-robin).
+    /// Seal a batch. Jobs are sharded by `sfl % workers`, so all datagrams
+    /// of one flow seal on one worker in submission order; results come
+    /// back in submission order (`out[i]` is `jobs[i]` sealed). Each `Ok`
+    /// is a full wire payload — hand it back via [`Self::recycle_batch`]
+    /// after transmission to keep the buffer loop closed.
+    pub fn seal_batch(&mut self, jobs: Vec<SealJob>) -> Vec<Result<Vec<u8>>> {
+        let n = jobs.len();
+        self.stats.jobs += n as u64;
+        self.stats.batches += 1;
+        if let Some(reg) = &self.obs {
+            reg.add(Counter::SealerJobs, n as u64);
+            reg.incr(Counter::SealerBatches);
+        }
+        self.run_batch(jobs, |j| j.sfl as usize, WorkerMsg::Seal)
+    }
+
+    /// Open a batch of wire payloads. Jobs are sharded by the `sfl` leading
+    /// each wire image (same flow → same worker → per-flow FIFO order, the
+    /// input mirror of [`Self::seal_batch`]); a wire too short to carry an
+    /// sfl lands on worker 0, whose `open_into` reports the parse error.
+    /// `out[i]` is `jobs[i]` opened: the recovered plaintext body on `Ok`.
+    /// Spent wire buffers are absorbed into the worker pools, so a steady
+    /// stream of opens recycles every input allocation.
+    pub fn open_batch(&mut self, jobs: Vec<OpenJob>) -> Vec<Result<Vec<u8>>> {
+        let n = jobs.len();
+        self.stats.open_jobs += n as u64;
+        self.stats.open_batches += 1;
+        if let Some(reg) = &self.obs {
+            reg.add(Counter::SealerOpenJobs, n as u64);
+            reg.incr(Counter::SealerOpenBatches);
+        }
+        self.run_batch(
+            jobs,
+            |j| {
+                j.wire
+                    .get(0..8)
+                    .map(|b| u64::from_be_bytes(b.try_into().expect("8-byte slice")) as usize)
+                    .unwrap_or(0)
+            },
+            WorkerMsg::Open,
+        )
+    }
+
+    /// Return one transmitted wire buffer to a worker's pool. Prefer
+    /// [`Self::recycle_batch`], which amortises the channel message over
+    /// the whole batch.
     pub fn recycle(&mut self, buf: Vec<u8>) {
-        let w = self.next_recycle % self.workers.len();
-        self.next_recycle = self.next_recycle.wrapping_add(1);
-        // A send can only fail once the worker exited; dropping the buffer
-        // is the correct degraded behaviour then.
-        let _ = self.workers[w].tx.send(WorkerMsg::Recycle(buf));
+        self.recycle_batch(vec![buf]);
+    }
+
+    /// Return a batch of spent buffers to the worker pools, spread evenly
+    /// (one message per worker that receives any).
+    pub fn recycle_batch(&mut self, bufs: Vec<Vec<u8>>) {
+        let shards = self.workers.len();
+        let mut chunks: Vec<Vec<Vec<u8>>> = (0..shards)
+            .map(|_| Vec::with_capacity(bufs.len() / shards + 1))
+            .collect();
+        for (i, buf) in bufs.into_iter().enumerate() {
+            chunks[i % shards].push(buf);
+        }
+        for (w, chunk) in chunks.into_iter().enumerate() {
+            if chunk.is_empty() {
+                continue;
+            }
+            // A send can only fail once the worker exited; dropping the
+            // buffers is the correct degraded behaviour then.
+            let _ = self.workers[w].tx.send(WorkerMsg::RecycleMany(chunk));
+        }
     }
 
     /// Dispatch counters so far.
@@ -221,7 +367,7 @@ impl Drop for ParallelSealer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::tests::sender_fleet;
+    use crate::protocol::tests::{receiver_fleet, sender_fleet};
     use crate::protocol::{FbsConfig, ProtectedDatagram};
     use fbs_obs::MetricsRegistry;
 
@@ -306,5 +452,101 @@ mod tests {
         assert_eq!(snap.counter("pool.hits"), 1);
         assert_eq!(snap.counter("sealer.jobs"), 2);
         assert_eq!(snap.counter("sealer.batches"), 2);
+    }
+
+    #[test]
+    fn open_batch_roundtrips_and_recycles_wires() {
+        // Seal serially, open through a 2-worker opener; results line up
+        // with submission order and the spent wires land in worker pools.
+        let (mut sender, receivers, _) = receiver_fleet(FbsConfig::default(), 2);
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut opener = ParallelSealer::with_obs(receivers, Arc::clone(&reg));
+        let flows = [1u64, 2, 3, 4, 1, 2, 3, 4];
+        let mut batch = Vec::new();
+        let mut bodies = Vec::new();
+        for (i, &sfl) in flows.iter().enumerate() {
+            let body = format!("flow {sfl} datagram {i}").into_bytes();
+            let mut wire = Vec::new();
+            sender
+                .seal_into(sfl, &Principal::named("D"), &body, true, &mut wire)
+                .unwrap();
+            bodies.push(body);
+            batch.push(OpenJob {
+                source: Principal::named("S"),
+                wire,
+            });
+        }
+        let opened = opener.open_batch(batch);
+        assert_eq!(opened.len(), 8);
+        for (got, want) in opened.into_iter().zip(bodies) {
+            assert_eq!(got.unwrap(), want);
+        }
+        assert_eq!(opener.stats().open_jobs, 8);
+        assert_eq!(opener.stats().open_batches, 1);
+        assert_eq!(opener.stats().worker_jobs, vec![4, 4]);
+        drop(opener);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sealer.open_jobs"), 8);
+        assert_eq!(snap.counter("sealer.open_batches"), 1);
+        // Only each worker's FIRST take misses (cold pool); from then on
+        // every spent wire absorbed by pool.put feeds the next take, so 2
+        // workers × 4 jobs = 2 misses + 6 hits.
+        assert_eq!(snap.counter("pool.misses"), 2);
+        assert_eq!(snap.counter("pool.hits"), 6);
+    }
+
+    #[test]
+    fn open_batch_surfaces_per_job_errors_in_place() {
+        let (mut sender, receivers, _) = receiver_fleet(FbsConfig::default(), 2);
+        let mut opener = ParallelSealer::new(receivers);
+        let mut wire = Vec::new();
+        sender
+            .seal_into(9, &Principal::named("D"), b"good", true, &mut wire)
+            .unwrap();
+        let batch = vec![
+            OpenJob {
+                source: Principal::named("S"),
+                wire,
+            },
+            OpenJob {
+                source: Principal::named("S"),
+                wire: vec![0xFF; 3], // too short for any header
+            },
+        ];
+        let opened = opener.open_batch(batch);
+        assert_eq!(opened[0].as_ref().unwrap(), b"good");
+        assert!(opened[1].is_err());
+    }
+
+    #[test]
+    fn batch_open_preserves_per_flow_fifo_order_with_two_workers() {
+        // Two flows, four datagrams each, interleaved in one batch. Flow
+        // 2's datagrams carry strictly increasing sequence bodies; after a
+        // 2-worker open_batch, out[i] must be jobs[i]'s body — which can
+        // only hold if each worker processed its flow's wires in
+        // submission order (sealed-serial wires decrypt positionally).
+        let (mut sender, receivers, _) = receiver_fleet(FbsConfig::default(), 2);
+        let mut opener = ParallelSealer::new(receivers);
+        let flows = [1u64, 2, 1, 2, 1, 2, 1, 2];
+        let mut batch = Vec::new();
+        let mut bodies = Vec::new();
+        for (i, &sfl) in flows.iter().enumerate() {
+            let body = format!("flow {sfl} seq {i}").into_bytes();
+            let mut wire = Vec::new();
+            sender
+                .seal_into(sfl, &Principal::named("D"), &body, true, &mut wire)
+                .unwrap();
+            bodies.push(body);
+            batch.push(OpenJob {
+                source: Principal::named("S"),
+                wire,
+            });
+        }
+        let opened = opener.open_batch(batch);
+        for (i, (got, want)) in opened.into_iter().zip(bodies).enumerate() {
+            assert_eq!(got.unwrap(), want, "position {i} out of order");
+        }
+        // sfl % 2 sharding put each flow wholly on one worker.
+        assert_eq!(opener.stats().worker_jobs, vec![4, 4]);
     }
 }

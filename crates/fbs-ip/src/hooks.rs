@@ -36,11 +36,11 @@ use crate::tuple::FiveTuple;
 use fbs_core::breaker::BreakerState;
 use fbs_core::header::FIXED_PREFIX_LEN;
 use fbs_core::{
-    Datagram, Fam, FbsConfig, FbsEndpoint, FbsError, KeyUnavailableVerdict, ParkStats, Parked,
-    ParkingQueue, Principal, ProtectedDatagram, SflAllocator,
+    BufferPool, Fam, FbsConfig, FbsEndpoint, FbsError, KeyUnavailableVerdict, ParkStats, Parked,
+    ParkingQueue, Principal, SflAllocator,
 };
 use fbs_net::ip::Proto;
-use fbs_net::{HookOutcome, Ipv4Header, SecurityHooks};
+use fbs_net::{Datagram, HookOutcome, Ipv4Header, SecurityHooks};
 use fbs_obs::{Direction, Event, MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -338,32 +338,38 @@ impl SecurityHooks for FbsIpHooks {
         Self::overhead_of(&self.inner.lock().cfg)
     }
 
-    fn output(&mut self, header: &mut Ipv4Header, payload: Vec<u8>, now_us: u64) -> HookOutcome {
-        let mut inner = self.inner.lock();
-        output_locked(&mut inner, header, payload, now_us)
-    }
-
-    /// Batch output: the shared state is locked ONCE for the whole batch
-    /// rather than once per datagram, so concurrent input processing (or a
-    /// stats reader) contends per batch, not per packet.
-    fn output_batch(
+    /// The single processing entry point (the scalar `output`/`input`
+    /// trait defaults wrap it): the shared state is locked ONCE for the
+    /// whole batch rather than once per datagram, so concurrent processing
+    /// in the other direction (or a stats reader) contends per batch, not
+    /// per packet. Protected/verified payloads are drawn from `pool` and
+    /// consumed input buffers recycled into it.
+    fn process_batch(
         &mut self,
-        items: Vec<(Ipv4Header, Vec<u8>)>,
+        dir: Direction,
+        batch: Vec<Datagram>,
+        pool: &mut BufferPool,
         now_us: u64,
     ) -> Vec<(Ipv4Header, HookOutcome)> {
         let mut inner = self.inner.lock();
-        items
+        batch
             .into_iter()
-            .map(|(mut header, payload)| {
-                let res = output_locked(&mut inner, &mut header, payload, now_us);
+            .map(|dg| {
+                let Datagram {
+                    mut header,
+                    payload,
+                } = dg;
+                let res = match dir {
+                    Direction::Output => {
+                        output_locked(&mut inner, &mut header, payload, pool, now_us)
+                    }
+                    Direction::Input => {
+                        input_locked(&mut inner, &mut header, payload, pool, now_us)
+                    }
+                };
                 (header, res)
             })
             .collect()
-    }
-
-    fn input(&mut self, header: &mut Ipv4Header, payload: Vec<u8>, now_us: u64) -> HookOutcome {
-        let mut inner = self.inner.lock();
-        input_locked(&mut inner, header, payload, now_us)
     }
 
     fn release_output(&mut self, now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
@@ -378,18 +384,21 @@ impl SecurityHooks for FbsIpHooks {
 }
 
 /// The §7.2 protect path, with no verdict handling: classify the datagram
-/// into a flow, derive/look up its key, and return the protected wire
-/// payload (fixing up `header`'s length on success).
+/// into a flow, derive/look up its key, and seal the borrowed plaintext
+/// into a pool-drawn wire payload (fixing up `header`'s length on
+/// success). The caller keeps ownership of the original bytes, so no
+/// snapshot copy is ever needed for park/fail-open fallbacks.
 fn protect_locked(
     inner: &mut Inner,
     header: &mut Ipv4Header,
-    payload: Vec<u8>,
+    payload: &[u8],
+    pool: &mut BufferPool,
     now_us: u64,
 ) -> Result<Vec<u8>, FbsError> {
     let now_secs = now_us / 1_000_000;
     let is_transport = matches!(Proto::from_number(header.proto), Proto::Mrt | Proto::Udp);
     let tuple = if is_transport {
-        FiveTuple::extract(header.proto, header.src, header.dst, &payload)
+        FiveTuple::extract(header.proto, header.src, header.dst, payload)
             .ok_or(FbsError::MalformedHeader("payload too short for 5-tuple"))?
     } else {
         // Footnote-10 extension: raw IP forms host-level flows — the
@@ -402,32 +411,34 @@ fn protect_locked(
             dport: 0,
         }
     };
-    let datagram = Datagram {
-        source: Principal::from_ipv4(header.src),
-        destination: Principal::from_ipv4(header.dst),
-        body: payload,
-    };
+    let destination = Principal::from_ipv4(header.dst);
     let secret = inner.cfg.encrypt;
-    let pd = match &mut inner.combined {
+    let mut out = pool.take();
+    let sealed = match &mut inner.combined {
         // §7.2: one lookup resolves flow identity AND key.
         Some(table) => {
             let endpoint = &mut inner.endpoint;
-            let dst = datagram.destination.clone();
             table
                 .lookup(tuple, now_secs, |sfl| {
-                    endpoint.derive_flow_key_tx(sfl, &dst)
+                    endpoint.derive_flow_key_tx(sfl, &destination)
                 })
-                .and_then(|hit| endpoint.send_with_key(hit.sfl, &hit.key, datagram, secret))?
+                .and_then(|hit| {
+                    endpoint.seal_with_key_into(hit.sfl, &hit.key, payload, secret, &mut out)
+                })
         }
-        // Textbook: FAM classification, then TFKC inside send().
+        // Textbook: FAM classification, then TFKC inside seal_into().
         None => {
-            let bytes = datagram.body.len() as u64;
-            let class = inner.fam.classify(tuple, now_secs, bytes);
-            inner.endpoint.send(class.sfl, datagram, secret)?
+            let class = inner.fam.classify(tuple, now_secs, payload.len() as u64);
+            inner
+                .endpoint
+                .seal_into(class.sfl, &destination, payload, secret, &mut out)
         }
     };
-    let out = pd.encode_payload();
-    let delta = out.len() as isize - pd.header.plaintext_len as isize;
+    if let Err(e) = sealed {
+        pool.put(out);
+        return Err(e);
+    }
+    let delta = out.len() as isize - payload.len() as isize;
     header.grow_payload(delta);
     Ok(out)
 }
@@ -438,25 +449,21 @@ fn output_locked(
     inner: &mut Inner,
     header: &mut Ipv4Header,
     payload: Vec<u8>,
+    pool: &mut BufferPool,
     now_us: u64,
 ) -> HookOutcome {
     inner.hook_entry(Direction::Output);
     let verdict = inner.degrade_verdict();
-    // Only fall-back verdicts need the original bytes kept around; the
-    // default fail-closed path stays copy-free.
-    let fallback = matches!(
-        verdict,
-        KeyUnavailableVerdict::FailOpen | KeyUnavailableVerdict::Park
-    )
-    .then(|| payload.clone());
-    match protect_locked(inner, header, payload, now_us) {
+    // protect_locked borrows the payload, so the original bytes are still
+    // owned here for the fall-back verdicts — no snapshot copy needed.
+    match protect_locked(inner, header, &payload, pool, now_us) {
         Ok(out) => {
+            pool.put(payload);
             inner.stats.protected += 1;
             inner.hook_exit(Direction::Output, true);
             HookOutcome::Pass(out)
         }
-        Err(e) if e.is_key_unavailable() && fallback.is_some() => {
-            let original = fallback.expect("checked is_some");
+        Err(e) if e.is_key_unavailable() && verdict != KeyUnavailableVerdict::FailClosed => {
             match verdict {
                 KeyUnavailableVerdict::FailOpen => {
                     inner.stats.fail_open += 1;
@@ -466,10 +473,10 @@ fn output_locked(
                     });
                     inner.hook_exit(Direction::Output, true);
                     inner.stats.protected += 1; // it did exit the hook ok
-                    HookOutcome::Pass(original)
+                    HookOutcome::Pass(payload)
                 }
                 KeyUnavailableVerdict::Park => {
-                    match inner.out_park.park((header.clone(), original), now_us) {
+                    match inner.out_park.park((header.clone(), payload), now_us) {
                         Ok(()) => {
                             let queued = inner.out_park.len() as u32;
                             inner.record(Event::Parked { queued });
@@ -483,10 +490,11 @@ fn output_locked(
                         }
                     }
                 }
-                KeyUnavailableVerdict::FailClosed => unreachable!("no fallback kept"),
+                KeyUnavailableVerdict::FailClosed => unreachable!("excluded by guard"),
             }
         }
         Err(e) => {
+            pool.put(payload);
             if e.is_key_unavailable() {
                 inner.stats.fail_closed += 1;
                 inner.record(Event::Degraded {
@@ -502,23 +510,24 @@ fn output_locked(
 }
 
 /// The verify path, with no verdict handling: parse the FBS framing,
-/// verify/decrypt, and return the plaintext body (fixing up `header`'s
-/// length on success).
+/// verify/decrypt the borrowed wire payload into a pool-drawn plaintext
+/// buffer, and return it (fixing up `header`'s length on success). The
+/// caller keeps ownership of the wire bytes for park/fail-open fallbacks.
 fn verify_locked(
     inner: &mut Inner,
     header: &mut Ipv4Header,
     payload: &[u8],
+    pool: &mut BufferPool,
 ) -> Result<Vec<u8>, FbsError> {
-    let wire_len = payload.len();
-    let pd = ProtectedDatagram::decode_payload(
-        Principal::from_ipv4(header.src),
-        Principal::from_ipv4(header.dst),
-        payload,
-    )?;
-    let datagram = inner.endpoint.receive(pd)?;
-    let delta = wire_len as isize - datagram.body.len() as isize;
+    let mut body = pool.take();
+    let source = Principal::from_ipv4(header.src);
+    if let Err(e) = inner.endpoint.open_into(&source, payload, &mut body) {
+        pool.put(body);
+        return Err(e);
+    }
+    let delta = payload.len() as isize - body.len() as isize;
     header.grow_payload(-delta);
-    Ok(datagram.body)
+    Ok(body)
 }
 
 /// Input verdict wrapper. Degradation applies narrowly here:
@@ -533,12 +542,14 @@ fn input_locked(
     inner: &mut Inner,
     header: &mut Ipv4Header,
     payload: Vec<u8>,
+    pool: &mut BufferPool,
     now_us: u64,
 ) -> HookOutcome {
     inner.hook_entry(Direction::Input);
     let verdict = inner.degrade_verdict();
-    match verify_locked(inner, header, &payload) {
+    match verify_locked(inner, header, &payload, pool) {
         Ok(body) => {
+            pool.put(payload);
             inner.stats.verified += 1;
             inner.hook_exit(Direction::Input, true);
             HookOutcome::Pass(body)
@@ -571,6 +582,7 @@ fn input_locked(
             }
         }
         Err(e) => {
+            pool.put(payload);
             if e.is_key_unavailable() {
                 inner.stats.fail_closed += 1;
                 inner.record(Event::Degraded {
@@ -597,6 +609,9 @@ fn release_output_locked(inner: &mut Inner, now_us: u64) -> Vec<(Ipv4Header, Vec
     if inner.out_park.is_empty() {
         return Vec::new();
     }
+    // Release is the rare outage-recovery path: a transient non-pooling
+    // pool keeps protect_locked's signature without holding buffers here.
+    let mut pool = BufferPool::with_limits(0, 0);
     let mut ready = Vec::new();
     for entry in inner.out_park.take_all() {
         let Parked {
@@ -613,8 +628,7 @@ fn release_output_locked(inner: &mut Inner, now_us: u64) -> Vec<(Ipv4Header, Vec
             });
             continue;
         }
-        let backup = payload.clone();
-        match protect_locked(inner, &mut header, payload, now_us) {
+        match protect_locked(inner, &mut header, &payload, &mut pool, now_us) {
             Ok(protected) => {
                 let waited_us = inner.out_park.note_released(parked_at_us, now_us);
                 inner.stats.protected += 1;
@@ -625,8 +639,10 @@ fn release_output_locked(inner: &mut Inner, now_us: u64) -> Vec<(Ipv4Header, Vec
             Err(e) if e.is_key_unavailable() => {
                 // Still no key: back to the queue with the original
                 // deadline (drops at expiry, never grows unbounded).
+                // protect_locked only borrowed the payload, so it is
+                // still owned here — no backup copy was taken.
                 let _ = inner.out_park.repark(Parked {
-                    item: (header, backup),
+                    item: (header, payload),
                     parked_at_us,
                     deadline_us,
                 });
@@ -651,6 +667,7 @@ fn release_input_locked(inner: &mut Inner, now_us: u64) -> Vec<(Ipv4Header, Vec<
     if inner.in_park.is_empty() {
         return Vec::new();
     }
+    let mut pool = BufferPool::with_limits(0, 0);
     let mut ready = Vec::new();
     for entry in inner.in_park.take_all() {
         let Parked {
@@ -667,7 +684,7 @@ fn release_input_locked(inner: &mut Inner, now_us: u64) -> Vec<(Ipv4Header, Vec<
             });
             continue;
         }
-        match verify_locked(inner, &mut header, &payload) {
+        match verify_locked(inner, &mut header, &payload, &mut pool) {
             Ok(body) => {
                 let waited_us = inner.in_park.note_released(parked_at_us, now_us);
                 inner.stats.verified += 1;

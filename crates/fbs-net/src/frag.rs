@@ -8,6 +8,7 @@
 
 use crate::error::{NetError, Result};
 use crate::ip::{Ipv4Header, Packet, IPV4_HEADER_LEN};
+use fbs_core::BufferPool;
 use std::collections::HashMap;
 
 /// Split `packet` into MTU-sized fragments.
@@ -16,7 +17,19 @@ use std::collections::HashMap;
 /// with [`NetError::WouldFragment`] when the packet is oversized but DF is
 /// set — the situation the paper's `tcp_output.c` patch prevents by
 /// accounting for the FBS header when computing the segment size.
+///
+/// Compatibility wrapper over [`fragment_pooled`] with a transient
+/// non-pooling pool: each fragment still gets a fresh allocation.
 pub fn fragment(packet: Packet, mtu: usize) -> Result<Vec<Packet>> {
+    let mut pool = BufferPool::with_limits(0, 0);
+    fragment_pooled(packet, mtu, &mut pool)
+}
+
+/// [`fragment`] with buffer reuse: every fragment payload is drawn from
+/// `pool`, and when the packet is actually split, the parent payload is
+/// returned to `pool` — so a steady stream of oversized datagrams recycles
+/// its fragment buffers instead of allocating one per fragment.
+pub fn fragment_pooled(packet: Packet, mtu: usize, pool: &mut BufferPool) -> Result<Vec<Packet>> {
     assert!(mtu >= IPV4_HEADER_LEN + 8, "MTU too small to carry data");
     let total = IPV4_HEADER_LEN + packet.payload.len();
     if total <= mtu {
@@ -28,7 +41,7 @@ pub fn fragment(packet: Packet, mtu: usize) -> Result<Vec<Packet>> {
     // Fragment payload sizes must be multiples of 8 (offsets are in 8-byte
     // units), except for the final fragment.
     let chunk = ((mtu - IPV4_HEADER_LEN) / 8) * 8;
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(packet.payload.len().div_ceil(chunk));
     let mut offset = 0usize;
     while offset < packet.payload.len() {
         let end = (offset + chunk).min(packet.payload.len());
@@ -36,9 +49,12 @@ pub fn fragment(packet: Packet, mtu: usize) -> Result<Vec<Packet>> {
         let mut h = packet.header.clone();
         h.frag_offset = packet.header.frag_offset + (offset / 8) as u16;
         h.more_fragments = !last || packet.header.more_fragments;
-        out.push(Packet::new(h, packet.payload[offset..end].to_vec()));
+        let mut buf = pool.take();
+        buf.extend_from_slice(&packet.payload[offset..end]);
+        out.push(Packet::new(h, buf));
         offset = end;
     }
+    pool.put(packet.payload);
     Ok(out)
 }
 
@@ -53,8 +69,8 @@ struct Partial {
 }
 
 impl Partial {
-    /// Try to stitch the pieces into a complete payload.
-    fn assemble(&self) -> Option<Vec<u8>> {
+    /// Try to stitch the pieces into a complete payload, drawn from `pool`.
+    fn assemble(&self, pool: &mut BufferPool) -> Option<Vec<u8>> {
         // Find the terminal fragment to learn the total size.
         let (final_off, final_payload) = self
             .pieces
@@ -62,10 +78,12 @@ impl Partial {
             .find(|(_, _, mf)| !mf)
             .map(|(off, p, _)| (*off, p.len()))?;
         let total = final_off + final_payload;
-        let mut buf = vec![0u8; total];
+        let mut buf = pool.take();
+        buf.resize(total, 0);
         let mut covered = vec![false; total];
         for (off, payload, _) in &self.pieces {
             if off + payload.len() > total {
+                pool.put(buf);
                 return None; // inconsistent; wait for timeout
             }
             buf[*off..*off + payload.len()].copy_from_slice(payload);
@@ -73,7 +91,12 @@ impl Partial {
                 .iter_mut()
                 .for_each(|c| *c = true);
         }
-        covered.iter().all(|&c| c).then_some(buf)
+        if covered.iter().all(|&c| c) {
+            Some(buf)
+        } else {
+            pool.put(buf);
+            None
+        }
     }
 }
 
@@ -99,7 +122,24 @@ impl Reassembler {
 
     /// Accept a packet; returns a complete datagram when reassembly (or a
     /// pass-through of an unfragmented packet) finishes.
+    ///
+    /// Compatibility wrapper over [`Self::push_pooled`] with a transient
+    /// non-pooling pool.
     pub fn push(&mut self, packet: Packet, now_us: u64) -> Option<Packet> {
+        let mut pool = BufferPool::with_limits(0, 0);
+        self.push_pooled(packet, now_us, &mut pool)
+    }
+
+    /// [`Self::push`] with buffer reuse: the assembled payload is drawn
+    /// from `pool`, and the consumed fragment payloads are returned to it
+    /// once a datagram completes — closing the loop with
+    /// [`fragment_pooled`].
+    pub fn push_pooled(
+        &mut self,
+        packet: Packet,
+        now_us: u64,
+        pool: &mut BufferPool,
+    ) -> Option<Packet> {
         if packet.header.frag_offset == 0 && !packet.header.more_fragments {
             return Some(packet); // not fragmented
         }
@@ -120,11 +160,14 @@ impl Reassembler {
         entry
             .pieces
             .push((off, packet.payload, packet.header.more_fragments));
-        if let Some(payload) = entry.assemble() {
+        if let Some(payload) = entry.assemble(pool) {
             let mut header = entry.header.clone();
             header.frag_offset = 0;
             header.more_fragments = false;
-            self.buffers.remove(&key);
+            let partial = self.buffers.remove(&key).expect("entry just inserted");
+            for (_, piece, _) in partial.pieces {
+                pool.put(piece);
+            }
             return Some(Packet::new(header, payload));
         }
         None
@@ -276,5 +319,36 @@ mod tests {
     #[should_panic(expected = "MTU too small")]
     fn tiny_mtu_panics() {
         let _ = fragment(packet(100), 20);
+    }
+
+    #[test]
+    fn pooled_fragmentation_recycles_parent_and_pieces() {
+        // fragment_pooled: parent payload returns to the pool; fragments
+        // draw from it. push_pooled: completed reassembly returns every
+        // piece and draws the assembled buffer. End to end, the second
+        // datagram's buffers all come off the freelist.
+        let mut pool = BufferPool::with_limits(16, 2048);
+        for round in 0..2 {
+            let p = packet(3000);
+            let frags = fragment_pooled(p, 1500, &mut pool).unwrap();
+            assert_eq!(frags.len(), 3);
+            let mut r = Reassembler::new(30_000_000);
+            let mut out = None;
+            for f in frags {
+                out = r.push_pooled(f, 0, &mut pool);
+            }
+            let got = out.expect("complete after last fragment");
+            assert_eq!(got.payload, packet(3000).payload);
+            pool.put(got.payload);
+            if round == 1 {
+                // Only round 1's three cold fragment takes missed: the
+                // parent payload recycled by fragment_pooled immediately
+                // serves round 1's assemble take, and round 2 (3 fragment
+                // takes + 1 assemble take) runs entirely off the freelist.
+                let s = pool.stats();
+                assert_eq!(s.misses, 3, "only the cold fragment takes miss");
+                assert_eq!(s.hits, 5);
+            }
+        }
     }
 }

@@ -9,6 +9,7 @@
 //! ignores the possibility).
 
 use crate::error::{NetError, Result};
+use fbs_core::BufferPool;
 
 /// An IPv4 address (network byte order).
 pub type Ipv4Addr = [u8; 4];
@@ -213,6 +214,18 @@ impl Packet {
             return Err(NetError::Malformed("frame shorter than total_len"));
         }
         let payload = buf[IPV4_HEADER_LEN..header.total_len as usize].to_vec();
+        Ok(Packet { header, payload })
+    }
+
+    /// Parse a packet like [`Self::decode`], but draw the payload buffer
+    /// from `pool` instead of allocating a fresh one.
+    pub fn decode_pooled(buf: &[u8], pool: &mut BufferPool) -> Result<Self> {
+        let header = Ipv4Header::decode(buf)?;
+        if header.total_len as usize > buf.len() {
+            return Err(NetError::Malformed("frame shorter than total_len"));
+        }
+        let mut payload = pool.take();
+        payload.extend_from_slice(&buf[IPV4_HEADER_LEN..header.total_len as usize]);
         Ok(Packet { header, payload })
     }
 }

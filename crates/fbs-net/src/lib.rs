@@ -50,4 +50,4 @@ pub mod udp;
 pub use error::NetError;
 pub use ip::{Ipv4Addr, Ipv4Header, Proto};
 pub use segment::{Impairments, Segment};
-pub use stack::{HookOutcome, Host, SecurityHooks};
+pub use stack::{Datagram, HookOutcome, Host, SecurityHooks};

@@ -210,12 +210,9 @@ pub struct Outgoing {
     pub dont_fragment: bool,
 }
 
-/// Host-level MRT: listeners + connections.
+/// Host-level MRT: listeners + connections. Segments carry no addresses —
+/// the IP layer provides them — so the layer itself is address-free.
 pub struct MrtLayer {
-    /// This host's address (diagnostics only; segments carry no addresses —
-    /// the IP layer provides them).
-    #[allow(dead_code)]
-    local: Ipv4Addr,
     listeners: std::collections::HashSet<u16>,
     conns: HashMap<ConnKey, Conn>,
     /// Link MTU, for the MSS computation.
@@ -234,10 +231,9 @@ pub struct MrtLayer {
 }
 
 impl MrtLayer {
-    /// Create the layer for a host at `local` with the given MTU.
-    pub fn new(local: Ipv4Addr, mtu: usize) -> Self {
+    /// Create the layer for a host with the given link MTU.
+    pub fn new(mtu: usize) -> Self {
         MrtLayer {
-            local,
             listeners: Default::default(),
             conns: HashMap::new(),
             mtu,
@@ -686,8 +682,8 @@ mod tests {
 
     #[test]
     fn handshake_and_data_transfer() {
-        let mut a = MrtLayer::new(A, 1500);
-        let mut b = MrtLayer::new(B, 1500);
+        let mut a = MrtLayer::new(1500);
+        let mut b = MrtLayer::new(1500);
         b.listen(80);
         let key = a.connect(2000, B, 80);
         let mut now = 0u64;
@@ -702,8 +698,8 @@ mod tests {
 
     #[test]
     fn bulk_transfer_spans_many_segments() {
-        let mut a = MrtLayer::new(A, 1500);
-        let mut b = MrtLayer::new(B, 1500);
+        let mut a = MrtLayer::new(1500);
+        let mut b = MrtLayer::new(1500);
         b.listen(80);
         let key = a.connect(2000, B, 80);
         let mut now = 0u64;
@@ -724,7 +720,7 @@ mod tests {
 
     #[test]
     fn mss_accounts_for_security_overhead() {
-        let mut m = MrtLayer::new(A, 1500);
+        let mut m = MrtLayer::new(1500);
         assert_eq!(m.mss(), 1500 - 20 - 16);
         m.set_overhead_allowance(40); // FBS header
         assert_eq!(m.mss(), 1500 - 20 - 16 - 40);
@@ -732,8 +728,8 @@ mod tests {
 
     #[test]
     fn data_segments_fill_mss_with_df() {
-        let mut a = MrtLayer::new(A, 1500);
-        let mut b = MrtLayer::new(B, 1500);
+        let mut a = MrtLayer::new(1500);
+        let mut b = MrtLayer::new(1500);
         b.listen(80);
         let key = a.connect(2000, B, 80);
         let mut now = 0u64;
@@ -753,8 +749,8 @@ mod tests {
 
     #[test]
     fn retransmission_on_loss() {
-        let mut a = MrtLayer::new(A, 1500);
-        let mut b = MrtLayer::new(B, 1500);
+        let mut a = MrtLayer::new(1500);
+        let mut b = MrtLayer::new(1500);
         b.listen(80);
         let key = a.connect(2000, B, 80);
         let mut now = 0u64;
@@ -783,7 +779,7 @@ mod tests {
 
     #[test]
     fn connection_gives_up_after_max_retries() {
-        let mut a = MrtLayer::new(A, 1500);
+        let mut a = MrtLayer::new(1500);
         let key = a.connect(2000, B, 80); // nobody there
         let mut now = 0u64;
         for _ in 0..MAX_RETRIES + 2 {
@@ -802,8 +798,8 @@ mod tests {
 
     #[test]
     fn close_handshake() {
-        let mut a = MrtLayer::new(A, 1500);
-        let mut b = MrtLayer::new(B, 1500);
+        let mut a = MrtLayer::new(1500);
+        let mut b = MrtLayer::new(1500);
         b.listen(80);
         let key = a.connect(2000, B, 80);
         let mut now = 0u64;
@@ -819,7 +815,7 @@ mod tests {
 
     #[test]
     fn stray_segment_counts_reset() {
-        let mut b = MrtLayer::new(B, 1500);
+        let mut b = MrtLayer::new(1500);
         let seg = MrtHeader {
             src_port: 9,
             dst_port: 99,

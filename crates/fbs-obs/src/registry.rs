@@ -82,6 +82,16 @@ pub enum Counter {
     SealerJobs,
     /// Batches submitted to the parallel sealer.
     SealerBatches,
+    /// Wire payloads dispatched to parallel-sealer workers for opening.
+    SealerOpenJobs,
+    /// Open batches submitted to the parallel sealer.
+    SealerOpenBatches,
+    /// Output batches run through the host pipeline's security hooks.
+    PipelineOutputBatches,
+    /// Input batches run through the host pipeline's security hooks.
+    PipelineInputBatches,
+    /// Datagrams carried by pipeline hook batches (both directions).
+    PipelineBatchDatagrams,
     /// Retry attempts made after a failure (directory fetch, MKD upcall).
     RetryAttempts,
     /// Retried operations that gave up (attempts/deadline exhausted).
@@ -109,7 +119,7 @@ pub enum Counter {
 }
 
 /// Number of scalar counters.
-const NUM_COUNTERS: usize = 44;
+const NUM_COUNTERS: usize = 49;
 
 impl Counter {
     /// All counters, in snapshot order.
@@ -146,6 +156,11 @@ impl Counter {
         Counter::PoolMisses,
         Counter::SealerJobs,
         Counter::SealerBatches,
+        Counter::SealerOpenJobs,
+        Counter::SealerOpenBatches,
+        Counter::PipelineOutputBatches,
+        Counter::PipelineInputBatches,
+        Counter::PipelineBatchDatagrams,
         Counter::RetryAttempts,
         Counter::RetryExhausted,
         Counter::BreakerOpens,
@@ -195,6 +210,11 @@ impl Counter {
             Counter::PoolMisses => "pool.misses",
             Counter::SealerJobs => "sealer.jobs",
             Counter::SealerBatches => "sealer.batches",
+            Counter::SealerOpenJobs => "sealer.open_jobs",
+            Counter::SealerOpenBatches => "sealer.open_batches",
+            Counter::PipelineOutputBatches => "pipeline.output_batches",
+            Counter::PipelineInputBatches => "pipeline.input_batches",
+            Counter::PipelineBatchDatagrams => "pipeline.batch_datagrams",
             Counter::RetryAttempts => "retry.attempts",
             Counter::RetryExhausted => "retry.exhausted",
             Counter::BreakerOpens => "breaker.opened",
