@@ -103,6 +103,20 @@ fn main() {
     for o in &report.opener {
         rows.push([vec![format!("opener {}w pooled", o.workers)], fmt(&o.rate)].concat());
     }
+    for m in &report.mapping {
+        rows.push(
+            [
+                vec![format!(
+                    "mapping {}t {}sh{}",
+                    m.threads,
+                    m.shards,
+                    if m.pool_balanced { "" } else { " LEAK" }
+                )],
+                fmt(&m.rate),
+            ]
+            .concat(),
+        );
+    }
     emit(
         &format!(
             "fast path vs legacy — {} B payloads × {}, mode={}, cpus={}",
@@ -125,6 +139,10 @@ fn main() {
     println!(
         "speedup (open batch 4w vs legacy input): {:.2}x",
         report.speedup_open_batch_4w_vs_legacy
+    );
+    println!(
+        "sharding cost (mapping 1t sharded vs unsharded): {:.2}x",
+        report.mapping_sharded_vs_unsharded_1t
     );
 
     match std::fs::write(&out, report.to_json()) {

@@ -13,11 +13,21 @@
 //! seal path vs the legacy path.
 
 use crate::endpoints::{endpoint_pair, principals, receiver_fleet, sender_fleet};
+use fbs_cert::{CertificateAuthority, Directory};
 use fbs_core::{
-    BufferPool, Datagram, FbsConfig, OpenJob, ParallelSealer, ProtectedDatagram, SealJob,
+    BufferPool, Datagram, FbsConfig, ManualClock, OpenJob, ParallelSealer, ProtectedDatagram,
+    SealJob,
 };
 use fbs_crypto::dh::DhGroup;
-use std::time::Instant;
+use fbs_ip::hooks::IpMappingConfig;
+use fbs_ip::host::build_secure_host;
+use fbs_net::ip::{Ipv4Header, Proto};
+use fbs_net::{HookOutcome, SecurityHooks};
+use fbs_obs::Direction;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Crypto mode for a bench run, mirroring the Fig. 8 variants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +99,22 @@ pub struct OpenerRate {
     pub rate: Rate,
 }
 
+/// A sharded-IP-mapping measurement: N threads driving output batches
+/// through cloned handles of ONE shared `FbsIpHooks`, per-thread pools.
+#[derive(Clone, Copy, Debug)]
+pub struct MappingRate {
+    /// Concurrent threads sharing the mapping.
+    pub threads: usize,
+    /// Shard count the mapping was built with (1 = the pre-shard
+    /// single-lock shape, the sharding-overhead baseline).
+    pub shards: usize,
+    /// Every thread's pool take/put ledger balanced: no buffer leaked on
+    /// any path the run exercised.
+    pub pool_balanced: bool,
+    /// The measured rate (wire buffers recycled back to the pools).
+    pub rate: Rate,
+}
+
 /// The full `BENCH_fastpath.json` payload.
 #[derive(Clone, Debug)]
 pub struct FastpathReport {
@@ -114,6 +140,9 @@ pub struct FastpathReport {
     pub open_inline_pooled: Rate,
     /// Opener grid: `open_batch` at 1/2/4 workers, buffers recycled.
     pub opener: Vec<OpenerRate>,
+    /// Sharded-mapping grid: 1/2/4 threads against one shared
+    /// `FbsIpHooks`, plus a 1-thread `shards = 1` baseline row.
+    pub mapping: Vec<MappingRate>,
     /// Headline: in-thread pooled seal path over legacy, datagrams/sec.
     pub speedup_pooled_1w_vs_legacy: f64,
     /// Headline: in-thread pooled open path over the legacy scalar input
@@ -124,6 +153,9 @@ pub struct FastpathReport {
     /// single-CPU host this measures sharding/channel overhead, not
     /// parallel speedup (see `cpus`).
     pub speedup_open_batch_4w_vs_legacy: f64,
+    /// Single-thread sharded mapping over the `shards = 1` baseline:
+    /// the cost of sharding itself, which must stay near 1.0.
+    pub mapping_sharded_vs_unsharded_1t: f64,
 }
 
 fn json_rate(r: &Rate) -> String {
@@ -165,14 +197,33 @@ impl FastpathReport {
                 )
             })
             .collect();
+        let mapping_rows: Vec<String> = self
+            .mapping
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{\"threads\": {}, \"shards\": {}, \"pool_balanced\": {}, \
+                     \"datagrams_per_sec\": {:.1}, \"bytes_per_sec\": {:.1}, \
+                     \"allocs_per_datagram\": {:.2}}}",
+                    m.threads,
+                    m.shards,
+                    m.pool_balanced,
+                    m.rate.datagrams_per_sec,
+                    m.rate.bytes_per_sec,
+                    m.rate.allocs_per_datagram
+                )
+            })
+            .collect();
         format!(
             "{{\n  \"bench\": \"fastpath\",\n  \"payload_bytes\": {},\n  \"count\": {},\n  \
              \"cpus\": {},\n  \"mode\": \"{}\",\n  \"legacy\": {},\n  \"inline_pooled\": {},\n  \
              \"inline_unpooled\": {},\n  \"sealer\": [\n{}\n  ],\n  \
              \"open_legacy\": {},\n  \"open_inline_pooled\": {},\n  \"opener\": [\n{}\n  ],\n  \
+             \"mapping\": [\n{}\n  ],\n  \
              \"speedup_pooled_1w_vs_legacy\": {:.3},\n  \
              \"speedup_open_inline_vs_legacy\": {:.3},\n  \
-             \"speedup_open_batch_4w_vs_legacy\": {:.3}\n}}\n",
+             \"speedup_open_batch_4w_vs_legacy\": {:.3},\n  \
+             \"mapping_sharded_vs_unsharded_1t\": {:.3}\n}}\n",
             self.payload_bytes,
             self.count,
             self.cpus,
@@ -184,9 +235,11 @@ impl FastpathReport {
             json_rate(&self.open_legacy),
             json_rate(&self.open_inline_pooled),
             opener_rows.join(",\n"),
+            mapping_rows.join(",\n"),
             self.speedup_pooled_1w_vs_legacy,
             self.speedup_open_inline_vs_legacy,
-            self.speedup_open_batch_4w_vs_legacy
+            self.speedup_open_batch_4w_vs_legacy,
+            self.mapping_sharded_vs_unsharded_1t
         )
     }
 }
@@ -453,9 +506,133 @@ pub fn measure_open_batch(
     rate(count, payload, start.elapsed().as_secs_f64(), alloc() - a0)
 }
 
+/// Batch size for [`measure_mapping`]: large enough that the per-batch
+/// vectors (the caller's batch and the hook's returned outcomes — the
+/// partition scratch itself is reused across calls) amortise to ~0
+/// allocations per datagram.
+const MAPPING_BATCH: usize = 1024;
+
+/// Flows per mapping thread (disjoint source ports per thread). Many
+/// more flows than shards, so each shard's sub-batch still interleaves
+/// several flows — consecutive same-flow datagrams would serialise on
+/// one table entry and understate per-shard throughput.
+const MAPPING_FLOWS: usize = 64;
+
+/// The sharded endpoint under contention: `threads` cloned handles of
+/// ONE `FbsIpHooks` (built with `shards` shards) each drive output
+/// batches of UDP datagrams over disjoint flows, wire buffers recycled
+/// through a per-thread [`BufferPool`]. Returns the aggregate rate and
+/// whether every thread's pool take/put ledger balanced (the leak gate).
+pub fn measure_mapping(
+    payload: usize,
+    count: usize,
+    mode: Mode,
+    threads: usize,
+    shards: usize,
+    alloc: &dyn Fn() -> u64,
+) -> (Rate, bool) {
+    let clock = ManualClock::starting_at(0);
+    let ca = CertificateAuthority::new("fastpath-mapping-ca", [0xFA; 16]);
+    let directory = Arc::new(Directory::new(Duration::ZERO));
+    let group = DhGroup::test_group();
+    let a: [u8; 4] = [10, 11, 0, 1];
+    let b: [u8; 4] = [10, 11, 0, 2];
+    let cfg = IpMappingConfig {
+        encrypt: mode.secret(),
+        shards,
+        // Generous FST so the bench's flows never collide in a slot:
+        // this row measures the steady-state hot path (hit + seal), not
+        // eviction ping-pong between same-slot flows.
+        fst_size: 4096,
+        fbs: mode.config(),
+        ..IpMappingConfig::default()
+    };
+    let (_ha, hooks) = build_secure_host(
+        a,
+        1500,
+        cfg.clone(),
+        clock.clone(),
+        &group,
+        &ca,
+        &directory,
+        11,
+    );
+    // Building B publishes its certificate, so A's sends can key.
+    let (_hb, _hooks_b) = build_secure_host(b, 1500, cfg, clock, &group, &ca, &directory, 12);
+    // Each thread drives the full `count`: dividing it N ways would
+    // shrink multi-thread reps to a few milliseconds of measurement,
+    // which on a shared single-CPU host is pure scheduler noise. The
+    // aggregate rate below accounts for `per * threads` datagrams.
+    let per = count.max(1);
+    let batch = MAPPING_BATCH.min(per);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let balanced = Arc::new(AtomicBool::new(true));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let mut hooks = hooks.clone();
+            let barrier = Arc::clone(&barrier);
+            let balanced = Arc::clone(&balanced);
+            thread::spawn(move || {
+                // Pool sized so a full batch's payloads plus their sealed
+                // wires all cycle through the freelist.
+                let mut pool = BufferPool::with_limits(2 * batch + 4, payload + 128);
+                let run_batch = |hooks: &mut fbs_ip::hooks::FbsIpHooks,
+                                 pool: &mut BufferPool,
+                                 n: usize| {
+                    let mut dgs = Vec::with_capacity(n);
+                    for i in 0..n {
+                        let sport = 6000 + (t * MAPPING_FLOWS + i % MAPPING_FLOWS) as u16;
+                        let mut p = pool.take();
+                        p.extend_from_slice(&sport.to_be_bytes());
+                        p.extend_from_slice(&53u16.to_be_bytes());
+                        p.resize(payload.max(4), 0xA5);
+                        let header = Ipv4Header::new(a, b, Proto::Udp, p.len());
+                        dgs.push(fbs_net::Datagram { header, payload: p });
+                    }
+                    for (_, outcome) in hooks.process_batch(Direction::Output, dgs, pool, 1_000) {
+                        match outcome {
+                            HookOutcome::Pass(wire) => pool.put(wire),
+                            other => panic!("mapping seal failed: {other:?}"),
+                        }
+                    }
+                };
+                // Warm: flow keys derived, pool buffers grown to size.
+                run_batch(&mut hooks, &mut pool, batch);
+                run_batch(&mut hooks, &mut pool, batch);
+                barrier.wait();
+                let mut done = 0usize;
+                while done < per {
+                    let n = batch.min(per - done);
+                    run_batch(&mut hooks, &mut pool, n);
+                    done += n;
+                }
+                let s = pool.stats();
+                if s.hits + s.misses != s.returns + s.discards {
+                    balanced.store(false, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let a0 = alloc();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("mapping thread panicked");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let allocs = alloc() - a0;
+    (
+        rate(per * threads, payload, secs, allocs),
+        balanced.load(Ordering::Relaxed),
+    )
+}
+
 /// Repetitions per measured row: a lone pass on a shared (often
 /// single-CPU) host is noisy, so each row reports its best of three.
 const REPS: usize = 3;
+
+/// Repetitions per mapping row (see the mapping grid below).
+const MAPPING_REPS: usize = 7;
 
 fn best_of(reps: usize, f: impl Fn() -> Rate) -> Rate {
     (0..reps)
@@ -497,6 +674,41 @@ pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) ->
         .find(|o| o.workers == 4)
         .expect("grid includes 4 workers")
         .rate;
+    // Mapping grid: the shards=1 single-thread row is the pre-shard
+    // baseline; the rest drive 1/2/4 threads at the default shard count.
+    let mapping: Vec<MappingRate> = [(1usize, 1usize), (1, 8), (2, 8), (4, 8)]
+        .into_iter()
+        .map(|(threads, shards)| {
+            // Fastest rep's rate; a leak in ANY rep poisons the flag.
+            // Mapping rows get extra reps: the 1-thread sharded-vs-
+            // unsharded ratio is the report's sharding-cost headline, and
+            // on a shared host each row needs several chances to land in
+            // an unthrottled scheduling window.
+            let mut best: Option<Rate> = None;
+            let mut pool_balanced = true;
+            for _ in 0..MAPPING_REPS {
+                let (rate, ok) = measure_mapping(payload, count, mode, threads, shards, alloc);
+                pool_balanced &= ok;
+                if best.is_none_or(|b| rate.datagrams_per_sec > b.datagrams_per_sec) {
+                    best = Some(rate);
+                }
+            }
+            MappingRate {
+                threads,
+                shards,
+                pool_balanced,
+                rate: best.expect("reps > 0"),
+            }
+        })
+        .collect();
+    let mapping_rate = |threads: usize, shards: usize| {
+        mapping
+            .iter()
+            .find(|m| m.threads == threads && m.shards == shards)
+            .expect("grid row present")
+            .rate
+            .datagrams_per_sec
+    };
     FastpathReport {
         payload_bytes: payload,
         count,
@@ -506,6 +718,7 @@ pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) ->
         speedup_open_inline_vs_legacy: open_inline_pooled.datagrams_per_sec
             / open_legacy.datagrams_per_sec,
         speedup_open_batch_4w_vs_legacy: open_4w.datagrams_per_sec / open_legacy.datagrams_per_sec,
+        mapping_sharded_vs_unsharded_1t: mapping_rate(1, 8) / mapping_rate(1, 1),
         legacy,
         inline_pooled,
         inline_unpooled,
@@ -513,6 +726,7 @@ pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) ->
         open_legacy,
         open_inline_pooled,
         opener,
+        mapping,
     }
 }
 
@@ -531,6 +745,20 @@ mod tests {
         assert!(json.contains("\"open_inline_pooled\""));
         assert_eq!(r.sealer.len(), 6);
         assert_eq!(r.opener.len(), 3);
+        assert_eq!(r.mapping.len(), 4);
+        assert!(json.contains("\"mapping\""));
+        assert!(json.contains("\"mapping_sharded_vs_unsharded_1t\""));
+        for m in &r.mapping {
+            assert!(m.rate.datagrams_per_sec > 0.0);
+            assert!(m.pool_balanced, "mapping row leaked buffers: {m:?}");
+        }
+        assert_eq!(
+            r.mapping
+                .iter()
+                .map(|m| (m.threads, m.shards))
+                .collect::<Vec<_>>(),
+            vec![(1, 1), (1, 8), (2, 8), (4, 8)]
+        );
         assert!(r.open_legacy.datagrams_per_sec > 0.0);
         assert!(r.open_inline_pooled.datagrams_per_sec > 0.0);
         for o in &r.opener {

@@ -20,6 +20,7 @@ use fbs_obs::{CacheKind, CacheOutcome, Event, MetricsRegistry};
 use std::collections::HashSet;
 use std::fmt;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which kind of miss occurred, per the 3C model of §5.3.
@@ -129,6 +130,54 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Lock-free cache counters: the live backing store behind
+/// [`SoftCache::stats`]. Each cache owns one by default; several caches
+/// (e.g. the per-shard TFKC slices of a sharded endpoint) can be pointed
+/// at a *shared* handle via [`SoftCache::share_stats`], so a metrics
+/// scrape reads one coherent aggregate without taking any shard lock.
+///
+/// All updates use relaxed ordering: the counters are monotone event
+/// counts with no happens-before obligations, and `lookups()` is always
+/// derived as `hits + misses` from the same snapshot, so the coherence
+/// invariant `hits + misses == lookups` holds for every snapshot.
+#[derive(Debug, Default)]
+pub struct AtomicCacheStats {
+    hits: AtomicU64,
+    cold_misses: AtomicU64,
+    capacity_misses: AtomicU64,
+    collision_misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    /// A fresh zeroed handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the counters into a plain [`CacheStats`] value.
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            cold_misses: self.cold_misses.load(Ordering::Relaxed),
+            capacity_misses: self.capacity_misses.load(Ordering::Relaxed),
+            collision_misses: self.collision_misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.cold_misses.store(0, Ordering::Relaxed);
+        self.capacity_misses.store(0, Ordering::Relaxed);
+        self.collision_misses.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
 struct Slot<K, V> {
     key: K,
     value: V,
@@ -177,7 +226,10 @@ pub struct SoftCache<K, V> {
     assoc: usize,
     hash: Box<dyn Fn(&K) -> u32 + Send + Sync>,
     tick: u64,
-    stats: CacheStats,
+    /// Counters live behind an `Arc` so a metrics scraper can snapshot
+    /// them without borrowing (or locking) the cache itself; see
+    /// [`SoftCache::share_stats`].
+    stats: Arc<AtomicCacheStats>,
     /// Key history for cold-miss detection + shadow LRU for capacity vs
     /// collision discrimination. `None` disables classification (all
     /// non-cold misses count as capacity) and avoids its overhead.
@@ -208,7 +260,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
             assoc,
             hash: Box::new(hash),
             tick: 0,
-            stats: CacheStats::default(),
+            stats: Arc::new(AtomicCacheStats::new()),
             classifier: None,
             obs: None,
         }
@@ -250,14 +302,45 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
         self.assoc
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (a snapshot of the live atomic counters).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    /// Reset statistics (entries are kept).
+    /// The live counter handle. Cloning the `Arc` lets a reader snapshot
+    /// the counters later without touching the cache (lock-free scrapes).
+    pub fn stats_handle(&self) -> Arc<AtomicCacheStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Point this cache's bookkeeping at `shared`, aggregating its counts
+    /// with every other cache sharing the same handle. Counts already
+    /// accumulated locally are folded into `shared` so nothing is lost.
+    pub fn share_stats(&mut self, shared: Arc<AtomicCacheStats>) {
+        let prior = self.stats.snapshot();
+        shared.hits.fetch_add(prior.hits, Ordering::Relaxed);
+        shared
+            .cold_misses
+            .fetch_add(prior.cold_misses, Ordering::Relaxed);
+        shared
+            .capacity_misses
+            .fetch_add(prior.capacity_misses, Ordering::Relaxed);
+        shared
+            .collision_misses
+            .fetch_add(prior.collision_misses, Ordering::Relaxed);
+        shared
+            .insertions
+            .fetch_add(prior.insertions, Ordering::Relaxed);
+        shared
+            .evictions
+            .fetch_add(prior.evictions, Ordering::Relaxed);
+        self.stats = shared;
+    }
+
+    /// Reset statistics (entries are kept). Note this zeroes the shared
+    /// handle when one was installed via [`share_stats`](Self::share_stats).
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+        self.stats.reset();
     }
 
     fn set_index(&self, key: &K) -> usize {
@@ -283,11 +366,12 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
                 }
             }
         };
-        match kind {
-            MissKind::Cold => self.stats.cold_misses += 1,
-            MissKind::Capacity => self.stats.capacity_misses += 1,
-            MissKind::Collision => self.stats.collision_misses += 1,
-        }
+        let field = match kind {
+            MissKind::Cold => &self.stats.cold_misses,
+            MissKind::Capacity => &self.stats.capacity_misses,
+            MissKind::Collision => &self.stats.collision_misses,
+        };
+        field.fetch_add(1, Ordering::Relaxed);
         kind
     }
 
@@ -322,7 +406,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
             return None;
         };
         self.sets[idx][pos].last_used = tick;
-        self.stats.hits += 1;
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
         if let Some((seen, shadow)) = &mut self.classifier {
             seen.insert(key.clone());
             shadow.touch(key);
@@ -342,16 +426,29 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
         self.get_ref(key).map(f)
     }
 
+    /// Quiet lookup: no recency update, no statistics, no classifier, no
+    /// events. Used by sharded callers to re-check for a racing insert
+    /// after re-acquiring a shard lock — the original miss was already
+    /// recorded, so the re-check must not perturb the counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let idx = self.set_index(key);
+        self.sets[idx]
+            .iter()
+            .find(|s| &s.key == key)
+            .map(|s| &s.value)
+    }
+
     /// Detailed lookup for tests/experiments: like [`get`](Self::get) but
     /// reports what happened.
     pub fn probe(&mut self, key: &K) -> (Option<V>, Lookup) {
-        let before = self.stats;
+        let before = self.stats.snapshot();
         let v = self.get(key);
+        let after = self.stats.snapshot();
         let result = if v.is_some() {
             Lookup::Hit
-        } else if self.stats.cold_misses > before.cold_misses {
+        } else if after.cold_misses > before.cold_misses {
             Lookup::Miss(MissKind::Cold)
-        } else if self.stats.collision_misses > before.collision_misses {
+        } else if after.collision_misses > before.collision_misses {
             Lookup::Miss(MissKind::Collision)
         } else {
             Lookup::Miss(MissKind::Capacity)
@@ -366,7 +463,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
         let tick = self.tick;
         let idx = self.set_index(&key);
         let set = &mut self.sets[idx];
-        self.stats.insertions += 1;
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
         let evicted = 'insert: {
             if let Some(slot) = set.iter_mut().find(|s| s.key == key) {
                 slot.value = value;
@@ -394,7 +491,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
                 value,
                 last_used: tick,
             });
-            self.stats.evictions += 1;
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             Some((old.key, old.value))
         };
         if let Some((reg, kind)) = &self.obs {
@@ -648,6 +745,39 @@ mod tests {
             .filter(|e| matches!(e.event, Event::CacheLookup { .. }))
             .count() as u64;
         assert_eq!(lookups, s.lookups());
+    }
+
+    #[test]
+    fn shared_stats_aggregate_across_caches() {
+        let shared = Arc::new(AtomicCacheStats::new());
+        let mut a = direct(4);
+        let mut b = direct(4);
+        a.get(&1); // accumulated before sharing: must fold into the handle
+        a.share_stats(Arc::clone(&shared));
+        b.share_stats(Arc::clone(&shared));
+        a.insert(1, "x".into());
+        b.insert(2, "y".into());
+        a.get(&1);
+        b.get(&2);
+        let s = shared.snapshot();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.insertions, 2);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.lookups(), 3);
+        // Both caches report the shared aggregate.
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.stats(), s);
+    }
+
+    #[test]
+    fn stats_handle_snapshots_without_borrowing_cache() {
+        let mut c = direct(4);
+        let handle = c.stats_handle();
+        c.get(&7);
+        c.insert(7, "seven".into());
+        c.get(&7);
+        assert_eq!(handle.snapshot(), c.stats());
+        assert_eq!(handle.snapshot().hits, 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod breaker;
 pub mod cache;
 pub mod clock;
+pub mod concurrent;
 pub mod error;
 pub mod fam;
 pub mod header;
@@ -41,17 +42,21 @@ pub mod sealer;
 pub mod sfl;
 
 pub use breaker::{Allow, BreakerConfig, BreakerState, CircuitBreaker, Transition};
-pub use cache::{CacheStats, MissKind, SoftCache};
+pub use cache::{AtomicCacheStats, CacheStats, MissKind, SoftCache};
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use concurrent::{KeyingService, Published, ShardedCache};
 pub use error::{FbsError, Result};
 pub use fam::{Classification, Fam, FlowPolicy, FlowRecord, FstEntry, KeyUnavailableVerdict};
 pub use header::{EncAlgorithm, HeaderView, SecurityFlowHeader};
 pub use keying::{derive_flow_key, FlowKey, KeyDerivation, SealedFlowKey};
-pub use mkd::{MasterKeyDaemon, PinnedDirectory, PublicValueSource, Resilience};
+pub use mkd::{AtomicMkdStats, MasterKeyDaemon, PinnedDirectory, PublicValueSource, Resilience};
 pub use park::{ParkStats, Parked, ParkingQueue};
 pub use pool::{BufferPool, PoolStats};
 pub use principal::Principal;
-pub use protocol::{Datagram, FbsConfig, FbsEndpoint, ProtectedDatagram};
+pub use protocol::{
+    flow_key_hash, AtomicEndpointStats, Datagram, FbsConfig, FbsEndpoint, FlowCodec, FlowKeyId,
+    ProtectedDatagram,
+};
 pub use replay::FreshnessWindow;
 pub use retry::{RetryOutcome, RetryPolicy};
 pub use sealer::{OpenJob, ParallelSealer, SealJob, SealerStats};

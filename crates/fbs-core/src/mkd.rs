@@ -111,6 +111,61 @@ impl MkdStats {
     }
 }
 
+/// Lock-free published view of [`MkdStats`]: the owner re-publishes the
+/// whole struct after each upcall (under whatever lock guards the MKD),
+/// and readers snapshot it without taking that lock. Because every field
+/// is stored in one publish pass and the struct is only ever written by
+/// the lock holder, a snapshot is at worst one upcall stale — never torn
+/// in a way that breaks monotonicity of any individual counter.
+#[derive(Debug, Default)]
+pub struct AtomicMkdStats {
+    upcalls: std::sync::atomic::AtomicU64,
+    failures: std::sync::atomic::AtomicU64,
+    retries: std::sync::atomic::AtomicU64,
+    retry_exhausted: std::sync::atomic::AtomicU64,
+    breaker_opens: std::sync::atomic::AtomicU64,
+    breaker_half_opens: std::sync::atomic::AtomicU64,
+    breaker_closes: std::sync::atomic::AtomicU64,
+    breaker_fast_fails: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicMkdStats {
+    /// A fresh zeroed handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-publish `stats` (called by the MKD's owner after each upcall).
+    pub fn publish(&self, stats: &MkdStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.upcalls.store(stats.upcalls, Relaxed);
+        self.failures.store(stats.failures, Relaxed);
+        self.retries.store(stats.retries, Relaxed);
+        self.retry_exhausted.store(stats.retry_exhausted, Relaxed);
+        self.breaker_opens.store(stats.breaker_opens, Relaxed);
+        self.breaker_half_opens
+            .store(stats.breaker_half_opens, Relaxed);
+        self.breaker_closes.store(stats.breaker_closes, Relaxed);
+        self.breaker_fast_fails
+            .store(stats.breaker_fast_fails, Relaxed);
+    }
+
+    /// Read the most recently published counters.
+    pub fn snapshot(&self) -> MkdStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        MkdStats {
+            upcalls: self.upcalls.load(Relaxed),
+            failures: self.failures.load(Relaxed),
+            retries: self.retries.load(Relaxed),
+            retry_exhausted: self.retry_exhausted.load(Relaxed),
+            breaker_opens: self.breaker_opens.load(Relaxed),
+            breaker_half_opens: self.breaker_half_opens.load(Relaxed),
+            breaker_closes: self.breaker_closes.load(Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Relaxed),
+        }
+    }
+}
+
 /// Fault-tolerance wrapping for the upcall path: a retry schedule
 /// around the public-value fetch plus a per-peer circuit breaker, both
 /// driven by a deterministic clock.

@@ -118,10 +118,25 @@ impl<T> ParkingQueue<T> {
     /// Drop every entry whose deadline has passed, returning how many
     /// expired.
     pub fn expire(&mut self, now_us: u64) -> u64 {
-        let before = self.items.len();
-        self.items.retain(|e| e.deadline_us > now_us);
-        let expired = (before - self.items.len()) as u64;
-        self.stats.expired += expired;
+        self.take_expired(now_us).len() as u64
+    }
+
+    /// Remove every entry whose deadline has passed and hand the entries
+    /// back (oldest first) so the caller can reclaim what they hold —
+    /// pooled payload buffers in particular must go back to their
+    /// [`BufferPool`](crate::BufferPool) instead of being dropped.
+    pub fn take_expired(&mut self, now_us: u64) -> Vec<Parked<T>> {
+        let mut kept = VecDeque::with_capacity(self.items.len());
+        let mut expired = Vec::new();
+        for e in self.items.drain(..) {
+            if e.deadline_us > now_us {
+                kept.push_back(e);
+            } else {
+                expired.push(e);
+            }
+        }
+        self.items = kept;
+        self.stats.expired += expired.len() as u64;
         expired
     }
 
@@ -208,6 +223,22 @@ mod tests {
         // Re-parking at a later time must not extend the lifetime.
         assert_eq!(q.expire(1_200), 1);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn take_expired_returns_entries_and_counts() {
+        let mut q: ParkingQueue<Vec<u8>> = ParkingQueue::new(8, 1_000);
+        q.park(vec![1], 0).unwrap(); // deadline 1_000
+        q.park(vec![2], 100).unwrap(); // deadline 1_100
+        q.park(vec![3], 900).unwrap(); // deadline 1_900
+        let expired = q.take_expired(1_100);
+        assert_eq!(
+            expired.iter().map(|e| e.item.clone()).collect::<Vec<_>>(),
+            vec![vec![1], vec![2]],
+            "oldest first, entries handed back for buffer reclamation"
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.stats().expired, 2);
     }
 
     #[test]

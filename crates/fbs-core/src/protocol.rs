@@ -33,6 +33,7 @@ use fbs_crypto::rng::Lcg64;
 use fbs_crypto::{crc32, mac_eq, MacAlgorithm};
 use fbs_obs::{CacheKind, Counter, Event, MetricsRegistry, MetricsSnapshot};
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An unprotected datagram as handed to FBS by the upper layer: header
@@ -194,11 +195,13 @@ impl EndpointStats {
 
 /// Cache key for flow keys: (sfl, remote principal, local principal). The
 /// local principal is included for multi-homed principals (§5.3 fn. 7).
-type FlowKeyId = (u64, Principal, Principal);
+pub type FlowKeyId = (u64, Principal, Principal);
 
-fn flow_key_hash(id: &FlowKeyId) -> u32 {
-    // The §5.3-recommended randomising hash over the concatenated id,
-    // streamed so each cache probe allocates nothing.
+/// The §5.3-recommended randomising hash over the concatenated id,
+/// streamed so each cache probe allocates nothing. Public so sharded
+/// endpoints can build their own TFKC/RFKC slices with the exact index
+/// function the monolithic endpoint uses.
+pub fn flow_key_hash(id: &FlowKeyId) -> u32 {
     let mut h = Crc32::new();
     h.update(&id.0.to_be_bytes());
     h.update(id.1.as_bytes());
@@ -206,59 +209,88 @@ fn flow_key_hash(id: &FlowKeyId) -> u32 {
     h.finalize()
 }
 
-/// One principal's FBS protocol state.
-pub struct FbsEndpoint {
+/// Lock-free endpoint counters backing [`FlowCodec::stats`]. Multiple
+/// codecs (the per-shard slices of a sharded endpoint) can share one
+/// handle via [`FlowCodec::share_stats`], so a scrape reads a single
+/// coherent aggregate without taking any shard lock. All updates are
+/// relaxed: these are independent monotone event counts.
+#[derive(Debug, Default)]
+pub struct AtomicEndpointStats {
+    sends: AtomicU64,
+    receives: AtomicU64,
+    replay_drops: AtomicU64,
+    mac_drops: AtomicU64,
+    malformed_drops: AtomicU64,
+    encryptions: AtomicU64,
+    decryptions: AtomicU64,
+}
+
+impl AtomicEndpointStats {
+    /// A fresh zeroed handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the counters into a plain [`EndpointStats`] value.
+    pub fn snapshot(&self) -> EndpointStats {
+        EndpointStats {
+            sends: self.sends.load(Ordering::Relaxed),
+            receives: self.receives.load(Ordering::Relaxed),
+            replay_drops: self.replay_drops.load(Ordering::Relaxed),
+            mac_drops: self.mac_drops.load(Ordering::Relaxed),
+            malformed_drops: self.malformed_drops.load(Ordering::Relaxed),
+            encryptions: self.encryptions.load(Ordering::Relaxed),
+            decryptions: self.decryptions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn absorb(&self, prior: EndpointStats) {
+        self.sends.fetch_add(prior.sends, Ordering::Relaxed);
+        self.receives.fetch_add(prior.receives, Ordering::Relaxed);
+        self.replay_drops
+            .fetch_add(prior.replay_drops, Ordering::Relaxed);
+        self.mac_drops.fetch_add(prior.mac_drops, Ordering::Relaxed);
+        self.malformed_drops
+            .fetch_add(prior.malformed_drops, Ordering::Relaxed);
+        self.encryptions
+            .fetch_add(prior.encryptions, Ordering::Relaxed);
+        self.decryptions
+            .fetch_add(prior.decryptions, Ordering::Relaxed);
+    }
+}
+
+/// The key-agnostic half of an endpoint: confounder generation, header
+/// encode/seal, decrypt/MAC-verify, freshness, and the endpoint-level
+/// counters — everything `FBSSend`/`FBSReceive` do *except* key lookup
+/// and derivation. A sharded endpoint instantiates one `FlowCodec` per
+/// shard (each with its own confounder stream) around a shared keying
+/// service; the monolithic [`FbsEndpoint`] wraps exactly one.
+pub struct FlowCodec {
     local: Principal,
     cfg: FbsConfig,
     clock: Arc<dyn Clock>,
     confounder: Lcg64,
-    mkd: MasterKeyDaemon,
-    mkc: SoftCache<Principal, Vec<u8>>,
-    tfkc: SoftCache<FlowKeyId, Arc<SealedFlowKey>>,
-    rfkc: SoftCache<FlowKeyId, Arc<SealedFlowKey>>,
-    stats: EndpointStats,
-    /// Optional metrics registry; `None` (the default) keeps the datagram
-    /// path observation-free.
+    stats: Arc<AtomicEndpointStats>,
     obs: Option<Arc<MetricsRegistry>>,
 }
 
-impl FbsEndpoint {
-    /// Create an endpoint for `local`. `seed` randomises the confounder
-    /// generator (must differ across initialisations, §5.3); `mkd` carries
-    /// the principal's private value and certificate access.
-    pub fn new(
-        local: Principal,
-        cfg: FbsConfig,
-        clock: Arc<dyn Clock>,
-        seed: u64,
-        mkd: MasterKeyDaemon,
-    ) -> Self {
-        let mkc = SoftCache::new(cfg.mkc_slots, 1, |p: &Principal| crc32(p.as_bytes()));
-        let tfkc = SoftCache::new(cfg.tfkc_sets, cfg.tfkc_assoc, flow_key_hash);
-        let rfkc = SoftCache::new(cfg.rfkc_sets, cfg.rfkc_assoc, flow_key_hash);
-        FbsEndpoint {
+impl FlowCodec {
+    /// A codec for `local`. `seed` randomises the confounder generator
+    /// (must differ across codecs, §5.3 — per-shard codecs derive their
+    /// seeds from the endpoint seed and the shard index).
+    pub fn new(local: Principal, cfg: FbsConfig, clock: Arc<dyn Clock>, seed: u64) -> Self {
+        FlowCodec {
             local,
             cfg,
             clock,
             confounder: Lcg64::new(seed),
-            mkd,
-            mkc,
-            tfkc,
-            rfkc,
-            stats: EndpointStats::default(),
+            stats: Arc::new(AtomicEndpointStats::new()),
             obs: None,
         }
     }
 
-    /// Attach a metrics registry: the endpoint emits datagram-path events
-    /// (send/receive, drops, key-derivation latency) and cascades the
-    /// registry into its MKC/TFKC/RFKC so cache lookups are observed under
-    /// their own [`CacheKind`]s.
-    pub fn attach_obs(&mut self, registry: Arc<MetricsRegistry>) {
-        self.mkc.set_obs(Arc::clone(&registry), CacheKind::Mkc);
-        self.tfkc.set_obs(Arc::clone(&registry), CacheKind::Tfkc);
-        self.rfkc.set_obs(Arc::clone(&registry), CacheKind::Rfkc);
-        self.mkd.set_obs(Arc::clone(&registry));
+    /// Attach a metrics registry for datagram-path events.
+    pub fn set_obs(&mut self, registry: Arc<MetricsRegistry>) {
         self.obs = Some(registry);
     }
 
@@ -272,160 +304,50 @@ impl FbsEndpoint {
         &self.cfg
     }
 
-    /// Pair master key via MKC, upcalling the MKD on a miss (Fig. 6).
-    fn master_key(&mut self, peer: &Principal) -> Result<Vec<u8>> {
-        if let Some(k) = self.mkc.get(peer) {
-            return Ok(k);
-        }
-        if let Some(reg) = &self.obs {
-            reg.incr(Counter::MkdUpcalls);
-        }
-        let k = match self.mkd.master_key(peer) {
-            Ok(k) => k,
-            Err(e) => {
-                if let Some(reg) = &self.obs {
-                    reg.incr(Counter::MkdFailures);
-                }
-                return Err(e);
+    /// Shared clock handle.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Endpoint counters (a snapshot of the live atomic counters).
+    pub fn stats(&self) -> EndpointStats {
+        self.stats.snapshot()
+    }
+
+    /// The live counter handle, for lock-free scrapes.
+    pub fn stats_handle(&self) -> Arc<AtomicEndpointStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Point this codec's counters at `shared`, folding in anything
+    /// accumulated so far — how per-shard codecs aggregate into one
+    /// endpoint-wide handle.
+    pub fn share_stats(&mut self, shared: Arc<AtomicEndpointStats>) {
+        shared.absorb(self.stats.snapshot());
+        self.stats = shared;
+    }
+
+    /// R3-4 of Fig. 4: reject a stale or future timestamp, counting the
+    /// drop. Callers run this *before* key lookup so the replay verdict
+    /// (and its stats) never depends on key availability.
+    pub fn check_freshness(&self, timestamp: u32) -> Result<()> {
+        let now_minutes = self.clock.now_minutes();
+        if let Err(e) = self.cfg.freshness.check(timestamp, now_minutes) {
+            self.stats.replay_drops.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = &self.obs {
+                reg.record(Event::ReplayDrop {
+                    datagram_minutes: timestamp,
+                    now_minutes,
+                });
             }
-        };
-        self.mkc.insert(peer.clone(), k.clone());
-        Ok(k)
-    }
-
-    /// Transmit-side flow key via TFKC (Fig. 6, replacing Fig. 4 line S3).
-    /// A hit is an `Arc` refcount bump — no key bytes are copied and the
-    /// cached DES key schedule rides along.
-    fn flow_key_tx(&mut self, sfl: u64, destination: &Principal) -> Result<Arc<SealedFlowKey>> {
-        let id = (sfl, destination.clone(), self.local.clone());
-        if let Some(k) = self.tfkc.get_ref(&id) {
-            return Ok(Arc::clone(k));
+            return Err(e);
         }
-        let t0 = self.obs.as_ref().map(|_| self.clock.now_micros());
-        let master = self.master_key(destination)?;
-        let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
-            self.cfg.key_derivation,
-            sfl,
-            &master,
-            &self.local,
-            destination,
-        )));
-        self.record_derivation(t0);
-        self.tfkc.insert(id, Arc::clone(&k));
-        Ok(k)
+        Ok(())
     }
 
-    /// Receive-side flow key via RFKC (Fig. 4 lines R5-6).
-    fn flow_key_rx(&mut self, sfl: u64, source: &Principal) -> Result<Arc<SealedFlowKey>> {
-        let id = (sfl, source.clone(), self.local.clone());
-        if let Some(k) = self.rfkc.get_ref(&id) {
-            return Ok(Arc::clone(k));
-        }
-        let t0 = self.obs.as_ref().map(|_| self.clock.now_micros());
-        let master = self.master_key(source)?;
-        let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
-            self.cfg.key_derivation,
-            sfl,
-            &master,
-            source,
-            &self.local,
-        )));
-        self.record_derivation(t0);
-        self.rfkc.insert(id, Arc::clone(&k));
-        Ok(k)
-    }
-
-    /// Record a zero-message key derivation that started at `t0` (micros,
-    /// `None` when observation is off). Covers the whole miss path: MKC
-    /// probe, possible MKD upcall, and the hash.
-    fn record_derivation(&self, t0: Option<u64>) {
-        if let (Some(reg), Some(t0)) = (&self.obs, t0) {
-            reg.record(Event::KeyDerivation {
-                micros: self.clock.now_micros().saturating_sub(t0),
-            });
-        }
-    }
-
-    /// Derive a transmit flow key WITHOUT consulting the TFKC. Used by the
-    /// combined FST/TFKC optimisation of §7.2, where the caller keeps the
-    /// flow key in its own merged table and only needs the derivation
-    /// (MKC → MKD upcall → hash). The returned key carries its expanded
-    /// DES schedule, so the caller's table amortises subkey expansion too.
-    pub fn derive_flow_key_tx(
-        &mut self,
-        sfl: u64,
-        destination: &Principal,
-    ) -> Result<Arc<SealedFlowKey>> {
-        let t0 = self.obs.as_ref().map(|_| self.clock.now_micros());
-        let master = self.master_key(destination)?;
-        let k = derive_flow_key(
-            self.cfg.key_derivation,
-            sfl,
-            &master,
-            &self.local,
-            destination,
-        );
-        self.record_derivation(t0);
-        Ok(Arc::new(SealedFlowKey::seal(k)))
-    }
-
-    /// `FBSSend` with a caller-provided flow key (the combined-table fast
-    /// path of §7.2). Performs S4-S10 of Fig. 4; the caller did S1-S3.
-    ///
-    /// This is a structured-view wrapper over the one seal implementation
-    /// ([`Self::seal_with_key_into`] → `seal_core`): the wire payload is
-    /// sealed exactly as the zero-copy path would, then re-parsed into a
-    /// [`ProtectedDatagram`]. Callers on the hot path should use
-    /// [`Self::seal_into`]/[`Self::seal_with_key_into`] directly.
-    pub fn send_with_key(
-        &mut self,
-        sfl: u64,
-        key: &SealedFlowKey,
-        datagram: Datagram,
-        secret: bool,
-    ) -> Result<ProtectedDatagram> {
-        debug_assert_eq!(
-            datagram.source, self.local,
-            "sending from a foreign principal"
-        );
-        let mut wire = Vec::new();
-        self.seal_with_key_into(sfl, key, &datagram.body, secret, &mut wire)?;
-        ProtectedDatagram::decode_payload(datagram.source, datagram.destination, &wire)
-    }
-
-    /// `FBSSend` (Fig. 4): protect `datagram` under flow `sfl` (obtained
-    /// from a FAM classification). `secret` requests confidentiality.
-    pub fn send(
-        &mut self,
-        sfl: u64,
-        datagram: Datagram,
-        secret: bool,
-    ) -> Result<ProtectedDatagram> {
-        // S2-3: flow key (cached per Fig. 6).
-        let key = self.flow_key_tx(sfl, &datagram.destination)?;
-        self.send_with_key(sfl, &key, datagram, secret)
-    }
-
-    /// `FBSSend` straight into a caller-supplied buffer: encode, pad,
-    /// encrypt, and MAC into `out` with no per-datagram heap allocation.
-    /// `out` ends up holding exactly the wire payload that
-    /// [`ProtectedDatagram::encode_payload`] would have produced —
-    /// byte-for-byte, including the confounder sequence (both paths draw
-    /// from the same per-endpoint generator).
-    pub fn seal_into(
-        &mut self,
-        sfl: u64,
-        destination: &Principal,
-        body: &[u8],
-        secret: bool,
-        out: &mut Vec<u8>,
-    ) -> Result<()> {
-        let key = self.flow_key_tx(sfl, destination)?;
-        self.seal_with_key_into(sfl, &key, body, secret, out)
-    }
-
-    /// [`Self::seal_into`] with a caller-provided flow key (the §7.2
-    /// combined-table fast path, zero-copy edition).
+    /// Seal `body` under `key` into `out`: encode, pad, encrypt, MAC —
+    /// no per-datagram heap allocation. Byte-identical to the monolithic
+    /// endpoint's output for the same confounder stream.
     pub fn seal_with_key_into(
         &mut self,
         sfl: u64,
@@ -484,13 +406,64 @@ impl FbsEndpoint {
         Ok(())
     }
 
-    /// Shared send-side accounting (stats + observation), identical for the
-    /// legacy and zero-copy paths.
-    fn note_sealed(&mut self, enc_alg: EncAlgorithm, plaintext_bytes: u64) {
-        if enc_alg.is_secret() {
-            self.stats.encryptions += 1;
+    /// Recover and verify a wire body under a caller-provided flow key:
+    /// R7-11 of Fig. 4 (decrypt before MAC, see module docs) — the
+    /// receive half of the §7.2 combined-table fast path. Freshness
+    /// ([`check_freshness`](Self::check_freshness)) and key lookup are
+    /// the caller's job.
+    pub fn open_with_key_into(
+        &self,
+        h: &HeaderView<'_>,
+        key: &SealedFlowKey,
+        body: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        if let Err(e) = open_body_into(h, key, body, out) {
+            self.stats.malformed_drops.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = &self.obs {
+                reg.record(Event::MalformedDrop);
+            }
+            return Err(e);
         }
-        self.stats.sends += 1;
+        if h.enc_alg.is_secret() {
+            self.stats.decryptions.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = &self.obs {
+                reg.incr(Counter::Decryptions);
+            }
+        }
+        if self.cfg.nop_crypto {
+            // Fig. 8's "FBS NOP": MAC verification returns immediately.
+            self.note_received(out.len() as u64);
+            return Ok(());
+        }
+        // R7-9: MAC verification (constant-time compare), streamed into a
+        // stack buffer.
+        let mut ctx = h.mac_alg.begin(key.as_bytes());
+        ctx.update(&h.confounder.to_be_bytes());
+        ctx.update(&h.timestamp.to_be_bytes());
+        ctx.update(out);
+        let mut expected = [0u8; MAX_MAC_SIZE];
+        let full = ctx.finalize_into(&mut expected);
+        let used = self.cfg.mac_truncate.map_or(full, |n| full.min(n));
+        if !mac_eq(&expected[..used], h.mac) {
+            self.stats.mac_drops.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = &self.obs {
+                reg.record(Event::MacDrop);
+            }
+            return Err(FbsError::BadMac);
+        }
+        self.note_received(out.len() as u64);
+        // R12: `out` holds the datagram body.
+        Ok(())
+    }
+
+    /// Shared send-side accounting (stats + observation), identical for
+    /// the legacy and zero-copy paths.
+    fn note_sealed(&self, enc_alg: EncAlgorithm, plaintext_bytes: u64) {
+        if enc_alg.is_secret() {
+            self.stats.encryptions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.sends.fetch_add(1, Ordering::Relaxed);
         if let Some(reg) = &self.obs {
             if enc_alg.is_secret() {
                 reg.incr(Counter::Encryptions);
@@ -499,6 +472,252 @@ impl FbsEndpoint {
                 bytes: plaintext_bytes,
             });
         }
+    }
+
+    fn note_received(&self, bytes: u64) {
+        self.stats.receives.fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = &self.obs {
+            reg.record(Event::Receive { bytes });
+        }
+    }
+}
+
+/// One principal's FBS protocol state.
+pub struct FbsEndpoint {
+    codec: FlowCodec,
+    seed: u64,
+    mkd: MasterKeyDaemon,
+    mkc: SoftCache<Principal, Vec<u8>>,
+    tfkc: SoftCache<FlowKeyId, Arc<SealedFlowKey>>,
+    rfkc: SoftCache<FlowKeyId, Arc<SealedFlowKey>>,
+    /// Optional metrics registry; `None` (the default) keeps the datagram
+    /// path observation-free.
+    obs: Option<Arc<MetricsRegistry>>,
+}
+
+impl FbsEndpoint {
+    /// Create an endpoint for `local`. `seed` randomises the confounder
+    /// generator (must differ across initialisations, §5.3); `mkd` carries
+    /// the principal's private value and certificate access.
+    pub fn new(
+        local: Principal,
+        cfg: FbsConfig,
+        clock: Arc<dyn Clock>,
+        seed: u64,
+        mkd: MasterKeyDaemon,
+    ) -> Self {
+        let mkc = SoftCache::new(cfg.mkc_slots, 1, |p: &Principal| crc32(p.as_bytes()));
+        let tfkc = SoftCache::new(cfg.tfkc_sets, cfg.tfkc_assoc, flow_key_hash);
+        let rfkc = SoftCache::new(cfg.rfkc_sets, cfg.rfkc_assoc, flow_key_hash);
+        FbsEndpoint {
+            codec: FlowCodec::new(local, cfg, clock, seed),
+            seed,
+            mkd,
+            mkc,
+            tfkc,
+            rfkc,
+            obs: None,
+        }
+    }
+
+    /// Attach a metrics registry: the endpoint emits datagram-path events
+    /// (send/receive, drops, key-derivation latency) and cascades the
+    /// registry into its MKC/TFKC/RFKC so cache lookups are observed under
+    /// their own [`CacheKind`]s.
+    pub fn attach_obs(&mut self, registry: Arc<MetricsRegistry>) {
+        self.mkc.set_obs(Arc::clone(&registry), CacheKind::Mkc);
+        self.tfkc.set_obs(Arc::clone(&registry), CacheKind::Tfkc);
+        self.rfkc.set_obs(Arc::clone(&registry), CacheKind::Rfkc);
+        self.mkd.set_obs(Arc::clone(&registry));
+        self.codec.set_obs(Arc::clone(&registry));
+        self.obs = Some(registry);
+    }
+
+    /// The local principal.
+    pub fn local(&self) -> &Principal {
+        self.codec.local()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FbsConfig {
+        self.codec.config()
+    }
+
+    /// Decompose the endpoint into the parts a sharded wrapper needs:
+    /// `(local, cfg, clock, seed, mkd)`. The caller builds per-shard
+    /// [`FlowCodec`]s and its own caches from these; the endpoint's own
+    /// (still-empty, if taken at construction time) soft state is
+    /// discarded — safe by definition.
+    pub fn into_keying_parts(self) -> (Principal, FbsConfig, Arc<dyn Clock>, u64, MasterKeyDaemon) {
+        let FlowCodec {
+            local, cfg, clock, ..
+        } = self.codec;
+        (local, cfg, clock, self.seed, self.mkd)
+    }
+
+    /// Pair master key via MKC, upcalling the MKD on a miss (Fig. 6).
+    fn master_key(&mut self, peer: &Principal) -> Result<Vec<u8>> {
+        if let Some(k) = self.mkc.get(peer) {
+            return Ok(k);
+        }
+        if let Some(reg) = &self.obs {
+            reg.incr(Counter::MkdUpcalls);
+        }
+        let k = match self.mkd.master_key(peer) {
+            Ok(k) => k,
+            Err(e) => {
+                if let Some(reg) = &self.obs {
+                    reg.incr(Counter::MkdFailures);
+                }
+                return Err(e);
+            }
+        };
+        self.mkc.insert(peer.clone(), k.clone());
+        Ok(k)
+    }
+
+    /// Transmit-side flow key via TFKC (Fig. 6, replacing Fig. 4 line S3).
+    /// A hit is an `Arc` refcount bump — no key bytes are copied and the
+    /// cached DES key schedule rides along.
+    fn flow_key_tx(&mut self, sfl: u64, destination: &Principal) -> Result<Arc<SealedFlowKey>> {
+        let id = (sfl, destination.clone(), self.codec.local.clone());
+        if let Some(k) = self.tfkc.get_ref(&id) {
+            return Ok(Arc::clone(k));
+        }
+        let t0 = self.obs.as_ref().map(|_| self.codec.clock.now_micros());
+        let master = self.master_key(destination)?;
+        let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
+            self.codec.cfg.key_derivation,
+            sfl,
+            &master,
+            &self.codec.local,
+            destination,
+        )));
+        self.record_derivation(t0);
+        self.tfkc.insert(id, Arc::clone(&k));
+        Ok(k)
+    }
+
+    /// Receive-side flow key via RFKC (Fig. 4 lines R5-6).
+    fn flow_key_rx(&mut self, sfl: u64, source: &Principal) -> Result<Arc<SealedFlowKey>> {
+        let id = (sfl, source.clone(), self.codec.local.clone());
+        if let Some(k) = self.rfkc.get_ref(&id) {
+            return Ok(Arc::clone(k));
+        }
+        let t0 = self.obs.as_ref().map(|_| self.codec.clock.now_micros());
+        let master = self.master_key(source)?;
+        let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
+            self.codec.cfg.key_derivation,
+            sfl,
+            &master,
+            source,
+            &self.codec.local,
+        )));
+        self.record_derivation(t0);
+        self.rfkc.insert(id, Arc::clone(&k));
+        Ok(k)
+    }
+
+    /// Record a zero-message key derivation that started at `t0` (micros,
+    /// `None` when observation is off). Covers the whole miss path: MKC
+    /// probe, possible MKD upcall, and the hash.
+    fn record_derivation(&self, t0: Option<u64>) {
+        if let (Some(reg), Some(t0)) = (&self.obs, t0) {
+            reg.record(Event::KeyDerivation {
+                micros: self.codec.clock.now_micros().saturating_sub(t0),
+            });
+        }
+    }
+
+    /// Derive a transmit flow key WITHOUT consulting the TFKC. Used by the
+    /// combined FST/TFKC optimisation of §7.2, where the caller keeps the
+    /// flow key in its own merged table and only needs the derivation
+    /// (MKC → MKD upcall → hash). The returned key carries its expanded
+    /// DES schedule, so the caller's table amortises subkey expansion too.
+    pub fn derive_flow_key_tx(
+        &mut self,
+        sfl: u64,
+        destination: &Principal,
+    ) -> Result<Arc<SealedFlowKey>> {
+        let t0 = self.obs.as_ref().map(|_| self.codec.clock.now_micros());
+        let master = self.master_key(destination)?;
+        let k = derive_flow_key(
+            self.codec.cfg.key_derivation,
+            sfl,
+            &master,
+            &self.codec.local,
+            destination,
+        );
+        self.record_derivation(t0);
+        Ok(Arc::new(SealedFlowKey::seal(k)))
+    }
+
+    /// `FBSSend` with a caller-provided flow key (the combined-table fast
+    /// path of §7.2). Performs S4-S10 of Fig. 4; the caller did S1-S3.
+    ///
+    /// This is a structured-view wrapper over the one seal implementation
+    /// ([`Self::seal_with_key_into`] → `seal_core`): the wire payload is
+    /// sealed exactly as the zero-copy path would, then re-parsed into a
+    /// [`ProtectedDatagram`]. Callers on the hot path should use
+    /// [`Self::seal_into`]/[`Self::seal_with_key_into`] directly.
+    pub fn send_with_key(
+        &mut self,
+        sfl: u64,
+        key: &SealedFlowKey,
+        datagram: Datagram,
+        secret: bool,
+    ) -> Result<ProtectedDatagram> {
+        debug_assert_eq!(
+            datagram.source, self.codec.local,
+            "sending from a foreign principal"
+        );
+        let mut wire = Vec::new();
+        self.seal_with_key_into(sfl, key, &datagram.body, secret, &mut wire)?;
+        ProtectedDatagram::decode_payload(datagram.source, datagram.destination, &wire)
+    }
+
+    /// `FBSSend` (Fig. 4): protect `datagram` under flow `sfl` (obtained
+    /// from a FAM classification). `secret` requests confidentiality.
+    pub fn send(
+        &mut self,
+        sfl: u64,
+        datagram: Datagram,
+        secret: bool,
+    ) -> Result<ProtectedDatagram> {
+        // S2-3: flow key (cached per Fig. 6).
+        let key = self.flow_key_tx(sfl, &datagram.destination)?;
+        self.send_with_key(sfl, &key, datagram, secret)
+    }
+
+    /// `FBSSend` straight into a caller-supplied buffer: encode, pad,
+    /// encrypt, and MAC into `out` with no per-datagram heap allocation.
+    /// `out` ends up holding exactly the wire payload that
+    /// [`ProtectedDatagram::encode_payload`] would have produced —
+    /// byte-for-byte, including the confounder sequence (both paths draw
+    /// from the same per-endpoint generator).
+    pub fn seal_into(
+        &mut self,
+        sfl: u64,
+        destination: &Principal,
+        body: &[u8],
+        secret: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let key = self.flow_key_tx(sfl, destination)?;
+        self.seal_with_key_into(sfl, &key, body, secret, out)
+    }
+
+    /// [`Self::seal_into`] with a caller-provided flow key (the §7.2
+    /// combined-table fast path, zero-copy edition).
+    pub fn seal_with_key_into(
+        &mut self,
+        sfl: u64,
+        key: &SealedFlowKey,
+        body: &[u8],
+        secret: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        self.codec.seal_with_key_into(sfl, key, body, secret, out)
     }
 
     /// Classify through `fam` and send: the full Fig. 4 send path (S1-S10).
@@ -513,7 +732,7 @@ impl FbsEndpoint {
         A: Clone + Eq + Hash,
         P: FlowPolicy<A>,
     {
-        let now = self.clock.now_secs();
+        let now = self.codec.clock.now_secs();
         let class = fam.classify(attrs, now, datagram.body.len() as u64);
         self.send(class.sfl, datagram, secret)
     }
@@ -545,7 +764,8 @@ impl FbsEndpoint {
     }
 
     /// The shared receive core: freshness, flow key, decrypt, MAC verify.
-    /// Statistics and events fire exactly as the legacy `receive` did.
+    /// Statistics and events fire exactly as the legacy `receive` did —
+    /// the drop accounting now lives in the [`FlowCodec`] halves.
     fn open_core(
         &mut self,
         source: &Principal,
@@ -553,69 +773,13 @@ impl FbsEndpoint {
         body: &[u8],
         out: &mut Vec<u8>,
     ) -> Result<()> {
-        // R3-4: freshness.
-        let now_minutes = self.clock.now_minutes();
-        if let Err(e) = self.cfg.freshness.check(h.timestamp, now_minutes) {
-            self.stats.replay_drops += 1;
-            if let Some(reg) = &self.obs {
-                reg.record(Event::ReplayDrop {
-                    datagram_minutes: h.timestamp,
-                    now_minutes,
-                });
-            }
-            return Err(e);
-        }
+        // R3-4: freshness, before key lookup so a stale datagram is
+        // rejected as stale even when its key is unavailable.
+        self.codec.check_freshness(h.timestamp)?;
         // R5-6: flow key from the sfl (cached).
         let key = self.flow_key_rx(h.sfl, source)?;
-        // R10-11 before R7-9 (see module docs): recover plaintext, then
-        // verify the MAC over it.
-        if let Err(e) = open_body_into(h, &key, body, out) {
-            self.stats.malformed_drops += 1;
-            if let Some(reg) = &self.obs {
-                reg.record(Event::MalformedDrop);
-            }
-            return Err(e);
-        }
-        if h.enc_alg.is_secret() {
-            self.stats.decryptions += 1;
-            if let Some(reg) = &self.obs {
-                reg.incr(Counter::Decryptions);
-            }
-        }
-        if self.cfg.nop_crypto {
-            // Fig. 8's "FBS NOP": MAC verification returns immediately.
-            self.stats.receives += 1;
-            if let Some(reg) = &self.obs {
-                reg.record(Event::Receive {
-                    bytes: out.len() as u64,
-                });
-            }
-            return Ok(());
-        }
-        // R7-9: MAC verification (constant-time compare), streamed into a
-        // stack buffer.
-        let mut ctx = h.mac_alg.begin(key.as_bytes());
-        ctx.update(&h.confounder.to_be_bytes());
-        ctx.update(&h.timestamp.to_be_bytes());
-        ctx.update(out);
-        let mut expected = [0u8; MAX_MAC_SIZE];
-        let full = ctx.finalize_into(&mut expected);
-        let used = self.cfg.mac_truncate.map_or(full, |n| full.min(n));
-        if !mac_eq(&expected[..used], h.mac) {
-            self.stats.mac_drops += 1;
-            if let Some(reg) = &self.obs {
-                reg.record(Event::MacDrop);
-            }
-            return Err(FbsError::BadMac);
-        }
-        self.stats.receives += 1;
-        if let Some(reg) = &self.obs {
-            reg.record(Event::Receive {
-                bytes: out.len() as u64,
-            });
-        }
-        // R12: `out` holds the datagram body.
-        Ok(())
+        // R7-11: decrypt, then MAC-verify over the plaintext.
+        self.codec.open_with_key_into(h, &key, body, out)
     }
 
     /// Invalidate the cached master key for `peer` (rekey: §5.2 notes the
@@ -633,7 +797,13 @@ impl FbsEndpoint {
 
     /// Endpoint counters.
     pub fn stats(&self) -> EndpointStats {
-        self.stats
+        self.codec.stats()
+    }
+
+    /// The codec half (confounder, seal/open, freshness, counters) —
+    /// read access for callers that want its lock-free stats handle.
+    pub fn codec(&self) -> &FlowCodec {
+        &self.codec
     }
 
     /// TFKC statistics.
@@ -664,7 +834,7 @@ impl FbsEndpoint {
 
     /// Shared clock handle.
     pub fn clock(&self) -> &Arc<dyn Clock> {
-        &self.clock
+        self.codec.clock()
     }
 }
 

@@ -10,10 +10,10 @@
 //! also becomes implicit, absorbed into the mapping phase."
 
 use crate::tuple::FiveTuple;
-use fbs_core::policy::FlowAttrs;
 use fbs_core::{SealedFlowKey, SflAllocator};
 use fbs_crypto::crc32;
 use fbs_obs::{CacheKind, CacheOutcome, Event, MetricsRegistry, MetricsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One merged FST/TFKC entry: flow identity + its cached key.
@@ -61,12 +61,39 @@ impl CombinedStats {
     }
 }
 
+/// Lock-free counters backing [`CombinedTable::stats`]. The per-shard
+/// tables of a sharded endpoint share one handle (via
+/// [`CombinedTable::share_stats`]) so a scrape reads one aggregate
+/// without taking any shard lock.
+#[derive(Debug, Default)]
+pub struct AtomicCombinedStats {
+    hits: AtomicU64,
+    new_flows: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl AtomicCombinedStats {
+    /// A fresh zeroed handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the counters into a plain [`CombinedStats`] value.
+    pub fn snapshot(&self) -> CombinedStats {
+        CombinedStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            new_flows: self.new_flows.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The merged flow-state/flow-key table.
 pub struct CombinedTable {
     slots: Vec<Option<Entry>>,
     threshold_secs: u64,
     alloc: SflAllocator,
-    stats: CombinedStats,
+    stats: Arc<AtomicCombinedStats>,
     obs: Option<Arc<MetricsRegistry>>,
 }
 
@@ -82,7 +109,7 @@ impl CombinedTable {
             slots: (0..size).map(|_| None).collect(),
             threshold_secs,
             alloc,
-            stats: CombinedStats::default(),
+            stats: Arc::new(AtomicCombinedStats::new()),
             obs: None,
         }
     }
@@ -93,21 +120,66 @@ impl CombinedTable {
         self.obs = Some(registry);
     }
 
+    /// Point this table's counters at `shared`, folding in anything
+    /// accumulated so far — how per-shard tables aggregate into one
+    /// endpoint-wide handle for lock-free scrapes.
+    pub fn share_stats(&mut self, shared: Arc<AtomicCombinedStats>) {
+        let prior = self.stats.snapshot();
+        shared.hits.fetch_add(prior.hits, Ordering::Relaxed);
+        shared
+            .new_flows
+            .fetch_add(prior.new_flows, Ordering::Relaxed);
+        shared
+            .collisions
+            .fetch_add(prior.collisions, Ordering::Relaxed);
+        self.stats = shared;
+    }
+
+    fn slot_of(&self, tuple: &FiveTuple) -> usize {
+        crc32(&tuple.canonical_array()) as usize % self.slots.len()
+    }
+
     /// The single-lookup send path: returns the flow's sfl and key,
     /// deriving a fresh key via `derive` only when a new flow starts.
+    ///
+    /// Callers that cannot hold their lock across `derive` (the sharded
+    /// hooks, lock-ordering rule: shard lock never held across an
+    /// MKD/directory call) use the split
+    /// [`probe`](Self::probe)/[`reserve_sfl`](Self::reserve_sfl)/
+    /// [`peek`](Self::peek)/[`insert`](Self::insert) API instead; this
+    /// wrapper composes those pieces for single-threaded callers.
     pub fn lookup<E>(
         &mut self,
         tuple: FiveTuple,
         now_secs: u64,
         derive: impl FnOnce(u64) -> Result<Arc<SealedFlowKey>, E>,
     ) -> Result<CombinedHit, E> {
-        let i = crc32(&tuple.canonical_bytes()) as usize % self.slots.len();
+        if let Some(hit) = self.probe(&tuple, now_secs) {
+            return Ok(hit);
+        }
+        let sfl = self.reserve_sfl();
+        let key = derive(sfl)?;
+        self.insert(tuple, sfl, Arc::clone(&key), now_secs);
+        Ok(CombinedHit {
+            sfl,
+            key,
+            new_flow: true,
+        })
+    }
+
+    /// Hit-or-classified-miss lookup: on an active same-tuple entry,
+    /// refresh it and return the hit; on a miss, record the miss (a
+    /// displaced live entry counts as a collision) and return `None`.
+    /// The caller then reserves an sfl, derives the key with its lock
+    /// released, and [`insert`](Self::insert)s.
+    pub fn probe(&mut self, tuple: &FiveTuple, now_secs: u64) -> Option<CombinedHit> {
+        let i = self.slot_of(tuple);
         let mut displaced_live = false;
         if let Some(e) = &mut self.slots[i] {
             let active = now_secs.saturating_sub(e.last_secs) <= self.threshold_secs;
-            if active && e.tuple == tuple {
+            if active && e.tuple == *tuple {
                 e.last_secs = now_secs;
-                self.stats.hits += 1;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 let hit = CombinedHit {
                     sfl: e.sfl,
                     key: Arc::clone(&e.key),
@@ -119,12 +191,12 @@ impl CombinedTable {
                         outcome: CacheOutcome::Hit,
                     });
                 }
-                return Ok(hit);
+                return Some(hit);
             }
             if active {
                 // A live different flow is displaced: premature termination
                 // by hash collision (harmless for security, footnote 11).
-                self.stats.collisions += 1;
+                self.stats.collisions.fetch_add(1, Ordering::Relaxed);
                 displaced_live = true;
             }
         }
@@ -138,20 +210,39 @@ impl CombinedTable {
                 },
             });
         }
-        let sfl = self.alloc.next_sfl();
-        let key = derive(sfl)?;
+        None
+    }
+
+    /// Allocate the sfl for a flow about to start. Separated from
+    /// [`insert`](Self::insert) so the sfl can be reserved before the
+    /// caller drops its lock to derive the key; an sfl burned on a
+    /// derivation error is never reused (exactly the `lookup` wrapper's
+    /// historical behaviour).
+    pub fn reserve_sfl(&mut self) -> u64 {
+        self.alloc.next_sfl()
+    }
+
+    /// Quiet re-check after re-acquiring a lock: if `tuple` now has an
+    /// active entry (a racing thread inserted while we derived), return
+    /// its sfl and key WITHOUT touching stats, events, or recency —
+    /// the racing winner already did the bookkeeping.
+    pub fn peek(&self, tuple: &FiveTuple, now_secs: u64) -> Option<(u64, Arc<SealedFlowKey>)> {
+        let i = self.slot_of(tuple);
+        let e = self.slots[i].as_ref()?;
+        let active = now_secs.saturating_sub(e.last_secs) <= self.threshold_secs;
+        (active && e.tuple == *tuple).then(|| (e.sfl, Arc::clone(&e.key)))
+    }
+
+    /// Install a freshly-derived flow, counting the new flow.
+    pub fn insert(&mut self, tuple: FiveTuple, sfl: u64, key: Arc<SealedFlowKey>, now_secs: u64) {
+        let i = self.slot_of(&tuple);
         self.slots[i] = Some(Entry {
             tuple,
             sfl,
-            key: Arc::clone(&key),
+            key,
             last_secs: now_secs,
         });
-        self.stats.new_flows += 1;
-        Ok(CombinedHit {
-            sfl,
-            key,
-            new_flow: true,
-        })
+        self.stats.new_flows.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Invalidate every entry (e.g. after a rekey of the local principal).
@@ -171,9 +262,16 @@ impl CombinedTable {
             .count()
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (a lock-free snapshot of the atomic
+    /// counters).
     pub fn stats(&self) -> CombinedStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// A handle to the underlying atomic counters, readable without
+    /// borrowing (or locking) the table itself.
+    pub fn stats_handle(&self) -> Arc<AtomicCombinedStats> {
+        Arc::clone(&self.stats)
     }
 }
 

@@ -10,6 +10,42 @@
 //! Input: between reassembly and dispatch, the FBS header is removed and
 //! verified; failures drop the datagram before it reaches the transport.
 //!
+//! # Sharded concurrent state
+//!
+//! Flow state lives in a fixed power-of-two array of [`Shard`]s, each
+//! behind its own small mutex. A shard owns everything a flow touches on
+//! the hot path — its slice of the combined FST/TFKC (or FAM + TFKC),
+//! its RFKC slice, its [`FlowCodec`] (confounder stream + seal/open),
+//! and its parking queues — so two threads working disjoint flows never
+//! contend.
+//!
+//! * **Transmit** datagrams shard by `crc32(five_tuple) % N`. Each
+//!   shard's [`SflAllocator`] is strided so every sfl it issues is
+//!   congruent to the shard index mod `N` — the same `sfl % N` function
+//!   the parallel sealer partitions by.
+//! * **Receive** datagrams shard by the wire sfl (first 8 payload
+//!   bytes) mod `N`, so a flow's RFKC entries stay in one shard.
+//! * Per-shard tables keep the FULL configured geometry (`fst_size`,
+//!   TFKC/RFKC sets × assoc): a shard only ever sees tuples hashing to
+//!   its index, so dividing the tables by `N` would collapse them.
+//!
+//! Read-mostly configuration is published as an `Arc` snapshot
+//! ([`Published`], swap-on-update): the hot path never takes a config
+//! lock, and batches are partitioned into per-shard groups once, taking
+//! one shard lock per group rather than per datagram.
+//!
+//! **Lock-ordering rules** (see also `fbs_core::concurrent`):
+//!
+//! 1. A shard lock is NEVER held across an MKD/directory call. A cache
+//!    miss reserves its sfl, drops the shard lock, derives the key via
+//!    the shared [`KeyingService`], re-locks, and quietly re-checks for
+//!    a racing insert before installing.
+//! 2. Inside the keying service the order is mkd → mkc-shard.
+//! 3. `Published` reads nest inside anything (leaf).
+//!
+//! All hook/endpoint/cache counters are lock-free atomics shared across
+//! shards, so a stats scrape never blocks a batch in flight.
+//!
 //! # Graceful degradation
 //!
 //! Keying can fail *transiently* — a certificate-directory outage, an
@@ -29,21 +65,33 @@
 //!
 //! Cryptographic verdicts (bad MAC, stale timestamp, malformed input)
 //! never degrade: they are final rejections regardless of policy.
+//!
+//! Every early exit that consumed a pool-drawn payload recycles it: the
+//! reject paths, park-queue overflow, parked-entry expiry, and the
+//! release loops all route buffers back to the caller's [`BufferPool`].
 
-use crate::combined::CombinedTable;
+use crate::combined::{AtomicCombinedStats, CombinedTable};
 use crate::policy::FiveTuplePolicy;
 use crate::tuple::FiveTuple;
 use fbs_core::breaker::BreakerState;
-use fbs_core::header::FIXED_PREFIX_LEN;
+use fbs_core::header::{HeaderView, FIXED_PREFIX_LEN};
+use fbs_core::protocol::EndpointStats;
 use fbs_core::{
-    BufferPool, Fam, FbsConfig, FbsEndpoint, FbsError, KeyUnavailableVerdict, ParkStats, Parked,
-    ParkingQueue, Principal, SflAllocator,
+    derive_flow_key, AtomicCacheStats, BufferPool, Clock, Fam, FbsConfig, FbsEndpoint, FbsError,
+    FlowCodec, FlowKeyId, KeyUnavailableVerdict, KeyingService, ParkStats, Parked, ParkingQueue,
+    Principal, Published, SealedFlowKey, SflAllocator, SoftCache,
 };
+use fbs_crypto::crc32;
 use fbs_net::ip::Proto;
 use fbs_net::{Datagram, HookOutcome, Ipv4Header, SecurityHooks};
-use fbs_obs::{Direction, Event, MetricsRegistry, MetricsSnapshot};
-use parking_lot::Mutex;
+use fbs_obs::{CacheKind, Counter, Direction, Event, MetricsRegistry, MetricsSnapshot};
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Multiplier decorrelating per-shard confounder seeds (golden-ratio
+/// constant; shard 0 keeps the endpoint's original seed).
+const SHARD_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Configuration of the IP mapping.
 #[derive(Clone, Debug)]
@@ -68,11 +116,15 @@ pub struct IpMappingConfig {
     /// unavailable (wired into the flow policy). Default fail-closed,
     /// which reproduces the seed behaviour exactly.
     pub key_unavailable: KeyUnavailableVerdict,
-    /// Parking-queue capacity per direction (park verdict only).
+    /// Parking-queue capacity per shard per direction (park verdict only).
     pub park_capacity: usize,
     /// Per-datagram parking deadline in microseconds, measured from the
     /// first park.
     pub park_deadline_us: u64,
+    /// Number of flow-state shards (rounded up to a power of two).
+    /// Fixed at construction: changing it through
+    /// [`FbsIpHooks::update_config`] has no effect.
+    pub shards: usize,
     /// The underlying FBS endpoint configuration.
     pub fbs: FbsConfig,
 }
@@ -88,6 +140,7 @@ impl Default for IpMappingConfig {
             key_unavailable: KeyUnavailableVerdict::FailClosed,
             park_capacity: 64,
             park_deadline_us: 2_000_000,
+            shards: 8,
             fbs: FbsConfig::default(),
         }
     }
@@ -135,145 +188,807 @@ impl IpHookStats {
     }
 }
 
-struct Inner {
-    endpoint: FbsEndpoint,
-    /// Textbook path: FAM with the Fig. 7 policy (endpoint TFKC handles
-    /// keys).
+/// Lock-free live counters behind [`FbsIpHooks::stats`]: updated from
+/// inside shard processing with relaxed atomics, snapshotted by readers
+/// without touching any shard lock.
+#[derive(Debug, Default)]
+struct AtomicHookStats {
+    protected: AtomicU64,
+    verified: AtomicU64,
+    output_errors: AtomicU64,
+    input_errors: AtomicU64,
+    fail_open: AtomicU64,
+    fail_closed: AtomicU64,
+}
+
+impl AtomicHookStats {
+    fn snapshot(&self) -> IpHookStats {
+        IpHookStats {
+            protected: self.protected.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            output_errors: self.output_errors.load(Ordering::Relaxed),
+            input_errors: self.input_errors.load(Ordering::Relaxed),
+            fail_open: self.fail_open.load(Ordering::Relaxed),
+            fail_closed: self.fail_closed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One shard's slice of the mutable flow state. Everything a datagram
+/// touches under its shard lock lives here; all counters inside are
+/// share-stats'd into the lock-free aggregates in [`HookShared`].
+struct Shard {
+    /// Seal/open engine with this shard's confounder stream.
+    codec: FlowCodec,
+    /// Textbook path: FAM with the Fig. 7 policy.
     fam: Fam<FiveTuple, FiveTuplePolicy>,
     /// §7.2 path: merged FST/TFKC, used when `cfg.combined`.
     combined: Option<CombinedTable>,
-    cfg: IpMappingConfig,
-    stats: IpHookStats,
+    /// Textbook-path transmit flow key cache (full geometry).
+    tfkc: SoftCache<FlowKeyId, Arc<SealedFlowKey>>,
+    /// Receive flow key cache slice for sfls ≡ shard index (mod N).
+    rfkc: SoftCache<FlowKeyId, Arc<SealedFlowKey>>,
     /// Output datagrams awaiting key derivation: (header, plaintext).
     out_park: ParkingQueue<(Ipv4Header, Vec<u8>)>,
     /// Input datagrams awaiting key derivation: (header, wire payload).
     in_park: ParkingQueue<(Ipv4Header, Vec<u8>)>,
-    obs: Option<Arc<MetricsRegistry>>,
 }
 
-impl Inner {
-    fn hook_entry(&self, dir: Direction) {
-        if let Some(reg) = &self.obs {
-            reg.record(Event::HookEntry { dir });
-        }
+/// State shared by every clone of [`FbsIpHooks`]: the shard array, the
+/// keying service, the published config snapshot, and the lock-free
+/// counter aggregates.
+struct HookShared {
+    shards: Box<[Mutex<Shard>]>,
+    keying: KeyingService,
+    local: Principal,
+    clock: Arc<dyn Clock>,
+    /// The endpoint-side config (algorithms, key derivation) the codecs
+    /// were built from; fixed at construction like the shard geometry.
+    key_derivation: fbs_core::KeyDerivation,
+    cfg: Published<IpMappingConfig>,
+    stats: AtomicHookStats,
+    endpoint_stats: Arc<fbs_core::AtomicEndpointStats>,
+    tfkc_stats: Arc<AtomicCacheStats>,
+    rfkc_stats: Arc<AtomicCacheStats>,
+    combined_stats: Arc<AtomicCombinedStats>,
+    /// Times a batch found its shard lock already held.
+    shard_contended: AtomicU64,
+    obs: Published<Option<Arc<MetricsRegistry>>>,
+}
+
+type ShardGuard<'a> = MutexGuard<'a, Shard>;
+
+impl HookShared {
+    fn obs_handle(&self) -> Option<Arc<MetricsRegistry>> {
+        (*self.obs.load()).clone()
     }
 
-    fn hook_exit(&self, dir: Direction, ok: bool) {
-        if let Some(reg) = &self.obs {
-            reg.record(Event::HookExit { dir, ok });
+    /// Lock shard `si`, counting (and reporting) contention when the
+    /// uncontended fast path fails.
+    fn lock_shard(&self, si: usize, obs: &Option<Arc<MetricsRegistry>>) -> ShardGuard<'_> {
+        match self.shards[si].try_lock() {
+            Some(g) => g,
+            None => {
+                self.shard_contended.fetch_add(1, Ordering::Relaxed);
+                if let Some(reg) = obs {
+                    reg.incr(Counter::ShardContended);
+                }
+                self.shards[si].lock()
+            }
         }
     }
+}
 
-    fn record(&self, event: Event) {
-        if let Some(reg) = &self.obs {
-            reg.record(event);
-        }
+fn record(obs: &Option<Arc<MetricsRegistry>>, event: Event) {
+    if let Some(reg) = obs {
+        reg.record(event);
     }
+}
 
-    /// The policy's key-unavailable verdict, downgraded to fail-closed
-    /// when fail-open would leak traffic configured for confidentiality.
-    fn degrade_verdict(&self) -> KeyUnavailableVerdict {
-        let v = self.fam.policy().key_unavailable;
-        if self.cfg.encrypt && v == KeyUnavailableVerdict::FailOpen {
-            KeyUnavailableVerdict::FailClosed
-        } else {
-            v
-        }
+/// The policy's key-unavailable verdict, downgraded to fail-closed when
+/// fail-open would leak traffic configured for confidentiality.
+fn degrade_verdict(cfg: &IpMappingConfig) -> KeyUnavailableVerdict {
+    if cfg.encrypt && cfg.key_unavailable == KeyUnavailableVerdict::FailOpen {
+        KeyUnavailableVerdict::FailClosed
+    } else {
+        cfg.key_unavailable
     }
+}
+
+/// The outgoing datagram's flow identity. `None` = a transport datagram
+/// too short for 5-tuple extraction (rejected later as malformed).
+fn tuple_for(header: &Ipv4Header, payload: &[u8]) -> Option<FiveTuple> {
+    let is_transport = matches!(Proto::from_number(header.proto), Proto::Mrt | Proto::Udp);
+    if is_transport {
+        FiveTuple::extract(header.proto, header.src, header.dst, payload)
+    } else {
+        // Footnote-10 extension: raw IP forms host-level flows — the
+        // "5-tuple" degenerates to (proto, saddr, daddr).
+        Some(FiveTuple {
+            proto: header.proto,
+            saddr: header.src,
+            sport: 0,
+            daddr: header.dst,
+            dport: 0,
+        })
+    }
+}
+
+/// Transmit shard: derived from `crc32(tuple)` like the tables' slot
+/// indices, but from the HIGH bits — the tables reduce the crc mod their
+/// size (low bits), and taking the shard from the same low bits would
+/// leave each shard's tuples able to reach only `1/N` of its full-size
+/// table. Extraction failures go to shard 0; they only touch shared
+/// counters on their reject path.
+fn tx_shard(n: usize, tuple: Option<&FiveTuple>) -> usize {
+    tuple.map_or(0, |t| {
+        (crc32(&t.canonical_array()) >> 16) as usize & (n - 1)
+    })
+}
+
+/// Receive shard: the wire sfl (first 8 payload bytes, big-endian) mod
+/// the shard count — the transmit side's strided allocators guarantee
+/// `sfl % N` IS the owning shard there, and any consistent partition
+/// works here. Short payloads go to shard 0 and fail header parsing.
+fn rx_shard(n: usize, payload: &[u8]) -> usize {
+    if payload.len() >= 8 {
+        let sfl = u64::from_be_bytes(payload[..8].try_into().expect("8 bytes"));
+        (sfl as usize) & (n - 1)
+    } else {
+        0
+    }
+}
+
+/// Zero-message key derivation via the shared keying service. Runs with
+/// NO shard lock held (lock-ordering rule 1); `peer` is the remote
+/// principal, `(src, dst)` the derivation direction.
+fn derive_key(
+    shared: &HookShared,
+    sfl: u64,
+    peer: &Principal,
+    src: &Principal,
+    dst: &Principal,
+    obs: &Option<Arc<MetricsRegistry>>,
+) -> Result<Arc<SealedFlowKey>, FbsError> {
+    let t0 = obs.as_ref().map(|_| shared.clock.now_micros());
+    let master = shared.keying.master_key(peer)?;
+    let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
+        shared.key_derivation,
+        sfl,
+        &master,
+        src,
+        dst,
+    )));
+    if let (Some(reg), Some(t0)) = (obs.as_ref(), t0) {
+        reg.record(Event::KeyDerivation {
+            micros: shared.clock.now_micros().saturating_sub(t0),
+        });
+    }
+    Ok(k)
+}
+
+/// Resolve the transmit (sfl, key) for `tuple`. A cache hit completes
+/// under the held guard; a miss reserves the sfl, drops the guard for
+/// the derivation, re-locks, and quietly re-checks for a racing insert
+/// (the loser's reserved sfl burns, exactly like a derivation error).
+#[allow(clippy::too_many_arguments)]
+fn resolve_tx_key<'a>(
+    shared: &'a HookShared,
+    si: usize,
+    mut guard: ShardGuard<'a>,
+    tuple: &FiveTuple,
+    destination: &Principal,
+    now_secs: u64,
+    combined: bool,
+    payload_len: u64,
+    obs: &Option<Arc<MetricsRegistry>>,
+) -> (ShardGuard<'a>, Result<(u64, Arc<SealedFlowKey>), FbsError>) {
+    let sfl = if combined {
+        let table = guard
+            .combined
+            .as_mut()
+            .expect("combined path requires table");
+        if let Some(hit) = table.probe(tuple, now_secs) {
+            return (guard, Ok((hit.sfl, hit.key)));
+        }
+        table.reserve_sfl()
+    } else {
+        let class = guard.fam.classify(*tuple, now_secs, payload_len);
+        let id: FlowKeyId = (class.sfl, shared.local.clone(), destination.clone());
+        if let Some(k) = guard.tfkc.get_ref(&id) {
+            let k = Arc::clone(k);
+            return (guard, Ok((class.sfl, k)));
+        }
+        class.sfl
+    };
+    // Rule 1: never hold a shard lock across an MKD/directory call.
+    drop(guard);
+    let derived = derive_key(shared, sfl, destination, &shared.local, destination, obs);
+    let mut guard = shared.lock_shard(si, obs);
+    let res = match derived {
+        Ok(key) => {
+            if combined {
+                let table = guard
+                    .combined
+                    .as_mut()
+                    .expect("combined path requires table");
+                match table.peek(tuple, now_secs) {
+                    // A racing thread installed this flow while we
+                    // derived: use its entry, burn our sfl.
+                    Some((sfl2, key2)) => Ok((sfl2, key2)),
+                    None => {
+                        table.insert(*tuple, sfl, Arc::clone(&key), now_secs);
+                        Ok((sfl, key))
+                    }
+                }
+            } else {
+                let id: FlowKeyId = (sfl, shared.local.clone(), destination.clone());
+                let key = match guard.tfkc.peek(&id) {
+                    Some(k) => Arc::clone(k),
+                    None => {
+                        guard.tfkc.insert(id, Arc::clone(&key));
+                        key
+                    }
+                };
+                Ok((sfl, key))
+            }
+        }
+        Err(e) => Err(e),
+    };
+    (guard, res)
+}
+
+/// The §7.2 protect path, with no verdict handling: classify the datagram
+/// into a flow, derive/look up its key, and seal the borrowed plaintext
+/// into a pool-drawn wire payload (fixing up `header`'s length on
+/// success). The caller keeps ownership of the original bytes, so no
+/// snapshot copy is ever needed for park/fail-open fallbacks.
+#[allow(clippy::too_many_arguments)]
+fn protect<'a>(
+    shared: &'a HookShared,
+    si: usize,
+    guard: ShardGuard<'a>,
+    header: &mut Ipv4Header,
+    payload: &[u8],
+    tuple: Option<FiveTuple>,
+    pool: &mut BufferPool,
+    now_us: u64,
+    cfg: &IpMappingConfig,
+    obs: &Option<Arc<MetricsRegistry>>,
+) -> (ShardGuard<'a>, Result<Vec<u8>, FbsError>) {
+    let Some(tuple) = tuple else {
+        return (
+            guard,
+            Err(FbsError::MalformedHeader("payload too short for 5-tuple")),
+        );
+    };
+    let destination = Principal::from_ipv4(header.dst);
+    let now_secs = now_us / 1_000_000;
+    let (mut guard, resolved) = resolve_tx_key(
+        shared,
+        si,
+        guard,
+        &tuple,
+        &destination,
+        now_secs,
+        cfg.combined,
+        payload.len() as u64,
+        obs,
+    );
+    match resolved {
+        Ok((sfl, key)) => {
+            let mut out = pool.take();
+            match guard
+                .codec
+                .seal_with_key_into(sfl, &key, payload, cfg.encrypt, &mut out)
+            {
+                Ok(()) => {
+                    let delta = out.len() as isize - payload.len() as isize;
+                    header.grow_payload(delta);
+                    (guard, Ok(out))
+                }
+                Err(e) => {
+                    pool.put(out);
+                    (guard, Err(e))
+                }
+            }
+        }
+        Err(e) => (guard, Err(e)),
+    }
+}
+
+/// Output verdict wrapper: protect, and on a *key-unavailable* failure
+/// apply the policy's degradation verdict.
+#[allow(clippy::too_many_arguments)]
+fn output_item<'a>(
+    shared: &'a HookShared,
+    si: usize,
+    guard: ShardGuard<'a>,
+    header: &mut Ipv4Header,
+    payload: Vec<u8>,
+    tuple: Option<FiveTuple>,
+    pool: &mut BufferPool,
+    now_us: u64,
+    cfg: &IpMappingConfig,
+    obs: &Option<Arc<MetricsRegistry>>,
+) -> (ShardGuard<'a>, HookOutcome) {
+    record(
+        obs,
+        Event::HookEntry {
+            dir: Direction::Output,
+        },
+    );
+    let verdict = degrade_verdict(cfg);
+    // protect borrows the payload, so the original bytes are still owned
+    // here for the fall-back verdicts — no snapshot copy needed.
+    let (mut guard, res) = protect(
+        shared, si, guard, header, &payload, tuple, pool, now_us, cfg, obs,
+    );
+    let outcome = match res {
+        Ok(out) => {
+            pool.put(payload);
+            shared.stats.protected.fetch_add(1, Ordering::Relaxed);
+            record(
+                obs,
+                Event::HookExit {
+                    dir: Direction::Output,
+                    ok: true,
+                },
+            );
+            HookOutcome::Pass(out)
+        }
+        Err(e) if e.is_key_unavailable() && verdict != KeyUnavailableVerdict::FailClosed => {
+            match verdict {
+                KeyUnavailableVerdict::FailOpen => {
+                    shared.stats.fail_open.fetch_add(1, Ordering::Relaxed);
+                    record(
+                        obs,
+                        Event::Degraded {
+                            dir: Direction::Output,
+                            open: true,
+                        },
+                    );
+                    record(
+                        obs,
+                        Event::HookExit {
+                            dir: Direction::Output,
+                            ok: true,
+                        },
+                    );
+                    shared.stats.protected.fetch_add(1, Ordering::Relaxed); // it did exit the hook ok
+                    HookOutcome::Pass(payload)
+                }
+                KeyUnavailableVerdict::Park => {
+                    match guard.out_park.park((header.clone(), payload), now_us) {
+                        Ok(()) => {
+                            let queued = guard.out_park.len() as u32;
+                            record(obs, Event::Parked { queued });
+                            HookOutcome::Park
+                        }
+                        Err((_, payload)) => {
+                            // Overflow hands the datagram back: recycle its
+                            // pooled payload instead of leaking it.
+                            pool.put(payload);
+                            record(obs, Event::ParkOverflow);
+                            shared.stats.output_errors.fetch_add(1, Ordering::Relaxed);
+                            record(
+                                obs,
+                                Event::HookExit {
+                                    dir: Direction::Output,
+                                    ok: false,
+                                },
+                            );
+                            HookOutcome::Reject(format!("park queue full: {e}"))
+                        }
+                    }
+                }
+                KeyUnavailableVerdict::FailClosed => unreachable!("excluded by guard"),
+            }
+        }
+        Err(e) => {
+            pool.put(payload);
+            if e.is_key_unavailable() {
+                shared.stats.fail_closed.fetch_add(1, Ordering::Relaxed);
+                record(
+                    obs,
+                    Event::Degraded {
+                        dir: Direction::Output,
+                        open: false,
+                    },
+                );
+            }
+            shared.stats.output_errors.fetch_add(1, Ordering::Relaxed);
+            record(
+                obs,
+                Event::HookExit {
+                    dir: Direction::Output,
+                    ok: false,
+                },
+            );
+            HookOutcome::Reject(e.to_string())
+        }
+    };
+    (guard, outcome)
+}
+
+/// The verify path, with no verdict handling: parse the FBS framing,
+/// resolve the receive flow key (dropping the guard for derivation,
+/// rule 1), and verify/decrypt the borrowed wire payload into a
+/// pool-drawn plaintext buffer (fixing up `header`'s length on success).
+#[allow(clippy::too_many_arguments)]
+fn verify<'a>(
+    shared: &'a HookShared,
+    si: usize,
+    mut guard: ShardGuard<'a>,
+    header: &mut Ipv4Header,
+    payload: &[u8],
+    pool: &mut BufferPool,
+    obs: &Option<Arc<MetricsRegistry>>,
+) -> (ShardGuard<'a>, Result<Vec<u8>, FbsError>) {
+    let source = Principal::from_ipv4(header.src);
+    let (view, used) = match HeaderView::parse(payload) {
+        Ok(v) => v,
+        Err(e) => return (guard, Err(e)),
+    };
+    // R3-4: freshness before key lookup, so a stale datagram is rejected
+    // as stale even when its key is unavailable.
+    if let Err(e) = guard.codec.check_freshness(view.timestamp) {
+        return (guard, Err(e));
+    }
+    let id: FlowKeyId = (view.sfl, source.clone(), shared.local.clone());
+    let resolved = if let Some(k) = guard.rfkc.get_ref(&id) {
+        Ok(Arc::clone(k))
+    } else {
+        drop(guard);
+        let derived = derive_key(shared, view.sfl, &source, &source, &shared.local, obs);
+        guard = shared.lock_shard(si, obs);
+        match derived {
+            Ok(key) => Ok(match guard.rfkc.peek(&id) {
+                Some(k) => Arc::clone(k),
+                None => {
+                    guard.rfkc.insert(id, Arc::clone(&key));
+                    key
+                }
+            }),
+            Err(e) => Err(e),
+        }
+    };
+    match resolved {
+        Ok(key) => {
+            let mut body = pool.take();
+            match guard
+                .codec
+                .open_with_key_into(&view, &key, &payload[used..], &mut body)
+            {
+                Ok(()) => {
+                    let delta = payload.len() as isize - body.len() as isize;
+                    header.grow_payload(-delta);
+                    (guard, Ok(body))
+                }
+                Err(e) => {
+                    pool.put(body);
+                    (guard, Err(e))
+                }
+            }
+        }
+        Err(e) => (guard, Err(e)),
+    }
+}
+
+/// Input verdict wrapper. Degradation applies narrowly here:
+///
+/// * an **unframed** datagram (no FBS header parses) is admitted as-is
+///   under fail-open — the counterpart of a fail-open sender;
+/// * a **framed** datagram that fails with key-unavailable may be
+///   parked; fail-open never admits it (it cannot be verified, and under
+///   encryption it is unreadable anyway);
+/// * cryptographic failures (MAC, freshness) always reject.
+#[allow(clippy::too_many_arguments)]
+fn input_item<'a>(
+    shared: &'a HookShared,
+    si: usize,
+    guard: ShardGuard<'a>,
+    header: &mut Ipv4Header,
+    payload: Vec<u8>,
+    pool: &mut BufferPool,
+    now_us: u64,
+    cfg: &IpMappingConfig,
+    obs: &Option<Arc<MetricsRegistry>>,
+) -> (ShardGuard<'a>, HookOutcome) {
+    record(
+        obs,
+        Event::HookEntry {
+            dir: Direction::Input,
+        },
+    );
+    let verdict = degrade_verdict(cfg);
+    let (mut guard, res) = verify(shared, si, guard, header, &payload, pool, obs);
+    let outcome = match res {
+        Ok(body) => {
+            pool.put(payload);
+            shared.stats.verified.fetch_add(1, Ordering::Relaxed);
+            record(
+                obs,
+                Event::HookExit {
+                    dir: Direction::Input,
+                    ok: true,
+                },
+            );
+            HookOutcome::Pass(body)
+        }
+        Err(FbsError::MalformedHeader(_) | FbsError::UnknownAlgorithm(_))
+            if verdict == KeyUnavailableVerdict::FailOpen =>
+        {
+            shared.stats.fail_open.fetch_add(1, Ordering::Relaxed);
+            shared.stats.verified.fetch_add(1, Ordering::Relaxed);
+            record(
+                obs,
+                Event::Degraded {
+                    dir: Direction::Input,
+                    open: true,
+                },
+            );
+            record(
+                obs,
+                Event::HookExit {
+                    dir: Direction::Input,
+                    ok: true,
+                },
+            );
+            HookOutcome::Pass(payload)
+        }
+        Err(e) if e.is_key_unavailable() && verdict == KeyUnavailableVerdict::Park => {
+            match guard.in_park.park((header.clone(), payload), now_us) {
+                Ok(()) => {
+                    let queued = guard.in_park.len() as u32;
+                    record(obs, Event::Parked { queued });
+                    HookOutcome::Park
+                }
+                Err((_, payload)) => {
+                    pool.put(payload);
+                    record(obs, Event::ParkOverflow);
+                    shared.stats.input_errors.fetch_add(1, Ordering::Relaxed);
+                    record(
+                        obs,
+                        Event::HookExit {
+                            dir: Direction::Input,
+                            ok: false,
+                        },
+                    );
+                    HookOutcome::Reject(format!("park queue full: {e}"))
+                }
+            }
+        }
+        Err(e) => {
+            pool.put(payload);
+            if e.is_key_unavailable() {
+                shared.stats.fail_closed.fetch_add(1, Ordering::Relaxed);
+                record(
+                    obs,
+                    Event::Degraded {
+                        dir: Direction::Input,
+                        open: false,
+                    },
+                );
+            }
+            shared.stats.input_errors.fetch_add(1, Ordering::Relaxed);
+            record(
+                obs,
+                Event::HookExit {
+                    dir: Direction::Input,
+                    ok: false,
+                },
+            );
+            HookOutcome::Reject(e.to_string())
+        }
+    };
+    (guard, outcome)
+}
+
+/// Per-handle reusable batch-partition buffers: cleared-but-kept between
+/// [`SecurityHooks::process_batch`] calls so steady-state batching does
+/// not allocate. Never shared — each clone starts its own (empty) set.
+/// One partitioned datagram: submission index, header, payload, and the
+/// pre-extracted 5-tuple (output direction only).
+type GroupItem = (usize, Ipv4Header, Vec<u8>, Option<FiveTuple>);
+
+#[derive(Default)]
+struct Scratch {
+    groups: Vec<Vec<GroupItem>>,
+    slots: Vec<Option<(Ipv4Header, HookOutcome)>>,
 }
 
 /// FBS security hooks for an IP-like stack. Cheaply cloneable: clones share
 /// state, so keep a handle for statistics after installing one into a
-/// [`fbs_net::Host`].
-#[derive(Clone)]
+/// [`fbs_net::Host`] — and clones may be driven from different threads;
+/// datagrams for different flows proceed in parallel, one shard each.
 pub struct FbsIpHooks {
-    inner: Arc<Mutex<Inner>>,
+    shared: Arc<HookShared>,
+    scratch: Scratch,
+}
+
+impl Clone for FbsIpHooks {
+    fn clone(&self) -> Self {
+        FbsIpHooks {
+            shared: Arc::clone(&self.shared),
+            scratch: Scratch::default(),
+        }
+    }
 }
 
 impl FbsIpHooks {
     /// Wrap an FBS endpoint in IP-mapping hooks. `sfl_seed` randomises the
-    /// sfl counter's initial value (§5.3).
+    /// sfl counters' initial values (§5.3). The endpoint is decomposed:
+    /// its MKD moves into the shared [`KeyingService`], and each shard
+    /// gets its own [`FlowCodec`] and full-geometry table slices.
     pub fn new(endpoint: FbsEndpoint, cfg: IpMappingConfig, sfl_seed: u64) -> Self {
-        let fam = Fam::new(
-            cfg.fst_size,
-            FiveTuplePolicy::new(cfg.threshold_secs).with_key_unavailable(cfg.key_unavailable),
-            SflAllocator::new(sfl_seed),
-        );
-        let combined = cfg.combined.then(|| {
-            CombinedTable::new(
-                cfg.fst_size,
-                cfg.threshold_secs,
-                // Distinct allocator space from the FAM's (only one of the
-                // two is ever used for a given configuration).
-                SflAllocator::new(sfl_seed),
-            )
-        });
-        let out_park = ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us);
-        let in_park = ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us);
+        let (local, ep_cfg, clock, seed, mkd) = endpoint.into_keying_parts();
+        let n = cfg.shards.max(1).next_power_of_two();
+        let keying = KeyingService::new(mkd, ep_cfg.mkc_slots, n);
+        let endpoint_stats = Arc::new(fbs_core::AtomicEndpointStats::new());
+        let tfkc_stats = Arc::new(AtomicCacheStats::new());
+        let rfkc_stats = Arc::new(AtomicCacheStats::new());
+        let combined_stats = Arc::new(AtomicCombinedStats::new());
+        let shards: Box<[Mutex<Shard>]> = (0..n)
+            .map(|i| {
+                // Strided allocation keeps every sfl this shard issues
+                // congruent to i (mod n): `sfl % n` IS the shard index.
+                let stride_base = sfl_seed.wrapping_mul(n as u64).wrapping_add(i as u64);
+                let mut codec = FlowCodec::new(
+                    local.clone(),
+                    ep_cfg.clone(),
+                    Arc::clone(&clock),
+                    seed ^ (i as u64).wrapping_mul(SHARD_SEED_MIX),
+                );
+                codec.share_stats(Arc::clone(&endpoint_stats));
+                let fam = Fam::new(
+                    cfg.fst_size,
+                    FiveTuplePolicy::new(cfg.threshold_secs)
+                        .with_key_unavailable(cfg.key_unavailable),
+                    SflAllocator::with_stride(stride_base, n as u64),
+                );
+                let combined = cfg.combined.then(|| {
+                    let mut t = CombinedTable::new(
+                        cfg.fst_size,
+                        cfg.threshold_secs,
+                        // Distinct allocator space from the FAM's (only
+                        // one of the two is ever used per configuration).
+                        SflAllocator::with_stride(stride_base, n as u64),
+                    );
+                    t.share_stats(Arc::clone(&combined_stats));
+                    t
+                });
+                let mut tfkc =
+                    SoftCache::new(ep_cfg.tfkc_sets, ep_cfg.tfkc_assoc, fbs_core::flow_key_hash);
+                tfkc.share_stats(Arc::clone(&tfkc_stats));
+                let mut rfkc =
+                    SoftCache::new(ep_cfg.rfkc_sets, ep_cfg.rfkc_assoc, fbs_core::flow_key_hash);
+                rfkc.share_stats(Arc::clone(&rfkc_stats));
+                Mutex::new(Shard {
+                    codec,
+                    fam,
+                    combined,
+                    tfkc,
+                    rfkc,
+                    out_park: ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us),
+                    in_park: ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us),
+                })
+            })
+            .collect();
         FbsIpHooks {
-            inner: Arc::new(Mutex::new(Inner {
-                endpoint,
-                fam,
-                combined,
-                cfg,
-                stats: IpHookStats::default(),
-                out_park,
-                in_park,
-                obs: None,
-            })),
+            shared: Arc::new(HookShared {
+                shards,
+                keying,
+                local,
+                clock,
+                key_derivation: ep_cfg.key_derivation,
+                cfg: Published::new(cfg),
+                stats: AtomicHookStats::default(),
+                endpoint_stats,
+                tfkc_stats,
+                rfkc_stats,
+                combined_stats,
+                shard_contended: AtomicU64::new(0),
+                obs: Published::new(None),
+            }),
+            scratch: Scratch::default(),
         }
     }
 
     /// Attach a metrics registry: the hooks emit entry/exit events, and
-    /// the registry cascades into the wrapped endpoint (and its caches),
-    /// the FAM, and the combined table when present.
+    /// the registry cascades into every shard's codec, FAM, combined
+    /// table, and caches, plus the shared keying service.
     pub fn attach_obs(&self, registry: Arc<MetricsRegistry>) {
-        let mut inner = self.inner.lock();
-        inner.endpoint.attach_obs(Arc::clone(&registry));
-        inner.fam.set_obs(Arc::clone(&registry));
-        if let Some(table) = &mut inner.combined {
-            table.set_obs(Arc::clone(&registry));
+        self.shared.keying.attach_obs(Arc::clone(&registry));
+        for shard in self.shared.shards.iter() {
+            let mut g = shard.lock();
+            g.codec.set_obs(Arc::clone(&registry));
+            g.fam.set_obs(Arc::clone(&registry));
+            if let Some(t) = &mut g.combined {
+                t.set_obs(Arc::clone(&registry));
+            }
+            g.tfkc.set_obs(Arc::clone(&registry), CacheKind::Tfkc);
+            g.rfkc.set_obs(Arc::clone(&registry), CacheKind::Rfkc);
         }
-        inner.obs = Some(registry);
+        self.shared.obs.store(Arc::new(Some(registry)));
     }
 
-    /// Hook-level statistics.
+    /// Publish a modified configuration snapshot (swap-on-update): in-
+    /// flight batches finish under the snapshot they loaded; the next
+    /// batch sees the new one. Only policy-ish fields take effect —
+    /// geometry (`shards`, `fst_size`, cache dimensions, park capacity)
+    /// is fixed at construction.
+    pub fn update_config(&self, mutate: impl FnOnce(&mut IpMappingConfig)) {
+        let mut next = (*self.shared.cfg.load()).clone();
+        mutate(&mut next);
+        self.shared.cfg.store(Arc::new(next));
+    }
+
+    /// Hook-level statistics — a lock-free atomic snapshot.
     pub fn stats(&self) -> IpHookStats {
-        self.inner.lock().stats
+        self.shared.stats.snapshot()
     }
 
-    /// Endpoint statistics (sends, drops...).
-    pub fn endpoint_stats(&self) -> fbs_core::protocol::EndpointStats {
-        self.inner.lock().endpoint.stats()
+    /// Endpoint statistics (sends, drops...) — lock-free.
+    pub fn endpoint_stats(&self) -> EndpointStats {
+        self.shared.endpoint_stats.snapshot()
     }
 
     /// TFKC statistics (separate path) — all zeros under `combined`.
+    /// Lock-free.
     pub fn tfkc_stats(&self) -> fbs_core::CacheStats {
-        self.inner.lock().endpoint.tfkc_stats()
+        self.shared.tfkc_stats.snapshot()
     }
 
-    /// RFKC statistics.
+    /// RFKC statistics — lock-free.
     pub fn rfkc_stats(&self) -> fbs_core::CacheStats {
-        self.inner.lock().endpoint.rfkc_stats()
+        self.shared.rfkc_stats.snapshot()
     }
 
-    /// MKD statistics (upcalls = master key computations).
+    /// MKD statistics (upcalls = master key computations) — lock-free.
     pub fn mkd_stats(&self) -> fbs_core::mkd::MkdStats {
-        self.inner.lock().endpoint.mkd_stats()
+        self.shared.keying.mkd_stats()
     }
 
     /// Combined-table statistics, when the §7.2 path is active.
+    /// Lock-free.
     pub fn combined_stats(&self) -> Option<crate::combined::CombinedStats> {
-        self.inner.lock().combined.as_ref().map(|c| c.stats())
+        self.shared
+            .cfg
+            .load()
+            .combined
+            .then(|| self.shared.combined_stats.snapshot())
     }
 
-    /// Number of currently-active outgoing flows.
+    /// Number of flow-state shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Times a batch found its shard lock already held — lock-free.
+    pub fn shard_contention(&self) -> u64 {
+        self.shared.shard_contended.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard active-flow occupancy at `now_secs` (briefly locks each
+    /// shard in turn — a control-plane reader, not a hot-path one).
+    pub fn shard_occupancy(&self, now_secs: u64) -> Vec<usize> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                match &g.combined {
+                    Some(c) => c.active_flows(now_secs),
+                    None => g.fam.active_flows(now_secs),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of currently-active outgoing flows (sums the shards).
     pub fn active_flows(&self, now_secs: u64) -> usize {
-        let inner = self.inner.lock();
-        match &inner.combined {
-            Some(c) => c.active_flows(now_secs),
-            None => inner.fam.active_flows(now_secs),
-        }
+        self.shard_occupancy(now_secs).iter().sum()
     }
 
     /// Drop all flow-key soft state (TFKC, RFKC, and the combined
@@ -281,35 +996,58 @@ impl FbsIpHooks {
     /// soft state is recomputed on demand (§5.3); the next datagram per
     /// flow pays a re-derivation.
     pub fn flush_flow_keys(&self) {
-        let mut inner = self.inner.lock();
-        inner.endpoint.flush_flow_keys();
-        if let Some(table) = &mut inner.combined {
-            table.clear();
+        for shard in self.shared.shards.iter() {
+            let mut g = shard.lock();
+            g.tfkc.clear();
+            g.rfkc.clear();
+            if let Some(t) = &mut g.combined {
+                t.clear();
+            }
         }
     }
 
     /// Invalidate the cached master key for one peer (forces the next
     /// datagram to/from them through the MKD upcall).
     pub fn forget_peer(&self, peer: &Principal) {
-        self.inner.lock().endpoint.forget_peer(peer);
+        self.shared.keying.forget_peer(peer);
     }
 
-    /// Current (output, input) parking-queue depths.
+    /// Current (output, input) parking-queue depths, summed over shards.
     pub fn parked_depths(&self) -> (usize, usize) {
-        let inner = self.inner.lock();
-        (inner.out_park.len(), inner.in_park.len())
+        let mut out = 0;
+        let mut inp = 0;
+        for shard in self.shared.shards.iter() {
+            let g = shard.lock();
+            out += g.out_park.len();
+            inp += g.in_park.len();
+        }
+        (out, inp)
     }
 
-    /// Accumulated (output, input) parking counters.
+    /// Accumulated (output, input) parking counters, summed over shards.
     pub fn park_stats(&self) -> (ParkStats, ParkStats) {
-        let inner = self.inner.lock();
-        (inner.out_park.stats(), inner.in_park.stats())
+        let mut out = ParkStats::default();
+        let mut inp = ParkStats::default();
+        for shard in self.shared.shards.iter() {
+            let g = shard.lock();
+            for (sum, s) in [
+                (&mut out, g.out_park.stats()),
+                (&mut inp, g.in_park.stats()),
+            ] {
+                sum.parked += s.parked;
+                sum.released += s.released;
+                sum.expired += s.expired;
+                sum.overflow += s.overflow;
+                sum.peak_depth = sum.peak_depth.max(s.peak_depth);
+            }
+        }
+        (out, inp)
     }
 
     /// The MKD circuit breaker's state for `peer`, if resilience is
     /// configured and the peer has been keyed at least once.
     pub fn breaker_state(&self, peer: &Principal) -> Option<BreakerState> {
-        self.inner.lock().endpoint.mkd().breaker_state(peer)
+        self.shared.keying.breaker_state(peer)
     }
 
     /// Worst-case payload growth for the configured algorithms: the fixed
@@ -330,20 +1068,21 @@ impl SecurityHooks for FbsIpHooks {
         match Proto::from_number(proto) {
             Proto::Mrt | Proto::Udp => true,
             Proto::Bypass => false,
-            Proto::Other(_) => self.inner.lock().cfg.cover_raw_ip,
+            Proto::Other(_) => self.shared.cfg.load().cover_raw_ip,
         }
     }
 
     fn max_overhead(&self) -> usize {
-        Self::overhead_of(&self.inner.lock().cfg)
+        Self::overhead_of(&self.shared.cfg.load())
     }
 
     /// The single processing entry point (the scalar `output`/`input`
-    /// trait defaults wrap it): the shared state is locked ONCE for the
-    /// whole batch rather than once per datagram, so concurrent processing
-    /// in the other direction (or a stats reader) contends per batch, not
-    /// per packet. Protected/verified payloads are drawn from `pool` and
-    /// consumed input buffers recycled into it.
+    /// trait defaults wrap it): the batch is partitioned into per-shard
+    /// groups ONCE, each group processed under one shard-lock
+    /// acquisition (dropped only around key derivations), and outcomes
+    /// reassembled in submission order. Protected/verified payloads are
+    /// drawn from `pool` and every consumed or rejected buffer is
+    /// recycled into it.
     fn process_batch(
         &mut self,
         dir: Direction,
@@ -351,362 +1090,262 @@ impl SecurityHooks for FbsIpHooks {
         pool: &mut BufferPool,
         now_us: u64,
     ) -> Vec<(Ipv4Header, HookOutcome)> {
-        let mut inner = self.inner.lock();
-        batch
-            .into_iter()
-            .map(|dg| {
-                let Datagram {
-                    mut header,
-                    payload,
-                } = dg;
-                let res = match dir {
-                    Direction::Output => {
-                        output_locked(&mut inner, &mut header, payload, pool, now_us)
-                    }
-                    Direction::Input => {
-                        input_locked(&mut inner, &mut header, payload, pool, now_us)
-                    }
+        let shared: &HookShared = &self.shared;
+        let cfg = shared.cfg.load();
+        let obs = shared.obs_handle();
+        let n = shared.shards.len();
+        let total = batch.len();
+        // The partition and reassembly vectors are per-handle scratch,
+        // drained (capacity kept) each call: a steady stream of batches
+        // through one handle performs no per-batch scratch allocation.
+        let scratch = &mut self.scratch;
+        if scratch.groups.len() < n {
+            scratch.groups.resize_with(n, Vec::new);
+        }
+        for (slot, dg) in batch.into_iter().enumerate() {
+            let Datagram { header, payload } = dg;
+            let (si, tuple) = match dir {
+                Direction::Output => {
+                    let tuple = tuple_for(&header, &payload);
+                    (tx_shard(n, tuple.as_ref()), tuple)
+                }
+                Direction::Input => (rx_shard(n, &payload), None),
+            };
+            scratch.groups[si].push((slot, header, payload, tuple));
+        }
+        scratch.slots.clear();
+        scratch.slots.resize_with(total, || None);
+        for (si, group) in scratch.groups.iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            if let Some(reg) = &obs {
+                reg.incr(Counter::ShardBatches);
+            }
+            let mut guard = shared.lock_shard(si, &obs);
+            for (slot, mut header, payload, tuple) in group.drain(..) {
+                let (g, outcome) = match dir {
+                    Direction::Output => output_item(
+                        shared,
+                        si,
+                        guard,
+                        &mut header,
+                        payload,
+                        tuple,
+                        pool,
+                        now_us,
+                        &cfg,
+                        &obs,
+                    ),
+                    Direction::Input => input_item(
+                        shared,
+                        si,
+                        guard,
+                        &mut header,
+                        payload,
+                        pool,
+                        now_us,
+                        &cfg,
+                        &obs,
+                    ),
                 };
-                (header, res)
-            })
+                guard = g;
+                scratch.slots[slot] = Some((header, outcome));
+            }
+        }
+        scratch
+            .slots
+            .drain(..)
+            .map(|s| s.expect("every datagram got a verdict"))
             .collect()
     }
 
-    fn release_output(&mut self, now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
-        let mut inner = self.inner.lock();
-        release_output_locked(&mut inner, now_us)
-    }
-
-    fn release_input(&mut self, now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
-        let mut inner = self.inner.lock();
-        release_input_locked(&mut inner, now_us)
-    }
-}
-
-/// The §7.2 protect path, with no verdict handling: classify the datagram
-/// into a flow, derive/look up its key, and seal the borrowed plaintext
-/// into a pool-drawn wire payload (fixing up `header`'s length on
-/// success). The caller keeps ownership of the original bytes, so no
-/// snapshot copy is ever needed for park/fail-open fallbacks.
-fn protect_locked(
-    inner: &mut Inner,
-    header: &mut Ipv4Header,
-    payload: &[u8],
-    pool: &mut BufferPool,
-    now_us: u64,
-) -> Result<Vec<u8>, FbsError> {
-    let now_secs = now_us / 1_000_000;
-    let is_transport = matches!(Proto::from_number(header.proto), Proto::Mrt | Proto::Udp);
-    let tuple = if is_transport {
-        FiveTuple::extract(header.proto, header.src, header.dst, payload)
-            .ok_or(FbsError::MalformedHeader("payload too short for 5-tuple"))?
-    } else {
-        // Footnote-10 extension: raw IP forms host-level flows — the
-        // "5-tuple" degenerates to (proto, saddr, daddr).
-        FiveTuple {
-            proto: header.proto,
-            saddr: header.src,
-            sport: 0,
-            daddr: header.dst,
-            dport: 0,
-        }
-    };
-    let destination = Principal::from_ipv4(header.dst);
-    let secret = inner.cfg.encrypt;
-    let mut out = pool.take();
-    let sealed = match &mut inner.combined {
-        // §7.2: one lookup resolves flow identity AND key.
-        Some(table) => {
-            let endpoint = &mut inner.endpoint;
-            table
-                .lookup(tuple, now_secs, |sfl| {
-                    endpoint.derive_flow_key_tx(sfl, &destination)
-                })
-                .and_then(|hit| {
-                    endpoint.seal_with_key_into(hit.sfl, &hit.key, payload, secret, &mut out)
-                })
-        }
-        // Textbook: FAM classification, then TFKC inside seal_into().
-        None => {
-            let class = inner.fam.classify(tuple, now_secs, payload.len() as u64);
-            inner
-                .endpoint
-                .seal_into(class.sfl, &destination, payload, secret, &mut out)
-        }
-    };
-    if let Err(e) = sealed {
-        pool.put(out);
-        return Err(e);
-    }
-    let delta = out.len() as isize - payload.len() as isize;
-    header.grow_payload(delta);
-    Ok(out)
-}
-
-/// Output verdict wrapper: protect, and on a *key-unavailable* failure
-/// apply the policy's degradation verdict. Runs with the state locked.
-fn output_locked(
-    inner: &mut Inner,
-    header: &mut Ipv4Header,
-    payload: Vec<u8>,
-    pool: &mut BufferPool,
-    now_us: u64,
-) -> HookOutcome {
-    inner.hook_entry(Direction::Output);
-    let verdict = inner.degrade_verdict();
-    // protect_locked borrows the payload, so the original bytes are still
-    // owned here for the fall-back verdicts — no snapshot copy needed.
-    match protect_locked(inner, header, &payload, pool, now_us) {
-        Ok(out) => {
-            pool.put(payload);
-            inner.stats.protected += 1;
-            inner.hook_exit(Direction::Output, true);
-            HookOutcome::Pass(out)
-        }
-        Err(e) if e.is_key_unavailable() && verdict != KeyUnavailableVerdict::FailClosed => {
-            match verdict {
-                KeyUnavailableVerdict::FailOpen => {
-                    inner.stats.fail_open += 1;
-                    inner.record(Event::Degraded {
-                        dir: Direction::Output,
-                        open: true,
-                    });
-                    inner.hook_exit(Direction::Output, true);
-                    inner.stats.protected += 1; // it did exit the hook ok
-                    HookOutcome::Pass(payload)
+    /// Release loop for parked output datagrams: expire the overdue
+    /// (recycling their payload buffers), then retry protection for the
+    /// rest — skipping (and re-parking) everything headed for a peer
+    /// whose circuit breaker would fast-fail, so a wall of parked
+    /// traffic cannot hammer a known-broken keying path. The fast-fail
+    /// probe takes the MKD lock, so it runs with no shard lock held.
+    fn release_output(&mut self, now_us: u64, pool: &mut BufferPool) -> Vec<(Ipv4Header, Vec<u8>)> {
+        let shared: &HookShared = &self.shared;
+        let cfg = shared.cfg.load();
+        let obs = shared.obs_handle();
+        let mut ready = Vec::new();
+        for si in 0..shared.shards.len() {
+            let entries = {
+                let mut guard = shared.lock_shard(si, &obs);
+                for expired in guard.out_park.take_expired(now_us) {
+                    let (_header, payload) = expired.item;
+                    pool.put(payload);
+                    record(&obs, Event::ParkExpired);
                 }
-                KeyUnavailableVerdict::Park => {
-                    match inner.out_park.park((header.clone(), payload), now_us) {
-                        Ok(()) => {
-                            let queued = inner.out_park.len() as u32;
-                            inner.record(Event::Parked { queued });
-                            HookOutcome::Park
-                        }
-                        Err(_) => {
-                            inner.record(Event::ParkOverflow);
-                            inner.stats.output_errors += 1;
-                            inner.hook_exit(Direction::Output, false);
-                            HookOutcome::Reject(format!("park queue full: {e}"))
+                if guard.out_park.is_empty() {
+                    continue;
+                }
+                guard.out_park.take_all()
+            };
+            for entry in entries {
+                let Parked {
+                    item: (mut header, payload),
+                    parked_at_us,
+                    deadline_us,
+                } = entry;
+                let peer = Principal::from_ipv4(header.dst);
+                if shared.keying.would_fast_fail(&peer) {
+                    let mut guard = shared.lock_shard(si, &obs);
+                    if let Err((_, payload)) = guard.out_park.repark(Parked {
+                        item: (header, payload),
+                        parked_at_us,
+                        deadline_us,
+                    }) {
+                        pool.put(payload);
+                        record(&obs, Event::ParkOverflow);
+                    }
+                    continue;
+                }
+                let tuple = tuple_for(&header, &payload);
+                let guard = shared.lock_shard(si, &obs);
+                let (mut guard, res) = protect(
+                    shared,
+                    si,
+                    guard,
+                    &mut header,
+                    &payload,
+                    tuple,
+                    pool,
+                    now_us,
+                    &cfg,
+                    &obs,
+                );
+                match res {
+                    Ok(protected) => {
+                        let waited_us = guard.out_park.note_released(parked_at_us, now_us);
+                        shared.stats.protected.fetch_add(1, Ordering::Relaxed);
+                        record(&obs, Event::ParkReleased { waited_us });
+                        record(
+                            &obs,
+                            Event::HookExit {
+                                dir: Direction::Output,
+                                ok: true,
+                            },
+                        );
+                        pool.put(payload);
+                        ready.push((header, protected));
+                    }
+                    Err(e) if e.is_key_unavailable() => {
+                        // Still no key: back to the queue with the
+                        // original deadline (drops at expiry, never
+                        // grows unbounded). protect only borrowed the
+                        // payload, so it is still owned here.
+                        if let Err((_, payload)) = guard.out_park.repark(Parked {
+                            item: (header, payload),
+                            parked_at_us,
+                            deadline_us,
+                        }) {
+                            pool.put(payload);
+                            record(&obs, Event::ParkOverflow);
                         }
                     }
-                }
-                KeyUnavailableVerdict::FailClosed => unreachable!("excluded by guard"),
-            }
-        }
-        Err(e) => {
-            pool.put(payload);
-            if e.is_key_unavailable() {
-                inner.stats.fail_closed += 1;
-                inner.record(Event::Degraded {
-                    dir: Direction::Output,
-                    open: false,
-                });
-            }
-            inner.stats.output_errors += 1;
-            inner.hook_exit(Direction::Output, false);
-            HookOutcome::Reject(e.to_string())
-        }
-    }
-}
-
-/// The verify path, with no verdict handling: parse the FBS framing,
-/// verify/decrypt the borrowed wire payload into a pool-drawn plaintext
-/// buffer, and return it (fixing up `header`'s length on success). The
-/// caller keeps ownership of the wire bytes for park/fail-open fallbacks.
-fn verify_locked(
-    inner: &mut Inner,
-    header: &mut Ipv4Header,
-    payload: &[u8],
-    pool: &mut BufferPool,
-) -> Result<Vec<u8>, FbsError> {
-    let mut body = pool.take();
-    let source = Principal::from_ipv4(header.src);
-    if let Err(e) = inner.endpoint.open_into(&source, payload, &mut body) {
-        pool.put(body);
-        return Err(e);
-    }
-    let delta = payload.len() as isize - body.len() as isize;
-    header.grow_payload(-delta);
-    Ok(body)
-}
-
-/// Input verdict wrapper. Degradation applies narrowly here:
-///
-/// * an **unframed** datagram (no FBS header parses) is admitted as-is
-///   under fail-open — the counterpart of a fail-open sender;
-/// * a **framed** datagram that fails with key-unavailable may be
-///   parked; fail-open never admits it (it cannot be verified, and under
-///   encryption it is unreadable anyway);
-/// * cryptographic failures (MAC, freshness) always reject.
-fn input_locked(
-    inner: &mut Inner,
-    header: &mut Ipv4Header,
-    payload: Vec<u8>,
-    pool: &mut BufferPool,
-    now_us: u64,
-) -> HookOutcome {
-    inner.hook_entry(Direction::Input);
-    let verdict = inner.degrade_verdict();
-    match verify_locked(inner, header, &payload, pool) {
-        Ok(body) => {
-            pool.put(payload);
-            inner.stats.verified += 1;
-            inner.hook_exit(Direction::Input, true);
-            HookOutcome::Pass(body)
-        }
-        Err(FbsError::MalformedHeader(_) | FbsError::UnknownAlgorithm(_))
-            if verdict == KeyUnavailableVerdict::FailOpen =>
-        {
-            inner.stats.fail_open += 1;
-            inner.stats.verified += 1;
-            inner.record(Event::Degraded {
-                dir: Direction::Input,
-                open: true,
-            });
-            inner.hook_exit(Direction::Input, true);
-            HookOutcome::Pass(payload)
-        }
-        Err(e) if e.is_key_unavailable() && verdict == KeyUnavailableVerdict::Park => {
-            match inner.in_park.park((header.clone(), payload), now_us) {
-                Ok(()) => {
-                    let queued = inner.in_park.len() as u32;
-                    inner.record(Event::Parked { queued });
-                    HookOutcome::Park
-                }
-                Err(_) => {
-                    inner.record(Event::ParkOverflow);
-                    inner.stats.input_errors += 1;
-                    inner.hook_exit(Direction::Input, false);
-                    HookOutcome::Reject(format!("park queue full: {e}"))
+                    Err(_) => {
+                        shared.stats.output_errors.fetch_add(1, Ordering::Relaxed);
+                        record(
+                            &obs,
+                            Event::HookExit {
+                                dir: Direction::Output,
+                                ok: false,
+                            },
+                        );
+                        pool.put(payload);
+                    }
                 }
             }
         }
-        Err(e) => {
-            pool.put(payload);
-            if e.is_key_unavailable() {
-                inner.stats.fail_closed += 1;
-                inner.record(Event::Degraded {
-                    dir: Direction::Input,
-                    open: false,
-                });
-            }
-            inner.stats.input_errors += 1;
-            inner.hook_exit(Direction::Input, false);
-            HookOutcome::Reject(e.to_string())
-        }
+        ready
     }
-}
 
-/// Release loop for parked output datagrams: expire the overdue, then
-/// retry protection for the rest — skipping (and re-parking) everything
-/// headed for a peer whose circuit breaker would fast-fail, so a wall of
-/// parked traffic cannot hammer a known-broken keying path.
-fn release_output_locked(inner: &mut Inner, now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
-    let expired = inner.out_park.expire(now_us);
-    for _ in 0..expired {
-        inner.record(Event::ParkExpired);
-    }
-    if inner.out_park.is_empty() {
-        return Vec::new();
-    }
-    // Release is the rare outage-recovery path: a transient non-pooling
-    // pool keeps protect_locked's signature without holding buffers here.
-    let mut pool = BufferPool::with_limits(0, 0);
-    let mut ready = Vec::new();
-    for entry in inner.out_park.take_all() {
-        let Parked {
-            item: (mut header, payload),
-            parked_at_us,
-            deadline_us,
-        } = entry;
-        let peer = Principal::from_ipv4(header.dst);
-        if inner.endpoint.mkd().would_fast_fail(&peer) {
-            let _ = inner.out_park.repark(Parked {
-                item: (header, payload),
-                parked_at_us,
-                deadline_us,
-            });
-            continue;
-        }
-        match protect_locked(inner, &mut header, &payload, &mut pool, now_us) {
-            Ok(protected) => {
-                let waited_us = inner.out_park.note_released(parked_at_us, now_us);
-                inner.stats.protected += 1;
-                inner.record(Event::ParkReleased { waited_us });
-                inner.hook_exit(Direction::Output, true);
-                ready.push((header, protected));
-            }
-            Err(e) if e.is_key_unavailable() => {
-                // Still no key: back to the queue with the original
-                // deadline (drops at expiry, never grows unbounded).
-                // protect_locked only borrowed the payload, so it is
-                // still owned here — no backup copy was taken.
-                let _ = inner.out_park.repark(Parked {
-                    item: (header, payload),
+    /// Release loop for parked input datagrams, mirroring
+    /// [`Self::release_output`] with the peer taken from the source
+    /// address; the consumed wire payload of every verified release is
+    /// recycled into `pool`.
+    fn release_input(&mut self, now_us: u64, pool: &mut BufferPool) -> Vec<(Ipv4Header, Vec<u8>)> {
+        let shared: &HookShared = &self.shared;
+        let obs = shared.obs_handle();
+        let mut ready = Vec::new();
+        for si in 0..shared.shards.len() {
+            let entries = {
+                let mut guard = shared.lock_shard(si, &obs);
+                for expired in guard.in_park.take_expired(now_us) {
+                    let (_header, payload) = expired.item;
+                    pool.put(payload);
+                    record(&obs, Event::ParkExpired);
+                }
+                if guard.in_park.is_empty() {
+                    continue;
+                }
+                guard.in_park.take_all()
+            };
+            for entry in entries {
+                let Parked {
+                    item: (mut header, payload),
                     parked_at_us,
                     deadline_us,
-                });
-            }
-            Err(e) => {
-                inner.stats.output_errors += 1;
-                inner.hook_exit(Direction::Output, false);
-                let _ = e;
-            }
-        }
-    }
-    ready
-}
-
-/// Release loop for parked input datagrams, mirroring
-/// [`release_output_locked`] with the peer taken from the source address.
-fn release_input_locked(inner: &mut Inner, now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
-    let expired = inner.in_park.expire(now_us);
-    for _ in 0..expired {
-        inner.record(Event::ParkExpired);
-    }
-    if inner.in_park.is_empty() {
-        return Vec::new();
-    }
-    let mut pool = BufferPool::with_limits(0, 0);
-    let mut ready = Vec::new();
-    for entry in inner.in_park.take_all() {
-        let Parked {
-            item: (mut header, payload),
-            parked_at_us,
-            deadline_us,
-        } = entry;
-        let peer = Principal::from_ipv4(header.src);
-        if inner.endpoint.mkd().would_fast_fail(&peer) {
-            let _ = inner.in_park.repark(Parked {
-                item: (header, payload),
-                parked_at_us,
-                deadline_us,
-            });
-            continue;
-        }
-        match verify_locked(inner, &mut header, &payload, &mut pool) {
-            Ok(body) => {
-                let waited_us = inner.in_park.note_released(parked_at_us, now_us);
-                inner.stats.verified += 1;
-                inner.record(Event::ParkReleased { waited_us });
-                inner.hook_exit(Direction::Input, true);
-                ready.push((header, body));
-            }
-            Err(e) if e.is_key_unavailable() => {
-                let _ = inner.in_park.repark(Parked {
-                    item: (header, payload),
-                    parked_at_us,
-                    deadline_us,
-                });
-            }
-            Err(e) => {
-                inner.stats.input_errors += 1;
-                inner.hook_exit(Direction::Input, false);
-                let _ = e;
+                } = entry;
+                let peer = Principal::from_ipv4(header.src);
+                if shared.keying.would_fast_fail(&peer) {
+                    let mut guard = shared.lock_shard(si, &obs);
+                    if let Err((_, payload)) = guard.in_park.repark(Parked {
+                        item: (header, payload),
+                        parked_at_us,
+                        deadline_us,
+                    }) {
+                        pool.put(payload);
+                        record(&obs, Event::ParkOverflow);
+                    }
+                    continue;
+                }
+                let guard = shared.lock_shard(si, &obs);
+                let (mut guard, res) = verify(shared, si, guard, &mut header, &payload, pool, &obs);
+                match res {
+                    Ok(body) => {
+                        let waited_us = guard.in_park.note_released(parked_at_us, now_us);
+                        shared.stats.verified.fetch_add(1, Ordering::Relaxed);
+                        record(&obs, Event::ParkReleased { waited_us });
+                        record(
+                            &obs,
+                            Event::HookExit {
+                                dir: Direction::Input,
+                                ok: true,
+                            },
+                        );
+                        pool.put(payload);
+                        ready.push((header, body));
+                    }
+                    Err(e) if e.is_key_unavailable() => {
+                        if let Err((_, payload)) = guard.in_park.repark(Parked {
+                            item: (header, payload),
+                            parked_at_us,
+                            deadline_us,
+                        }) {
+                            pool.put(payload);
+                            record(&obs, Event::ParkOverflow);
+                        }
+                    }
+                    Err(_) => {
+                        shared.stats.input_errors.fetch_add(1, Ordering::Relaxed);
+                        record(
+                            &obs,
+                            Event::HookExit {
+                                dir: Direction::Input,
+                                ok: false,
+                            },
+                        );
+                        pool.put(payload);
+                    }
+                }
             }
         }
+        ready
     }
-    ready
 }
 
 #[cfg(test)]
@@ -893,19 +1532,20 @@ mod tests {
             ..IpMappingConfig::default()
         };
         let mut hooks = hooks_with(&world, cfg);
+        let mut pool = BufferPool::new();
         let (mut header, payload) = udp_datagram(A, B);
         let out = hooks.output(&mut header, payload, 1_000);
         assert!(matches!(out, HookOutcome::Park), "{out:?}");
         assert_eq!(hooks.parked_depths(), (1, 0));
 
         // Still keyless: the release pass re-parks, does not drop.
-        assert!(hooks.release_output(2_000).is_empty());
+        assert!(hooks.release_output(2_000, &mut pool).is_empty());
         assert_eq!(hooks.parked_depths(), (1, 0));
 
         // B comes online (certificate published); the parked datagram
         // is protected and released on the next poll.
         let _hb = world.host(B);
-        let released = hooks.release_output(3_000);
+        let released = hooks.release_output(3_000, &mut pool);
         assert_eq!(released.len(), 1);
         let (rel_header, rel_payload) = &released[0];
         assert!(rel_payload.len() > 25, "released payload is protected");
@@ -915,6 +1555,8 @@ mod tests {
         assert_eq!(out_stats.released, 1);
         assert_eq!(out_stats.expired, 0);
         assert_eq!(hooks.stats().protected, 1);
+        // The consumed plaintext went back to the pool.
+        assert_eq!(pool.stats().returns, 1);
     }
 
     #[test]
@@ -940,6 +1582,36 @@ mod tests {
     }
 
     #[test]
+    fn park_overflow_recycles_the_rejected_payload() {
+        // Same scenario as above, but driven through process_batch with
+        // an observable pool: the overflow reject must hand the payload
+        // buffer back instead of leaking it.
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            key_unavailable: KeyUnavailableVerdict::Park,
+            park_capacity: 2,
+            ..IpMappingConfig::default()
+        };
+        let mut hooks = hooks_with(&world, cfg);
+        let mut pool = BufferPool::new();
+        let batch: Vec<Datagram> = (0..3)
+            .map(|_| {
+                let (header, payload) = udp_datagram(A, B);
+                Datagram { header, payload }
+            })
+            .collect();
+        let out = hooks.process_batch(Direction::Output, batch, &mut pool, 1_000);
+        assert!(matches!(out[0].1, HookOutcome::Park));
+        assert!(matches!(out[1].1, HookOutcome::Park));
+        assert!(matches!(out[2].1, HookOutcome::Reject(_)));
+        assert_eq!(
+            pool.stats().returns,
+            1,
+            "the overflowed datagram's payload must be recycled"
+        );
+    }
+
+    #[test]
     fn parked_datagrams_expire_at_their_deadline() {
         let world = World::new();
         let cfg = IpMappingConfig {
@@ -948,19 +1620,22 @@ mod tests {
             ..IpMappingConfig::default()
         };
         let mut hooks = hooks_with(&world, cfg);
+        let mut pool = BufferPool::new();
         let (mut header, payload) = udp_datagram(A, B);
         assert!(matches!(
             hooks.output(&mut header, payload, 1_000),
             HookOutcome::Park
         ));
         // Repeated keyless release passes must not reset the deadline.
-        assert!(hooks.release_output(3_000).is_empty());
-        assert!(hooks.release_output(5_000).is_empty());
-        assert!(hooks.release_output(6_001).is_empty());
+        assert!(hooks.release_output(3_000, &mut pool).is_empty());
+        assert!(hooks.release_output(5_000, &mut pool).is_empty());
+        assert!(hooks.release_output(6_001, &mut pool).is_empty());
         assert_eq!(hooks.parked_depths(), (0, 0), "expired, not retained");
         let (out_stats, _) = hooks.park_stats();
         assert_eq!(out_stats.expired, 1);
         assert_eq!(out_stats.released, 0);
+        // Expiry recycled the parked payload buffer into the pool.
+        assert_eq!(pool.stats().returns, 1);
     }
 
     #[test]
@@ -1020,10 +1695,85 @@ mod tests {
         // receiver's verifier accepts it.
         let b_cert = world.directory.fetch(&Principal::from_ipv4(B)).unwrap();
         receiver_world.directory.publish(b_cert);
-        let released = receiver.release_input(2_000);
+        let mut pool = BufferPool::new();
+        let released = receiver.release_input(2_000, &mut pool);
         assert_eq!(released.len(), 1);
         assert_eq!(released[0].1, payload, "verified plaintext");
         assert_eq!(receiver.parked_depths(), (0, 0));
         assert_eq!(receiver.stats().verified, 1);
+        // The consumed wire payload went back to the pool.
+        assert_eq!(pool.stats().returns, 1);
+    }
+
+    #[test]
+    fn stats_reads_never_touch_shard_locks() {
+        // Regression for the sharded design's core promise: a stats
+        // scrape completes while every shard lock is held by someone
+        // else (a batch mid-flight). If any accessor below took a shard
+        // lock, this test would deadlock.
+        let world = World::new();
+        let hooks = world.host(A);
+        let guards: Vec<_> = hooks.shared.shards.iter().map(|s| s.lock()).collect();
+        let _ = hooks.stats();
+        let _ = hooks.endpoint_stats();
+        let _ = hooks.tfkc_stats();
+        let _ = hooks.rfkc_stats();
+        let _ = hooks.mkd_stats();
+        let _ = hooks.combined_stats();
+        let _ = hooks.shard_contention();
+        let _ = hooks.num_shards();
+        drop(guards);
+    }
+
+    #[test]
+    fn config_snapshot_swaps_without_rebuilding_state() {
+        // Publish-on-update: the same hooks flip from fail-closed to
+        // fail-open at runtime; no shard state is rebuilt.
+        let world = World::new();
+        let mut hooks = world.host(A); // B never published → keyless
+        let (mut header, payload) = udp_datagram(A, B);
+        let out = hooks.output(&mut header, payload, 1_000);
+        assert!(matches!(out, HookOutcome::Reject(_)), "{out:?}");
+        hooks.update_config(|c| {
+            c.encrypt = false;
+            c.key_unavailable = KeyUnavailableVerdict::FailOpen;
+        });
+        let (mut header, payload) = udp_datagram(A, B);
+        let out = hooks.output(&mut header, payload, 2_000);
+        assert!(matches!(out, HookOutcome::Pass(_)), "{out:?}");
+        assert_eq!(hooks.stats().fail_open, 1);
+        assert_eq!(hooks.stats().fail_closed, 1);
+    }
+
+    #[test]
+    fn batch_outcomes_stay_in_submission_order_across_shards() {
+        // Flows with different tuples land in different shards; the
+        // returned vec must still be positionally aligned with the
+        // submitted batch.
+        let world = World::new();
+        let mut sender = world.host(A);
+        let _receiver = world.host(B); // publishes B's certificate
+        let mut pool = BufferPool::new();
+        let batch: Vec<Datagram> = (0..16u16)
+            .map(|i| {
+                let mut payload = vec![0x0F, (0xA0 + i) as u8, 0x00, 0x35];
+                payload.extend_from_slice(b"order test body");
+                let mut header = Ipv4Header::new(A, B, Proto::Udp, payload.len());
+                header.id = i; // tag each datagram through its header
+                Datagram { header, payload }
+            })
+            .collect();
+        let out = sender.process_batch(Direction::Output, batch, &mut pool, 1_000);
+        assert_eq!(out.len(), 16);
+        for (i, (header, outcome)) in out.iter().enumerate() {
+            assert_eq!(header.id as usize, i, "submission order preserved");
+            assert!(matches!(outcome, HookOutcome::Pass(_)), "{outcome:?}");
+        }
+        let cs = sender.combined_stats().unwrap();
+        assert_eq!(cs.new_flows as usize, 16);
+        assert!(
+            sender.num_shards() > 1,
+            "default config must actually shard"
+        );
     }
 }

@@ -9,7 +9,6 @@
 
 use crate::tuple::FiveTuple;
 use fbs_core::fam::{FlowPolicy, FstEntry, KeyUnavailableVerdict};
-use fbs_core::policy::FlowAttrs;
 use fbs_crypto::crc32;
 
 /// Default THRESHOLD: the paper's experiments centre on 300-600 s and find
@@ -59,7 +58,7 @@ impl FiveTuplePolicy {
 impl FlowPolicy<FiveTuple> for FiveTuplePolicy {
     fn index(&self, attrs: &FiveTuple, table_size: usize) -> usize {
         // Fig. 7: i = CRC-32(saddr, sport, daddr, dport, proto) mod FSTSIZE
-        crc32(&attrs.canonical_bytes()) as usize % table_size
+        crc32(&attrs.canonical_array()) as usize % table_size
     }
 
     fn key_unavailable(&self) -> KeyUnavailableVerdict {

@@ -69,17 +69,23 @@ impl FiveTuple {
             dport: self.sport,
         }
     }
+
+    /// The canonical 13-byte encoding, on the stack — the hash/shard
+    /// paths run once per datagram and must not allocate.
+    pub fn canonical_array(&self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0] = self.proto;
+        out[1..5].copy_from_slice(&self.saddr);
+        out[5..7].copy_from_slice(&self.sport.to_be_bytes());
+        out[7..11].copy_from_slice(&self.daddr);
+        out[11..13].copy_from_slice(&self.dport.to_be_bytes());
+        out
+    }
 }
 
 impl FlowAttrs for FiveTuple {
     fn canonical_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(13);
-        out.push(self.proto);
-        out.extend_from_slice(&self.saddr);
-        out.extend_from_slice(&self.sport.to_be_bytes());
-        out.extend_from_slice(&self.daddr);
-        out.extend_from_slice(&self.dport.to_be_bytes());
-        out
+        self.canonical_array().to_vec()
     }
 }
 

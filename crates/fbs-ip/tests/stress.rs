@@ -1,0 +1,228 @@
+//! Threaded stress test for the sharded hook state: four worker threads
+//! drive mixed flows through ONE shared IP mapping (cloned handles, one
+//! `BufferPool` per thread — pools are deliberately not thread-safe)
+//! while a scraper thread hammers the lock-free statistics accessors.
+//!
+//! Invariants checked under contention:
+//!
+//! * **per-flow FIFO**: each flow's datagrams decrypt to its exact
+//!   submitted sequence, in order;
+//! * **no loss, no duplication**: every sent datagram is verified exactly
+//!   once;
+//! * **CacheStats coherence**: RFKC hits + misses == lookups, with
+//!   exactly one cold miss per flow (the quiet post-derivation re-check
+//!   must not double-count);
+//! * **keying economy**: one MKD upcall per peer, total, across all
+//!   threads (the double-checked master-key probe holds up).
+
+use fbs_cert::{CertificateAuthority, Directory};
+use fbs_core::{BufferPool, ManualClock};
+use fbs_crypto::dh::DhGroup;
+use fbs_ip::hooks::{FbsIpHooks, IpMappingConfig};
+use fbs_ip::host::build_secure_host;
+use fbs_net::ip::{Ipv4Header, Proto};
+use fbs_net::{Datagram, HookOutcome, SecurityHooks};
+use fbs_obs::Direction;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const A: [u8; 4] = [10, 8, 0, 1];
+const B: [u8; 4] = [10, 8, 0, 2];
+const THREADS: usize = 4;
+const FLOWS_PER_THREAD: usize = 4;
+const DATAGRAMS_PER_FLOW: usize = 64;
+const BATCH: usize = 8;
+const NOW_US: u64 = 1_000_000;
+
+/// Deterministic world: both endpoints share one CA, directory, and
+/// clock, so certificates are mutually available and all key material
+/// derives from the fixed seeds.
+fn build_pair() -> (FbsIpHooks, FbsIpHooks) {
+    let clock = ManualClock::starting_at(0);
+    let ca = CertificateAuthority::new("stress-test-ca", [0x57; 16]);
+    let directory = Arc::new(Directory::new(Duration::ZERO));
+    let group = DhGroup::test_group();
+    let cfg = IpMappingConfig {
+        encrypt: true,
+        ..IpMappingConfig::default()
+    };
+    let (_ha, sender) = build_secure_host(
+        A,
+        1500,
+        cfg.clone(),
+        clock.clone(),
+        &group,
+        &ca,
+        &directory,
+        7,
+    );
+    let (_hb, receiver) = build_secure_host(B, 1500, cfg, clock, &group, &ca, &directory, 8);
+    (sender, receiver)
+}
+
+/// A flow's UDP payload: 4-tuple-bearing port prefix, then the sequence
+/// number, then a body that varies with (flow, seq) so corruption or
+/// cross-flow mixups cannot cancel out.
+fn payload_for(sport: u16, seq: u32) -> Vec<u8> {
+    let mut p = Vec::with_capacity(32);
+    p.extend_from_slice(&sport.to_be_bytes());
+    p.extend_from_slice(&53u16.to_be_bytes());
+    p.extend_from_slice(&seq.to_be_bytes());
+    p.extend_from_slice(&sport.to_le_bytes());
+    p.extend_from_slice(b"sharded stress body");
+    p.push(seq as u8);
+    p
+}
+
+#[test]
+fn four_threads_share_one_mapping_without_loss_reorder_or_miscount() {
+    let (sender, receiver) = build_pair();
+    assert!(sender.num_shards() > 1, "test requires real sharding");
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Scraper: reads every lock-free accessor in a tight loop while the
+    // workers run. A deadlock or a torn read here fails the test by
+    // hanging or panicking.
+    let scraper = {
+        let sender = sender.clone();
+        let receiver = receiver.clone();
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let s = sender.stats();
+                assert!(s.output_errors == 0, "no sender rejects expected: {s:?}");
+                let cs = receiver.rfkc_stats();
+                assert_eq!(
+                    cs.hits + cs.misses(),
+                    cs.lookups(),
+                    "cache stats must stay coherent mid-flight"
+                );
+                let _ = sender.endpoint_stats();
+                let _ = sender.combined_stats();
+                let _ = sender.mkd_stats();
+                let _ = sender.shard_contention();
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let mut tx = sender.clone();
+            let mut rx = receiver.clone();
+            thread::spawn(move || {
+                let mut pool = BufferPool::new();
+                // Disjoint flows per thread: distinct source ports.
+                let sports: Vec<u16> = (0..FLOWS_PER_THREAD)
+                    .map(|f| 5000 + (t * FLOWS_PER_THREAD + f) as u16)
+                    .collect();
+                // Interleave flows round-robin so consecutive batch items
+                // hit different shards.
+                let mut sequence: Vec<(u16, u32)> = Vec::new();
+                for seq in 0..DATAGRAMS_PER_FLOW as u32 {
+                    for &sport in &sports {
+                        sequence.push((sport, seq));
+                    }
+                }
+                let mut received: Vec<(u16, u32)> = Vec::new();
+                for chunk in sequence.chunks(BATCH) {
+                    let batch: Vec<Datagram> = chunk
+                        .iter()
+                        .map(|&(sport, seq)| {
+                            let payload = payload_for(sport, seq);
+                            let header = Ipv4Header::new(A, B, Proto::Udp, payload.len());
+                            Datagram { header, payload }
+                        })
+                        .collect();
+                    let sealed = tx.process_batch(Direction::Output, batch, &mut pool, NOW_US);
+                    let rx_batch: Vec<Datagram> = sealed
+                        .into_iter()
+                        .map(|(header, outcome)| match outcome {
+                            HookOutcome::Pass(wire) => Datagram {
+                                header,
+                                payload: wire,
+                            },
+                            other => panic!("seal failed: {other:?}"),
+                        })
+                        .collect();
+                    let opened = rx.process_batch(Direction::Input, rx_batch, &mut pool, NOW_US);
+                    for (_, outcome) in opened {
+                        match outcome {
+                            HookOutcome::Pass(body) => {
+                                let sport = u16::from_be_bytes([body[0], body[1]]);
+                                let seq = u32::from_be_bytes([body[4], body[5], body[6], body[7]]);
+                                assert_eq!(
+                                    body,
+                                    payload_for(sport, seq),
+                                    "decrypted body must round-trip exactly"
+                                );
+                                received.push((sport, seq));
+                                pool.put(body);
+                            }
+                            other => panic!("open failed: {other:?}"),
+                        }
+                    }
+                }
+                (sports, received)
+            })
+        })
+        .collect();
+
+    let mut total_received = 0usize;
+    for worker in workers {
+        let (sports, received) = worker.join().expect("worker panicked");
+        assert_eq!(received.len(), FLOWS_PER_THREAD * DATAGRAMS_PER_FLOW);
+        total_received += received.len();
+        // Per-flow FIFO with no loss and no duplication: each flow's
+        // received sequence is exactly 0..N in order.
+        for &sport in &sports {
+            let seqs: Vec<u32> = received
+                .iter()
+                .filter(|(s, _)| *s == sport)
+                .map(|&(_, q)| q)
+                .collect();
+            let expected: Vec<u32> = (0..DATAGRAMS_PER_FLOW as u32).collect();
+            assert_eq!(seqs, expected, "flow {sport} lost FIFO/completeness");
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper panicked");
+    assert!(scrapes > 0, "scraper never ran");
+
+    let total = THREADS * FLOWS_PER_THREAD * DATAGRAMS_PER_FLOW;
+    let flows = (THREADS * FLOWS_PER_THREAD) as u64;
+    assert_eq!(total_received, total);
+
+    // Hook counters agree with the ground truth.
+    assert_eq!(sender.stats().protected, total as u64);
+    assert_eq!(sender.stats().output_errors, 0);
+    assert_eq!(receiver.stats().verified, total as u64);
+    assert_eq!(receiver.stats().input_errors, 0);
+
+    // Sender side: one new combined-table flow per 5-tuple, everything
+    // else hits (flows are thread-disjoint, so no derivation races).
+    let cs = sender.combined_stats().expect("combined path is on");
+    assert_eq!(cs.new_flows, flows);
+    assert_eq!(cs.hits, total as u64 - flows);
+    assert_eq!(cs.collisions, 0);
+
+    // Receiver side: RFKC coherence — one lookup per datagram and
+    // hits + misses == lookups exactly. Miss counts exceed the flow
+    // count only through direct-mapped set collisions (two flows whose
+    // key ids share a set evict each other), so every miss must be
+    // matched by a re-derivation insert: insertions == misses.
+    let rf = receiver.rfkc_stats();
+    assert_eq!(rf.lookups(), total as u64);
+    assert_eq!(rf.hits + rf.misses(), rf.lookups());
+    assert!(rf.misses() >= flows, "at least one cold miss per flow");
+    assert_eq!(rf.insertions, rf.misses());
+
+    // Keying economy: each endpoint keyed exactly one peer, once —
+    // concurrent misses collapse onto a single MKD upcall.
+    assert_eq!(sender.mkd_stats().upcalls, 1);
+    assert_eq!(receiver.mkd_stats().upcalls, 1);
+}

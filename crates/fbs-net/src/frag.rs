@@ -173,13 +173,24 @@ impl Reassembler {
         None
     }
 
-    /// Drop buffers older than the timeout; returns how many were dropped.
-    pub fn expire(&mut self, now_us: u64) -> usize {
+    /// Drop buffers older than the timeout, recycling every held fragment
+    /// payload into `pool`; returns how many partials were dropped.
+    pub fn expire(&mut self, now_us: u64, pool: &mut BufferPool) -> usize {
         let timeout = self.timeout_us;
-        let before = self.buffers.len();
-        self.buffers
-            .retain(|_, p| now_us.saturating_sub(p.first_seen_us) <= timeout);
-        let dropped = before - self.buffers.len();
+        let mut dropped = 0usize;
+        let stale: Vec<_> = self
+            .buffers
+            .iter()
+            .filter(|(_, p)| now_us.saturating_sub(p.first_seen_us) > timeout)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in stale {
+            let partial = self.buffers.remove(&key).expect("key from iteration");
+            for (_, piece, _) in partial.pieces {
+                pool.put(piece);
+            }
+            dropped += 1;
+        }
         self.timeouts += dropped as u64;
         dropped
     }
@@ -288,9 +299,12 @@ mod tests {
         assert!(r.push(frags[0].clone(), 0).is_none());
         assert!(r.push(frags[2].clone(), 0).is_none());
         assert_eq!(r.pending(), 1);
-        assert_eq!(r.expire(40_000_000), 1);
+        let mut pool = BufferPool::new();
+        assert_eq!(r.expire(40_000_000, &mut pool), 1);
         assert_eq!(r.timeouts, 1);
         assert_eq!(r.pending(), 0);
+        // Both held fragment payloads were recycled, not dropped.
+        assert_eq!(pool.stats().returns, 2);
     }
 
     #[test]

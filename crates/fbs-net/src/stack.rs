@@ -138,16 +138,28 @@ pub trait SecurityHooks: Send {
 
     /// Parked *output* datagrams whose keys became available: each returned
     /// `(header, protected_payload)` is ready for fragmentation and
-    /// transmission — the hook has already applied its processing. Called
-    /// from [`Host::poll`]. Default: nothing parked, nothing released.
-    fn release_output(&mut self, _now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
+    /// transmission — the hook has already applied its processing. Buffers
+    /// the release pass consumes or expires are recycled into `pool`.
+    /// Called from [`Host::poll`]. Default: nothing parked, nothing
+    /// released.
+    fn release_output(
+        &mut self,
+        _now_us: u64,
+        _pool: &mut BufferPool,
+    ) -> Vec<(Ipv4Header, Vec<u8>)> {
         Vec::new()
     }
 
     /// Parked *input* datagrams that now verify: each returned
-    /// `(header, plaintext_payload)` is ready for part-3 dispatch. Called
-    /// from [`Host::poll`]. Default: nothing parked, nothing released.
-    fn release_input(&mut self, _now_us: u64) -> Vec<(Ipv4Header, Vec<u8>)> {
+    /// `(header, plaintext_payload)` is ready for part-3 dispatch. Buffers
+    /// the release pass consumes or expires are recycled into `pool`.
+    /// Called from [`Host::poll`]. Default: nothing parked, nothing
+    /// released.
+    fn release_input(
+        &mut self,
+        _now_us: u64,
+        _pool: &mut BufferPool,
+    ) -> Vec<(Ipv4Header, Vec<u8>)> {
         Vec::new()
     }
 }
@@ -525,7 +537,7 @@ impl Host {
     /// Drive timers (MRT retransmission, reassembly expiry) and flush
     /// transport output. Call regularly with the current virtual time.
     pub fn poll(&mut self, now_us: u64) {
-        let expired = self.reasm.expire(now_us);
+        let expired = self.reasm.expire(now_us, &mut self.pool);
         if expired > 0 {
             if let Some(reg) = &self.obs {
                 for _ in 0..expired {
@@ -540,8 +552,8 @@ impl Host {
         // taken for the release calls so the released items can re-enter
         // the (self-borrowing) send/dispatch paths.
         if let Some(mut h) = self.hooks.take() {
-            let released_out = h.release_output(now_us);
-            let released_in = h.release_input(now_us);
+            let released_out = h.release_output(now_us, &mut self.pool);
+            let released_in = h.release_input(now_us, &mut self.pool);
             self.hooks = Some(h);
             for (header, payload) in released_out {
                 self.stats.hook_output_released += 1;

@@ -205,6 +205,7 @@ fn check_stale_partials(
     let mut r = Reassembler::new(timeout_us);
     let reg = fbs_obs::MetricsRegistry::new();
     let mut incomplete = 0usize;
+    let mut held_pieces = 0usize;
     for i in 0..n {
         let payload_len = 1600 + (next() as usize % 4000);
         let mut h = Ipv4Header::new([10, 0, 0, 1], [10, 0, 0, 2], Proto::Udp, payload_len);
@@ -227,6 +228,7 @@ fn check_stale_partials(
         } else if survivors > 0 {
             prop_assert!(survivors < total, "intact datagram must assemble");
             incomplete += 1;
+            held_pieces += survivors;
         }
     }
     // Exactly the loss-struck datagrams are pending; completed ones
@@ -235,19 +237,27 @@ fn check_stale_partials(
     let last_push = (n as u64 - 1) * step_us;
 
     // Nothing is older than the timeout at `timeout_us` after the FIRST
-    // push: no premature purge.
-    prop_assert_eq!(r.expire(timeout_us), 0);
+    // push: no premature purge (and nothing recycled).
+    let mut pool = fbs_core::BufferPool::new();
+    prop_assert_eq!(r.expire(timeout_us, &mut pool), 0);
     prop_assert_eq!(r.pending(), incomplete);
+    prop_assert_eq!(pool.stats().returns, 0);
 
-    // One tick past everyone's deadline: all stale partials purged.
-    let dropped = r.expire(last_push + timeout_us + 1);
+    // One tick past everyone's deadline: all stale partials purged, and
+    // every fragment payload they held goes back to the pool — the
+    // expiry path must balance, not leak.
+    let dropped = r.expire(last_push + timeout_us + 1, &mut pool);
     prop_assert_eq!(dropped, incomplete);
     prop_assert_eq!(r.pending(), 0);
     prop_assert_eq!(r.timeouts, incomplete as u64);
+    let recycled = pool.stats().returns + pool.stats().discards;
+    prop_assert_eq!(recycled, held_pieces as u64);
 
     // A second purge pass finds nothing (no double counting)...
-    prop_assert_eq!(r.expire(last_push + 2 * timeout_us + 2), 0);
+    prop_assert_eq!(r.expire(last_push + 2 * timeout_us + 2, &mut pool), 0);
     prop_assert_eq!(r.timeouts, incomplete as u64);
+    let recycled = pool.stats().returns + pool.stats().discards;
+    prop_assert_eq!(recycled, held_pieces as u64);
 
     // ...and the fbs-obs counter fed one event per expiry agrees with
     // the reassembler's own ledger, as `Host::poll` wires it.

@@ -116,10 +116,14 @@ pub enum Counter {
     DegradeFailOpen,
     /// Datagrams dropped under a fail-closed verdict.
     DegradeFailClosed,
+    /// Per-shard sub-batches processed by the sharded hooks.
+    ShardBatches,
+    /// Shard-lock acquisitions that found the lock already held.
+    ShardContended,
 }
 
 /// Number of scalar counters.
-const NUM_COUNTERS: usize = 49;
+const NUM_COUNTERS: usize = 51;
 
 impl Counter {
     /// All counters, in snapshot order.
@@ -173,6 +177,8 @@ impl Counter {
         Counter::ParkOverflow,
         Counter::DegradeFailOpen,
         Counter::DegradeFailClosed,
+        Counter::ShardBatches,
+        Counter::ShardContended,
     ];
 
     /// The hierarchical counter key.
@@ -227,6 +233,8 @@ impl Counter {
             Counter::ParkOverflow => "park.overflow",
             Counter::DegradeFailOpen => "degrade.fail_open",
             Counter::DegradeFailClosed => "degrade.fail_closed",
+            Counter::ShardBatches => "hooks.shard_batches",
+            Counter::ShardContended => "hooks.shard_contended",
         }
     }
 
