@@ -1,26 +1,23 @@
 //! Chaos soak harness — emits `BENCH_chaos.json`.
 //!
 //! `cargo run --release -p fbs-bench --bin chaos_soak
-//!  [-- --seed <n>] [--short] [--out <path.json>] [--csv]`
+//!  [-- --seed <n>] [--short] [--out <path.json>] [--csv]
+//!  [--trace <path.json>] [--prom <path.prom>] [--deltas <path.json>]`
 //!
 //! Runs a scripted directory/MKD outage with cache-flush storms against a
 //! two-host FBS LAN (see `fbs_bench::chaos` for the phase script) and
 //! reports degradation and recovery. Exits non-zero when the run fails to
 //! converge — goodput under 90% of baseline, a breaker stuck open, or
 //! datagrams still parked — so CI can gate on it directly.
+//!
+//! `--trace` writes the sampled flow trace (every flow; the soak drives
+//! one), byte-identical per seed since it runs on virtual time. `--prom`
+//! writes the final registry snapshot in Prometheus text exposition.
+//! `--deltas` writes the per-phase delta snapshots — what each phase
+//! changed, scrape-style, instead of ever-growing absolutes.
 
 use fbs_bench::chaos::{self, SoakConfig};
-use fbs_bench::emit;
-
-fn flag_value(name: &str) -> Option<String> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == name {
-            return args.next();
-        }
-    }
-    None
-}
+use fbs_bench::{emit, flag_value, write_artifact};
 
 fn main() {
     let seed: u64 = flag_value("--seed")
@@ -40,8 +37,10 @@ fn main() {
         cfg.step_us = 1_000;
     }
     let out = flag_value("--out").unwrap_or_else(|| "BENCH_chaos.json".into());
+    let trace_path = flag_value("--trace");
 
-    let report = chaos::run(cfg);
+    let soak = chaos::run_soak(cfg, trace_path.as_ref().map(|_| 0));
+    let report = &soak.report;
 
     let row = |name: &str, t: &chaos::PhaseTally| {
         vec![
@@ -72,13 +71,32 @@ fn main() {
         "\nrecovery ratio: {:.3} (threshold 0.9), breaker closed: {}, parked left: {:?}",
         report.recovery_ratio, report.breaker_closed, report.final_depths
     );
+    for (phase, health) in &report.health {
+        println!("health[{phase}]: {}", health.overall.name());
+    }
 
-    match std::fs::write(&out, report.to_json()) {
-        Ok(()) => eprintln!("report written to {out}"),
-        Err(e) => {
-            eprintln!("cannot write {out}: {e}");
-            std::process::exit(1);
-        }
+    write_artifact(&out, "report", &report.to_json());
+    if let (Some(path), Some(trace)) = (&trace_path, &soak.trace_json) {
+        write_artifact(path, "flow trace", trace);
+    }
+    if let Some(path) = flag_value("--prom") {
+        write_artifact(
+            &path,
+            "prometheus exposition",
+            &fbs_obs::prom::render(&soak.snapshot),
+        );
+    }
+    if let Some(path) = flag_value("--deltas") {
+        let phases: Vec<String> = soak
+            .deltas
+            .iter()
+            .map(|(phase, d)| format!("{{\"phase\":\"{}\",\"delta\":{}}}", phase, d.to_json()))
+            .collect();
+        write_artifact(
+            &path,
+            "delta snapshots",
+            &format!("[{}]\n", phases.join(",")),
+        );
     }
     if !report.converged {
         eprintln!("chaos soak FAILED to converge");

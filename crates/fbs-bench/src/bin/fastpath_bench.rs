@@ -14,7 +14,7 @@
 //! `#[global_allocator]` needs `unsafe impl GlobalAlloc`.
 
 use fbs_bench::fastpath;
-use fbs_bench::{arg_num, emit};
+use fbs_bench::{arg_num, emit, flag_value, write_artifact};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -40,16 +40,6 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn flag_value(name: &str) -> Option<String> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == name {
-            return args.next();
-        }
-    }
-    None
-}
 
 fn main() {
     let count = arg_num().unwrap_or(2000) as usize;
@@ -145,11 +135,26 @@ fn main() {
         report.mapping_sharded_vs_unsharded_1t
     );
 
-    match std::fs::write(&out, report.to_json()) {
-        Ok(()) => eprintln!("report written to {out}"),
-        Err(e) => {
-            eprintln!("cannot write {out}: {e}");
-            std::process::exit(1);
+    // Per-shard contention, from the most contended mapping row.
+    if let Some(m) = report.mapping.last() {
+        println!(
+            "\nshard contention — mapping {}t {}sh (all reps):",
+            m.threads, m.shards
+        );
+        for c in &m.contention {
+            println!(
+                "  shard {:2}: {:6} waits {:10} wait-ns  {:8} holds {:12} hold-ns",
+                c.shard, c.waits, c.wait_ns, c.holds, c.hold_ns
+            );
         }
+    }
+
+    write_artifact(&out, "report", &report.to_json());
+    if let Some(path) = flag_value("--prom") {
+        write_artifact(
+            &path,
+            "prometheus exposition",
+            &fbs_obs::prom::render(&report.obs),
+        );
     }
 }

@@ -33,7 +33,10 @@ use fbs_ip::hooks::{FbsIpHooks, IpMappingConfig};
 use fbs_net::ip::Ipv4Addr;
 use fbs_net::segment::Impairments;
 use fbs_net::stack::{Host, Network};
-use fbs_obs::MetricsRegistry;
+use fbs_obs::{
+    DeltaTracker, FlowTracer, HealthInputs, HealthModel, HealthReport, MetricsRegistry,
+    MetricsSnapshot,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -120,8 +123,16 @@ pub struct ChaosReport {
     /// Cache-flush pulses applied, by scope name.
     pub flush_pulses: u64,
     /// `park.* / degrade.* / retry.* / breaker.*` counters from the
-    /// shared fbs-obs registry both hosts report into.
+    /// shared fbs-obs registry both hosts report into. Includes the
+    /// breaker time-in-state accumulators (`breaker.time_*_us`), which
+    /// run on virtual time and are therefore seed-deterministic.
     pub resilience_counters: Vec<(String, u64)>,
+    /// Health-condition timeline: the [`HealthModel`] evaluated at the
+    /// end of each phase against that phase's *delta* snapshot (what
+    /// the phase itself did, not cumulative totals), in phase order.
+    /// Pure counter arithmetic on virtual time, so it is part of the
+    /// deterministic report.
+    pub health: Vec<(&'static str, HealthReport)>,
     /// The headline verdict: ratio ≥ 0.9, breakers closed, parks empty.
     pub converged: bool,
 }
@@ -148,6 +159,11 @@ impl ChaosReport {
             .iter()
             .map(|(k, v)| format!("    \"{k}\": {v}"))
             .collect();
+        let health: Vec<String> = self
+            .health
+            .iter()
+            .map(|(phase, report)| format!("    \"{}\": {}", phase, report.to_json()))
+            .collect();
         format!(
             "{{\n  \"bench\": \"chaos\",\n  \"seed\": {},\n  \
              \"phases_us\": {{\"baseline\": {}, \"fault\": {}, \"settle\": {}, \"recovery\": {}}},\n  \
@@ -160,6 +176,7 @@ impl ChaosReport {
              \"garbage_served\": {}}},\n  \
              \"mkd_chaos\": {{\"fetches\": {}, \"outages\": {}}},\n  \
              \"flush_pulses\": {},\n  \"resilience_counters\": {{\n{}\n  }},\n  \
+             \"health\": {{\n{}\n  }},\n  \
              \"converged\": {}\n}}\n",
             self.cfg.seed,
             self.cfg.baseline_us,
@@ -186,6 +203,7 @@ impl ChaosReport {
             self.mkd_chaos.outages,
             self.flush_pulses,
             counters.join(",\n"),
+            health.join(",\n"),
             self.converged
         )
     }
@@ -323,8 +341,36 @@ fn apply_pulse(scope: FlushScope, a: &ChaosHost, b: &ChaosHost) -> u64 {
     }
 }
 
-/// Run the soak and assemble the report.
+/// Everything one soak produces beyond the committed report: the
+/// sampled flow trace (when tracing was requested), the final metrics
+/// snapshot (the `--prom` exposition source), and per-phase delta
+/// snapshots (the periodic scrape-like increments for `--deltas`).
+#[derive(Debug)]
+pub struct SoakOutput {
+    /// The `BENCH_chaos.json` report.
+    pub report: ChaosReport,
+    /// Flow-trace JSON (`FlowTracer::to_json`), present when a trace
+    /// rate was requested. Runs entirely on virtual time, so it is
+    /// byte-identical per seed.
+    pub trace_json: Option<String>,
+    /// Final registry snapshot, for Prometheus exposition.
+    pub snapshot: MetricsSnapshot,
+    /// Per-phase delta snapshots from a [`DeltaTracker`]: what changed
+    /// during each phase, in phase order.
+    pub deltas: Vec<(&'static str, MetricsSnapshot)>,
+}
+
+/// Phase names, in order, shared by the health timeline and deltas.
+const PHASES: [&str; 4] = ["baseline", "fault", "settle", "recovery"];
+
+/// Run the soak and assemble just the report (no tracing).
 pub fn run(cfg: SoakConfig) -> ChaosReport {
+    run_soak(cfg, None).report
+}
+
+/// Run the soak, optionally sampling flows at 1 in 2^`trace_rate_log2`
+/// (0 traces the soak's single flow), and return the full output set.
+pub fn run_soak(cfg: SoakConfig, trace_rate_log2: Option<u32>) -> SoakOutput {
     let clock = VirtualClock::starting_at_us(0);
     let plan = fault_plan(&cfg);
     let group = DhGroup::test_group();
@@ -349,11 +395,34 @@ pub fn run(cfg: SoakConfig) -> ChaosReport {
         &plan,
         cfg.seed ^ 0xB0B,
     );
-    let registry = Arc::new(MetricsRegistry::new());
+    // Events (breaker transitions in particular) are stamped with the
+    // virtual clock, so the flight recorder and trace annotations are
+    // deterministic per seed. The ring is sized for the whole run (a
+    // few events per datagram sent) so the recorder keeps full history
+    // and a healthy soak reports zero dropped events.
+    let total_us = cfg.baseline_us + cfg.fault_us + cfg.settle_us + cfg.recovery_us;
+    let event_capacity =
+        ((total_us / cfg.send_interval_us.max(1)) as usize * 16).next_power_of_two();
+    let registry = {
+        let c = clock.clone();
+        Arc::new(
+            MetricsRegistry::with_event_capacity(event_capacity)
+                .with_time_source(move || c.now_micros()),
+        )
+    };
+    let tracer = trace_rate_log2.map(|rate| {
+        let t = Arc::new(FlowTracer::new(rate));
+        registry.set_tracer(Arc::clone(&t));
+        t
+    });
     a.hooks.attach_obs(Arc::clone(&registry));
     b.hooks.attach_obs(Arc::clone(&registry));
     net.add_host(host_a);
     net.add_host(host_b);
+    // The stacks observe into the same registry as the hooks: wire /
+    // reassembly / deliver spans stitch onto the hook-side spans.
+    net.host_mut(A).attach_obs(Arc::clone(&registry));
+    net.host_mut(B).attach_obs(Arc::clone(&registry));
     net.host_mut(B).udp.bind(PORT).unwrap();
 
     let phase_ends = [
@@ -373,6 +442,10 @@ pub fn run(cfg: SoakConfig) -> ChaosReport {
     let mut next_send = 0u64;
     let mut delivered_before = 0u64;
     let payload = vec![0x5Au8; cfg.payload_bytes];
+    let health_model = HealthModel::default();
+    let mut health: Vec<(&'static str, HealthReport)> = Vec::with_capacity(4);
+    let mut delta_tracker = DeltaTracker::new();
+    let mut deltas: Vec<(&'static str, MetricsSnapshot)> = Vec::with_capacity(4);
 
     for (phase, (&end, &len)) in phase_ends.iter().zip(phase_lens.iter()).enumerate() {
         while net.now_us() < end {
@@ -382,6 +455,14 @@ pub fn run(cfg: SoakConfig) -> ChaosReport {
             clock.set_us(prev);
             for scope in plan.cache_pulses(prev.saturating_sub(cfg.step_us), prev) {
                 flush_pulses += apply_pulse(scope, &a, &b);
+            }
+            // Fault-window edges land on the trace timeline, so a
+            // parked span can be read against the outage that caused it.
+            if let Some(t) = &tracer {
+                for (edge, fault, t_us) in plan.window_edges(prev.saturating_sub(cfg.step_us), prev)
+                {
+                    t.annotate(edge, fault, t_us, 0);
+                }
             }
             while next_send <= prev {
                 let res = net.host_mut(A).udp_send(4000, B, PORT, &payload, prev);
@@ -399,6 +480,30 @@ pub fn run(cfg: SoakConfig) -> ChaosReport {
         tallies[phase].goodput_per_sec =
             tallies[phase].delivered as f64 / (len as f64 / 1_000_000.0);
         delivered_before = delivered_total;
+
+        // Phase-end observation: one health evaluation and one delta
+        // snapshot per phase. Both read only counters (virtual-time
+        // arithmetic), so the health timeline stays deterministic.
+        // Health is judged on the *delta* — what this phase did — so a
+        // park overflow during the fault window marks the fault phase
+        // critical without smearing criticality over the recovery
+        // phases that follow (counters are cumulative; phase health is
+        // not).
+        let snap = registry.snapshot();
+        let delta = delta_tracker.delta(&snap);
+        let ad = a.hooks.parked_depths();
+        let bd = b.hooks.parked_depths();
+        let inputs = HealthInputs {
+            park_depth: (ad.0 + ad.1 + bd.0 + bd.1) as u64,
+            // Two hosts × (output + input queues) × the configured
+            // per-queue bound.
+            park_capacity: 4 * ip_cfg.park_capacity as u64,
+            recovery_ratio_pct: (phase == 3).then(|| {
+                (tallies[3].goodput_per_sec * 100.0 / tallies[0].goodput_per_sec.max(1e-9)) as u64
+            }),
+        };
+        health.push((PHASES[phase], health_model.evaluate(&delta, &inputs)));
+        deltas.push((PHASES[phase], delta));
     }
 
     let (out_park, _) = a.hooks.park_stats();
@@ -426,7 +531,7 @@ pub fn run(cfg: SoakConfig) -> ChaosReport {
         .collect();
     let converged = recovery_ratio >= 0.9 && breaker_closed && final_depths == (0, 0);
 
-    ChaosReport {
+    let report = ChaosReport {
         cfg,
         baseline: tallies[0],
         fault: tallies[1],
@@ -441,7 +546,14 @@ pub fn run(cfg: SoakConfig) -> ChaosReport {
         mkd_chaos: b.pvs.stats(),
         flush_pulses,
         resilience_counters,
+        health,
         converged,
+    };
+    SoakOutput {
+        report,
+        trace_json: tracer.map(|t| t.to_json()),
+        snapshot: registry.snapshot(),
+        deltas,
     }
 }
 
@@ -484,9 +596,67 @@ mod tests {
 
     #[test]
     fn soak_is_deterministic_for_a_seed() {
-        let one = run(short_cfg(23)).to_json();
-        let two = run(short_cfg(23)).to_json();
-        assert_eq!(one, two, "same seed must reproduce byte-identically");
+        let one = run_soak(short_cfg(23), Some(0));
+        let two = run_soak(short_cfg(23), Some(0));
+        assert_eq!(
+            one.report.to_json(),
+            two.report.to_json(),
+            "same seed must reproduce byte-identically"
+        );
+        assert_eq!(
+            one.trace_json, two.trace_json,
+            "flow trace must be byte-identical per seed"
+        );
+    }
+
+    #[test]
+    fn trace_follows_flow_and_annotates_faults() {
+        let out = run_soak(short_cfg(11), Some(0));
+        let trace = out.trace_json.expect("tracing was requested");
+        // The sampled flow shows its whole life: tx classify/seal/wire,
+        // rx open/deliver, plus the fault-window park-and-release arc.
+        for kind in [
+            "classify", "seal", "wire", "open", "deliver", "parked", "released",
+        ] {
+            assert!(
+                trace.contains(&format!("\"kind\":\"{kind}\"")),
+                "trace missing {kind} span"
+            );
+        }
+        // Both hosts contributed legs to the traced flow.
+        assert!(trace.contains("\"host\":\"10.77.0.1\""));
+        assert!(trace.contains("\"host\":\"10.77.0.2\""));
+        // Global conditions are annotated on the same clock.
+        assert!(trace.contains("\"kind\":\"fault_start\""));
+        assert!(trace.contains("\"kind\":\"fault_end\""));
+        assert!(trace.contains("\"detail\":\"directory_outage\""));
+        assert!(trace.contains("\"kind\":\"breaker_transition\""));
+
+        // Health timeline: one report per phase, full condition set,
+        // breaker degraded at the end of the fault window.
+        let r = &out.report;
+        assert_eq!(r.health.len(), 4);
+        assert!(r.health.iter().all(|(_, h)| h.conditions.len() == 5));
+        assert_eq!(r.health[1].0, "fault");
+        assert_eq!(
+            r.health[1]
+                .1
+                .condition(fbs_obs::ConditionKind::BreakerOpen)
+                .unwrap()
+                .status,
+            fbs_obs::HealthStatus::Degraded
+        );
+        // Health reads each phase's own delta, so the fault window's
+        // park overflow and breaker churn do not smear into the phases
+        // around it: baseline is clean and recovery converges to Ok.
+        assert_eq!(r.health[0].1.overall, fbs_obs::HealthStatus::Ok);
+        assert_eq!(r.health[3].1.overall, fbs_obs::HealthStatus::Ok);
+        // Per-phase deltas: the fault phase is where breakers opened.
+        assert_eq!(out.deltas.len(), 4);
+        assert!(out.deltas[1].1.counter("breaker.opened") > 0);
+        // The final snapshot renders as Prometheus text.
+        let prom = fbs_obs::prom::render(&out.snapshot);
+        assert!(prom.contains("# TYPE fbs_park_parked counter"), "{prom}");
     }
 
     #[test]
@@ -495,6 +665,9 @@ mod tests {
         assert!(json.contains("\"bench\": \"chaos\""));
         assert!(json.contains("\"recovery_ratio\""));
         assert!(json.contains("\"converged\""));
+        assert!(json.contains("\"health\""));
+        assert!(json.contains("\"breaker_open\""));
+        assert!(json.contains("breaker.time_closed_us"));
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();
         assert_eq!(opens, closes);

@@ -23,7 +23,9 @@ use fbs_ip::hooks::IpMappingConfig;
 use fbs_ip::host::build_secure_host;
 use fbs_net::ip::{Ipv4Header, Proto};
 use fbs_net::{HookOutcome, SecurityHooks};
-use fbs_obs::Direction;
+use fbs_obs::{
+    Direction, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ShardLockRow, Stage,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -101,7 +103,7 @@ pub struct OpenerRate {
 
 /// A sharded-IP-mapping measurement: N threads driving output batches
 /// through cloned handles of ONE shared `FbsIpHooks`, per-thread pools.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MappingRate {
     /// Concurrent threads sharing the mapping.
     pub threads: usize,
@@ -113,6 +115,13 @@ pub struct MappingRate {
     pub pool_balanced: bool,
     /// The measured rate (wire buffers recycled back to the pools).
     pub rate: Rate,
+    /// Per-stage latency histograms (name, snapshot) accumulated over
+    /// every rep of this row: partition, lock wait/hold, seal, key
+    /// derivation, dispatch. Nanosecond log2 buckets.
+    pub stages: Vec<(&'static str, HistogramSnapshot)>,
+    /// Per-shard lock contention rows (waits, wait-ns, holds, hold-ns)
+    /// accumulated over every rep of this row.
+    pub contention: Vec<ShardLockRow>,
 }
 
 /// The full `BENCH_fastpath.json` payload.
@@ -156,6 +165,9 @@ pub struct FastpathReport {
     /// Single-thread sharded mapping over the `shards = 1` baseline:
     /// the cost of sharding itself, which must stay near 1.0.
     pub mapping_sharded_vs_unsharded_1t: f64,
+    /// Merged metrics snapshot across every mapping row's registry —
+    /// the `--prom` exposition source.
+    pub obs: MetricsSnapshot,
 }
 
 fn json_rate(r: &Rate) -> String {
@@ -163,6 +175,42 @@ fn json_rate(r: &Rate) -> String {
         "{{\"datagrams_per_sec\": {:.1}, \"bytes_per_sec\": {:.1}, \"allocs_per_datagram\": {:.2}}}",
         r.datagrams_per_sec, r.bytes_per_sec, r.allocs_per_datagram
     )
+}
+
+fn json_hist(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .map(|(lo, hi, c)| format!("[{lo}, {hi}, {c}]"))
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum_ns\": {}, \"buckets\": [{}]}}",
+        h.count(),
+        h.sum,
+        buckets.join(", ")
+    )
+}
+
+/// Fold `s` into `acc`: counters add, histogram buckets add by lower
+/// bound. Used to merge the per-row mapping registries into the one
+/// snapshot the `--prom` exposition renders.
+fn merge_snapshot(acc: &mut MetricsSnapshot, s: &MetricsSnapshot) {
+    for (name, v) in &s.counters {
+        if *v > 0 {
+            acc.add(name, *v);
+        }
+    }
+    for (name, h) in &s.histograms {
+        let e = acc.histograms.entry(name.clone()).or_default();
+        for &(lo, hi, count) in &h.buckets {
+            match e.buckets.iter_mut().find(|(l, _, _)| *l == lo) {
+                Some(b) => b.2 += count,
+                None => e.buckets.push((lo, hi, count)),
+            }
+        }
+        e.buckets.sort_unstable_by_key(|b| b.0);
+        e.sum = e.sum.saturating_add(h.sum);
+    }
 }
 
 impl FastpathReport {
@@ -201,16 +249,35 @@ impl FastpathReport {
             .mapping
             .iter()
             .map(|m| {
+                let stages: Vec<String> = m
+                    .stages
+                    .iter()
+                    .map(|(name, h)| format!("\"{}_ns\": {}", name, json_hist(h)))
+                    .collect();
+                let contention: Vec<String> = m
+                    .contention
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "{{\"shard\": {}, \"waits\": {}, \"wait_ns\": {}, \
+                             \"holds\": {}, \"hold_ns\": {}}}",
+                            r.shard, r.waits, r.wait_ns, r.holds, r.hold_ns
+                        )
+                    })
+                    .collect();
                 format!(
                     "    {{\"threads\": {}, \"shards\": {}, \"pool_balanced\": {}, \
                      \"datagrams_per_sec\": {:.1}, \"bytes_per_sec\": {:.1}, \
-                     \"allocs_per_datagram\": {:.2}}}",
+                     \"allocs_per_datagram\": {:.2}, \"stages\": {{{}}}, \
+                     \"contention\": [{}]}}",
                     m.threads,
                     m.shards,
                     m.pool_balanced,
                     m.rate.datagrams_per_sec,
                     m.rate.bytes_per_sec,
-                    m.rate.allocs_per_datagram
+                    m.rate.allocs_per_datagram,
+                    stages.join(", "),
+                    contention.join(", ")
                 )
             })
             .collect();
@@ -529,6 +596,7 @@ pub fn measure_mapping(
     mode: Mode,
     threads: usize,
     shards: usize,
+    obs: Option<&Arc<MetricsRegistry>>,
     alloc: &dyn Fn() -> u64,
 ) -> (Rate, bool) {
     let clock = ManualClock::starting_at(0);
@@ -559,6 +627,11 @@ pub fn measure_mapping(
     );
     // Building B publishes its certificate, so A's sends can key.
     let (_hb, _hooks_b) = build_secure_host(b, 1500, cfg, clock, &group, &ca, &directory, 12);
+    // Attach the row's registry before any warm batch runs, so stage
+    // timers and the shard lock table cover the entire measured window.
+    if let Some(reg) = obs {
+        hooks.attach_obs(Arc::clone(reg));
+    }
     // Each thread drives the full `count`: dividing it N ways would
     // shrink multi-thread reps to a few milliseconds of measurement,
     // which on a shared single-CPU host is pure scheduler noise. The
@@ -676,6 +749,7 @@ pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) ->
         .rate;
     // Mapping grid: the shards=1 single-thread row is the pre-shard
     // baseline; the rest drive 1/2/4 threads at the default shard count.
+    let mut obs = MetricsSnapshot::new();
     let mapping: Vec<MappingRate> = [(1usize, 1usize), (1, 8), (2, 8), (4, 8)]
         .into_iter()
         .map(|(threads, shards)| {
@@ -684,20 +758,37 @@ pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) ->
             // unsharded ratio is the report's sharding-cost headline, and
             // on a shared host each row needs several chances to land in
             // an unthrottled scheduling window.
+            //
+            // One registry per row, shared across its reps: the stage
+            // histograms and contention table describe this (threads,
+            // shards) point over all its reps — enough samples for the
+            // log2 buckets to show a distribution, still attributable
+            // to one grid point.
+            let reg = Arc::new(MetricsRegistry::new());
             let mut best: Option<Rate> = None;
             let mut pool_balanced = true;
             for _ in 0..MAPPING_REPS {
-                let (rate, ok) = measure_mapping(payload, count, mode, threads, shards, alloc);
+                let (rate, ok) =
+                    measure_mapping(payload, count, mode, threads, shards, Some(&reg), alloc);
                 pool_balanced &= ok;
-                if best.is_none_or(|b| rate.datagrams_per_sec > b.datagrams_per_sec) {
+                if best.is_none_or(|b: Rate| rate.datagrams_per_sec > b.datagrams_per_sec) {
                     best = Some(rate);
                 }
             }
+            let stages: Vec<(&'static str, HistogramSnapshot)> = Stage::ALL
+                .iter()
+                .map(|s| (s.name(), reg.stage_histogram(*s)))
+                .filter(|(_, h)| !h.buckets.is_empty())
+                .collect();
+            let contention = reg.shard_lock_table();
+            merge_snapshot(&mut obs, &reg.snapshot());
             MappingRate {
                 threads,
                 shards,
                 pool_balanced,
                 rate: best.expect("reps > 0"),
+                stages,
+                contention,
             }
         })
         .collect();
@@ -727,6 +818,7 @@ pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) ->
         open_inline_pooled,
         opener,
         mapping,
+        obs,
     }
 }
 
@@ -751,7 +843,28 @@ mod tests {
         for m in &r.mapping {
             assert!(m.rate.datagrams_per_sec > 0.0);
             assert!(m.pool_balanced, "mapping row leaked buffers: {m:?}");
+            // Every row ran with a registry attached: the hot stages
+            // must have recorded spans and every shard that processed a
+            // group must show lock holds.
+            let stage_names: Vec<&str> = m.stages.iter().map(|(n, _)| *n).collect();
+            for want in ["partition", "lock_hold", "seal", "dispatch"] {
+                assert!(stage_names.contains(&want), "row missing stage {want}");
+            }
+            assert!(!m.contention.is_empty(), "row has no lock-hold rows");
+            assert!(m.contention.iter().all(|c| c.holds > 0));
+            assert!(
+                m.contention.iter().all(|c| c.shard < m.shards),
+                "contention row outside shard range: {:?}",
+                m.contention
+            );
         }
+        assert!(json.contains("\"stages\""));
+        assert!(json.contains("\"contention\""));
+        assert!(json.contains("\"lock_hold_ns\""));
+        // The merged snapshot feeds --prom: it must carry the stage
+        // histograms and per-shard counters the rows were built from.
+        assert!(r.obs.histograms.contains_key("stage.seal_ns"));
+        assert!(r.obs.counter("hooks.shard.0.lock_holds") > 0);
         assert_eq!(
             r.mapping
                 .iter()

@@ -39,15 +39,32 @@ pub fn emit(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// The path following a `--metrics` flag, if one was given.
-pub fn metrics_path() -> Option<std::path::PathBuf> {
+/// The value following flag `name`, if the flag was given.
+pub fn flag_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--metrics" {
-            return args.next().map(Into::into);
+        if a == name {
+            return args.next();
         }
     }
     None
+}
+
+/// The path following a `--metrics` flag, if one was given.
+pub fn metrics_path() -> Option<std::path::PathBuf> {
+    flag_value("--metrics").map(Into::into)
+}
+
+/// Write `content` to `path`, exiting non-zero on failure; `what` names
+/// the artifact in the stderr note.
+pub fn write_artifact(path: &str, what: &str, content: &str) {
+    match std::fs::write(path, content) {
+        Ok(()) => eprintln!("{what} written to {path}"),
+        Err(e) => {
+            eprintln!("cannot write {what} to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Write a metrics snapshot as JSON to `path` and note it on stderr

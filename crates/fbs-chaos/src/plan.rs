@@ -54,6 +54,22 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable snake_case name for logs, flow-trace annotations, and
+    /// reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::DirectoryOutage => "directory_outage",
+            FaultKind::DirectoryLatency { .. } => "directory_latency",
+            FaultKind::DirectoryStale => "directory_stale",
+            FaultKind::DirectoryGarbage => "directory_garbage",
+            FaultKind::MkdOutage => "mkd_outage",
+            FaultKind::FlushCaches { .. } => "flush_caches",
+            FaultKind::EvictionStorm { .. } => "eviction_storm",
+        }
+    }
+}
+
 /// A fault active over `[start_us, end_us)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultWindow {
@@ -150,6 +166,32 @@ impl FaultPlan {
         self.windows
             .iter()
             .any(|w| w.contains(now_us) && w.kind == FaultKind::MkdOutage)
+    }
+
+    /// Fault-window edges crossed in `(prev_us, now_us]`: `(edge,
+    /// fault, t_us)` tuples with edge `"fault_start"` /
+    /// `"fault_end"`, ordered by time (ties keep plan order). The soak
+    /// driver forwards these to the flow tracer as annotations, so a
+    /// trace shows which fault window each parked or degraded span sat
+    /// inside. Edge-triggered like [`Self::cache_pulses`]: calling once
+    /// per step with the previous step's time yields each edge exactly
+    /// once.
+    pub fn window_edges(
+        &self,
+        prev_us: u64,
+        now_us: u64,
+    ) -> Vec<(&'static str, &'static str, u64)> {
+        let mut edges = Vec::new();
+        for w in &self.windows {
+            if prev_us < w.start_us && w.start_us <= now_us {
+                edges.push(("fault_start", w.kind.name(), w.start_us));
+            }
+            if prev_us < w.end_us && w.end_us <= now_us {
+                edges.push(("fault_end", w.kind.name(), w.end_us));
+            }
+        }
+        edges.sort_by_key(|e| e.2);
+        edges
     }
 
     /// Cache flushes due in `(prev_us, now_us]`: one pulse per
@@ -254,6 +296,29 @@ mod tests {
         assert!(!plan.directory_outage(5));
         assert!(!plan.mkd_outage(25));
         assert!(plan.directory_outage(25));
+    }
+
+    #[test]
+    fn window_edges_fire_once_in_time_order() {
+        let plan = FaultPlan::new(1)
+            .with_window(100, 300, FaultKind::DirectoryOutage)
+            .with_window(200, 400, FaultKind::MkdOutage);
+        assert!(plan.window_edges(0, 99).is_empty());
+        assert_eq!(
+            plan.window_edges(99, 250),
+            vec![
+                ("fault_start", "directory_outage", 100),
+                ("fault_start", "mkd_outage", 200),
+            ]
+        );
+        // Edges already delivered never re-fire.
+        assert_eq!(
+            plan.window_edges(250, 1_000),
+            vec![
+                ("fault_end", "directory_outage", 300),
+                ("fault_end", "mkd_outage", 400),
+            ]
+        );
     }
 
     #[test]

@@ -64,6 +64,22 @@ pub enum Transition {
     Closed,
 }
 
+/// A transition plus the timing the observability plane wants: when it
+/// happened and how long the breaker sat in the state it left. All
+/// times come from the caller's clock, so the record is deterministic
+/// under simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionEvent {
+    /// What happened.
+    pub transition: Transition,
+    /// The state left behind.
+    pub from: BreakerState,
+    /// Clock microseconds when the transition fired.
+    pub at_us: u64,
+    /// How long the breaker sat in `from`, in clock microseconds.
+    pub in_state_us: u64,
+}
+
 /// Verdict for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Allow {
@@ -81,6 +97,9 @@ pub struct CircuitBreaker {
     cfg: BreakerConfig,
     state: BreakerState,
     consecutive_failures: u32,
+    /// Clock reading when the current state was entered (0 for the
+    /// initial Closed state).
+    state_entered_us: u64,
 }
 
 impl CircuitBreaker {
@@ -90,7 +109,27 @@ impl CircuitBreaker {
             cfg,
             state: BreakerState::Closed,
             consecutive_failures: 0,
+            state_entered_us: 0,
         }
+    }
+
+    /// Swap to `state` at `now_us`, producing the transition record.
+    fn transition(&mut self, t: Transition, state: BreakerState, now_us: u64) -> TransitionEvent {
+        let from = self.state;
+        let in_state_us = now_us.saturating_sub(self.state_entered_us);
+        self.state = state;
+        self.state_entered_us = now_us;
+        TransitionEvent {
+            transition: t,
+            from,
+            at_us: now_us,
+            in_state_us,
+        }
+    }
+
+    /// How long the breaker has been in its current state at `now_us`.
+    pub fn time_in_state_us(&self, now_us: u64) -> u64 {
+        now_us.saturating_sub(self.state_entered_us)
     }
 
     /// Current state (an `Open` breaker stays `Open` here even past its
@@ -107,7 +146,7 @@ impl CircuitBreaker {
 
     /// Gate one request. May half-open an expired `Open` breaker, in
     /// which case the transition is returned alongside the verdict.
-    pub fn allow(&mut self, now_us: u64) -> (Allow, Option<Transition>) {
+    pub fn allow(&mut self, now_us: u64) -> (Allow, Option<TransitionEvent>) {
         match self.state {
             BreakerState::Closed => (Allow::Yes, None),
             BreakerState::HalfOpen => {
@@ -119,21 +158,20 @@ impl CircuitBreaker {
                 if now_us < until_us {
                     (Allow::FastFail, None)
                 } else {
-                    self.state = BreakerState::HalfOpen;
-                    (Allow::Probe, Some(Transition::HalfOpened))
+                    let t = self.transition(Transition::HalfOpened, BreakerState::HalfOpen, now_us);
+                    (Allow::Probe, Some(t))
                 }
             }
         }
     }
 
-    /// Record a success. Closes a half-open breaker and resets the
-    /// failure count.
-    pub fn on_success(&mut self) -> Option<Transition> {
+    /// Record a success at `now_us`. Closes a half-open breaker and
+    /// resets the failure count.
+    pub fn on_success(&mut self, now_us: u64) -> Option<TransitionEvent> {
         self.consecutive_failures = 0;
         match self.state {
             BreakerState::HalfOpen => {
-                self.state = BreakerState::Closed;
-                Some(Transition::Closed)
+                Some(self.transition(Transition::Closed, BreakerState::Closed, now_us))
             }
             _ => None,
         }
@@ -142,7 +180,7 @@ impl CircuitBreaker {
     /// Record a failure at `now_us`. Trips the breaker when the
     /// threshold is reached; a failed half-open probe re-opens it for a
     /// full interval.
-    pub fn on_failure(&mut self, now_us: u64) -> Option<Transition> {
+    pub fn on_failure(&mut self, now_us: u64) -> Option<TransitionEvent> {
         self.consecutive_failures += 1;
         let trip = match self.state {
             BreakerState::HalfOpen => true,
@@ -150,10 +188,10 @@ impl CircuitBreaker {
             BreakerState::Open { .. } => false,
         };
         if trip {
-            self.state = BreakerState::Open {
+            let open = BreakerState::Open {
                 until_us: now_us.saturating_add(self.cfg.open_duration_us),
             };
-            Some(Transition::Opened)
+            Some(self.transition(Transition::Opened, open, now_us))
         } else {
             None
         }
@@ -171,14 +209,22 @@ mod tests {
         }
     }
 
+    fn kind(t: Option<TransitionEvent>) -> Option<Transition> {
+        t.map(|t| t.transition)
+    }
+
     #[test]
     fn closed_allows_and_counts_failures() {
         let mut b = CircuitBreaker::new(cfg());
         assert_eq!(b.allow(0).0, Allow::Yes);
-        assert_eq!(b.on_failure(0), None);
-        assert_eq!(b.on_failure(1), None);
+        assert_eq!(kind(b.on_failure(0)), None);
+        assert_eq!(kind(b.on_failure(1)), None);
         assert_eq!(b.state(), BreakerState::Closed);
-        assert_eq!(b.on_failure(2), Some(Transition::Opened));
+        let t = b.on_failure(2).unwrap();
+        assert_eq!(t.transition, Transition::Opened);
+        assert_eq!(t.from, BreakerState::Closed);
+        assert_eq!(t.at_us, 2);
+        assert_eq!(t.in_state_us, 2);
         assert_eq!(b.state(), BreakerState::Open { until_us: 1_002 });
     }
 
@@ -187,7 +233,7 @@ mod tests {
         let mut b = CircuitBreaker::new(cfg());
         b.on_failure(0);
         b.on_failure(0);
-        assert_eq!(b.on_success(), None);
+        assert_eq!(kind(b.on_success(0)), None);
         b.on_failure(0);
         b.on_failure(0);
         assert_eq!(b.state(), BreakerState::Closed);
@@ -202,7 +248,13 @@ mod tests {
         assert!(b.would_fast_fail(500));
         assert_eq!(b.allow(500), (Allow::FastFail, None));
         assert!(!b.would_fast_fail(1_100));
-        assert_eq!(b.allow(1_100), (Allow::Probe, Some(Transition::HalfOpened)));
+        let (verdict, t) = b.allow(1_100);
+        assert_eq!(verdict, Allow::Probe);
+        let t = t.unwrap();
+        assert_eq!(t.transition, Transition::HalfOpened);
+        assert_eq!(t.from, BreakerState::Open { until_us: 1_100 });
+        // Tripped at 100, half-opened at 1_100: 1_000 µs in Open.
+        assert_eq!(t.in_state_us, 1_000);
         assert_eq!(b.state(), BreakerState::HalfOpen);
         // Second caller while the probe is out: still fast-fails.
         assert_eq!(b.allow(1_100), (Allow::FastFail, None));
@@ -215,9 +267,12 @@ mod tests {
             b.on_failure(0);
         }
         b.allow(2_000);
-        assert_eq!(b.on_success(), Some(Transition::Closed));
+        let t = b.on_success(2_500).unwrap();
+        assert_eq!(t.transition, Transition::Closed);
+        assert_eq!(t.from, BreakerState::HalfOpen);
+        assert_eq!(t.in_state_us, 500);
         assert_eq!(b.state(), BreakerState::Closed);
-        assert_eq!(b.allow(2_000).0, Allow::Yes);
+        assert_eq!(b.allow(2_500).0, Allow::Yes);
     }
 
     #[test]
@@ -227,8 +282,18 @@ mod tests {
             b.on_failure(0);
         }
         b.allow(2_000);
-        assert_eq!(b.on_failure(2_000), Some(Transition::Opened));
+        assert_eq!(kind(b.on_failure(2_000)), Some(Transition::Opened));
         assert_eq!(b.state(), BreakerState::Open { until_us: 3_000 });
         assert!(b.would_fast_fail(2_500));
+    }
+
+    #[test]
+    fn time_in_state_tracks_current_state() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert_eq!(b.time_in_state_us(250), 250);
+        for _ in 0..3 {
+            b.on_failure(400);
+        }
+        assert_eq!(b.time_in_state_us(900), 500);
     }
 }

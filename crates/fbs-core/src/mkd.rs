@@ -13,7 +13,9 @@
 //! fetches with simulated RTT, verification), while the MKD's caller (the
 //! protocol endpoint with its MKC) is "kernel".
 
-use crate::breaker::{Allow, BreakerConfig, BreakerState, CircuitBreaker, Transition};
+use crate::breaker::{
+    Allow, BreakerConfig, BreakerState, CircuitBreaker, Transition, TransitionEvent,
+};
 use crate::clock::Clock;
 use crate::error::{FbsError, Result};
 use crate::principal::Principal;
@@ -233,8 +235,8 @@ impl MasterKeyDaemon {
         }
     }
 
-    fn note_transition(&mut self, t: Transition) {
-        let to = match t {
+    fn note_transition(&mut self, t: TransitionEvent) {
+        let to = match t.transition {
             Transition::Opened => {
                 self.stats.breaker_opens += 1;
                 BreakerStateKind::Open
@@ -248,7 +250,20 @@ impl MasterKeyDaemon {
                 BreakerStateKind::Closed
             }
         };
-        self.record(Event::BreakerTransition { to });
+        let from = match t.from {
+            BreakerState::Closed => BreakerStateKind::Closed,
+            BreakerState::Open { .. } => BreakerStateKind::Open,
+            BreakerState::HalfOpen => BreakerStateKind::HalfOpen,
+        };
+        self.record(Event::BreakerTransition {
+            from,
+            to,
+            in_state_us: t.in_state_us,
+        });
+        // Line the transition up against any sampled flow traces.
+        if let Some(tracer) = self.obs.as_ref().and_then(|reg| reg.tracer()) {
+            tracer.annotate("breaker_transition", to.name(), t.at_us, t.in_state_us);
+        }
     }
 
     /// The `Upcall(MKDaemon, D)` of Fig. 6: produce the pair-based master
@@ -294,7 +309,10 @@ impl MasterKeyDaemon {
         let breaker = res.breakers.get_mut(peer).expect("inserted above");
         match outcome.result {
             Ok(public) => {
-                let transition = breaker.on_success();
+                // Success time mirrors the failure path: the virtual
+                // backoff spent retrying has already elapsed.
+                let succeeded_at = now_us.saturating_add(outcome.total_backoff_us);
+                let transition = breaker.on_success(succeeded_at);
                 if let Some(t) = transition {
                     self.note_transition(t);
                 }

@@ -73,8 +73,10 @@ impl BufferPool {
         }
     }
 
-    /// Attach a metrics registry; hits/misses are counted there as well as
-    /// in the legacy stats.
+    /// Attach a metrics registry; hits/misses/returns/discards are counted
+    /// there as well as in the legacy stats, so the pool ledger
+    /// (`takes == returns + discards` at quiesce) is checkable from a
+    /// snapshot alone.
     pub fn attach_obs(&mut self, registry: Arc<MetricsRegistry>) {
         self.obs = Some(registry);
     }
@@ -107,8 +109,14 @@ impl BufferPool {
             buf.clear();
             self.free.push(buf);
             self.stats.returns += 1;
+            if let Some(reg) = &self.obs {
+                reg.incr(Counter::PoolReturns);
+            }
         } else {
             self.stats.discards += 1;
+            if let Some(reg) = &self.obs {
+                reg.incr(Counter::PoolDiscards);
+            }
         }
     }
 
@@ -186,6 +194,7 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("pool.misses"), 1);
         assert_eq!(snap.counter("pool.hits"), 1);
+        assert_eq!(snap.counter("pool.returns"), 1);
     }
 
     #[test]

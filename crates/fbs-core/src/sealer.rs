@@ -283,9 +283,13 @@ impl ParallelSealer {
         let n = jobs.len();
         self.stats.jobs += n as u64;
         self.stats.batches += 1;
-        if let Some(reg) = &self.obs {
+        if let Some(reg) = self.obs.clone() {
             reg.add(Counter::SealerJobs, n as u64);
             reg.incr(Counter::SealerBatches);
+            let timer = fbs_obs::StageTimer::start();
+            let out = self.run_batch(jobs, |j| j.sfl as usize, WorkerMsg::Seal);
+            reg.observe_stage(fbs_obs::Stage::Seal, timer.elapsed_ns());
+            return out;
         }
         self.run_batch(jobs, |j| j.sfl as usize, WorkerMsg::Seal)
     }
@@ -301,20 +305,21 @@ impl ParallelSealer {
         let n = jobs.len();
         self.stats.open_jobs += n as u64;
         self.stats.open_batches += 1;
-        if let Some(reg) = &self.obs {
+        let key = |j: &OpenJob| {
+            j.wire
+                .get(0..8)
+                .map(|b| u64::from_be_bytes(b.try_into().expect("8-byte slice")) as usize)
+                .unwrap_or(0)
+        };
+        if let Some(reg) = self.obs.clone() {
             reg.add(Counter::SealerOpenJobs, n as u64);
             reg.incr(Counter::SealerOpenBatches);
+            let timer = fbs_obs::StageTimer::start();
+            let out = self.run_batch(jobs, key, WorkerMsg::Open);
+            reg.observe_stage(fbs_obs::Stage::Open, timer.elapsed_ns());
+            return out;
         }
-        self.run_batch(
-            jobs,
-            |j| {
-                j.wire
-                    .get(0..8)
-                    .map(|b| u64::from_be_bytes(b.try_into().expect("8-byte slice")) as usize)
-                    .unwrap_or(0)
-            },
-            WorkerMsg::Open,
-        )
+        self.run_batch(jobs, key, WorkerMsg::Open)
     }
 
     /// Return one transmitted wire buffer to a worker's pool. Prefer

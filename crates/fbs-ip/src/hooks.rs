@@ -84,7 +84,10 @@ use fbs_core::{
 use fbs_crypto::crc32;
 use fbs_net::ip::Proto;
 use fbs_net::{Datagram, HookOutcome, Ipv4Header, SecurityHooks};
-use fbs_obs::{CacheKind, Counter, Direction, Event, MetricsRegistry, MetricsSnapshot};
+use fbs_obs::{
+    CacheKind, Counter, Direction, Event, MetricsRegistry, MetricsSnapshot, SpanKind, Stage,
+    StageTimer, TraceSpan,
+};
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -264,16 +267,28 @@ impl HookShared {
     }
 
     /// Lock shard `si`, counting (and reporting) contention when the
-    /// uncontended fast path fails.
+    /// uncontended fast path fails. With a registry attached the blocked
+    /// path is timed: the wait lands in the `stage.lock_wait_ns`
+    /// histogram and in shard `si`'s row of the contention table. The
+    /// uncontended path stays timer-free — `try_lock` success means the
+    /// wait was zero by definition.
     fn lock_shard(&self, si: usize, obs: &Option<Arc<MetricsRegistry>>) -> ShardGuard<'_> {
         match self.shards[si].try_lock() {
             Some(g) => g,
             None => {
                 self.shard_contended.fetch_add(1, Ordering::Relaxed);
-                if let Some(reg) = obs {
-                    reg.incr(Counter::ShardContended);
+                match obs {
+                    Some(reg) => {
+                        reg.incr(Counter::ShardContended);
+                        let timer = StageTimer::start();
+                        let g = self.shards[si].lock();
+                        let ns = timer.elapsed_ns();
+                        reg.observe_stage(Stage::LockWait, ns);
+                        reg.shard_lock_wait(si, ns);
+                        g
+                    }
+                    None => self.shards[si].lock(),
                 }
-                self.shards[si].lock()
             }
         }
     }
@@ -283,6 +298,54 @@ fn record(obs: &Option<Arc<MetricsRegistry>>, event: Event) {
     if let Some(reg) = obs {
         reg.record(event);
     }
+}
+
+/// Record a flow-trace span when a tracer is attached AND sampling
+/// selects the flow. The untraced path costs one `Option` check plus one
+/// atomic load; an unsampled flow adds a hash of its sfl — no locking,
+/// no allocation.
+fn trace_span(
+    obs: &Option<Arc<MetricsRegistry>>,
+    sfl: u64,
+    host: [u8; 4],
+    kind: SpanKind,
+    t_us: u64,
+    info: u64,
+) {
+    if let Some(tracer) = obs.as_ref().and_then(|reg| reg.tracer()) {
+        if tracer.sampled(sfl) {
+            tracer.record(TraceSpan {
+                sfl,
+                host: u32::from_be_bytes(host),
+                kind,
+                t_us,
+                info,
+            });
+        }
+    }
+}
+
+/// Annotate the trace stream with an event that has no owning flow
+/// (e.g. an output-side park, where keying failed before an sfl could
+/// be resolved).
+fn trace_note(
+    obs: &Option<Arc<MetricsRegistry>>,
+    kind: &'static str,
+    detail: &'static str,
+    t_us: u64,
+    info: u64,
+) {
+    if let Some(tracer) = obs.as_ref().and_then(|reg| reg.tracer()) {
+        tracer.annotate(kind, detail, t_us, info);
+    }
+}
+
+/// The wire sfl: the first 8 big-endian payload bytes of a framed
+/// datagram (the same prefix `rx_shard` partitions by).
+fn wire_sfl(payload: &[u8]) -> Option<u64> {
+    payload
+        .get(..8)
+        .map(|b| u64::from_be_bytes(b.try_into().expect("8 bytes")))
 }
 
 /// The policy's key-unavailable verdict, downgraded to fail-closed when
@@ -351,6 +414,7 @@ fn derive_key(
     obs: &Option<Arc<MetricsRegistry>>,
 ) -> Result<Arc<SealedFlowKey>, FbsError> {
     let t0 = obs.as_ref().map(|_| shared.clock.now_micros());
+    let timer = obs.as_ref().map(|_| StageTimer::start());
     let master = shared.keying.master_key(peer)?;
     let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
         shared.key_derivation,
@@ -363,6 +427,9 @@ fn derive_key(
         reg.record(Event::KeyDerivation {
             micros: shared.clock.now_micros().saturating_sub(t0),
         });
+        if let Some(timer) = timer {
+            reg.observe_stage(Stage::KeyDerive, timer.elapsed_ns());
+        }
     }
     Ok(k)
 }
@@ -477,12 +544,32 @@ fn protect<'a>(
     );
     match resolved {
         Ok((sfl, key)) => {
+            trace_span(
+                obs,
+                sfl,
+                header.src,
+                SpanKind::Classify,
+                now_us,
+                payload.len() as u64,
+            );
             let mut out = pool.take();
+            let timer = obs.as_ref().map(|_| StageTimer::start());
             match guard
                 .codec
                 .seal_with_key_into(sfl, &key, payload, cfg.encrypt, &mut out)
             {
                 Ok(()) => {
+                    if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
+                        reg.observe_stage(Stage::Seal, timer.elapsed_ns());
+                    }
+                    trace_span(
+                        obs,
+                        sfl,
+                        header.src,
+                        SpanKind::Seal,
+                        now_us,
+                        out.len() as u64,
+                    );
                     let delta = out.len() as isize - payload.len() as isize;
                     header.grow_payload(delta);
                     (guard, Ok(out))
@@ -559,10 +646,15 @@ fn output_item<'a>(
                     HookOutcome::Pass(payload)
                 }
                 KeyUnavailableVerdict::Park => {
+                    let timer = obs.as_ref().map(|_| StageTimer::start());
                     match guard.out_park.park((header.clone(), payload), now_us) {
                         Ok(()) => {
+                            if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
+                                reg.observe_stage(Stage::Park, timer.elapsed_ns());
+                            }
                             let queued = guard.out_park.len() as u32;
                             record(obs, Event::Parked { queued });
+                            trace_note(obs, "parked", "output", now_us, queued as u64);
                             HookOutcome::Park
                         }
                         Err((_, payload)) => {
@@ -656,11 +748,23 @@ fn verify<'a>(
     match resolved {
         Ok(key) => {
             let mut body = pool.take();
+            let timer = obs.as_ref().map(|_| StageTimer::start());
             match guard
                 .codec
                 .open_with_key_into(&view, &key, &payload[used..], &mut body)
             {
                 Ok(()) => {
+                    if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
+                        reg.observe_stage(Stage::Open, timer.elapsed_ns());
+                    }
+                    trace_span(
+                        obs,
+                        view.sfl,
+                        header.dst,
+                        SpanKind::Open,
+                        shared.clock.now_micros(),
+                        body.len() as u64,
+                    );
                     let delta = payload.len() as isize - body.len() as isize;
                     header.grow_payload(-delta);
                     (guard, Ok(body))
@@ -738,10 +842,25 @@ fn input_item<'a>(
             HookOutcome::Pass(payload)
         }
         Err(e) if e.is_key_unavailable() && verdict == KeyUnavailableVerdict::Park => {
+            let sfl = wire_sfl(&payload);
+            let timer = obs.as_ref().map(|_| StageTimer::start());
             match guard.in_park.park((header.clone(), payload), now_us) {
                 Ok(()) => {
+                    if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
+                        reg.observe_stage(Stage::Park, timer.elapsed_ns());
+                    }
                     let queued = guard.in_park.len() as u32;
                     record(obs, Event::Parked { queued });
+                    if let Some(sfl) = sfl {
+                        trace_span(
+                            obs,
+                            sfl,
+                            header.dst,
+                            SpanKind::Parked,
+                            now_us,
+                            queued as u64,
+                        );
+                    }
                     HookOutcome::Park
                 }
                 Err((_, payload)) => {
@@ -1102,6 +1221,7 @@ impl SecurityHooks for FbsIpHooks {
         if scratch.groups.len() < n {
             scratch.groups.resize_with(n, Vec::new);
         }
+        let timer = obs.as_ref().map(|_| StageTimer::start());
         for (slot, dg) in batch.into_iter().enumerate() {
             let Datagram { header, payload } = dg;
             let (si, tuple) = match dir {
@@ -1115,6 +1235,9 @@ impl SecurityHooks for FbsIpHooks {
         }
         scratch.slots.clear();
         scratch.slots.resize_with(total, || None);
+        if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
+            reg.observe_stage(Stage::Partition, timer.elapsed_ns());
+        }
         for (si, group) in scratch.groups.iter_mut().enumerate() {
             if group.is_empty() {
                 continue;
@@ -1123,6 +1246,13 @@ impl SecurityHooks for FbsIpHooks {
                 reg.incr(Counter::ShardBatches);
             }
             let mut guard = shared.lock_shard(si, &obs);
+            // Hold clock starts after acquisition: a group's residency
+            // under its shard lock. Key-derivation cache misses briefly
+            // drop and re-take the lock inside (rule 1); their window
+            // counts toward the group's residency, not as separate
+            // holds — the table answers "how long was this shard's
+            // state pinned by one batch group".
+            let hold = obs.as_ref().map(|_| StageTimer::start());
             for (slot, mut header, payload, tuple) in group.drain(..) {
                 let (g, outcome) = match dir {
                     Direction::Output => output_item(
@@ -1152,12 +1282,23 @@ impl SecurityHooks for FbsIpHooks {
                 guard = g;
                 scratch.slots[slot] = Some((header, outcome));
             }
+            drop(guard);
+            if let (Some(reg), Some(hold)) = (obs.as_ref(), hold) {
+                let ns = hold.elapsed_ns();
+                reg.observe_stage(Stage::LockHold, ns);
+                reg.shard_lock_hold(si, ns);
+            }
         }
-        scratch
+        let timer = obs.as_ref().map(|_| StageTimer::start());
+        let out: Vec<(Ipv4Header, HookOutcome)> = scratch
             .slots
             .drain(..)
             .map(|s| s.expect("every datagram got a verdict"))
-            .collect()
+            .collect();
+        if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
+            reg.observe_stage(Stage::Dispatch, timer.elapsed_ns());
+        }
+        out
     }
 
     /// Release loop for parked output datagrams: expire the overdue
@@ -1171,6 +1312,8 @@ impl SecurityHooks for FbsIpHooks {
         let cfg = shared.cfg.load();
         let obs = shared.obs_handle();
         let mut ready = Vec::new();
+        let timer = obs.as_ref().map(|_| StageTimer::start());
+        let mut did_work = false;
         for si in 0..shared.shards.len() {
             let entries = {
                 let mut guard = shared.lock_shard(si, &obs);
@@ -1178,6 +1321,8 @@ impl SecurityHooks for FbsIpHooks {
                     let (_header, payload) = expired.item;
                     pool.put(payload);
                     record(&obs, Event::ParkExpired);
+                    trace_note(&obs, "park_expired", "output", now_us, 0);
+                    did_work = true;
                 }
                 if guard.out_park.is_empty() {
                     continue;
@@ -1185,6 +1330,7 @@ impl SecurityHooks for FbsIpHooks {
                 guard.out_park.take_all()
             };
             for entry in entries {
+                did_work = true;
                 let Parked {
                     item: (mut header, payload),
                     parked_at_us,
@@ -1229,6 +1375,19 @@ impl SecurityHooks for FbsIpHooks {
                                 ok: true,
                             },
                         );
+                        // The sealed payload leads with the sfl the flow
+                        // finally resolved to — the released trace span
+                        // joins the flow the park had no identity for.
+                        if let Some(sfl) = wire_sfl(&protected) {
+                            trace_span(
+                                &obs,
+                                sfl,
+                                header.src,
+                                SpanKind::Released,
+                                now_us,
+                                waited_us,
+                            );
+                        }
                         pool.put(payload);
                         ready.push((header, protected));
                     }
@@ -1237,6 +1396,7 @@ impl SecurityHooks for FbsIpHooks {
                         // original deadline (drops at expiry, never
                         // grows unbounded). protect only borrowed the
                         // payload, so it is still owned here.
+                        trace_note(&obs, "reparked", "output", now_us, 0);
                         if let Err((_, payload)) = guard.out_park.repark(Parked {
                             item: (header, payload),
                             parked_at_us,
@@ -1260,6 +1420,11 @@ impl SecurityHooks for FbsIpHooks {
                 }
             }
         }
+        if did_work {
+            if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
+                reg.observe_stage(Stage::Release, timer.elapsed_ns());
+            }
+        }
         ready
     }
 
@@ -1271,13 +1436,19 @@ impl SecurityHooks for FbsIpHooks {
         let shared: &HookShared = &self.shared;
         let obs = shared.obs_handle();
         let mut ready = Vec::new();
+        let timer = obs.as_ref().map(|_| StageTimer::start());
+        let mut did_work = false;
         for si in 0..shared.shards.len() {
             let entries = {
                 let mut guard = shared.lock_shard(si, &obs);
                 for expired in guard.in_park.take_expired(now_us) {
-                    let (_header, payload) = expired.item;
+                    let (header, payload) = expired.item;
+                    if let Some(sfl) = wire_sfl(&payload) {
+                        trace_span(&obs, sfl, header.dst, SpanKind::Expired, now_us, 0);
+                    }
                     pool.put(payload);
                     record(&obs, Event::ParkExpired);
+                    did_work = true;
                 }
                 if guard.in_park.is_empty() {
                     continue;
@@ -1285,6 +1456,7 @@ impl SecurityHooks for FbsIpHooks {
                 guard.in_park.take_all()
             };
             for entry in entries {
+                did_work = true;
                 let Parked {
                     item: (mut header, payload),
                     parked_at_us,
@@ -1317,10 +1489,23 @@ impl SecurityHooks for FbsIpHooks {
                                 ok: true,
                             },
                         );
+                        if let Some(sfl) = wire_sfl(&payload) {
+                            trace_span(
+                                &obs,
+                                sfl,
+                                header.dst,
+                                SpanKind::Released,
+                                now_us,
+                                waited_us,
+                            );
+                        }
                         pool.put(payload);
                         ready.push((header, body));
                     }
                     Err(e) if e.is_key_unavailable() => {
+                        if let Some(sfl) = wire_sfl(&payload) {
+                            trace_span(&obs, sfl, header.dst, SpanKind::Reparked, now_us, 0);
+                        }
                         if let Err((_, payload)) = guard.in_park.repark(Parked {
                             item: (header, payload),
                             parked_at_us,
@@ -1342,6 +1527,11 @@ impl SecurityHooks for FbsIpHooks {
                         pool.put(payload);
                     }
                 }
+            }
+        }
+        if did_work {
+            if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
+                reg.observe_stage(Stage::Release, timer.elapsed_ns());
             }
         }
         ready

@@ -27,7 +27,7 @@ use crate::ports::PortAllocator;
 use crate::segment::{Impairments, Segment};
 use crate::udp::UdpLayer;
 use fbs_core::BufferPool;
-use fbs_obs::{Counter, Direction, Event, MetricsRegistry};
+use fbs_obs::{Counter, Direction, Event, MetricsRegistry, SpanKind, TraceSpan};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -64,6 +64,33 @@ pub enum HookOutcome {
     /// Held by the hook for later release; the datagram leaves the
     /// synchronous path.
     Park,
+}
+
+/// Record a wire-level flow-trace span for a *framed* payload — the
+/// first 8 big-endian bytes are the security flow label the sampler
+/// keys on. No-op without an attached tracer, for unframed payloads,
+/// and for unsampled flows; the no-tracer path costs one atomic load.
+fn trace_wire_span(
+    obs: &Option<Arc<MetricsRegistry>>,
+    host: Ipv4Addr,
+    kind: SpanKind,
+    t_us: u64,
+    payload: &[u8],
+) {
+    if let Some(tracer) = obs.as_ref().and_then(|r| r.tracer()) {
+        if let Some(prefix) = payload.get(..8) {
+            let sfl = u64::from_be_bytes(prefix.try_into().expect("8 bytes"));
+            if tracer.sampled(sfl) {
+                tracer.record(TraceSpan {
+                    sfl,
+                    host: u32::from_be_bytes(host),
+                    kind,
+                    t_us,
+                    info: payload.len() as u64,
+                });
+            }
+        }
+    }
 }
 
 /// Security processing plugged into the stack (implemented by `fbs-ip`).
@@ -339,6 +366,12 @@ impl Host {
                     }
                     let staged = h.process_batch(Direction::Output, batch, &mut self.pool, now_us);
                     for (i, s) in batch_idx.into_iter().zip(staged) {
+                        if let HookOutcome::Pass(payload) = &s.1 {
+                            // A protected payload leads with its sfl:
+                            // the wire span marks the flow leaving this
+                            // host for the medium.
+                            trace_wire_span(&self.obs, self.addr, SpanKind::Wire, now_us, payload);
+                        }
                         slots[i] = Some(s);
                     }
                 }
@@ -438,6 +471,13 @@ impl Host {
             if let Some(reg) = &self.obs {
                 reg.record(Event::Reassembled);
             }
+            trace_wire_span(
+                &self.obs,
+                self.addr,
+                SpanKind::Reassembled,
+                now_us,
+                &packet.payload,
+            );
         }
         Some(Datagram {
             header: packet.header,
@@ -471,8 +511,37 @@ impl Host {
                         reg.incr(Counter::PipelineInputBatches);
                         reg.add(Counter::PipelineBatchDatagrams, batch.len() as u64);
                     }
+                    // Pre-capture each covered datagram's wire sfl: the
+                    // opened plaintext no longer carries it, and the
+                    // deliver span must join the flow keyed by the wire
+                    // label. Only paid when a tracer is attached.
+                    let batch_sfls: Option<Vec<u64>> =
+                        self.obs.as_ref().and_then(|r| r.tracer()).map(|_| {
+                            batch
+                                .iter()
+                                .map(|dg| {
+                                    dg.payload.get(..8).map_or(0, |b| {
+                                        u64::from_be_bytes(b.try_into().expect("8 bytes"))
+                                    })
+                                })
+                                .collect()
+                        });
                     let staged = h.process_batch(Direction::Input, batch, &mut self.pool, now_us);
-                    for (i, s) in batch_idx.into_iter().zip(staged) {
+                    for (bi, (i, s)) in batch_idx.into_iter().zip(staged).enumerate() {
+                        if let (Some(sfls), HookOutcome::Pass(payload)) = (&batch_sfls, &s.1) {
+                            if let Some(tracer) = self.obs.as_ref().and_then(|r| r.tracer()) {
+                                let sfl = sfls[bi];
+                                if sfl != 0 && tracer.sampled(sfl) {
+                                    tracer.record(TraceSpan {
+                                        sfl,
+                                        host: u32::from_be_bytes(self.addr),
+                                        kind: SpanKind::Deliver,
+                                        t_us: now_us,
+                                        info: payload.len() as u64,
+                                    });
+                                }
+                            }
+                        }
                         slots[i] = Some(s);
                     }
                 }

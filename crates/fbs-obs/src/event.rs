@@ -230,8 +230,13 @@ pub enum Event {
     },
     /// A per-peer circuit breaker changed state.
     BreakerTransition {
+        /// The state left behind.
+        from: BreakerStateKind,
         /// The state entered.
         to: BreakerStateKind,
+        /// How long the breaker sat in `from`, in (virtual)
+        /// microseconds — the time-in-state the transition closes out.
+        in_state_us: u64,
     },
     /// A request was rejected without trying because the breaker is open.
     BreakerFastFail,
@@ -349,8 +354,18 @@ impl Event {
             Event::RetryExhausted { attempts } => {
                 let _ = write!(out, r#","attempts":{attempts}"#);
             }
-            Event::BreakerTransition { to } => {
-                let _ = write!(out, r#","to":"{}""#, to.name());
+            Event::BreakerTransition {
+                from,
+                to,
+                in_state_us,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","from":"{}","to":"{}","in_state_us":{}"#,
+                    from.name(),
+                    to.name(),
+                    in_state_us
+                );
             }
             Event::Parked { queued } => {
                 let _ = write!(out, r#","queued":{queued}"#);
@@ -454,12 +469,14 @@ mod tests {
             seq: 3,
             t_us: 6,
             event: Event::BreakerTransition {
+                from: BreakerStateKind::Open,
                 to: BreakerStateKind::HalfOpen,
+                in_state_us: 1_000_000,
             },
         };
         assert_eq!(
             rec.to_json(),
-            r#"{"seq":3,"t_us":6,"type":"breaker_transition","to":"half_open"}"#
+            r#"{"seq":3,"t_us":6,"type":"breaker_transition","from":"open","to":"half_open","in_state_us":1000000}"#
         );
         let rec = EventRecord {
             seq: 4,

@@ -17,7 +17,18 @@
 //! * [`MetricsSnapshot`] — a point-in-time view with text-table and JSON
 //!   exporters, buildable both live from a registry and from the legacy
 //!   per-component stats structs (which makes those structs *views* of
-//!   the same counter namespace).
+//!   the same counter namespace);
+//! * **stage spans** ([`Stage`]) — per-stage log2 nanosecond latency
+//!   histograms over the batch pipeline (partition, lock wait/hold,
+//!   seal/open, keying, park/release, dispatch) plus a per-shard lock
+//!   contention table, recorded with two relaxed `fetch_add`s and no
+//!   allocation;
+//! * a **flow tracer** ([`FlowTracer`]) — deterministic sfl-sampled
+//!   end-to-end traces across hosts, stamped on the simulated clock;
+//! * **health + exposition** — [`HealthModel`] turns counters into
+//!   typed conditions, [`prom::render`] emits Prometheus text format,
+//!   and [`DeltaTracker`] produces bounded delta snapshots for long
+//!   soaks.
 //!
 //! Observability is opt-in: components hold `Option<Arc<MetricsRegistry>>`
 //! defaulting to `None`, so the disabled per-datagram cost is a single
@@ -29,11 +40,19 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod health;
+pub mod prom;
 pub mod registry;
 pub mod snapshot;
+pub mod span;
+pub mod trace;
 
 pub use event::{
     BreakerStateKind, CacheKind, CacheOutcome, Direction, Event, EventRecord, FlowStartKind,
 };
+pub use health::{Condition, ConditionKind, HealthInputs, HealthModel, HealthReport, HealthStatus};
+pub use prom::DeltaTracker;
 pub use registry::{Counter, Histogram, MetricsRegistry};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use span::{ShardLockRow, Stage, StageTimer, MAX_SHARDS};
+pub use trace::{FlowTracer, SpanKind, TraceAnnotation, TraceSpan};

@@ -3,8 +3,10 @@
 
 use crate::event::{CacheKind, CacheOutcome, Event, EventRecord};
 use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use crate::span::{ShardLockRow, Stage, MAX_SHARDS, NUM_STAGES};
+use crate::trace::FlowTracer;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of log2 buckets (covers the full `u64` range).
 pub(crate) const BUCKETS: usize = 64;
@@ -120,10 +122,27 @@ pub enum Counter {
     ShardBatches,
     /// Shard-lock acquisitions that found the lock already held.
     ShardContended,
+    /// Flight-recorder events overwritten before anyone read them
+    /// (ring overflow).
+    EventsDropped,
+    /// Buffers recycled into a pool's freelist.
+    PoolReturns,
+    /// Returned buffers the pool discarded (freelist full or wrong
+    /// capacity).
+    PoolDiscards,
+    /// Total (virtual) microseconds breakers spent closed before
+    /// transitioning away.
+    BreakerTimeClosedUs,
+    /// Total (virtual) microseconds breakers spent open before
+    /// transitioning away.
+    BreakerTimeOpenUs,
+    /// Total (virtual) microseconds breakers spent half-open before
+    /// transitioning away.
+    BreakerTimeHalfOpenUs,
 }
 
 /// Number of scalar counters.
-const NUM_COUNTERS: usize = 51;
+const NUM_COUNTERS: usize = 57;
 
 impl Counter {
     /// All counters, in snapshot order.
@@ -179,6 +198,12 @@ impl Counter {
         Counter::DegradeFailClosed,
         Counter::ShardBatches,
         Counter::ShardContended,
+        Counter::EventsDropped,
+        Counter::PoolReturns,
+        Counter::PoolDiscards,
+        Counter::BreakerTimeClosedUs,
+        Counter::BreakerTimeOpenUs,
+        Counter::BreakerTimeHalfOpenUs,
     ];
 
     /// The hierarchical counter key.
@@ -235,6 +260,12 @@ impl Counter {
             Counter::DegradeFailClosed => "degrade.fail_closed",
             Counter::ShardBatches => "hooks.shard_batches",
             Counter::ShardContended => "hooks.shard_contended",
+            Counter::EventsDropped => "obs.events_dropped",
+            Counter::PoolReturns => "pool.returns",
+            Counter::PoolDiscards => "pool.discards",
+            Counter::BreakerTimeClosedUs => "breaker.time_closed_us",
+            Counter::BreakerTimeOpenUs => "breaker.time_open_us",
+            Counter::BreakerTimeHalfOpenUs => "breaker.time_half_open_us",
         }
     }
 
@@ -296,12 +327,17 @@ struct CacheCounters {
 /// `fbs-trace`'s `LogHistogram`.
 struct AtomicLogHistogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Exact sum of observed values (two relaxed `fetch_add`s per
+    /// observation; a scraper may see the bucket before the sum, so
+    /// readers tolerate one in-flight sample per writer).
+    sum: AtomicU64,
 }
 
 impl AtomicLogHistogram {
     fn new() -> Self {
         AtomicLogHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
         }
     }
 
@@ -312,6 +348,7 @@ impl AtomicLogHistogram {
             63 - value.leading_zeros() as usize
         };
         self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -328,8 +365,21 @@ impl AtomicLogHistogram {
                 buckets.push((lo, hi, count));
             }
         }
-        HistogramSnapshot { buckets }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
     }
+}
+
+/// Per-shard lock contention cells (fixed-size so recording is a pair
+/// of relaxed `fetch_add`s with no allocation).
+#[derive(Default)]
+struct ShardLockCell {
+    waits: AtomicU64,
+    wait_ns: AtomicU64,
+    holds: AtomicU64,
+    hold_ns: AtomicU64,
 }
 
 struct RecorderInner {
@@ -346,6 +396,13 @@ pub struct MetricsRegistry {
     counters: [AtomicU64; NUM_COUNTERS],
     caches: [CacheCounters; 5],
     histograms: [AtomicLogHistogram; NUM_HISTOGRAMS],
+    /// Per-stage nanosecond latency histograms for the batch pipeline.
+    stages: [AtomicLogHistogram; NUM_STAGES],
+    /// Per-shard lock wait/hold contention table.
+    shard_lock: [ShardLockCell; MAX_SHARDS],
+    /// Optional flow tracer, reachable by every component that holds
+    /// this registry (one atomic load when unset).
+    tracer: OnceLock<Arc<FlowTracer>>,
     recorder: Mutex<RecorderInner>,
     capacity: usize,
     /// Microsecond time source stamped onto events. Defaults to a
@@ -384,6 +441,9 @@ impl MetricsRegistry {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             caches: std::array::from_fn(|_| CacheCounters::default()),
             histograms: std::array::from_fn(|_| AtomicLogHistogram::new()),
+            stages: std::array::from_fn(|_| AtomicLogHistogram::new()),
+            shard_lock: std::array::from_fn(|_| ShardLockCell::default()),
+            tracer: OnceLock::new(),
             recorder: Mutex::new(RecorderInner {
                 buf: Vec::with_capacity(capacity.min(4096)),
                 write: 0,
@@ -430,10 +490,77 @@ impl MetricsRegistry {
         self.histograms[h.index()].observe(value);
     }
 
+    /// Record a stage span: `ns` nanoseconds spent in pipeline stage
+    /// `s`. Two relaxed `fetch_add`s; no allocation.
+    pub fn observe_stage(&self, s: Stage, ns: u64) {
+        self.stages[s.index()].observe(ns);
+    }
+
+    /// Record a contended shard-lock acquisition: `ns` nanoseconds of
+    /// queueing delay waiting for shard `shard`'s lock.
+    pub fn shard_lock_wait(&self, shard: usize, ns: u64) {
+        let cell = &self.shard_lock[shard.min(MAX_SHARDS - 1)];
+        cell.waits.fetch_add(1, Ordering::Relaxed);
+        cell.wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record a completed shard-lock hold: the lock of shard `shard`
+    /// was held for `ns` nanoseconds.
+    pub fn shard_lock_hold(&self, shard: usize, ns: u64) {
+        let cell = &self.shard_lock[shard.min(MAX_SHARDS - 1)];
+        cell.holds.fetch_add(1, Ordering::Relaxed);
+        cell.hold_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// The per-shard lock contention table (rows with activity only).
+    pub fn shard_lock_table(&self) -> Vec<ShardLockRow> {
+        let mut rows = Vec::new();
+        for (i, cell) in self.shard_lock.iter().enumerate() {
+            let row = ShardLockRow {
+                shard: i,
+                waits: cell.waits.load(Ordering::Relaxed),
+                wait_ns: cell.wait_ns.load(Ordering::Relaxed),
+                holds: cell.holds.load(Ordering::Relaxed),
+                hold_ns: cell.hold_ns.load(Ordering::Relaxed),
+            };
+            if !row.is_empty() {
+                rows.push(row);
+            }
+        }
+        rows
+    }
+
+    /// A stage's latency histogram.
+    pub fn stage_histogram(&self, s: Stage) -> HistogramSnapshot {
+        self.stages[s.index()].snapshot()
+    }
+
+    /// Attach a flow tracer. First attach wins; later calls are
+    /// ignored (the registry is already shared by then).
+    pub fn set_tracer(&self, tracer: Arc<FlowTracer>) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    /// The attached flow tracer, if any (one atomic load when unset).
+    pub fn tracer(&self) -> Option<&Arc<FlowTracer>> {
+        self.tracer.get()
+    }
+
     /// Record an event: updates the counters/histograms the event
     /// implies, then appends it to the flight recorder.
     pub fn record(&self, event: Event) {
         self.apply(&event);
+        // A breaker flip is a global condition, not owned by any one
+        // flow: mirror it onto the trace timeline so a sampled flow's
+        // stall can be read against keying-plane health.
+        if let Event::BreakerTransition {
+            to, in_state_us, ..
+        } = &event
+        {
+            if let Some(tracer) = self.tracer.get() {
+                tracer.annotate("breaker_transition", to.name(), (self.time)(), *in_state_us);
+            }
+        }
         if self.capacity == 0 {
             return;
         }
@@ -448,6 +575,8 @@ impl MetricsRegistry {
         if rec.buf.len() < self.capacity {
             rec.buf.push(entry);
         } else {
+            // Overwriting unread history: make the loss visible.
+            self.incr(Counter::EventsDropped);
             let w = rec.write;
             rec.buf[w] = entry;
             rec.write = (w + 1) % self.capacity;
@@ -522,11 +651,25 @@ impl MetricsRegistry {
             }
             Event::RetryAttempt { .. } => self.incr(Counter::RetryAttempts),
             Event::RetryExhausted { .. } => self.incr(Counter::RetryExhausted),
-            Event::BreakerTransition { to } => self.incr(match to {
-                crate::event::BreakerStateKind::Open => Counter::BreakerOpens,
-                crate::event::BreakerStateKind::HalfOpen => Counter::BreakerHalfOpens,
-                crate::event::BreakerStateKind::Closed => Counter::BreakerCloses,
-            }),
+            Event::BreakerTransition {
+                from,
+                to,
+                in_state_us,
+            } => {
+                self.incr(match to {
+                    crate::event::BreakerStateKind::Open => Counter::BreakerOpens,
+                    crate::event::BreakerStateKind::HalfOpen => Counter::BreakerHalfOpens,
+                    crate::event::BreakerStateKind::Closed => Counter::BreakerCloses,
+                });
+                self.add(
+                    match from {
+                        crate::event::BreakerStateKind::Closed => Counter::BreakerTimeClosedUs,
+                        crate::event::BreakerStateKind::Open => Counter::BreakerTimeOpenUs,
+                        crate::event::BreakerStateKind::HalfOpen => Counter::BreakerTimeHalfOpenUs,
+                    },
+                    in_state_us,
+                );
+            }
             Event::BreakerFastFail => self.incr(Counter::BreakerFastFails),
             Event::Parked { .. } => self.incr(Counter::ParkParked),
             Event::ParkReleased { .. } => self.incr(Counter::ParkReleased),
@@ -587,6 +730,19 @@ impl MetricsRegistry {
             if !hs.buckets.is_empty() {
                 snap.histograms.insert(h.name().to_string(), hs);
             }
+        }
+        for s in Stage::ALL {
+            let hs = self.stages[s.index()].snapshot();
+            if !hs.buckets.is_empty() {
+                snap.histograms.insert(format!("stage.{}_ns", s.name()), hs);
+            }
+        }
+        for row in self.shard_lock_table() {
+            let pre = format!("hooks.shard.{}", row.shard);
+            snap.add(&format!("{pre}.lock_waits"), row.waits);
+            snap.add(&format!("{pre}.lock_wait_ns"), row.wait_ns);
+            snap.add(&format!("{pre}.lock_holds"), row.holds);
+            snap.add(&format!("{pre}.lock_hold_ns"), row.hold_ns);
         }
         snap.events = self.events();
         snap
@@ -661,6 +817,63 @@ mod tests {
     }
 
     #[test]
+    fn ring_overflow_counts_dropped_events() {
+        let reg = MetricsRegistry::with_event_capacity(4);
+        for i in 0..10u64 {
+            reg.record(Event::Send { bytes: i });
+        }
+        // 10 recorded into a 4-slot ring: 6 overwritten before read.
+        assert_eq!(reg.counter(Counter::EventsDropped), 6);
+        assert_eq!(reg.snapshot().counter("obs.events_dropped"), 6);
+        // A ring that never filled drops nothing.
+        let quiet = MetricsRegistry::with_event_capacity(4);
+        quiet.record(Event::MacDrop);
+        assert_eq!(quiet.counter(Counter::EventsDropped), 0);
+    }
+
+    #[test]
+    fn stage_and_shard_tables_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.observe_stage(Stage::Partition, 100);
+        reg.observe_stage(Stage::Partition, 200);
+        reg.observe_stage(Stage::Seal, 1_000);
+        reg.shard_lock_wait(3, 500);
+        reg.shard_lock_hold(3, 2_000);
+        reg.shard_lock_hold(3, 2_000);
+        let table = reg.shard_lock_table();
+        assert_eq!(table.len(), 1);
+        assert_eq!(table[0].shard, 3);
+        assert_eq!(table[0].waits, 1);
+        assert_eq!(table[0].wait_ns, 500);
+        assert_eq!(table[0].holds, 2);
+        assert_eq!(table[0].hold_ns, 4_000);
+        let snap = reg.snapshot();
+        let part = &snap.histograms["stage.partition_ns"];
+        assert_eq!(part.count(), 2);
+        assert_eq!(part.sum, 300);
+        assert_eq!(snap.histograms["stage.seal_ns"].count(), 1);
+        assert_eq!(snap.counter("hooks.shard.3.lock_waits"), 1);
+        assert_eq!(snap.counter("hooks.shard.3.lock_hold_ns"), 4_000);
+        // Out-of-range shard indices fold into the last row.
+        reg.shard_lock_hold(1_000, 7);
+        assert!(reg
+            .shard_lock_table()
+            .iter()
+            .any(|r| r.shard == MAX_SHARDS - 1 && r.hold_ns == 7));
+    }
+
+    #[test]
+    fn tracer_attach_is_first_wins() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.tracer().is_none());
+        let a = Arc::new(FlowTracer::new(0));
+        let b = Arc::new(FlowTracer::new(4));
+        reg.set_tracer(a);
+        reg.set_tracer(b);
+        assert_eq!(reg.tracer().unwrap().rate_log2(), 0);
+    }
+
+    #[test]
     fn zero_capacity_disables_events_not_counters() {
         let reg = MetricsRegistry::with_event_capacity(0);
         reg.record(Event::MacDrop);
@@ -689,14 +902,20 @@ mod tests {
         });
         reg.record(Event::RetryExhausted { attempts: 3 });
         reg.record(Event::BreakerTransition {
+            from: BreakerStateKind::Closed,
             to: BreakerStateKind::Open,
+            in_state_us: 300,
         });
         reg.record(Event::BreakerFastFail);
         reg.record(Event::BreakerTransition {
+            from: BreakerStateKind::Open,
             to: BreakerStateKind::HalfOpen,
+            in_state_us: 1_000,
         });
         reg.record(Event::BreakerTransition {
+            from: BreakerStateKind::HalfOpen,
             to: BreakerStateKind::Closed,
+            in_state_us: 40,
         });
         reg.record(Event::Parked { queued: 1 });
         reg.record(Event::ParkReleased { waited_us: 50 });
@@ -716,6 +935,9 @@ mod tests {
         assert_eq!(snap.counter("breaker.opened"), 1);
         assert_eq!(snap.counter("breaker.half_open"), 1);
         assert_eq!(snap.counter("breaker.closed"), 1);
+        assert_eq!(snap.counter("breaker.time_closed_us"), 300);
+        assert_eq!(snap.counter("breaker.time_open_us"), 1_000);
+        assert_eq!(snap.counter("breaker.time_half_open_us"), 40);
         assert_eq!(snap.counter("breaker.fast_fails"), 1);
         assert_eq!(snap.counter("park.parked"), 1);
         assert_eq!(snap.counter("park.released"), 1);

@@ -11,11 +11,15 @@
 use crate::event::EventRecord;
 use std::collections::BTreeMap;
 
-/// A materialised log2 histogram: non-empty `(lo, hi, count)` buckets.
+/// A materialised log2 histogram: non-empty `(lo, hi, count)` buckets
+/// plus the exact sum of all observed values (the buckets alone only
+/// bound it, and the Prometheus exposition needs the true `_sum`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Inclusive bucket bounds and the sample count per bucket.
     pub buckets: Vec<(u64, u64, u64)>,
+    /// Sum of every observed value.
+    pub sum: u64,
 }
 
 impl HistogramSnapshot {
@@ -33,6 +37,7 @@ impl HistogramSnapshot {
             }
         }
         self.buckets.sort_unstable_by_key(|&(lo, _, _)| lo);
+        self.sum += other.sum;
     }
 }
 
@@ -194,6 +199,7 @@ mod tests {
             "send_bytes".into(),
             HistogramSnapshot {
                 buckets: vec![(0, 1, 4)],
+                sum: 4,
             },
         );
         a.merge(&b);
@@ -201,6 +207,7 @@ mod tests {
         assert_eq!(a.counter("endpoint.receives"), 1);
         assert_eq!(a.counter("missing"), 0);
         assert_eq!(a.histograms["send_bytes"].count(), 4);
+        assert_eq!(a.histograms["send_bytes"].sum, 4);
     }
 
     #[test]
@@ -211,6 +218,7 @@ mod tests {
             "send_bytes".into(),
             HistogramSnapshot {
                 buckets: vec![(64, 127, 1)],
+                sum: 100,
             },
         );
         s.events.push(EventRecord {

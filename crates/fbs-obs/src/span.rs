@@ -1,0 +1,161 @@
+//! Stage-span profiling for the batch pipeline.
+//!
+//! PR 5 sharded the endpoint and PR 4 made the pipeline batch-first,
+//! but the time spent *inside* `process_batch` stayed a black box:
+//! the mapping rows tell us sharded runs at 0.85x unsharded, not where
+//! the cycles go. This module names the stages of the batch pipeline
+//! ([`Stage`]) so the registry can keep one log2 nanosecond histogram
+//! per stage, plus a per-shard lock contention table (waits and wait
+//! nanoseconds vs holds and hold nanoseconds, per shard index) that
+//! attributes serialisation to the shard that caused it.
+//!
+//! Recording is two relaxed `fetch_add`s per sample and the tables are
+//! fixed-size atomic arrays inside the registry, so instrumented runs
+//! stay at 0 allocations per datagram — the same budget the pooled
+//! fast path is gated on in CI.
+
+use std::time::Instant;
+
+/// Maximum shard index tracked by the per-shard lock contention table.
+/// Shard counts are powers of two; anything beyond this folds into the
+/// last slot (the endpoint currently defaults to 8 shards).
+pub const MAX_SHARDS: usize = 64;
+
+/// One instrumented stage of the batch datagram pipeline, in pipeline
+/// order. Latencies are recorded as log2 nanosecond histograms under
+/// `stage.<name>_ns` in snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Splitting a submitted batch into per-shard groups (runs before
+    /// any lock is taken).
+    Partition,
+    /// Waiting to acquire a shard lock (queueing delay only).
+    LockWait,
+    /// Holding a shard lock (acquisition to release, including the
+    /// work done under it).
+    LockHold,
+    /// The seal crypto core: MAC + optional encrypt on output.
+    Seal,
+    /// The open crypto core: parse + verify + optional decrypt on
+    /// input.
+    Open,
+    /// Zero-message flow-key derivation (cache-miss path, runs with no
+    /// shard lock held).
+    KeyDerive,
+    /// Parking a datagram that could not be processed (key pending).
+    Park,
+    /// A release pass over a parking queue (expiry sweep + retries).
+    Release,
+    /// Re-threading per-shard outcomes back into submission order and
+    /// returning them to the stack.
+    Dispatch,
+}
+
+/// Number of instrumented stages.
+pub(crate) const NUM_STAGES: usize = 9;
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; NUM_STAGES] = [
+        Stage::Partition,
+        Stage::LockWait,
+        Stage::LockHold,
+        Stage::Seal,
+        Stage::Open,
+        Stage::KeyDerive,
+        Stage::Park,
+        Stage::Release,
+        Stage::Dispatch,
+    ];
+
+    /// Snake-case stage name used in snapshot keys (`stage.<name>_ns`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Partition => "partition",
+            Stage::LockWait => "lock_wait",
+            Stage::LockHold => "lock_hold",
+            Stage::Seal => "seal",
+            Stage::Open => "open",
+            Stage::KeyDerive => "key_derive",
+            Stage::Park => "park",
+            Stage::Release => "release",
+            Stage::Dispatch => "dispatch",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A started stage timer: wall-clock, nanosecond resolution.
+///
+/// Stage spans measure where real time goes (they feed perf
+/// attribution, not the deterministic simulation outputs), so they use
+/// the monotonic OS clock rather than the workspace's virtual clock.
+/// Flow traces ([`crate::FlowTracer`]) are the deterministic side.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTimer(Instant);
+
+impl StageTimer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        StageTimer(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`StageTimer::start`], saturating.
+    pub fn elapsed_ns(&self) -> u64 {
+        let d = self.0.elapsed();
+        d.as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(d.subsec_nanos()))
+    }
+}
+
+/// One row of the per-shard lock contention table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLockRow {
+    /// Shard index (row `MAX_SHARDS - 1` also absorbs any higher
+    /// indices).
+    pub shard: usize,
+    /// Lock acquisitions that had to wait (found the lock held).
+    pub waits: u64,
+    /// Total nanoseconds spent waiting for this shard's lock.
+    pub wait_ns: u64,
+    /// Lock acquisitions (every hold, contended or not).
+    pub holds: u64,
+    /// Total nanoseconds this shard's lock was held.
+    pub hold_ns: u64,
+}
+
+impl ShardLockRow {
+    /// True when the row recorded no activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.waits == 0 && self.holds == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_unique_and_ordered() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), NUM_STAGES);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_STAGES);
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn timer_is_monotone() {
+        let t = StageTimer::start();
+        let a = t.elapsed_ns();
+        let b = t.elapsed_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,400 @@
+//! Sampled end-to-end flow traces.
+//!
+//! A [`FlowTracer`] follows a deterministic subset of flows across the
+//! in-memory network — tx classify → seal → wire → rx open →
+//! reassembly → deliver — and records each step as a span stamped with
+//! the *simulated* clock, so a seeded run produces a byte-identical
+//! trace every time. Sampling is by a mix of the security flow label
+//! (sfl): the same flows are sampled on both hosts with no
+//! coordination, which is what lets one trace stitch both ends of a
+//! datagram's life together.
+//!
+//! Global conditions that are not owned by a single flow — chaos fault
+//! windows, circuit-breaker transitions — are recorded as
+//! *annotations* alongside the span tree, timestamped on the same
+//! virtual clock, so a reader can line up "flow 42 parked here"
+//! against "directory outage started here".
+//!
+//! The tracer is reached through the [`crate::MetricsRegistry`] a
+//! component already holds (`registry.tracer()`), so enabling tracing
+//! requires no new plumbing through constructors.
+
+use std::sync::Mutex;
+
+/// One step of a sampled flow's life, in datagram-path order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The FAM classified an outgoing datagram onto this flow (tx).
+    Classify,
+    /// The datagram was sealed under the flow key (tx).
+    Seal,
+    /// The sealed datagram was handed to the wire (tx, after
+    /// fragmentation decisions).
+    Wire,
+    /// The wire payload was opened and verified (rx).
+    Open,
+    /// Fragments of a datagram on this flow finished reassembly (rx,
+    /// before the input hook).
+    Reassembled,
+    /// The verified datagram was dispatched to its upper layer (rx).
+    Deliver,
+    /// The datagram was parked awaiting key material.
+    Parked,
+    /// A parked datagram failed release and was re-parked.
+    Reparked,
+    /// A parked datagram was released and processed.
+    Released,
+    /// A parked datagram hit its deadline and was dropped.
+    Expired,
+}
+
+impl SpanKind {
+    /// Snake-case name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Classify => "classify",
+            SpanKind::Seal => "seal",
+            SpanKind::Wire => "wire",
+            SpanKind::Open => "open",
+            SpanKind::Reassembled => "reassembled",
+            SpanKind::Deliver => "deliver",
+            SpanKind::Parked => "parked",
+            SpanKind::Reparked => "reparked",
+            SpanKind::Released => "released",
+            SpanKind::Expired => "expired",
+        }
+    }
+}
+
+/// One recorded span: a step of a sampled flow on one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The flow's security flow label.
+    pub sfl: u64,
+    /// IPv4 address (as `u32`) of the host the step ran on.
+    pub host: u32,
+    /// Which step.
+    pub kind: SpanKind,
+    /// Simulated-clock timestamp, microseconds.
+    pub t_us: u64,
+    /// Step-specific detail (bytes for classify/seal/wire/open/deliver,
+    /// queue depth for parked, waited µs for released; 0 otherwise).
+    pub info: u64,
+}
+
+/// A global annotation: a condition not owned by one flow (fault
+/// window edges, breaker transitions), lined up on the same clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceAnnotation {
+    /// Snake-case annotation kind (e.g. `fault_start`,
+    /// `breaker_transition`).
+    pub kind: &'static str,
+    /// Free-form static detail (e.g. the fault or state name).
+    pub detail: &'static str,
+    /// Simulated-clock timestamp, microseconds.
+    pub t_us: u64,
+    /// Numeric detail (e.g. time-in-state µs); 0 when unused.
+    pub info: u64,
+}
+
+struct TracerInner {
+    spans: Vec<TraceSpan>,
+    annotations: Vec<TraceAnnotation>,
+    spans_dropped: u64,
+}
+
+/// Deterministic sampling flow tracer. Create with a sampling rate,
+/// attach to a [`crate::MetricsRegistry`] with
+/// [`crate::MetricsRegistry::set_tracer`], export with
+/// [`FlowTracer::to_json`].
+pub struct FlowTracer {
+    /// Sampling mask: a flow is sampled when `mix(sfl) & mask == 0`,
+    /// i.e. 1 in 2^rate_log2 flows.
+    mask: u64,
+    rate_log2: u32,
+    cap: usize,
+    inner: Mutex<TracerInner>,
+}
+
+/// SplitMix64 finaliser: decorrelates the sampling decision from the
+/// sfl allocation pattern (sfls are strided per shard, so masking raw
+/// sfl bits would sample entire shards or none).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Default span capacity (spans + annotations are capped separately).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+impl std::fmt::Debug for FlowTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowTracer")
+            .field("rate_log2", &self.rate_log2)
+            .field("capacity", &self.cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlowTracer {
+    /// Tracer sampling 1 in 2^`rate_log2` flows (0 samples every flow),
+    /// keeping at most [`DEFAULT_TRACE_CAPACITY`] spans.
+    pub fn new(rate_log2: u32) -> Self {
+        FlowTracer::with_capacity(rate_log2, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Tracer with an explicit span capacity. Once full, further spans
+    /// are counted as dropped instead of recorded.
+    pub fn with_capacity(rate_log2: u32, cap: usize) -> Self {
+        let rate_log2 = rate_log2.min(63);
+        FlowTracer {
+            mask: (1u64 << rate_log2) - 1,
+            rate_log2,
+            cap,
+            inner: Mutex::new(TracerInner {
+                spans: Vec::new(),
+                annotations: Vec::new(),
+                spans_dropped: 0,
+            }),
+        }
+    }
+
+    /// The configured rate exponent (1 in 2^k flows sampled).
+    pub fn rate_log2(&self) -> u32 {
+        self.rate_log2
+    }
+
+    /// Whether flow `sfl` is sampled. Deterministic in `sfl` alone, so
+    /// every host agrees without coordination.
+    pub fn sampled(&self, sfl: u64) -> bool {
+        mix(sfl) & self.mask == 0
+    }
+
+    /// Record one span if its flow is sampled (checked again here, so
+    /// callers may skip the [`FlowTracer::sampled`] pre-check).
+    pub fn record(&self, span: TraceSpan) {
+        if !self.sampled(span.sfl) {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.spans.len() >= self.cap {
+            inner.spans_dropped += 1;
+        } else {
+            inner.spans.push(span);
+        }
+    }
+
+    /// Record a global annotation (not subject to sampling; capped at
+    /// the same capacity as spans).
+    pub fn annotate(&self, kind: &'static str, detail: &'static str, t_us: u64, info: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.annotations.len() < self.cap {
+            inner.annotations.push(TraceAnnotation {
+                kind,
+                detail,
+                t_us,
+                info,
+            });
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .spans
+            .len()
+    }
+
+    /// All recorded spans, in record order.
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .spans
+            .clone()
+    }
+
+    /// Render the trace as one JSON object:
+    /// `{"rate_log2":k,"spans_dropped":n,"traces":[{"sfl":..,"legs":[{"host":"a.b.c.d","spans":[..]}]}],"annotations":[..]}`.
+    ///
+    /// The span tree groups spans by flow (in order of first
+    /// appearance) and, within a flow, by host (a *leg*: the tx-side
+    /// steps on one host, the rx-side steps on the other), preserving
+    /// record order within each leg. Output is fully deterministic for
+    /// a seeded run.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut flow_order: Vec<u64> = Vec::new();
+        for s in &inner.spans {
+            if !flow_order.contains(&s.sfl) {
+                flow_order.push(s.sfl);
+            }
+        }
+        let mut out = String::with_capacity(4096);
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"rate_log2\":{},\"spans_dropped\":{},\"traces\":[",
+            self.rate_log2, inner.spans_dropped
+        );
+        for (fi, sfl) in flow_order.iter().enumerate() {
+            if fi > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"sfl\":{sfl},\"legs\":[");
+            let mut host_order: Vec<u32> = Vec::new();
+            for s in inner.spans.iter().filter(|s| s.sfl == *sfl) {
+                if !host_order.contains(&s.host) {
+                    host_order.push(s.host);
+                }
+            }
+            for (hi, host) in host_order.iter().enumerate() {
+                if hi > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"host\":\"{}\",\"spans\":[", host_str(*host));
+                let mut first = true;
+                for s in inner
+                    .spans
+                    .iter()
+                    .filter(|s| s.sfl == *sfl && s.host == *host)
+                {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"{}\",\"t_us\":{},\"info\":{}}}",
+                        s.kind.name(),
+                        s.t_us,
+                        s.info
+                    );
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"annotations\":[");
+        for (i, a) in inner.annotations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"detail\":\"{}\",\"t_us\":{},\"info\":{}}}",
+                a.kind, a.detail, a.t_us, a.info
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Dotted-quad rendering of a host tag (`u32` IPv4 address).
+fn host_str(h: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (h >> 24) & 0xff,
+        (h >> 16) & 0xff,
+        (h >> 8) & 0xff,
+        h & 0xff
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_zero_samples_everything() {
+        let t = FlowTracer::new(0);
+        for sfl in 0..64u64 {
+            assert!(t.sampled(sfl));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_thins() {
+        let a = FlowTracer::new(3);
+        let b = FlowTracer::new(3);
+        let hits: Vec<u64> = (0..4096u64).filter(|s| a.sampled(*s)).collect();
+        let hits_b: Vec<u64> = (0..4096u64).filter(|s| b.sampled(*s)).collect();
+        assert_eq!(hits, hits_b);
+        // Roughly 1 in 8 of 4096 flows; allow wide slack.
+        assert!(hits.len() > 256 && hits.len() < 1024, "{}", hits.len());
+    }
+
+    #[test]
+    fn unsampled_spans_are_ignored() {
+        let t = FlowTracer::new(63);
+        let sfl = (0..u64::MAX).find(|s| !t.sampled(*s)).unwrap();
+        t.record(TraceSpan {
+            sfl,
+            host: 1,
+            kind: SpanKind::Classify,
+            t_us: 0,
+            info: 0,
+        });
+        assert_eq!(t.span_count(), 0);
+    }
+
+    #[test]
+    fn capacity_counts_drops() {
+        let t = FlowTracer::with_capacity(0, 2);
+        for i in 0..5u64 {
+            t.record(TraceSpan {
+                sfl: 1,
+                host: 1,
+                kind: SpanKind::Seal,
+                t_us: i,
+                info: 0,
+            });
+        }
+        assert_eq!(t.span_count(), 2);
+        assert!(t.to_json().contains("\"spans_dropped\":3"));
+    }
+
+    #[test]
+    fn json_groups_by_flow_then_host() {
+        let t = FlowTracer::new(0);
+        let h1 = u32::from_be_bytes([10, 0, 0, 1]);
+        let h2 = u32::from_be_bytes([10, 0, 0, 2]);
+        t.record(TraceSpan {
+            sfl: 7,
+            host: h1,
+            kind: SpanKind::Classify,
+            t_us: 1,
+            info: 64,
+        });
+        t.record(TraceSpan {
+            sfl: 7,
+            host: h1,
+            kind: SpanKind::Seal,
+            t_us: 2,
+            info: 64,
+        });
+        t.record(TraceSpan {
+            sfl: 7,
+            host: h2,
+            kind: SpanKind::Open,
+            t_us: 3,
+            info: 64,
+        });
+        t.annotate("fault_start", "directory_outage", 2, 0);
+        let json = t.to_json();
+        assert!(json.contains("\"sfl\":7"));
+        assert!(json.contains("\"host\":\"10.0.0.1\""));
+        assert!(json.contains("\"host\":\"10.0.0.2\""));
+        assert!(json.contains("\"kind\":\"classify\""));
+        assert!(json.contains("\"detail\":\"directory_outage\""));
+        // tx leg listed before rx leg (first-appearance order).
+        assert!(json.find("10.0.0.1").unwrap() < json.find("10.0.0.2").unwrap());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,94 @@
+//! Snapshot coherence under concurrent writers.
+//!
+//! Writers hammer counters, histograms, stage spans, and the shard
+//! lock table while a scraper thread takes snapshots. The registry
+//! promises per-cell atomicity, not cross-cell consistency, so the
+//! invariants a scraper may rely on are: (1) every counter is
+//! monotone across successive snapshots, and (2) a histogram whose
+//! observations all have the same value keeps `sum` within one
+//! in-flight sample per writer of `value × count` (bucket and sum are
+//! two separate relaxed adds).
+
+use fbs_obs::{Counter, Histogram, MetricsRegistry, Stage};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const WRITERS: usize = 4;
+const SAMPLE_VALUE: u64 = 100;
+const SNAPSHOTS: usize = 200;
+
+#[test]
+fn snapshots_stay_monotone_and_sum_consistent_under_writers() {
+    let reg = Arc::new(MetricsRegistry::with_event_capacity(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut spins = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    reg.incr(Counter::Sends);
+                    reg.add(Counter::PipelineBatchDatagrams, 3);
+                    reg.observe(Histogram::SendBytes, SAMPLE_VALUE);
+                    reg.observe_stage(Stage::Seal, SAMPLE_VALUE);
+                    reg.shard_lock_hold(w, 10);
+                    reg.shard_lock_wait(w, 5);
+                    spins += 1;
+                }
+                spins
+            })
+        })
+        .collect();
+
+    let mut last: Option<fbs_obs::MetricsSnapshot> = None;
+    let mut hist_seen = false;
+    for _ in 0..SNAPSHOTS {
+        let snap = reg.snapshot();
+        if let Some(prev) = &last {
+            for (name, v) in &prev.counters {
+                assert!(
+                    snap.counter(name) >= *v,
+                    "counter {name} went backwards: {} < {v}",
+                    snap.counter(name)
+                );
+            }
+        }
+        for key in ["send_bytes", "stage.seal_ns"] {
+            if let Some(h) = snap.histograms.get(key) {
+                hist_seen = true;
+                let count = h.count();
+                let ideal = SAMPLE_VALUE * count;
+                let diff = h.sum.abs_diff(ideal);
+                assert!(
+                    diff <= (WRITERS as u64) * SAMPLE_VALUE,
+                    "{key}: sum {} vs {count} x {SAMPLE_VALUE} (diff {diff})",
+                    h.sum
+                );
+            }
+        }
+        // The shard table rows must be internally plausible: waits and
+        // holds only grow, and each shard's wait_ns/hold_ns are exact
+        // multiples of the per-op costs the writers use.
+        for row in reg.shard_lock_table() {
+            assert!(row.shard < WRITERS);
+            assert_eq!(row.hold_ns, row.holds * 10);
+            assert_eq!(row.wait_ns, row.waits * 5);
+        }
+        last = Some(snap);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(total > 0);
+    assert!(hist_seen, "scraper never observed a histogram");
+
+    // Quiesced: the ledger must now be exact.
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("endpoint.sends"), total);
+    assert_eq!(snap.counter("pipeline.batch_datagrams"), 3 * total);
+    let h = &snap.histograms["send_bytes"];
+    assert_eq!(h.count(), total);
+    assert_eq!(h.sum, SAMPLE_VALUE * total);
+}

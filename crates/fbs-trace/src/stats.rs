@@ -13,6 +13,7 @@ use fbs_obs::HistogramSnapshot;
 pub struct LogHistogram {
     counts: Vec<u64>,
     total: u64,
+    sum: u64,
 }
 
 impl LogHistogram {
@@ -33,6 +34,7 @@ impl LogHistogram {
         }
         self.counts[bucket] += 1;
         self.total += 1;
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// (bucket lower bound, bucket upper bound, count, cumulative fraction
@@ -62,6 +64,11 @@ impl LogHistogram {
         self.total
     }
 
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// View as an [`fbs_obs::HistogramSnapshot`] (non-empty buckets only).
     /// The bucketing is identical, so the conversion is lossless.
     pub fn to_snapshot(&self) -> HistogramSnapshot {
@@ -80,7 +87,10 @@ impl LogHistogram {
                 (lo, hi, c)
             })
             .collect();
-        HistogramSnapshot { buckets }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum,
+        }
     }
 
     /// Rebuild from a registry [`HistogramSnapshot`] (e.g. to reuse the
@@ -99,6 +109,7 @@ impl LogHistogram {
             h.counts[bucket] += count;
             h.total += count;
         }
+        h.sum = snap.sum;
         h
     }
 }

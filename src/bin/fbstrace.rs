@@ -23,7 +23,8 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  fbstrace gen-campus [minutes] [seed]\n  fbstrace gen-www [minutes] [seed]\n  \
+        "usage:\n  fbstrace gen-campus [minutes] [seed] [--metrics <path.json>]\n  \
+         fbstrace gen-www [minutes] [seed] [--metrics <path.json>]\n  \
          fbstrace analyze <file> [threshold_secs] [--metrics <path.json>]\n  \
          fbstrace cache <file> [slots] [--metrics <path.json>]"
     );
@@ -46,6 +47,25 @@ fn write_metrics(path: &str, snap: &fbs_obs::MetricsSnapshot) {
     eprintln!("metrics written to {path}");
 }
 
+/// Metrics for a generated trace: packet/byte totals plus a payload
+/// size histogram, exported through the same `--metrics` pipeline as
+/// the analysis subcommands.
+fn gen_metrics(path: &str, trace: &[fbs::trace::record::PacketRecord]) {
+    let mut snap = fbs_obs::MetricsSnapshot::new();
+    snap.add("trace.packets", trace.len() as u64);
+    snap.add(
+        "trace.bytes",
+        trace.iter().map(|p| p.len as u64).sum::<u64>(),
+    );
+    let mut hist = fbs::trace::stats::LogHistogram::new();
+    for p in trace {
+        hist.add(p.len as u64);
+    }
+    snap.histograms
+        .insert("packet_bytes".into(), hist.to_snapshot());
+    write_metrics(path, &snap);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -59,6 +79,9 @@ fn main() {
             });
             println!("# campus LAN trace: {} min, seed {}", minutes, seed);
             print!("{}", write_trace(&trace));
+            if let Some(path) = metrics_path(&args) {
+                gen_metrics(path, &trace);
+            }
         }
         Some("gen-www") => {
             let minutes: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
@@ -70,6 +93,9 @@ fn main() {
             });
             println!("# WWW server trace: {} min, seed {}", minutes, seed);
             print!("{}", write_trace(&trace));
+            if let Some(path) = metrics_path(&args) {
+                gen_metrics(path, &trace);
+            }
         }
         Some("analyze") => {
             let Some(path) = args.get(2) else { usage() };
