@@ -97,9 +97,10 @@ fn main() {
         rows.push(
             [
                 vec![format!(
-                    "mapping {}t {}sh{}",
+                    "mapping {}t {}sh {}w{}",
                     m.threads,
                     m.shards,
+                    m.workers,
                     if m.pool_balanced { "" } else { " LEAK" }
                 )],
                 fmt(&m.rate),
@@ -135,16 +136,16 @@ fn main() {
         report.mapping_sharded_vs_unsharded_1t
     );
 
-    // Per-shard contention, from the most contended mapping row.
+    // Per-worker occupancy, from the busiest mapping row.
     if let Some(m) = report.mapping.last() {
         println!(
-            "\nshard contention — mapping {}t {}sh (all reps):",
-            m.threads, m.shards
+            "\nworker occupancy — mapping {}t {}sh {}w (all reps):",
+            m.threads, m.shards, m.workers
         );
-        for c in &m.contention {
+        for o in &m.occupancy {
             println!(
-                "  shard {:2}: {:6} waits {:10} wait-ns  {:8} holds {:12} hold-ns",
-                c.shard, c.waits, c.wait_ns, c.holds, c.hold_ns
+                "  worker {:2}: {:6} stalls {:10} stall-ns  {:8} batches {:12} busy-ns",
+                o.worker, o.stalls, o.stall_ns, o.batches, o.busy_ns
             );
         }
     }

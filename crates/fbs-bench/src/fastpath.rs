@@ -24,7 +24,7 @@ use fbs_ip::host::build_secure_host;
 use fbs_net::ip::{Ipv4Header, Proto};
 use fbs_net::{HookOutcome, SecurityHooks};
 use fbs_obs::{
-    Direction, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ShardLockRow, Stage,
+    Direction, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Stage, WorkerOccupancyRow,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -108,20 +108,25 @@ pub struct MappingRate {
     /// Concurrent threads sharing the mapping.
     pub threads: usize,
     /// Shard count the mapping was built with (1 = the pre-shard
-    /// single-lock shape, the sharding-overhead baseline).
+    /// single-table shape, the sharding-overhead baseline).
     pub shards: usize,
+    /// Shard-owning worker threads the runtime was built with.
+    pub workers: usize,
+    /// SPSC ring depth between the submitting thread and each worker.
+    pub ring_depth: usize,
     /// Every thread's pool take/put ledger balanced: no buffer leaked on
     /// any path the run exercised.
     pub pool_balanced: bool,
     /// The measured rate (wire buffers recycled back to the pools).
     pub rate: Rate,
     /// Per-stage latency histograms (name, snapshot) accumulated over
-    /// every rep of this row: partition, lock wait/hold, seal, key
+    /// every rep of this row: partition, ring enqueue/wait, seal, key
     /// derivation, dispatch. Nanosecond log2 buckets.
     pub stages: Vec<(&'static str, HistogramSnapshot)>,
-    /// Per-shard lock contention rows (waits, wait-ns, holds, hold-ns)
+    /// Per-worker occupancy rows (ring stalls and stall-ns on the
+    /// producer side, sub-batches and busy-ns on the worker side)
     /// accumulated over every rep of this row.
-    pub contention: Vec<ShardLockRow>,
+    pub occupancy: Vec<WorkerOccupancyRow>,
 }
 
 /// The full `BENCH_fastpath.json` payload.
@@ -149,8 +154,9 @@ pub struct FastpathReport {
     pub open_inline_pooled: Rate,
     /// Opener grid: `open_batch` at 1/2/4 workers, buffers recycled.
     pub opener: Vec<OpenerRate>,
-    /// Sharded-mapping grid: 1/2/4 threads against one shared
-    /// `FbsIpHooks`, plus a 1-thread `shards = 1` baseline row.
+    /// Sharded-mapping grid: (threads, shards, workers) points against
+    /// one shared `FbsIpHooks`, including the 1-thread
+    /// `shards = workers = 1` baseline row.
     pub mapping: Vec<MappingRate>,
     /// Headline: in-thread pooled seal path over legacy, datagrams/sec.
     pub speedup_pooled_1w_vs_legacy: f64,
@@ -162,8 +168,9 @@ pub struct FastpathReport {
     /// single-CPU host this measures sharding/channel overhead, not
     /// parallel speedup (see `cpus`).
     pub speedup_open_batch_4w_vs_legacy: f64,
-    /// Single-thread sharded mapping over the `shards = 1` baseline:
-    /// the cost of sharding itself, which must stay near 1.0.
+    /// Single-thread sharded mapping (8 shards, 1 worker) over the
+    /// `shards = workers = 1` baseline: the cost of partitioning +
+    /// sharding itself at fixed worker count, which must stay near 1.0.
     pub mapping_sharded_vs_unsharded_1t: f64,
     /// Merged metrics snapshot across every mapping row's registry —
     /// the `--prom` exposition source.
@@ -254,30 +261,33 @@ impl FastpathReport {
                     .iter()
                     .map(|(name, h)| format!("\"{}_ns\": {}", name, json_hist(h)))
                     .collect();
-                let contention: Vec<String> = m
-                    .contention
+                let occupancy: Vec<String> = m
+                    .occupancy
                     .iter()
                     .map(|r| {
                         format!(
-                            "{{\"shard\": {}, \"waits\": {}, \"wait_ns\": {}, \
-                             \"holds\": {}, \"hold_ns\": {}}}",
-                            r.shard, r.waits, r.wait_ns, r.holds, r.hold_ns
+                            "{{\"worker\": {}, \"stalls\": {}, \"stall_ns\": {}, \
+                             \"batches\": {}, \"busy_ns\": {}}}",
+                            r.worker, r.stalls, r.stall_ns, r.batches, r.busy_ns
                         )
                     })
                     .collect();
                 format!(
-                    "    {{\"threads\": {}, \"shards\": {}, \"pool_balanced\": {}, \
+                    "    {{\"threads\": {}, \"shards\": {}, \"workers\": {}, \
+                     \"ring_depth\": {}, \"pool_balanced\": {}, \
                      \"datagrams_per_sec\": {:.1}, \"bytes_per_sec\": {:.1}, \
                      \"allocs_per_datagram\": {:.2}, \"stages\": {{{}}}, \
-                     \"contention\": [{}]}}",
+                     \"occupancy\": [{}]}}",
                     m.threads,
                     m.shards,
+                    m.workers,
+                    m.ring_depth,
                     m.pool_balanced,
                     m.rate.datagrams_per_sec,
                     m.rate.bytes_per_sec,
                     m.rate.allocs_per_datagram,
                     stages.join(", "),
-                    contention.join(", ")
+                    occupancy.join(", ")
                 )
             })
             .collect();
@@ -374,8 +384,22 @@ pub fn measure_inline(
     rate(count, payload, start.elapsed().as_secs_f64(), alloc() - a0)
 }
 
-/// A [`ParallelSealer`] run: `count` datagrams in `batch`-sized batches,
-/// flow labels cycling over `0..8` so every worker shard stays busy.
+/// Batch size for [`measure_sealer`]: large enough that the per-batch
+/// dispatch scratch (chunk table, channel messages) amortises to ~0
+/// allocations per datagram, matching [`OPEN_BATCH`] on the input side.
+const SEAL_BATCH: usize = 8192;
+
+/// A [`ParallelSealer`] run: `count` datagrams in [`SEAL_BATCH`]-sized
+/// batches, flow labels cycling over `0..8` so every worker shard stays
+/// busy.
+///
+/// The `pooled` variant runs a **circular buffer economy**: each batch's
+/// job bodies come from the previous batch's returned wires, while the
+/// spent bodies are absorbed into the worker pools and come back as the
+/// next wires. Every buffer stays in circulation, so the steady-state
+/// loop performs zero heap allocations per datagram — the figure CI
+/// gates on. The unpooled variant allocates a fresh body per job and
+/// drops every wire: the explicit allocating baseline.
 pub fn measure_sealer(
     payload: usize,
     count: usize,
@@ -388,31 +412,55 @@ pub fn measure_sealer(
     let secret = mode.secret();
     let mut sealer = ParallelSealer::new(senders);
     let (_, d) = principals();
-    let body = vec![0xA5u8; payload];
-    let batch = 64.min(count.max(1));
-    let jobs = |n: usize| -> Vec<SealJob> {
-        (0..n)
-            .map(|i| SealJob {
+    let batch = SEAL_BATCH.min(count.max(1));
+    // The circulating body stock (pooled mode): starts as `batch` fresh
+    // buffers, thereafter refilled by returned wires.
+    let mut bodies: Vec<Vec<u8>> = (0..batch).map(|_| vec![0xA5u8; payload]).collect();
+    let mut jobs: Vec<SealJob> = Vec::with_capacity(batch);
+    let mut out: Vec<Result<Vec<u8>, fbs_core::FbsError>> = Vec::with_capacity(batch);
+    let fill = |bodies: &mut Vec<Vec<u8>>, jobs: &mut Vec<SealJob>, n: usize| {
+        for i in 0..n {
+            let mut body = if pooled {
+                bodies.pop().expect("stock holds a full batch")
+            } else {
+                Vec::with_capacity(payload)
+            };
+            body.clear();
+            body.resize(payload, 0xA5);
+            jobs.push(SealJob {
                 sfl: (i % 8) as u64,
                 destination: d.clone(),
-                body: body.clone(),
+                body,
                 secret,
-            })
-            .collect()
+            });
+        }
     };
-    // Warm every flow key on every shard before timing.
-    for wire in sealer.seal_batch(jobs(8)) {
-        sealer.recycle(wire.unwrap());
+    // Warm two full rounds before timing: flow keys derive on every
+    // shard, worker pools grow their freelists, and every circulating
+    // buffer reaches full wire capacity.
+    for _ in 0..2 {
+        fill(&mut bodies, &mut jobs, batch);
+        sealer.seal_batch_in_place(&mut jobs, &mut out);
+        for wire in out.drain(..) {
+            let wire = wire.expect("warm seal succeeds");
+            if pooled {
+                bodies.push(wire);
+            } else {
+                sealer.recycle(wire);
+            }
+        }
     }
     let mut done = 0usize;
     let a0 = alloc();
     let start = Instant::now();
     while done < count {
         let n = batch.min(count - done);
-        for wire in sealer.seal_batch(jobs(n)) {
-            let wire = wire.unwrap();
+        fill(&mut bodies, &mut jobs, n);
+        sealer.seal_batch_in_place(&mut jobs, &mut out);
+        for wire in out.drain(..) {
+            let wire = wire.expect("seal succeeds");
             if pooled {
-                sealer.recycle(wire);
+                bodies.push(wire);
             } else {
                 std::hint::black_box(&wire);
             }
@@ -585,17 +633,24 @@ const MAPPING_BATCH: usize = 1024;
 /// one table entry and understate per-shard throughput.
 const MAPPING_FLOWS: usize = 64;
 
-/// The sharded endpoint under contention: `threads` cloned handles of
-/// ONE `FbsIpHooks` (built with `shards` shards) each drive output
+/// SPSC ring depth for every mapping row (the `IpMappingConfig`
+/// default): deep enough that `threads ≤ 4` producers rarely stall.
+const MAPPING_RING_DEPTH: usize = 4;
+
+/// The sharded endpoint under concurrent submitters: `threads` cloned
+/// handles of ONE `FbsIpHooks` (built with `shards` shards owned by
+/// `workers` run-to-completion worker threads) each drive output
 /// batches of UDP datagrams over disjoint flows, wire buffers recycled
 /// through a per-thread [`BufferPool`]. Returns the aggregate rate and
 /// whether every thread's pool take/put ledger balanced (the leak gate).
+#[allow(clippy::too_many_arguments)]
 pub fn measure_mapping(
     payload: usize,
     count: usize,
     mode: Mode,
     threads: usize,
     shards: usize,
+    workers: usize,
     obs: Option<&Arc<MetricsRegistry>>,
     alloc: &dyn Fn() -> u64,
 ) -> (Rate, bool) {
@@ -608,6 +663,8 @@ pub fn measure_mapping(
     let cfg = IpMappingConfig {
         encrypt: mode.secret(),
         shards,
+        workers,
+        ring_depth: MAPPING_RING_DEPTH,
         // Generous FST so the bench's flows never collide in a slot:
         // this row measures the steady-state hot path (hit + seal), not
         // eviction ping-pong between same-slot flows.
@@ -628,7 +685,8 @@ pub fn measure_mapping(
     // Building B publishes its certificate, so A's sends can key.
     let (_hb, _hooks_b) = build_secure_host(b, 1500, cfg, clock, &group, &ca, &directory, 12);
     // Attach the row's registry before any warm batch runs, so stage
-    // timers and the shard lock table cover the entire measured window.
+    // timers and the worker occupancy table cover the entire measured
+    // window.
     if let Some(reg) = obs {
         hooks.attach_obs(Arc::clone(reg));
     }
@@ -747,12 +805,14 @@ pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) ->
         .find(|o| o.workers == 4)
         .expect("grid includes 4 workers")
         .rate;
-    // Mapping grid: the shards=1 single-thread row is the pre-shard
-    // baseline; the rest drive 1/2/4 threads at the default shard count.
+    // Mapping grid: the shards=workers=1 single-thread row is the
+    // unsharded baseline; the 1-thread 8-shard 1-worker row isolates
+    // partitioning cost at fixed worker count (the sharding-cost
+    // headline); the rest scale submitters and workers together.
     let mut obs = MetricsSnapshot::new();
-    let mapping: Vec<MappingRate> = [(1usize, 1usize), (1, 8), (2, 8), (4, 8)]
+    let mapping: Vec<MappingRate> = [(1usize, 1usize, 1usize), (1, 8, 1), (2, 8, 2), (4, 8, 4)]
         .into_iter()
-        .map(|(threads, shards)| {
+        .map(|(threads, shards, workers)| {
             // Fastest rep's rate; a leak in ANY rep poisons the flag.
             // Mapping rows get extra reps: the 1-thread sharded-vs-
             // unsharded ratio is the report's sharding-cost headline, and
@@ -760,16 +820,24 @@ pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) ->
             // an unthrottled scheduling window.
             //
             // One registry per row, shared across its reps: the stage
-            // histograms and contention table describe this (threads,
-            // shards) point over all its reps — enough samples for the
-            // log2 buckets to show a distribution, still attributable
-            // to one grid point.
+            // histograms and occupancy table describe this (threads,
+            // shards, workers) point over all its reps — enough samples
+            // for the log2 buckets to show a distribution, still
+            // attributable to one grid point.
             let reg = Arc::new(MetricsRegistry::new());
             let mut best: Option<Rate> = None;
             let mut pool_balanced = true;
             for _ in 0..MAPPING_REPS {
-                let (rate, ok) =
-                    measure_mapping(payload, count, mode, threads, shards, Some(&reg), alloc);
+                let (rate, ok) = measure_mapping(
+                    payload,
+                    count,
+                    mode,
+                    threads,
+                    shards,
+                    workers,
+                    Some(&reg),
+                    alloc,
+                );
                 pool_balanced &= ok;
                 if best.is_none_or(|b: Rate| rate.datagrams_per_sec > b.datagrams_per_sec) {
                     best = Some(rate);
@@ -780,15 +848,17 @@ pub fn run(payload: usize, count: usize, mode: Mode, alloc: &dyn Fn() -> u64) ->
                 .map(|s| (s.name(), reg.stage_histogram(*s)))
                 .filter(|(_, h)| !h.buckets.is_empty())
                 .collect();
-            let contention = reg.shard_lock_table();
+            let occupancy = reg.worker_occupancy_table();
             merge_snapshot(&mut obs, &reg.snapshot());
             MappingRate {
                 threads,
                 shards,
+                workers,
+                ring_depth: MAPPING_RING_DEPTH,
                 pool_balanced,
                 rate: best.expect("reps > 0"),
                 stages,
-                contention,
+                occupancy,
             }
         })
         .collect();
@@ -844,33 +914,34 @@ mod tests {
             assert!(m.rate.datagrams_per_sec > 0.0);
             assert!(m.pool_balanced, "mapping row leaked buffers: {m:?}");
             // Every row ran with a registry attached: the hot stages
-            // must have recorded spans and every shard that processed a
-            // group must show lock holds.
+            // must have recorded spans and every worker that drained a
+            // sub-batch must show up in the occupancy table.
             let stage_names: Vec<&str> = m.stages.iter().map(|(n, _)| *n).collect();
-            for want in ["partition", "lock_hold", "seal", "dispatch"] {
+            for want in ["partition", "ring_enqueue", "ring_wait", "seal", "dispatch"] {
                 assert!(stage_names.contains(&want), "row missing stage {want}");
             }
-            assert!(!m.contention.is_empty(), "row has no lock-hold rows");
-            assert!(m.contention.iter().all(|c| c.holds > 0));
+            assert!(!m.occupancy.is_empty(), "row has no occupancy rows");
+            assert!(m.occupancy.iter().all(|o| o.batches > 0));
             assert!(
-                m.contention.iter().all(|c| c.shard < m.shards),
-                "contention row outside shard range: {:?}",
-                m.contention
+                m.occupancy.iter().all(|o| o.worker < m.workers),
+                "occupancy row outside worker range: {:?}",
+                m.occupancy
             );
         }
         assert!(json.contains("\"stages\""));
-        assert!(json.contains("\"contention\""));
-        assert!(json.contains("\"lock_hold_ns\""));
+        assert!(json.contains("\"occupancy\""));
+        assert!(json.contains("\"ring_depth\""));
+        assert!(json.contains("\"ring_wait_ns\""));
         // The merged snapshot feeds --prom: it must carry the stage
-        // histograms and per-shard counters the rows were built from.
+        // histograms and per-worker counters the rows were built from.
         assert!(r.obs.histograms.contains_key("stage.seal_ns"));
-        assert!(r.obs.counter("hooks.shard.0.lock_holds") > 0);
+        assert!(r.obs.counter("hooks.worker.0.batches") > 0);
         assert_eq!(
             r.mapping
                 .iter()
-                .map(|m| (m.threads, m.shards))
+                .map(|m| (m.threads, m.shards, m.workers))
                 .collect::<Vec<_>>(),
-            vec![(1, 1), (1, 8), (2, 8), (4, 8)]
+            vec![(1, 1, 1), (1, 8, 1), (2, 8, 2), (4, 8, 4)]
         );
         assert!(r.open_legacy.datagrams_per_sec > 0.0);
         assert!(r.open_inline_pooled.datagrams_per_sec > 0.0);

@@ -427,9 +427,9 @@ impl<K: Eq + Hash + Clone, V: Clone> SoftCache<K, V> {
     }
 
     /// Quiet lookup: no recency update, no statistics, no classifier, no
-    /// events. Used by sharded callers to re-check for a racing insert
-    /// after re-acquiring a shard lock — the original miss was already
-    /// recorded, so the re-check must not perturb the counters.
+    /// events. For callers that already recorded a miss and later need a
+    /// plain presence check (e.g. re-checking after an out-of-band
+    /// insert) — the re-check must not perturb the counters.
     pub fn peek(&self, key: &K) -> Option<&V> {
         let idx = self.set_index(key);
         self.sets[idx]

@@ -12,9 +12,12 @@
 //!
 //! # Lock-ordering rules
 //!
-//! 1. A shard lock is NEVER held across an MKD/directory call. Key
-//!    derivation on a miss runs with the shard lock *released* (the
-//!    caller reserves the sfl first, re-locks, and re-checks).
+//! 1. Endpoint flow-state shards are not locked at all: each is owned
+//!    outright by one worker thread (`fbs-ip`'s worker runtime), so a
+//!    key derivation on a miss runs on the owning worker with no
+//!    endpoint lock held — only the [`KeyingService`] locks below are
+//!    taken, and the sfl is reserved before the derive so a failure
+//!    burns it (sfls are never reused).
 //! 2. Inside [`KeyingService`], the order is `mkd` lock → MKC shard
 //!    lock. The fast path touches only an MKC shard lock and releases
 //!    it before any `mkd` acquisition, so no cycle exists.

@@ -38,6 +38,7 @@ pub mod principal;
 pub mod protocol;
 pub mod replay;
 pub mod retry;
+pub mod ring;
 pub mod sealer;
 pub mod sfl;
 
@@ -59,5 +60,6 @@ pub use protocol::{
 };
 pub use replay::FreshnessWindow;
 pub use retry::{RetryOutcome, RetryPolicy};
+pub use ring::SpscRing;
 pub use sealer::{OpenJob, ParallelSealer, SealJob, SealerStats};
 pub use sfl::SflAllocator;

@@ -120,6 +120,24 @@ impl BufferPool {
         }
     }
 
+    /// Push `n` buffers onto `out` (recycled where available, fresh
+    /// otherwise). The batch-supply mirror of [`Self::take`]: the worker
+    /// runtime ships one supply buffer per datagram with each sub-batch.
+    pub fn take_n_into(&mut self, n: usize, out: &mut Vec<Vec<u8>>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.take());
+        }
+    }
+
+    /// Drain every buffer in `bufs` back into the freelist, keeping
+    /// `bufs`' capacity for reuse. The batch mirror of [`Self::put`].
+    pub fn put_all(&mut self, bufs: &mut Vec<Vec<u8>>) {
+        for buf in bufs.drain(..) {
+            self.put(buf);
+        }
+    }
+
     /// Buffers currently on the freelist.
     pub fn idle(&self) -> usize {
         self.free.len()
@@ -181,6 +199,20 @@ mod tests {
         assert_eq!(pool.idle(), 1);
         let s = pool.stats();
         assert_eq!((s.returns, s.discards), (1, 1));
+    }
+
+    #[test]
+    fn batch_take_and_put_balance_the_ledger() {
+        let mut pool = BufferPool::with_limits(8, 64);
+        let mut supplies = Vec::new();
+        pool.take_n_into(3, &mut supplies);
+        assert_eq!(supplies.len(), 3);
+        pool.put_all(&mut supplies);
+        assert!(supplies.is_empty());
+        let s = pool.stats();
+        assert_eq!((s.misses, s.returns), (3, 3));
+        pool.take_n_into(2, &mut supplies);
+        assert_eq!(pool.stats().hits, 2);
     }
 
     #[test]

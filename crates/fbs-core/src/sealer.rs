@@ -16,12 +16,16 @@
 //! that worker's whole share of the batch, and each worker answers with one
 //! message carrying its whole share of the results. Channel overhead is
 //! therefore amortised over the batch (O(workers) messages per batch, not
-//! O(datagrams)), which is what keeps the per-datagram allocation count at
-//! zero in steady state. Spent input buffers are absorbed into the worker
-//! pools ([`ParallelSealer::open_batch`] recycles each wire payload after
-//! opening it), and output buffers travel back via
-//! [`ParallelSealer::recycle_batch`], closing the loop: steady state, a
-//! sealed or opened payload reuses the heap of a previously processed one.
+//! O(datagrams)). Every vector in that exchange round-trips: the reply
+//! carries back the emptied chunk vec and the request carries out a spare
+//! result vec from the previous batch, so in steady state dispatch itself
+//! allocates nothing — the same scratch-reuse pattern `process_batch` uses
+//! in `fbs-ip`. Spent input buffers are absorbed into the worker pools on
+//! both sides ([`ParallelSealer::open_batch`] recycles each wire payload
+//! after opening it; seal workers recycle each job body after sealing it),
+//! and output buffers travel back via [`ParallelSealer::recycle_batch`],
+//! closing the loop: steady state, a sealed or opened payload reuses the
+//! heap of a previously processed one.
 
 use crate::error::Result;
 use crate::pool::{BufferPool, DEFAULT_BUF_CAPACITY, DEFAULT_MAX_POOLED};
@@ -57,12 +61,33 @@ pub struct OpenJob {
 }
 
 enum WorkerMsg {
-    /// A worker's share of a seal batch, in submission order.
-    Seal(Vec<(usize, SealJob)>),
-    /// A worker's share of an open batch, in submission order.
-    Open(Vec<(usize, OpenJob)>),
+    /// A worker's share of a seal batch, in submission order, plus a
+    /// spare (empty) result vec from an earlier batch to fill.
+    Seal {
+        chunk: Vec<(usize, SealJob)>,
+        out: Vec<(usize, Result<Vec<u8>>)>,
+    },
+    /// A worker's share of an open batch, in submission order, plus a
+    /// spare result vec.
+    Open {
+        chunk: Vec<(usize, OpenJob)>,
+        out: Vec<(usize, Result<Vec<u8>>)>,
+    },
     /// Spent buffers returning to the worker's pool.
     RecycleMany(Vec<Vec<u8>>),
+}
+
+/// The emptied chunk vec travelling back with a worker's results, so
+/// the driver can reuse it for the next dispatch.
+enum ChunkScratch {
+    Seal(Vec<(usize, SealJob)>),
+    Open(Vec<(usize, OpenJob)>),
+}
+
+/// One worker's answer to one sub-batch.
+struct Reply {
+    out: Vec<(usize, Result<Vec<u8>>)>,
+    scratch: ChunkScratch,
 }
 
 struct Worker {
@@ -101,9 +126,18 @@ impl SealerStats {
 /// A pool of seal/open workers, one endpoint each, sharded by `sfl`.
 pub struct ParallelSealer {
     workers: Vec<Worker>,
-    results_rx: mpsc::Receiver<Vec<(usize, Result<Vec<u8>>)>>,
+    results_rx: mpsc::Receiver<Reply>,
     stats: SealerStats,
     obs: Option<Arc<MetricsRegistry>>,
+    /// Emptied seal chunk vecs round-tripped from workers, reused by the
+    /// next dispatch (at most one per worker in circulation).
+    seal_spares: Vec<Vec<(usize, SealJob)>>,
+    /// Emptied open chunk vecs round-tripped from workers.
+    open_spares: Vec<Vec<(usize, OpenJob)>>,
+    /// Emptied result vecs round-tripped from workers.
+    out_spares: Vec<Vec<(usize, Result<Vec<u8>>)>>,
+    /// Submission-order gather slots, reused across batches.
+    slots: Vec<Option<Result<Vec<u8>>>>,
 }
 
 impl ParallelSealer {
@@ -152,9 +186,10 @@ impl ParallelSealer {
                     }
                     while let Ok(msg) = rx.recv() {
                         match msg {
-                            WorkerMsg::Seal(chunk) => {
-                                let mut out = Vec::with_capacity(chunk.len());
-                                for (seq, job) in chunk {
+                            WorkerMsg::Seal { mut chunk, mut out } => {
+                                out.clear();
+                                out.reserve(chunk.len());
+                                for (seq, job) in chunk.drain(..) {
                                     let mut buf = pool.take();
                                     let sealed = ep.seal_into(
                                         job.sfl,
@@ -163,6 +198,10 @@ impl ParallelSealer {
                                         job.secret,
                                         &mut buf,
                                     );
+                                    // The spent body feeds future takes —
+                                    // the open side's absorb design,
+                                    // applied to seal.
+                                    pool.put(job.body);
                                     let res = match sealed {
                                         Ok(()) => Ok(buf),
                                         Err(e) => {
@@ -172,13 +211,18 @@ impl ParallelSealer {
                                     };
                                     out.push((seq, res));
                                 }
-                                if results.send(out).is_err() {
+                                let reply = Reply {
+                                    out,
+                                    scratch: ChunkScratch::Seal(chunk),
+                                };
+                                if results.send(reply).is_err() {
                                     return; // sealer dropped mid-batch
                                 }
                             }
-                            WorkerMsg::Open(chunk) => {
-                                let mut out = Vec::with_capacity(chunk.len());
-                                for (seq, job) in chunk {
+                            WorkerMsg::Open { mut chunk, mut out } => {
+                                out.clear();
+                                out.reserve(chunk.len());
+                                for (seq, job) in chunk.drain(..) {
                                     let mut buf = pool.take();
                                     let opened = ep.open_into(&job.source, &job.wire, &mut buf);
                                     // The spent wire feeds future takes.
@@ -192,7 +236,11 @@ impl ParallelSealer {
                                     };
                                     out.push((seq, res));
                                 }
-                                if results.send(out).is_err() {
+                                let reply = Reply {
+                                    out,
+                                    scratch: ChunkScratch::Open(chunk),
+                                };
+                                if results.send(reply).is_err() {
                                     return;
                                 }
                             }
@@ -218,6 +266,10 @@ impl ParallelSealer {
                 ..SealerStats::default()
             },
             obs,
+            seal_spares: Vec::with_capacity(n),
+            open_spares: Vec::with_capacity(n),
+            out_spares: Vec::with_capacity(n),
+            slots: Vec::new(),
         }
     }
 
@@ -226,60 +278,111 @@ impl ParallelSealer {
         self.workers.len()
     }
 
-    /// Shard a batch into per-worker chunks, send each non-empty chunk as
-    /// one message, and gather the per-worker result vectors back into
-    /// submission order.
-    fn run_batch<J>(
-        &mut self,
-        jobs: Vec<J>,
-        shard: impl Fn(&J) -> usize,
-        wrap: impl Fn(Vec<(usize, J)>) -> WorkerMsg,
-    ) -> Vec<Result<Vec<u8>>> {
-        let n = jobs.len();
+    /// Shard a seal batch into per-worker chunks (reusing round-tripped
+    /// chunk vecs) and send each non-empty chunk as one message. Returns
+    /// the number of outstanding replies.
+    fn dispatch_seal(&mut self, jobs: &mut Vec<SealJob>) -> usize {
         let shards = self.workers.len();
-        // Pre-size each chunk for an even shard split: keeps dispatch at
-        // O(workers) allocations per batch rather than O(jobs) grows, so
-        // large batches amortise to ~0 driver allocations per datagram.
-        let mut chunks: Vec<Vec<(usize, J)>> = (0..shards)
-            .map(|_| Vec::with_capacity(n / shards + 1))
-            .collect();
-        for (seq, job) in jobs.into_iter().enumerate() {
-            let w = shard(&job) % shards;
+        let mut chunks: Vec<Vec<(usize, SealJob)>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            chunks.push(self.seal_spares.pop().unwrap_or_default());
+        }
+        for (seq, job) in jobs.drain(..).enumerate() {
+            let w = (job.sfl as usize) % shards;
             self.stats.worker_jobs[w] += 1;
             chunks[w].push((seq, job));
         }
         let mut outstanding = 0;
         for (w, chunk) in chunks.into_iter().enumerate() {
             if chunk.is_empty() {
+                self.seal_spares.push(chunk);
                 continue;
             }
             outstanding += 1;
+            let out = self.out_spares.pop().unwrap_or_default();
             self.workers[w]
                 .tx
-                .send(wrap(chunk))
+                .send(WorkerMsg::Seal { chunk, out })
                 .expect("worker thread alive while sealer is");
         }
-        let mut out: Vec<Option<Result<Vec<u8>>>> = (0..n).map(|_| None).collect();
+        outstanding
+    }
+
+    /// The open-side mirror of [`Self::dispatch_seal`]: shard by the
+    /// `sfl` leading each wire image; a wire too short to carry an sfl
+    /// lands on worker 0, whose `open_into` reports the parse error.
+    fn dispatch_open(&mut self, jobs: &mut Vec<OpenJob>) -> usize {
+        let shards = self.workers.len();
+        let mut chunks: Vec<Vec<(usize, OpenJob)>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            chunks.push(self.open_spares.pop().unwrap_or_default());
+        }
+        for (seq, job) in jobs.drain(..).enumerate() {
+            let key = job
+                .wire
+                .get(0..8)
+                .map(|b| u64::from_be_bytes(b.try_into().expect("8-byte slice")) as usize)
+                .unwrap_or(0);
+            let w = key % shards;
+            self.stats.worker_jobs[w] += 1;
+            chunks[w].push((seq, job));
+        }
+        let mut outstanding = 0;
+        for (w, chunk) in chunks.into_iter().enumerate() {
+            if chunk.is_empty() {
+                self.open_spares.push(chunk);
+                continue;
+            }
+            outstanding += 1;
+            let out = self.out_spares.pop().unwrap_or_default();
+            self.workers[w]
+                .tx
+                .send(WorkerMsg::Open { chunk, out })
+                .expect("worker thread alive while sealer is");
+        }
+        outstanding
+    }
+
+    /// Collect `outstanding` replies, re-thread them into submission
+    /// order in `out`, and bank every round-tripped scratch vec.
+    fn gather(&mut self, outstanding: usize, n: usize, out: &mut Vec<Result<Vec<u8>>>) {
+        self.slots.clear();
+        self.slots.resize_with(n, || None);
         for _ in 0..outstanding {
-            let answers = self
+            let Reply {
+                out: mut filled,
+                scratch,
+            } = self
                 .results_rx
                 .recv()
                 .expect("worker thread alive while sealer is");
-            for (seq, res) in answers {
-                out[seq] = Some(res);
+            for (seq, res) in filled.drain(..) {
+                self.slots[seq] = Some(res);
+            }
+            self.out_spares.push(filled);
+            match scratch {
+                ChunkScratch::Seal(c) => self.seal_spares.push(c),
+                ChunkScratch::Open(c) => self.open_spares.push(c),
             }
         }
-        out.into_iter()
-            .map(|r| r.expect("every seq answered exactly once"))
-            .collect()
+        out.clear();
+        out.extend(
+            self.slots
+                .drain(..)
+                .map(|r| r.expect("every seq answered exactly once")),
+        );
     }
 
-    /// Seal a batch. Jobs are sharded by `sfl % workers`, so all datagrams
-    /// of one flow seal on one worker in submission order; results come
-    /// back in submission order (`out[i]` is `jobs[i]` sealed). Each `Ok`
-    /// is a full wire payload — hand it back via [`Self::recycle_batch`]
-    /// after transmission to keep the buffer loop closed.
-    pub fn seal_batch(&mut self, jobs: Vec<SealJob>) -> Vec<Result<Vec<u8>>> {
+    /// Seal a batch, draining `jobs` (its capacity survives for refilling)
+    /// and filling `out` with results in submission order (`out[i]` is
+    /// `jobs[i]` sealed). Jobs are sharded by `sfl % workers`, so all
+    /// datagrams of one flow seal on one worker in submission order. Each
+    /// `Ok` is a full wire payload — hand it back via
+    /// [`Self::recycle_batch`] after transmission to keep the buffer loop
+    /// closed; job bodies are absorbed into the worker pools. With both
+    /// vecs reused across batches, steady-state dispatch allocates
+    /// nothing.
+    pub fn seal_batch_in_place(&mut self, jobs: &mut Vec<SealJob>, out: &mut Vec<Result<Vec<u8>>>) {
         let n = jobs.len();
         self.stats.jobs += n as u64;
         self.stats.batches += 1;
@@ -287,39 +390,52 @@ impl ParallelSealer {
             reg.add(Counter::SealerJobs, n as u64);
             reg.incr(Counter::SealerBatches);
             let timer = fbs_obs::StageTimer::start();
-            let out = self.run_batch(jobs, |j| j.sfl as usize, WorkerMsg::Seal);
+            let outstanding = self.dispatch_seal(jobs);
+            self.gather(outstanding, n, out);
             reg.observe_stage(fbs_obs::Stage::Seal, timer.elapsed_ns());
-            return out;
+            return;
         }
-        self.run_batch(jobs, |j| j.sfl as usize, WorkerMsg::Seal)
+        let outstanding = self.dispatch_seal(jobs);
+        self.gather(outstanding, n, out);
     }
 
-    /// Open a batch of wire payloads. Jobs are sharded by the `sfl` leading
-    /// each wire image (same flow → same worker → per-flow FIFO order, the
-    /// input mirror of [`Self::seal_batch`]); a wire too short to carry an
-    /// sfl lands on worker 0, whose `open_into` reports the parse error.
-    /// `out[i]` is `jobs[i]` opened: the recovered plaintext body on `Ok`.
-    /// Spent wire buffers are absorbed into the worker pools, so a steady
-    /// stream of opens recycles every input allocation.
-    pub fn open_batch(&mut self, jobs: Vec<OpenJob>) -> Vec<Result<Vec<u8>>> {
+    /// [`Self::seal_batch_in_place`] with owned-vec ergonomics (one
+    /// result-vec allocation per call).
+    pub fn seal_batch(&mut self, mut jobs: Vec<SealJob>) -> Vec<Result<Vec<u8>>> {
+        let mut out = Vec::with_capacity(jobs.len());
+        self.seal_batch_in_place(&mut jobs, &mut out);
+        out
+    }
+
+    /// Open a batch of wire payloads, draining `jobs` and filling `out`
+    /// in submission order — the input mirror of
+    /// [`Self::seal_batch_in_place`]. Jobs are sharded by the `sfl`
+    /// leading each wire image (same flow → same worker → per-flow FIFO
+    /// order). `out[i]` is `jobs[i]` opened: the recovered plaintext body
+    /// on `Ok`. Spent wire buffers are absorbed into the worker pools, so
+    /// a steady stream of opens recycles every input allocation.
+    pub fn open_batch_in_place(&mut self, jobs: &mut Vec<OpenJob>, out: &mut Vec<Result<Vec<u8>>>) {
         let n = jobs.len();
         self.stats.open_jobs += n as u64;
         self.stats.open_batches += 1;
-        let key = |j: &OpenJob| {
-            j.wire
-                .get(0..8)
-                .map(|b| u64::from_be_bytes(b.try_into().expect("8-byte slice")) as usize)
-                .unwrap_or(0)
-        };
         if let Some(reg) = self.obs.clone() {
             reg.add(Counter::SealerOpenJobs, n as u64);
             reg.incr(Counter::SealerOpenBatches);
             let timer = fbs_obs::StageTimer::start();
-            let out = self.run_batch(jobs, key, WorkerMsg::Open);
+            let outstanding = self.dispatch_open(jobs);
+            self.gather(outstanding, n, out);
             reg.observe_stage(fbs_obs::Stage::Open, timer.elapsed_ns());
-            return out;
+            return;
         }
-        self.run_batch(jobs, key, WorkerMsg::Open)
+        let outstanding = self.dispatch_open(jobs);
+        self.gather(outstanding, n, out);
+    }
+
+    /// [`Self::open_batch_in_place`] with owned-vec ergonomics.
+    pub fn open_batch(&mut self, mut jobs: Vec<OpenJob>) -> Vec<Result<Vec<u8>>> {
+        let mut out = Vec::with_capacity(jobs.len());
+        self.open_batch_in_place(&mut jobs, &mut out);
+        out
     }
 
     /// Return one transmitted wire buffer to a worker's pool. Prefer

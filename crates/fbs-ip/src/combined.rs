@@ -142,9 +142,9 @@ impl CombinedTable {
     /// The single-lookup send path: returns the flow's sfl and key,
     /// deriving a fresh key via `derive` only when a new flow starts.
     ///
-    /// Callers that cannot hold their lock across `derive` (the sharded
-    /// hooks, lock-ordering rule: shard lock never held across an
-    /// MKD/directory call) use the split
+    /// Callers that split the miss path around key derivation (the
+    /// worker-runtime hooks: reserve the sfl, derive with no endpoint
+    /// lock held, then insert) use the split
     /// [`probe`](Self::probe)/[`reserve_sfl`](Self::reserve_sfl)/
     /// [`peek`](Self::peek)/[`insert`](Self::insert) API instead; this
     /// wrapper composes those pieces for single-threaded callers.

@@ -1,7 +1,9 @@
-//! Threaded stress test for the sharded hook state: four worker threads
-//! drive mixed flows through ONE shared IP mapping (cloned handles, one
-//! `BufferPool` per thread — pools are deliberately not thread-safe)
-//! while a scraper thread hammers the lock-free statistics accessors.
+//! Threaded stress test for the worker-runtime hook state: four OS
+//! threads drive mixed flows through ONE shared IP mapping (cloned
+//! handles — each clone gets its own SPSC lane into the shared
+//! shard-owning workers; one `BufferPool` per thread, pools are
+//! deliberately not thread-safe) while a scraper thread hammers the
+//! lock-free statistics accessors.
 //!
 //! Invariants checked under contention:
 //!
@@ -46,6 +48,7 @@ fn build_pair() -> (FbsIpHooks, FbsIpHooks) {
     let group = DhGroup::test_group();
     let cfg = IpMappingConfig {
         encrypt: true,
+        workers: 2,
         ..IpMappingConfig::default()
     };
     let (_ha, sender) = build_secure_host(
@@ -80,6 +83,7 @@ fn payload_for(sport: u16, seq: u32) -> Vec<u8> {
 fn four_threads_share_one_mapping_without_loss_reorder_or_miscount() {
     let (sender, receiver) = build_pair();
     assert!(sender.num_shards() > 1, "test requires real sharding");
+    assert_eq!(sender.num_workers(), 2, "test requires the worker runtime");
     let done = Arc::new(AtomicBool::new(false));
 
     // Scraper: reads every lock-free accessor in a tight loop while the
@@ -103,7 +107,8 @@ fn four_threads_share_one_mapping_without_loss_reorder_or_miscount() {
                 let _ = sender.endpoint_stats();
                 let _ = sender.combined_stats();
                 let _ = sender.mkd_stats();
-                let _ = sender.shard_contention();
+                let _ = sender.ring_stalls();
+                let _ = sender.parked_depths();
                 scrapes += 1;
             }
             scrapes

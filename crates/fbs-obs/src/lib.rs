@@ -19,9 +19,9 @@
 //!   per-component stats structs (which makes those structs *views* of
 //!   the same counter namespace);
 //! * **stage spans** ([`Stage`]) — per-stage log2 nanosecond latency
-//!   histograms over the batch pipeline (partition, lock wait/hold,
-//!   seal/open, keying, park/release, dispatch) plus a per-shard lock
-//!   contention table, recorded with two relaxed `fetch_add`s and no
+//!   histograms over the batch pipeline (partition, ring enqueue/wait,
+//!   seal/open, keying, park/release, dispatch) plus a per-worker
+//!   occupancy table, recorded with two relaxed `fetch_add`s and no
 //!   allocation;
 //! * a **flow tracer** ([`FlowTracer`]) — deterministic sfl-sampled
 //!   end-to-end traces across hosts, stamped on the simulated clock;
@@ -54,5 +54,5 @@ pub use health::{Condition, ConditionKind, HealthInputs, HealthModel, HealthRepo
 pub use prom::DeltaTracker;
 pub use registry::{Counter, Histogram, MetricsRegistry};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
-pub use span::{ShardLockRow, Stage, StageTimer, MAX_SHARDS};
+pub use span::{Stage, StageTimer, WorkerOccupancyRow, MAX_WORKERS};
 pub use trace::{FlowTracer, SpanKind, TraceAnnotation, TraceSpan};

@@ -2,9 +2,9 @@
 //!
 //! [`render`] turns a [`MetricsSnapshot`] into the Prometheus text
 //! format (version 0.0.4): every counter becomes an `fbs_`-prefixed
-//! counter metric, per-shard lock-table counters
-//! (`hooks.shard.<i>.<field>`) collapse into one family with a
-//! `shard` label, and every log2 histogram becomes a native histogram
+//! counter metric, per-worker occupancy-table counters
+//! (`hooks.worker.<i>.<field>`) collapse into one family with a
+//! `worker` label, and every log2 histogram becomes a native histogram
 //! with cumulative `le` buckets plus `_sum`/`_count`. Like every
 //! exporter in this crate it returns a `String`; callers do the I/O.
 //!
@@ -24,10 +24,10 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-/// Split a per-shard counter key (`hooks.shard.<i>.<field>`) into its
-/// field and shard index.
-fn shard_key(name: &str) -> Option<(&str, &str)> {
-    let rest = name.strip_prefix("hooks.shard.")?;
+/// Split a per-worker counter key (`hooks.worker.<i>.<field>`) into
+/// its field and worker index.
+fn worker_key(name: &str) -> Option<(&str, &str)> {
+    let rest = name.strip_prefix("hooks.worker.")?;
     let (idx, field) = rest.split_once('.')?;
     if idx.bytes().all(|b| b.is_ascii_digit()) {
         Some((field, idx))
@@ -47,12 +47,12 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     // BTreeMap walk so output is deterministic.
     let mut families: BTreeMap<String, Vec<Sample>> = BTreeMap::new();
     for (name, v) in &snap.counters {
-        match shard_key(name) {
+        match worker_key(name) {
             Some((field, idx)) => {
                 families
-                    .entry(format!("fbs_hooks_shard_{}", sanitize(field)))
+                    .entry(format!("fbs_hooks_worker_{}", sanitize(field)))
                     .or_default()
-                    .push((Some(("shard".to_string(), idx.to_string())), *v));
+                    .push((Some(("worker".to_string(), idx.to_string())), *v));
             }
             None => {
                 families
@@ -151,8 +151,8 @@ mod tests {
     fn sample() -> MetricsSnapshot {
         let mut s = MetricsSnapshot::new();
         s.add("endpoint.sends", 5);
-        s.add("hooks.shard.0.lock_waits", 2);
-        s.add("hooks.shard.1.lock_waits", 3);
+        s.add("hooks.worker.0.ring_stalls", 2);
+        s.add("hooks.worker.1.ring_stalls", 3);
         s.histograms.insert(
             "send_bytes".into(),
             HistogramSnapshot {
@@ -164,14 +164,17 @@ mod tests {
     }
 
     #[test]
-    fn renders_counters_histograms_and_shard_labels() {
+    fn renders_counters_histograms_and_worker_labels() {
         let text = render(&sample());
         assert!(text.contains("# TYPE fbs_endpoint_sends counter"));
         assert!(text.contains("fbs_endpoint_sends 5"));
-        assert!(text.contains("fbs_hooks_shard_lock_waits{shard=\"0\"} 2"));
-        assert!(text.contains("fbs_hooks_shard_lock_waits{shard=\"1\"} 3"));
-        // One TYPE line for the whole shard family.
-        assert_eq!(text.matches("# TYPE fbs_hooks_shard_lock_waits").count(), 1);
+        assert!(text.contains("fbs_hooks_worker_ring_stalls{worker=\"0\"} 2"));
+        assert!(text.contains("fbs_hooks_worker_ring_stalls{worker=\"1\"} 3"));
+        // One TYPE line for the whole worker family.
+        assert_eq!(
+            text.matches("# TYPE fbs_hooks_worker_ring_stalls").count(),
+            1
+        );
         assert!(text.contains("# TYPE fbs_send_bytes histogram"));
         assert!(text.contains("fbs_send_bytes_bucket{le=\"127\"} 2"));
         assert!(text.contains("fbs_send_bytes_bucket{le=\"255\"} 3"));
@@ -228,7 +231,7 @@ mod tests {
         second.histograms.get_mut("send_bytes").unwrap().sum = 600;
         let d2 = tracker.delta(&second);
         assert_eq!(d2.counter("endpoint.sends"), 4);
-        assert_eq!(d2.counter("hooks.shard.0.lock_waits"), 0);
+        assert_eq!(d2.counter("hooks.worker.0.ring_stalls"), 0);
         let dh = &d2.histograms["send_bytes"];
         assert_eq!(dh.buckets, vec![(64, 127, 2)]);
         assert_eq!(dh.sum, 200);

@@ -3,7 +3,7 @@
 
 use crate::event::{CacheKind, CacheOutcome, Event, EventRecord};
 use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
-use crate::span::{ShardLockRow, Stage, MAX_SHARDS, NUM_STAGES};
+use crate::span::{Stage, WorkerOccupancyRow, MAX_WORKERS, NUM_STAGES};
 use crate::trace::FlowTracer;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -118,10 +118,11 @@ pub enum Counter {
     DegradeFailOpen,
     /// Datagrams dropped under a fail-closed verdict.
     DegradeFailClosed,
-    /// Per-shard sub-batches processed by the sharded hooks.
-    ShardBatches,
-    /// Shard-lock acquisitions that found the lock already held.
-    ShardContended,
+    /// Per-worker sub-batches processed by the worker runtime.
+    WorkerBatches,
+    /// Sub-batch pushes that found a worker ring full and had to back
+    /// off (producer-side backpressure).
+    RingStalls,
     /// Flight-recorder events overwritten before anyone read them
     /// (ring overflow).
     EventsDropped,
@@ -196,8 +197,8 @@ impl Counter {
         Counter::ParkOverflow,
         Counter::DegradeFailOpen,
         Counter::DegradeFailClosed,
-        Counter::ShardBatches,
-        Counter::ShardContended,
+        Counter::WorkerBatches,
+        Counter::RingStalls,
         Counter::EventsDropped,
         Counter::PoolReturns,
         Counter::PoolDiscards,
@@ -258,8 +259,8 @@ impl Counter {
             Counter::ParkOverflow => "park.overflow",
             Counter::DegradeFailOpen => "degrade.fail_open",
             Counter::DegradeFailClosed => "degrade.fail_closed",
-            Counter::ShardBatches => "hooks.shard_batches",
-            Counter::ShardContended => "hooks.shard_contended",
+            Counter::WorkerBatches => "hooks.worker_batches",
+            Counter::RingStalls => "hooks.ring_stalls",
             Counter::EventsDropped => "obs.events_dropped",
             Counter::PoolReturns => "pool.returns",
             Counter::PoolDiscards => "pool.discards",
@@ -372,14 +373,14 @@ impl AtomicLogHistogram {
     }
 }
 
-/// Per-shard lock contention cells (fixed-size so recording is a pair
-/// of relaxed `fetch_add`s with no allocation).
+/// Per-worker occupancy cells (fixed-size so recording is a pair of
+/// relaxed `fetch_add`s with no allocation).
 #[derive(Default)]
-struct ShardLockCell {
-    waits: AtomicU64,
-    wait_ns: AtomicU64,
-    holds: AtomicU64,
-    hold_ns: AtomicU64,
+struct WorkerOccCell {
+    stalls: AtomicU64,
+    stall_ns: AtomicU64,
+    batches: AtomicU64,
+    busy_ns: AtomicU64,
 }
 
 struct RecorderInner {
@@ -398,8 +399,8 @@ pub struct MetricsRegistry {
     histograms: [AtomicLogHistogram; NUM_HISTOGRAMS],
     /// Per-stage nanosecond latency histograms for the batch pipeline.
     stages: [AtomicLogHistogram; NUM_STAGES],
-    /// Per-shard lock wait/hold contention table.
-    shard_lock: [ShardLockCell; MAX_SHARDS],
+    /// Per-worker ring-stall/busy occupancy table.
+    workers: [WorkerOccCell; MAX_WORKERS],
     /// Optional flow tracer, reachable by every component that holds
     /// this registry (one atomic load when unset).
     tracer: OnceLock<Arc<FlowTracer>>,
@@ -442,7 +443,7 @@ impl MetricsRegistry {
             caches: std::array::from_fn(|_| CacheCounters::default()),
             histograms: std::array::from_fn(|_| AtomicLogHistogram::new()),
             stages: std::array::from_fn(|_| AtomicLogHistogram::new()),
-            shard_lock: std::array::from_fn(|_| ShardLockCell::default()),
+            workers: std::array::from_fn(|_| WorkerOccCell::default()),
             tracer: OnceLock::new(),
             recorder: Mutex::new(RecorderInner {
                 buf: Vec::with_capacity(capacity.min(4096)),
@@ -496,32 +497,32 @@ impl MetricsRegistry {
         self.stages[s.index()].observe(ns);
     }
 
-    /// Record a contended shard-lock acquisition: `ns` nanoseconds of
-    /// queueing delay waiting for shard `shard`'s lock.
-    pub fn shard_lock_wait(&self, shard: usize, ns: u64) {
-        let cell = &self.shard_lock[shard.min(MAX_SHARDS - 1)];
-        cell.waits.fetch_add(1, Ordering::Relaxed);
-        cell.wait_ns.fetch_add(ns, Ordering::Relaxed);
+    /// Record a producer stall on worker `worker`'s ring: `ns`
+    /// nanoseconds of backpressure delay before the push succeeded.
+    pub fn worker_stall(&self, worker: usize, ns: u64) {
+        let cell = &self.workers[worker.min(MAX_WORKERS - 1)];
+        cell.stalls.fetch_add(1, Ordering::Relaxed);
+        cell.stall_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
-    /// Record a completed shard-lock hold: the lock of shard `shard`
-    /// was held for `ns` nanoseconds.
-    pub fn shard_lock_hold(&self, shard: usize, ns: u64) {
-        let cell = &self.shard_lock[shard.min(MAX_SHARDS - 1)];
-        cell.holds.fetch_add(1, Ordering::Relaxed);
-        cell.hold_ns.fetch_add(ns, Ordering::Relaxed);
+    /// Record a sub-batch processed by worker `worker` that kept it
+    /// busy for `ns` nanoseconds.
+    pub fn worker_busy(&self, worker: usize, ns: u64) {
+        let cell = &self.workers[worker.min(MAX_WORKERS - 1)];
+        cell.batches.fetch_add(1, Ordering::Relaxed);
+        cell.busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
-    /// The per-shard lock contention table (rows with activity only).
-    pub fn shard_lock_table(&self) -> Vec<ShardLockRow> {
+    /// The per-worker occupancy table (rows with activity only).
+    pub fn worker_occupancy_table(&self) -> Vec<WorkerOccupancyRow> {
         let mut rows = Vec::new();
-        for (i, cell) in self.shard_lock.iter().enumerate() {
-            let row = ShardLockRow {
-                shard: i,
-                waits: cell.waits.load(Ordering::Relaxed),
-                wait_ns: cell.wait_ns.load(Ordering::Relaxed),
-                holds: cell.holds.load(Ordering::Relaxed),
-                hold_ns: cell.hold_ns.load(Ordering::Relaxed),
+        for (i, cell) in self.workers.iter().enumerate() {
+            let row = WorkerOccupancyRow {
+                worker: i,
+                stalls: cell.stalls.load(Ordering::Relaxed),
+                stall_ns: cell.stall_ns.load(Ordering::Relaxed),
+                batches: cell.batches.load(Ordering::Relaxed),
+                busy_ns: cell.busy_ns.load(Ordering::Relaxed),
             };
             if !row.is_empty() {
                 rows.push(row);
@@ -737,12 +738,12 @@ impl MetricsRegistry {
                 snap.histograms.insert(format!("stage.{}_ns", s.name()), hs);
             }
         }
-        for row in self.shard_lock_table() {
-            let pre = format!("hooks.shard.{}", row.shard);
-            snap.add(&format!("{pre}.lock_waits"), row.waits);
-            snap.add(&format!("{pre}.lock_wait_ns"), row.wait_ns);
-            snap.add(&format!("{pre}.lock_holds"), row.holds);
-            snap.add(&format!("{pre}.lock_hold_ns"), row.hold_ns);
+        for row in self.worker_occupancy_table() {
+            let pre = format!("hooks.worker.{}", row.worker);
+            snap.add(&format!("{pre}.ring_stalls"), row.stalls);
+            snap.add(&format!("{pre}.ring_stall_ns"), row.stall_ns);
+            snap.add(&format!("{pre}.batches"), row.batches);
+            snap.add(&format!("{pre}.busy_ns"), row.busy_ns);
         }
         snap.events = self.events();
         snap
@@ -832,34 +833,34 @@ mod tests {
     }
 
     #[test]
-    fn stage_and_shard_tables_snapshot() {
+    fn stage_and_worker_tables_snapshot() {
         let reg = MetricsRegistry::new();
         reg.observe_stage(Stage::Partition, 100);
         reg.observe_stage(Stage::Partition, 200);
         reg.observe_stage(Stage::Seal, 1_000);
-        reg.shard_lock_wait(3, 500);
-        reg.shard_lock_hold(3, 2_000);
-        reg.shard_lock_hold(3, 2_000);
-        let table = reg.shard_lock_table();
+        reg.worker_stall(3, 500);
+        reg.worker_busy(3, 2_000);
+        reg.worker_busy(3, 2_000);
+        let table = reg.worker_occupancy_table();
         assert_eq!(table.len(), 1);
-        assert_eq!(table[0].shard, 3);
-        assert_eq!(table[0].waits, 1);
-        assert_eq!(table[0].wait_ns, 500);
-        assert_eq!(table[0].holds, 2);
-        assert_eq!(table[0].hold_ns, 4_000);
+        assert_eq!(table[0].worker, 3);
+        assert_eq!(table[0].stalls, 1);
+        assert_eq!(table[0].stall_ns, 500);
+        assert_eq!(table[0].batches, 2);
+        assert_eq!(table[0].busy_ns, 4_000);
         let snap = reg.snapshot();
         let part = &snap.histograms["stage.partition_ns"];
         assert_eq!(part.count(), 2);
         assert_eq!(part.sum, 300);
         assert_eq!(snap.histograms["stage.seal_ns"].count(), 1);
-        assert_eq!(snap.counter("hooks.shard.3.lock_waits"), 1);
-        assert_eq!(snap.counter("hooks.shard.3.lock_hold_ns"), 4_000);
-        // Out-of-range shard indices fold into the last row.
-        reg.shard_lock_hold(1_000, 7);
+        assert_eq!(snap.counter("hooks.worker.3.ring_stalls"), 1);
+        assert_eq!(snap.counter("hooks.worker.3.busy_ns"), 4_000);
+        // Out-of-range worker indices fold into the last row.
+        reg.worker_busy(1_000, 7);
         assert!(reg
-            .shard_lock_table()
+            .worker_occupancy_table()
             .iter()
-            .any(|r| r.shard == MAX_SHARDS - 1 && r.hold_ns == 7));
+            .any(|r| r.worker == MAX_WORKERS - 1 && r.busy_ns == 7));
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! Stage-span profiling for the batch pipeline.
 //!
 //! PR 5 sharded the endpoint and PR 4 made the pipeline batch-first,
-//! but the time spent *inside* `process_batch` stayed a black box:
-//! the mapping rows tell us sharded runs at 0.85x unsharded, not where
-//! the cycles go. This module names the stages of the batch pipeline
-//! ([`Stage`]) so the registry can keep one log2 nanosecond histogram
-//! per stage, plus a per-shard lock contention table (waits and wait
-//! nanoseconds vs holds and hold nanoseconds, per shard index) that
-//! attributes serialisation to the shard that caused it.
+//! but the time spent *inside* `process_batch` stayed a black box.
+//! This module names the stages of the batch pipeline ([`Stage`]) so
+//! the registry can keep one log2 nanosecond histogram per stage, plus
+//! a per-worker occupancy table (ring stalls and stall nanoseconds vs
+//! sub-batches and busy nanoseconds, per worker index) that attributes
+//! queueing and load to the worker that caused it. PR 7 replaced the
+//! mutex-shard path with run-to-completion workers, so the old lock
+//! wait/hold spans became ring enqueue/wait spans and the per-shard
+//! lock table became this per-worker occupancy table.
 //!
 //! Recording is two relaxed `fetch_add`s per sample and the tables are
 //! fixed-size atomic arrays inside the registry, so instrumented runs
@@ -16,37 +18,38 @@
 
 use std::time::Instant;
 
-/// Maximum shard index tracked by the per-shard lock contention table.
-/// Shard counts are powers of two; anything beyond this folds into the
-/// last slot (the endpoint currently defaults to 8 shards).
-pub const MAX_SHARDS: usize = 64;
+/// Maximum worker index tracked by the per-worker occupancy table.
+/// Anything beyond this folds into the last slot (the endpoint
+/// currently defaults to 2 workers).
+pub const MAX_WORKERS: usize = 64;
 
 /// One instrumented stage of the batch datagram pipeline, in pipeline
 /// order. Latencies are recorded as log2 nanosecond histograms under
 /// `stage.<name>_ns` in snapshots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
-    /// Splitting a submitted batch into per-shard groups (runs before
-    /// any lock is taken).
+    /// Splitting a submitted batch into per-worker sub-batches (runs
+    /// on the submitting thread, before any ring handoff).
     Partition,
-    /// Waiting to acquire a shard lock (queueing delay only).
-    LockWait,
-    /// Holding a shard lock (acquisition to release, including the
-    /// work done under it).
-    LockHold,
+    /// Pushing sub-batches onto worker rings, including any
+    /// backpressure spinning on a full ring.
+    RingEnqueue,
+    /// Waiting for worker replies after all sub-batches are enqueued
+    /// (the egress barrier of one `process_batch` call).
+    RingWait,
     /// The seal crypto core: MAC + optional encrypt on output.
     Seal,
     /// The open crypto core: parse + verify + optional decrypt on
     /// input.
     Open,
-    /// Zero-message flow-key derivation (cache-miss path, runs with no
-    /// shard lock held).
+    /// Zero-message flow-key derivation (cache-miss path, runs inside
+    /// the owning worker with no locks held).
     KeyDerive,
     /// Parking a datagram that could not be processed (key pending).
     Park,
     /// A release pass over a parking queue (expiry sweep + retries).
     Release,
-    /// Re-threading per-shard outcomes back into submission order and
+    /// Re-threading per-worker outcomes back into submission order and
     /// returning them to the stack.
     Dispatch,
 }
@@ -58,8 +61,8 @@ impl Stage {
     /// All stages, in pipeline order.
     pub const ALL: [Stage; NUM_STAGES] = [
         Stage::Partition,
-        Stage::LockWait,
-        Stage::LockHold,
+        Stage::RingEnqueue,
+        Stage::RingWait,
         Stage::Seal,
         Stage::Open,
         Stage::KeyDerive,
@@ -72,8 +75,8 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::Partition => "partition",
-            Stage::LockWait => "lock_wait",
-            Stage::LockHold => "lock_hold",
+            Stage::RingEnqueue => "ring_enqueue",
+            Stage::RingWait => "ring_wait",
             Stage::Seal => "seal",
             Stage::Open => "open",
             Stage::KeyDerive => "key_derive",
@@ -112,26 +115,28 @@ impl StageTimer {
     }
 }
 
-/// One row of the per-shard lock contention table.
+/// One row of the per-worker occupancy table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ShardLockRow {
-    /// Shard index (row `MAX_SHARDS - 1` also absorbs any higher
+pub struct WorkerOccupancyRow {
+    /// Worker index (row `MAX_WORKERS - 1` also absorbs any higher
     /// indices).
-    pub shard: usize,
-    /// Lock acquisitions that had to wait (found the lock held).
-    pub waits: u64,
-    /// Total nanoseconds spent waiting for this shard's lock.
-    pub wait_ns: u64,
-    /// Lock acquisitions (every hold, contended or not).
-    pub holds: u64,
-    /// Total nanoseconds this shard's lock was held.
-    pub hold_ns: u64,
+    pub worker: usize,
+    /// Sub-batch pushes that found this worker's ring full and had to
+    /// back off before retrying.
+    pub stalls: u64,
+    /// Total nanoseconds the producer spent stalled on this worker's
+    /// ring.
+    pub stall_ns: u64,
+    /// Sub-batches this worker drained from its ring.
+    pub batches: u64,
+    /// Total nanoseconds this worker spent processing sub-batches.
+    pub busy_ns: u64,
 }
 
-impl ShardLockRow {
+impl WorkerOccupancyRow {
     /// True when the row recorded no activity at all.
     pub fn is_empty(&self) -> bool {
-        self.waits == 0 && self.holds == 0
+        self.stalls == 0 && self.batches == 0
     }
 }
 

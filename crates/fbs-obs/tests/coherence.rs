@@ -1,7 +1,7 @@
 //! Snapshot coherence under concurrent writers.
 //!
-//! Writers hammer counters, histograms, stage spans, and the shard
-//! lock table while a scraper thread takes snapshots. The registry
+//! Writers hammer counters, histograms, stage spans, and the worker
+//! occupancy table while a scraper thread takes snapshots. The registry
 //! promises per-cell atomicity, not cross-cell consistency, so the
 //! invariants a scraper may rely on are: (1) every counter is
 //! monotone across successive snapshots, and (2) a histogram whose
@@ -34,8 +34,8 @@ fn snapshots_stay_monotone_and_sum_consistent_under_writers() {
                     reg.add(Counter::PipelineBatchDatagrams, 3);
                     reg.observe(Histogram::SendBytes, SAMPLE_VALUE);
                     reg.observe_stage(Stage::Seal, SAMPLE_VALUE);
-                    reg.shard_lock_hold(w, 10);
-                    reg.shard_lock_wait(w, 5);
+                    reg.worker_busy(w, 10);
+                    reg.worker_stall(w, 5);
                     spins += 1;
                 }
                 spins
@@ -44,6 +44,7 @@ fn snapshots_stay_monotone_and_sum_consistent_under_writers() {
         .collect();
 
     let mut last: Option<fbs_obs::MetricsSnapshot> = None;
+    let mut last_rows: Vec<fbs_obs::WorkerOccupancyRow> = Vec::new();
     let mut hist_seen = false;
     for _ in 0..SNAPSHOTS {
         let snap = reg.snapshot();
@@ -69,26 +70,48 @@ fn snapshots_stay_monotone_and_sum_consistent_under_writers() {
                 );
             }
         }
-        // The shard table rows must be internally plausible: waits and
-        // holds only grow, and each shard's wait_ns/hold_ns are exact
-        // multiples of the per-op costs the writers use.
-        for row in reg.shard_lock_table() {
-            assert!(row.shard < WRITERS);
-            assert_eq!(row.hold_ns, row.holds * 10);
-            assert_eq!(row.wait_ns, row.waits * 5);
+        // The worker table rows must be internally plausible. Each
+        // cell is a separate relaxed atomic (batches and busy_ns are
+        // two fetch_adds, loaded at two different instants), so a
+        // mid-flight scrape may only rely on: every accumulator is an
+        // exact multiple of the per-op cost its writer uses, and rows
+        // never go backwards between scrapes.
+        let rows = reg.worker_occupancy_table();
+        for row in &rows {
+            assert!(row.worker < WRITERS);
+            assert_eq!(row.busy_ns % 10, 0, "torn busy_ns {}", row.busy_ns);
+            assert_eq!(row.stall_ns % 5, 0, "torn stall_ns {}", row.stall_ns);
         }
+        for prev in &last_rows {
+            if let Some(cur) = rows.iter().find(|r| r.worker == prev.worker) {
+                assert!(cur.batches >= prev.batches, "batches went backwards");
+                assert!(cur.stalls >= prev.stalls, "stalls went backwards");
+                assert!(cur.busy_ns >= prev.busy_ns, "busy_ns went backwards");
+            }
+        }
+        last_rows = rows;
         last = Some(snap);
     }
     stop.store(true, Ordering::Relaxed);
-    let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    let spins: Vec<u64> = writers.into_iter().map(|w| w.join().unwrap()).collect();
+    let total: u64 = spins.iter().sum();
     assert!(total > 0);
     assert!(hist_seen, "scraper never observed a histogram");
 
-    // Quiesced: the ledger must now be exact.
+    // Quiesced: the ledger must now be exact, including the worker
+    // table — one busy batch and one stall per spin, at the writers'
+    // fixed per-op costs.
     let snap = reg.snapshot();
     assert_eq!(snap.counter("endpoint.sends"), total);
     assert_eq!(snap.counter("pipeline.batch_datagrams"), 3 * total);
     let h = &snap.histograms["send_bytes"];
     assert_eq!(h.count(), total);
     assert_eq!(h.sum, SAMPLE_VALUE * total);
+    for row in reg.worker_occupancy_table() {
+        let expected = spins[row.worker];
+        assert_eq!(row.batches, expected);
+        assert_eq!(row.stalls, expected);
+        assert_eq!(row.busy_ns, expected * 10);
+        assert_eq!(row.stall_ns, expected * 5);
+    }
 }
