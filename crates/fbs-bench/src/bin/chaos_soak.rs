@@ -5,10 +5,13 @@
 //!  [--trace <path.json>] [--prom <path.prom>] [--deltas <path.json>]`
 //!
 //! Runs a scripted directory/MKD outage with cache-flush storms against a
-//! two-host FBS LAN (see `fbs_bench::chaos` for the phase script) and
-//! reports degradation and recovery. Exits non-zero when the run fails to
-//! converge — goodput under 90% of baseline, a breaker stuck open, or
-//! datagrams still parked — so CI can gate on it directly.
+//! two-host FBS LAN (see `fbs_bench::chaos` for the phase script), then
+//! the worker-fault scenario (scheduled worker panics, stalls, and ring
+//! saturation against the datagram-plane runtime), and reports
+//! degradation and recovery for both. Exits non-zero when either run
+//! fails to converge — goodput under 90% of baseline, a breaker stuck
+//! open, datagrams still parked, a quarantined or dead worker, a verdict
+//! lost, or an imbalanced buffer-pool ledger — so CI can gate directly.
 //!
 //! `--trace` writes the sampled flow trace (every flow; the soak drives
 //! one), byte-identical per seed since it runs on virtual time. `--prom`
@@ -39,7 +42,8 @@ fn main() {
     let out = flag_value("--out").unwrap_or_else(|| "BENCH_chaos.json".into());
     let trace_path = flag_value("--trace");
 
-    let soak = chaos::run_soak(cfg, trace_path.as_ref().map(|_| 0));
+    let mut soak = chaos::run_soak(cfg, trace_path.as_ref().map(|_| 0));
+    soak.report.worker_fault = Some(chaos::run_worker_fault(cfg));
     let report = &soak.report;
 
     let row = |name: &str, t: &chaos::PhaseTally| {
@@ -74,6 +78,25 @@ fn main() {
     for (phase, health) in &report.health {
         println!("health[{phase}]: {}", health.overall.name());
     }
+    let wf = report.worker_fault.as_ref().expect("scenario just ran");
+    println!(
+        "\nworker-fault scenario — panics {}, respawns {}, quarantined {}, \
+         workers alive {}/{}, shed {} ({} batches), verdict loss {}, \
+         pool balanced {}, recovery ratio {:.3}",
+        wf.panics,
+        wf.respawns,
+        wf.quarantined,
+        wf.workers_alive,
+        wf.workers,
+        wf.sheds.rejected,
+        wf.sheds.batches,
+        wf.verdict_loss,
+        wf.pool_balanced,
+        wf.recovery_ratio
+    );
+    for (phase, health) in &wf.health {
+        println!("worker_fault health[{phase}]: {}", health.overall.name());
+    }
 
     write_artifact(&out, "report", &report.to_json());
     if let (Some(path), Some(trace)) = (&trace_path, &soak.trace_json) {
@@ -100,6 +123,10 @@ fn main() {
     }
     if !report.converged {
         eprintln!("chaos soak FAILED to converge");
+        std::process::exit(1);
+    }
+    if !wf.converged {
+        eprintln!("worker-fault scenario FAILED to converge");
         std::process::exit(1);
     }
 }

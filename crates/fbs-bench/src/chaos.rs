@@ -21,7 +21,7 @@
 use fbs_cert::{CertSource, CertificateAuthority, Directory, Pvc};
 use fbs_chaos::{
     ChaosDirectory, ChaosDirectoryStats, ChaosPvs, ChaosPvsStats, FaultKind, FaultPlan, FlushScope,
-    VirtualClock,
+    VirtualClock, WorkerChaos,
 };
 use fbs_core::mkd::PublicValueSource;
 use fbs_core::{
@@ -93,6 +93,116 @@ pub struct PhaseTally {
     pub goodput_per_sec: f64,
 }
 
+/// Overload-shedding tallies for the worker-fault scenario.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShedTally {
+    /// Batches that shed at least one datagram.
+    pub batches: u64,
+    /// Datagrams rejected by the shed policy (each one returned a
+    /// `Reject` verdict to its caller — counted, never silently lost).
+    pub rejected: u64,
+}
+
+/// The worker-fault scenario: scheduled supervised panics, stalls, and
+/// ring saturation against the datagram-plane worker runtime, with the
+/// same baseline/fault/settle/recovery phase structure as the keying
+/// soak. Appears in `BENCH_chaos.json` under `"worker_fault"`.
+#[derive(Clone, Debug)]
+pub struct WorkerFaultReport {
+    /// Configuration the scenario ran under.
+    pub cfg: SoakConfig,
+    /// Fault-free yardstick phase.
+    pub baseline: PhaseTally,
+    /// Tally while workers panic, stall, and shed.
+    pub fault: PhaseTally,
+    /// Tally during the settle grace.
+    pub settle: PhaseTally,
+    /// Tally during the recovery measurement.
+    pub recovery: PhaseTally,
+    /// recovery goodput / baseline goodput.
+    pub recovery_ratio: f64,
+    /// Supervised worker panics observed by the runtimes (both hosts).
+    pub panics: u64,
+    /// Worker respawns (shard state rebuilt in-thread).
+    pub respawns: u64,
+    /// Workers quarantined (fail-closed) at the end — 0 under the
+    /// respawn policy unless a worker exhausted its budget.
+    pub quarantined: usize,
+    /// Total workers across both hosts' runtimes.
+    pub workers: usize,
+    /// Workers still alive at the end — must equal `workers`.
+    pub workers_alive: usize,
+    /// Shed-policy tallies during the saturation window.
+    pub sheds: ShedTally,
+    /// The sender's buffer-pool ledger balances exactly:
+    /// returns + discards == takes + rejects. Every reject returned
+    /// both its payload and its unused supply; no worker leaked or
+    /// double-freed a buffer across a panic.
+    pub pool_balanced: bool,
+    /// Accepted datagrams that vanished without a verdict: accepted −
+    /// delivered − receiver rejects − park expiries − still parked,
+    /// after a post-run wire drain. Must be 0.
+    pub verdict_loss: u64,
+    /// Health timeline, one report per phase (same model and condition
+    /// set as the keying soak).
+    pub health: Vec<(&'static str, HealthReport)>,
+    /// Headline: ratio ≥ 0.9, zero verdict loss, pool balanced, all
+    /// workers alive and none quarantined, and the faults actually bit.
+    pub converged: bool,
+}
+
+impl WorkerFaultReport {
+    /// Render as one JSON object (the `"worker_fault"` member of
+    /// `BENCH_chaos.json`).
+    pub fn to_json(&self) -> String {
+        let tally = |t: &PhaseTally| {
+            format!(
+                "{{\"sent\": {}, \"send_rejected\": {}, \"delivered\": {}, \
+                 \"goodput_per_sec\": {:.1}}}",
+                t.sent, t.send_rejected, t.delivered, t.goodput_per_sec
+            )
+        };
+        let health: Vec<String> = self
+            .health
+            .iter()
+            .map(|(phase, report)| format!("    \"{}\": {}", phase, report.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"scenario\": \"worker_fault\",\n  \"seed\": {},\n  \
+             \"phases_us\": {{\"baseline\": {}, \"fault\": {}, \"settle\": {}, \"recovery\": {}}},\n  \
+             \"baseline\": {},\n  \"worker_fault\": {},\n  \"settle\": {},\n  \"recovery\": {},\n  \
+             \"recovery_ratio\": {:.3},\n  \
+             \"panics\": {},\n  \"respawns\": {},\n  \"quarantined\": {},\n  \
+             \"workers\": {},\n  \"workers_alive\": {},\n  \
+             \"sheds\": {{\"batches\": {}, \"rejected\": {}}},\n  \
+             \"pool_balanced\": {},\n  \"verdict_loss\": {},\n  \
+             \"health\": {{\n{}\n  }},\n  \
+             \"converged\": {}\n}}",
+            self.cfg.seed,
+            self.cfg.baseline_us,
+            self.cfg.fault_us,
+            self.cfg.settle_us,
+            self.cfg.recovery_us,
+            tally(&self.baseline),
+            tally(&self.fault),
+            tally(&self.settle),
+            tally(&self.recovery),
+            self.recovery_ratio,
+            self.panics,
+            self.respawns,
+            self.quarantined,
+            self.workers,
+            self.workers_alive,
+            self.sheds.batches,
+            self.sheds.rejected,
+            self.pool_balanced,
+            self.verdict_loss,
+            health.join(",\n"),
+            self.converged
+        )
+    }
+}
+
 /// The full `BENCH_chaos.json` payload.
 #[derive(Clone, Debug)]
 pub struct ChaosReport {
@@ -133,6 +243,9 @@ pub struct ChaosReport {
     /// Pure counter arithmetic on virtual time, so it is part of the
     /// deterministic report.
     pub health: Vec<(&'static str, HealthReport)>,
+    /// The worker-fault scenario, when the caller ran it (the
+    /// `chaos_soak` binary always does; `run` alone does not).
+    pub worker_fault: Option<WorkerFaultReport>,
     /// The headline verdict: ratio ≥ 0.9, breakers closed, parks empty.
     pub converged: bool,
 }
@@ -164,6 +277,11 @@ impl ChaosReport {
             .iter()
             .map(|(phase, report)| format!("    \"{}\": {}", phase, report.to_json()))
             .collect();
+        // Indent the nested scenario object to sit inside this one.
+        let worker_fault = match &self.worker_fault {
+            Some(wf) => wf.to_json().replace('\n', "\n  "),
+            None => "null".to_string(),
+        };
         format!(
             "{{\n  \"bench\": \"chaos\",\n  \"seed\": {},\n  \
              \"phases_us\": {{\"baseline\": {}, \"fault\": {}, \"settle\": {}, \"recovery\": {}}},\n  \
@@ -177,6 +295,7 @@ impl ChaosReport {
              \"mkd_chaos\": {{\"fetches\": {}, \"outages\": {}}},\n  \
              \"flush_pulses\": {},\n  \"resilience_counters\": {{\n{}\n  }},\n  \
              \"health\": {{\n{}\n  }},\n  \
+             \"worker_fault\": {},\n  \
              \"converged\": {}\n}}\n",
             self.cfg.seed,
             self.cfg.baseline_us,
@@ -204,6 +323,7 @@ impl ChaosReport {
             self.flush_pulses,
             counters.join(",\n"),
             health.join(",\n"),
+            worker_fault,
             self.converged
         )
     }
@@ -321,7 +441,7 @@ fn fault_plan(cfg: &SoakConfig) -> FaultPlan {
 /// Apply one flush pulse to the matching host(s).
 fn apply_pulse(scope: FlushScope, a: &ChaosHost, b: &ChaosHost) -> u64 {
     let flush = |h: &ChaosHost, peer: Ipv4Addr| {
-        h.hooks.flush_flow_keys();
+        h.hooks.flush_flow_keys().expect("worker runtime alive");
         h.hooks.forget_peer(&Principal::from_ipv4(peer));
     };
     match scope {
@@ -339,6 +459,18 @@ fn apply_pulse(scope: FlushScope, a: &ChaosHost, b: &ChaosHost) -> u64 {
             2
         }
     }
+}
+
+/// One registry snapshot with both hosts' hook-layer verdict counters
+/// folded in. The registry tracks worker-runtime and resilience
+/// counters natively, but the final per-datagram verdict tallies live
+/// in each hook's own atomics; rate-based health conditions (shed rate
+/// reads offered load from `hooks.*_entries`) need both.
+fn observed_snapshot(registry: &MetricsRegistry, a: &ChaosHost, b: &ChaosHost) -> MetricsSnapshot {
+    let mut snap = registry.snapshot();
+    a.hooks.stats().contribute(&mut snap);
+    b.hooks.stats().contribute(&mut snap);
+    snap
 }
 
 /// Everything one soak produces beyond the committed report: the
@@ -415,8 +547,12 @@ pub fn run_soak(cfg: SoakConfig, trace_rate_log2: Option<u32>) -> SoakOutput {
         registry.set_tracer(Arc::clone(&t));
         t
     });
-    a.hooks.attach_obs(Arc::clone(&registry));
-    b.hooks.attach_obs(Arc::clone(&registry));
+    a.hooks
+        .attach_obs(Arc::clone(&registry))
+        .expect("worker runtime alive");
+    b.hooks
+        .attach_obs(Arc::clone(&registry))
+        .expect("worker runtime alive");
     net.add_host(host_a);
     net.add_host(host_b);
     // The stacks observe into the same registry as the hooks: wire /
@@ -489,25 +625,30 @@ pub fn run_soak(cfg: SoakConfig, trace_rate_log2: Option<u32>) -> SoakOutput {
         // critical without smearing criticality over the recovery
         // phases that follow (counters are cumulative; phase health is
         // not).
-        let snap = registry.snapshot();
+        let snap = observed_snapshot(&registry, &a, &b);
         let delta = delta_tracker.delta(&snap);
         let ad = a.hooks.parked_depths();
         let bd = b.hooks.parked_depths();
         let inputs = HealthInputs {
-            park_depth: (ad.0 + ad.1 + bd.0 + bd.1) as u64,
-            // Two hosts × (output + input queues) × the configured
-            // per-queue bound.
-            park_capacity: 4 * ip_cfg.park_capacity as u64,
+            // The deepest single queue vs the per-queue bound: one full
+            // queue is turning work away even while its three siblings
+            // sit empty, and a summed-depth-vs-summed-capacity ratio
+            // would mask that.
+            park_depth: [ad.0, ad.1, bd.0, bd.1].into_iter().max().unwrap_or(0) as u64,
+            park_capacity: ip_cfg.park_capacity as u64,
             recovery_ratio_pct: (phase == 3).then(|| {
                 (tallies[3].goodput_per_sec * 100.0 / tallies[0].goodput_per_sec.max(1e-9)) as u64
             }),
+            workers_quarantined: (a.hooks.quarantined_workers() + b.hooks.quarantined_workers())
+                as u64,
+            workers_total: (a.hooks.num_workers() + b.hooks.num_workers()) as u64,
         };
         health.push((PHASES[phase], health_model.evaluate(&delta, &inputs)));
         deltas.push((PHASES[phase], delta));
     }
 
-    let (out_park, _) = a.hooks.park_stats();
-    let (_, in_park) = b.hooks.park_stats();
+    let (out_park, _) = a.hooks.park_stats().expect("worker runtime alive");
+    let (_, in_park) = b.hooks.park_stats().expect("worker runtime alive");
     let a_depths = a.hooks.parked_depths();
     let b_depths = b.hooks.parked_depths();
     let breaker_closed = [
@@ -547,6 +688,7 @@ pub fn run_soak(cfg: SoakConfig, trace_rate_log2: Option<u32>) -> SoakOutput {
         flush_pulses,
         resilience_counters,
         health,
+        worker_fault: None,
         converged,
     };
     SoakOutput {
@@ -554,6 +696,271 @@ pub fn run_soak(cfg: SoakConfig, trace_rate_log2: Option<u32>) -> SoakOutput {
         trace_json: tracer.map(|t| t.to_json()),
         snapshot: registry.snapshot(),
         deltas,
+    }
+}
+
+/// Phase names for the worker-fault scenario.
+const WF_PHASES: [&str; 4] = ["baseline", "worker_fault", "settle", "recovery"];
+
+/// The worker-fault plan, phase-relative to `baseline_us`. Every fault
+/// is armed against *every* worker: a worker only polls its taps when
+/// it carries traffic, so arming all of them covers whatever
+/// shard-to-worker layout the seed's flows hash into (unfired pulses
+/// are inert and cost nothing). All windows sit inside the fault
+/// phase, disjoint where it matters — a saturated worker receives no
+/// batches, so a panic window overlapping a saturation window could
+/// never fire.
+fn worker_fault_plan(cfg: &SoakConfig, workers: usize) -> FaultPlan {
+    let f0 = cfg.baseline_us;
+    let half = cfg.fault_us / 2;
+    let mut plan = FaultPlan::new(cfg.seed);
+    for w in 0..workers {
+        plan = plan
+            // One supervised panic early in the window and one after
+            // the midpoint: the second proves the respawned worker's
+            // rebuilt shard state survives a repeat fault.
+            .with_window(
+                f0 + 100_000,
+                f0 + half,
+                FaultKind::WorkerPanic { worker: w },
+            )
+            .with_window(
+                f0 + half,
+                f0 + half + 200_000,
+                FaultKind::WorkerPanic { worker: w },
+            )
+            // A bounded stall. Wall-clock only: virtual-time outputs
+            // are unaffected, so the report stays byte-identical.
+            .with_window(
+                f0 + 100_000,
+                f0 + cfg.fault_us,
+                FaultKind::WorkerStall {
+                    worker: w,
+                    stall_us: 1_500,
+                },
+            )
+            // Producer-side ring saturation for the closing stretch:
+            // datagrams shed per-datagram with counted rejects.
+            .with_window(
+                f0 + half + 200_000,
+                f0 + half + 500_000,
+                FaultKind::RingSaturation { worker: w },
+            );
+    }
+    plan
+}
+
+/// Run the worker-fault scenario: the same two-host soak shape, but the
+/// chaos targets the sender's datagram-plane worker runtime (scheduled
+/// supervised panics, stalls, ring saturation) instead of the keying
+/// infrastructure. Keying stays healthy throughout, so every
+/// degradation in the report is attributable to the worker faults.
+pub fn run_worker_fault(cfg: SoakConfig) -> WorkerFaultReport {
+    let clock = VirtualClock::starting_at_us(0);
+    let group = DhGroup::test_group();
+    let ca = CertificateAuthority::new("chaos-soak-ca", [0xC7; 16]);
+    let directory = Arc::new(Directory::new(Duration::ZERO));
+    let ip_cfg = IpMappingConfig {
+        key_unavailable: KeyUnavailableVerdict::Park,
+        park_capacity: 64,
+        park_deadline_us: 1_000_000,
+        ..IpMappingConfig::default()
+    };
+
+    let mut net = Network::new(cfg.seed, Impairments::ideal());
+    // The plan's worker windows drive WorkerChaos below; its directory
+    // and MKD taps see no outage windows, so keying never degrades.
+    let (host_a, a) = {
+        let plan = FaultPlan::new(cfg.seed);
+        chaos_host(A, &ip_cfg, &clock, &group, &ca, &directory, &plan, cfg.seed)
+    };
+    let (host_b, b) = {
+        let plan = FaultPlan::new(cfg.seed);
+        chaos_host(
+            B,
+            &ip_cfg,
+            &clock,
+            &group,
+            &ca,
+            &directory,
+            &plan,
+            cfg.seed ^ 0xB0B,
+        )
+    };
+    let plan = worker_fault_plan(&cfg, a.hooks.num_workers());
+    a.hooks
+        .set_worker_chaos(Some(Arc::new(WorkerChaos::from_plan(&plan))));
+
+    // Ring sized for the whole run so the flight recorder keeps full
+    // history: a healthy scenario reports zero dropped events, and the
+    // events_dropped health condition stays meaningful.
+    let total_us = cfg.baseline_us + cfg.fault_us + cfg.settle_us + cfg.recovery_us;
+    let event_capacity =
+        ((total_us / cfg.send_interval_us.max(1)) as usize * 16).next_power_of_two();
+    let registry = {
+        let c = clock.clone();
+        Arc::new(
+            MetricsRegistry::with_event_capacity(event_capacity)
+                .with_time_source(move || c.now_micros()),
+        )
+    };
+    a.hooks
+        .attach_obs(Arc::clone(&registry))
+        .expect("worker runtime alive");
+    b.hooks
+        .attach_obs(Arc::clone(&registry))
+        .expect("worker runtime alive");
+    net.add_host(host_a);
+    net.add_host(host_b);
+    net.host_mut(A).attach_obs(Arc::clone(&registry));
+    net.host_mut(B).attach_obs(Arc::clone(&registry));
+    net.host_mut(B).udp.bind(PORT).unwrap();
+
+    let phase_ends = [
+        cfg.baseline_us,
+        cfg.baseline_us + cfg.fault_us,
+        cfg.baseline_us + cfg.fault_us + cfg.settle_us,
+        cfg.baseline_us + cfg.fault_us + cfg.settle_us + cfg.recovery_us,
+    ];
+    let phase_lens = [
+        cfg.baseline_us,
+        cfg.fault_us,
+        cfg.settle_us,
+        cfg.recovery_us,
+    ];
+    let mut tallies = [PhaseTally::default(); 4];
+    let mut next_send = 0u64;
+    let mut seq = 0u64;
+    let mut delivered_before = 0u64;
+    let payload = vec![0xA5u8; cfg.payload_bytes];
+    let health_model = HealthModel::default();
+    let mut health: Vec<(&'static str, HealthReport)> = Vec::with_capacity(4);
+    let mut delta_tracker = DeltaTracker::new();
+
+    for (phase, (&end, &len)) in phase_ends.iter().zip(phase_lens.iter()).enumerate() {
+        while net.now_us() < end {
+            let prev = net.now_us();
+            clock.set_us(prev);
+            while next_send <= prev {
+                // Eight source ports → eight flows → the traffic hashes
+                // across shards on every worker, so the per-worker fault
+                // windows all see load.
+                let src_port = 4000 + (seq % 8) as u16;
+                let res = net.host_mut(A).udp_send(src_port, B, PORT, &payload, prev);
+                tallies[phase].sent += 1;
+                if res.is_err() {
+                    tallies[phase].send_rejected += 1;
+                }
+                seq += 1;
+                next_send += cfg.send_interval_us;
+            }
+            net.step(cfg.step_us.min(end - prev));
+        }
+        clock.set_us(net.now_us());
+        let delivered_total = net.host_mut(B).udp.pending(PORT) as u64;
+        tallies[phase].delivered = delivered_total - delivered_before;
+        tallies[phase].goodput_per_sec =
+            tallies[phase].delivered as f64 / (len as f64 / 1_000_000.0);
+        delivered_before = delivered_total;
+
+        let snap = observed_snapshot(&registry, &a, &b);
+        let delta = delta_tracker.delta(&snap);
+        let ad = a.hooks.parked_depths();
+        let bd = b.hooks.parked_depths();
+        let inputs = HealthInputs {
+            park_depth: [ad.0, ad.1, bd.0, bd.1].into_iter().max().unwrap_or(0) as u64,
+            park_capacity: ip_cfg.park_capacity as u64,
+            recovery_ratio_pct: (phase == 3).then(|| {
+                (tallies[3].goodput_per_sec * 100.0 / tallies[0].goodput_per_sec.max(1e-9)) as u64
+            }),
+            workers_quarantined: (a.hooks.quarantined_workers() + b.hooks.quarantined_workers())
+                as u64,
+            workers_total: (a.hooks.num_workers() + b.hooks.num_workers()) as u64,
+        };
+        health.push((WF_PHASES[phase], health_model.evaluate(&delta, &inputs)));
+    }
+
+    // Post-run wire drain (off the goodput books): flush any datagrams
+    // still in flight so the verdict ledger can be balanced exactly.
+    for _ in 0..8 {
+        clock.set_us(net.now_us());
+        net.step(cfg.step_us);
+    }
+    clock.set_us(net.now_us());
+
+    let recovery_ratio = tallies[3].goodput_per_sec / tallies[0].goodput_per_sec.max(1e-9);
+    let delivered_final = net.host_mut(B).udp.pending(PORT) as u64;
+    let sent: u64 = tallies.iter().map(|t| t.sent).sum();
+    let send_rejected: u64 = tallies.iter().map(|t| t.send_rejected).sum();
+    let accepted = sent - send_rejected;
+    let (a_out, a_in) = a.hooks.park_stats().expect("worker runtime alive");
+    let (b_out, b_in) = b.hooks.park_stats().expect("worker runtime alive");
+    let expired = a_out.expired + a_in.expired + b_out.expired + b_in.expired;
+    let ad = a.hooks.parked_depths();
+    let bd = b.hooks.parked_depths();
+    let still_parked = (ad.0 + ad.1 + bd.0 + bd.1) as u64;
+    let receiver_rejects = b.hooks.stats().input_errors;
+    // Every accepted datagram must surface somewhere: delivered to B's
+    // socket, rejected by B's input hook, expired in a park queue, or
+    // still parked. Anything else vanished without a verdict.
+    let verdict_loss = accepted
+        .saturating_sub(delivered_final)
+        .saturating_sub(receiver_rejects)
+        .saturating_sub(expired)
+        .saturating_sub(still_parked);
+
+    // The sender's pool ledger must balance exactly: every datagram
+    // nets one surplus return, whatever its verdict. A Pass takes one
+    // supply, returns the foreign payload it displaced, and returns
+    // the sealed wire once it is copied onto the medium (+1); a reject
+    // — panic, shed, quarantine — returns both its payload and its
+    // unused supply (+1). So returns + discards == takes + sent, and
+    // anything else means a worker leaked or double-freed a buffer
+    // across a panic. (The receiver's pool is excluded on purpose: it
+    // absorbs one foreign wire buffer per delivered datagram, which is
+    // a property of the network path, not of the runtime under test.)
+    let ap = net.host_mut(A).pool_stats();
+    let pool_balanced = ap.returns + ap.discards == ap.hits + ap.misses + sent;
+
+    let panics = a.hooks.worker_panics() + b.hooks.worker_panics();
+    let respawns = a.hooks.worker_respawns() + b.hooks.worker_respawns();
+    let quarantined = a.hooks.quarantined_workers() + b.hooks.quarantined_workers();
+    let workers = a.hooks.num_workers() + b.hooks.num_workers();
+    let workers_alive = a.hooks.workers_alive() + b.hooks.workers_alive();
+    let (shed_rejected, shed_batches) = {
+        let (ar, ab) = a.hooks.shed_counts();
+        let (br, bb) = b.hooks.shed_counts();
+        (ar + br, ab + bb)
+    };
+    let sheds = ShedTally {
+        batches: shed_batches,
+        rejected: shed_rejected,
+    };
+
+    let converged = recovery_ratio >= 0.9
+        && verdict_loss == 0
+        && pool_balanced
+        && workers_alive == workers
+        && quarantined == 0
+        && panics >= 1;
+
+    WorkerFaultReport {
+        cfg,
+        baseline: tallies[0],
+        fault: tallies[1],
+        settle: tallies[2],
+        recovery: tallies[3],
+        recovery_ratio,
+        panics,
+        respawns,
+        quarantined,
+        workers,
+        workers_alive,
+        sheds,
+        pool_balanced,
+        verdict_loss,
+        health,
+        converged,
     }
 }
 
@@ -636,7 +1043,7 @@ mod tests {
         // breaker degraded at the end of the fault window.
         let r = &out.report;
         assert_eq!(r.health.len(), 4);
-        assert!(r.health.iter().all(|(_, h)| h.conditions.len() == 5));
+        assert!(r.health.iter().all(|(_, h)| h.conditions.len() == 7));
         assert_eq!(r.health[1].0, "fault");
         assert_eq!(
             r.health[1]
@@ -657,6 +1064,59 @@ mod tests {
         // The final snapshot renders as Prometheus text.
         let prom = fbs_obs::prom::render(&out.snapshot);
         assert!(prom.contains("# TYPE fbs_park_parked counter"), "{prom}");
+    }
+
+    #[test]
+    fn worker_fault_scenario_recovers() {
+        let r = run_worker_fault(short_cfg(11));
+        // The faults actually bit: at least one worker panicked (and
+        // was respawned), and the saturation window shed datagrams
+        // with counted rejects.
+        assert!(r.panics >= 1, "no worker panic fired: {r:?}");
+        assert_eq!(r.respawns, r.panics, "every panic must respawn");
+        assert!(r.sheds.rejected > 0, "saturation shed nothing: {r:?}");
+        assert!(r.sheds.batches > 0);
+        assert!(
+            r.fault.send_rejected >= r.panics + r.sheds.rejected,
+            "panic and shed rejects surface as send errors: {r:?}"
+        );
+        // Fault containment: no quarantine under the respawn policy,
+        // every worker alive at the end, nothing leaked or lost.
+        assert_eq!(r.quarantined, 0, "{r:?}");
+        assert_eq!(r.workers_alive, r.workers, "{r:?}");
+        assert_eq!(r.verdict_loss, 0, "datagrams vanished: {r:?}");
+        assert!(r.pool_balanced, "pool ledger imbalanced: {r:?}");
+        // And the runtime came back: rebuilt shard state re-warmed and
+        // goodput recovered.
+        assert!(r.recovery_ratio >= 0.9, "ratio {}: {r:?}", r.recovery_ratio);
+        assert!(r.converged, "{r:?}");
+        // Health narrative: clean baseline, degraded-or-worse fault
+        // phase (shedding at minimum), clean recovery.
+        assert_eq!(r.health.len(), 4);
+        assert_eq!(r.health[0].1.overall, fbs_obs::HealthStatus::Ok);
+        assert_ne!(r.health[1].1.overall, fbs_obs::HealthStatus::Ok);
+        assert_ne!(
+            r.health[1]
+                .1
+                .condition(fbs_obs::ConditionKind::ShedRateHigh)
+                .unwrap()
+                .status,
+            fbs_obs::HealthStatus::Ok
+        );
+        assert_eq!(r.health[3].1.overall, fbs_obs::HealthStatus::Ok);
+    }
+
+    #[test]
+    fn worker_fault_report_is_deterministic() {
+        // The full committed document — keying soak with the
+        // worker-fault scenario embedded — must be byte-identical
+        // across two same-seed runs, panics and all.
+        let full = |seed| {
+            let mut report = run(short_cfg(seed));
+            report.worker_fault = Some(run_worker_fault(short_cfg(seed)));
+            report.to_json()
+        };
+        assert_eq!(full(23), full(23), "same seed must reproduce bytes");
     }
 
     #[test]

@@ -688,7 +688,9 @@ pub fn measure_mapping(
     // timers and the worker occupancy table cover the entire measured
     // window.
     if let Some(reg) = obs {
-        hooks.attach_obs(Arc::clone(reg));
+        hooks
+            .attach_obs(Arc::clone(reg))
+            .expect("worker runtime alive");
     }
     // Each thread drives the full `count`: dividing it N ways would
     // shrink multi-thread reps to a few milliseconds of measurement,

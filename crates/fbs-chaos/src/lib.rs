@@ -5,9 +5,11 @@
 //! (§5.3). This crate turns that claim into an executable experiment:
 //! a [`FaultPlan`] scripts time windows of impairment against the
 //! certificate directory ([`ChaosDirectory`]), the master key daemon's
-//! upcall path ([`ChaosPvs`]), and the flow-key caches (flush pulses /
-//! eviction storms driven by [`FaultPlan::cache_pulses`]), all on a
-//! shared microsecond [`VirtualClock`].
+//! upcall path ([`ChaosPvs`]), the flow-key caches (flush pulses /
+//! eviction storms driven by [`FaultPlan::cache_pulses`]), and the
+//! datagram-plane worker runtime itself ([`WorkerChaos`]: scheduled
+//! worker panics, stalls, and ring saturation), all on a shared
+//! microsecond [`VirtualClock`].
 //!
 //! Everything is a pure function of `(seed, schedule, virtual time)` —
 //! no wall-clock, no OS entropy — so a chaos soak that fails once fails
@@ -20,8 +22,10 @@ pub mod cert;
 pub mod clock;
 pub mod mkd;
 pub mod plan;
+pub mod worker;
 
 pub use cert::{ChaosDirectory, ChaosDirectoryStats};
 pub use clock::VirtualClock;
 pub use mkd::{ChaosPvs, ChaosPvsStats};
 pub use plan::{FaultKind, FaultPlan, FaultWindow, FlushScope};
+pub use worker::WorkerChaos;

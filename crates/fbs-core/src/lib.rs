@@ -28,6 +28,7 @@ pub mod clock;
 pub mod concurrent;
 pub mod error;
 pub mod fam;
+pub mod fault;
 pub mod header;
 pub mod keying;
 pub mod mkd;
@@ -46,8 +47,9 @@ pub use breaker::{Allow, BreakerConfig, BreakerState, CircuitBreaker, Transition
 pub use cache::{AtomicCacheStats, CacheStats, MissKind, SoftCache};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use concurrent::{KeyingService, Published, ShardedCache};
-pub use error::{FbsError, Result};
+pub use error::{FbsError, Result, RuntimeError};
 pub use fam::{Classification, Fam, FlowPolicy, FlowRecord, FstEntry, KeyUnavailableVerdict};
+pub use fault::WorkerFaultInjector;
 pub use header::{EncAlgorithm, HeaderView, SecurityFlowHeader};
 pub use keying::{derive_flow_key, FlowKey, KeyDerivation, SealedFlowKey};
 pub use mkd::{AtomicMkdStats, MasterKeyDaemon, PinnedDirectory, PublicValueSource, Resilience};

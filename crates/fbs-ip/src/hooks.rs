@@ -71,6 +71,43 @@
 //! All hook/endpoint/cache counters are lock-free atomics shared across
 //! shards, so a stats scrape never blocks a batch in flight.
 //!
+//! # Fault containment
+//!
+//! The runtime survives its own failures; a worker panic never poisons
+//! the endpoint.
+//!
+//! * **In-thread supervision.** Each worker thread runs its loop inside
+//!   `catch_unwind`. The thread never dies on a supervised panic, so
+//!   rings, mailboxes, and thread handles stay valid and
+//!   `workers_alive` only moves on real shutdown. The sub-batch being
+//!   processed lives in a cursor *outside* the unwind boundary: the
+//!   datagram that panicked gets a `Reject` verdict (with replacement
+//!   buffers covering whatever the unwind freed, so the producer's
+//!   pool ledger stays balanced), and the rest of the sub-batch is
+//!   finished after recovery — zero verdict loss.
+//! * **Respawn or quarantine** ([`WorkerFaultPolicy`]). Under `Respawn`
+//!   the worker rebuilds its shards fresh (soft state re-warms through
+//!   ordinary TFKC/RFKC misses — the paper's §5.3 argument; parked
+//!   datagrams are carried over, and rebuilt sfl allocators are
+//!   generation-salted while preserving `sfl ≡ shard (mod N)`). After
+//!   `max_respawns`, or immediately under `FailClosed`, the worker is
+//!   **quarantined**: parked buffers are recycled, and it keeps
+//!   draining its rings and answering control messages but rejects
+//!   every datagram — fail-closed on its shards, invisible to the
+//!   others.
+//! * **Typed errors, no runtime panics.** Control round-trips return
+//!   [`RuntimeError`] (with a deadline, so a wedged worker cannot hang
+//!   a stats scrape or `drain`), and `process_batch` fails closed —
+//!   missing verdicts become `Reject` — if a worker ever dies past its
+//!   supervisor.
+//! * **Overload shedding.** A full ingress ring is backpressure, not a
+//!   license to spin forever: the producer spins up to
+//!   `shed_deadline_us`, then sheds the sub-batch per-datagram
+//!   (`Reject`, buffers recycled, counted as `hooks.shed.*`). A
+//!   [`WorkerFaultInjector`] (see `fbs-chaos`'s `WorkerChaos`) can
+//!   schedule panics/stalls and simulate ring saturation
+//!   deterministically on virtual time.
+//!
 //! # Graceful degradation
 //!
 //! Keying can fail *transiently* — a certificate-directory outage, an
@@ -104,7 +141,8 @@ use fbs_core::protocol::EndpointStats;
 use fbs_core::{
     derive_flow_key, AtomicCacheStats, BufferPool, Clock, Fam, FbsConfig, FbsEndpoint, FbsError,
     FlowCodec, FlowKeyId, KeyUnavailableVerdict, KeyingService, ParkStats, Parked, ParkingQueue,
-    Principal, Published, SealedFlowKey, SflAllocator, SoftCache, SpscRing,
+    Principal, Published, RuntimeError, SealedFlowKey, SflAllocator, SoftCache, SpscRing,
+    WorkerFaultInjector,
 };
 use fbs_crypto::crc32;
 use fbs_net::ip::Proto;
@@ -114,13 +152,51 @@ use fbs_obs::{
     StageTimer, TraceSpan,
 };
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Multiplier decorrelating per-shard confounder seeds (golden-ratio
 /// constant; shard 0 keeps the endpoint's original seed).
 const SHARD_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Mixed into rebuilt shards' sfl-allocator salt and confounder seed on
+/// every supervised respawn, so a respawned shard never re-issues sfls
+/// or confounder bytes from its previous life.
+const GENERATION_MIX: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Deadline for a control round-trip (stats scrape, flush, release):
+/// generous against injected stalls, but bounded so a wedged worker
+/// surfaces as [`RuntimeError::ControlTimeout`] instead of a hang.
+const CONTROL_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Hard cap on an injected worker stall, keeping chaos runs bounded no
+/// matter what a fault plan asks for.
+const MAX_INJECTED_STALL_US: u64 = 20_000;
+
+/// What the in-thread supervisor does with a worker whose loop
+/// panicked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerFaultPolicy {
+    /// Rebuild the worker's shard state and resume (soft state re-warms
+    /// through normal cache misses). After `max_respawns` supervised
+    /// panics the worker falls back to [`WorkerFaultPolicy::FailClosed`].
+    Respawn {
+        /// Supervised respawns allowed before quarantining.
+        max_respawns: u32,
+    },
+    /// Quarantine immediately: keep draining rings and answering
+    /// control messages, but reject every datagram routed to the
+    /// worker's shards (buffers recycled, never silently dropped).
+    FailClosed,
+}
+
+impl Default for WorkerFaultPolicy {
+    fn default() -> Self {
+        WorkerFaultPolicy::Respawn { max_respawns: 3 }
+    }
+}
 
 /// Configuration of the IP mapping.
 #[derive(Clone, Debug)]
@@ -160,6 +236,15 @@ pub struct IpMappingConfig {
     /// Per-worker SPSC ring depth (sub-batches in flight per lane;
     /// minimum 1). Fixed at construction.
     pub ring_depth: usize,
+    /// Supervision policy applied when a worker loop panics. Read per
+    /// panic, so it can be changed through
+    /// [`FbsIpHooks::update_config`].
+    pub worker_fault: WorkerFaultPolicy,
+    /// How long (wall microseconds) `process_batch` spins on a full
+    /// worker ring before shedding the sub-batch per-datagram
+    /// (`Reject` + recycle, counted as `hooks.shed.*`). 0 sheds on the
+    /// first failed push. Read per batch.
+    pub shed_deadline_us: u64,
     /// The underlying FBS endpoint configuration.
     pub fbs: FbsConfig,
 }
@@ -178,6 +263,8 @@ impl Default for IpMappingConfig {
             shards: 8,
             workers: 2,
             ring_depth: 4,
+            worker_fault: WorkerFaultPolicy::default(),
+            shed_deadline_us: 5_000,
             fbs: FbsConfig::default(),
         }
     }
@@ -398,9 +485,14 @@ struct HookShared {
     keying: KeyingService,
     local: Principal,
     clock: Arc<dyn Clock>,
-    /// The endpoint-side config (algorithms, key derivation) the codecs
-    /// were built from; fixed at construction like the shard geometry.
-    key_derivation: fbs_core::KeyDerivation,
+    /// The endpoint-side config (algorithms, key derivation, cache
+    /// geometry) the codecs were built from; kept whole so a panicked
+    /// worker's shards can be rebuilt from first principles.
+    ep_cfg: FbsConfig,
+    /// Base codec seed (pre shard/generation mixing).
+    codec_seed: u64,
+    /// Base sfl allocator seed (pre shard/generation mixing).
+    sfl_seed: u64,
     cfg: Published<IpMappingConfig>,
     stats: AtomicHookStats,
     endpoint_stats: Arc<fbs_core::AtomicEndpointStats>,
@@ -409,6 +501,22 @@ struct HookShared {
     combined_stats: Arc<AtomicCombinedStats>,
     /// Times a producer found a worker's ingress ring full.
     ring_stalls: AtomicU64,
+    /// Datagrams rejected by the overload-shedding policy (ring still
+    /// full at the shed deadline). Every shed datagram gets a `Reject`
+    /// verdict and its buffers recycled — never a silent drop.
+    shed_rejected: AtomicU64,
+    /// Sub-batches shed whole (the shed granularity: one ring push).
+    shed_batches: AtomicU64,
+    /// Worker-loop panics caught by the in-thread supervisors.
+    worker_panics: AtomicU64,
+    /// Supervised respawns (shard state rebuilt, worker resumed).
+    worker_respawns: AtomicU64,
+    /// Workers that exhausted their respawn budget (or run under
+    /// [`WorkerFaultPolicy::FailClosed`]) and now reject everything.
+    quarantined: Box<[AtomicBool]>,
+    /// Deterministic fault injector for chaos runs (`None` in
+    /// production; swap-on-update like `cfg`).
+    chaos: Published<Option<Arc<dyn WorkerFaultInjector>>>,
     obs: Published<Option<Arc<MetricsRegistry>>>,
     /// Shard / worker geometry (fixed at construction).
     n_shards: usize,
@@ -454,13 +562,111 @@ impl HookShared {
         }
     }
 
-    fn send_control(&self, w: usize, msg: Control) {
+    /// Post a control message to worker `w`'s mailbox. `Err` means the
+    /// worker thread is gone (its receiver dropped) — possible only
+    /// after an unsupervised death, since supervised panics keep the
+    /// thread (and its mailbox) alive.
+    fn send_control(&self, w: usize, msg: Control) -> Result<(), RuntimeError> {
         self.control[w]
             .lock()
             .send(msg)
-            .expect("fbs worker runtime died");
+            .map_err(|_| RuntimeError::WorkerUnavailable { worker: w })?;
         self.wake_worker(w);
+        Ok(())
     }
+
+    /// Synchronous control round-trip to worker `w` with a deadline:
+    /// build the message around a fresh reply channel, send, and wait.
+    /// A worker that stops answering (stalled, or died between send and
+    /// reply) surfaces as a typed error instead of a hang or panic.
+    fn control_roundtrip<T>(
+        &self,
+        w: usize,
+        make: impl FnOnce(mpsc::Sender<T>) -> Control,
+    ) -> Result<T, RuntimeError> {
+        let (tx, rx) = mpsc::channel();
+        self.send_control(w, make(tx))?;
+        match rx.recv_timeout(CONTROL_DEADLINE) {
+            Ok(v) => Ok(v),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(RuntimeError::ControlTimeout { worker: w }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(RuntimeError::WorkerUnavailable { worker: w })
+            }
+        }
+    }
+
+    /// Build shard `si` from scratch. `generation` 0 reproduces the
+    /// construction-time shards exactly; a respawned worker bumps it so
+    /// rebuilt confounder streams and sfl ranges cannot collide with
+    /// anything issued before the panic. The generation salt multiplies
+    /// into the stride base, so `sfl % n_shards == si` still holds — the
+    /// receive-side partition stays consistent across respawns.
+    fn build_shard(&self, si: usize, generation: u64) -> Shard {
+        let cfg = self.cfg.load();
+        let n = self.n_shards as u64;
+        let salt = self
+            .sfl_seed
+            .wrapping_add(generation.wrapping_mul(0x9E37_79B9));
+        let stride_base = salt.wrapping_mul(n).wrapping_add(si as u64);
+        let mut codec = FlowCodec::new(
+            self.local.clone(),
+            self.ep_cfg.clone(),
+            Arc::clone(&self.clock),
+            self.codec_seed
+                ^ (si as u64).wrapping_mul(SHARD_SEED_MIX)
+                ^ generation.wrapping_mul(GENERATION_MIX),
+        );
+        codec.share_stats(Arc::clone(&self.endpoint_stats));
+        let fam = Fam::new(
+            cfg.fst_size,
+            FiveTuplePolicy::new(cfg.threshold_secs).with_key_unavailable(cfg.key_unavailable),
+            SflAllocator::with_stride(stride_base, n),
+        );
+        let combined = cfg.combined.then(|| {
+            let mut t = CombinedTable::new(
+                cfg.fst_size,
+                cfg.threshold_secs,
+                // Distinct allocator space from the FAM's (only one of
+                // the two is ever used per configuration).
+                SflAllocator::with_stride(stride_base, n),
+            );
+            t.share_stats(Arc::clone(&self.combined_stats));
+            t
+        });
+        let mut tfkc = SoftCache::new(
+            self.ep_cfg.tfkc_sets,
+            self.ep_cfg.tfkc_assoc,
+            fbs_core::flow_key_hash,
+        );
+        tfkc.share_stats(Arc::clone(&self.tfkc_stats));
+        let mut rfkc = SoftCache::new(
+            self.ep_cfg.rfkc_sets,
+            self.ep_cfg.rfkc_assoc,
+            fbs_core::flow_key_hash,
+        );
+        rfkc.share_stats(Arc::clone(&self.rfkc_stats));
+        Shard {
+            codec,
+            fam,
+            combined,
+            tfkc,
+            rfkc,
+            out_park: ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us),
+            in_park: ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us),
+        }
+    }
+}
+
+/// Cascade a metrics registry into one shard's components (used both by
+/// the AttachObs control message and by post-panic shard rebuilds).
+fn cascade_obs(shard: &mut Shard, reg: &Arc<MetricsRegistry>) {
+    shard.codec.set_obs(Arc::clone(reg));
+    shard.fam.set_obs(Arc::clone(reg));
+    if let Some(t) = &mut shard.combined {
+        t.set_obs(Arc::clone(reg));
+    }
+    shard.tfkc.set_obs(Arc::clone(reg), CacheKind::Tfkc);
+    shard.rfkc.set_obs(Arc::clone(reg), CacheKind::Rfkc);
 }
 
 fn record(obs: &Option<Arc<MetricsRegistry>>, event: Event) {
@@ -587,7 +793,7 @@ fn derive_key(
     let timer = obs.as_ref().map(|_| StageTimer::start());
     let master = shared.keying.master_key(peer)?;
     let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
-        shared.key_derivation,
+        shared.ep_cfg.key_derivation,
         sfl,
         &master,
         src,
@@ -1026,75 +1232,261 @@ fn refresh_park_depths(shared: &HookShared, w: usize, shards: &[Shard]) {
     shared.park_depths[w].inp.store(inp, Ordering::Release);
 }
 
-/// Run one sub-batch to completion against the worker's owned shards.
-/// Shard `si` lives at local index `si / W` (the partition stage only
-/// routes `si ≡ w (mod W)` here). Unused supplies ride home on the
-/// recycle list so the producer's pool ledger stays balanced.
-fn process_sub_batch(
-    shared: &HookShared,
-    w: usize,
-    shards: &mut [Shard],
-    sub: SubBatch,
-) -> SubReply {
-    let cfg = shared.cfg.load();
-    let obs = shared.obs_handle();
-    let busy = obs.as_ref().map(|_| StageTimer::start());
-    if let Some(reg) = &obs {
-        reg.incr(Counter::WorkerBatches);
-    }
+/// The sub-batch a worker is processing right now, with an explicit
+/// cursor (`next`). The cursor lives OUTSIDE the panic boundary: when an
+/// item panics mid-processing, the supervisor can see exactly which
+/// datagram died, give it a `Reject` verdict plus replacement buffers,
+/// and resume the remaining items — so one poisoned datagram costs one
+/// verdict, never a batch or a worker.
+struct CurrentSub {
+    /// The lane this sub-batch arrived on (its reply goes back here).
+    lane: Arc<Lane>,
+    dir: Direction,
+    now_us: u64,
+    items: Vec<WorkItem>,
+    /// Index of the first unprocessed item.
+    next: usize,
+    /// `supplies.len()` as of the start of the item at `next` — the
+    /// difference after an unwind is the number of supply buffers the
+    /// dying item consumed and the unwind freed.
+    supply_mark: usize,
+    supplies: Vec<Vec<u8>>,
+    done: Vec<DoneItem>,
+    recycle: Vec<Vec<u8>>,
+}
+
+/// Everything a worker owns across panic-supervision boundaries. Held
+/// by `worker_main` outside `catch_unwind`, so a supervised panic never
+/// loses shard state, the in-flight sub-batch, or buffers staged for
+/// recycling.
+struct WorkerState {
+    shards: Vec<Shard>,
+    lanes: Vec<Arc<Lane>>,
+    seen_epoch: u64,
+    current: Option<CurrentSub>,
+    /// Buffers with no sub-batch to ride home on yet (e.g. park
+    /// evictions during quarantine); appended to the next reply.
+    pending_recycle: Vec<Vec<u8>>,
+    /// Bumped per respawn; salts rebuilt shard seeds.
+    generation: u64,
+    /// Supervised respawns so far (compared against the policy budget).
+    respawns: u32,
+}
+
+/// Stage a freshly popped sub-batch as the worker's current work.
+fn begin_current(state: &mut WorkerState, lane: &Arc<Lane>, sub: SubBatch) {
     let SubBatch {
         dir,
         now_us,
-        mut items,
-        mut supplies,
+        items,
+        supplies,
         mut done,
         mut recycle,
     } = sub;
     done.clear();
     done.reserve(items.len());
     recycle.clear();
-    for (slot, si, mut header, payload, tuple) in items.drain(..) {
-        let shard = &mut shards[si / shared.n_workers];
-        let mut ctx = WorkerCtx {
-            supplies: &mut supplies,
-            recycle: &mut recycle,
-        };
-        let outcome = match dir {
-            Direction::Output => output_item(
-                shared,
-                shard,
-                &mut header,
-                payload,
-                tuple,
-                &mut ctx,
-                now_us,
-                &cfg,
-                &obs,
-            ),
-            Direction::Input => input_item(
-                shared,
-                shard,
-                &mut header,
-                payload,
-                &mut ctx,
-                now_us,
-                &cfg,
-                &obs,
-            ),
-        };
-        done.push((slot, header, outcome));
+    state.current = Some(CurrentSub {
+        lane: Arc::clone(lane),
+        dir,
+        now_us,
+        items,
+        next: 0,
+        supply_mark: supplies.len(),
+        supplies,
+        done,
+        recycle,
+    });
+}
+
+/// Run the current sub-batch to completion against the worker's owned
+/// shards and ship the reply. Shard `si` lives at local index `si / W`
+/// (the partition stage only routes `si ≡ w (mod W)` here). Unused
+/// supplies ride home on the recycle list so the producer's pool ledger
+/// stays balanced. Processing happens IN PLACE on `state.current`: if an
+/// item panics, the unwind leaves the cursor and every untouched buffer
+/// intact for the supervisor.
+fn run_current(shared: &HookShared, w: usize, state: &mut WorkerState) {
+    let WorkerState {
+        shards,
+        current,
+        pending_recycle,
+        ..
+    } = state;
+    let Some(cur) = current.as_mut() else {
+        return;
+    };
+    // Chaos taps come first, so an injected panic unwinds with the
+    // cursor at the first unprocessed item — the supervisor then pays
+    // exactly one Reject for it. Stalls are wall-clock sleeps: they add
+    // latency (visible in stage spans) but touch no virtual-time
+    // counter, keeping seeded runs byte-identical.
+    if let Some(chaos) = (*shared.chaos.load()).clone() {
+        let stall = chaos
+            .take_stall_us(w, cur.now_us)
+            .min(MAX_INJECTED_STALL_US);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_micros(stall));
+        }
+        if chaos.take_panic(w, cur.now_us) {
+            panic!("injected worker panic (chaos)");
+        }
     }
-    recycle.append(&mut supplies);
+    let cfg = shared.cfg.load();
+    let obs = shared.obs_handle();
+    let busy = obs.as_ref().map(|_| StageTimer::start());
+    if let Some(reg) = &obs {
+        reg.incr(Counter::WorkerBatches);
+    }
+    {
+        let CurrentSub {
+            dir,
+            now_us,
+            items,
+            next,
+            supply_mark,
+            supplies,
+            done,
+            recycle,
+            ..
+        } = cur;
+        while *next < items.len() {
+            *supply_mark = supplies.len();
+            let (slot, si, header, payload, tuple) = &mut items[*next];
+            let payload = std::mem::take(payload);
+            let tuple = *tuple;
+            let shard = &mut shards[*si / shared.n_workers];
+            let mut ctx = WorkerCtx {
+                supplies: &mut *supplies,
+                recycle: &mut *recycle,
+            };
+            let outcome = match *dir {
+                Direction::Output => output_item(
+                    shared, shard, header, payload, tuple, &mut ctx, *now_us, &cfg, &obs,
+                ),
+                Direction::Input => input_item(
+                    shared, shard, header, payload, &mut ctx, *now_us, &cfg, &obs,
+                ),
+            };
+            done.push((*slot, header.clone(), outcome));
+            *next += 1;
+        }
+    }
+    let mut fin = current.take().expect("current sub-batch still staged");
+    fin.items.clear();
+    fin.recycle.append(&mut fin.supplies);
+    fin.recycle.append(pending_recycle);
     refresh_park_depths(shared, w, shards);
     if let (Some(reg), Some(busy)) = (obs.as_ref(), busy) {
         reg.worker_busy(w, busy.elapsed_ns());
     }
-    SubReply {
-        done,
-        recycle,
-        items,
-        supplies,
+    let lane = Arc::clone(&fin.lane);
+    push_reply(
+        &lane,
+        w,
+        SubReply {
+            done: fin.done,
+            recycle: fin.recycle,
+            items: fin.items,
+            supplies: fin.supplies,
+        },
+    );
+}
+
+/// Post-panic cleanup for the item the unwind interrupted: give it a
+/// `Reject` verdict and rebalance the buffer ledger. The item's payload
+/// (and any supplies it popped) were freed by the unwind, so replacement
+/// buffers of the pool's standard capacity ride the recycle list home —
+/// the producer's pool only counts buffers, not identities.
+fn abort_current_item(state: &mut WorkerState) {
+    let Some(cur) = state.current.as_mut() else {
+        return;
+    };
+    if cur.next < cur.items.len() {
+        let (slot, _si, header, payload, _tuple) = &mut cur.items[cur.next];
+        let taken = std::mem::take(payload);
+        if taken.capacity() == 0 {
+            // The unwind freed the real payload mid-item: replace it.
+            cur.recycle
+                .push(Vec::with_capacity(fbs_core::pool::DEFAULT_BUF_CAPACITY));
+        } else {
+            // The panic struck before the item's payload was taken
+            // (e.g. an injected panic at sub-batch entry): the original
+            // buffer is intact, recycle it directly.
+            cur.recycle.push(taken);
+        }
+        cur.done.push((
+            *slot,
+            header.clone(),
+            HookOutcome::Reject("worker panicked mid-datagram".into()),
+        ));
+        cur.next += 1;
     }
+    let lost = cur.supply_mark.saturating_sub(cur.supplies.len());
+    for _ in 0..lost {
+        cur.recycle
+            .push(Vec::with_capacity(fbs_core::pool::DEFAULT_BUF_CAPACITY));
+    }
+    cur.supply_mark = cur.supplies.len();
+}
+
+/// Reject every remaining item of the current sub-batch (quarantine
+/// path) and ship the reply so the producer unblocks with a complete
+/// verdict set and a balanced buffer ledger.
+fn reject_all_current(w: usize, state: &mut WorkerState) {
+    let Some(cur) = state.current.as_mut() else {
+        return;
+    };
+    let from = cur.next;
+    for (slot, _si, header, payload, _tuple) in cur.items.drain(from..) {
+        cur.recycle.push(payload);
+        cur.done.push((
+            slot,
+            header,
+            HookOutcome::Reject("worker quarantined after panic".into()),
+        ));
+    }
+    let mut fin = state
+        .current
+        .take()
+        .expect("current sub-batch still staged");
+    fin.items.clear();
+    fin.recycle.append(&mut fin.supplies);
+    fin.recycle.append(&mut state.pending_recycle);
+    let lane = Arc::clone(&fin.lane);
+    push_reply(
+        &lane,
+        w,
+        SubReply {
+            done: fin.done,
+            recycle: fin.recycle,
+            items: fin.items,
+            supplies: fin.supplies,
+        },
+    );
+}
+
+/// Rebuild every shard this worker owns after a supervised panic. Hard
+/// state that cannot be trusted (FAM/FST rows, flow-key caches, codec
+/// confounder positions) is discarded — it is all soft state by design
+/// (§5.3) and re-warms through normal misses. Parked datagrams are NOT
+/// soft state (they are caller data) and survive the rebuild; their
+/// deadlines keep ticking in the carried-over queues.
+fn rebuild_shards(shared: &HookShared, w: usize, state: &mut WorkerState) {
+    state.generation += 1;
+    let obs = shared.obs_handle();
+    let old = std::mem::take(&mut state.shards);
+    for (local, old_shard) in old.into_iter().enumerate() {
+        let si = w + local * shared.n_workers;
+        let mut fresh = shared.build_shard(si, state.generation);
+        fresh.out_park = old_shard.out_park;
+        fresh.in_park = old_shard.in_park;
+        if let Some(reg) = &obs {
+            cascade_obs(&mut fresh, reg);
+        }
+        state.shards.push(fresh);
+    }
+    refresh_park_depths(shared, w, &state.shards);
 }
 
 /// Push a reply to the producer, then wake it. The reply ring can hold
@@ -1341,30 +1733,38 @@ fn release_input_worker(shared: &HookShared, shards: &mut [Shard], now_us: u64) 
     (ready, recycle)
 }
 
-/// Handle one control-plane message on the worker thread.
+/// Reload the worker's lane snapshot if the registry epoch moved.
+fn reload_lanes(shared: &HookShared, state: &mut WorkerState) {
+    let epoch = shared.lanes_epoch.load(Ordering::Acquire);
+    if epoch != state.seen_epoch {
+        state.seen_epoch = epoch;
+        state.lanes.clear();
+        state
+            .lanes
+            .extend(shared.lanes_snapshot.load().iter().cloned());
+    }
+}
+
+/// Handle one control-plane message on the worker thread. A quarantined
+/// worker still answers everything — statistics, flushes, and drains
+/// stay observable — but drained sub-batches get rejected rather than
+/// processed (its shard state is no longer trusted).
 fn handle_control(
     shared: &HookShared,
     w: usize,
-    shards: &mut [Shard],
-    lanes: &mut Vec<Arc<Lane>>,
-    seen_epoch: &mut u64,
+    state: &mut WorkerState,
     msg: Control,
+    quarantined: bool,
 ) {
     match msg {
         Control::AttachObs(reg, ack) => {
-            for s in shards.iter_mut() {
-                s.codec.set_obs(Arc::clone(&reg));
-                s.fam.set_obs(Arc::clone(&reg));
-                if let Some(t) = &mut s.combined {
-                    t.set_obs(Arc::clone(&reg));
-                }
-                s.tfkc.set_obs(Arc::clone(&reg), CacheKind::Tfkc);
-                s.rfkc.set_obs(Arc::clone(&reg), CacheKind::Rfkc);
+            for s in state.shards.iter_mut() {
+                cascade_obs(s, &reg);
             }
             let _ = ack.send(());
         }
         Control::FlushKeys(ack) => {
-            for s in shards.iter_mut() {
+            for s in state.shards.iter_mut() {
                 s.tfkc.clear();
                 s.rfkc.clear();
                 if let Some(t) = &mut s.combined {
@@ -1374,7 +1774,8 @@ fn handle_control(
             let _ = ack.send(());
         }
         Control::Occupancy(now_secs, reply) => {
-            let rows = shards
+            let rows = state
+                .shards
                 .iter()
                 .enumerate()
                 .map(|(idx, s)| {
@@ -1390,7 +1791,7 @@ fn handle_control(
         Control::ParkStats(reply) => {
             let mut out = ParkStats::default();
             let mut inp = ParkStats::default();
-            for s in shards.iter() {
+            for s in state.shards.iter() {
                 for (sum, st) in [
                     (&mut out, s.out_park.stats()),
                     (&mut inp, s.in_park.stats()),
@@ -1406,23 +1807,23 @@ fn handle_control(
         }
         Control::Release { dir, now_us, reply } => {
             let result = match dir {
-                Direction::Output => release_output_worker(shared, shards, now_us),
-                Direction::Input => release_input_worker(shared, shards, now_us),
+                Direction::Output => release_output_worker(shared, &mut state.shards, now_us),
+                Direction::Input => release_input_worker(shared, &mut state.shards, now_us),
             };
-            refresh_park_depths(shared, w, shards);
+            refresh_park_depths(shared, w, &state.shards);
             let _ = reply.send(result);
         }
         Control::Drain(ack) => {
-            let epoch = shared.lanes_epoch.load(Ordering::Acquire);
-            if epoch != *seen_epoch {
-                *seen_epoch = epoch;
-                lanes.clear();
-                lanes.extend(shared.lanes_snapshot.load().iter().cloned());
-            }
-            for lane in lanes.iter() {
+            reload_lanes(shared, state);
+            for li in 0..state.lanes.len() {
+                let lane = Arc::clone(&state.lanes[li]);
                 while let Some(sub) = lane.to_worker[w].try_pop() {
-                    let reply = process_sub_batch(shared, w, shards, sub);
-                    push_reply(lane, w, reply);
+                    begin_current(state, &lane, sub);
+                    if quarantined {
+                        reject_all_current(w, state);
+                    } else {
+                        run_current(shared, w, state);
+                    }
                 }
             }
             let _ = ack.send(());
@@ -1430,45 +1831,40 @@ fn handle_control(
     }
 }
 
-/// The run-to-completion worker loop: drain the control mailbox, reload
-/// the lane snapshot when its epoch moved, drain every ingress ring,
-/// and spin/park when idle. Exits only when `shutdown` is set AND a full
-/// pass found nothing to do — so every buffered sub-batch is processed
-/// before the thread dies (drain-then-shutdown).
-fn worker_main(
-    shared: Arc<HookShared>,
+/// One supervised pass structure: the run-to-completion worker loop.
+/// Drains the control mailbox, reloads the lane snapshot when its epoch
+/// moved, drains every ingress ring, and spins/parks when idle. Returns
+/// (instead of breaking out of `worker_main`) only when `shutdown` is
+/// set AND a full pass found nothing to do — so every buffered sub-batch
+/// is processed before the thread dies (drain-then-shutdown). A panic
+/// anywhere inside unwinds to the supervisor in `worker_main` with
+/// `state` intact.
+fn worker_loop(
+    shared: &HookShared,
     w: usize,
-    mut shards: Vec<Shard>,
-    ctl: mpsc::Receiver<Control>,
+    state: &mut WorkerState,
+    ctl: &mpsc::Receiver<Control>,
 ) {
-    /// Decrements `workers_alive` even on panic, so a stuck producer
-    /// detects the death instead of spinning forever.
-    struct Alive<'a>(&'a HookShared);
-    impl Drop for Alive<'_> {
-        fn drop(&mut self) {
-            self.0.workers_alive.fetch_sub(1, Ordering::AcqRel);
-        }
-    }
-    let _alive = Alive(&shared);
-    let mut lanes: Vec<Arc<Lane>> = Vec::new();
-    let mut seen_epoch = u64::MAX;
     let mut idle = 0u32;
     loop {
         let mut did_work = false;
-        while let Ok(msg) = ctl.try_recv() {
-            handle_control(&shared, w, &mut shards, &mut lanes, &mut seen_epoch, msg);
+        // A sub-batch interrupted by a supervised panic finishes before
+        // anything new is taken on — its producer is still parked on the
+        // reply.
+        if state.current.is_some() {
+            run_current(shared, w, state);
             did_work = true;
         }
-        let epoch = shared.lanes_epoch.load(Ordering::Acquire);
-        if epoch != seen_epoch {
-            seen_epoch = epoch;
-            lanes.clear();
-            lanes.extend(shared.lanes_snapshot.load().iter().cloned());
+        while let Ok(msg) = ctl.try_recv() {
+            handle_control(shared, w, state, msg, false);
+            did_work = true;
         }
-        for lane in &lanes {
+        reload_lanes(shared, state);
+        for li in 0..state.lanes.len() {
+            let lane = Arc::clone(&state.lanes[li]);
             while let Some(sub) = lane.to_worker[w].try_pop() {
-                let reply = process_sub_batch(&shared, w, &mut shards, sub);
-                push_reply(lane, w, reply);
+                begin_current(state, &lane, sub);
+                run_current(shared, w, state);
                 did_work = true;
             }
         }
@@ -1477,13 +1873,140 @@ fn worker_main(
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
-            break;
+            return;
         }
         idle += 1;
         if idle < 64 {
             std::thread::yield_now();
         } else {
             std::thread::park_timeout(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Fail-closed terminal mode: keep the thread (and its mailbox, rings,
+/// and buffer ledger) alive, but reject every datagram. Parked datagrams
+/// are evicted up front — their keys will never arrive on a worker that
+/// stopped processing — and their buffers ride the next reply home.
+fn quarantine(
+    shared: &HookShared,
+    w: usize,
+    state: &mut WorkerState,
+    ctl: &mpsc::Receiver<Control>,
+) {
+    shared.quarantined[w].store(true, Ordering::Release);
+    // Finish (by rejecting) any sub-batch the panic interrupted, so its
+    // producer unblocks with a complete verdict set.
+    reject_all_current(w, state);
+    for shard in state.shards.iter_mut() {
+        for p in shard.out_park.take_all() {
+            state.pending_recycle.push(p.item.1);
+        }
+        for p in shard.in_park.take_all() {
+            state.pending_recycle.push(p.item.1);
+        }
+    }
+    refresh_park_depths(shared, w, &state.shards);
+    let mut idle = 0u32;
+    loop {
+        let mut did_work = false;
+        while let Ok(msg) = ctl.try_recv() {
+            handle_control(shared, w, state, msg, true);
+            did_work = true;
+        }
+        reload_lanes(shared, state);
+        for li in 0..state.lanes.len() {
+            let lane = Arc::clone(&state.lanes[li]);
+            while let Some(sub) = lane.to_worker[w].try_pop() {
+                begin_current(state, &lane, sub);
+                reject_all_current(w, state);
+                did_work = true;
+            }
+        }
+        if did_work {
+            idle = 0;
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        idle += 1;
+        if idle < 64 {
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Worker thread entry point: run [`worker_loop`] under in-thread panic
+/// supervision. Catching the unwind HERE — rather than letting the
+/// thread die and respawning a new one — keeps every externally visible
+/// invariant intact across a panic: the SPSC consumer identity, the
+/// control mailbox, the parked thread handle, and `workers_alive` (which
+/// therefore only moves on real shutdown, making it a meaningful
+/// liveness gate). Respawn is a rebuild of shard state inside the same
+/// thread; quarantine is a mode switch, not an exit.
+fn worker_main(
+    shared: Arc<HookShared>,
+    w: usize,
+    shards: Vec<Shard>,
+    ctl: mpsc::Receiver<Control>,
+) {
+    /// Decrements `workers_alive` even on an unsupervised death, so a
+    /// stuck producer detects it instead of spinning forever.
+    struct Alive<'a>(&'a HookShared);
+    impl Drop for Alive<'_> {
+        fn drop(&mut self) {
+            self.0.workers_alive.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    let _alive = Alive(&shared);
+    let mut state = WorkerState {
+        shards,
+        lanes: Vec::new(),
+        seen_epoch: u64::MAX,
+        current: None,
+        pending_recycle: Vec::new(),
+        generation: 0,
+        respawns: 0,
+    };
+    loop {
+        // AssertUnwindSafe: `state` lives outside the boundary by
+        // design — the supervisor's whole job is to repair the
+        // potentially inconsistent pieces (the current item's buffers
+        // via `abort_current_item`, shard state via `rebuild_shards`)
+        // before anyone observes them.
+        match catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(&shared, w, &mut state, &ctl)
+        })) {
+            Ok(()) => break,
+            Err(_payload) => {
+                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let obs = shared.obs_handle();
+                if let Some(reg) = &obs {
+                    reg.worker_panic(w);
+                }
+                abort_current_item(&mut state);
+                let respawn = match shared.cfg.load().worker_fault {
+                    WorkerFaultPolicy::Respawn { max_respawns } => state.respawns < max_respawns,
+                    WorkerFaultPolicy::FailClosed => false,
+                };
+                if respawn {
+                    state.respawns += 1;
+                    shared.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                    if let Some(reg) = &obs {
+                        reg.incr(Counter::WorkerRespawns);
+                    }
+                    rebuild_shards(&shared, w, &mut state);
+                    // Loop back under a fresh unwind boundary; the
+                    // interrupted sub-batch (cursor already advanced
+                    // past the poisoned item) finishes first.
+                } else {
+                    quarantine(&shared, w, &mut state, &ctl);
+                    break;
+                }
+            }
         }
     }
 }
@@ -1502,7 +2025,16 @@ impl Drop for RuntimeOwner {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wake_all();
         for j in self.joins.get_mut().drain(..) {
-            let _ = j.join();
+            if j.join().is_err() {
+                // An unsupervised worker death (a panic that escaped
+                // the in-thread supervisor). Swallow the payload — a
+                // panic in Drop would abort the dropping thread — and
+                // keep the count observable.
+                self.shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                if let Some(reg) = self.shared.obs_handle().as_ref() {
+                    reg.incr(Counter::WorkerPanics);
+                }
+            }
         }
     }
 }
@@ -1518,6 +2050,10 @@ struct Scratch {
     done_spares: Vec<Vec<DoneItem>>,
     recycle_spares: Vec<Vec<Vec<u8>>>,
     slots: Vec<Option<(Ipv4Header, HookOutcome)>>,
+    /// Submission-order header copies, so a slot whose sub-batch is
+    /// stranded in a dead worker's ring can still be failed closed with
+    /// its real header (plain-old-data copy, no allocation).
+    headers: Vec<Ipv4Header>,
 }
 
 /// FBS security hooks for an IP-like stack. Cheaply cloneable: clones
@@ -1571,56 +2107,6 @@ impl FbsIpHooks {
         cfg.ring_depth = cfg.ring_depth.max(1);
         let ring_depth = cfg.ring_depth;
         let keying = KeyingService::new(mkd, ep_cfg.mkc_slots, n);
-        let endpoint_stats = Arc::new(fbs_core::AtomicEndpointStats::new());
-        let tfkc_stats = Arc::new(AtomicCacheStats::new());
-        let rfkc_stats = Arc::new(AtomicCacheStats::new());
-        let combined_stats = Arc::new(AtomicCombinedStats::new());
-        // Worker w owns shards { si : si % workers == w }, stored at
-        // local index si / workers.
-        let mut per_worker: Vec<Vec<Shard>> = (0..workers).map(|_| Vec::new()).collect();
-        for i in 0..n {
-            // Strided allocation keeps every sfl this shard issues
-            // congruent to i (mod n): `sfl % n` IS the shard index.
-            let stride_base = sfl_seed.wrapping_mul(n as u64).wrapping_add(i as u64);
-            let mut codec = FlowCodec::new(
-                local.clone(),
-                ep_cfg.clone(),
-                Arc::clone(&clock),
-                seed ^ (i as u64).wrapping_mul(SHARD_SEED_MIX),
-            );
-            codec.share_stats(Arc::clone(&endpoint_stats));
-            let fam = Fam::new(
-                cfg.fst_size,
-                FiveTuplePolicy::new(cfg.threshold_secs).with_key_unavailable(cfg.key_unavailable),
-                SflAllocator::with_stride(stride_base, n as u64),
-            );
-            let combined = cfg.combined.then(|| {
-                let mut t = CombinedTable::new(
-                    cfg.fst_size,
-                    cfg.threshold_secs,
-                    // Distinct allocator space from the FAM's (only
-                    // one of the two is ever used per configuration).
-                    SflAllocator::with_stride(stride_base, n as u64),
-                );
-                t.share_stats(Arc::clone(&combined_stats));
-                t
-            });
-            let mut tfkc =
-                SoftCache::new(ep_cfg.tfkc_sets, ep_cfg.tfkc_assoc, fbs_core::flow_key_hash);
-            tfkc.share_stats(Arc::clone(&tfkc_stats));
-            let mut rfkc =
-                SoftCache::new(ep_cfg.rfkc_sets, ep_cfg.rfkc_assoc, fbs_core::flow_key_hash);
-            rfkc.share_stats(Arc::clone(&rfkc_stats));
-            per_worker[i % workers].push(Shard {
-                codec,
-                fam,
-                combined,
-                tfkc,
-                rfkc,
-                out_park: ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us),
-                in_park: ParkingQueue::new(cfg.park_capacity, cfg.park_deadline_us),
-            });
-        }
         let mut controls = Vec::with_capacity(workers);
         let mut receivers = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -1632,14 +2118,22 @@ impl FbsIpHooks {
             keying,
             local,
             clock,
-            key_derivation: ep_cfg.key_derivation,
+            ep_cfg,
+            codec_seed: seed,
+            sfl_seed,
             cfg: Published::new(cfg),
             stats: AtomicHookStats::default(),
-            endpoint_stats,
-            tfkc_stats,
-            rfkc_stats,
-            combined_stats,
+            endpoint_stats: Arc::new(fbs_core::AtomicEndpointStats::new()),
+            tfkc_stats: Arc::new(AtomicCacheStats::new()),
+            rfkc_stats: Arc::new(AtomicCacheStats::new()),
+            combined_stats: Arc::new(AtomicCombinedStats::new()),
             ring_stalls: AtomicU64::new(0),
+            shed_rejected: AtomicU64::new(0),
+            shed_batches: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            quarantined: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            chaos: Published::new(None),
             obs: Published::new(None),
             n_shards: n,
             n_workers: workers,
@@ -1653,6 +2147,14 @@ impl FbsIpHooks {
             control: controls.into_boxed_slice(),
             park_depths: (0..workers).map(|_| ParkDepths::default()).collect(),
         });
+        // Worker w owns shards { si : si % workers == w }, stored at
+        // local index si / workers. Generation 0: the same shards a
+        // post-panic rebuild derives, so supervised respawns change
+        // nothing but the soft-state seeds.
+        let mut per_worker: Vec<Vec<Shard>> = (0..workers).map(|_| Vec::new()).collect();
+        for i in 0..n {
+            per_worker[i % workers].push(shared.build_shard(i, 0));
+        }
         let mut joins = Vec::with_capacity(workers);
         let mut threads = Vec::with_capacity(workers);
         for (w, (shards, ctl)) in per_worker.into_iter().zip(receivers).enumerate() {
@@ -1700,15 +2202,14 @@ impl FbsIpHooks {
     /// the registry cascades into every shard's codec, FAM, combined
     /// table, and caches (via a control round-trip to each owning
     /// worker), plus the shared keying service.
-    pub fn attach_obs(&self, registry: Arc<MetricsRegistry>) {
+    pub fn attach_obs(&self, registry: Arc<MetricsRegistry>) -> Result<(), RuntimeError> {
         self.shared.keying.attach_obs(Arc::clone(&registry));
         for w in 0..self.shared.n_workers {
-            let (tx, rx) = mpsc::channel();
             self.shared
-                .send_control(w, Control::AttachObs(Arc::clone(&registry), tx));
-            rx.recv().expect("fbs worker runtime died");
+                .control_roundtrip(w, |tx| Control::AttachObs(Arc::clone(&registry), tx))?;
         }
         self.shared.obs.store(Arc::new(Some(registry)));
+        Ok(())
     }
 
     /// Publish a modified configuration snapshot (swap-on-update): in-
@@ -1778,34 +2279,33 @@ impl FbsIpHooks {
     /// Per-shard active-flow occupancy at `now_secs` (a control
     /// round-trip to each worker — a control-plane reader, not a
     /// hot-path one).
-    pub fn shard_occupancy(&self, now_secs: u64) -> Vec<usize> {
+    pub fn shard_occupancy(&self, now_secs: u64) -> Result<Vec<usize>, RuntimeError> {
         let mut occ = vec![0usize; self.shared.n_shards];
         for w in 0..self.shared.n_workers {
-            let (tx, rx) = mpsc::channel();
-            self.shared
-                .send_control(w, Control::Occupancy(now_secs, tx));
-            for (si, active) in rx.recv().expect("fbs worker runtime died") {
+            let rows = self
+                .shared
+                .control_roundtrip(w, |tx| Control::Occupancy(now_secs, tx))?;
+            for (si, active) in rows {
                 occ[si] = active;
             }
         }
-        occ
+        Ok(occ)
     }
 
     /// Number of currently-active outgoing flows (sums the shards).
-    pub fn active_flows(&self, now_secs: u64) -> usize {
-        self.shard_occupancy(now_secs).iter().sum()
+    pub fn active_flows(&self, now_secs: u64) -> Result<usize, RuntimeError> {
+        Ok(self.shard_occupancy(now_secs)?.iter().sum())
     }
 
     /// Drop all flow-key soft state (TFKC, RFKC, and the combined
     /// FST/TFKC when present) — a mid-flow cache flush. Always safe:
     /// soft state is recomputed on demand (§5.3); the next datagram per
     /// flow pays a re-derivation.
-    pub fn flush_flow_keys(&self) {
+    pub fn flush_flow_keys(&self) -> Result<(), RuntimeError> {
         for w in 0..self.shared.n_workers {
-            let (tx, rx) = mpsc::channel();
-            self.shared.send_control(w, Control::FlushKeys(tx));
-            rx.recv().expect("fbs worker runtime died");
+            self.shared.control_roundtrip(w, Control::FlushKeys)?;
         }
+        Ok(())
     }
 
     /// Invalidate the cached master key for one peer (forces the next
@@ -1819,11 +2319,34 @@ impl FbsIpHooks {
     /// `process_batch` is still queued inside the runtime. (The normal
     /// path never needs this — `process_batch` is synchronous — but it
     /// makes the drain-then-shutdown property directly testable.)
-    pub fn drain(&self) {
+    pub fn drain(&self) -> Result<(), RuntimeError> {
+        self.drain_with_deadline(Duration::from_secs(30))
+    }
+
+    /// [`Self::drain`] with an explicit wall-clock budget shared across
+    /// all workers. A worker that cannot acknowledge within the budget
+    /// (stalled, wedged, or dead) is reported in the error rather than
+    /// hanging the caller forever.
+    pub fn drain_with_deadline(&self, deadline: Duration) -> Result<(), RuntimeError> {
+        let budget = Instant::now() + deadline;
+        let mut pending = 0usize;
         for w in 0..self.shared.n_workers {
             let (tx, rx) = mpsc::channel();
-            self.shared.send_control(w, Control::Drain(tx));
-            rx.recv().expect("fbs worker runtime died");
+            if self.shared.send_control(w, Control::Drain(tx)).is_err() {
+                pending += 1;
+                continue;
+            }
+            let left = budget.saturating_duration_since(Instant::now());
+            if rx.recv_timeout(left).is_err() {
+                pending += 1;
+            }
+        }
+        if pending == 0 {
+            Ok(())
+        } else {
+            Err(RuntimeError::DrainTimeout {
+                pending_workers: pending,
+            })
         }
     }
 
@@ -1841,13 +2364,11 @@ impl FbsIpHooks {
 
     /// Accumulated (output, input) parking counters, summed over shards
     /// (a control round-trip to each worker).
-    pub fn park_stats(&self) -> (ParkStats, ParkStats) {
+    pub fn park_stats(&self) -> Result<(ParkStats, ParkStats), RuntimeError> {
         let mut out = ParkStats::default();
         let mut inp = ParkStats::default();
         for w in 0..self.shared.n_workers {
-            let (tx, rx) = mpsc::channel();
-            self.shared.send_control(w, Control::ParkStats(tx));
-            let (o, i) = rx.recv().expect("fbs worker runtime died");
+            let (o, i) = self.shared.control_roundtrip(w, Control::ParkStats)?;
             for (sum, s) in [(&mut out, o), (&mut inp, i)] {
                 sum.parked += s.parked;
                 sum.released += s.released;
@@ -1856,7 +2377,7 @@ impl FbsIpHooks {
                 sum.peak_depth = sum.peak_depth.max(s.peak_depth);
             }
         }
-        (out, inp)
+        Ok((out, inp))
     }
 
     /// The MKD circuit breaker's state for `peer`, if resilience is
@@ -1885,20 +2406,66 @@ impl FbsIpHooks {
             if depth == 0 {
                 continue;
             }
-            let (tx, rx) = mpsc::channel();
-            self.shared.send_control(
-                w,
-                Control::Release {
-                    dir,
-                    now_us,
-                    reply: tx,
-                },
-            );
-            let (mut released, mut recycle) = rx.recv().expect("fbs worker runtime died");
+            // A worker that cannot answer (unsupervised death) simply
+            // contributes no releases this poll — the release loop is
+            // best-effort by contract, so errors are skipped, not
+            // propagated.
+            let Ok((mut released, mut recycle)) = self
+                .shared
+                .control_roundtrip(w, |reply| Control::Release { dir, now_us, reply })
+            else {
+                continue;
+            };
             ready.append(&mut released);
             pool.put_all(&mut recycle);
         }
         ready
+    }
+
+    /// Install (or clear) a deterministic worker-fault injector. Chaos
+    /// only: every tap is on an already-slow or failure path, so the
+    /// production hot path pays one published-pointer load per
+    /// sub-batch.
+    pub fn set_worker_chaos(&self, injector: Option<Arc<dyn WorkerFaultInjector>>) {
+        self.shared.chaos.store(Arc::new(injector));
+    }
+
+    /// Worker-loop panics caught by the in-thread supervisors (plus any
+    /// unsupervised deaths observed at join time) — lock-free.
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Supervised worker respawns (shard state rebuilt in place) —
+    /// lock-free.
+    pub fn worker_respawns(&self) -> u64 {
+        self.shared.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Overload-shedding counters as `(rejected_datagrams,
+    /// shed_sub_batches)` — lock-free.
+    pub fn shed_counts(&self) -> (u64, u64) {
+        (
+            self.shared.shed_rejected.load(Ordering::Relaxed),
+            self.shared.shed_batches.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Worker threads still running their loop. Quarantined workers
+    /// count as alive (they answer control and reject traffic); only
+    /// real thread exit — clean shutdown or an unsupervised death —
+    /// moves this.
+    pub fn workers_alive(&self) -> usize {
+        self.shared.workers_alive.load(Ordering::Acquire)
+    }
+
+    /// Number of workers currently quarantined (failing closed).
+    pub fn quarantined_workers(&self) -> usize {
+        self.shared
+            .quarantined
+            .iter()
+            .filter(|q| q.load(Ordering::Acquire))
+            .count()
     }
 
     /// Worst-case payload growth for the configured algorithms: the fixed
@@ -1958,6 +2525,7 @@ impl SecurityHooks for FbsIpHooks {
             scratch.supplies.resize_with(nw, Vec::new);
         }
         let timer = obs.as_ref().map(|_| StageTimer::start());
+        scratch.headers.clear();
         for (slot, dg) in batch.into_iter().enumerate() {
             let Datagram { header, payload } = dg;
             let (si, tuple) = match dir {
@@ -1967,6 +2535,7 @@ impl SecurityHooks for FbsIpHooks {
                 }
                 Direction::Input => (rx_shard(n, &payload), None),
             };
+            scratch.headers.push(header.clone());
             scratch.items[si % nw].push((slot, si, header, payload, tuple));
         }
         scratch.slots.clear();
@@ -1978,6 +2547,8 @@ impl SecurityHooks for FbsIpHooks {
         // a reply lands.
         *lane.producer.lock() = Some(std::thread::current());
         let timer = obs.as_ref().map(|_| StageTimer::start());
+        let cfg = shared.cfg.load();
+        let chaos = (*shared.chaos.load()).clone();
         let mut outstanding = 0usize;
         for w in 0..nw {
             if scratch.items[w].is_empty() {
@@ -1994,30 +2565,85 @@ impl SecurityHooks for FbsIpHooks {
                 done: scratch.done_spares.pop().unwrap_or_default(),
                 recycle: scratch.recycle_spares.pop().unwrap_or_default(),
             };
-            loop {
-                match lane.to_worker[w].try_push(sub) {
-                    Ok(()) => break,
-                    Err(back) => {
-                        // Ring full: backpressure. Wake the worker and
-                        // yield; the stall is counted and (with a
-                        // registry) timed into the worker's row.
-                        sub = back;
-                        shared.ring_stalls.fetch_add(1, Ordering::Relaxed);
-                        match obs.as_ref() {
-                            Some(reg) => {
-                                reg.incr(Counter::RingStalls);
-                                let stall = StageTimer::start();
-                                shared.wake_worker(w);
-                                std::thread::yield_now();
-                                reg.worker_stall(w, stall.elapsed_ns());
+            // Chaos can pin a ring "full" from the producer side (the
+            // worker keeps draining at virtual time, so seeded runs stay
+            // deterministic); it exercises exactly the shed path a truly
+            // wedged worker would.
+            let mut shed_sub = None;
+            if chaos.as_ref().is_some_and(|c| c.ring_saturated(w, now_us)) {
+                shared.ring_stalls.fetch_add(1, Ordering::Relaxed);
+                if let Some(reg) = obs.as_ref() {
+                    reg.incr(Counter::RingStalls);
+                    reg.worker_stall(w, 0);
+                }
+                shed_sub = Some(sub);
+            } else {
+                // Bounded backpressure: spin against the shed deadline,
+                // never forever — a worker that stopped draining (wedged
+                // in a stall, quarantine racing shutdown, unsupervised
+                // death) must not wedge the producer with it.
+                let mut deadline: Option<Instant> = None;
+                loop {
+                    match lane.to_worker[w].try_push(sub) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            sub = back;
+                            shared.ring_stalls.fetch_add(1, Ordering::Relaxed);
+                            match obs.as_ref() {
+                                Some(reg) => {
+                                    reg.incr(Counter::RingStalls);
+                                    let stall = StageTimer::start();
+                                    shared.wake_worker(w);
+                                    std::thread::yield_now();
+                                    reg.worker_stall(w, stall.elapsed_ns());
+                                }
+                                None => {
+                                    shared.wake_worker(w);
+                                    std::thread::yield_now();
+                                }
                             }
-                            None => {
-                                shared.wake_worker(w);
-                                std::thread::yield_now();
+                            let d = *deadline.get_or_insert_with(|| {
+                                Instant::now() + Duration::from_micros(cfg.shed_deadline_us)
+                            });
+                            if Instant::now() >= d {
+                                shed_sub = Some(sub);
+                                break;
                             }
                         }
                     }
                 }
+            }
+            if let Some(sub) = shed_sub {
+                // Shed per-datagram: every item gets a Reject verdict in
+                // its submission slot and every buffer goes back to the
+                // pool — counted, never silently dropped.
+                let SubBatch {
+                    mut items,
+                    mut supplies,
+                    done,
+                    recycle,
+                    ..
+                } = sub;
+                pool.put_all(&mut supplies);
+                let shed_n = items.len() as u64;
+                for (slot, _si, header, payload, _tuple) in items.drain(..) {
+                    pool.put(payload);
+                    scratch.slots[slot] = Some((
+                        header,
+                        HookOutcome::Reject("shed: worker ring saturated".into()),
+                    ));
+                }
+                shared.shed_rejected.fetch_add(shed_n, Ordering::Relaxed);
+                shared.shed_batches.fetch_add(1, Ordering::Relaxed);
+                if let Some(reg) = obs.as_ref() {
+                    reg.add(Counter::ShedRejected, shed_n);
+                    reg.incr(Counter::ShedBatches);
+                }
+                scratch.items[w] = items;
+                scratch.supplies[w] = supplies;
+                scratch.done_spares.push(done);
+                scratch.recycle_spares.push(recycle);
+                continue;
             }
             shared.wake_worker(w);
             outstanding += 1;
@@ -2028,6 +2654,7 @@ impl SecurityHooks for FbsIpHooks {
         let timer = obs.as_ref().map(|_| StageTimer::start());
         let mut replies = 0usize;
         let mut spins = 0u32;
+        let mut dead_spins = 0u32;
         while replies < outstanding {
             let mut progressed = false;
             for w in 0..nw {
@@ -2052,13 +2679,19 @@ impl SecurityHooks for FbsIpHooks {
             }
             if progressed {
                 spins = 0;
+                dead_spins = 0;
                 continue;
             }
-            assert_eq!(
-                shared.workers_alive.load(Ordering::Acquire),
-                nw,
-                "fbs worker runtime died mid-batch"
-            );
+            if shared.workers_alive.load(Ordering::Acquire) < nw {
+                // A worker thread is GONE (unsupervised death — a panic
+                // the in-thread supervisor itself could not contain).
+                // Live workers may still have replies in flight, so give
+                // them a grace window before failing the rest closed.
+                dead_spins += 1;
+                if dead_spins > 512 {
+                    break;
+                }
+            }
             spins += 1;
             if spins < 32 {
                 std::thread::yield_now();
@@ -2073,11 +2706,22 @@ impl SecurityHooks for FbsIpHooks {
             reg.observe_stage(Stage::RingWait, timer.elapsed_ns());
         }
         let timer = obs.as_ref().map(|_| StageTimer::start());
-        let out: Vec<(Ipv4Header, HookOutcome)> = scratch
-            .slots
+        let Scratch { slots, headers, .. } = &mut *scratch;
+        let out: Vec<(Ipv4Header, HookOutcome)> = slots
             .drain(..)
-            .map(|s| s.expect("every datagram got a verdict"))
+            .enumerate()
+            .map(|(slot, s)| match s {
+                Some(v) => v,
+                // Verdict stranded in a dead worker: fail the datagram
+                // closed with its captured header rather than panicking
+                // the submitting thread.
+                None => (
+                    headers[slot].clone(),
+                    HookOutcome::Reject("worker runtime unavailable".into()),
+                ),
+            })
             .collect();
+        headers.clear();
         if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
             reg.observe_stage(Stage::Dispatch, timer.elapsed_ns());
         }
@@ -2301,7 +2945,7 @@ mod tests {
         assert!(rel_payload.len() > 25, "released payload is protected");
         assert_eq!(rel_header.dst, B);
         assert_eq!(hooks.parked_depths(), (0, 0));
-        let (out_stats, _) = hooks.park_stats();
+        let (out_stats, _) = hooks.park_stats().unwrap();
         assert_eq!(out_stats.released, 1);
         assert_eq!(out_stats.expired, 0);
         assert_eq!(hooks.stats().protected, 1);
@@ -2326,7 +2970,7 @@ mod tests {
         let (mut header, payload) = udp_datagram(A, B);
         let out = hooks.output(&mut header, payload, 2_000);
         assert!(matches!(out, HookOutcome::Reject(_)), "{out:?}");
-        let (out_stats, _) = hooks.park_stats();
+        let (out_stats, _) = hooks.park_stats().unwrap();
         assert_eq!(out_stats.overflow, 1);
         assert_eq!(hooks.parked_depths(), (2, 0));
     }
@@ -2385,7 +3029,7 @@ mod tests {
         assert!(hooks.release_output(5_000, &mut pool).is_empty());
         assert!(hooks.release_output(6_001, &mut pool).is_empty());
         assert_eq!(hooks.parked_depths(), (0, 0), "expired, not retained");
-        let (out_stats, _) = hooks.park_stats();
+        let (out_stats, _) = hooks.park_stats().unwrap();
         assert_eq!(out_stats.expired, 1);
         assert_eq!(out_stats.released, 0);
         // Expiry recycled the parked payload buffer into the pool.
@@ -2601,7 +3245,7 @@ mod tests {
         let out = hooks.process_batch(Direction::Output, batch, &mut pool, 1_000);
         assert!(out.iter().all(|(_, o)| matches!(o, HookOutcome::Park)));
         // Synchronous drain: nothing may still be buffered in any ring.
-        hooks.drain();
+        hooks.drain().unwrap();
         assert_eq!(hooks.parked_depths(), (4, 0), "parks survive the drain");
         // Ledger: 4 supplies drawn, none consumed (all parked), so all
         // 4 came back; the 4 parked payloads are held by the runtime.
@@ -2622,6 +3266,188 @@ mod tests {
         assert_eq!(hooks.parked_depths(), (0, 0));
         // Finally: dropping the last handle must join the workers (the
         // test would hang here if shutdown lost the wakeup).
+        drop(hooks);
+    }
+
+    /// Deterministic one-shot fault injector for the supervision tests:
+    /// the first worker to start a sub-batch takes the (single) panic;
+    /// saturation pins worker 0's ring full from the producer's view.
+    struct TestChaos {
+        panic_once: std::sync::atomic::AtomicBool,
+        saturate_w0: bool,
+    }
+
+    impl TestChaos {
+        fn panicking() -> Arc<Self> {
+            Arc::new(TestChaos {
+                panic_once: std::sync::atomic::AtomicBool::new(true),
+                saturate_w0: false,
+            })
+        }
+
+        fn saturating() -> Arc<Self> {
+            Arc::new(TestChaos {
+                panic_once: std::sync::atomic::AtomicBool::new(false),
+                saturate_w0: true,
+            })
+        }
+    }
+
+    impl WorkerFaultInjector for TestChaos {
+        fn take_panic(&self, _worker: usize, _now_us: u64) -> bool {
+            self.panic_once.swap(false, Ordering::AcqRel)
+        }
+        fn take_stall_us(&self, _worker: usize, _now_us: u64) -> u64 {
+            0
+        }
+        fn ring_saturated(&self, worker: usize, _now_us: u64) -> bool {
+            self.saturate_w0 && worker == 0
+        }
+    }
+
+    /// Spread a batch over many 5-tuples so every worker gets work.
+    fn spread_batch(n: usize) -> Vec<Datagram> {
+        (0..n)
+            .map(|i| {
+                let mut payload = vec![0x0F, 0xA0 + i as u8, 0x00, 0x35];
+                payload.extend_from_slice(b"fault containment body");
+                let header = Ipv4Header::new(A, B, Proto::Udp, payload.len());
+                Datagram { header, payload }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn supervised_panic_respawns_worker_and_batch_completes() {
+        let world = World::new();
+        let mut hooks = world.host(A);
+        let _hb = world.host(B); // publish B's certificate
+        hooks.set_worker_chaos(Some(TestChaos::panicking()));
+        let mut pool = BufferPool::new();
+        let out = hooks.process_batch(Direction::Output, spread_batch(16), &mut pool, 1_000);
+        assert_eq!(out.len(), 16, "every datagram got a verdict");
+        let rejects = out
+            .iter()
+            .filter(|(_, o)| matches!(o, HookOutcome::Reject(_)))
+            .count();
+        assert_eq!(rejects, 1, "exactly the poisoned datagram rejects");
+        assert_eq!(hooks.worker_panics(), 1);
+        assert_eq!(hooks.worker_respawns(), 1);
+        assert_eq!(hooks.quarantined_workers(), 0);
+        assert_eq!(
+            hooks.workers_alive(),
+            hooks.num_workers(),
+            "supervised panic never kills the thread"
+        );
+        // The rebuilt worker serves the next batch cleanly (soft state
+        // re-warms through misses).
+        let out = hooks.process_batch(Direction::Output, spread_batch(16), &mut pool, 2_000);
+        assert!(
+            out.iter().all(|(_, o)| matches!(o, HookOutcome::Pass(_))),
+            "post-respawn batch all passes"
+        );
+        // Ledger across the panic: every Pass consumes its supply and
+        // returns its (foreign) payload — net zero; every Reject
+        // returns BOTH, so returns exceed takes by exactly the reject
+        // count. The poisoned datagram's freed payload was made whole
+        // by the supervisor's replacement buffer.
+        let s = pool.stats();
+        assert_eq!(s.returns + s.discards, s.hits + s.misses + rejects as u64);
+        drop(hooks);
+    }
+
+    #[test]
+    fn fail_closed_policy_quarantines_but_keeps_control_plane() {
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            worker_fault: WorkerFaultPolicy::FailClosed,
+            ..IpMappingConfig::default()
+        };
+        let mut hooks = hooks_with(&world, cfg);
+        let _hb = world.host(B);
+        hooks.set_worker_chaos(Some(TestChaos::panicking()));
+        let mut pool = BufferPool::new();
+        let out = hooks.process_batch(Direction::Output, spread_batch(16), &mut pool, 1_000);
+        assert_eq!(out.len(), 16);
+        let rejects = out
+            .iter()
+            .filter(|(_, o)| matches!(o, HookOutcome::Reject(_)))
+            .count();
+        assert!(rejects >= 1, "the panicked worker's sub-batch fails closed");
+        assert!(
+            out.iter().any(|(_, o)| matches!(o, HookOutcome::Pass(_))),
+            "unaffected workers keep passing traffic"
+        );
+        assert_eq!(hooks.worker_panics(), 1);
+        assert_eq!(hooks.worker_respawns(), 0, "FailClosed never respawns");
+        assert_eq!(hooks.quarantined_workers(), 1);
+        assert_eq!(
+            hooks.workers_alive(),
+            hooks.num_workers(),
+            "quarantined workers stay joinable"
+        );
+        // The control plane still answers on the quarantined worker.
+        hooks.flush_flow_keys().unwrap();
+        hooks.drain().unwrap();
+        let _ = hooks.park_stats().unwrap();
+        let _ = hooks.active_flows(1).unwrap();
+        // Traffic routed at the quarantined worker keeps failing closed;
+        // the rest still passes — and the ledger stays balanced.
+        let out = hooks.process_batch(Direction::Output, spread_batch(16), &mut pool, 2_000);
+        assert!(out
+            .iter()
+            .any(|(_, o)| matches!(o, HookOutcome::Reject(r) if r.contains("quarantined"))));
+        assert!(out.iter().any(|(_, o)| matches!(o, HookOutcome::Pass(_))));
+        let rejects2 = out
+            .iter()
+            .filter(|(_, o)| matches!(o, HookOutcome::Reject(_)))
+            .count();
+        // Rejects return payload AND unused supply (see the respawn
+        // test): the ledger offset is exactly the total reject count.
+        let s = pool.stats();
+        assert_eq!(
+            s.returns + s.discards,
+            s.hits + s.misses + (rejects + rejects2) as u64
+        );
+        drop(hooks);
+    }
+
+    #[test]
+    fn saturated_ring_sheds_per_datagram_with_counters() {
+        let world = World::new();
+        let cfg = IpMappingConfig {
+            // Shed immediately on backpressure: the test pins worker 0's
+            // ring full via chaos, so any positive deadline only adds
+            // wall time.
+            shed_deadline_us: 0,
+            ..IpMappingConfig::default()
+        };
+        let mut hooks = hooks_with(&world, cfg);
+        let _hb = world.host(B);
+        hooks.set_worker_chaos(Some(TestChaos::saturating()));
+        let mut pool = BufferPool::new();
+        let out = hooks.process_batch(Direction::Output, spread_batch(16), &mut pool, 1_000);
+        assert_eq!(out.len(), 16);
+        let shed = out
+            .iter()
+            .filter(|(_, o)| matches!(o, HookOutcome::Reject(r) if r.contains("shed")))
+            .count();
+        assert!(shed >= 1, "worker 0's share of the batch sheds");
+        assert!(
+            out.iter().any(|(_, o)| matches!(o, HookOutcome::Pass(_))),
+            "other workers' traffic is untouched"
+        );
+        let (rejected, batches) = hooks.shed_counts();
+        assert_eq!(rejected, shed as u64);
+        assert!(batches >= 1);
+        // Shed buffers all returned to the pool: payload and supply per
+        // shed datagram (the same reject offset as the respawn test).
+        let s = pool.stats();
+        assert_eq!(s.returns + s.discards, s.hits + s.misses + shed as u64);
+        // Lifting the saturation restores full service.
+        hooks.set_worker_chaos(None);
+        let out = hooks.process_batch(Direction::Output, spread_batch(16), &mut pool, 2_000);
+        assert!(out.iter().all(|(_, o)| matches!(o, HookOutcome::Pass(_))));
         drop(hooks);
     }
 }

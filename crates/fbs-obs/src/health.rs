@@ -41,7 +41,11 @@ pub enum ConditionKind {
     /// cumulative snapshot, some breaker is likely still open).
     BreakerOpen,
     /// A parking queue's depth is at or past the near-capacity
-    /// threshold (critical once it has overflowed or is full).
+    /// threshold (critical once some queue is full). Judged purely on
+    /// the *live depth* inputs — overflow counters in the snapshot do
+    /// not latch this condition, so a phase that ends with drained
+    /// queues reports Ok even if overflows happened mid-phase (those
+    /// remain visible in `park.overflow`).
     ParkNearCapacity,
     /// Buffer-pool ledger: takes vs returns+discards. A large
     /// outstanding balance is a leak in progress (degraded). Returns
@@ -54,6 +58,14 @@ pub enum ConditionKind {
     RecoveryRatioLow,
     /// The flight recorder overwrote history (ring overflow).
     EventsDropped,
+    /// Worker threads quarantined after exhausting their respawn
+    /// budget (fail-closed on their shards). Degraded while any worker
+    /// is quarantined; critical once every worker is.
+    WorkerQuarantined,
+    /// Overload shedding rejected datagrams in the evaluated window.
+    /// Degraded on any shed; critical once the shed fraction of
+    /// offered load passes the model threshold.
+    ShedRateHigh,
 }
 
 impl ConditionKind {
@@ -65,6 +77,8 @@ impl ConditionKind {
             ConditionKind::PoolLedgerImbalance => "pool_ledger_imbalance",
             ConditionKind::RecoveryRatioLow => "recovery_ratio_low",
             ConditionKind::EventsDropped => "events_dropped",
+            ConditionKind::WorkerQuarantined => "worker_quarantined",
+            ConditionKind::ShedRateHigh => "shed_rate_high",
         }
     }
 }
@@ -101,14 +115,22 @@ impl Condition {
 /// Live inputs a snapshot alone cannot provide.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HealthInputs {
-    /// Current total parked depth across queues.
+    /// Deepest single parking queue right now. Per-queue (not summed
+    /// across queues): one full queue is turning work away even while
+    /// its siblings sit empty, and a sum-vs-aggregate comparison would
+    /// mask that.
     pub park_depth: u64,
-    /// Total parking capacity across queues (0 = unknown, skips the
-    /// condition).
+    /// Per-queue parking capacity (0 = unknown, skips the condition).
     pub park_capacity: u64,
     /// Recovery ratio in percent (delivered/sent × 100), if the caller
     /// is in a phase where it is meaningful.
     pub recovery_ratio_pct: Option<u64>,
+    /// Workers currently quarantined (fail-closed after exhausting
+    /// their respawn budget).
+    pub workers_quarantined: u64,
+    /// Total workers in the runtime (0 = unknown / not a worker
+    /// runtime, skips the quarantine condition).
+    pub workers_total: u64,
 }
 
 /// Evaluated health: overall status plus per-condition detail.
@@ -155,6 +177,9 @@ pub struct HealthModel {
     /// Outstanding pool buffers (takes − returns − discards) above
     /// which the ledger condition degrades.
     pub max_outstanding_buffers: u64,
+    /// Shed fraction of offered load (percent) past which shedding
+    /// turns critical (any shed at all is already degraded).
+    pub max_shed_pct: u64,
 }
 
 impl Default for HealthModel {
@@ -163,6 +188,7 @@ impl Default for HealthModel {
             park_near_capacity_pct: 80,
             min_recovery_ratio_pct: 90,
             max_outstanding_buffers: 4096,
+            max_shed_pct: 10,
         }
     }
 }
@@ -170,7 +196,7 @@ impl Default for HealthModel {
 impl HealthModel {
     /// Evaluate every condition against `snap` and `inputs`.
     pub fn evaluate(&self, snap: &MetricsSnapshot, inputs: &HealthInputs) -> HealthReport {
-        let mut conditions = Vec::with_capacity(5);
+        let mut conditions = Vec::with_capacity(7);
 
         // Breaker: opens vs closes tells us how many breakers are
         // currently open (each open is eventually matched by a close).
@@ -188,16 +214,15 @@ impl HealthModel {
             threshold: 0,
         });
 
-        // Park queues: depth vs capacity; any overflow is critical
-        // (datagrams were turned away).
-        let overflowed = snap.counter("park.overflow") > 0;
+        // Park queues: live depth vs per-queue capacity, nothing else.
+        // Status, value, and threshold must all derive from the same
+        // measurement — latching on the snapshot's overflow counter
+        // here used to report Critical with a value of 0 after the
+        // queues drained, which is incoherent; overflows stay visible
+        // in `park.overflow` without hijacking the depth condition.
         let park_status = if inputs.park_capacity == 0 {
-            if overflowed {
-                HealthStatus::Critical
-            } else {
-                HealthStatus::Ok
-            }
-        } else if overflowed || inputs.park_depth >= inputs.park_capacity {
+            HealthStatus::Ok
+        } else if inputs.park_depth >= inputs.park_capacity {
             HealthStatus::Critical
         } else if inputs.park_depth * 100 >= inputs.park_capacity * self.park_near_capacity_pct {
             HealthStatus::Degraded
@@ -275,6 +300,45 @@ impl HealthModel {
             threshold: 0,
         });
 
+        // Worker quarantine: any quarantined worker means some shards
+        // fail closed (degraded service); all workers quarantined
+        // means the endpoint rejects everything.
+        let wq_status = if inputs.workers_total == 0 || inputs.workers_quarantined == 0 {
+            HealthStatus::Ok
+        } else if inputs.workers_quarantined >= inputs.workers_total {
+            HealthStatus::Critical
+        } else {
+            HealthStatus::Degraded
+        };
+        conditions.push(Condition {
+            kind: ConditionKind::WorkerQuarantined,
+            status: wq_status,
+            value: inputs.workers_quarantined,
+            threshold: inputs.workers_total,
+        });
+
+        // Overload shedding: shed datagrams vs offered load. Shed
+        // datagrams never reach the hook-entry counters (they are
+        // rejected before the worker sees them), so offered load is
+        // entries + sheds.
+        let shed = snap.counter("hooks.shed.rejected");
+        let offered =
+            snap.counter("hooks.output_entries") + snap.counter("hooks.input_entries") + shed;
+        let shed_critical_at = offered * self.max_shed_pct / 100;
+        let shed_status = if shed == 0 {
+            HealthStatus::Ok
+        } else if shed * 100 > offered * self.max_shed_pct {
+            HealthStatus::Critical
+        } else {
+            HealthStatus::Degraded
+        };
+        conditions.push(Condition {
+            kind: ConditionKind::ShedRateHigh,
+            status: shed_status,
+            value: shed,
+            threshold: shed_critical_at,
+        });
+
         let overall = conditions
             .iter()
             .map(|c| c.status)
@@ -296,7 +360,7 @@ mod tests {
         let report =
             HealthModel::default().evaluate(&MetricsSnapshot::new(), &HealthInputs::default());
         assert_eq!(report.overall, HealthStatus::Ok);
-        assert_eq!(report.conditions.len(), 5);
+        assert_eq!(report.conditions.len(), 7);
         assert!(report
             .conditions
             .iter()
@@ -324,7 +388,7 @@ mod tests {
             &HealthInputs {
                 park_depth: 10,
                 park_capacity: 64,
-                recovery_ratio_pct: None,
+                ..HealthInputs::default()
             },
         );
         assert_eq!(
@@ -338,7 +402,7 @@ mod tests {
             &HealthInputs {
                 park_depth: 52,
                 park_capacity: 64,
-                recovery_ratio_pct: None,
+                ..HealthInputs::default()
             },
         );
         assert_eq!(
@@ -352,7 +416,7 @@ mod tests {
             &HealthInputs {
                 park_depth: 64,
                 park_capacity: 64,
-                recovery_ratio_pct: None,
+                ..HealthInputs::default()
             },
         );
         assert_eq!(
@@ -361,15 +425,67 @@ mod tests {
                 .status,
             HealthStatus::Critical
         );
+        // Historical overflows must NOT latch the condition: a drained
+        // queue (depth 0) is healthy regardless of what the counters
+        // say happened earlier in the window.
         let mut overflowed = MetricsSnapshot::new();
-        overflowed.add("park.overflow", 1);
-        let crit = model.evaluate(&overflowed, &HealthInputs::default());
-        assert_eq!(
-            crit.condition(ConditionKind::ParkNearCapacity)
-                .unwrap()
-                .status,
-            HealthStatus::Critical
+        overflowed.add("park.overflow", 22);
+        let drained = model.evaluate(
+            &overflowed,
+            &HealthInputs {
+                park_depth: 0,
+                park_capacity: 64,
+                ..HealthInputs::default()
+            },
         );
+        let c = drained.condition(ConditionKind::ParkNearCapacity).unwrap();
+        assert_eq!(c.status, HealthStatus::Ok);
+        assert_eq!(c.value, 0);
+    }
+
+    #[test]
+    fn worker_quarantine_bands() {
+        let model = HealthModel::default();
+        let snap = MetricsSnapshot::new();
+        let mk = |q, total| HealthInputs {
+            workers_quarantined: q,
+            workers_total: total,
+            ..HealthInputs::default()
+        };
+        let get = |q, total| {
+            model
+                .evaluate(&snap, &mk(q, total))
+                .condition(ConditionKind::WorkerQuarantined)
+                .unwrap()
+                .status
+        };
+        assert_eq!(get(0, 4), HealthStatus::Ok);
+        // Unknown runtime size: skipped, never alarms.
+        assert_eq!(get(3, 0), HealthStatus::Ok);
+        assert_eq!(get(1, 4), HealthStatus::Degraded);
+        assert_eq!(get(4, 4), HealthStatus::Critical);
+    }
+
+    #[test]
+    fn shed_rate_bands() {
+        let model = HealthModel::default();
+        let status = |shed: u64, entries: u64| {
+            let mut s = MetricsSnapshot::new();
+            if shed > 0 {
+                s.add("hooks.shed.rejected", shed);
+            }
+            s.add("hooks.output_entries", entries);
+            model
+                .evaluate(&s, &HealthInputs::default())
+                .condition(ConditionKind::ShedRateHigh)
+                .unwrap()
+                .status
+        };
+        assert_eq!(status(0, 1_000), HealthStatus::Ok);
+        // 5 shed of 1005 offered ≈ 0.5% — degraded, not critical.
+        assert_eq!(status(5, 1_000), HealthStatus::Degraded);
+        // 200 shed of 1200 offered ≈ 17% — past the 10% threshold.
+        assert_eq!(status(200, 1_000), HealthStatus::Critical);
     }
 
     #[test]

@@ -123,6 +123,17 @@ pub enum Counter {
     /// Sub-batch pushes that found a worker ring full and had to back
     /// off (producer-side backpressure).
     RingStalls,
+    /// Datagrams rejected by the overload-shed policy after the
+    /// producer's bounded spin on a saturated ring expired. Every shed
+    /// datagram still receives a Reject verdict — never a silent drop.
+    ShedRejected,
+    /// Sub-batches shed whole by the overload policy.
+    ShedBatches,
+    /// Worker-loop panics caught by the in-thread supervisor.
+    WorkerPanics,
+    /// Supervised respawns: a panicked worker rebuilt its shard state
+    /// and resumed (soft state re-warms through normal cache misses).
+    WorkerRespawns,
     /// Flight-recorder events overwritten before anyone read them
     /// (ring overflow).
     EventsDropped,
@@ -143,7 +154,7 @@ pub enum Counter {
 }
 
 /// Number of scalar counters.
-const NUM_COUNTERS: usize = 57;
+const NUM_COUNTERS: usize = 61;
 
 impl Counter {
     /// All counters, in snapshot order.
@@ -199,6 +210,10 @@ impl Counter {
         Counter::DegradeFailClosed,
         Counter::WorkerBatches,
         Counter::RingStalls,
+        Counter::ShedRejected,
+        Counter::ShedBatches,
+        Counter::WorkerPanics,
+        Counter::WorkerRespawns,
         Counter::EventsDropped,
         Counter::PoolReturns,
         Counter::PoolDiscards,
@@ -261,6 +276,10 @@ impl Counter {
             Counter::DegradeFailClosed => "degrade.fail_closed",
             Counter::WorkerBatches => "hooks.worker_batches",
             Counter::RingStalls => "hooks.ring_stalls",
+            Counter::ShedRejected => "hooks.shed.rejected",
+            Counter::ShedBatches => "hooks.shed.batches",
+            Counter::WorkerPanics => "hooks.worker_panics",
+            Counter::WorkerRespawns => "hooks.worker_respawns",
             Counter::EventsDropped => "obs.events_dropped",
             Counter::PoolReturns => "pool.returns",
             Counter::PoolDiscards => "pool.discards",
@@ -381,6 +400,7 @@ struct WorkerOccCell {
     stall_ns: AtomicU64,
     batches: AtomicU64,
     busy_ns: AtomicU64,
+    panics: AtomicU64,
 }
 
 struct RecorderInner {
@@ -513,6 +533,14 @@ impl MetricsRegistry {
         cell.busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Record a panic caught by worker `worker`'s in-thread supervisor
+    /// (also bumps the global [`Counter::WorkerPanics`]).
+    pub fn worker_panic(&self, worker: usize) {
+        let cell = &self.workers[worker.min(MAX_WORKERS - 1)];
+        cell.panics.fetch_add(1, Ordering::Relaxed);
+        self.incr(Counter::WorkerPanics);
+    }
+
     /// The per-worker occupancy table (rows with activity only).
     pub fn worker_occupancy_table(&self) -> Vec<WorkerOccupancyRow> {
         let mut rows = Vec::new();
@@ -523,6 +551,7 @@ impl MetricsRegistry {
                 stall_ns: cell.stall_ns.load(Ordering::Relaxed),
                 batches: cell.batches.load(Ordering::Relaxed),
                 busy_ns: cell.busy_ns.load(Ordering::Relaxed),
+                panics: cell.panics.load(Ordering::Relaxed),
             };
             if !row.is_empty() {
                 rows.push(row);
@@ -744,6 +773,9 @@ impl MetricsRegistry {
             snap.add(&format!("{pre}.ring_stall_ns"), row.stall_ns);
             snap.add(&format!("{pre}.batches"), row.batches);
             snap.add(&format!("{pre}.busy_ns"), row.busy_ns);
+            if row.panics > 0 {
+                snap.add(&format!("{pre}.panics"), row.panics);
+            }
         }
         snap.events = self.events();
         snap

@@ -131,12 +131,14 @@ pub struct WorkerOccupancyRow {
     pub batches: u64,
     /// Total nanoseconds this worker spent processing sub-batches.
     pub busy_ns: u64,
+    /// Worker-loop panics caught by this worker's in-thread supervisor.
+    pub panics: u64,
 }
 
 impl WorkerOccupancyRow {
     /// True when the row recorded no activity at all.
     pub fn is_empty(&self) -> bool {
-        self.stalls == 0 && self.batches == 0
+        self.stalls == 0 && self.batches == 0 && self.panics == 0
     }
 }
 
