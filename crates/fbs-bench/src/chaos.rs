@@ -642,6 +642,10 @@ pub fn run_soak(cfg: SoakConfig, trace_rate_log2: Option<u32>) -> SoakOutput {
             workers_quarantined: (a.hooks.quarantined_workers() + b.hooks.quarantined_workers())
                 as u64,
             workers_total: (a.hooks.num_workers() + b.hooks.num_workers()) as u64,
+            // Worst single shard budget across both hosts, same
+            // per-queue logic as park_depth.
+            mem_used_bytes: a.hooks.mem_bytes().0.max(b.hooks.mem_bytes().0),
+            mem_limit_bytes: a.hooks.mem_bytes().1.max(b.hooks.mem_bytes().1),
         };
         health.push((PHASES[phase], health_model.evaluate(&delta, &inputs)));
         deltas.push((PHASES[phase], delta));
@@ -876,6 +880,8 @@ pub fn run_worker_fault(cfg: SoakConfig) -> WorkerFaultReport {
             workers_quarantined: (a.hooks.quarantined_workers() + b.hooks.quarantined_workers())
                 as u64,
             workers_total: (a.hooks.num_workers() + b.hooks.num_workers()) as u64,
+            mem_used_bytes: a.hooks.mem_bytes().0.max(b.hooks.mem_bytes().0),
+            mem_limit_bytes: a.hooks.mem_bytes().1.max(b.hooks.mem_bytes().1),
         };
         health.push((WF_PHASES[phase], health_model.evaluate(&delta, &inputs)));
     }
@@ -1043,7 +1049,7 @@ mod tests {
         // breaker degraded at the end of the fault window.
         let r = &out.report;
         assert_eq!(r.health.len(), 4);
-        assert!(r.health.iter().all(|(_, h)| h.conditions.len() == 7));
+        assert!(r.health.iter().all(|(_, h)| h.conditions.len() == 8));
         assert_eq!(r.health[1].0, "fault");
         assert_eq!(
             r.health[1]

@@ -55,7 +55,9 @@ impl Mode {
         }
     }
 
-    fn config(self) -> FbsConfig {
+    /// The endpoint configuration this mode implies (algorithm choices
+    /// only; geometry stays at defaults for callers to override).
+    pub fn config(self) -> FbsConfig {
         match self {
             Mode::Nop => FbsConfig {
                 nop_crypto: true,
@@ -654,6 +656,40 @@ pub fn measure_mapping(
     obs: Option<&Arc<MetricsRegistry>>,
     alloc: &dyn Fn() -> u64,
 ) -> (Rate, bool) {
+    // Generous FST so the bench's flows never collide in a slot: this
+    // row measures the steady-state hot path (hit + seal), not eviction
+    // ping-pong between same-slot flows.
+    measure_mapping_with(
+        payload,
+        count,
+        mode,
+        threads,
+        shards,
+        workers,
+        mode.config(),
+        4096,
+        obs,
+        alloc,
+    )
+}
+
+/// [`measure_mapping`] with explicit endpoint geometry: `fbs_cfg`
+/// carries the flow-key cache sets/associativity (so the scale bench
+/// can prove the 0-alloc pooled path at million-entry table sizes) and
+/// `fst_size` the per-shard flow state table.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_mapping_with(
+    payload: usize,
+    count: usize,
+    mode: Mode,
+    threads: usize,
+    shards: usize,
+    workers: usize,
+    fbs_cfg: FbsConfig,
+    fst_size: usize,
+    obs: Option<&Arc<MetricsRegistry>>,
+    alloc: &dyn Fn() -> u64,
+) -> (Rate, bool) {
     let clock = ManualClock::starting_at(0);
     let ca = CertificateAuthority::new("fastpath-mapping-ca", [0xFA; 16]);
     let directory = Arc::new(Directory::new(Duration::ZERO));
@@ -665,11 +701,8 @@ pub fn measure_mapping(
         shards,
         workers,
         ring_depth: MAPPING_RING_DEPTH,
-        // Generous FST so the bench's flows never collide in a slot:
-        // this row measures the steady-state hot path (hit + seal), not
-        // eviction ping-pong between same-slot flows.
-        fst_size: 4096,
-        fbs: mode.config(),
+        fst_size,
+        fbs: fbs_cfg,
         ..IpMappingConfig::default()
     };
     let (_ha, hooks) = build_secure_host(

@@ -17,6 +17,7 @@ pub mod fastpath;
 pub mod fig08;
 pub mod figs;
 pub mod paradigms;
+pub mod scale;
 
 /// Standard CLI handling shared by the figure binaries: `--csv` selects
 /// CSV output; a leading integer (where meaningful) scales the workload.

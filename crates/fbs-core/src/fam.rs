@@ -236,8 +236,20 @@ impl<A: Clone + Eq + Hash, P: FlowPolicy<A>> Fam<A, P> {
     /// Enable repeated-flow tracking (unbounded memory: one map entry per
     /// distinct attribute tuple ever seen). Needed for Fig. 14.
     pub fn with_repeat_tracking(mut self) -> Self {
-        self.history = Some(HashMap::new());
+        self.enable_repeat_tracking();
         self
+    }
+
+    /// Enable (or re-enable) repeated-flow tracking in place. The first
+    /// call pre-sizes the history to the FST's footprint so the warm-up
+    /// phase does not rehash its way up from empty; later calls clear
+    /// and *reuse* the existing allocation instead of dropping it for a
+    /// fresh `HashMap`.
+    pub fn enable_repeat_tracking(&mut self) {
+        match &mut self.history {
+            Some(h) => h.clear(),
+            None => self.history = Some(HashMap::with_capacity(self.fst.len() * 2)),
+        }
     }
 
     /// Enable finished-flow recording (unbounded memory: one record per
@@ -451,6 +463,31 @@ mod tests {
         let c1 = f.classify(1, 0, 10);
         let c2 = f.classify(2, 0, 10);
         assert_ne!(c1.sfl, c2.sfl);
+    }
+
+    #[test]
+    fn reenabling_repeat_tracking_reuses_the_history_allocation() {
+        let mut f = fam(16, 600);
+        // First enable pre-sized the map to the FST's footprint.
+        let presized = f.history.as_ref().expect("enabled").capacity();
+        assert!(presized >= 32, "history not pre-sized: {presized}");
+        for k in 0..100u32 {
+            f.classify(k, 0, 10);
+        }
+        let grown = f.history.as_ref().expect("enabled").capacity();
+        assert!(grown >= presized);
+        // Re-enabling clears the entries but keeps the backing storage —
+        // no fresh `HashMap::new()` starting from capacity zero.
+        f.enable_repeat_tracking();
+        let h = f.history.as_ref().expect("still enabled");
+        assert!(h.is_empty(), "re-enable must clear old attribute history");
+        assert_eq!(h.capacity(), grown, "re-enable dropped the allocation");
+        // And tracking still works after the reset.
+        let c1 = f.classify(5, 1_000, 10);
+        assert!(!c1.repeated, "history was cleared, so not a repeat");
+        let c2 = f.classify(5, 2_000, 10);
+        assert_eq!(c2.start, FlowStart::ReplacedExpired);
+        assert!(c2.repeated);
     }
 
     #[test]

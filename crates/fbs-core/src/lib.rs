@@ -31,6 +31,7 @@ pub mod fam;
 pub mod fault;
 pub mod header;
 pub mod keying;
+pub mod mem;
 pub mod mkd;
 pub mod park;
 pub mod policy;
@@ -44,7 +45,7 @@ pub mod sealer;
 pub mod sfl;
 
 pub use breaker::{Allow, BreakerConfig, BreakerState, CircuitBreaker, Transition};
-pub use cache::{AtomicCacheStats, CacheStats, MissKind, SoftCache};
+pub use cache::{AtomicCacheStats, CacheStats, Lookup, MissKind, SoftCache};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use concurrent::{KeyingService, Published, ShardedCache};
 pub use error::{FbsError, Result, RuntimeError};
@@ -52,6 +53,7 @@ pub use fam::{Classification, Fam, FlowPolicy, FlowRecord, FstEntry, KeyUnavaila
 pub use fault::WorkerFaultInjector;
 pub use header::{EncAlgorithm, HeaderView, SecurityFlowHeader};
 pub use keying::{derive_flow_key, FlowKey, KeyDerivation, SealedFlowKey};
+pub use mem::{BudgetKind, BudgetSnapshot, MemoryBudget};
 pub use mkd::{AtomicMkdStats, MasterKeyDaemon, PinnedDirectory, PublicValueSource, Resilience};
 pub use park::{ParkStats, Parked, ParkingQueue};
 pub use pool::{BufferPool, PoolStats};

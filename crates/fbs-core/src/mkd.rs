@@ -280,11 +280,17 @@ impl MasterKeyDaemon {
         };
 
         let now_us = res.clock.now_micros();
-        let breaker = res
-            .breakers
-            .entry(peer.clone())
-            .or_insert_with(|| CircuitBreaker::new(res.breaker));
-        let (allow, transition) = breaker.allow(now_us);
+        // Steady-state breaker lookups are a single hash probe with no
+        // key clone: the loop/break shape ends the probe's borrow before
+        // the miss-path insert, so only the very first upcall for a peer
+        // pays the `Principal` clone that creating its breaker requires.
+        let (allow, transition) = loop {
+            if let Some(b) = res.breakers.get_mut(peer) {
+                break b.allow(now_us);
+            }
+            res.breakers
+                .insert(peer.clone(), CircuitBreaker::new(res.breaker));
+        };
         if let Some(t) = transition {
             self.note_transition(t);
         }

@@ -116,26 +116,42 @@ impl<T> ParkingQueue<T> {
     }
 
     /// Drop every entry whose deadline has passed, returning how many
-    /// expired.
+    /// expired. Runs as one in-place rotation of the queue — no
+    /// allocation ever, which matters because the worker release loops
+    /// call this on every pass whether or not anything expired.
     pub fn expire(&mut self, now_us: u64) -> u64 {
-        self.take_expired(now_us).len() as u64
+        let mut expired = 0;
+        for _ in 0..self.items.len() {
+            let e = self.items.pop_front().expect("length checked");
+            if e.deadline_us > now_us {
+                self.items.push_back(e);
+            } else {
+                expired += 1;
+            }
+        }
+        self.stats.expired += expired;
+        expired
     }
 
     /// Remove every entry whose deadline has passed and hand the entries
     /// back (oldest first) so the caller can reclaim what they hold —
     /// pooled payload buffers in particular must go back to their
     /// [`BufferPool`](crate::BufferPool) instead of being dropped.
+    ///
+    /// Survivors are rotated in place (a full cycle of pop/push within
+    /// the ring's existing buffer), so the common nothing-expired call
+    /// performs no allocation at all: the returned `Vec` only allocates
+    /// once there are expired entries to carry.
     pub fn take_expired(&mut self, now_us: u64) -> Vec<Parked<T>> {
-        let mut kept = VecDeque::with_capacity(self.items.len());
         let mut expired = Vec::new();
-        for e in self.items.drain(..) {
+        for _ in 0..self.items.len() {
+            let e = self.items.pop_front().expect("length checked");
             if e.deadline_us > now_us {
-                kept.push_back(e);
+                self.items.push_back(e);
             } else {
                 expired.push(e);
             }
         }
-        self.items = kept;
         self.stats.expired += expired.len() as u64;
         expired
     }
@@ -239,6 +255,33 @@ mod tests {
         );
         assert_eq!(q.len(), 1);
         assert_eq!(q.stats().expired, 2);
+    }
+
+    #[test]
+    fn expire_never_allocates_and_preserves_order() {
+        let mut q: ParkingQueue<u32> = ParkingQueue::new(16, 1_000);
+        for i in 0..10u32 {
+            q.park(i, i as u64 * 100).unwrap(); // deadlines 1_000..1_900
+        }
+        // The ring buffer must be rotated in place: its backing
+        // allocation (identified by its capacity) may never be replaced
+        // by expire/take_expired, no matter how often they run or how
+        // many entries they drop.
+        let buf_cap = q.items.capacity();
+        for now in [0u64, 500, 999] {
+            assert_eq!(q.expire(now), 0);
+            assert_eq!(q.items.capacity(), buf_cap, "no-expiry pass reallocated");
+        }
+        // A no-expiry take_expired hands back a Vec that never allocated.
+        let none = q.take_expired(999);
+        assert!(none.is_empty());
+        assert_eq!(none.capacity(), 0, "empty result must not allocate");
+        assert_eq!(q.items.capacity(), buf_cap);
+        // Partial expiry keeps survivor order and the same buffer.
+        assert_eq!(q.expire(1_450), 5);
+        assert_eq!(q.items.capacity(), buf_cap, "expiry pass reallocated");
+        let survivors: Vec<u32> = q.take_all().into_iter().map(|e| e.item).collect();
+        assert_eq!(survivors, vec![5, 6, 7, 8, 9], "oldest-first order kept");
     }
 
     #[test]

@@ -139,17 +139,17 @@ use fbs_core::breaker::BreakerState;
 use fbs_core::header::{HeaderView, FIXED_PREFIX_LEN};
 use fbs_core::protocol::EndpointStats;
 use fbs_core::{
-    derive_flow_key, AtomicCacheStats, BufferPool, Clock, Fam, FbsConfig, FbsEndpoint, FbsError,
-    FlowCodec, FlowKeyId, KeyUnavailableVerdict, KeyingService, ParkStats, Parked, ParkingQueue,
-    Principal, Published, RuntimeError, SealedFlowKey, SflAllocator, SoftCache, SpscRing,
-    WorkerFaultInjector,
+    derive_flow_key, AtomicCacheStats, BudgetKind, BudgetSnapshot, BufferPool, Clock, Fam,
+    FbsConfig, FbsEndpoint, FbsError, FlowCodec, FlowKeyId, FstEntry, KeyUnavailableVerdict,
+    KeyingService, MemoryBudget, ParkStats, Parked, ParkingQueue, Principal, Published,
+    RuntimeError, SealedFlowKey, SflAllocator, SoftCache, SpscRing, WorkerFaultInjector,
 };
 use fbs_crypto::crc32;
 use fbs_net::ip::Proto;
 use fbs_net::{Datagram, HookOutcome, Ipv4Header, SecurityHooks};
 use fbs_obs::{
-    CacheKind, Counter, Direction, Event, MetricsRegistry, MetricsSnapshot, SpanKind, Stage,
-    StageTimer, TraceSpan,
+    CacheKind, Counter, Direction, Event, MetricsRegistry, MetricsSnapshot, ShardMemSample,
+    SpanKind, Stage, StageTimer, TraceSpan,
 };
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -174,6 +174,25 @@ const CONTROL_DEADLINE: Duration = Duration::from_secs(10);
 /// Hard cap on an injected worker stall, keeping chaos runs bounded no
 /// matter what a fault plan asks for.
 const MAX_INJECTED_STALL_US: u64 = 20_000;
+
+/// Estimated resident bytes per flow-key cache entry, charged against
+/// the shard's [`MemoryBudget`]: the SoA slot (key + value `Arc` + LRU
+/// tick + control byte) plus the [`SealedFlowKey`] allocation the `Arc`
+/// points at. An estimate is the right tool — the budget bounds
+/// steady-state residency, it is not an allocator.
+const FLOW_KEY_ENTRY_BYTES: u64 = (std::mem::size_of::<Option<FlowKeyId>>()
+    + std::mem::size_of::<Option<Arc<SealedFlowKey>>>()
+    + std::mem::size_of::<u64>()
+    + 1
+    + std::mem::size_of::<SealedFlowKey>()) as u64;
+
+/// Static bytes one shard's FST-shaped table occupies (both the
+/// textbook FAM and the §7.2 combined table keep `fst_size` slots
+/// resident whether or not flows occupy them), charged up front under
+/// [`BudgetKind::Fam`] so `mem.shard.<i>.*` reflects the real floor.
+fn fst_static_bytes(fst_size: usize) -> u64 {
+    (fst_size * std::mem::size_of::<Option<FstEntry<FiveTuple>>>()) as u64
+}
 
 /// What the in-thread supervisor does with a worker whose loop
 /// panicked.
@@ -245,6 +264,12 @@ pub struct IpMappingConfig {
     /// (`Reject` + recycle, counted as `hooks.shed.*`). 0 sheds on the
     /// first failed push. Read per batch.
     pub shed_deadline_us: u64,
+    /// Per-shard soft-state byte budget (0 = unbudgeted). Bounds what
+    /// one shard's TFKC/RFKC/FAM keep resident: a table that would
+    /// allocate past the budget evicts its own entries first. Enforced
+    /// worker-locally — no cross-shard coordination — and fixed at
+    /// construction like the shard geometry.
+    pub shard_budget_bytes: u64,
     /// The underlying FBS endpoint configuration.
     pub fbs: FbsConfig,
 }
@@ -265,6 +290,7 @@ impl Default for IpMappingConfig {
             ring_depth: 4,
             worker_fault: WorkerFaultPolicy::default(),
             shed_deadline_us: 5_000,
+            shard_budget_bytes: 0,
             fbs: FbsConfig::default(),
         }
     }
@@ -541,6 +567,11 @@ struct HookShared {
     control: Box<[Mutex<mpsc::Sender<Control>>]>,
     /// Per-worker cached parking-queue depths.
     park_depths: Box<[ParkDepths]>,
+    /// One [`MemoryBudget`] per shard, stable across worker respawns
+    /// (the shard clones the ledger handle; a rebuild `reset()`s it so
+    /// the lost generation's charges cannot leak into the fresh one).
+    /// Readable from any thread for health probes and gauges.
+    budgets: Box<[MemoryBudget]>,
 }
 
 impl HookShared {
@@ -645,6 +676,14 @@ impl HookShared {
             fbs_core::flow_key_hash,
         );
         rfkc.share_stats(Arc::clone(&self.rfkc_stats));
+        // The shard enforces its own budget: reset the (possibly
+        // carried-over) ledger, charge the static FST footprint, and
+        // attach the key caches so they evict before allocating past it.
+        let budget = self.budgets[si].clone();
+        budget.reset();
+        budget.charge(BudgetKind::Fam, fst_static_bytes(cfg.fst_size));
+        tfkc.set_budget(budget.clone(), BudgetKind::Tfkc, FLOW_KEY_ENTRY_BYTES);
+        rfkc.set_budget(budget.clone(), BudgetKind::Rfkc, FLOW_KEY_ENTRY_BYTES);
         Shard {
             codec,
             fam,
@@ -1220,7 +1259,10 @@ fn input_item(
     }
 }
 
-/// Refresh worker `w`'s cached parking depths from its owned shards.
+/// Refresh worker `w`'s cached parking depths from its owned shards,
+/// and mirror its shards' budget ledgers into the `mem.shard.<i>.*`
+/// gauges while we are here (same cadence: once per finished sub-batch
+/// or control action, never per datagram).
 fn refresh_park_depths(shared: &HookShared, w: usize, shards: &[Shard]) {
     let mut out = 0usize;
     let mut inp = 0usize;
@@ -1230,6 +1272,30 @@ fn refresh_park_depths(shared: &HookShared, w: usize, shards: &[Shard]) {
     }
     shared.park_depths[w].out.store(out, Ordering::Release);
     shared.park_depths[w].inp.store(inp, Ordering::Release);
+    refresh_shard_mem(shared, w);
+}
+
+/// Publish worker `w`'s shard budget ledgers as per-shard memory gauges.
+fn refresh_shard_mem(shared: &HookShared, w: usize) {
+    let Some(reg) = shared.obs_handle() else {
+        return;
+    };
+    let mut si = w;
+    while si < shared.n_shards {
+        let snap = shared.budgets[si].snapshot();
+        reg.set_shard_mem(
+            si,
+            ShardMemSample {
+                tfkc_bytes: snap.tfkc_bytes,
+                rfkc_bytes: snap.rfkc_bytes,
+                mkc_bytes: snap.mkc_bytes,
+                fam_bytes: snap.fam_bytes,
+                limit_bytes: snap.limit_bytes,
+                exceeded: snap.exceeded_events,
+            },
+        );
+        si += shared.n_workers;
+    }
 }
 
 /// The sub-batch a worker is processing right now, with an explicit
@@ -2106,6 +2172,7 @@ impl FbsIpHooks {
         cfg.workers = workers;
         cfg.ring_depth = cfg.ring_depth.max(1);
         let ring_depth = cfg.ring_depth;
+        let budget_bytes = cfg.shard_budget_bytes;
         let keying = KeyingService::new(mkd, ep_cfg.mkc_slots, n);
         let mut controls = Vec::with_capacity(workers);
         let mut receivers = Vec::with_capacity(workers);
@@ -2146,6 +2213,9 @@ impl FbsIpHooks {
             threads: OnceLock::new(),
             control: controls.into_boxed_slice(),
             park_depths: (0..workers).map(|_| ParkDepths::default()).collect(),
+            budgets: (0..n)
+                .map(|_| MemoryBudget::bounded(budget_bytes))
+                .collect(),
         });
         // Worker w owns shards { si : si % workers == w }, stored at
         // local index si / workers. Generation 0: the same shards a
@@ -2457,6 +2527,27 @@ impl FbsIpHooks {
     /// moves this.
     pub fn workers_alive(&self) -> usize {
         self.shared.workers_alive.load(Ordering::Acquire)
+    }
+
+    /// Live soft-state memory pressure for health evaluation:
+    /// `(worst_shard_used_bytes, per_shard_limit_bytes)`. The worst
+    /// single shard (not a sum) for the same reason park depth is
+    /// per-queue: one shard in an eviction storm matters even while its
+    /// siblings are idle. `(_, 0)` means unbudgeted.
+    pub fn mem_bytes(&self) -> (u64, u64) {
+        let mut worst = 0u64;
+        let mut limit = 0u64;
+        for b in self.shared.budgets.iter() {
+            worst = worst.max(b.used_bytes());
+            limit = limit.max(b.limit_bytes());
+        }
+        (worst, limit)
+    }
+
+    /// Per-shard budget ledgers, indexed by shard — lock-free reads of
+    /// the same atomics the owning workers charge.
+    pub fn shard_budgets(&self) -> Vec<BudgetSnapshot> {
+        self.shared.budgets.iter().map(|b| b.snapshot()).collect()
     }
 
     /// Number of workers currently quarantined (failing closed).

@@ -231,3 +231,145 @@ fn four_threads_share_one_mapping_without_loss_reorder_or_miscount() {
     assert_eq!(sender.mkd_stats().upcalls, 1);
     assert_eq!(receiver.mkd_stats().upcalls, 1);
 }
+
+/// Per-shard memory budgets under multi-worker pressure: hundreds of
+/// flows hammer every shard of a budgeted mapping while another thread
+/// reads the lock-free ledgers. Each worker enforces only its own
+/// shards' budgets — the invariant is per shard, never global: no
+/// ledger may pass its ceiling at any observable moment, and
+/// budget-driven eviction (not overshoot) is what absorbs the pressure.
+#[test]
+fn shard_budgets_hold_their_ceilings_under_multi_worker_pressure() {
+    const BUDGET: u64 = 12 * 1024;
+    let clock = ManualClock::starting_at(0);
+    let ca = CertificateAuthority::new("stress-test-ca", [0x58; 16]);
+    let directory = Arc::new(Directory::new(Duration::ZERO));
+    let group = DhGroup::test_group();
+    let cfg = IpMappingConfig {
+        encrypt: true,
+        workers: 2,
+        shard_budget_bytes: BUDGET,
+        ..IpMappingConfig::default()
+    };
+    let (_ha, mut sender) = build_secure_host(
+        A,
+        1500,
+        cfg.clone(),
+        clock.clone(),
+        &group,
+        &ca,
+        &directory,
+        21,
+    );
+    let (_hb, mut receiver) = build_secure_host(B, 1500, cfg, clock, &group, &ca, &directory, 22);
+
+    // Before any traffic, every shard's ledger is exactly the static
+    // FST footprint — identical across shards, comfortably under the
+    // ceiling so the caches have headroom to fight over.
+    let initial = receiver.shard_budgets();
+    let static_bytes = initial[0].used_bytes();
+    assert!(static_bytes > 0, "static FST footprint must be charged");
+    assert!(static_bytes < BUDGET / 2, "budget leaves no cache headroom");
+    for snap in &initial {
+        assert_eq!(snap.used_bytes(), static_bytes);
+        assert_eq!(snap.limit_bytes, BUDGET);
+        assert_eq!(snap.exceeded_events, 0);
+    }
+
+    // Scraper: the budget invariant must hold at every observable
+    // moment, not just at rest — a worker that charges before evicting
+    // would be caught mid-flight here.
+    let done = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let sender = sender.clone();
+        let receiver = receiver.clone();
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                for h in [&sender, &receiver] {
+                    let (worst, limit) = h.mem_bytes();
+                    assert_eq!(limit, BUDGET);
+                    assert!(worst <= limit, "shard ledger past ceiling: {worst}");
+                    for snap in h.shard_budgets() {
+                        assert!(snap.used_bytes() <= snap.limit_bytes);
+                        assert_eq!(snap.exceeded_events, 0, "eviction must precede charge");
+                    }
+                }
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    // 512 distinct flows spread across all shards: far more resident
+    // key state than the budgets allow, so the receive-side flow key
+    // caches must evict their own entries to stay under their ceilings.
+    const FLOWS: usize = 512;
+    const ROUNDS: u32 = 2;
+    let mut pool = BufferPool::new();
+    for seq in 0..ROUNDS {
+        for chunk in (0..FLOWS).collect::<Vec<_>>().chunks(BATCH) {
+            let batch: Vec<Datagram> = chunk
+                .iter()
+                .map(|&f| {
+                    let sport = 2000 + f as u16;
+                    let payload = payload_for(sport, seq);
+                    let header = Ipv4Header::new(A, B, Proto::Udp, payload.len());
+                    Datagram { header, payload }
+                })
+                .collect();
+            let sealed = sender.process_batch(Direction::Output, batch, &mut pool, NOW_US);
+            let rx_batch: Vec<Datagram> = sealed
+                .into_iter()
+                .map(|(header, outcome)| match outcome {
+                    HookOutcome::Pass(wire) => Datagram {
+                        header,
+                        payload: wire,
+                    },
+                    other => panic!("seal failed: {other:?}"),
+                })
+                .collect();
+            for (_, outcome) in
+                receiver.process_batch(Direction::Input, rx_batch, &mut pool, NOW_US)
+            {
+                match outcome {
+                    HookOutcome::Pass(body) => pool.put(body),
+                    other => panic!("open failed: {other:?}"),
+                }
+            }
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper panicked");
+    assert!(scrapes > 0, "scraper never ran");
+
+    // Isolation: every shard ended under its own ceiling with charges of
+    // its own making — static floor plus whatever its caches kept — and
+    // the pressure was real (multiple shards hold key state, and the
+    // receive caches evicted to make room rather than overshooting).
+    let final_snaps = receiver.shard_budgets();
+    let mut shards_with_keys = 0;
+    for snap in &final_snaps {
+        assert!(snap.used_bytes() <= BUDGET, "shard over budget: {snap:?}");
+        assert!(snap.used_bytes() >= static_bytes, "static floor lost");
+        assert_eq!(snap.exceeded_events, 0);
+        if snap.rfkc_bytes > 0 {
+            shards_with_keys += 1;
+        }
+    }
+    assert!(
+        shards_with_keys >= 2,
+        "traffic must spread key state across shards: {final_snaps:?}"
+    );
+    assert!(
+        receiver.rfkc_stats().evictions > 0,
+        "512 flows against a 12 KiB budget must force eviction"
+    );
+    // Flow state stayed soft: every datagram still round-tripped.
+    assert_eq!(
+        receiver.stats().verified,
+        (FLOWS as u64) * u64::from(ROUNDS)
+    );
+    assert_eq!(receiver.stats().input_errors, 0);
+}

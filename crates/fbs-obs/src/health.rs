@@ -66,6 +66,12 @@ pub enum ConditionKind {
     /// Degraded on any shed; critical once the shed fraction of
     /// offered load passes the model threshold.
     ShedRateHigh,
+    /// Soft-state memory budgets under pressure. Degraded once usage
+    /// passes the near-limit percentage of the worst shard's budget;
+    /// critical once usage is past the limit itself (budget-driven
+    /// eviction could not keep up). Judged on live byte inputs; a
+    /// budget-less runtime (limit 0) skips the condition.
+    MemoryBudgetExceeded,
 }
 
 impl ConditionKind {
@@ -79,6 +85,7 @@ impl ConditionKind {
             ConditionKind::EventsDropped => "events_dropped",
             ConditionKind::WorkerQuarantined => "worker_quarantined",
             ConditionKind::ShedRateHigh => "shed_rate_high",
+            ConditionKind::MemoryBudgetExceeded => "memory_budget_exceeded",
         }
     }
 }
@@ -131,6 +138,13 @@ pub struct HealthInputs {
     /// Total workers in the runtime (0 = unknown / not a worker
     /// runtime, skips the quarantine condition).
     pub workers_total: u64,
+    /// Resident soft-state bytes of the most-loaded shard budget (the
+    /// per-shard view for the same reason as `park_depth`: one shard
+    /// evicting in a storm matters even while its siblings are idle).
+    pub mem_used_bytes: u64,
+    /// That shard's byte ceiling (0 = unbudgeted, skips the memory
+    /// condition).
+    pub mem_limit_bytes: u64,
 }
 
 /// Evaluated health: overall status plus per-condition detail.
@@ -180,6 +194,9 @@ pub struct HealthModel {
     /// Shed fraction of offered load (percent) past which shedding
     /// turns critical (any shed at all is already degraded).
     pub max_shed_pct: u64,
+    /// Memory budget usage (percent of the shard limit) at which the
+    /// memory condition degrades; past 100% it is critical.
+    pub mem_budget_pct: u64,
 }
 
 impl Default for HealthModel {
@@ -189,6 +206,7 @@ impl Default for HealthModel {
             min_recovery_ratio_pct: 90,
             max_outstanding_buffers: 4096,
             max_shed_pct: 10,
+            mem_budget_pct: 90,
         }
     }
 }
@@ -196,7 +214,7 @@ impl Default for HealthModel {
 impl HealthModel {
     /// Evaluate every condition against `snap` and `inputs`.
     pub fn evaluate(&self, snap: &MetricsSnapshot, inputs: &HealthInputs) -> HealthReport {
-        let mut conditions = Vec::with_capacity(7);
+        let mut conditions = Vec::with_capacity(8);
 
         // Breaker: opens vs closes tells us how many breakers are
         // currently open (each open is eventually matched by a close).
@@ -339,6 +357,28 @@ impl HealthModel {
             threshold: shed_critical_at,
         });
 
+        // Memory budget: live resident bytes of the worst shard vs its
+        // ceiling. Soft state keeps serving past the limit (eviction,
+        // never allocation failure), so over-limit is critical pressure
+        // rather than an outage; near-limit is the early warning that
+        // eviction storms are close.
+        let mem_degrade_at = inputs.mem_limit_bytes * self.mem_budget_pct / 100;
+        let mem_status = if inputs.mem_limit_bytes == 0 {
+            HealthStatus::Ok
+        } else if inputs.mem_used_bytes > inputs.mem_limit_bytes {
+            HealthStatus::Critical
+        } else if inputs.mem_used_bytes >= mem_degrade_at {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Ok
+        };
+        conditions.push(Condition {
+            kind: ConditionKind::MemoryBudgetExceeded,
+            status: mem_status,
+            value: inputs.mem_used_bytes,
+            threshold: mem_degrade_at,
+        });
+
         let overall = conditions
             .iter()
             .map(|c| c.status)
@@ -360,7 +400,7 @@ mod tests {
         let report =
             HealthModel::default().evaluate(&MetricsSnapshot::new(), &HealthInputs::default());
         assert_eq!(report.overall, HealthStatus::Ok);
-        assert_eq!(report.conditions.len(), 7);
+        assert_eq!(report.conditions.len(), 8);
         assert!(report
             .conditions
             .iter()
@@ -464,6 +504,47 @@ mod tests {
         assert_eq!(get(3, 0), HealthStatus::Ok);
         assert_eq!(get(1, 4), HealthStatus::Degraded);
         assert_eq!(get(4, 4), HealthStatus::Critical);
+    }
+
+    #[test]
+    fn memory_budget_bands() {
+        let model = HealthModel::default();
+        let snap = MetricsSnapshot::new();
+        let get = |used: u64, limit: u64| {
+            let inputs = HealthInputs {
+                mem_used_bytes: used,
+                mem_limit_bytes: limit,
+                ..HealthInputs::default()
+            };
+            model
+                .evaluate(&snap, &inputs)
+                .condition(ConditionKind::MemoryBudgetExceeded)
+                .unwrap()
+                .clone()
+        };
+        // Unbudgeted runtime: skipped, never alarms.
+        assert_eq!(get(1 << 30, 0).status, HealthStatus::Ok);
+        assert_eq!(get(500, 1_000).status, HealthStatus::Ok);
+        // 90% of limit: eviction storms are close.
+        let near = get(900, 1_000);
+        assert_eq!(near.status, HealthStatus::Degraded);
+        assert_eq!(near.threshold, 900);
+        // At the limit exactly: budget-driven eviction holds the line.
+        assert_eq!(get(1_000, 1_000).status, HealthStatus::Degraded);
+        // Past the limit: eviction could not keep up.
+        assert_eq!(get(1_001, 1_000).status, HealthStatus::Critical);
+        let json = model
+            .evaluate(
+                &snap,
+                &HealthInputs {
+                    mem_used_bytes: 2_000,
+                    mem_limit_bytes: 1_000,
+                    ..HealthInputs::default()
+                },
+            )
+            .to_json();
+        assert!(json.contains("\"kind\":\"memory_budget_exceeded\""));
+        assert!(json.contains("\"overall\":\"critical\""));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use event::{
 };
 pub use health::{Condition, ConditionKind, HealthInputs, HealthModel, HealthReport, HealthStatus};
 pub use prom::DeltaTracker;
-pub use registry::{Counter, Histogram, MetricsRegistry};
+pub use registry::{Counter, Histogram, MetricsRegistry, ShardMemSample, MAX_SHARDS};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
 pub use span::{Stage, StageTimer, WorkerOccupancyRow, MAX_WORKERS};
 pub use trace::{FlowTracer, SpanKind, TraceAnnotation, TraceSpan};

@@ -340,6 +340,11 @@ struct CacheCounters {
     collision_misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    /// Gauge (not a counter): bytes currently charged for resident
+    /// entries across every cache of this kind. Caches add on insert
+    /// and subtract on evict/invalidate, so the value tracks live
+    /// residency rather than accumulating.
+    resident_bytes: AtomicU64,
 }
 
 /// Log2 histogram with atomic buckets; bucket 0 holds values `<= 1`,
@@ -403,6 +408,51 @@ struct WorkerOccCell {
     panics: AtomicU64,
 }
 
+/// Rows in the per-shard memory gauge table. Shard `MAX_SHARDS - 1`
+/// also absorbs any higher-numbered shard, mirroring the worker
+/// occupancy table's clamping.
+pub const MAX_SHARDS: usize = 64;
+
+/// Per-shard memory-budget gauges (fixed-size cells; refreshing is a
+/// handful of relaxed stores with no allocation). Values are *stored*,
+/// not added: the owning worker republishes its shard's ledger after
+/// each batch.
+#[derive(Default)]
+struct ShardMemCell {
+    tfkc_bytes: AtomicU64,
+    rfkc_bytes: AtomicU64,
+    mkc_bytes: AtomicU64,
+    fam_bytes: AtomicU64,
+    limit_bytes: AtomicU64,
+    exceeded: AtomicU64,
+}
+
+/// One shard's memory ledger, as published to the registry's gauge
+/// table (see [`MetricsRegistry::set_shard_mem`]). Field names mirror
+/// the `mem.shard.<i>.*` snapshot namespace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardMemSample {
+    /// Bytes resident in the shard's transmit flow-key cache.
+    pub tfkc_bytes: u64,
+    /// Bytes resident in the shard's receive flow-key cache.
+    pub rfkc_bytes: u64,
+    /// Bytes charged for master-key cache entries.
+    pub mkc_bytes: u64,
+    /// Bytes charged for flow attribute map state.
+    pub fam_bytes: u64,
+    /// The shard's budget ceiling (0 = unbounded).
+    pub limit_bytes: u64,
+    /// Charges that found the budget full.
+    pub exceeded: u64,
+}
+
+impl ShardMemSample {
+    /// Total resident bytes across every kind.
+    pub fn used_bytes(&self) -> u64 {
+        self.tfkc_bytes + self.rfkc_bytes + self.mkc_bytes + self.fam_bytes
+    }
+}
+
 struct RecorderInner {
     buf: Vec<EventRecord>,
     /// Next overwrite position once the ring is full.
@@ -421,6 +471,8 @@ pub struct MetricsRegistry {
     stages: [AtomicLogHistogram; NUM_STAGES],
     /// Per-worker ring-stall/busy occupancy table.
     workers: [WorkerOccCell; MAX_WORKERS],
+    /// Per-shard memory-budget gauge table.
+    shard_mem: [ShardMemCell; MAX_SHARDS],
     /// Optional flow tracer, reachable by every component that holds
     /// this registry (one atomic load when unset).
     tracer: OnceLock<Arc<FlowTracer>>,
@@ -464,6 +516,7 @@ impl MetricsRegistry {
             histograms: std::array::from_fn(|_| AtomicLogHistogram::new()),
             stages: std::array::from_fn(|_| AtomicLogHistogram::new()),
             workers: std::array::from_fn(|_| WorkerOccCell::default()),
+            shard_mem: std::array::from_fn(|_| ShardMemCell::default()),
             tracer: OnceLock::new(),
             recorder: Mutex::new(RecorderInner {
                 buf: Vec::with_capacity(capacity.min(4096)),
@@ -503,6 +556,64 @@ impl MetricsRegistry {
         c.insertions.fetch_add(1, Ordering::Relaxed);
         if evicted {
             c.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record an eviction from cache `kind` that did not ride on an
+    /// insertion's `evicted` flag — budget-driven evictions and
+    /// resize-migration conflicts book through here so the eviction
+    /// count stays single-sourced.
+    pub fn cache_eviction(&self, kind: CacheKind) {
+        self.caches[kind.index()]
+            .evictions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise the `cache.<kind>.resident_bytes` gauge by `bytes`.
+    pub fn cache_resident_add(&self, kind: CacheKind, bytes: u64) {
+        self.caches[kind.index()]
+            .resident_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Lower the `cache.<kind>.resident_bytes` gauge by `bytes`
+    /// (saturating at zero rather than wrapping).
+    pub fn cache_resident_sub(&self, kind: CacheKind, bytes: u64) {
+        let cell = &self.caches[kind.index()].resident_bytes;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Publish shard `shard`'s memory ledger to the per-shard gauge
+    /// table (plain stores: the worker that owns the shard republishes
+    /// after each batch, so the table always shows the latest ledger).
+    pub fn set_shard_mem(&self, shard: usize, sample: ShardMemSample) {
+        let cell = &self.shard_mem[shard.min(MAX_SHARDS - 1)];
+        cell.tfkc_bytes.store(sample.tfkc_bytes, Ordering::Relaxed);
+        cell.rfkc_bytes.store(sample.rfkc_bytes, Ordering::Relaxed);
+        cell.mkc_bytes.store(sample.mkc_bytes, Ordering::Relaxed);
+        cell.fam_bytes.store(sample.fam_bytes, Ordering::Relaxed);
+        cell.limit_bytes
+            .store(sample.limit_bytes, Ordering::Relaxed);
+        cell.exceeded.store(sample.exceeded, Ordering::Relaxed);
+    }
+
+    /// Read back shard `shard`'s published memory ledger.
+    pub fn shard_mem(&self, shard: usize) -> ShardMemSample {
+        let cell = &self.shard_mem[shard.min(MAX_SHARDS - 1)];
+        ShardMemSample {
+            tfkc_bytes: cell.tfkc_bytes.load(Ordering::Relaxed),
+            rfkc_bytes: cell.rfkc_bytes.load(Ordering::Relaxed),
+            mkc_bytes: cell.mkc_bytes.load(Ordering::Relaxed),
+            fam_bytes: cell.fam_bytes.load(Ordering::Relaxed),
+            limit_bytes: cell.limit_bytes.load(Ordering::Relaxed),
+            exceeded: cell.exceeded.load(Ordering::Relaxed),
         }
     }
 
@@ -748,6 +859,7 @@ impl MetricsRegistry {
                 ),
                 ("insertions", c.insertions.load(Ordering::Relaxed)),
                 ("evictions", c.evictions.load(Ordering::Relaxed)),
+                ("resident_bytes", c.resident_bytes.load(Ordering::Relaxed)),
             ];
             for (field, v) in pairs {
                 if v > 0 {
@@ -776,6 +888,20 @@ impl MetricsRegistry {
             if row.panics > 0 {
                 snap.add(&format!("{pre}.panics"), row.panics);
             }
+        }
+        for shard in 0..MAX_SHARDS {
+            let s = self.shard_mem(shard);
+            if s == ShardMemSample::default() {
+                continue;
+            }
+            let pre = format!("mem.shard.{shard}");
+            snap.add(&format!("{pre}.tfkc_bytes"), s.tfkc_bytes);
+            snap.add(&format!("{pre}.rfkc_bytes"), s.rfkc_bytes);
+            snap.add(&format!("{pre}.mkc_bytes"), s.mkc_bytes);
+            snap.add(&format!("{pre}.fam_bytes"), s.fam_bytes);
+            snap.add(&format!("{pre}.used_bytes"), s.used_bytes());
+            snap.add(&format!("{pre}.limit_bytes"), s.limit_bytes);
+            snap.add(&format!("{pre}.budget_exceeded"), s.exceeded);
         }
         snap.events = self.events();
         snap

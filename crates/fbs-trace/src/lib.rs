@@ -29,8 +29,10 @@ pub mod capture;
 pub mod flowsim;
 pub mod model;
 pub mod record;
+pub mod scale;
 pub mod stats;
 
 pub use flowsim::{simulate_cache, simulate_flows, CacheSimConfig, FlowSimConfig, FlowSimResult};
 pub use model::{generate_campus_trace, generate_www_trace, CampusConfig, WwwConfig};
 pub use record::PacketRecord;
+pub use scale::{ScaleConfig, ScaleTrace};

@@ -1,0 +1,306 @@
+//! Streamed million-flow server workloads for the scale benches.
+//!
+//! The §7.3 models in [`model`](crate::model) materialise whole traces
+//! as `Vec<PacketRecord>` — right for regenerating the paper's figures
+//! (tens of thousands of packets), hopeless for probing soft-state
+//! tables at million-flow residency. [`ScaleTrace`] is the streamed
+//! counterpart: an iterator that synthesises a modern server-side
+//! workload packet by packet in O(active-window) memory, so a bench can
+//! pull hundreds of millions of datagrams drawn from a multi-million
+//! client population without ever holding a trace in memory.
+//!
+//! Shape of the workload (all seeded and deterministic):
+//!
+//! * **Heavy-tailed flow sizes** — Pareto datagram counts: most flows
+//!   are a handful of packets, a small elephant tail carries the bytes
+//!   (the same qualitative shape §7.3 reports, pushed to server scale).
+//! * **Power-law client popularity** — flow births pick clients by a
+//!   skewed inverse-CDF over the configured population, so a hot
+//!   minority of clients recurs while the long tail keeps introducing
+//!   cold addresses. No per-client state exists; the population is
+//!   statistical, which is what lets it reach millions.
+//! * **Modern port reuse** — each client draws source ports from a
+//!   small ephemeral span, so returning clients re-present earlier
+//!   5-tuples at realistic rates (NAT pools, connection-reusing
+//!   runtimes) and the flow tables see genuine key recurrence, not an
+//!   endless stream of fresh keys.
+
+use crate::record::PacketRecord;
+use fbs_ip::FiveTuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TCP: u8 = 6;
+
+/// Parameters of the streamed server workload.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// RNG seed; equal configs yield byte-identical streams.
+    pub seed: u64,
+    /// Statistical client population (distinct possible remote hosts).
+    /// Addresses are unique per client up to 2^24; no per-client state
+    /// is kept, so millions cost nothing.
+    pub clients: u64,
+    /// Power-law skew of client popularity: a birth picks
+    /// `client = floor(clients * u^skew)`. 1.0 is uniform; larger
+    /// concentrates traffic on a hot minority.
+    pub client_skew: f64,
+    /// Concurrently active flows (the only O(n) state in the stream).
+    pub active_flows: usize,
+    /// Pareto shape of flow datagram counts; shapes just above 1 give
+    /// the heavy elephant tail (mean `alpha/(alpha-1)` datagrams).
+    pub flow_alpha: f64,
+    /// Cap on a single flow's datagram count (keeps one elephant from
+    /// monopolising the whole window).
+    pub max_flow_dgrams: u64,
+    /// Ephemeral source ports per client. Small spans make returning
+    /// clients re-present earlier 5-tuples — the modern port-reuse
+    /// knob.
+    pub port_reuse_span: u16,
+    /// Offered load, datagrams per second (drives `t_ms`).
+    pub dgrams_per_sec: u64,
+    /// The server every flow terminates at.
+    pub server: [u8; 4],
+    /// The server port.
+    pub server_port: u16,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            seed: 2026,
+            clients: 2_000_000,
+            client_skew: 2.0,
+            active_flows: 8_192,
+            flow_alpha: 1.2,
+            max_flow_dgrams: 1 << 20,
+            port_reuse_span: 64,
+            dgrams_per_sec: 1_000_000,
+            server: [10, 9, 0, 1],
+            server_port: 443,
+        }
+    }
+}
+
+/// One slot of the bounded active-flow window.
+#[derive(Clone, Debug)]
+struct ActiveFlow {
+    tuple: FiveTuple,
+    /// Datagrams this flow has left to emit.
+    remaining: u64,
+    /// Per-datagram payload length (fixed per flow; drawn small-biased).
+    len: u32,
+}
+
+/// The streamed workload: an infinite, deterministic
+/// `Iterator<Item = PacketRecord>`. Bound it with `take(n)`; memory
+/// stays O(`active_flows`) no matter how many packets are pulled.
+#[derive(Debug)]
+pub struct ScaleTrace {
+    cfg: ScaleConfig,
+    rng: StdRng,
+    /// The active window; `None` slots have not seen a flow yet.
+    active: Vec<Option<ActiveFlow>>,
+    emitted: u64,
+    flows_started: u64,
+}
+
+impl ScaleTrace {
+    /// A stream over `cfg`'s workload, positioned at its first packet.
+    pub fn new(cfg: ScaleConfig) -> Self {
+        let slots = cfg.active_flows.max(1);
+        ScaleTrace {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            active: vec![None; slots],
+            cfg,
+            emitted: 0,
+            flows_started: 0,
+        }
+    }
+
+    /// Datagrams emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Flows born so far (births ≥ distinct 5-tuples: port reuse makes
+    /// some births re-present an earlier tuple).
+    pub fn flows_started(&self) -> u64 {
+        self.flows_started
+    }
+
+    /// The only O(n) state: the bounded active-flow window.
+    pub fn window_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Pick a client by power-law popularity and give it an address —
+    /// unique per client for populations up to 2^24, aliased into the
+    /// same space beyond (indistinguishable from extra sharing).
+    fn birth(&mut self) -> ActiveFlow {
+        self.flows_started += 1;
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        let client = ((self.cfg.clients as f64) * u.powf(self.cfg.client_skew)) as u64;
+        let saddr = [10, (client >> 16) as u8, (client >> 8) as u8, client as u8];
+        // Ephemeral port from the client's reuse span. The span is
+        // positioned by the client id so two clients aliased to one
+        // address still look like one host with one port pool.
+        let span = self.cfg.port_reuse_span.max(1);
+        let sport = 32_768 + self.rng.gen_range(0..span);
+        // Pareto(1, alpha) datagram count, capped.
+        let v: f64 = self.rng.gen_range(1e-12..1.0);
+        let dgrams =
+            (v.powf(-1.0 / self.cfg.flow_alpha).ceil() as u64).clamp(1, self.cfg.max_flow_dgrams);
+        // Small-biased per-flow datagram length: squaring the uniform
+        // pushes mass toward the 64 B floor while keeping MTU-filling
+        // bulk flows present.
+        let w: f64 = self.rng.gen_range(0.0..1.0);
+        let len = 64 + (w * w * 1_336.0) as u32;
+        ActiveFlow {
+            tuple: FiveTuple {
+                proto: TCP,
+                saddr,
+                sport,
+                daddr: self.cfg.server,
+                dport: self.cfg.server_port,
+            },
+            remaining: dgrams,
+            len,
+        }
+    }
+}
+
+impl Iterator for ScaleTrace {
+    type Item = PacketRecord;
+
+    fn next(&mut self) -> Option<PacketRecord> {
+        let slot = self.rng.gen_range(0..self.active.len());
+        let needs_birth = match &self.active[slot] {
+            Some(f) => f.remaining == 0,
+            None => true,
+        };
+        if needs_birth {
+            self.active[slot] = Some(self.birth());
+        }
+        let t_ms = self.emitted * 1_000 / self.cfg.dgrams_per_sec.max(1);
+        self.emitted += 1;
+        let flow = self.active[slot].as_mut().expect("slot just filled");
+        flow.remaining -= 1;
+        Some(PacketRecord {
+            t_ms,
+            tuple: flow.tuple,
+            len: flow.len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small_cfg() -> ScaleConfig {
+        ScaleConfig {
+            clients: 100_000,
+            active_flows: 256,
+            ..ScaleConfig::default()
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_by_seed() {
+        let a: Vec<PacketRecord> = ScaleTrace::new(small_cfg()).take(10_000).collect();
+        let b: Vec<PacketRecord> = ScaleTrace::new(small_cfg()).take(10_000).collect();
+        assert_eq!(a, b);
+        let other = ScaleTrace::new(ScaleConfig {
+            seed: 999,
+            ..small_cfg()
+        })
+        .take(10_000)
+        .collect::<Vec<_>>();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_the_window() {
+        let mut s = ScaleTrace::new(small_cfg());
+        for _ in 0..100_000 {
+            s.next();
+        }
+        assert_eq!(s.window_len(), 256);
+        assert_eq!(s.emitted(), 100_000);
+        assert!(s.flows_started() > 256, "flows must churn through slots");
+    }
+
+    #[test]
+    fn client_population_is_wide() {
+        let mut clients = std::collections::HashSet::new();
+        for r in ScaleTrace::new(ScaleConfig {
+            clients: 1_000_000,
+            active_flows: 1_024,
+            ..ScaleConfig::default()
+        })
+        .take(200_000)
+        {
+            clients.insert(r.tuple.saddr);
+        }
+        assert!(
+            clients.len() > 10_000,
+            "expected a wide client population, got {}",
+            clients.len()
+        );
+    }
+
+    #[test]
+    fn flow_sizes_are_heavy_tailed() {
+        let mut per_flow: HashMap<FiveTuple, u64> = HashMap::new();
+        for r in ScaleTrace::new(small_cfg()).take(300_000) {
+            *per_flow.entry(r.tuple).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<u64> = per_flow.values().copied().collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        let max = *sizes.last().unwrap();
+        assert!(
+            max >= median * 50,
+            "tail too light: median {median}, max {max}"
+        );
+    }
+
+    #[test]
+    fn small_port_spans_reuse_five_tuples() {
+        // A tiny client pool with a tiny port span must re-present
+        // earlier 5-tuples: births strictly exceed distinct keys.
+        let mut s = ScaleTrace::new(ScaleConfig {
+            clients: 50,
+            client_skew: 1.0,
+            port_reuse_span: 4,
+            active_flows: 64,
+            ..ScaleConfig::default()
+        });
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100_000 {
+            distinct.insert(s.next().unwrap().tuple);
+        }
+        assert!(distinct.len() as u64 <= 50 * 4);
+        assert!(
+            s.flows_started() > distinct.len() as u64 * 10,
+            "births ({}) should dwarf distinct tuples ({})",
+            s.flows_started(),
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn timestamps_follow_the_offered_rate() {
+        let cfg = ScaleConfig {
+            dgrams_per_sec: 1_000,
+            ..small_cfg()
+        };
+        let records: Vec<PacketRecord> = ScaleTrace::new(cfg).take(3_000).collect();
+        assert_eq!(records[0].t_ms, 0);
+        assert_eq!(records[999].t_ms, 999);
+        assert_eq!(records[2_999].t_ms, 2_999);
+        assert!(records.windows(2).all(|w| w[0].t_ms <= w[1].t_ms));
+    }
+}
