@@ -120,6 +120,7 @@ fn bench_header_codec(c: &mut Criterion) {
         timestamp: 123456,
         mac_alg: fbs_crypto::MacAlgorithm::KeyedMd5,
         enc_alg: fbs_core::EncAlgorithm::DesCbc,
+        suite: fbs_crypto::CipherSuite::Paper,
         plaintext_len: 1460,
         mac: vec![0xAB; 16],
     };

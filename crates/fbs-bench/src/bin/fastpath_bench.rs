@@ -108,6 +108,20 @@ fn main() {
             .concat(),
         );
     }
+    for s in &report.suites {
+        rows.push(
+            [
+                vec![format!(
+                    "suite {} seal{}",
+                    s.suite.name(),
+                    if s.pool_balanced { "" } else { " LEAK" }
+                )],
+                fmt(&s.seal_pooled),
+            ]
+            .concat(),
+        );
+        rows.push([vec![format!("suite {} open", s.suite.name())], fmt(&s.open_pooled)].concat());
+    }
     emit(
         &format!(
             "fast path vs legacy — {} B payloads × {}, mode={}, cpus={}",
@@ -134,6 +148,10 @@ fn main() {
     println!(
         "sharding cost (mapping 1t sharded vs unsharded): {:.2}x",
         report.mapping_sharded_vs_unsharded_1t
+    );
+    println!(
+        "speedup (fast_des suite vs paper suite, pooled seal): {:.2}x",
+        report.speedup_fast_vs_paper
     );
 
     // Per-worker occupancy, from the busiest mapping row.

@@ -9,8 +9,8 @@
 //! with allocation counts.
 
 use fbs_bench::fig08::{
-    fig08_rows, instrumented_snapshot, primitive_rate_kbs, PAPER_DESMD5_KBPS, PAPER_DES_KBS,
-    PAPER_GENERIC_KBPS, PAPER_MD5_KBS,
+    fig08_rows, instrumented_snapshot, primitive_rate_kbs, suite_rows_kbps, PAPER_DESMD5_KBPS,
+    PAPER_DES_KBS, PAPER_GENERIC_KBPS, PAPER_MD5_KBS,
 };
 use fbs_bench::{arg_num, emit, metrics_path, write_metrics};
 
@@ -75,6 +75,32 @@ fn main() {
     println!(
         "\nshape check: GENERIC ≈ FBS NOP at line rate, FBS DES+MD5 crypto-bound\n\
          well below it — the paper saw 7700 → 3400 kb/s."
+    );
+
+    // Cipher-suite column: the secret-mode row re-measured per profile.
+    println!();
+    let suites = suite_rows_kbps(8192, count);
+    let paper_kbps = suites
+        .iter()
+        .find(|(n, _)| *n == "paper")
+        .map(|&(_, r)| r)
+        .unwrap_or(f64::NAN);
+    let rows: Vec<Vec<String>> = suites
+        .iter()
+        .map(|(name, kbps)| {
+            vec![
+                name.to_string(),
+                format!("{kbps:.0}"),
+                format!("{:.2}x", kbps / paper_kbps),
+            ]
+        })
+        .collect();
+    emit(
+        "cipher suites — secret-mode one-way rate per profile, 8 KB datagrams\n\
+         paper = DES-CBC + keyed-MD5 (bit-identical wire format); fast_des =\n\
+         word-sliced DES-CTR + truncated MAC; aead = ChaCha20-Poly1305",
+        &["suite", "native kb/s", "vs paper"],
+        &rows,
     );
 
     // The zero-copy fast-path comparison, per crypto variant.

@@ -139,6 +139,41 @@ pub fn processing_rate_kbps(variant: Variant, payload: usize, count: usize, one_
     (count * payload) as f64 * 8.0 / 1000.0 / secs
 }
 
+/// One-way protocol-processing rate per cipher suite (kb/s of payload):
+/// the Fig. 8 secret-mode column re-measured under each [`CipherSuite`]
+/// profile, so the fast DES-CTR and AEAD planes read side by side with
+/// the paper-faithful DES+MD5 one. Returns `(suite name, kb/s)` rows in
+/// `CipherSuite::ALL` order.
+pub fn suite_rows_kbps(payload: usize, count: usize) -> Vec<(&'static str, f64)> {
+    use fbs_crypto::CipherSuite;
+    let body = vec![0xA5u8; payload];
+    let (s, d) = principals();
+    CipherSuite::ALL
+        .iter()
+        .map(|&suite| {
+            let cfg = FbsConfig {
+                suite,
+                ..FbsConfig::default()
+            };
+            let (mut tx, mut rx, _) = endpoint_pair(cfg, DhGroup::oakley1());
+            // Warm the key caches, as the variant rows do.
+            let pd = tx
+                .send(1, Datagram::new(s.clone(), d.clone(), body.clone()), true)
+                .unwrap();
+            rx.receive(pd).unwrap();
+            let start = Instant::now();
+            for _ in 0..count {
+                let pd = tx
+                    .send(1, Datagram::new(s.clone(), d.clone(), body.clone()), true)
+                    .unwrap();
+                std::hint::black_box(&pd);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            (suite.name(), (count * payload) as f64 * 8.0 / 1000.0 / secs)
+        })
+        .collect()
+}
+
 /// One row of the Fig. 8 emulation.
 pub struct Fig08Row {
     /// Variant name.
@@ -257,6 +292,16 @@ mod tests {
             let nop = processing_rate_kbps(Variant::FbsNop, 8192, 50, one_way);
             let full = processing_rate_kbps(Variant::FbsDesMd5, 8192, 50, one_way);
             assert!(full < nop, "full {full} < nop {nop} (one_way {one_way})");
+        }
+    }
+
+    #[test]
+    fn suite_rows_cover_all_profiles() {
+        let rows = suite_rows_kbps(2048, 40);
+        assert_eq!(rows.len(), fbs_crypto::CipherSuite::ALL.len());
+        for (i, (name, kbps)) in rows.iter().enumerate() {
+            assert_eq!(*name, fbs_crypto::CipherSuite::ALL[i].name());
+            assert!(*kbps > 0.0, "{name} rate must be positive");
         }
     }
 

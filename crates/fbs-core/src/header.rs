@@ -17,16 +17,20 @@
 //! +---------------------------------------------------------------+
 //! |            timestamp (minutes since FBS epoch), 32 bits       |
 //! +---------------+---------------+---------------+---------------+
-//! |   mac alg id  |   enc alg id  |    mac len    |   reserved    |
+//! |   mac alg id  |   enc alg id  |    mac len    |   suite id    |
 //! +---------------+---------------+---------------+---------------+
 //! |                  plaintext length, 32 bits                    |
 //! +---------------------------------------------------------------+
 //! |                    MAC (mac len bytes)  ...                   |
 //! +---------------------------------------------------------------+
 //! ```
+//!
+//! Byte 19 (formerly reserved-zero) carries the [`CipherSuite`] id. The
+//! paper-faithful suite is id 0, so paper-profile frames are bit-identical
+//! to the pre-suite wire format.
 
 use crate::error::{FbsError, Result};
-use fbs_crypto::{DesMode, MacAlgorithm};
+use fbs_crypto::{CipherSuite, DesMode, MacAlgorithm};
 
 /// Fixed-size prefix length (everything before the variable-length MAC).
 pub const FIXED_PREFIX_LEN: usize = 24;
@@ -51,6 +55,12 @@ pub enum EncAlgorithm {
     /// Triple DES (EDE2) in CBC mode — the stronger-cipher option the
     /// algorithm-ID field exists to enable (CryptoLib shipped 3DES too).
     TdeaCbc,
+    /// DES in counter mode, keystream generated 4 blocks at a time through
+    /// the word-sliced core — the fast-profile cipher. Stream mode: no
+    /// padding, wire body length equals plaintext length.
+    DesCtr,
+    /// ChaCha20 stream cipher (RFC 8439) — the AEAD-profile cipher.
+    ChaCha20,
 }
 
 impl EncAlgorithm {
@@ -63,6 +73,8 @@ impl EncAlgorithm {
             EncAlgorithm::DesCfb => 3,
             EncAlgorithm::DesOfb => 4,
             EncAlgorithm::TdeaCbc => 5,
+            EncAlgorithm::DesCtr => 6,
+            EncAlgorithm::ChaCha20 => 7,
         }
     }
 
@@ -75,19 +87,29 @@ impl EncAlgorithm {
             3 => EncAlgorithm::DesCfb,
             4 => EncAlgorithm::DesOfb,
             5 => EncAlgorithm::TdeaCbc,
+            6 => EncAlgorithm::DesCtr,
+            7 => EncAlgorithm::ChaCha20,
             _ => return None,
         })
     }
 
-    /// The FIPS 81 mode, if this algorithm encrypts.
+    /// The FIPS 81 mode, if this algorithm encrypts *as a block cipher*.
+    /// `None` for [`EncAlgorithm::None`] and for the stream algorithms,
+    /// which the suite dispatch handles before this is consulted.
     pub fn des_mode(self) -> Option<DesMode> {
         match self {
-            EncAlgorithm::None => None,
+            EncAlgorithm::None | EncAlgorithm::DesCtr | EncAlgorithm::ChaCha20 => None,
             EncAlgorithm::DesCbc | EncAlgorithm::TdeaCbc => Some(DesMode::Cbc),
             EncAlgorithm::DesEcb => Some(DesMode::Ecb),
             EncAlgorithm::DesCfb => Some(DesMode::Cfb),
             EncAlgorithm::DesOfb => Some(DesMode::Ofb),
         }
+    }
+
+    /// True for stream algorithms: no padding, wire body length equals
+    /// plaintext length.
+    pub fn is_stream(self) -> bool {
+        matches!(self, EncAlgorithm::DesCtr | EncAlgorithm::ChaCha20)
     }
 
     /// True when the cipher is Triple DES rather than single DES.
@@ -117,6 +139,8 @@ pub struct SecurityFlowHeader {
     pub mac_alg: MacAlgorithm,
     /// Encryption algorithm (algorithm-ID field); `None` ⇒ MAC-only.
     pub enc_alg: EncAlgorithm,
+    /// Crypto-plane profile (header byte 19; 0 = paper-faithful).
+    pub suite: CipherSuite,
     /// Plaintext body length before padding (equal to body length when
     /// `enc_alg` is `None`).
     pub plaintext_len: u32,
@@ -145,7 +169,7 @@ impl SecurityFlowHeader {
         out.push(self.mac_alg.wire_id());
         out.push(self.enc_alg.wire_id());
         out.push(self.mac.len() as u8);
-        out.push(0); // reserved
+        out.push(self.suite.wire_id());
         out.extend_from_slice(&self.plaintext_len.to_be_bytes());
         out.extend_from_slice(&self.mac);
         out
@@ -160,6 +184,7 @@ impl SecurityFlowHeader {
             timestamp: self.timestamp,
             mac_alg: self.mac_alg,
             enc_alg: self.enc_alg,
+            suite: self.suite,
             plaintext_len: self.plaintext_len,
             mac: &self.mac,
         }
@@ -176,6 +201,7 @@ impl SecurityFlowHeader {
                 timestamp: view.timestamp,
                 mac_alg: view.mac_alg,
                 enc_alg: view.enc_alg,
+                suite: view.suite,
                 plaintext_len: view.plaintext_len,
                 mac: view.mac.to_vec(),
             },
@@ -200,6 +226,8 @@ pub struct HeaderView<'a> {
     pub mac_alg: MacAlgorithm,
     /// Encryption algorithm.
     pub enc_alg: EncAlgorithm,
+    /// Crypto-plane profile (header byte 19; 0 = paper-faithful).
+    pub suite: CipherSuite,
     /// Plaintext body length before padding.
     pub plaintext_len: u32,
     /// The (possibly truncated) MAC bytes, borrowed from the wire buffer.
@@ -224,6 +252,8 @@ impl<'a> HeaderView<'a> {
         if mac_len == 0 || mac_len > mac_alg.output_len() {
             return Err(FbsError::MalformedHeader("bad MAC length"));
         }
+        let suite =
+            CipherSuite::from_wire_id(buf[19]).ok_or(FbsError::UnknownAlgorithm(buf[19]))?;
         let plaintext_len = u32::from_be_bytes(buf[20..24].try_into().unwrap());
         if buf.len() < FIXED_PREFIX_LEN + mac_len {
             return Err(FbsError::MalformedHeader("truncated MAC"));
@@ -236,6 +266,7 @@ impl<'a> HeaderView<'a> {
                 timestamp,
                 mac_alg,
                 enc_alg,
+                suite,
                 plaintext_len,
                 mac,
             },
@@ -261,7 +292,7 @@ impl<'a> HeaderView<'a> {
         out[16] = self.mac_alg.wire_id();
         out[17] = self.enc_alg.wire_id();
         out[18] = self.mac.len() as u8;
-        out[19] = 0; // reserved
+        out[19] = self.suite.wire_id();
         out[20..24].copy_from_slice(&self.plaintext_len.to_be_bytes());
         out[FIXED_PREFIX_LEN..FIXED_PREFIX_LEN + self.mac.len()].copy_from_slice(self.mac);
     }
@@ -278,6 +309,7 @@ mod tests {
             timestamp: 123_456,
             mac_alg: MacAlgorithm::KeyedMd5,
             enc_alg: EncAlgorithm::DesCbc,
+            suite: CipherSuite::Paper,
             plaintext_len: 1000,
             mac: vec![0xAB; 16],
         }
@@ -379,6 +411,8 @@ mod tests {
             EncAlgorithm::DesCfb,
             EncAlgorithm::DesOfb,
             EncAlgorithm::TdeaCbc,
+            EncAlgorithm::DesCtr,
+            EncAlgorithm::ChaCha20,
         ] {
             assert_eq!(EncAlgorithm::from_wire_id(alg.wire_id()), Some(alg));
         }
@@ -387,6 +421,43 @@ mod tests {
         assert_eq!(EncAlgorithm::from_wire_id(42), None);
         assert!(!EncAlgorithm::None.is_secret());
         assert!(EncAlgorithm::DesCbc.is_secret());
+        // Stream algorithms encrypt but have no FIPS 81 block mode.
+        for alg in [EncAlgorithm::DesCtr, EncAlgorithm::ChaCha20] {
+            assert!(alg.is_stream());
+            assert!(alg.is_secret());
+            assert!(alg.des_mode().is_none());
+        }
+        assert!(!EncAlgorithm::DesCbc.is_stream());
+        assert!(!EncAlgorithm::None.is_stream());
+    }
+
+    #[test]
+    fn suite_byte_roundtrips() {
+        for suite in CipherSuite::ALL {
+            let mut h = sample();
+            h.suite = suite;
+            let bytes = h.encode();
+            assert_eq!(bytes[19], suite.wire_id());
+            let (parsed, _) = SecurityFlowHeader::decode(&bytes).unwrap();
+            assert_eq!(parsed.suite, suite);
+        }
+    }
+
+    #[test]
+    fn paper_suite_keeps_byte19_zero() {
+        // Pre-suite frames wrote a reserved zero at byte 19; the paper
+        // suite must keep that byte zero for bit-identical output.
+        assert_eq!(sample().encode()[19], 0);
+    }
+
+    #[test]
+    fn unknown_suite_byte_rejected() {
+        let mut bytes = sample().encode();
+        bytes[19] = 9;
+        assert!(matches!(
+            SecurityFlowHeader::decode(&bytes),
+            Err(FbsError::UnknownAlgorithm(9))
+        ));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batchauth;
 pub mod breaker;
 pub mod cache;
 pub mod clock;
@@ -44,6 +45,7 @@ pub mod ring;
 pub mod sealer;
 pub mod sfl;
 
+pub use batchauth::{BatchVerifier, ResolveStats};
 pub use breaker::{Allow, BreakerConfig, BreakerState, CircuitBreaker, Transition};
 pub use cache::{AtomicCacheStats, CacheStats, Lookup, MissKind, SoftCache};
 pub use clock::{Clock, ManualClock, SystemClock};
@@ -60,7 +62,7 @@ pub use pool::{BufferPool, PoolStats};
 pub use principal::Principal;
 pub use protocol::{
     flow_key_hash, AtomicEndpointStats, Datagram, FbsConfig, FbsEndpoint, FlowCodec, FlowKeyId,
-    ProtectedDatagram,
+    ProtectedDatagram, MIN_SHIPPED_MAC,
 };
 pub use replay::FreshnessWindow;
 pub use retry::{RetryOutcome, RetryPolicy};

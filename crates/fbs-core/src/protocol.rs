@@ -15,6 +15,7 @@
 //! [`FbsConfig::single_pass`] the MAC absorption and block encryption
 //! proceed block-by-block in one loop over the payload.
 
+use crate::batchauth::BatchVerifier;
 use crate::cache::{CacheStats, SoftCache};
 use crate::clock::Clock;
 use crate::error::{FbsError, Result};
@@ -24,13 +25,15 @@ use crate::keying::{derive_flow_key, KeyDerivation, SealedFlowKey};
 use crate::mkd::{MasterKeyDaemon, MkdStats};
 use crate::principal::Principal;
 use crate::replay::FreshnessWindow;
+use fbs_crypto::chacha::{ChaCha20, Poly1305};
 use fbs_crypto::crc32::Crc32;
 use fbs_crypto::des::{
-    decrypt_in_place, padded_len, BlockCipher, BlockEncryptor, Des, TripleDes, BLOCK_SIZE,
+    ctr_xor_at, decrypt_in_place, padded_len, BlockCipher, BlockEncryptor, Des, TripleDes,
+    BLOCK_SIZE,
 };
 use fbs_crypto::mac::MAX_MAC_SIZE;
 use fbs_crypto::rng::Lcg64;
-use fbs_crypto::{crc32, mac_eq, MacAlgorithm};
+use fbs_crypto::{crc32, mac_eq, CipherSuite, MacAlgorithm};
 use fbs_obs::{CacheKind, Counter, Event, MetricsRegistry, MetricsSnapshot};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,17 +106,33 @@ impl ProtectedDatagram {
     }
 }
 
+/// Minimum shipped MAC length in bytes. §5.3 allows truncating the MAC to
+/// save header bytes, but a truncation below this floor guts the
+/// authenticator entirely — `mac_truncate = Some(0)` would ship a
+/// zero-length MAC that `mac_eq` vacuously accepts, making every forged
+/// datagram verify. Configured truncations are clamped up to this value.
+pub const MIN_SHIPPED_MAC: usize = 4;
+
 /// Endpoint configuration.
 #[derive(Clone, Debug)]
 pub struct FbsConfig {
     /// Hash for flow-key derivation (`H` in §5.2).
     pub key_derivation: KeyDerivation,
     /// MAC algorithm (`HMAC` in §5.2 — the paper's keyed MD5 by default).
+    /// The AEAD suite overrides this with Poly1305.
     pub mac_alg: MacAlgorithm,
-    /// Optional MAC truncation (§5.3 allows shipping a prefix).
+    /// Optional MAC truncation (§5.3 allows shipping a prefix). Values
+    /// below [`MIN_SHIPPED_MAC`] are clamped up (see
+    /// [`FbsConfig::validate`]).
     pub mac_truncate: Option<usize>,
-    /// Encryption algorithm used when the `secret` flag is set.
+    /// Encryption algorithm used when the `secret` flag is set under the
+    /// paper suite. The fast and AEAD suites select their own ciphers.
     pub enc_alg: EncAlgorithm,
+    /// Crypto-plane profile. Sealed into every flow key this endpoint
+    /// derives and carried in header byte 19; both halves of a flow must
+    /// agree (a received frame naming a different suite is rejected as
+    /// [`FbsError::BadMac`]).
+    pub suite: CipherSuite,
     /// Replay freshness window.
     pub freshness: FreshnessWindow,
     /// TFKC geometry: sets × associativity.
@@ -143,6 +162,7 @@ impl Default for FbsConfig {
             mac_alg: MacAlgorithm::KeyedMd5,
             mac_truncate: None,
             enc_alg: EncAlgorithm::DesCbc,
+            suite: CipherSuite::Paper,
             freshness: FreshnessWindow::default(),
             // §5.3: TFKC should cover the average number of active flows;
             // 64 direct-mapped slots matches the implementation's combined
@@ -156,6 +176,74 @@ impl Default for FbsConfig {
             single_pass: true,
             nop_crypto: false,
         }
+    }
+}
+
+impl FbsConfig {
+    /// Check the configuration for values that would silently weaken the
+    /// protocol. Returns an error for a `mac_truncate` below
+    /// [`MIN_SHIPPED_MAC`] (a `Some(0)` truncation ships an empty MAC that
+    /// verifies vacuously) and for Poly1305 configured as the flow MAC of
+    /// a non-AEAD suite (Poly1305 keys are one-time; only the AEAD suite
+    /// derives them safely).
+    pub fn validate(&self) -> Result<()> {
+        if let Some(n) = self.mac_truncate {
+            if n < MIN_SHIPPED_MAC {
+                return Err(FbsError::MalformedHeader(
+                    "mac_truncate below the 4-byte minimum",
+                ));
+            }
+        }
+        if self.suite != CipherSuite::AeadChaPoly && self.mac_alg == MacAlgorithm::Poly1305 {
+            return Err(FbsError::MalformedHeader(
+                "Poly1305 requires the AEAD suite (one-time keys)",
+            ));
+        }
+        Ok(())
+    }
+
+    /// A copy with insecure values clamped to their safe floors: the
+    /// defensive counterpart of [`validate`](Self::validate), applied by
+    /// [`FlowCodec::new`] so even a hand-built config that skipped
+    /// validation cannot ship a forgeable MAC.
+    pub fn normalized(mut self) -> Self {
+        if let Some(n) = &mut self.mac_truncate {
+            *n = (*n).max(MIN_SHIPPED_MAC);
+        }
+        if self.suite != CipherSuite::AeadChaPoly && self.mac_alg == MacAlgorithm::Poly1305 {
+            self.mac_alg = MacAlgorithm::KeyedMd5;
+        }
+        self
+    }
+
+    /// The MAC algorithm the configured suite actually uses.
+    pub fn suite_mac_alg(&self) -> MacAlgorithm {
+        match self.suite {
+            CipherSuite::Paper | CipherSuite::FastDes => self.mac_alg,
+            CipherSuite::AeadChaPoly => MacAlgorithm::Poly1305,
+        }
+    }
+
+    /// The cipher the configured suite uses when `secret` is requested.
+    pub fn suite_enc_alg(&self) -> EncAlgorithm {
+        match self.suite {
+            CipherSuite::Paper => self.enc_alg,
+            CipherSuite::FastDes => EncAlgorithm::DesCtr,
+            CipherSuite::AeadChaPoly => EncAlgorithm::ChaCha20,
+        }
+    }
+
+    /// Seal a derived flow key with every schedule this configuration
+    /// needs, ready for the per-datagram path.
+    pub fn seal_key(&self, key: crate::keying::FlowKey) -> SealedFlowKey {
+        SealedFlowKey::seal_for(key, self.suite, self.suite_mac_alg(), self.suite_enc_alg())
+    }
+
+    /// Shipped MAC length for a MAC of `full` bytes under this config's
+    /// truncation, never below [`MIN_SHIPPED_MAC`].
+    fn shipped_mac_len(&self, full: usize) -> usize {
+        self.mac_truncate
+            .map_or(full, |n| full.min(n.max(MIN_SHIPPED_MAC)))
     }
 }
 
@@ -281,7 +369,10 @@ impl FlowCodec {
     pub fn new(local: Principal, cfg: FbsConfig, clock: Arc<dyn Clock>, seed: u64) -> Self {
         FlowCodec {
             local,
-            cfg,
+            // Clamp insecure settings (zero-length truncated MACs, misused
+            // one-time MAC algorithms) even if the caller skipped
+            // `FbsConfig::validate`.
+            cfg: cfg.normalized(),
             clock,
             confounder: Lcg64::new(seed),
             stats: Arc::new(AtomicEndpointStats::new()),
@@ -358,17 +449,28 @@ impl FlowCodec {
     ) -> Result<()> {
         let confounder = self.confounder.next_u32();
         let timestamp = self.clock.now_minutes();
+        // Dispatch on the suite sealed into the key (falling back to the
+        // config for compatibility keys): the profile travels with the key
+        // schedule, so a worker never branches on mutable config mid-batch.
+        let suite = key.suite();
+        let mac_alg = match suite {
+            CipherSuite::AeadChaPoly => MacAlgorithm::Poly1305,
+            _ => self.cfg.mac_alg,
+        };
         let enc_alg = if secret && !self.cfg.nop_crypto {
-            self.cfg.enc_alg
+            match suite {
+                CipherSuite::Paper => self.cfg.enc_alg,
+                CipherSuite::FastDes => EncAlgorithm::DesCtr,
+                CipherSuite::AeadChaPoly => EncAlgorithm::ChaCha20,
+            }
         } else {
             EncAlgorithm::None
         };
-        let mac_out_len = self.cfg.mac_alg.output_len();
-        let shipped = self
-            .cfg
-            .mac_truncate
-            .map_or(mac_out_len, |n| mac_out_len.min(n));
+        let mac_out_len = mac_alg.output_len();
+        let shipped = self.cfg.shipped_mac_len(mac_out_len);
         let header_len = FIXED_PREFIX_LEN + shipped;
+        // Block ciphers pad to a whole block; stream ciphers (and
+        // MAC-only) keep the wire body at plaintext length.
         let wire_body_len = if enc_alg.des_mode().is_some() {
             padded_len(body.len())
         } else {
@@ -384,9 +486,12 @@ impl FlowCodec {
         let mac_len = seal_core(
             &self.cfg,
             key,
+            suite,
+            sfl,
             confounder,
             timestamp,
             body.len(),
+            mac_alg,
             enc_alg,
             wire_body,
             &mut mac_buf,
@@ -396,8 +501,9 @@ impl FlowCodec {
             sfl,
             confounder,
             timestamp,
-            mac_alg: self.cfg.mac_alg,
+            mac_alg,
             enc_alg,
+            suite,
             plaintext_len: body.len() as u32,
             mac: &mac_buf[..shipped],
         }
@@ -418,43 +524,187 @@ impl FlowCodec {
         body: &[u8],
         out: &mut Vec<u8>,
     ) -> Result<()> {
-        if let Err(e) = open_body_into(h, key, body, out) {
-            self.stats.malformed_drops.fetch_add(1, Ordering::Relaxed);
-            if let Some(reg) = &self.obs {
-                reg.record(Event::MalformedDrop);
-            }
-            return Err(e);
+        let Some((expected, full)) = self.open_compute(h, key, body, out)? else {
+            // Fig. 8's "FBS NOP": MAC verification returns immediately.
+            self.note_received(out.len() as u64);
+            return Ok(());
+        };
+        // R7-9: MAC verification (constant-time compare).
+        let used = self.cfg.shipped_mac_len(full);
+        if !mac_eq(&expected[..used], h.mac) {
+            self.note_mac_drop();
+            return Err(FbsError::BadMac);
         }
+        self.note_received(out.len() as u64);
+        // R12: `out` holds the datagram body.
+        Ok(())
+    }
+
+    /// [`Self::open_with_key_into`] with the MAC *comparison* deferred into
+    /// `verifier` (MABS-style batch verification): the body is recovered
+    /// and the expected tag computed now, but the accept/reject decision —
+    /// and the receive/mac-drop accounting — happens when the caller
+    /// resolves the verifier over the whole sub-batch. Returns `true` when
+    /// a tag was enqueued (the caller MUST resolve the verifier and then
+    /// call [`Self::note_deferred_pass`] or
+    /// [`Self::note_deferred_mac_drop`] per datagram), `false` when the
+    /// datagram was fully accepted here (NOP-crypto mode).
+    pub fn open_with_key_deferred(
+        &self,
+        h: &HeaderView<'_>,
+        key: &SealedFlowKey,
+        body: &[u8],
+        out: &mut Vec<u8>,
+        token: usize,
+        verifier: &mut BatchVerifier,
+    ) -> Result<bool> {
+        let Some((expected, full)) = self.open_compute(h, key, body, out)? else {
+            self.note_received(out.len() as u64);
+            return Ok(false);
+        };
+        let used = self.cfg.shipped_mac_len(full);
+        // The shipped MAC is copied out of the wire buffer: by resolution
+        // time the payload buffer has been recycled into the pool.
+        verifier.push(&expected[..used], h.mac, token);
+        Ok(true)
+    }
+
+    /// Deferred-verification bookkeeping: the datagram whose tag was
+    /// enqueued by [`Self::open_with_key_deferred`] passed batch
+    /// verification.
+    pub fn note_deferred_pass(&self, bytes: u64) {
+        self.note_received(bytes);
+    }
+
+    /// Deferred-verification bookkeeping: the datagram failed batch
+    /// verification (isolated by bisection).
+    pub fn note_deferred_mac_drop(&self) {
+        self.note_mac_drop();
+    }
+
+    /// Recover the body into `out` and compute the expected MAC, dispatched
+    /// on the (authenticated) suite id. Returns `None` in NOP-crypto mode
+    /// (body recovered, nothing to verify), otherwise the expected tag and
+    /// its untruncated length.
+    fn open_compute(
+        &self,
+        h: &HeaderView<'_>,
+        key: &SealedFlowKey,
+        body: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<Option<([u8; MAX_MAC_SIZE], usize)>> {
+        // Both halves of a flow must run the same profile: a frame naming
+        // a different suite is keyed differently by construction (the
+        // suite id is absorbed into the MAC of the non-paper suites) and
+        // is rejected up front, so no downgrade path exists.
+        if h.suite != self.cfg.suite {
+            self.note_mac_drop();
+            return Err(FbsError::BadMac);
+        }
+        let mut expected = [0u8; MAX_MAC_SIZE];
+        let full = match h.suite {
+            CipherSuite::Paper => {
+                if let Err(e) = open_body_into(h, key, body, out) {
+                    self.note_malformed();
+                    return Err(e);
+                }
+                self.note_decrypted(h);
+                if self.cfg.nop_crypto {
+                    return Ok(None);
+                }
+                // The paper layout: MAC over confounder | timestamp |
+                // plaintext — bit-identical to the pre-suite wire format.
+                let mut ctx = key.mac_begin(h.mac_alg);
+                ctx.update(&h.confounder.to_be_bytes());
+                ctx.update(&h.timestamp.to_be_bytes());
+                ctx.update(out);
+                ctx.finalize_into(&mut expected)
+            }
+            CipherSuite::FastDes => {
+                if !matches!(h.enc_alg, EncAlgorithm::None | EncAlgorithm::DesCtr)
+                    || h.plaintext_len as usize != body.len()
+                {
+                    self.note_malformed();
+                    return Err(FbsError::MalformedCiphertext);
+                }
+                out.clear();
+                out.extend_from_slice(body);
+                if h.enc_alg == EncAlgorithm::DesCtr {
+                    ctr_xor_at(key.des(), ctr_base(h.confounder, h.timestamp), 0, out);
+                }
+                self.note_decrypted(h);
+                if self.cfg.nop_crypto {
+                    return Ok(None);
+                }
+                let mut ctx = key.mac_begin(h.mac_alg);
+                ctx.update(&[h.suite.wire_id()]);
+                ctx.update(&h.confounder.to_be_bytes());
+                ctx.update(&h.timestamp.to_be_bytes());
+                ctx.update(out);
+                ctx.finalize_into(&mut expected)
+            }
+            CipherSuite::AeadChaPoly => {
+                if !matches!(h.enc_alg, EncAlgorithm::None | EncAlgorithm::ChaCha20)
+                    || h.plaintext_len as usize != body.len()
+                {
+                    self.note_malformed();
+                    return Err(FbsError::MalformedCiphertext);
+                }
+                out.clear();
+                out.extend_from_slice(body);
+                let cc = ChaCha20::new(
+                    key.chacha_key(),
+                    &aead_nonce(h.sfl, h.confounder, h.timestamp),
+                );
+                if self.cfg.nop_crypto {
+                    if h.enc_alg == EncAlgorithm::ChaCha20 {
+                        cc.xor_keystream(1, out);
+                    }
+                    self.note_decrypted(h);
+                    return Ok(None);
+                }
+                // Encrypt-then-MAC: the tag covers the ciphertext, so it
+                // is computed before decryption.
+                let mut p = Poly1305::new(&cc.poly1305_key());
+                p.update(&[h.suite.wire_id()]);
+                p.update(&h.confounder.to_be_bytes());
+                p.update(&h.timestamp.to_be_bytes());
+                p.update(out);
+                expected[..16].copy_from_slice(&p.finalize());
+                if h.enc_alg == EncAlgorithm::ChaCha20 {
+                    cc.xor_keystream(1, out);
+                }
+                self.note_decrypted(h);
+                16
+            }
+        };
+        Ok(Some((expected, full)))
+    }
+
+    /// Decryption accounting, fired once per secret body.
+    fn note_decrypted(&self, h: &HeaderView<'_>) {
         if h.enc_alg.is_secret() {
             self.stats.decryptions.fetch_add(1, Ordering::Relaxed);
             if let Some(reg) = &self.obs {
                 reg.incr(Counter::Decryptions);
             }
         }
-        if self.cfg.nop_crypto {
-            // Fig. 8's "FBS NOP": MAC verification returns immediately.
-            self.note_received(out.len() as u64);
-            return Ok(());
+    }
+
+    /// Malformed-frame accounting (stats + event).
+    fn note_malformed(&self) {
+        self.stats.malformed_drops.fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = &self.obs {
+            reg.record(Event::MalformedDrop);
         }
-        // R7-9: MAC verification (constant-time compare), streamed into a
-        // stack buffer.
-        let mut ctx = h.mac_alg.begin(key.as_bytes());
-        ctx.update(&h.confounder.to_be_bytes());
-        ctx.update(&h.timestamp.to_be_bytes());
-        ctx.update(out);
-        let mut expected = [0u8; MAX_MAC_SIZE];
-        let full = ctx.finalize_into(&mut expected);
-        let used = self.cfg.mac_truncate.map_or(full, |n| full.min(n));
-        if !mac_eq(&expected[..used], h.mac) {
-            self.stats.mac_drops.fetch_add(1, Ordering::Relaxed);
-            if let Some(reg) = &self.obs {
-                reg.record(Event::MacDrop);
-            }
-            return Err(FbsError::BadMac);
+    }
+
+    /// MAC-mismatch accounting (stats + event).
+    fn note_mac_drop(&self) {
+        self.stats.mac_drops.fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = &self.obs {
+            reg.record(Event::MacDrop);
         }
-        self.note_received(out.len() as u64);
-        // R12: `out` holds the datagram body.
-        Ok(())
     }
 
     /// Shared send-side accounting (stats + observation), identical for
@@ -586,7 +836,7 @@ impl FbsEndpoint {
         }
         let t0 = self.obs.as_ref().map(|_| self.codec.clock.now_micros());
         let master = self.master_key(destination)?;
-        let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
+        let k = Arc::new(self.codec.cfg.seal_key(derive_flow_key(
             self.codec.cfg.key_derivation,
             sfl,
             &master,
@@ -606,7 +856,7 @@ impl FbsEndpoint {
         }
         let t0 = self.obs.as_ref().map(|_| self.codec.clock.now_micros());
         let master = self.master_key(source)?;
-        let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
+        let k = Arc::new(self.codec.cfg.seal_key(derive_flow_key(
             self.codec.cfg.key_derivation,
             sfl,
             &master,
@@ -649,7 +899,7 @@ impl FbsEndpoint {
             destination,
         );
         self.record_derivation(t0);
-        Ok(Arc::new(SealedFlowKey::seal(k)))
+        Ok(Arc::new(self.codec.cfg.seal_key(k)))
     }
 
     /// `FBSSend` with a caller-provided flow key (the combined-table fast
@@ -871,33 +1121,107 @@ impl BlockCipher for FlowCipher<'_> {
     }
 }
 
+/// CTR counter base for the fast suite: confounder || timestamp. Keystream
+/// block `i` is `E(base + i)`; uniqueness rests on the per-datagram
+/// confounder (32 random bits per minute bucket — the same birthday bound
+/// the paper's CBC IV already relies on).
+fn ctr_base(confounder: u32, timestamp: u32) -> u64 {
+    ((confounder as u64) << 32) | timestamp as u64
+}
+
+/// 96-bit AEAD nonce: confounder | timestamp | low sfl bits. Unique per
+/// datagram under the same flow key to the extent the confounder is.
+fn aead_nonce(sfl: u64, confounder: u32, timestamp: u32) -> [u8; 12] {
+    let mut nonce = [0u8; 12];
+    nonce[0..4].copy_from_slice(&confounder.to_be_bytes());
+    nonce[4..8].copy_from_slice(&timestamp.to_be_bytes());
+    nonce[8..12].copy_from_slice(&(sfl as u32).to_be_bytes());
+    nonce
+}
+
+/// Fused chunk size for the fast-DES single-pass loop: MAC absorption and
+/// CTR keystream XOR alternate over chunks this large (a multiple of both
+/// the DES block and the 4-wide keystream stride).
+const CTR_FUSE_CHUNK: usize = 256;
+
 /// Compute the MAC and optionally encrypt, honouring the single-pass
 /// configuration — entirely in place. `body` is the wire body region:
 /// `body[..plaintext_len]` holds the plaintext, the remainder (zeroed
-/// padding, present only when a cipher is selected) completes the final
-/// block. The MAC lands in `mac_out`; the untruncated length is returned.
+/// padding, present only when a block cipher is selected) completes the
+/// final block. The MAC lands in `mac_out`; the untruncated length is
+/// returned. Dispatch is per [`CipherSuite`]; the paper suite's output is
+/// bit-identical to the pre-suite implementation.
 #[allow(clippy::too_many_arguments)]
 fn seal_core(
     cfg: &FbsConfig,
     key: &SealedFlowKey,
+    suite: CipherSuite,
+    sfl: u64,
     confounder: u32,
     timestamp: u32,
     plaintext_len: usize,
+    mac_alg: MacAlgorithm,
     enc_alg: EncAlgorithm,
     body: &mut [u8],
     mac_out: &mut [u8; MAX_MAC_SIZE],
 ) -> usize {
-    let out_len = cfg.mac_alg.output_len();
+    let out_len = mac_alg.output_len();
     if cfg.nop_crypto {
         // Fig. 8's "FBS NOP": MAC computation returns immediately.
         mac_out[..out_len].fill(0);
         return out_len;
     }
 
+    match suite {
+        CipherSuite::Paper => {}
+        CipherSuite::FastDes => {
+            // Fast profile: prefix-keyed MAC (cached key prefix) over
+            // suite | confounder | timestamp | plaintext, fused with the
+            // 4-wide DES-CTR keystream XOR in one pass over the data.
+            debug_assert_eq!(body.len(), plaintext_len);
+            let mut ctx = key.mac_begin(mac_alg);
+            ctx.update(&[suite.wire_id()]);
+            ctx.update(&confounder.to_be_bytes());
+            ctx.update(&timestamp.to_be_bytes());
+            if enc_alg == EncAlgorithm::DesCtr {
+                let base = ctr_base(confounder, timestamp);
+                let mut off = 0;
+                while off < body.len() {
+                    let n = (body.len() - off).min(CTR_FUSE_CHUNK);
+                    let chunk = &mut body[off..off + n];
+                    // Plaintext enters the MAC, then is encrypted in place.
+                    ctx.update(chunk);
+                    ctr_xor_at(key.des(), base, (off / BLOCK_SIZE) as u64, chunk);
+                    off += n;
+                }
+            } else {
+                ctx.update(body);
+            }
+            return ctx.finalize_into(mac_out);
+        }
+        CipherSuite::AeadChaPoly => {
+            // AEAD profile: ChaCha20 from keystream block 1, Poly1305 tag
+            // (one-time key from block 0) over suite | confounder |
+            // timestamp | ciphertext — encrypt-then-MAC per RFC 8439.
+            debug_assert_eq!(body.len(), plaintext_len);
+            let cc = ChaCha20::new(key.chacha_key(), &aead_nonce(sfl, confounder, timestamp));
+            if enc_alg == EncAlgorithm::ChaCha20 {
+                cc.xor_keystream(1, body);
+            }
+            let mut p = Poly1305::new(&cc.poly1305_key());
+            p.update(&[suite.wire_id()]);
+            p.update(&confounder.to_be_bytes());
+            p.update(&timestamp.to_be_bytes());
+            p.update(body);
+            mac_out[..Poly1305::TAG_LEN].copy_from_slice(&p.finalize());
+            return Poly1305::TAG_LEN;
+        }
+    }
+
     let Some(mode) = enc_alg.des_mode() else {
         // MAC-only path: single data touch by construction.
         debug_assert_eq!(body.len(), plaintext_len);
-        let mut ctx = cfg.mac_alg.begin(key.as_bytes());
+        let mut ctx = key.mac_begin(mac_alg);
         ctx.update(&confounder.to_be_bytes());
         ctx.update(&timestamp.to_be_bytes());
         ctx.update(body);
@@ -909,7 +1233,7 @@ fn seal_core(
     let iv = ((confounder as u64) << 32) | confounder as u64;
     if !cfg.single_pass {
         // Two-pass ablation: MAC sweep, then encryption sweep.
-        let mut ctx = cfg.mac_alg.begin(key.as_bytes());
+        let mut ctx = key.mac_begin(mac_alg);
         ctx.update(&confounder.to_be_bytes());
         ctx.update(&timestamp.to_be_bytes());
         ctx.update(&body[..plaintext_len]);
@@ -920,7 +1244,7 @@ fn seal_core(
 
     // Single pass (§5.3): absorb each plaintext block into the MAC and
     // encrypt it in the same loop iteration.
-    let mut ctx = cfg.mac_alg.begin(key.as_bytes());
+    let mut ctx = key.mac_begin(mac_alg);
     ctx.update(&confounder.to_be_bytes());
     ctx.update(&timestamp.to_be_bytes());
     let mut enc = BlockEncryptor::new(&des, mode, iv);

@@ -7,7 +7,7 @@ use fbs_core::cache::SoftCache;
 use fbs_core::fam::{Fam, FlowPolicy, FstEntry};
 use fbs_core::header::{EncAlgorithm, SecurityFlowHeader};
 use fbs_core::SflAllocator;
-use fbs_crypto::MacAlgorithm;
+use fbs_crypto::{CipherSuite, MacAlgorithm};
 use fbs_obs::{CacheKind, MetricsRegistry, MetricsSnapshot};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -17,12 +17,13 @@ fn header_strategy() -> impl Strategy<Value = SecurityFlowHeader> {
         any::<u64>(),
         any::<u32>(),
         any::<u32>(),
-        0u8..4,
-        0u8..6,
+        0u8..5,
+        0u8..8,
+        0u8..3,
         any::<u32>(),
         1usize..=16,
     )
-        .prop_map(|(sfl, conf, ts, mac_id, enc_id, len, mac_len)| {
+        .prop_map(|(sfl, conf, ts, mac_id, enc_id, suite_id, len, mac_len)| {
             let mac_alg = MacAlgorithm::from_wire_id(mac_id).unwrap();
             SecurityFlowHeader {
                 sfl,
@@ -30,6 +31,7 @@ fn header_strategy() -> impl Strategy<Value = SecurityFlowHeader> {
                 timestamp: ts,
                 mac_alg,
                 enc_alg: EncAlgorithm::from_wire_id(enc_id).unwrap(),
+                suite: CipherSuite::from_wire_id(suite_id).unwrap(),
                 plaintext_len: len,
                 mac: vec![0xAB; mac_len.min(mac_alg.output_len())],
             }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod bignum;
+pub mod chacha;
 pub mod crc32;
 pub mod des;
 pub mod dh;
@@ -35,8 +36,10 @@ pub mod md5;
 pub mod rng;
 pub mod rsa;
 pub mod sha1;
+pub mod suite;
 
 pub use bignum::BigUint;
+pub use chacha::{poly1305, ChaCha20, Poly1305};
 pub use crc32::crc32;
 pub use des::{Des, Mode as DesMode};
 pub use dh::{DhGroup, PrivateValue, PublicValue};
@@ -45,3 +48,4 @@ pub use md5::md5;
 pub use rng::{Bbs, Lcg64};
 pub use rsa::{RsaPrivateKey, RsaPublicKey};
 pub use sha1::sha1;
+pub use suite::CipherSuite;

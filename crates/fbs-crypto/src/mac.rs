@@ -12,6 +12,7 @@
 //!   eliminate this, and the algorithm-ID field lets deployments upgrade);
 //! * [`MacAlgorithm`] — the algorithm-identification selector (§5.2).
 
+use crate::chacha::Poly1305;
 use crate::md5::{self, Md5};
 use crate::sha1::{self, Sha1};
 
@@ -29,13 +30,18 @@ pub enum MacAlgorithm {
     HmacMd5,
     /// RFC 2104 HMAC-SHA1: 20 bytes.
     HmacSha1,
+    /// Poly1305 one-time authenticator (RFC 8439): 16 bytes. The key is a
+    /// 32-byte *one-time* `r || s` pair — the AEAD suite derives a fresh one
+    /// per datagram from ChaCha20 keystream block 0; it is never keyed with
+    /// the long-lived flow key directly.
+    Poly1305,
 }
 
 impl MacAlgorithm {
     /// Output length in bytes before truncation.
     pub fn output_len(self) -> usize {
         match self {
-            MacAlgorithm::KeyedMd5 | MacAlgorithm::HmacMd5 => 16,
+            MacAlgorithm::KeyedMd5 | MacAlgorithm::HmacMd5 | MacAlgorithm::Poly1305 => 16,
             MacAlgorithm::KeyedSha1 | MacAlgorithm::HmacSha1 => 20,
         }
     }
@@ -47,6 +53,7 @@ impl MacAlgorithm {
             MacAlgorithm::KeyedSha1 => 1,
             MacAlgorithm::HmacMd5 => 2,
             MacAlgorithm::HmacSha1 => 3,
+            MacAlgorithm::Poly1305 => 4,
         }
     }
 
@@ -57,6 +64,7 @@ impl MacAlgorithm {
             1 => MacAlgorithm::KeyedSha1,
             2 => MacAlgorithm::HmacMd5,
             3 => MacAlgorithm::HmacSha1,
+            4 => MacAlgorithm::Poly1305,
             _ => return None,
         })
     }
@@ -82,6 +90,13 @@ impl MacAlgorithm {
             }
             MacAlgorithm::HmacMd5 => hmac_md5_parts(key, parts).to_vec(),
             MacAlgorithm::HmacSha1 => hmac_sha1_parts(key, parts).to_vec(),
+            MacAlgorithm::Poly1305 => {
+                let mut ctx = self.begin(key);
+                for p in parts {
+                    ctx.update(p);
+                }
+                ctx.finalize()
+            }
         }
     }
 }
@@ -93,6 +108,12 @@ impl MacAlgorithm {
 /// data-touching operations — MAC + encryption — into a single pass. The
 /// streaming context makes that single-pass loop possible: the protocol
 /// layer interleaves `update` calls with cipher-block processing.
+///
+/// `Clone` lets a flow key cache a context that has already absorbed the
+/// key prefix: sealing a datagram then clones the cached state instead of
+/// re-absorbing the key, skipping one compression-function invocation per
+/// datagram for the prefix-keyed algorithms.
+#[derive(Clone)]
 pub enum MacContext {
     /// Prefix-keyed MD5 state.
     KeyedMd5(Md5),
@@ -112,6 +133,8 @@ pub enum MacContext {
         /// Padded key block.
         key_block: [u8; 64],
     },
+    /// Poly1305 one-time authenticator state.
+    Poly1305(Poly1305),
 }
 
 impl MacContext {
@@ -122,6 +145,7 @@ impl MacContext {
             MacContext::KeyedSha1(ctx) => ctx.update(data),
             MacContext::HmacMd5 { inner, .. } => inner.update(data),
             MacContext::HmacSha1 { inner, .. } => inner.update(data),
+            MacContext::Poly1305(ctx) => ctx.update(data),
         }
     }
 
@@ -159,6 +183,10 @@ impl MacContext {
                 outer.update(&inner_digest);
                 out[..20].copy_from_slice(&outer.finalize());
                 20
+            }
+            MacContext::Poly1305(ctx) => {
+                out[..16].copy_from_slice(&ctx.finalize());
+                16
             }
         }
     }
@@ -214,6 +242,15 @@ impl MacAlgorithm {
                     inner,
                     key_block: k,
                 }
+            }
+            MacAlgorithm::Poly1305 => {
+                // The one-time key is exactly 32 bytes; shorter keys are
+                // zero-padded (deterministic, but callers always pass the
+                // full `r || s` pair), longer keys are truncated.
+                let mut otk = [0u8; 32];
+                let n = key.len().min(32);
+                otk[..n].copy_from_slice(&key[..n]);
+                MacContext::Poly1305(Poly1305::new(&otk))
             }
         }
     }
@@ -376,6 +413,7 @@ mod tests {
             MacAlgorithm::KeyedSha1,
             MacAlgorithm::HmacMd5,
             MacAlgorithm::HmacSha1,
+            MacAlgorithm::Poly1305,
         ] {
             assert_eq!(MacAlgorithm::from_wire_id(alg.wire_id()), Some(alg));
             assert_eq!(alg.compute(b"k", &[b"x"]).len(), alg.output_len());
@@ -390,6 +428,7 @@ mod tests {
             MacAlgorithm::KeyedSha1,
             MacAlgorithm::HmacMd5,
             MacAlgorithm::HmacSha1,
+            MacAlgorithm::Poly1305,
         ] {
             let oneshot = alg.compute(b"the key", &[b"hello ", b"world"]);
             let mut ctx = alg.begin(b"the key");
@@ -406,6 +445,28 @@ mod tests {
         let mut ctx = MacAlgorithm::HmacMd5.begin(&key);
         ctx.update(b"msg");
         assert_eq!(ctx.finalize(), oneshot);
+    }
+
+    /// The cached key-prefix pattern: cloning a context that has absorbed
+    /// only the key, then feeding each message into the clone, matches a
+    /// fresh `begin` per message.
+    #[test]
+    fn cloned_prefix_context_matches_fresh() {
+        for alg in [
+            MacAlgorithm::KeyedMd5,
+            MacAlgorithm::KeyedSha1,
+            MacAlgorithm::HmacMd5,
+            MacAlgorithm::HmacSha1,
+        ] {
+            let cached = alg.begin(b"flow key");
+            for msg in [&b"first datagram"[..], b"second", b""] {
+                let mut from_clone = cached.clone();
+                from_clone.update(msg);
+                let mut fresh = alg.begin(b"flow key");
+                fresh.update(msg);
+                assert_eq!(from_clone.finalize(), fresh.finalize(), "{alg:?}");
+            }
+        }
     }
 
     #[test]

@@ -139,12 +139,13 @@ use fbs_core::breaker::BreakerState;
 use fbs_core::header::{HeaderView, FIXED_PREFIX_LEN};
 use fbs_core::protocol::EndpointStats;
 use fbs_core::{
-    derive_flow_key, AtomicCacheStats, BudgetKind, BudgetSnapshot, BufferPool, Clock, Fam,
-    FbsConfig, FbsEndpoint, FbsError, FlowCodec, FlowKeyId, FstEntry, KeyUnavailableVerdict,
-    KeyingService, MemoryBudget, ParkStats, Parked, ParkingQueue, Principal, Published,
-    RuntimeError, SealedFlowKey, SflAllocator, SoftCache, SpscRing, WorkerFaultInjector,
+    derive_flow_key, AtomicCacheStats, BatchVerifier, BudgetKind, BudgetSnapshot, BufferPool,
+    Clock, Fam, FbsConfig, FbsEndpoint, FbsError, FlowCodec, FlowKeyId, FstEntry,
+    KeyUnavailableVerdict, KeyingService, MemoryBudget, ParkStats, Parked, ParkingQueue,
+    Principal, Published, RuntimeError, SealedFlowKey, SflAllocator, SoftCache, SpscRing,
+    WorkerFaultInjector,
 };
-use fbs_crypto::crc32;
+use fbs_crypto::{crc32, CipherSuite};
 use fbs_net::ip::Proto;
 use fbs_net::{Datagram, HookOutcome, Ipv4Header, SecurityHooks};
 use fbs_obs::{
@@ -831,7 +832,10 @@ fn derive_key(
     let t0 = obs.as_ref().map(|_| shared.clock.now_micros());
     let timer = obs.as_ref().map(|_| StageTimer::start());
     let master = shared.keying.master_key(peer)?;
-    let k = Arc::new(SealedFlowKey::seal(derive_flow_key(
+    // seal_for (via seal_key) pre-builds every schedule the configured
+    // suite needs — TDEA subkeys, the ChaCha key, the cached MAC key
+    // prefix — so the per-datagram path never initializes lazily.
+    let k = Arc::new(shared.ep_cfg.seal_key(derive_flow_key(
         shared.ep_cfg.key_derivation,
         sfl,
         &master,
@@ -943,8 +947,11 @@ fn protect(
         .seal_with_key_into(sfl, &key, payload, cfg.encrypt, &mut out)
     {
         Ok(()) => {
-            if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
-                reg.observe_stage(Stage::Seal, timer.elapsed_ns());
+            if let Some(reg) = obs.as_ref() {
+                if let Some(timer) = timer {
+                    reg.observe_stage(Stage::Seal, timer.elapsed_ns());
+                }
+                reg.incr(suite_counter(shared.ep_cfg.suite, Direction::Output));
             }
             trace_span(
                 obs,
@@ -1083,17 +1090,24 @@ fn output_item(
 }
 
 /// The verify path, with no verdict handling: parse the FBS framing,
-/// resolve the receive flow key, and verify/decrypt the borrowed wire
-/// payload into a supply buffer (fixing up `header`'s length on
-/// success).
+/// resolve the receive flow key, and recover the borrowed wire payload
+/// into a supply buffer (fixing up `header`'s length on success). The
+/// MAC *comparison* is deferred into `auth` (MABS-style batch
+/// verification): on `Ok((body, true))` the accept/reject decision
+/// lands at sub-batch resolution, keyed by `token` (the item's index in
+/// the `done` list).
+#[allow(clippy::too_many_arguments)]
 fn verify(
     shared: &HookShared,
     shard: &mut Shard,
+    shard_local: usize,
     header: &mut Ipv4Header,
     payload: &[u8],
     ctx: &mut WorkerCtx<'_>,
+    token: usize,
+    auth: &mut BatchAuth,
     obs: &Option<Arc<MetricsRegistry>>,
-) -> Result<Vec<u8>, FbsError> {
+) -> Result<(Vec<u8>, bool), FbsError> {
     let source = Principal::from_ipv4(header.src);
     let (view, used) = HeaderView::parse(payload)?;
     // R3-4: freshness before key lookup, so a stale datagram is rejected
@@ -1109,13 +1123,20 @@ fn verify(
     };
     let mut body = ctx.take();
     let timer = obs.as_ref().map(|_| StageTimer::start());
-    match shard
-        .codec
-        .open_with_key_into(&view, &key, &payload[used..], &mut body)
-    {
-        Ok(()) => {
-            if let (Some(reg), Some(timer)) = (obs.as_ref(), timer) {
-                reg.observe_stage(Stage::Open, timer.elapsed_ns());
+    match shard.codec.open_with_key_deferred(
+        &view,
+        &key,
+        &payload[used..],
+        &mut body,
+        token,
+        &mut auth.verifier,
+    ) {
+        Ok(deferred) => {
+            if let Some(reg) = obs.as_ref() {
+                if let Some(timer) = timer {
+                    reg.observe_stage(Stage::Open, timer.elapsed_ns());
+                }
+                reg.incr(suite_counter(shared.ep_cfg.suite, Direction::Input));
             }
             trace_span(
                 obs,
@@ -1125,9 +1146,16 @@ fn verify(
                 shared.clock.now_micros(),
                 body.len() as u64,
             );
+            if deferred {
+                auth.deferred.push(DeferredOpen {
+                    done_idx: token,
+                    shard_local,
+                    bytes: body.len() as u64,
+                });
+            }
             let delta = payload.len() as isize - body.len() as isize;
             header.grow_payload(-delta);
-            Ok(body)
+            Ok((body, deferred))
         }
         Err(e) => {
             ctx.put(body);
@@ -1148,11 +1176,14 @@ fn verify(
 fn input_item(
     shared: &HookShared,
     shard: &mut Shard,
+    shard_local: usize,
     header: &mut Ipv4Header,
     payload: Vec<u8>,
     ctx: &mut WorkerCtx<'_>,
     now_us: u64,
     cfg: &IpMappingConfig,
+    token: usize,
+    auth: &mut BatchAuth,
     obs: &Option<Arc<MetricsRegistry>>,
 ) -> HookOutcome {
     record(
@@ -1162,18 +1193,34 @@ fn input_item(
         },
     );
     let verdict = degrade_verdict(cfg);
-    let res = verify(shared, shard, header, &payload, ctx, obs);
+    let res = verify(
+        shared,
+        shard,
+        shard_local,
+        header,
+        &payload,
+        ctx,
+        token,
+        auth,
+        obs,
+    );
     match res {
-        Ok(body) => {
+        Ok((body, deferred)) => {
+            // The wire buffer is recycled either way: the deferred
+            // verifier copied the shipped tag out of it.
             ctx.put(payload);
-            shared.stats.verified.fetch_add(1, Ordering::Relaxed);
-            record(
-                obs,
-                Event::HookExit {
-                    dir: Direction::Input,
-                    ok: true,
-                },
-            );
+            if !deferred {
+                shared.stats.verified.fetch_add(1, Ordering::Relaxed);
+                record(
+                    obs,
+                    Event::HookExit {
+                        dir: Direction::Input,
+                        ok: true,
+                    },
+                );
+            }
+            // A deferred item's success accounting (or its flip to
+            // Reject) happens at batch resolution.
             HookOutcome::Pass(body)
         }
         Err(FbsError::MalformedHeader(_) | FbsError::UnknownAlgorithm(_))
@@ -1298,6 +1345,113 @@ fn refresh_shard_mem(shared: &HookShared, w: usize) {
     }
 }
 
+/// Suite-labelled crypto counter: which profile sealed/opened the
+/// datagram.
+fn suite_counter(suite: CipherSuite, dir: Direction) -> Counter {
+    match (dir, suite) {
+        (Direction::Output, CipherSuite::Paper) => Counter::SealSuitePaper,
+        (Direction::Output, CipherSuite::FastDes) => Counter::SealSuiteFastDes,
+        (Direction::Output, CipherSuite::AeadChaPoly) => Counter::SealSuiteAead,
+        (Direction::Input, CipherSuite::Paper) => Counter::OpenSuitePaper,
+        (Direction::Input, CipherSuite::FastDes) => Counter::OpenSuiteFastDes,
+        (Direction::Input, CipherSuite::AeadChaPoly) => Counter::OpenSuiteAead,
+    }
+}
+
+/// Deferred-verification bookkeeping for one tentatively-passed input
+/// datagram: which reply slot to flip if batch verification fails, and
+/// which shard's codec accounts for the outcome.
+struct DeferredOpen {
+    /// Index into the current sub-batch's `done` list.
+    done_idx: usize,
+    /// Local shard index (`si / W`) whose codec opened the datagram.
+    shard_local: usize,
+    /// Recovered body length, accounted on pass.
+    bytes: u64,
+}
+
+/// Per-worker batch-authentication state: the MABS-style deferred MAC
+/// comparisons of a sub-batch, resolved with one fold (bisection on a
+/// dirty fold) before the reply ships. The verifier and scratch vectors
+/// are retained across sub-batches, so steady-state resolution
+/// allocates nothing.
+#[derive(Default)]
+struct BatchAuth {
+    verifier: BatchVerifier,
+    deferred: Vec<DeferredOpen>,
+    failed: Vec<usize>,
+}
+
+/// Resolve every deferred MAC comparison of the current sub-batch:
+/// one constant-time fold accepts the whole clean batch; a dirty fold
+/// bisects, and each isolated failure flips its already-staged `Pass`
+/// verdict to `Reject` (recycling the recovered body, so the buffer
+/// ledger stays balanced). MUST run before the sub-batch's reply ships
+/// — including on the quarantine path, or tentatively-passed datagrams
+/// would escape unverified.
+fn resolve_batch_auth(
+    shared: &HookShared,
+    shards: &[Shard],
+    auth: &mut BatchAuth,
+    cur: &mut CurrentSub,
+    obs: &Option<Arc<MetricsRegistry>>,
+) {
+    if auth.verifier.is_empty() && auth.deferred.is_empty() {
+        return;
+    }
+    let timer = obs.as_ref().map(|_| StageTimer::start());
+    auth.failed.clear();
+    let stats = auth.verifier.resolve(&mut auth.failed);
+    for d in auth.deferred.drain(..) {
+        let codec = &shards[d.shard_local].codec;
+        let entry = &mut cur.done[d.done_idx];
+        if !matches!(entry.2, HookOutcome::Pass(_)) {
+            // A supervised panic struck between the tag enqueue and the
+            // verdict push: the item already carries the supervisor's
+            // Reject, nothing to account here.
+            continue;
+        }
+        if auth.failed.contains(&d.done_idx) {
+            codec.note_deferred_mac_drop();
+            let old = std::mem::replace(
+                &mut entry.2,
+                HookOutcome::Reject("bad MAC (batch verify)".into()),
+            );
+            if let HookOutcome::Pass(body) = old {
+                cur.recycle.push(body);
+            }
+            shared.stats.input_errors.fetch_add(1, Ordering::Relaxed);
+            record(
+                obs,
+                Event::HookExit {
+                    dir: Direction::Input,
+                    ok: false,
+                },
+            );
+        } else {
+            codec.note_deferred_pass(d.bytes);
+            shared.stats.verified.fetch_add(1, Ordering::Relaxed);
+            record(
+                obs,
+                Event::HookExit {
+                    dir: Direction::Input,
+                    ok: true,
+                },
+            );
+        }
+    }
+    if let Some(reg) = obs.as_ref() {
+        reg.incr(Counter::BatchAuthResolutions);
+        reg.add(Counter::BatchAuthChecked, stats.checked as u64);
+        reg.add(Counter::BatchAuthFolds, stats.folds);
+        reg.add(Counter::BatchAuthBisections, stats.bisections);
+        reg.add(Counter::BatchAuthRejected, stats.rejected as u64);
+        if let Some(timer) = timer {
+            reg.observe_stage(Stage::BatchVerify, timer.elapsed_ns());
+        }
+    }
+}
+
 /// The sub-batch a worker is processing right now, with an explicit
 /// cursor (`next`). The cursor lives OUTSIDE the panic boundary: when an
 /// item panics mid-processing, the supervisor can see exactly which
@@ -1337,6 +1491,11 @@ struct WorkerState {
     generation: u64,
     /// Supervised respawns so far (compared against the policy budget).
     respawns: u32,
+    /// Deferred MAC comparisons for the current sub-batch. Lives here —
+    /// outside the panic boundary — so a supervised panic never loses
+    /// pending tags: they resolve when the sub-batch finishes or is
+    /// quarantine-rejected.
+    auth: BatchAuth,
 }
 
 /// Stage a freshly popped sub-batch as the worker's current work.
@@ -1377,6 +1536,7 @@ fn run_current(shared: &HookShared, w: usize, state: &mut WorkerState) {
         shards,
         current,
         pending_recycle,
+        auth,
         ..
     } = state;
     let Some(cur) = current.as_mut() else {
@@ -1421,23 +1581,40 @@ fn run_current(shared: &HookShared, w: usize, state: &mut WorkerState) {
             let (slot, si, header, payload, tuple) = &mut items[*next];
             let payload = std::mem::take(payload);
             let tuple = *tuple;
-            let shard = &mut shards[*si / shared.n_workers];
+            let shard_local = *si / shared.n_workers;
+            let shard = &mut shards[shard_local];
             let mut ctx = WorkerCtx {
                 supplies: &mut *supplies,
                 recycle: &mut *recycle,
             };
+            // The item's verdict will land at this `done` index; the
+            // deferred verifier uses it as the correlation token.
+            let token = done.len();
             let outcome = match *dir {
                 Direction::Output => output_item(
                     shared, shard, header, payload, tuple, &mut ctx, *now_us, &cfg, &obs,
                 ),
                 Direction::Input => input_item(
-                    shared, shard, header, payload, &mut ctx, *now_us, &cfg, &obs,
+                    shared,
+                    shard,
+                    shard_local,
+                    header,
+                    payload,
+                    &mut ctx,
+                    *now_us,
+                    &cfg,
+                    token,
+                    auth,
+                    &obs,
                 ),
             };
             done.push((*slot, header.clone(), outcome));
             *next += 1;
         }
     }
+    // Deferred MAC comparisons resolve BEFORE the reply ships, so the
+    // producer only ever sees final verdicts.
+    resolve_batch_auth(shared, shards, auth, cur, &obs);
     let mut fin = current.take().expect("current sub-batch still staged");
     fin.items.clear();
     fin.recycle.append(&mut fin.supplies);
@@ -1498,11 +1675,22 @@ fn abort_current_item(state: &mut WorkerState) {
 
 /// Reject every remaining item of the current sub-batch (quarantine
 /// path) and ship the reply so the producer unblocks with a complete
-/// verdict set and a balanced buffer ledger.
-fn reject_all_current(w: usize, state: &mut WorkerState) {
-    let Some(cur) = state.current.as_mut() else {
+/// verdict set and a balanced buffer ledger. Deferred MAC comparisons
+/// from items processed BEFORE the quarantine still resolve here —
+/// their tentative `Pass` verdicts would otherwise ship unverified.
+fn reject_all_current(shared: &HookShared, w: usize, state: &mut WorkerState) {
+    let WorkerState {
+        shards,
+        current,
+        pending_recycle,
+        auth,
+        ..
+    } = state;
+    let Some(cur) = current.as_mut() else {
         return;
     };
+    let obs = shared.obs_handle();
+    resolve_batch_auth(shared, shards, auth, cur, &obs);
     let from = cur.next;
     for (slot, _si, header, payload, _tuple) in cur.items.drain(from..) {
         cur.recycle.push(payload);
@@ -1512,13 +1700,10 @@ fn reject_all_current(w: usize, state: &mut WorkerState) {
             HookOutcome::Reject("worker quarantined after panic".into()),
         ));
     }
-    let mut fin = state
-        .current
-        .take()
-        .expect("current sub-batch still staged");
+    let mut fin = current.take().expect("current sub-batch still staged");
     fin.items.clear();
     fin.recycle.append(&mut fin.supplies);
-    fin.recycle.append(&mut state.pending_recycle);
+    fin.recycle.append(pending_recycle);
     let lane = Arc::clone(&fin.lane);
     push_reply(
         &lane,
@@ -1706,7 +1891,10 @@ fn release_input_worker(shared: &HookShared, shards: &mut [Shard], now_us: u64) 
     let mut supplies: Vec<Vec<u8>> = Vec::new();
     let timer = obs.as_ref().map(|_| StageTimer::start());
     let mut did_work = false;
-    for shard in shards.iter_mut() {
+    // Park release is a slow path: deferred comparisons resolve
+    // immediately as batches of one, reusing one scratch verifier.
+    let mut auth = BatchAuth::default();
+    for (shard_local, shard) in shards.iter_mut().enumerate() {
         for expired in shard.in_park.take_expired(now_us) {
             let (header, payload) = expired.item;
             if let Some(sfl) = wire_sfl(&payload) {
@@ -1743,10 +1931,40 @@ fn release_input_worker(shared: &HookShared, shards: &mut [Shard], now_us: u64) 
                     supplies: &mut supplies,
                     recycle: &mut recycle,
                 };
-                verify(shared, shard, &mut header, &payload, &mut ctx, &obs)
+                verify(
+                    shared,
+                    shard,
+                    shard_local,
+                    &mut header,
+                    &payload,
+                    &mut ctx,
+                    0,
+                    &mut auth,
+                    &obs,
+                )
             };
             match res {
-                Ok(body) => {
+                Ok((body, deferred)) => {
+                    if deferred {
+                        auth.failed.clear();
+                        auth.deferred.clear();
+                        auth.verifier.resolve(&mut auth.failed);
+                        if !auth.failed.is_empty() {
+                            shard.codec.note_deferred_mac_drop();
+                            shared.stats.input_errors.fetch_add(1, Ordering::Relaxed);
+                            record(
+                                &obs,
+                                Event::HookExit {
+                                    dir: Direction::Input,
+                                    ok: false,
+                                },
+                            );
+                            recycle.push(payload);
+                            recycle.push(body);
+                            continue;
+                        }
+                        shard.codec.note_deferred_pass(body.len() as u64);
+                    }
                     let waited_us = shard.in_park.note_released(parked_at_us, now_us);
                     shared.stats.verified.fetch_add(1, Ordering::Relaxed);
                     record(&obs, Event::ParkReleased { waited_us });
@@ -1886,7 +2104,7 @@ fn handle_control(
                 while let Some(sub) = lane.to_worker[w].try_pop() {
                     begin_current(state, &lane, sub);
                     if quarantined {
-                        reject_all_current(w, state);
+                        reject_all_current(shared, w, state);
                     } else {
                         run_current(shared, w, state);
                     }
@@ -1963,7 +2181,7 @@ fn quarantine(
     shared.quarantined[w].store(true, Ordering::Release);
     // Finish (by rejecting) any sub-batch the panic interrupted, so its
     // producer unblocks with a complete verdict set.
-    reject_all_current(w, state);
+    reject_all_current(shared, w, state);
     for shard in state.shards.iter_mut() {
         for p in shard.out_park.take_all() {
             state.pending_recycle.push(p.item.1);
@@ -1985,7 +2203,7 @@ fn quarantine(
             let lane = Arc::clone(&state.lanes[li]);
             while let Some(sub) = lane.to_worker[w].try_pop() {
                 begin_current(state, &lane, sub);
-                reject_all_current(w, state);
+                reject_all_current(shared, w, state);
                 did_work = true;
             }
         }
@@ -2036,6 +2254,7 @@ fn worker_main(
         pending_recycle: Vec::new(),
         generation: 0,
         respawns: 0,
+        auth: BatchAuth::default(),
     };
     loop {
         // AssertUnwindSafe: `state` lives outside the boundary by

@@ -1,0 +1,232 @@
+//! Batch-authentication bisection under the worker runtime: the
+//! ledger-balance CI gate, extended to the deferred-MAC failure path.
+//!
+//! PR 10 made the input hot path defer MAC comparisons: each worker
+//! accumulates (computed, shipped) tag pairs per sub-batch and resolves
+//! them with one constant-time fold, bisecting only when the fold
+//! detects a mismatch. The failure path re-threads a tentative `Pass`
+//! into a `Reject` *after* the body buffer was already accounted to the
+//! flow — exactly the kind of late unwind that leaks pool buffers if
+//! any branch forgets a `put`. This test drives corrupted datagrams
+//! through `process_batch` and gates:
+//!
+//! * corrupted datagrams come back `Reject` ("bad MAC"), clean ones
+//!   `Pass` with intact bodies — per-datagram verifiability survives
+//!   the batch amortisation;
+//! * the caller's [`BufferPool`] ledger balances exactly
+//!   (hits + misses == returns + discards) across the bisection path;
+//! * the `batchauth.*` counters record the resolutions, the bisections
+//!   the corruption forced, and the precise rejected count.
+
+use fbs_cert::{CertificateAuthority, Directory};
+use fbs_core::{BufferPool, ManualClock};
+use fbs_crypto::dh::DhGroup;
+use fbs_ip::hooks::FbsIpHooks;
+use fbs_ip::hooks::IpMappingConfig;
+use fbs_ip::host::build_secure_host;
+use fbs_net::ip::{Ipv4Header, Proto};
+use fbs_net::{Datagram, HookOutcome, SecurityHooks};
+use fbs_obs::{Direction, MetricsRegistry};
+use std::sync::Arc;
+use std::time::Duration;
+
+const A: [u8; 4] = [10, 9, 0, 1];
+const B: [u8; 4] = [10, 9, 0, 2];
+const NOW_US: u64 = 1_000_000;
+const BATCH: usize = 16;
+
+fn build_pair() -> (FbsIpHooks, FbsIpHooks, Arc<MetricsRegistry>) {
+    let clock = ManualClock::starting_at(0);
+    let ca = CertificateAuthority::new("batchauth-test-ca", [0x61; 16]);
+    let directory = Arc::new(Directory::new(Duration::ZERO));
+    let group = DhGroup::test_group();
+    let cfg = IpMappingConfig {
+        encrypt: true,
+        workers: 2,
+        ..IpMappingConfig::default()
+    };
+    let (_ha, sender) = build_secure_host(
+        A,
+        1500,
+        cfg.clone(),
+        clock.clone(),
+        &group,
+        &ca,
+        &directory,
+        31,
+    );
+    let (_hb, receiver) = build_secure_host(B, 1500, cfg, clock, &group, &ca, &directory, 32);
+    let reg = Arc::new(MetricsRegistry::new());
+    receiver
+        .attach_obs(Arc::clone(&reg))
+        .expect("attach obs before traffic");
+    (sender, receiver, reg)
+}
+
+/// Build a flow payload in a pool buffer: every Vec the test feeds to
+/// `process_batch` originates from the caller pool, so the ledger gate
+/// below can demand exact balance (takes == puts) with no external
+/// allocations muddying the books.
+fn payload_for(pool: &mut BufferPool, sport: u16, seq: u32) -> Vec<u8> {
+    let mut p = pool.take();
+    p.extend_from_slice(&sport.to_be_bytes());
+    p.extend_from_slice(&53u16.to_be_bytes());
+    p.extend_from_slice(&seq.to_be_bytes());
+    p.extend_from_slice(b"batch auth bisection body");
+    p.push(seq as u8);
+    p
+}
+
+/// The expected plaintext for a `(sport, seq)` datagram, allocated
+/// outside the pool for comparison only.
+fn expected_body(sport: u16, seq: u32) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.extend_from_slice(&sport.to_be_bytes());
+    p.extend_from_slice(&53u16.to_be_bytes());
+    p.extend_from_slice(&seq.to_be_bytes());
+    p.extend_from_slice(b"batch auth bisection body");
+    p.push(seq as u8);
+    p
+}
+
+#[test]
+fn bisection_rejects_corrupt_datagrams_and_balances_the_pool_ledger() {
+    let (mut sender, mut receiver, reg) = build_pair();
+    let mut pool = BufferPool::new();
+
+    // Warm the flow so key derivation is out of the way and the timed
+    // batch exercises only the deferred open path.
+    let warm = payload_for(&mut pool, 4000, 0);
+    let header = Ipv4Header::new(A, B, Proto::Udp, warm.len());
+    let sealed = sender.process_batch(
+        Direction::Output,
+        vec![Datagram {
+            header,
+            payload: warm,
+        }],
+        &mut pool,
+        NOW_US,
+    );
+    for (header, outcome) in sealed {
+        match outcome {
+            HookOutcome::Pass(wire) => {
+                for (_, o) in receiver.process_batch(
+                    Direction::Input,
+                    vec![Datagram {
+                        header,
+                        payload: wire,
+                    }],
+                    &mut pool,
+                    NOW_US,
+                ) {
+                    match o {
+                        HookOutcome::Pass(body) => pool.put(body),
+                        other => panic!("warmup open failed: {other:?}"),
+                    }
+                }
+            }
+            other => panic!("warmup seal failed: {other:?}"),
+        }
+    }
+
+    // Seal a batch, then corrupt the trailing byte (ciphertext/MAC
+    // trailer — never the header) of every fourth datagram. The fold
+    // over each worker's sub-batch must then mismatch and bisect down
+    // to exactly the corrupted items.
+    const ROUNDS: u32 = 4;
+    let mut sent = 0u64;
+    let mut corrupted_total = 0u64;
+    for round in 0..ROUNDS {
+        let batch: Vec<Datagram> = (0..BATCH)
+            .map(|i| {
+                let payload = payload_for(&mut pool, 4000 + i as u16, round);
+                let header = Ipv4Header::new(A, B, Proto::Udp, payload.len());
+                Datagram { header, payload }
+            })
+            .collect();
+        sent += BATCH as u64;
+        let sealed = sender.process_batch(Direction::Output, batch, &mut pool, NOW_US);
+        let mut corrupt_idx = Vec::new();
+        let rx_batch: Vec<Datagram> = sealed
+            .into_iter()
+            .enumerate()
+            .map(|(i, (header, outcome))| match outcome {
+                HookOutcome::Pass(mut wire) => {
+                    if i % 4 == 1 {
+                        *wire.last_mut().expect("sealed wire is non-empty") ^= 0x5A;
+                        corrupt_idx.push(i);
+                    }
+                    Datagram {
+                        header,
+                        payload: wire,
+                    }
+                }
+                other => panic!("seal failed: {other:?}"),
+            })
+            .collect();
+        corrupted_total += corrupt_idx.len() as u64;
+
+        let opened = receiver.process_batch(Direction::Input, rx_batch, &mut pool, NOW_US);
+        assert_eq!(opened.len(), BATCH, "batch-auth must not drop datagrams");
+        for (i, (_, outcome)) in opened.into_iter().enumerate() {
+            if corrupt_idx.contains(&i) {
+                match outcome {
+                    HookOutcome::Reject(reason) => {
+                        assert!(
+                            reason.contains("bad MAC"),
+                            "corrupt datagram must fail authentication, got {reason:?}"
+                        );
+                    }
+                    other => panic!("forged datagram {i} must be rejected, got {other:?}"),
+                }
+            } else {
+                match outcome {
+                    HookOutcome::Pass(body) => {
+                        let sport = u16::from_be_bytes([body[0], body[1]]);
+                        assert_eq!(
+                            body,
+                            expected_body(sport, round),
+                            "clean datagram must round-trip exactly"
+                        );
+                        pool.put(body);
+                    }
+                    other => panic!("clean datagram {i} must pass, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    // Ground truth vs hook counters: every corruption rejected, every
+    // clean datagram verified (the +1 is the warmup).
+    assert!(corrupted_total > 0, "test must actually corrupt something");
+    let stats = receiver.stats();
+    assert_eq!(stats.input_errors, corrupted_total);
+    assert_eq!(stats.verified, sent - corrupted_total + 1);
+
+    // The ledger-balance CI gate, through the bisection path: every
+    // buffer the pool handed out came back. A leak on the deferred
+    // failure path (Pass body replaced by Reject after accounting)
+    // shows up as takes > puts here.
+    let s = pool.stats();
+    assert_eq!(
+        s.hits + s.misses,
+        s.returns + s.discards,
+        "pool ledger out of balance across batch-auth bisection: {s:?}"
+    );
+
+    // The batchauth counters saw the work: at least one resolution per
+    // sub-batch round, bisections forced by the corrupted folds, and
+    // exactly the rejected count the ground truth demands.
+    let snap = reg.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert!(counter("batchauth.resolutions") >= u64::from(ROUNDS));
+    assert!(counter("batchauth.checked") >= sent);
+    assert!(
+        counter("batchauth.bisections") > 0,
+        "corrupted folds must trigger bisection: {:?}",
+        snap.counters
+    );
+    assert_eq!(counter("batchauth.rejected"), corrupted_total);
+    // Suite-labelled open counter: default config runs the paper suite.
+    assert!(counter("crypto.open.paper") >= sent - corrupted_total);
+}

@@ -151,10 +151,32 @@ pub enum Counter {
     /// Total (virtual) microseconds breakers spent half-open before
     /// transitioning away.
     BreakerTimeHalfOpenUs,
+    /// Datagrams sealed under the paper DES-CBC + keyed-MD5 profile.
+    SealSuitePaper,
+    /// Datagrams sealed under the fast word-sliced DES-CTR profile.
+    SealSuiteFastDes,
+    /// Datagrams sealed under the ChaCha20-Poly1305 AEAD profile.
+    SealSuiteAead,
+    /// Datagrams opened under the paper DES-CBC + keyed-MD5 profile.
+    OpenSuitePaper,
+    /// Datagrams opened under the fast word-sliced DES-CTR profile.
+    OpenSuiteFastDes,
+    /// Datagrams opened under the ChaCha20-Poly1305 AEAD profile.
+    OpenSuiteAead,
+    /// Sub-batch resolutions run by the deferred batch verifier.
+    BatchAuthResolutions,
+    /// Datagrams covered by batch-verify resolutions.
+    BatchAuthChecked,
+    /// Range folds performed while resolving (1 per clean sub-batch).
+    BatchAuthFolds,
+    /// Bisection steps taken isolating corrupt datagrams.
+    BatchAuthBisections,
+    /// Datagrams rejected by batch verification.
+    BatchAuthRejected,
 }
 
 /// Number of scalar counters.
-const NUM_COUNTERS: usize = 61;
+const NUM_COUNTERS: usize = 72;
 
 impl Counter {
     /// All counters, in snapshot order.
@@ -220,6 +242,17 @@ impl Counter {
         Counter::BreakerTimeClosedUs,
         Counter::BreakerTimeOpenUs,
         Counter::BreakerTimeHalfOpenUs,
+        Counter::SealSuitePaper,
+        Counter::SealSuiteFastDes,
+        Counter::SealSuiteAead,
+        Counter::OpenSuitePaper,
+        Counter::OpenSuiteFastDes,
+        Counter::OpenSuiteAead,
+        Counter::BatchAuthResolutions,
+        Counter::BatchAuthChecked,
+        Counter::BatchAuthFolds,
+        Counter::BatchAuthBisections,
+        Counter::BatchAuthRejected,
     ];
 
     /// The hierarchical counter key.
@@ -286,6 +319,17 @@ impl Counter {
             Counter::BreakerTimeClosedUs => "breaker.time_closed_us",
             Counter::BreakerTimeOpenUs => "breaker.time_open_us",
             Counter::BreakerTimeHalfOpenUs => "breaker.time_half_open_us",
+            Counter::SealSuitePaper => "crypto.seal.paper",
+            Counter::SealSuiteFastDes => "crypto.seal.fast_des",
+            Counter::SealSuiteAead => "crypto.seal.aead_chacha_poly",
+            Counter::OpenSuitePaper => "crypto.open.paper",
+            Counter::OpenSuiteFastDes => "crypto.open.fast_des",
+            Counter::OpenSuiteAead => "crypto.open.aead_chacha_poly",
+            Counter::BatchAuthResolutions => "batchauth.resolutions",
+            Counter::BatchAuthChecked => "batchauth.checked",
+            Counter::BatchAuthFolds => "batchauth.folds",
+            Counter::BatchAuthBisections => "batchauth.bisections",
+            Counter::BatchAuthRejected => "batchauth.rejected",
         }
     }
 

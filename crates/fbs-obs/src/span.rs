@@ -42,6 +42,9 @@ pub enum Stage {
     /// The open crypto core: parse + verify + optional decrypt on
     /// input.
     Open,
+    /// Resolving a sub-batch's deferred MAC comparisons (one fold in
+    /// the clean case, bisection when a tag mismatches).
+    BatchVerify,
     /// Zero-message flow-key derivation (cache-miss path, runs inside
     /// the owning worker with no locks held).
     KeyDerive,
@@ -55,7 +58,7 @@ pub enum Stage {
 }
 
 /// Number of instrumented stages.
-pub(crate) const NUM_STAGES: usize = 9;
+pub(crate) const NUM_STAGES: usize = 10;
 
 impl Stage {
     /// All stages, in pipeline order.
@@ -65,6 +68,7 @@ impl Stage {
         Stage::RingWait,
         Stage::Seal,
         Stage::Open,
+        Stage::BatchVerify,
         Stage::KeyDerive,
         Stage::Park,
         Stage::Release,
@@ -79,6 +83,7 @@ impl Stage {
             Stage::RingWait => "ring_wait",
             Stage::Seal => "seal",
             Stage::Open => "open",
+            Stage::BatchVerify => "batch_verify",
             Stage::KeyDerive => "key_derive",
             Stage::Park => "park",
             Stage::Release => "release",

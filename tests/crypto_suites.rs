@@ -1,0 +1,194 @@
+//! Cross-suite integration: the PR 10 crypto plane. Every cipher-suite
+//! profile must round trip end to end, batch (zero-copy `seal_into`) and
+//! scalar (`send`) sealing must be bit-identical per profile, a flow
+//! sealed under one suite must never open under another, the paper
+//! profile's wire bytes are pinned (bit-identical DES+MD5), and the
+//! `mac_truncate = Some(0)` forgery hole stays closed.
+
+use fbs::core::{
+    Datagram, FbsConfig, FbsEndpoint, ManualClock, MasterKeyDaemon, PinnedDirectory, Principal,
+    MIN_SHIPPED_MAC,
+};
+use fbs::crypto::dh::{DhGroup, PrivateValue};
+use fbs::crypto::CipherSuite;
+use std::sync::Arc;
+
+fn pair(tx_cfg: FbsConfig, rx_cfg: FbsConfig) -> (FbsEndpoint, FbsEndpoint) {
+    let clock = ManualClock::starting_at(44_000);
+    let group = DhGroup::test_group();
+    let a_priv = PrivateValue::from_entropy(group.clone(), b"suites-alice-entropy");
+    let b_priv = PrivateValue::from_entropy(group, b"suites-bob-entropy!!");
+    let alice = Principal::named("alice");
+    let bob = Principal::named("bob");
+    let mut da = PinnedDirectory::new();
+    da.pin(bob.clone(), b_priv.public_value());
+    let mut db = PinnedDirectory::new();
+    db.pin(alice.clone(), a_priv.public_value());
+    (
+        FbsEndpoint::new(
+            alice,
+            tx_cfg,
+            Arc::new(clock.clone()),
+            5,
+            MasterKeyDaemon::new(a_priv, Box::new(da)),
+        ),
+        FbsEndpoint::new(
+            bob,
+            rx_cfg,
+            Arc::new(clock),
+            6,
+            MasterKeyDaemon::new(b_priv, Box::new(db)),
+        ),
+    )
+}
+
+fn dgram(body: &[u8]) -> Datagram {
+    Datagram::new(
+        Principal::named("alice"),
+        Principal::named("bob"),
+        body.to_vec(),
+    )
+}
+
+fn suite_cfg(suite: CipherSuite) -> FbsConfig {
+    FbsConfig {
+        suite,
+        ..FbsConfig::default()
+    }
+}
+
+#[test]
+fn every_suite_roundtrips_end_to_end() {
+    for &suite in CipherSuite::ALL.iter() {
+        let (mut tx, mut rx) = pair(suite_cfg(suite), suite_cfg(suite));
+        for (i, body) in [b"first datagram".as_slice(), b"", b"third, longer datagram body"]
+            .iter()
+            .enumerate()
+        {
+            let pd = tx.send(1, dgram(body), true).unwrap();
+            assert_eq!(pd.header.suite, suite, "suite must ride the header");
+            let got = rx.receive(pd).unwrap();
+            assert_eq!(got.body, body.to_vec(), "{suite:?} datagram {i}");
+        }
+    }
+}
+
+/// Batch == scalar, bit-identical, per profile: two endpoints built from
+/// the same seeds draw the same confounder sequence, so the zero-copy
+/// `seal_into` path must emit exactly the bytes `send` +
+/// `encode_payload` would — for every suite, not just the paper one.
+#[test]
+fn zero_copy_seal_is_bit_identical_to_scalar_send_per_suite() {
+    for &suite in CipherSuite::ALL.iter() {
+        let (mut scalar_tx, _) = pair(suite_cfg(suite), suite_cfg(suite));
+        let (mut batch_tx, mut rx) = pair(suite_cfg(suite), suite_cfg(suite));
+        let bob = Principal::named("bob");
+        for round in 0..8u8 {
+            let body: Vec<u8> = (0..(round as usize) * 17 + 3).map(|i| i as u8 ^ round).collect();
+            let wire_scalar = scalar_tx.send(1, dgram(&body), true).unwrap().encode_payload();
+            let mut wire_batch = Vec::new();
+            batch_tx
+                .seal_into(1, &bob, &body, true, &mut wire_batch)
+                .unwrap();
+            assert_eq!(
+                wire_scalar, wire_batch,
+                "{suite:?} round {round}: batch and scalar wires diverge"
+            );
+            // And the wire actually opens on the structured receive path.
+            let mut out = Vec::new();
+            rx.open_into(&Principal::named("alice"), &wire_batch, &mut out)
+                .unwrap();
+            assert_eq!(out, body);
+        }
+    }
+}
+
+/// Negative interop: a flow sealed under one suite must never open on a
+/// receiver speaking another — the suite rides the key schedule and the
+/// header, and a mismatch is an authentication failure, not a silent
+/// downgrade.
+#[test]
+fn flow_sealed_under_one_suite_never_opens_under_another() {
+    for &seal_suite in CipherSuite::ALL.iter() {
+        for &open_suite in CipherSuite::ALL.iter() {
+            if seal_suite == open_suite {
+                continue;
+            }
+            let (mut tx, mut rx) = pair(suite_cfg(seal_suite), suite_cfg(open_suite));
+            let pd = tx.send(1, dgram(b"cross-suite probe"), true).unwrap();
+            let err = rx.receive(pd);
+            assert!(
+                err.is_err(),
+                "sealed {seal_suite:?}, opened {open_suite:?}: must not interoperate"
+            );
+        }
+    }
+}
+
+/// The paper profile's wire bytes, pinned. Everything feeding the seal is
+/// deterministic here (fixed DH entropy, manual clock, fixed endpoint
+/// seeds), so any drift in the DES-CBC + keyed-MD5 output — a refactor
+/// that reorders padding, truncates differently, or touches the
+/// confounder stream — changes these bytes and fails this test. This is
+/// the "paper suite stays bit-identical" acceptance gate.
+#[test]
+fn paper_suite_wire_bytes_are_pinned() {
+    let (mut tx, mut rx) = pair(suite_cfg(CipherSuite::Paper), suite_cfg(CipherSuite::Paper));
+    let pd = tx.send(7, dgram(b"golden paper datagram"), true).unwrap();
+    let wire = pd.encode_payload();
+    let hex: String = wire.iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(hex, GOLDEN_PAPER_WIRE_HEX, "paper-suite wire drifted");
+    // The pin is of real, openable bytes — not a stale constant.
+    let got = rx.receive(pd).unwrap();
+    assert_eq!(got.body, b"golden paper datagram".to_vec());
+}
+
+/// Regression for the `mac_truncate = Some(0)` forgery: a zero-length
+/// shipped MAC compares vacuously equal, so every forged datagram
+/// verified. Config validation now rejects sub-minimum truncation and
+/// normalisation clamps it; either way at least [`MIN_SHIPPED_MAC`]
+/// bytes ship and tampering is caught on the structured receive path.
+#[test]
+fn mac_truncate_zero_forgery_stays_closed() {
+    // Explicit validation rejects the degenerate configs outright.
+    for n in 0..MIN_SHIPPED_MAC {
+        let cfg = FbsConfig {
+            mac_truncate: Some(n),
+            ..FbsConfig::default()
+        };
+        assert!(
+            cfg.validate().is_err(),
+            "mac_truncate Some({n}) must fail validation"
+        );
+    }
+    assert!(FbsConfig {
+        mac_truncate: Some(MIN_SHIPPED_MAC),
+        ..FbsConfig::default()
+    }
+    .validate()
+    .is_ok());
+
+    // Normalisation clamps instead of shipping a forgeable MAC, and the
+    // clamped endpoint really rejects a forgery end to end.
+    let cfg = FbsConfig {
+        mac_truncate: Some(0),
+        ..FbsConfig::default()
+    }
+    .normalized();
+    assert_eq!(cfg.mac_truncate, Some(MIN_SHIPPED_MAC));
+    let (mut tx, mut rx) = pair(cfg.clone(), cfg);
+    let mut pd = tx.send(1, dgram(b"forgery target"), true).unwrap();
+    // Clean copy of the same flow still works afterwards, so start with
+    // the forgery: flip one ciphertext byte.
+    pd.body[0] ^= 0x80;
+    assert!(
+        rx.receive(pd).is_err(),
+        "tampered datagram must be rejected under clamped truncation"
+    );
+    let pd = tx.send(1, dgram(b"honest datagram"), true).unwrap();
+    assert_eq!(rx.receive(pd).unwrap().body, b"honest datagram".to_vec());
+}
+
+/// Pinned by `paper_suite_wire_bytes_are_pinned`; regenerate only for a
+/// deliberate, documented wire-format change.
+const GOLDEN_PAPER_WIRE_HEX: &str = "0000000000000007cd9f4061000002dd000110000000001580ff5904372d62580abe3f77e1fae56fdfb73f00026e063f69a738c02ab627762b642832ae161c81";
